@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Ablation (ours, motivated by the paper's related-work discussion):
+ * utilization-threshold promotion heuristics (Ingens/HawkEye-style
+ * khugepaged thresholds) versus Linux's greedy policy versus the
+ * paper's programmer-guided selective THP, under pressure and
+ * fragmentation.
+ *
+ * Expected shape: heuristic thresholds cannot recover what the
+ * fault-time policy lost (no huge memory remains to promote into),
+ * while application knowledge (selective madvise + property-first)
+ * restores most of the benefit — the paper's central argument.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "core/kernels.hh"
+#include "core/machine.hh"
+#include "core/views.hh"
+#include "graph/datasets.hh"
+#include "mem/fragmenter.hh"
+#include "mem/memhog.hh"
+
+using namespace gpsm;
+using namespace gpsm::bench;
+using namespace gpsm::core;
+
+namespace
+{
+
+/**
+ * Transient-pressure scenario: the graph loads while memory is full
+ * and fragmented (everything base pages), then the co-located tenants
+ * exit. A budget-limited khugepaged must now decide what to collapse
+ * while the kernel runs: linear scanning spends the budget on the CSR
+ * arrays it meets first; access tracking (hot-first) finds the
+ * property array immediately.
+ */
+double
+transientRecovery(const Options &opts, const std::string &ds,
+                  bool hot_first, std::uint64_t *promoted)
+{
+    const graph::CsrGraph &g = graph::makeDataset(
+        graph::datasetByName(ds), opts.divisor);
+
+    const SystemConfig sys = systemConfig(opts);
+    vm::ThpConfig thp = vm::ThpConfig::always();
+    thp.khugepagedHotFirst = hot_first;
+    // 16 regions per wakeup: a deliberately tight daemon budget.
+    thp.khugepagedScanPages = 16ull << sys.node.hugeOrder;
+    SimMachine machine(sys, thp);
+
+    // Load under full pressure: no huge pages anywhere.
+    auto hog = std::make_unique<mem::Memhog>(machine.node());
+    auto frag = std::make_unique<mem::Fragmenter>(machine.node());
+    hog->occupyAllBut(g.footprintBytes(false));
+    frag->fragment(1.0);
+
+    SimView<std::uint64_t> view(machine, g, {});
+    view.load(unreachedDist);
+
+    // Tenants exit; the daemon runs during the kernel.
+    frag.reset();
+    hog.reset();
+    machine.enableKhugepagedDuringExecution(1u << 19);
+
+    const Cycles c0 = machine.mmu().totalCycles();
+    bfs(view, defaultRoot(g));
+    const double seconds = machine.config().costs.seconds(
+        machine.mmu().totalCycles() - c0);
+    *promoted = machine.space().promotions.value();
+    return seconds;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = parseOptions(argc, argv);
+    if (!opts.quick)
+        opts.datasets = {"kron", "twit", "web", "wiki"};
+    printHeader("Ablation: promotion policy comparison (BFS)", opts);
+
+    TableWriter table("ablation_promotion");
+    table.setHeader({"dataset", "policy", "speedup over 4k",
+                     "promotions", "huge frac"});
+
+    for (const std::string &ds : opts.datasets) {
+        ExperimentConfig base = baseConfig(opts, App::Bfs, ds);
+        base.thpMode = vm::ThpMode::Never;
+        base.constrainMemory = true;
+        base.slackBytes = paperGiB(1.0, base.sys);
+        base.fragLevel = 0.5;
+        const RunResult r4k = run(base);
+
+        struct Policy
+        {
+            const char *name;
+            vm::ThpMode mode;
+            bool khugepaged;
+            std::uint64_t minPresent;
+            bool hotFirst;
+            bool duringKernel;
+            bool selective;
+        };
+        const Policy policies[] = {
+            {"linux greedy (min=1)", vm::ThpMode::Always, true, 1,
+             false, false, false},
+            {"util 50% (min=32)", vm::ThpMode::Always, true, 32,
+             false, false, false},
+            {"util 90% (min=58)", vm::ThpMode::Always, true, 58,
+             false, false, false},
+            {"hawkeye-like (hot-first)", vm::ThpMode::Always, true, 1,
+             true, true, false},
+            {"no khugepaged", vm::ThpMode::Always, false, 1, false,
+             false, false},
+            {"programmer-guided", vm::ThpMode::Madvise, true, 1,
+             false, false, true},
+        };
+
+        for (const Policy &p : policies) {
+            ExperimentConfig cfg = base;
+            cfg.thpMode = p.mode;
+            cfg.khugepagedAfterInit = p.khugepaged;
+            cfg.khugepagedHotFirst = p.hotFirst;
+            cfg.khugepagedDuringKernel = p.duringKernel;
+            if (p.selective) {
+                cfg.reorder = graph::ReorderMethod::Dbg;
+                cfg.madvise = MadviseSelection::propertyOnly(0.4);
+                cfg.order = AllocOrder::PropertyFirst;
+            }
+            cfg.khugepagedMinPresent = p.minPresent;
+            const RunResult r = run(cfg);
+            table.addRow({ds, p.name,
+                          TableWriter::speedup(speedupOver(r4k, r)),
+                          std::to_string(r.promotions),
+                          TableWriter::pct(r.hugeFractionOfFootprint,
+                                           2)});
+        }
+    }
+    table.print(std::cout);
+
+    // Part 2: transient pressure — where access tracking can shine.
+    TableWriter table2("ablation_promotion_transient");
+    table2.setHeader({"dataset", "daemon policy", "kernel time",
+                      "speedup over linear", "promotions"});
+    for (const std::string &ds : opts.datasets) {
+        std::uint64_t promoted_linear = 0;
+        std::uint64_t promoted_hot = 0;
+        const double t_linear =
+            transientRecovery(opts, ds, false, &promoted_linear);
+        note("  transient linear-scan %s done", ds.c_str());
+        const double t_hot =
+            transientRecovery(opts, ds, true, &promoted_hot);
+        note("  transient hot-first %s done", ds.c_str());
+        table2.addRow({ds, "linear scan", formatSeconds(t_linear),
+                       "1.00x", std::to_string(promoted_linear)});
+        table2.addRow({ds, "hot-first (access tracking)",
+                       formatSeconds(t_hot),
+                       TableWriter::speedup(t_linear / t_hot),
+                       std::to_string(promoted_hot)});
+    }
+    table2.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Bench-harness plumbing implementation.
+ */
+
+#include "common.hh"
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace gpsm::bench
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitCsv(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::istringstream is(arg);
+    std::string tok;
+    while (std::getline(is, tok, ','))
+        if (!tok.empty())
+            out.push_back(tok);
+    return out;
+}
+
+core::App
+appByName(const std::string &name)
+{
+    if (name == "bfs")
+        return core::App::Bfs;
+    if (name == "sssp")
+        return core::App::Sssp;
+    if (name == "pr")
+        return core::App::Pr;
+    if (name == "cc")
+        return core::App::Cc;
+    fatal("unknown app '%s' (bfs/sssp/pr/cc)", name.c_str());
+}
+
+} // namespace
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options opts;
+    if (const char *env = std::getenv("GPSM_BENCH_DIVISOR"))
+        opts.divisor = std::strtoull(env, nullptr, 10);
+    if (const char *env = std::getenv("GPSM_BENCH_QUICK"))
+        opts.quick = env[0] == '1';
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value after %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--divisor") {
+            opts.divisor = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--quick") {
+            opts.quick = true;
+        } else if (arg == "--paper") {
+            opts.paperGeometry = true;
+        } else if (arg == "--datasets") {
+            opts.datasets = splitCsv(next());
+        } else if (arg == "--apps") {
+            opts.apps.clear();
+            for (const std::string &name : splitCsv(next()))
+                opts.apps.push_back(appByName(name));
+        } else if (arg == "--help" || arg == "-h") {
+            std::fprintf(
+                stderr,
+                "usage: %s [--divisor N] [--quick] [--paper]\n"
+                "          [--datasets kron,twit,web,wiki]"
+                " [--apps bfs,sssp,pr]\n",
+                argv[0]);
+            std::exit(0);
+        } else {
+            fatal("unknown argument '%s' (try --help)", arg.c_str());
+        }
+    }
+
+    if (opts.quick) {
+        opts.divisor = std::max<std::uint64_t>(opts.divisor, 1024);
+        opts.datasets = {"kron", "wiki"};
+        opts.apps = {core::App::Bfs};
+    }
+    if (opts.divisor == 0)
+        fatal("--divisor must be positive");
+    return opts;
+}
+
+core::SystemConfig
+systemConfig(const Options &opts)
+{
+    return opts.paperGeometry ? core::SystemConfig::haswell()
+                              : core::SystemConfig::scaled();
+}
+
+std::int64_t
+paperGiB(double gib, const core::SystemConfig &sys)
+{
+    // Table 1's node is 64GiB; everything scales linearly with the
+    // configured node size.
+    const double scale =
+        static_cast<double>(sys.node.bytes) / (64.0 * GiB);
+    return static_cast<std::int64_t>(gib * GiB * scale);
+}
+
+core::ExperimentConfig
+baseConfig(const Options &opts, core::App app,
+           const std::string &dataset)
+{
+    core::ExperimentConfig cfg;
+    cfg.sys = systemConfig(opts);
+    cfg.app = app;
+    cfg.dataset = dataset;
+    cfg.scaleDivisor = opts.divisor;
+    return cfg;
+}
+
+void
+note(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+}
+
+void
+printHeader(const std::string &bench_name, const Options &opts)
+{
+    const core::SystemConfig sys = systemConfig(opts);
+    std::cout << "##### " << bench_name << " #####\n"
+              << sys.describe() << "datasets: Table 2 divided by "
+              << opts.divisor << "\n\n";
+}
+
+core::RunResult
+run(const core::ExperimentConfig &cfg)
+{
+    const auto start = std::chrono::steady_clock::now();
+    core::RunResult res = core::runExperiment(cfg);
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    note("  [%5.1fs] %-60s kernel=%s dtlb=%.1f%% huge=%s", wall,
+         cfg.label().c_str(),
+         formatSeconds(res.kernelSeconds).c_str(),
+         res.dtlbMissRate * 100.0,
+         formatBytes(res.hugeBackedBytes).c_str());
+    return res;
+}
+
+} // namespace gpsm::bench

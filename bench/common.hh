@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared bench-harness plumbing: argument parsing, paper-to-scaled
+ * unit conversion, standard config construction, and progress notes.
+ *
+ * Every figure bench prints (a) the Table 1 system header, (b) an
+ * aligned table with the same rows/series the paper reports, and
+ * (c) a CSV block for downstream plotting.
+ */
+
+#ifndef GPSM_BENCH_COMMON_HH
+#define GPSM_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace gpsm::bench
+{
+
+/** Command-line options shared by all figure benches. */
+struct Options
+{
+    /** Table 2 sizes divided by this (--divisor N, default 256). */
+    std::uint64_t divisor = 256;
+    /** --quick: tiny datasets, fewest configs (CI smoke mode). */
+    bool quick = false;
+    /** --datasets kron,twit,web,wiki */
+    std::vector<std::string> datasets{"kron", "twit", "web", "wiki"};
+    /** --apps bfs,sssp,pr */
+    std::vector<core::App> apps{core::App::Bfs, core::App::Sssp,
+                                core::App::Pr};
+    /** --paper: Haswell geometry (4KB/2MB) instead of scaled. */
+    bool paperGeometry = false;
+};
+
+/**
+ * Parse common options; unknown arguments are fatal. Also honors the
+ * GPSM_BENCH_DIVISOR / GPSM_BENCH_QUICK environment variables so the
+ * whole suite can be throttled without editing commands.
+ */
+Options parseOptions(int argc, char **argv);
+
+/** System configuration selected by the options. */
+core::SystemConfig systemConfig(const Options &opts);
+
+/**
+ * Convert a paper-scale quantity ("0.5GB of slack on the 64GB node")
+ * into the equivalent bytes on the configured node.
+ */
+std::int64_t paperGiB(double gib, const core::SystemConfig &sys);
+
+/** Baseline experiment config for one app/dataset under @p opts. */
+core::ExperimentConfig baseConfig(const Options &opts, core::App app,
+                                  const std::string &dataset);
+
+/** Progress note to stderr (stdout carries only tables). */
+void note(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print the standard bench header (system + option summary). */
+void printHeader(const std::string &bench_name, const Options &opts);
+
+/** Cached experiment execution with a progress note. */
+core::RunResult run(const core::ExperimentConfig &cfg);
+
+} // namespace gpsm::bench
+
+#endif // GPSM_BENCH_COMMON_HH

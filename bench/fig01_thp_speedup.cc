@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Paper Fig. 1: speedup of Linux's THP policy over 4KB-only pages, on
+ * a fresh machine (ideal) versus a realistic machine with constrained
+ * and fragmented memory, for all applications and datasets.
+ *
+ * Expected shape: ideal THP achieves clear speedups everywhere; under
+ * pressure the speedup collapses towards 1.0 while the baseline is
+ * unaffected.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+
+using namespace gpsm;
+using namespace gpsm::bench;
+using namespace gpsm::core;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseOptions(argc, argv);
+    printHeader("Fig. 1: THP speedup, fresh vs pressured machine",
+                opts);
+
+    TableWriter table("fig01");
+    table.setHeader({"app", "dataset", "thp ideal", "thp pressured",
+                     "dtlb 4k", "dtlb ideal", "dtlb pressured"});
+
+    for (App app : opts.apps) {
+        for (const std::string &ds : opts.datasets) {
+            ExperimentConfig base = baseConfig(opts, app, ds);
+            base.thpMode = vm::ThpMode::Never;
+            const RunResult r4k = run(base);
+
+            ExperimentConfig ideal = base;
+            ideal.thpMode = vm::ThpMode::Always;
+            const RunResult rideal = run(ideal);
+
+            // Realistic machine: +0.5GB-equivalent slack, 50% of the
+            // free memory fragmented by non-movable pages.
+            ExperimentConfig press = ideal;
+            press.constrainMemory = true;
+            press.slackBytes = paperGiB(0.5, press.sys);
+            press.fragLevel = 0.5;
+            const RunResult rpress = run(press);
+
+            table.addRow({appName(app), ds,
+                          TableWriter::speedup(speedupOver(r4k, rideal)),
+                          TableWriter::speedup(speedupOver(r4k, rpress)),
+                          TableWriter::pct(r4k.dtlbMissRate),
+                          TableWriter::pct(rideal.dtlbMissRate),
+                          TableWriter::pct(rpress.dtlbMissRate)});
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Paper Fig. 2: fraction of execution time spent on address
+ * translation (STLB hit penalties + page walks) with 4KB pages and
+ * with system-wide THP.
+ *
+ * Expected shape: translation consumes a substantial share of runtime
+ * with 4KB pages and a much smaller share with huge pages.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+
+using namespace gpsm;
+using namespace gpsm::bench;
+using namespace gpsm::core;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseOptions(argc, argv);
+    printHeader("Fig. 2: address translation share of runtime", opts);
+
+    TableWriter table("fig02");
+    table.setHeader({"app", "dataset", "4k trans share",
+                     "thp trans share", "4k kernel", "thp kernel"});
+
+    for (App app : opts.apps) {
+        for (const std::string &ds : opts.datasets) {
+            ExperimentConfig base = baseConfig(opts, app, ds);
+            base.thpMode = vm::ThpMode::Never;
+            const RunResult r4k = run(base);
+
+            ExperimentConfig thp = base;
+            thp.thpMode = vm::ThpMode::Always;
+            const RunResult rthp = run(thp);
+
+            table.addRow(
+                {appName(app), ds,
+                 TableWriter::pct(r4k.translationCycleShare),
+                 TableWriter::pct(rthp.translationCycleShare),
+                 formatSeconds(r4k.kernelSeconds),
+                 formatSeconds(rthp.kernelSeconds)});
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

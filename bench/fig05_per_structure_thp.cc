@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Paper Fig. 5: BFS speedup when THPs are applied to a single data
+ * structure at a time (via madvise) versus system-wide, with no
+ * memory pressure.
+ *
+ * Expected shape: property-array-only THP nearly matches system-wide
+ * THP; vertex- or edge-only THP achieve little.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+
+using namespace gpsm;
+using namespace gpsm::bench;
+using namespace gpsm::core;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = parseOptions(argc, argv);
+    printHeader("Fig. 5: per-data-structure THP speedups (BFS)", opts);
+
+    TableWriter table("fig05");
+    table.setHeader({"dataset", "vertex only", "edge only",
+                     "property only", "system-wide",
+                     "huge bytes (prop only)"});
+
+    for (const std::string &ds : opts.datasets) {
+        ExperimentConfig base = baseConfig(opts, App::Bfs, ds);
+        base.thpMode = vm::ThpMode::Never;
+        const RunResult r4k = run(base);
+
+        auto madvised = [&](MadviseSelection sel) {
+            ExperimentConfig cfg = base;
+            cfg.thpMode = vm::ThpMode::Madvise;
+            cfg.madvise = sel;
+            return run(cfg);
+        };
+
+        MadviseSelection vtx;
+        vtx.vertex = true;
+        const RunResult rvtx = madvised(vtx);
+
+        MadviseSelection edge;
+        edge.edge = true;
+        const RunResult redge = madvised(edge);
+
+        const RunResult rprop =
+            madvised(MadviseSelection::propertyOnly(1.0));
+
+        ExperimentConfig all = base;
+        all.thpMode = vm::ThpMode::Always;
+        const RunResult rall = run(all);
+
+        table.addRow({ds,
+                      TableWriter::speedup(speedupOver(r4k, rvtx)),
+                      TableWriter::speedup(speedupOver(r4k, redge)),
+                      TableWriter::speedup(speedupOver(r4k, rprop)),
+                      TableWriter::speedup(speedupOver(r4k, rall)),
+                      formatBytes(rprop.hugeBackedBytes)});
+    }
+    table.print(std::cout);
+    return 0;
+}

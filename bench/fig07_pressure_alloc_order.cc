@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Paper Fig. 7: THP performance under high memory pressure (free
+ * memory = WSS + 0.5GB-equivalent) with the natural allocation order
+ * (property array last) versus the graph-optimized order (property
+ * array first), for all applications and datasets.
+ *
+ * Expected shape: pressure erases most of THP's ideal gain under
+ * natural order; property-first recovers close to the ideal speedup.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+
+using namespace gpsm;
+using namespace gpsm::bench;
+using namespace gpsm::core;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseOptions(argc, argv);
+    printHeader("Fig. 7: THP under memory pressure, natural vs "
+                "property-first order",
+                opts);
+
+    TableWriter table("fig07");
+    table.setHeader({"app", "dataset", "thp ideal",
+                     "thp pressured natural",
+                     "thp pressured prop-first",
+                     "app huge bytes (natural)",
+                     "app huge bytes (prop-first)"});
+
+    for (App app : opts.apps) {
+        for (const std::string &ds : opts.datasets) {
+            ExperimentConfig base = baseConfig(opts, app, ds);
+            base.thpMode = vm::ThpMode::Never;
+            const RunResult r4k = run(base);
+
+            ExperimentConfig ideal = base;
+            ideal.thpMode = vm::ThpMode::Always;
+            const RunResult rideal = run(ideal);
+
+            ExperimentConfig natural = ideal;
+            natural.constrainMemory = true;
+            natural.slackBytes = paperGiB(0.5, natural.sys);
+            const RunResult rnat = run(natural);
+
+            ExperimentConfig optimized = natural;
+            optimized.order = AllocOrder::PropertyFirst;
+            const RunResult ropt = run(optimized);
+
+            table.addRow(
+                {appName(app), ds,
+                 TableWriter::speedup(speedupOver(r4k, rideal)),
+                 TableWriter::speedup(speedupOver(r4k, rnat)),
+                 TableWriter::speedup(speedupOver(r4k, ropt)),
+                 formatBytes(rnat.hugeBackedBytes),
+                 formatBytes(ropt.hugeBackedBytes)});
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Paper Fig. 10: selective THP combined with degree-based
+ * preprocessing, under low memory pressure (WSS + 3GB-equivalent) and
+ * 50% non-movable fragmentation, all applications and datasets.
+ *
+ * Bars: DBG alone (4KB pages), system-wide THP, DBG + system-wide
+ * THP, DBG + selective THP at s=50% and s=100% of the property array.
+ *
+ * Expected shape: selective THP (both s levels) outperforms
+ * system-wide THP under this environment; DBG alone helps networks
+ * without community structure (kron) but barely changes twit/wiki.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+
+using namespace gpsm;
+using namespace gpsm::bench;
+using namespace gpsm::core;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseOptions(argc, argv);
+    printHeader("Fig. 10: DBG + selective THP under pressure and "
+                "fragmentation",
+                opts);
+
+    TableWriter table("fig10");
+    table.setHeader({"app", "dataset", "dbg only", "thp system",
+                     "dbg+thp system", "dbg+sel 50%", "dbg+sel 100%",
+                     "huge frac (sel 50%)"});
+
+    for (App app : opts.apps) {
+        for (const std::string &ds : opts.datasets) {
+            ExperimentConfig base = baseConfig(opts, app, ds);
+            base.thpMode = vm::ThpMode::Never;
+            base.constrainMemory = true;
+            base.slackBytes = paperGiB(3.0, base.sys);
+            base.fragLevel = 0.5;
+            const RunResult r4k = run(base);
+
+            ExperimentConfig dbg = base;
+            dbg.reorder = graph::ReorderMethod::Dbg;
+            const RunResult rdbg = run(dbg);
+
+            ExperimentConfig thp = base;
+            thp.thpMode = vm::ThpMode::Always;
+            const RunResult rthp = run(thp);
+
+            ExperimentConfig dbg_thp = thp;
+            dbg_thp.reorder = graph::ReorderMethod::Dbg;
+            const RunResult rdbg_thp = run(dbg_thp);
+
+            auto selective = [&](double s) {
+                ExperimentConfig cfg = base;
+                cfg.thpMode = vm::ThpMode::Madvise;
+                cfg.reorder = graph::ReorderMethod::Dbg;
+                cfg.madvise = MadviseSelection::propertyOnly(s);
+                return run(cfg);
+            };
+            const RunResult rsel50 = selective(0.5);
+            const RunResult rsel100 = selective(1.0);
+
+            table.addRow(
+                {appName(app), ds,
+                 TableWriter::speedup(speedupOver(r4k, rdbg)),
+                 TableWriter::speedup(speedupOver(r4k, rthp)),
+                 TableWriter::speedup(speedupOver(r4k, rdbg_thp)),
+                 TableWriter::speedup(speedupOver(r4k, rsel50)),
+                 TableWriter::speedup(speedupOver(r4k, rsel100)),
+                 TableWriter::pct(rsel50.hugeFractionOfFootprint,
+                                  2)});
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

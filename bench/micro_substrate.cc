@@ -1,0 +1,184 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the substrate hot paths: buddy
+ * allocation, TLB lookups, full MMU accesses, compaction, DBG
+ * reordering and graph generation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/kernels.hh"
+#include "core/machine.hh"
+#include "core/views.hh"
+#include "graph/builder.hh"
+#include "graph/generators.hh"
+#include "graph/reorder.hh"
+#include "mem/buddy_allocator.hh"
+#include "mem/compactor.hh"
+#include "mem/memory_node.hh"
+#include "tlb/tlb.hh"
+#include "util/rng.hh"
+
+using namespace gpsm;
+
+namespace
+{
+
+void
+BM_BuddyAllocFree(benchmark::State &state)
+{
+    mem::BuddyAllocator buddy(1 << 16, 9);
+    std::vector<mem::FrameNum> live;
+    live.reserve(4096);
+    Rng rng(1);
+    for (auto _ : state) {
+        (void)_;
+        if (live.size() < 4096 && (live.empty() || rng.chance(0.55))) {
+            mem::FrameNum f =
+                buddy.allocate(0, mem::Migratetype::Movable, 1);
+            if (f != mem::invalidFrame)
+                live.push_back(f);
+        } else {
+            const size_t i = rng.below(live.size());
+            buddy.free(live[i]);
+            live[i] = live.back();
+            live.pop_back();
+        }
+    }
+    for (mem::FrameNum f : live)
+        buddy.free(f);
+}
+BENCHMARK(BM_BuddyAllocFree);
+
+void
+BM_BuddyHugeAlloc(benchmark::State &state)
+{
+    mem::BuddyAllocator buddy(1 << 16, 9);
+    for (auto _ : state) {
+        (void)_;
+        mem::FrameNum f =
+            buddy.allocate(9, mem::Migratetype::Movable, 1);
+        benchmark::DoNotOptimize(f);
+        buddy.free(f);
+    }
+}
+BENCHMARK(BM_BuddyHugeAlloc);
+
+void
+BM_TlbLookupHit(benchmark::State &state)
+{
+    tlb::Tlb t("t", {tlb::TlbGeometry{64, 4}, tlb::TlbGeometry{32, 4}});
+    for (std::uint64_t v = 0; v < 64; ++v)
+        t.insert(v, vm::PageSizeClass::Base, v);
+    std::uint64_t v = 0;
+    for (auto _ : state) {
+        (void)_;
+        benchmark::DoNotOptimize(
+            t.lookup(v++ & 63, vm::PageSizeClass::Base));
+    }
+}
+BENCHMARK(BM_TlbLookupHit);
+
+void
+BM_MmuAccessHot(benchmark::State &state)
+{
+    core::SystemConfig cfg = core::SystemConfig::scaled();
+    cfg.node.bytes = 64_MiB;
+    core::SimMachine m(cfg, vm::ThpConfig::never());
+    core::SimArray<std::uint64_t> arr(m, 1 << 16, "a",
+                                      core::TagProperty);
+    arr.fill(1);
+    Rng rng(2);
+    for (auto _ : state) {
+        (void)_;
+        benchmark::DoNotOptimize(arr.get(rng.below(1 << 16)));
+    }
+}
+BENCHMARK(BM_MmuAccessHot);
+
+void
+BM_Compaction(benchmark::State &state)
+{
+    for (auto _ : state) {
+        (void)_;
+        state.PauseTiming();
+        mem::MemoryNode::Params p;
+        p.bytes = 16_MiB;
+        p.basePageBytes = 4_KiB;
+        p.hugeOrder = 6;
+        mem::MemoryNode node(p);
+        // One movable page per region (worst-case scatter), owned by
+        // the page cache so migration callbacks run.
+        mem::PageCache cache(node);
+        for (std::uint64_t r = 0; r < 64; ++r)
+            (void)node.buddy().allocateExact(
+                r * 64 + 13, 0, mem::Migratetype::Movable, 0);
+        state.ResumeTiming();
+
+        mem::Compactor compactor(node);
+        benchmark::DoNotOptimize(compactor.createHugeRegion());
+    }
+}
+BENCHMARK(BM_Compaction);
+
+void
+BM_DbgReorder(benchmark::State &state)
+{
+    graph::RmatParams p;
+    p.scale = 16;
+    p.edgeFactor = 16;
+    graph::Builder b(1u << p.scale);
+    const graph::CsrGraph g = b.fromEdges(graph::rmatEdges(p));
+    for (auto _ : state) {
+        (void)_;
+        auto mapping =
+            graph::reorderMapping(g, graph::ReorderMethod::Dbg);
+        benchmark::DoNotOptimize(mapping.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(g.numEdges()));
+}
+BENCHMARK(BM_DbgReorder);
+
+void
+BM_RmatGenerate(benchmark::State &state)
+{
+    graph::RmatParams p;
+    p.scale = 14;
+    p.edgeFactor = 8;
+    for (auto _ : state) {
+        (void)_;
+        auto edges = graph::rmatEdges(p);
+        benchmark::DoNotOptimize(edges.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(p.edgeFactor * (1u << p.scale)));
+}
+BENCHMARK(BM_RmatGenerate);
+
+void
+BM_NativeBfs(benchmark::State &state)
+{
+    graph::RmatParams p;
+    p.scale = 15;
+    p.edgeFactor = 8;
+    graph::Builder b(1u << p.scale);
+    const graph::CsrGraph g = b.fromEdges(graph::rmatEdges(p));
+    const graph::NodeId root = core::defaultRoot(g);
+    for (auto _ : state) {
+        (void)_;
+        core::NativeView<std::uint64_t> view(g, {});
+        view.load(core::unreachedDist);
+        benchmark::DoNotOptimize(core::bfs(view, root));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(g.numEdges()));
+}
+BENCHMARK(BM_NativeBfs);
+
+} // namespace
+
+BENCHMARK_MAIN();

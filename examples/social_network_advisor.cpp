@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Social-network analytics scenario (paper §1's motivation, §5.2's
+ * automation outlook): run BFS "degrees of separation" on two
+ * structurally different networks and let the PageSizeAdvisor decide,
+ * per input, whether DBG reordering is worthwhile and how much of the
+ * property array deserves huge pages.
+ *
+ * Usage: social_network_advisor [scale_divisor]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/advisor.hh"
+#include "core/experiment.hh"
+#include "graph/datasets.hh"
+#include "util/table.hh"
+
+using namespace gpsm;
+using namespace gpsm::core;
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t divisor = 256;
+    if (argc > 1)
+        divisor = std::strtoull(argv[1], nullptr, 10);
+
+    const SystemConfig sys = SystemConfig::scaled();
+    TableWriter table("advisor-directed BFS under pressure");
+    table.setHeader({"network", "advice", "speedup vs 4k",
+                     "huge frac of footprint"});
+
+    for (const char *ds : {"kron", "twit"}) {
+        const graph::CsrGraph g = graph::makeDataset(
+            graph::datasetByName(ds), divisor);
+        const PageSizeAdvice advice =
+            advisePageSizes(g, sys, /*target_coverage=*/0.8);
+        std::cout << ds << ": " << advice.describe() << '\n';
+
+        ExperimentConfig base;
+        base.sys = sys;
+        base.app = App::Bfs;
+        base.dataset = ds;
+        base.scaleDivisor = divisor;
+        base.constrainMemory = true;
+        base.slackBytes =
+            static_cast<std::int64_t>(sys.node.bytes / 24);
+        base.fragLevel = 0.5;
+        base.thpMode = vm::ThpMode::Never;
+        const RunResult r4k = runExperiment(base);
+
+        ExperimentConfig advised = base;
+        advised.thpMode = vm::ThpMode::Madvise;
+        advised.order = AllocOrder::PropertyFirst;
+        advised.reorder = advice.useDbg
+                              ? graph::ReorderMethod::Dbg
+                              : graph::ReorderMethod::None;
+        advised.madvise = MadviseSelection::propertyOnly(
+            advice.propertyFraction);
+        const RunResult radv = runExperiment(advised);
+
+        table.addRow({ds, advice.describe(),
+                      TableWriter::speedup(speedupOver(r4k, radv)),
+                      TableWriter::pct(radv.hugeFractionOfFootprint,
+                                       2)});
+    }
+    std::cout << '\n';
+    table.print(std::cout, /*with_csv=*/false);
+    return 0;
+}

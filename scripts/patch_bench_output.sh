@@ -1,0 +1,48 @@
+#!/bin/bash
+# Re-run benches whose binaries changed after a full suite run and
+# splice their sections back into the combined output, keeping the
+# file's glob order. Usage: scripts/patch_bench_output.sh out.txt bench...
+set -eu
+out=$1
+shift
+for name in "$@"; do
+    bin=build/bench/$name
+    [ -x "$bin" ] || { echo "no such bench: $name" >&2; exit 1; }
+    "$bin" > "/tmp/patch_$name.txt" 2>/dev/null
+done
+python3 - "$out" "$@" <<'PYEOF'
+import sys
+out = sys.argv[1]
+names = sys.argv[2:]
+text = open(out).read()
+lines = text.splitlines(keepends=True)
+# Identify section boundaries.
+marks = [i for i, l in enumerate(lines) if l.startswith("=====")]
+sections = {}
+order = []
+for j, i in enumerate(marks):
+    name = lines[i].strip().strip("=").strip().split("/")[-1]
+    end = marks[j + 1] if j + 1 < len(marks) else len(lines)
+    sections[name] = "".join(lines[i + 1:end]).rstrip("\n") + "\n"
+    order.append(name)
+tail = ""
+for name in names:
+    body = open(f"/tmp/patch_{name}.txt").read()
+    if name in sections:
+        sections[name] = body
+    else:
+        order.append(name)
+        sections[name] = body
+order = sorted(set(order), key=lambda n: n)  # glob order = alphabetical
+done = "ALL_BENCHES_DONE\n" if "ALL_BENCHES_DONE" in text else ""
+with open(out, "w") as f:
+    for name in order:
+        if name == "ALL_BENCHES_DONE":
+            continue
+        f.write(f"===== build/bench/{name} =====\n")
+        f.write(sections[name])
+        if not sections[name].endswith("\n"):
+            f.write("\n")
+    f.write(done)
+PYEOF
+echo "patched: $*"

@@ -1,0 +1,13 @@
+#!/bin/bash
+# Run every bench binary, teeing combined output. Usage:
+#   scripts/run_benches.sh [output_file] [extra bench args...]
+set -u
+out=${1:-bench_output.txt}
+shift || true
+: > "$out"
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "===== $b =====" >> "$out"
+    "$b" "$@" >> "$out" 2>> "${out%.txt}_progress.log"
+done
+echo "ALL_BENCHES_DONE" >> "$out"

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Page-size advisor: the paper's closing argument (§5.2, §7) is that
+ * huge-page placement should be derived from application knowledge.
+ * This component automates the manual recipe: estimate how much of the
+ * property-array access mass a given hot prefix covers, decide whether
+ * DBG reordering is worthwhile, and pick the madvise fraction s.
+ */
+
+#ifndef GPSM_CORE_ADVISOR_HH
+#define GPSM_CORE_ADVISOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/system_config.hh"
+#include "graph/csr.hh"
+
+namespace gpsm::core
+{
+
+/** Recommended page-size management plan for one graph workload. */
+struct PageSizeAdvice
+{
+    /** Apply Degree-Based Grouping before loading. */
+    bool useDbg = false;
+    /** madvise(MADV_HUGEPAGE) this fraction of the property array. */
+    double propertyFraction = 1.0;
+    /** Huge pages that fraction costs on the configured system. */
+    std::uint64_t hugePagesNeeded = 0;
+    /** Estimated fraction of property accesses landing in the advised
+     *  prefix (the access-mass coverage the plan buys). */
+    double expectedCoverage = 0.0;
+    /** Coverage the same fraction would reach without reordering. */
+    double coverageWithoutDbg = 0.0;
+
+    std::string describe() const;
+};
+
+/**
+ * Analyze @p graph and produce a plan whose advised prefix covers at
+ * least @p target_coverage of the property-array access mass
+ * (in-degree mass), using as few huge pages as possible.
+ *
+ * DBG is recommended when reordering materially shrinks the prefix
+ * needed for the target (it does for scattered-hub networks like
+ * Kronecker; it does not for crawl-ordered social networks, §5.2).
+ *
+ * Cost: two O(V + E) passes plus one O(V log V) sort — comparable to
+ * the DBG preprocessing itself.
+ */
+PageSizeAdvice advisePageSizes(const graph::CsrGraph &graph,
+                               const SystemConfig &sys,
+                               double target_coverage = 0.8);
+
+} // namespace gpsm::core
+
+#endif // GPSM_CORE_ADVISOR_HH

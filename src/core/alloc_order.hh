@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Allocation-order policy shared by views and experiment configs.
+ */
+
+#ifndef GPSM_CORE_ALLOC_ORDER_HH
+#define GPSM_CORE_ALLOC_ORDER_HH
+
+#include <cstdint>
+
+namespace gpsm::core
+{
+
+/**
+ * Order in which the arrays are faulted in during loading (paper
+ * Figs. 7-8): Natural loads CSR data first and initializes the
+ * property array last; PropertyFirst initializes the property array
+ * before any CSR data, prioritizing it for scarce huge pages.
+ */
+enum class AllocOrder : std::uint8_t
+{
+    Natural,
+    PropertyFirst,
+};
+
+const char *allocOrderName(AllocOrder order);
+
+} // namespace gpsm::core
+
+#endif // GPSM_CORE_ALLOC_ORDER_HH

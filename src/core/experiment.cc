@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Experiment harness implementation.
+ */
+
+#include "core/experiment.hh"
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "core/kernels.hh"
+#include "core/machine.hh"
+#include "core/views.hh"
+#include "graph/datasets.hh"
+#include "mem/fragmenter.hh"
+#include "mem/memhog.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace gpsm::core
+{
+
+const char *
+appName(App app)
+{
+    switch (app) {
+      case App::Bfs: return "bfs";
+      case App::Sssp: return "sssp";
+      case App::Pr: return "pr";
+      case App::Cc: return "cc";
+    }
+    return "?";
+}
+
+std::string
+ExperimentConfig::label() const
+{
+    std::ostringstream os;
+    os << appName(app) << '/' << dataset << ' '
+       << vm::thpModeName(thpMode);
+    if (thpMode == vm::ThpMode::Madvise) {
+        os << "(prop " << static_cast<int>(
+            madvise.propertyFraction * 100) << "%";
+        if (madvise.vertex)
+            os << "+vtx";
+        if (madvise.edge)
+            os << "+edge";
+        if (madvise.values)
+            os << "+val";
+        os << ')';
+    }
+    os << ' ' << allocOrderName(order);
+    if (reorder != graph::ReorderMethod::None)
+        os << ' ' << graph::reorderMethodName(reorder);
+    if (constrainMemory)
+        os << " slack=" << slackBytes / (1024 * 1024) << "MiB";
+    if (fragLevel > 0.0)
+        os << " frag=" << static_cast<int>(fragLevel * 100) << '%';
+    return os.str();
+}
+
+namespace
+{
+
+/** Working-set bytes for a built graph under one app. */
+std::uint64_t
+wssOf(const graph::CsrGraph &g, App app)
+{
+    const std::uint64_t n = g.numNodes();
+    const std::uint64_t m = g.numEdges();
+    std::uint64_t bytes = (n + 1) * sizeof(graph::EdgeIdx) +
+                          m * sizeof(graph::NodeId) +
+                          n * 8 /* property */;
+    if (app == App::Sssp)
+        bytes += m * sizeof(graph::Weight);
+    if (app == App::Pr)
+        bytes += n * 8; // aux rank accumulators
+    return bytes;
+}
+
+/** Modeled preprocessing cost (paper §5.1.2). */
+double
+preprocessSeconds(const graph::CsrGraph &g, graph::ReorderMethod method,
+                  const tlb::CostModel &costs)
+{
+    const double n = g.numNodes();
+    const double m = g.numEdges();
+    double work_cycles = 0.0;
+    switch (method) {
+      case graph::ReorderMethod::None:
+        return 0.0;
+      case graph::ReorderMethod::Dbg:
+        // Three linear traversals (degree pass is edge-sized).
+        work_cycles = 3.0 * static_cast<double>(
+            graph::dbgTraversalWork(g));
+        break;
+      case graph::ReorderMethod::SortByDegree:
+        work_cycles = m + 10.0 * n * std::log2(std::max(n, 2.0));
+        break;
+      case graph::ReorderMethod::HubSort:
+        work_cycles = m + 4.0 * n;
+        break;
+      case graph::ReorderMethod::Random:
+        work_cycles = 4.0 * n;
+        break;
+    }
+    // Relabeling rewrites the edge array once.
+    work_cycles += 2.0 * m;
+    return work_cycles / (costs.frequencyGhz * 1e9);
+}
+
+/** Point-in-time copy of the Mmu accounting counters. */
+struct MmuSnap
+{
+    std::uint64_t accesses, dtlbMisses, stlbHits, walks;
+    std::uint64_t base, memory, translation, fault, os, io;
+
+    static MmuSnap
+    take(const tlb::Mmu &mmu)
+    {
+        return MmuSnap{mmu.accesses.value(),
+                       mmu.dtlbMisses.value(),
+                       mmu.stlbHits.value(),
+                       mmu.walks.value(),
+                       mmu.baseCycles.value(),
+                       mmu.memoryCycles.value(),
+                       mmu.translationCycles.value(),
+                       mmu.faultCycles.value(),
+                       mmu.osCycles.value(),
+                       mmu.ioCycles.value()};
+    }
+
+    std::uint64_t
+    totalCycles() const
+    {
+        return base + memory + translation + fault + os + io;
+    }
+};
+
+/** Kernel dispatch result. */
+struct KernelOutcome
+{
+    std::uint64_t output = 0;
+    std::uint64_t checksum = 0;
+};
+
+/**
+ * Tiny dataset cache: figure benches sweep many policies over the same
+ * graph, and regeneration dominates wall-clock otherwise. Keyed by
+ * (dataset, divisor, weighted, seed); bounded to a few entries.
+ */
+const graph::CsrGraph &
+cachedDataset(const std::string &name, std::uint64_t divisor,
+              bool weighted, std::uint64_t seed)
+{
+    struct Entry
+    {
+        std::string key;
+        graph::CsrGraph graph;
+    };
+    static std::vector<Entry> cache;
+    std::ostringstream key;
+    key << name << '/' << divisor << '/' << weighted << '/' << seed;
+    for (const Entry &e : cache)
+        if (e.key == key.str())
+            return e.graph;
+    if (cache.size() >= 4)
+        cache.erase(cache.begin());
+    cache.push_back(Entry{
+        key.str(), graph::makeDataset(graph::datasetByName(name),
+                                      divisor, weighted, seed)});
+    return cache.back().graph;
+}
+
+} // anonymous namespace
+
+std::uint64_t
+workingSetBytes(const ExperimentConfig &cfg)
+{
+    const graph::CsrGraph &g = cachedDataset(
+        cfg.dataset, cfg.scaleDivisor, cfg.app == App::Sssp, cfg.seed);
+    return wssOf(g, cfg.app);
+}
+
+RunResult
+runExperiment(const ExperimentConfig &cfg)
+{
+    RunResult res;
+
+    // 1. Build the dataset (this models reading the input files; the
+    //    graph itself lives host-side until loaded into the view).
+    const graph::CsrGraph &base_graph = cachedDataset(
+        cfg.dataset, cfg.scaleDivisor, cfg.app == App::Sssp, cfg.seed);
+
+    // 2. Preprocess (DBG etc.) — performed separately so it does not
+    //    disturb huge-page availability (§5.1.2), with its runtime
+    //    charged to the configuration.
+    graph::CsrGraph reordered;
+    const graph::CsrGraph *gp = &base_graph;
+    if (cfg.reorder != graph::ReorderMethod::None) {
+        res.preprocessSeconds =
+            preprocessSeconds(base_graph, cfg.reorder, cfg.sys.costs);
+        const auto mapping =
+            graph::reorderMapping(base_graph, cfg.reorder, cfg.seed);
+        reordered = graph::applyMapping(base_graph, mapping);
+        gp = &reordered;
+    }
+    const graph::CsrGraph &g = *gp;
+
+    // 3. Assemble the machine with the requested THP policy.
+    vm::ThpConfig thp;
+    switch (cfg.thpMode) {
+      case vm::ThpMode::Never:
+        thp = vm::ThpConfig::never();
+        break;
+      case vm::ThpMode::Always:
+        thp = vm::ThpConfig::always();
+        break;
+      case vm::ThpMode::Madvise:
+        thp = vm::ThpConfig::madvise();
+        break;
+    }
+    thp.khugepagedEnabled =
+        thp.mode != vm::ThpMode::Never && cfg.khugepagedAfterInit;
+    thp.khugepagedMinPresent = cfg.khugepagedMinPresent;
+    thp.khugepagedScanPages = cfg.khugepagedScanPages;
+    thp.khugepagedHotFirst = cfg.khugepagedHotFirst;
+
+    SystemConfig sys = cfg.sys;
+    if (cfg.giantProperty && sys.node.giantPoolPages == 0) {
+        // Auto-size the boot-time reservation to cover the property
+        // (+aux) arrays, each rounded up to whole giant pages.
+        if (sys.node.giantOrder == 0)
+            fatal("giantProperty requires a giant page size");
+        const std::uint64_t giant_bytes = sys.node.basePageBytes
+                                          << sys.node.giantOrder;
+        const std::uint64_t prop_bytes =
+            static_cast<std::uint64_t>(g.numNodes()) * 8;
+        sys.node.giantPoolPages =
+            divCeil(prop_bytes, giant_bytes) *
+            (cfg.app == App::Pr ? 2 : 1);
+    }
+
+    SimMachine machine(sys, thp);
+    if (cfg.khugepagedDuringKernel && thp.khugepagedEnabled)
+        machine.enableKhugepagedDuringExecution(
+            cfg.khugepagedIntervalAccesses);
+
+    // 4. Age the machine: memhog pins memory down to WSS + slack, then
+    //    the frag tool poisons the remaining free memory (§4.3-4.4).
+    mem::Memhog memhog(machine.node());
+    mem::Fragmenter fragmenter(machine.node());
+    const std::uint64_t wss = wssOf(g, cfg.app);
+    if (cfg.constrainMemory) {
+        const std::int64_t target =
+            static_cast<std::int64_t>(wss) + cfg.slackBytes;
+        memhog.occupyAllBut(target > 0 ? static_cast<std::uint64_t>(
+                                             target)
+                                       : 0);
+    }
+    if (cfg.fragLevel > 0.0)
+        fragmenter.fragment(cfg.fragLevel);
+
+    // 5/6. Load and execute, separating init- and kernel-phase costs.
+    tlb::Mmu &mmu = machine.mmu();
+    const MmuSnap before_init = MmuSnap::take(mmu);
+
+    KernelOutcome outcome;
+    MmuSnap before_kernel{};
+    auto run = [&](auto prop_tag) {
+        using PropT = decltype(prop_tag);
+        typename SimView<PropT>::Options vopts;
+        vopts.order = cfg.order;
+        vopts.needValues = cfg.app == App::Sssp;
+        vopts.needAux = cfg.app == App::Pr;
+        vopts.fileSource = cfg.fileSource;
+        vopts.giantProperty = cfg.giantProperty;
+
+        SimView<PropT> view(machine, g, vopts);
+
+        if (cfg.thpMode == vm::ThpMode::Madvise) {
+            if (cfg.madvise.vertex)
+                view.adviseVertexArray();
+            if (cfg.madvise.edge)
+                view.adviseEdgeArray();
+            if (cfg.madvise.values && cfg.app == App::Sssp)
+                view.adviseValuesArray();
+            if (cfg.madvise.propertyFraction > 0.0)
+                view.advisePropertyFraction(
+                    cfg.madvise.propertyFraction);
+        }
+
+        PropT init_value{};
+        if constexpr (std::is_same_v<PropT, std::uint64_t>) {
+            init_value = (cfg.app == App::Cc) ? 0 : unreachedDist;
+        } else {
+            init_value = static_cast<PropT>(1.0 / g.numNodes());
+        }
+        view.load(init_value);
+
+        if (cfg.khugepagedAfterInit)
+            machine.runKhugepaged();
+
+        // Record huge-page usage at steady state (post-init).
+        res.footprintBytes = machine.space().footprintBytes();
+        res.hugeBackedBytes = machine.space().hugeBackedBytes();
+        res.giantBackedBytes = machine.space().giantBackedBytes();
+
+        before_kernel = MmuSnap::take(mmu);
+        if constexpr (std::is_same_v<PropT, std::uint64_t>) {
+            const graph::NodeId root = defaultRoot(g);
+            if (cfg.app == App::Bfs)
+                outcome.output = bfs(view, root);
+            else if (cfg.app == App::Sssp)
+                outcome.output = sssp(view, root, cfg.ssspDelta);
+            else
+                outcome.output = labelPropagation(view, cfg.ccMaxIters);
+        } else {
+            outcome.output =
+                pagerank(view, cfg.prMaxIters, cfg.prDamping,
+                         cfg.prEpsilon)
+                    .iterations;
+        }
+        outcome.checksum = propChecksum(view.propRaw());
+    };
+
+    if (cfg.app == App::Pr)
+        run(double{});
+    else
+        run(std::uint64_t{});
+
+    const MmuSnap after = MmuSnap::take(mmu);
+    const tlb::CostModel &costs = sys.costs;
+
+    res.initSeconds =
+        costs.seconds(before_kernel.totalCycles() -
+                      before_init.totalCycles());
+    res.kernelSeconds = costs.seconds(after.totalCycles() -
+                                      before_kernel.totalCycles());
+
+    res.accesses = after.accesses - before_kernel.accesses;
+    res.dtlbMisses = after.dtlbMisses - before_kernel.dtlbMisses;
+    res.stlbHits = after.stlbHits - before_kernel.stlbHits;
+    res.walks = after.walks - before_kernel.walks;
+    res.dtlbMissRate =
+        res.accesses ? static_cast<double>(res.dtlbMisses) /
+                           static_cast<double>(res.accesses)
+                     : 0.0;
+    res.stlbMissRate =
+        res.accesses ? static_cast<double>(res.walks) /
+                           static_cast<double>(res.accesses)
+                     : 0.0;
+    const std::uint64_t kernel_cycles =
+        after.totalCycles() - before_kernel.totalCycles();
+    res.translationCycleShare =
+        kernel_cycles
+            ? static_cast<double>(after.translation -
+                                  before_kernel.translation) /
+                  static_cast<double>(kernel_cycles)
+            : 0.0;
+
+    const vm::AddressSpace &space = machine.space();
+    res.hugeFaults = space.hugeFaults.value();
+    res.minorFaults = space.minorFaults.value();
+    res.majorFaults = space.majorFaults.value();
+    res.swapOuts = space.swapOutPages.value();
+    res.promotions = space.promotions.value();
+    res.compactionRuns = machine.node().compactionRuns.value();
+    res.compactionPagesMigrated =
+        machine.node().compactionPagesMigrated.value();
+
+    res.hugeFractionOfFootprint =
+        res.footprintBytes
+            ? static_cast<double>(res.hugeBackedBytes) /
+                  static_cast<double>(res.footprintBytes)
+            : 0.0;
+
+    res.checksum = outcome.checksum;
+    res.kernelOutput = outcome.output;
+    return res;
+}
+
+double
+speedupOver(const RunResult &baseline, const RunResult &result)
+{
+    const double base_time = baseline.kernelSeconds;
+    const double opt_time =
+        result.kernelSeconds + result.preprocessSeconds;
+    return opt_time > 0.0 ? base_time / opt_time : 0.0;
+}
+
+} // namespace gpsm::core

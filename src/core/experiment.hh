@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Experiment harness: one call reproduces one bar of one paper figure.
+ *
+ * An ExperimentConfig captures application, dataset, page-size policy,
+ * memory-pressure environment and preprocessing; runExperiment()
+ * assembles the machine, ages its memory, loads the graph, executes
+ * the kernel, and reports the paper's metrics (runtime, TLB miss
+ * rates, huge-page usage).
+ */
+
+#ifndef GPSM_CORE_EXPERIMENT_HH
+#define GPSM_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/alloc_order.hh"
+#include "core/file_source.hh"
+#include "core/system_config.hh"
+#include "graph/csr.hh"
+#include "graph/reorder.hh"
+#include "vm/thp_config.hh"
+
+namespace gpsm::core
+{
+
+/** The paper's three applications plus the label-propagation extra. */
+enum class App : std::uint8_t
+{
+    Bfs,
+    Sssp,
+    Pr,
+    Cc,
+};
+
+const char *appName(App app);
+
+/** Which arrays receive madvise(MADV_HUGEPAGE) in Madvise mode. */
+struct MadviseSelection
+{
+    bool vertex = false;
+    bool edge = false;
+    bool values = false;
+    /** Fraction of the property (+aux) array, 0.0-1.0 (paper's s%). */
+    double propertyFraction = 0.0;
+
+    static MadviseSelection
+    propertyOnly(double fraction = 1.0)
+    {
+        MadviseSelection s;
+        s.propertyFraction = fraction;
+        return s;
+    }
+    static MadviseSelection
+    all()
+    {
+        return MadviseSelection{true, true, true, 1.0};
+    }
+};
+
+/** Full description of one experimental run. */
+struct ExperimentConfig
+{
+    SystemConfig sys = SystemConfig::scaled();
+
+    App app = App::Bfs;
+    std::string dataset = "kron";
+    /** Table 2 sizes divided by this. */
+    std::uint64_t scaleDivisor = 128;
+    std::uint64_t seed = 1;
+
+    graph::ReorderMethod reorder = graph::ReorderMethod::None;
+
+    /** Page-size policy. */
+    vm::ThpMode thpMode = vm::ThpMode::Never;
+    MadviseSelection madvise;
+    AllocOrder order = AllocOrder::Natural;
+    bool khugepagedAfterInit = true;
+    /** khugepaged utilization threshold (present base pages required
+     *  for a collapse; 1 = Linux greedy, higher = Ingens-style). */
+    std::uint64_t khugepagedMinPresent = 1;
+    /** khugepaged scan budget per wakeup, in base pages. */
+    std::uint64_t khugepagedScanPages = 4096;
+    /** HawkEye-style access-tracking promotion order. */
+    bool khugepagedHotFirst = false;
+    /** Run khugepaged periodically while the kernel executes (not
+     *  just once after init), waking every this many accesses. */
+    bool khugepagedDuringKernel = false;
+    std::uint64_t khugepagedIntervalAccesses = 1u << 21;
+
+    /**
+     * Memory-pressure environment: pin node memory until only
+     * WSS + slackBytes remain free (paper §4.3.1's memhog setup).
+     * Negative slack oversubscribes. No memhog runs when disabled.
+     */
+    bool constrainMemory = false;
+    std::int64_t slackBytes = 0;
+
+    /** Non-movable fragmentation level of the remaining free memory
+     *  (paper §4.4.1's frag tool), applied after memhog. */
+    double fragLevel = 0.0;
+
+    /** Where input files are staged during loading (paper §4.3). */
+    FileSource fileSource = FileSource::TmpfsRemote;
+
+    /**
+     * Back the property (+aux) arrays with giant pages (requires
+     * sys.node.giantPoolPages to cover them). Extension beyond the
+     * paper's 2MB THP focus.
+     */
+    bool giantProperty = false;
+
+    /** @name Kernel parameters @{ */
+    std::uint32_t prMaxIters = 4;
+    double prDamping = 0.85;
+    double prEpsilon = 1e-7; // effectively "run prMaxIters"
+    std::uint32_t ssspDelta = 32;
+    std::uint32_t ccMaxIters = 8;
+    /** @} */
+
+    /** One-line label for tables. */
+    std::string label() const;
+};
+
+/** Everything a bench needs to print one figure bar. */
+struct RunResult
+{
+    /** @name Simulated time @{ */
+    double initSeconds = 0.0;
+    double kernelSeconds = 0.0;
+    double preprocessSeconds = 0.0; ///< DBG sorting cost (§5.1.2)
+    /** @} */
+
+    /** @name Kernel-phase translation behaviour (Figs. 2-3) @{ */
+    std::uint64_t accesses = 0;
+    std::uint64_t dtlbMisses = 0;
+    std::uint64_t stlbHits = 0;
+    std::uint64_t walks = 0;
+    double dtlbMissRate = 0.0;
+    double stlbMissRate = 0.0; ///< walks / accesses
+    double translationCycleShare = 0.0; ///< Fig. 2's overhead share
+    /** @} */
+
+    /** @name Memory-management events (whole run) @{ */
+    std::uint64_t hugeFaults = 0;
+    std::uint64_t minorFaults = 0;
+    std::uint64_t majorFaults = 0;
+    std::uint64_t swapOuts = 0;
+    std::uint64_t compactionRuns = 0;
+    std::uint64_t compactionPagesMigrated = 0;
+    std::uint64_t promotions = 0;
+    /** @} */
+
+    /** @name Huge-page efficiency (paper's 0.58-2.92% headline) @{ */
+    std::uint64_t footprintBytes = 0;
+    std::uint64_t hugeBackedBytes = 0;
+    std::uint64_t giantBackedBytes = 0;
+    double hugeFractionOfFootprint = 0.0;
+    /** @} */
+
+    /** Result checksum: must match across page-size policies. */
+    std::uint64_t checksum = 0;
+    /** Kernel-specific output (reached vertices / iterations). */
+    std::uint64_t kernelOutput = 0;
+};
+
+/**
+ * Run one experiment end to end. Deterministic for a given config.
+ */
+RunResult runExperiment(const ExperimentConfig &config);
+
+/**
+ * Convenience: working-set size (bytes) the given app/dataset/divisor
+ * will occupy, used to express paper-style "WSS + slack" scenarios.
+ */
+std::uint64_t workingSetBytes(const ExperimentConfig &config);
+
+/**
+ * The speedup of @p result over @p baseline (ratio of kernel times,
+ * with preprocessing charged to the optimized configuration as in
+ * §5.1.2).
+ */
+double speedupOver(const RunResult &baseline, const RunResult &result);
+
+} // namespace gpsm::core
+
+#endif // GPSM_CORE_EXPERIMENT_HH

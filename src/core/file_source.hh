@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Where graph input files are read from during loading (paper §4.3).
+ */
+
+#ifndef GPSM_CORE_FILE_SOURCE_HH
+#define GPSM_CORE_FILE_SOURCE_HH
+
+#include <cstdint>
+
+namespace gpsm::core
+{
+
+/**
+ * The paper identifies the input files' journey into memory as a
+ * huge-page hazard: reading through the local page cache leaves
+ * single-use pages squatting on the free memory the application
+ * needs. Its mitigations differ in load cost and interference:
+ *
+ * - TmpfsRemote: files staged in tmpfs bound to the other NUMA node
+ *   (the paper's controlled setup). No local interference; loads pay
+ *   remote-DRAM latency.
+ * - PageCacheLocal: the default OS path. Fastest reads, but the cache
+ *   occupies local free memory during loading.
+ * - DirectIo: bypasses the cache entirely; loads pay storage latency.
+ */
+enum class FileSource : std::uint8_t
+{
+    TmpfsRemote,
+    PageCacheLocal,
+    DirectIo,
+};
+
+const char *fileSourceName(FileSource source);
+
+} // namespace gpsm::core
+
+#endif // GPSM_CORE_FILE_SOURCE_HH

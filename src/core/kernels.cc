@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Non-template kernel helpers.
+ */
+
+#include "core/kernels.hh"
+
+#include "core/views.hh"
+
+namespace gpsm::core
+{
+
+graph::NodeId
+defaultRoot(const graph::CsrGraph &graph)
+{
+    graph::NodeId best = 0;
+    graph::EdgeIdx best_deg = 0;
+    for (graph::NodeId v = 0; v < graph.numNodes(); ++v) {
+        const graph::EdgeIdx deg = graph.outDegree(v);
+        if (deg > best_deg) {
+            best_deg = deg;
+            best = v;
+        }
+    }
+    return best;
+}
+
+const char *
+arrayTagName(unsigned tag)
+{
+    switch (tag) {
+      case TagVertex: return "vertex";
+      case TagEdge: return "edge";
+      case TagValues: return "values";
+      case TagProperty: return "property";
+      default: return "other";
+    }
+}
+
+const char *
+allocOrderName(AllocOrder order)
+{
+    return order == AllocOrder::PropertyFirst ? "prop-first" : "natural";
+}
+
+const char *
+fileSourceName(FileSource source)
+{
+    switch (source) {
+      case FileSource::TmpfsRemote: return "tmpfs-remote";
+      case FileSource::PageCacheLocal: return "page-cache";
+      case FileSource::DirectIo: return "direct-io";
+    }
+    return "?";
+}
+
+} // namespace gpsm::core

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Push-based graph kernels (paper §3.2), templated over the view type
+ * so one implementation runs both natively (oracle) and through the
+ * simulated memory system.
+ *
+ * Worklist/frontier containers are host-side: they are small, accessed
+ * sequentially, and excluded from the paper's four-array analysis
+ * (Fig. 4 profiles the vertex/edge/values/property arrays).
+ */
+
+#ifndef GPSM_CORE_KERNELS_HH
+#define GPSM_CORE_KERNELS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/csr.hh"
+#include "util/logging.hh"
+
+namespace gpsm::core
+{
+
+/** Unreached distance marker for BFS/SSSP property arrays. */
+constexpr std::uint64_t unreachedDist =
+    std::numeric_limits<std::uint64_t>::max();
+
+/** Deterministic root choice: the highest out-degree vertex. */
+graph::NodeId defaultRoot(const graph::CsrGraph &graph);
+
+/**
+ * Breadth-First Search: property array receives hop counts from
+ * @p root (unreachedDist elsewhere). View must be load()ed with
+ * unreachedDist.
+ *
+ * @return Number of reached vertices (including the root).
+ */
+template <typename View>
+std::uint64_t
+bfs(View &view, graph::NodeId root)
+{
+    GPSM_ASSERT(root < view.numNodes());
+    std::vector<graph::NodeId> frontier;
+    std::vector<graph::NodeId> next;
+    frontier.push_back(root);
+    view.propSet(root, 0);
+    std::uint64_t reached = 1;
+    std::uint64_t depth = 0;
+
+    while (!frontier.empty()) {
+        ++depth;
+        for (graph::NodeId u : frontier) {
+            const graph::EdgeIdx begin = view.edgeBegin(u);
+            const graph::EdgeIdx end = view.edgeEnd(u);
+            for (graph::EdgeIdx e = begin; e < end; ++e) {
+                const graph::NodeId v = view.edgeTarget(e);
+                if (view.propGet(v) == unreachedDist) {
+                    view.propSet(v, depth);
+                    next.push_back(v);
+                    ++reached;
+                }
+            }
+        }
+        frontier.swap(next);
+        next.clear();
+    }
+    return reached;
+}
+
+/**
+ * Single-Source Shortest Paths via delta-stepping (bucketed
+ * Bellman-Ford). Property array receives distances; requires the
+ * values (weights) array. View must be load()ed with unreachedDist.
+ *
+ * @param delta Bucket width; 0 picks a weight-scaled default.
+ * @return Number of reached vertices.
+ */
+template <typename View>
+std::uint64_t
+sssp(View &view, graph::NodeId root, std::uint32_t delta = 0)
+{
+    GPSM_ASSERT(root < view.numNodes());
+    if (delta == 0)
+        delta = 32;
+
+    std::vector<std::vector<graph::NodeId>> buckets;
+    auto bucket_of = [&](std::uint64_t dist) {
+        return static_cast<size_t>(dist / delta);
+    };
+    auto push = [&](graph::NodeId v, std::uint64_t dist) {
+        const size_t b = bucket_of(dist);
+        if (b >= buckets.size())
+            buckets.resize(b + 1);
+        buckets[b].push_back(v);
+    };
+
+    view.propSet(root, 0);
+    push(root, 0);
+
+    std::uint64_t reached = 0;
+    std::vector<graph::NodeId> current;
+    for (size_t b = 0; b < buckets.size(); ++b) {
+        while (!buckets[b].empty()) {
+            current.swap(buckets[b]);
+            buckets[b].clear();
+            for (graph::NodeId u : current) {
+                const std::uint64_t du = view.propGet(u);
+                if (bucket_of(du) != b)
+                    continue; // stale entry, relaxed since insertion
+                const graph::EdgeIdx begin = view.edgeBegin(u);
+                const graph::EdgeIdx end = view.edgeEnd(u);
+                for (graph::EdgeIdx e = begin; e < end; ++e) {
+                    const graph::NodeId v = view.edgeTarget(e);
+                    const std::uint64_t nd = du + view.weight(e);
+                    if (nd < view.propGet(v)) {
+                        view.propSet(v, nd);
+                        push(v, nd);
+                    }
+                }
+            }
+            current.clear();
+        }
+    }
+    for (graph::NodeId v = 0; v < view.numNodes(); ++v)
+        reached += view.propGet(v) != unreachedDist ? 1 : 0;
+    return reached;
+}
+
+/**
+ * Pull-mode BFS over the *transposed* graph (the view's edges must be
+ * in-edges of the logical graph): every unvisited vertex scans its
+ * in-neighbors for a frontier member. This is the bottom-up half of
+ * GAP's direction-optimizing BFS; its property-array traffic is
+ * read-dominated (random reads of source states) where push BFS is
+ * update-dominated — a different TLB mix over the same data.
+ *
+ * @param view View over the transposed graph, load()ed with
+ *             unreachedDist.
+ * @return Number of reached vertices.
+ */
+template <typename View>
+std::uint64_t
+bfsPull(View &view, graph::NodeId root)
+{
+    GPSM_ASSERT(root < view.numNodes());
+    const graph::NodeId n = view.numNodes();
+    view.propSet(root, 0);
+    std::uint64_t reached = 1;
+
+    bool changed = true;
+    std::uint64_t depth = 0;
+    while (changed) {
+        changed = false;
+        ++depth;
+        for (graph::NodeId v = 0; v < n; ++v) {
+            if (view.propGet(v) != unreachedDist)
+                continue;
+            const graph::EdgeIdx begin = view.edgeBegin(v);
+            const graph::EdgeIdx end = view.edgeEnd(v);
+            for (graph::EdgeIdx e = begin; e < end; ++e) {
+                const graph::NodeId u = view.edgeTarget(e);
+                if (view.propGet(u) == depth - 1) {
+                    view.propSet(v, depth);
+                    ++reached;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    return reached;
+}
+
+/** PageRank outcome. */
+struct PageRankResult
+{
+    std::uint32_t iterations = 0;
+    double finalError = 0.0;
+};
+
+/**
+ * Push-based PageRank. Property array holds ranks (double), the aux
+ * array accumulates pushed contributions. View must be load()ed with
+ * 1/n.
+ *
+ * @param epsilon L1 convergence threshold (paper's epsilon).
+ */
+template <typename View>
+PageRankResult
+pagerank(View &view, std::uint32_t max_iters, double damping = 0.85,
+         double epsilon = 1e-4)
+{
+    const graph::NodeId n = view.numNodes();
+    GPSM_ASSERT(n > 0);
+    PageRankResult result;
+
+    for (std::uint32_t iter = 0; iter < max_iters; ++iter) {
+        // Push phase: distribute each vertex's rank to its neighbors.
+        double dangling = 0.0;
+        for (graph::NodeId u = 0; u < n; ++u) {
+            const graph::EdgeIdx begin = view.edgeBegin(u);
+            const graph::EdgeIdx end = view.edgeEnd(u);
+            const double rank = view.propGet(u);
+            if (begin == end) {
+                dangling += rank;
+                continue;
+            }
+            const double contrib =
+                rank / static_cast<double>(end - begin);
+            for (graph::EdgeIdx e = begin; e < end; ++e)
+                view.auxAdd(view.edgeTarget(e), contrib);
+        }
+
+        // Apply phase: fold in damping and dangling mass.
+        const double base =
+            (1.0 - damping) / n + damping * dangling / n;
+        double err = 0.0;
+        for (graph::NodeId v = 0; v < n; ++v) {
+            const double next = base + damping * view.auxGet(v);
+            err += std::fabs(next - view.propGet(v));
+            view.propSet(v, next);
+            view.auxSet(v, 0.0);
+        }
+        ++result.iterations;
+        result.finalError = err;
+        if (err < epsilon)
+            break;
+    }
+    return result;
+}
+
+/**
+ * Connected-components-style label propagation over directed edges
+ * (min-label flooding). Property array holds labels, initialized by
+ * load() to any value and overwritten here.
+ *
+ * @return Number of distinct final labels.
+ */
+template <typename View>
+std::uint64_t
+labelPropagation(View &view, std::uint32_t max_iters = 64)
+{
+    const graph::NodeId n = view.numNodes();
+    for (graph::NodeId v = 0; v < n; ++v)
+        view.propSet(v, v);
+
+    bool changed = true;
+    for (std::uint32_t iter = 0; iter < max_iters && changed; ++iter) {
+        changed = false;
+        for (graph::NodeId u = 0; u < n; ++u) {
+            const auto label = view.propGet(u);
+            const graph::EdgeIdx begin = view.edgeBegin(u);
+            const graph::EdgeIdx end = view.edgeEnd(u);
+            for (graph::EdgeIdx e = begin; e < end; ++e) {
+                const graph::NodeId v = view.edgeTarget(e);
+                if (label < view.propGet(v)) {
+                    view.propSet(v, label);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    std::vector<bool> seen(n, false);
+    std::uint64_t labels = 0;
+    for (graph::NodeId v = 0; v < n; ++v) {
+        const auto l = static_cast<size_t>(view.propGet(v));
+        if (!seen[l]) {
+            seen[l] = true;
+            ++labels;
+        }
+    }
+    return labels;
+}
+
+/** FNV-1a checksum of a property array (cross-config validation). */
+template <typename PropT>
+std::uint64_t
+propChecksum(const std::vector<PropT> &prop)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const PropT &x : prop) {
+        const auto *bytes = reinterpret_cast<const unsigned char *>(&x);
+        for (size_t i = 0; i < sizeof(PropT); ++i) {
+            h ^= bytes[i];
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
+} // namespace gpsm::core
+
+#endif // GPSM_CORE_KERNELS_HH

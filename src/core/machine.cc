@@ -1,0 +1,99 @@
+/**
+ * @file
+ * SimMachine implementation.
+ */
+
+#include "core/machine.hh"
+
+namespace gpsm::core
+{
+
+SimMachine::SimMachine(const SystemConfig &config,
+                       const vm::ThpConfig &thp)
+    : sysConfig(config), statSet("machine")
+{
+    memNode = std::make_unique<mem::MemoryNode>(config.node);
+    swap = std::make_unique<mem::SwapDevice>(config.swapBytes,
+                                             config.node.basePageBytes);
+    cache = std::make_unique<mem::PageCache>(*memNode);
+    addressSpace =
+        std::make_unique<vm::AddressSpace>(*memNode, *swap, thp);
+
+    tlb::Tlb l1("dtlb",
+                {config.l1Base, config.l1Huge, config.l1Giant});
+    tlb::Tlb l2 = tlb::Tlb::makeUnified("stlb", config.stlbEntries,
+                                        config.stlbWays);
+    std::unique_ptr<tlb::CacheModel> cache_model;
+    if (config.enableCache) {
+        cache_model = std::make_unique<tlb::CacheModel>(
+            config.cacheLevels, config.memoryCycles);
+    }
+    mmuUnit = std::make_unique<tlb::Mmu>(*addressSpace, std::move(l1),
+                                         std::move(l2), config.costs,
+                                         std::move(cache_model));
+    khuge = std::make_unique<vm::Khugepaged>(*addressSpace);
+    if (thp.khugepagedHotFirst)
+        mmuUnit->enableHeatTracking(true);
+
+    memNode->registerStats(statSet, "node");
+    addressSpace->registerStats(statSet, "space");
+    mmuUnit->registerStats(statSet, "mmu");
+    mmuUnit->l1().registerStats(statSet);
+    mmuUnit->l2().registerStats(statSet);
+    if (mmuUnit->cacheModel() != nullptr)
+        mmuUnit->cacheModel()->registerStats(statSet, "cache");
+    statSet.registerCounter("machine.backgroundCycles", &bgCycles,
+                            "khugepaged daemon cycles (not app time)");
+    statSet.registerCounter("pagecache.pagesCached", &cache->pagesCached,
+                            "file pages cached during loads");
+    statSet.registerCounter("pagecache.pagesDropped",
+                            &cache->pagesDropped,
+                            "page-cache pages reclaimed or dropped");
+    statSet.registerCounter("swapdev.pagesOut", &swap->pagesOut,
+                            "swap slots written");
+    statSet.registerCounter("swapdev.pagesIn", &swap->pagesIn,
+                            "swap slots released (read back / unmapped)");
+    statSet.registerCounter("khugepaged.regionsScanned",
+                            &khuge->regionsScanned,
+                            "huge regions examined by khugepaged");
+    statSet.registerCounter("khugepaged.regionsPromoted",
+                            &khuge->regionsPromoted,
+                            "huge regions collapsed by khugepaged");
+}
+
+std::uint64_t
+SimMachine::runKhugepaged()
+{
+    const vm::ThpConfig &thp = addressSpace->thpConfig();
+    if (!thp.khugepagedEnabled)
+        return 0;
+    vm::Khugepaged::ScanResult res;
+    if (thp.khugepagedHotFirst) {
+        res = khuge->scanHotFirst(thp.khugepagedScanPages,
+                                  mmuUnit->regionHeat());
+        // Fresh heat for the next wakeup (HawkEye decays its access
+        // map between scans).
+        mmuUnit->clearHeat();
+    } else {
+        res = khuge->scan(thp.khugepagedScanPages);
+    }
+
+    const tlb::CostModel &costs = sysConfig.costs;
+    std::uint64_t cycles = 0;
+    cycles += res.copiedPages * costs.migrateCyclesPerPage;
+    cycles += res.regionsScanned * 200; // scan bookkeeping
+    bgCycles += cycles;
+
+    mmuUnit->syncTlb();
+    return res.promoted;
+}
+
+void
+SimMachine::enableKhugepagedDuringExecution(
+    std::uint64_t interval_accesses)
+{
+    mmuUnit->setPeriodicHook(interval_accesses,
+                             [this]() { runKhugepaged(); });
+}
+
+} // namespace gpsm::core

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * SimMachine: one fully assembled simulated machine (memory node, swap,
+ * page cache, address space, MMU/TLBs, khugepaged) under one stat set.
+ */
+
+#ifndef GPSM_CORE_MACHINE_HH
+#define GPSM_CORE_MACHINE_HH
+
+#include <memory>
+
+#include "core/system_config.hh"
+#include "mem/memory_node.hh"
+#include "mem/page_cache.hh"
+#include "mem/swap_device.hh"
+#include "tlb/mmu.hh"
+#include "util/stats.hh"
+#include "vm/address_space.hh"
+#include "vm/khugepaged.hh"
+#include "vm/thp_config.hh"
+
+namespace gpsm::core
+{
+
+/**
+ * Composition root for one simulated machine running one application
+ * address space.
+ *
+ * Construction order (and therefore teardown order) matters: the
+ * memory node outlives every client. Arrays (SimArray) created against
+ * this machine must be destroyed before it.
+ */
+class SimMachine
+{
+  public:
+    SimMachine(const SystemConfig &config, const vm::ThpConfig &thp);
+
+    SimMachine(const SimMachine &) = delete;
+    SimMachine &operator=(const SimMachine &) = delete;
+
+    mem::MemoryNode &node() { return *memNode; }
+    mem::SwapDevice &swapDevice() { return *swap; }
+    mem::PageCache &pageCache() { return *cache; }
+    vm::AddressSpace &space() { return *addressSpace; }
+    tlb::Mmu &mmu() { return *mmuUnit; }
+    vm::Khugepaged &khugepaged() { return *khuge; }
+    StatSet &stats() { return statSet; }
+    const SystemConfig &config() const { return sysConfig; }
+
+    /**
+     * Run one khugepaged wakeup with the configured page budget; the
+     * copy/compaction work is charged to backgroundCycles (a daemon,
+     * not the application — §2.3.1) and the TLB is synchronized.
+     * Honors ThpConfig::khugepagedHotFirst (access-tracking policy).
+     *
+     * @return regions promoted.
+     */
+    std::uint64_t runKhugepaged();
+
+    /**
+     * Arrange for khugepaged to wake up every @p interval_accesses
+     * traced accesses, modeling the daemon running concurrently with
+     * the application instead of only between phases.
+     */
+    void enableKhugepagedDuringExecution(
+        std::uint64_t interval_accesses);
+
+    /** Daemon work performed so far (not part of application time). */
+    Cycles backgroundCycles() const { return bgCycles.value(); }
+
+  private:
+    SystemConfig sysConfig;
+
+    std::unique_ptr<mem::MemoryNode> memNode;
+    std::unique_ptr<mem::SwapDevice> swap;
+    std::unique_ptr<mem::PageCache> cache;
+    std::unique_ptr<vm::AddressSpace> addressSpace;
+    std::unique_ptr<tlb::Mmu> mmuUnit;
+    std::unique_ptr<vm::Khugepaged> khuge;
+
+    Counter bgCycles;
+    StatSet statSet;
+};
+
+} // namespace gpsm::core
+
+#endif // GPSM_CORE_MACHINE_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * SystemConfig presets.
+ */
+
+#include "core/system_config.hh"
+
+#include <sstream>
+
+#include "util/units.hh"
+
+namespace gpsm::core
+{
+
+SystemConfig
+SystemConfig::haswell()
+{
+    SystemConfig cfg;
+    cfg.name = "haswell";
+    cfg.node.bytes = 4_GiB; // Table 1: 64GiB/node; shrink for tests
+    cfg.node.basePageBytes = 4_KiB;
+    cfg.node.hugeOrder = 9; // 2MiB huge pages
+    // Calibrated between Linux's high watermark and the paper's
+    // empirical ~2.5GB-of-64GB full-THP-performance threshold
+    // (§4.3.1): ~1.6GB-equivalent, scaling with node size.
+    cfg.node.hugeWatermarkBytes = cfg.node.bytes / 40;
+    cfg.swapBytes = 8_GiB;
+
+    cfg.l1Base = tlb::TlbGeometry{64, 4};  // Table 1 L1 DTLB (4KB)
+    cfg.l1Huge = tlb::TlbGeometry{32, 4};  // Table 1 L1 DTLB (2MB)
+    cfg.l1Giant = tlb::TlbGeometry{4, 4};  // Table 1 L1 DTLB (1GB)
+    cfg.node.giantOrder = 18;              // 1GiB giant pages
+    cfg.stlbEntries = 1024;                // Haswell unified STLB
+    cfg.stlbWays = 8;
+
+    cfg.enableCache = true;
+    cfg.cacheLevels = {
+        tlb::CacheLevelConfig{"l1d", 32_KiB, 8, 64, 4},
+        tlb::CacheLevelConfig{"l2", 256_KiB, 8, 64, 12},
+        tlb::CacheLevelConfig{"llc", 20_MiB, 20, 64, 42},
+    };
+    cfg.memoryCycles = 220;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::scaled()
+{
+    SystemConfig cfg;
+    cfg.name = "scaled";
+    cfg.node.bytes = 256_MiB;
+    cfg.node.basePageBytes = 4_KiB;
+    cfg.node.hugeOrder = 6; // 256KiB huge pages
+    cfg.node.hugeWatermarkBytes = cfg.node.bytes / 40; // ~6.4MiB
+    cfg.swapBytes = 1_GiB;
+
+    cfg.l1Base = tlb::TlbGeometry{16, 4};
+    cfg.l1Huge = tlb::TlbGeometry{8, 4};
+    cfg.l1Giant = tlb::TlbGeometry{2, 2};
+    cfg.node.giantOrder = 12; // 16MiB giant pages at this scale
+    cfg.stlbEntries = 64;
+    cfg.stlbWays = 8;
+
+    cfg.enableCache = true;
+    cfg.cacheLevels = {
+        tlb::CacheLevelConfig{"l1d", 16_KiB, 8, 64, 4},
+        tlb::CacheLevelConfig{"l2", 128_KiB, 8, 64, 12},
+        tlb::CacheLevelConfig{"llc", 2_MiB, 16, 64, 42},
+    };
+    cfg.memoryCycles = 200;
+    return cfg;
+}
+
+std::string
+SystemConfig::describe() const
+{
+    std::ostringstream os;
+    os << "System configuration '" << name << "'\n"
+       << "  node memory      " << formatBytes(node.bytes) << "\n"
+       << "  base page        " << formatBytes(node.basePageBytes)
+       << "\n"
+       << "  huge page        " << formatBytes(hugePageBytes()) << " ("
+       << (1ull << node.hugeOrder) << " base pages)\n"
+       << "  L1 DTLB base     " << l1Base.entries << " entries, "
+       << l1Base.ways << "-way\n"
+       << "  L1 DTLB huge     " << l1Huge.entries << " entries, "
+       << l1Huge.ways << "-way\n"
+       << "  STLB (unified)   " << stlbEntries << " entries, "
+       << stlbWays << "-way\n"
+       << "  swap             " << formatBytes(swapBytes) << "\n"
+       << "  frequency        " << costs.frequencyGhz << " GHz\n";
+    if (enableCache) {
+        os << "  caches          ";
+        for (const auto &lvl : cacheLevels)
+            os << " " << lvl.name << "=" << formatBytes(lvl.bytes);
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace gpsm::core

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Whole-machine configuration presets (paper Table 1 and the scaled
+ * default used by the benches).
+ */
+
+#ifndef GPSM_CORE_SYSTEM_CONFIG_HH
+#define GPSM_CORE_SYSTEM_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "mem/memory_node.hh"
+#include "tlb/cache_model.hh"
+#include "tlb/cost_model.hh"
+#include "tlb/tlb.hh"
+
+namespace gpsm::core
+{
+
+/**
+ * Geometry + cost description of the simulated machine.
+ *
+ * Two presets:
+ * - haswell(): Table 1's Xeon E5-2667v3 — 4KB/2MB pages, 64-entry 4-way
+ *   4KB DTLB + 32-entry 2MB DTLB, 1024-entry 8-way unified STLB.
+ *   The node size defaults to 4GiB (Table 1's node has 64GiB; set
+ *   node.bytes for full-size runs — everything scales linearly).
+ * - scaled(): same structural ratios at 1/8 page-ratio scale
+ *   (4KB base, 256KB huge pages) on a 256MiB node with
+ *   proportionally smaller TLBs, so the Table 2 datasets shrunk by
+ *   ~128x exercise identical contention regimes in seconds per run.
+ */
+struct SystemConfig
+{
+    std::string name = "scaled";
+
+    mem::MemoryNode::Params node;
+    std::uint64_t swapBytes = 1_GiB;
+
+    /** L1 DTLB geometry per page-size class. */
+    tlb::TlbGeometry l1Base;
+    tlb::TlbGeometry l1Huge;
+    tlb::TlbGeometry l1Giant; ///< 1GB-class entries (Table 1: 4x4)
+    /** Unified second-level TLB. */
+    std::uint32_t stlbEntries = 64;
+    std::uint32_t stlbWays = 8;
+
+    tlb::CostModel costs;
+
+    bool enableCache = true;
+    std::vector<tlb::CacheLevelConfig> cacheLevels;
+    std::uint32_t memoryCycles = 200;
+
+    static SystemConfig haswell();
+    static SystemConfig scaled();
+
+    std::uint64_t hugePageBytes() const
+    {
+        return node.basePageBytes << node.hugeOrder;
+    }
+
+    /** Table 1-style multi-line description. */
+    std::string describe() const;
+};
+
+} // namespace gpsm::core
+
+#endif // GPSM_CORE_SYSTEM_CONFIG_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Builder implementation.
+ */
+
+#include "graph/builder.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.hh"
+
+namespace gpsm::graph
+{
+
+std::vector<Edge>
+Builder::filter(const std::vector<Edge> &edges) const
+{
+    std::vector<Edge> out;
+    out.reserve(edges.size());
+    for (const Edge &e : edges) {
+        if (e.src >= numNodes || e.dst >= numNodes)
+            fatal("edge (%u,%u) outside %u nodes", e.src, e.dst,
+                  numNodes);
+        if (dropSelfLoops && e.src == e.dst)
+            continue;
+        out.push_back(e);
+    }
+    if (dedup) {
+        // Key edges as 64-bit pairs; keeps first occurrence.
+        std::unordered_set<std::uint64_t> seen;
+        seen.reserve(out.size());
+        std::vector<Edge> unique;
+        unique.reserve(out.size());
+        for (const Edge &e : out) {
+            const std::uint64_t key =
+                (static_cast<std::uint64_t>(e.src) << 32) | e.dst;
+            if (seen.insert(key).second)
+                unique.push_back(e);
+        }
+        out = std::move(unique);
+    }
+    return out;
+}
+
+CsrGraph
+Builder::fromEdges(const std::vector<Edge> &edges) const
+{
+    const std::vector<Edge> es = filter(edges);
+
+    std::vector<EdgeIdx> offsets(static_cast<size_t>(numNodes) + 1, 0);
+    for (const Edge &e : es)
+        ++offsets[e.src + 1];
+    for (size_t v = 1; v < offsets.size(); ++v)
+        offsets[v] += offsets[v - 1];
+
+    std::vector<NodeId> neighbors(es.size());
+    std::vector<EdgeIdx> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Edge &e : es)
+        neighbors[cursor[e.src]++] = e.dst;
+
+    return CsrGraph(std::move(offsets), std::move(neighbors), {});
+}
+
+CsrGraph
+Builder::fromEdgesWeighted(const std::vector<Edge> &edges,
+                           Weight max_weight, std::uint64_t seed) const
+{
+    if (max_weight == 0)
+        fatal("max edge weight must be positive");
+    const std::vector<Edge> es = filter(edges);
+
+    std::vector<EdgeIdx> offsets(static_cast<size_t>(numNodes) + 1, 0);
+    for (const Edge &e : es)
+        ++offsets[e.src + 1];
+    for (size_t v = 1; v < offsets.size(); ++v)
+        offsets[v] += offsets[v - 1];
+
+    std::vector<NodeId> neighbors(es.size());
+    std::vector<Weight> weights(es.size());
+    std::vector<EdgeIdx> cursor(offsets.begin(), offsets.end() - 1);
+    Rng rng(seed);
+    for (const Edge &e : es) {
+        const EdgeIdx slot = cursor[e.src]++;
+        neighbors[slot] = e.dst;
+        weights[slot] = static_cast<Weight>(rng.below(max_weight) + 1);
+    }
+
+    return CsrGraph(std::move(offsets), std::move(neighbors),
+                    std::move(weights));
+}
+
+} // namespace gpsm::graph

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Edge-list to CSR assembly.
+ */
+
+#ifndef GPSM_GRAPH_BUILDER_HH
+#define GPSM_GRAPH_BUILDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hh"
+#include "util/rng.hh"
+
+namespace gpsm::graph
+{
+
+/** One directed edge of an edge list. */
+struct Edge
+{
+    NodeId src;
+    NodeId dst;
+};
+
+/**
+ * Builds CsrGraph instances from edge lists via counting sort (linear
+ * time, deterministic output order: edges keep list order within each
+ * source vertex).
+ */
+class Builder
+{
+  public:
+    /**
+     * @param num_nodes Vertex count (targets/sources must be < this).
+     * @param remove_self_loops Drop v->v edges.
+     * @param dedup Drop duplicate (src,dst) pairs (keeps first).
+     */
+    explicit Builder(NodeId num_nodes, bool remove_self_loops = true,
+                     bool dedup_edges = false)
+        : numNodes(num_nodes), dropSelfLoops(remove_self_loops),
+          dedup(dedup_edges)
+    {
+    }
+
+    /** Build an unweighted CSR graph. */
+    CsrGraph fromEdges(const std::vector<Edge> &edges) const;
+
+    /**
+     * Build a weighted CSR graph with uniform-random weights in
+     * [1, max_weight], deterministic from @p seed.
+     */
+    CsrGraph fromEdgesWeighted(const std::vector<Edge> &edges,
+                               Weight max_weight,
+                               std::uint64_t seed) const;
+
+  private:
+    std::vector<Edge> filter(const std::vector<Edge> &edges) const;
+
+    NodeId numNodes;
+    bool dropSelfLoops;
+    bool dedup;
+};
+
+} // namespace gpsm::graph
+
+#endif // GPSM_GRAPH_BUILDER_HH

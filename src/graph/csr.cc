@@ -1,0 +1,107 @@
+/**
+ * @file
+ * CsrGraph implementation.
+ */
+
+#include "graph/csr.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace gpsm::graph
+{
+
+CsrGraph::CsrGraph(std::vector<EdgeIdx> vertex_offsets,
+                   std::vector<NodeId> edge_targets,
+                   std::vector<Weight> edge_weights)
+    : offsets(std::move(vertex_offsets)),
+      neighbors(std::move(edge_targets)),
+      weights(std::move(edge_weights))
+{
+    validate();
+}
+
+void
+CsrGraph::validate() const
+{
+    if (offsets.empty())
+        fatal("CSR graph must have a vertex array");
+    if (offsets.front() != 0)
+        fatal("CSR vertex array must start at 0");
+    if (offsets.back() != neighbors.size())
+        fatal("CSR vertex array end (%llu) != edge count (%zu)",
+              static_cast<unsigned long long>(offsets.back()),
+              neighbors.size());
+    for (size_t v = 0; v + 1 < offsets.size(); ++v)
+        if (offsets[v] > offsets[v + 1])
+            fatal("CSR vertex array not monotonic at %zu", v);
+    const NodeId n = numNodes();
+    for (NodeId t : neighbors)
+        if (t >= n)
+            fatal("CSR edge target %u out of range (%u nodes)", t, n);
+    if (!weights.empty() && weights.size() != neighbors.size())
+        fatal("CSR values array size mismatch");
+}
+
+Log2Histogram
+CsrGraph::degreeHistogram() const
+{
+    Log2Histogram h;
+    for (NodeId v = 0; v < numNodes(); ++v)
+        h.add(outDegree(v));
+    return h;
+}
+
+std::uint64_t
+CsrGraph::footprintBytes(bool with_values) const
+{
+    std::uint64_t bytes = 0;
+    bytes += offsets.size() * sizeof(EdgeIdx);
+    bytes += neighbors.size() * sizeof(NodeId);
+    if (with_values)
+        bytes += neighbors.size() * sizeof(Weight);
+    bytes += static_cast<std::uint64_t>(numNodes()) * 8; // property
+    return bytes;
+}
+
+std::string
+CsrGraph::summary(const std::string &name) const
+{
+    std::ostringstream os;
+    os << name << ": " << numNodes() << " nodes, " << numEdges()
+       << " edges, avg degree " << averageDegree();
+    return os.str();
+}
+
+CsrGraph
+transpose(const CsrGraph &graph)
+{
+    const NodeId n = graph.numNodes();
+    const bool weighted = graph.weighted();
+
+    std::vector<EdgeIdx> offsets(static_cast<size_t>(n) + 1, 0);
+    for (NodeId t : graph.edgeArray())
+        ++offsets[t + 1];
+    for (size_t v = 1; v < offsets.size(); ++v)
+        offsets[v] += offsets[v - 1];
+
+    std::vector<NodeId> neighbors(graph.numEdges());
+    std::vector<Weight> weights(weighted ? graph.numEdges() : 0);
+    std::vector<EdgeIdx> cursor(offsets.begin(), offsets.end() - 1);
+    for (NodeId u = 0; u < n; ++u) {
+        const EdgeIdx begin = graph.vertexArray()[u];
+        const EdgeIdx end = graph.vertexArray()[u + 1];
+        for (EdgeIdx e = begin; e < end; ++e) {
+            const NodeId t = graph.edgeArray()[e];
+            const EdgeIdx slot = cursor[t]++;
+            neighbors[slot] = u;
+            if (weighted)
+                weights[slot] = graph.valuesArray()[e];
+        }
+    }
+    return CsrGraph(std::move(offsets), std::move(neighbors),
+                    std::move(weights));
+}
+
+} // namespace gpsm::graph

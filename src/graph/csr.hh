@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Compressed Sparse Row graph representation (paper §2.1.1).
+ */
+
+#ifndef GPSM_GRAPH_CSR_HH
+#define GPSM_GRAPH_CSR_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/histogram.hh"
+
+namespace gpsm::graph
+{
+
+/** Vertex identifier. */
+using NodeId = std::uint32_t;
+/** Edge array index. */
+using EdgeIdx = std::uint64_t;
+/** Edge weight (SSSP values array). */
+using Weight = std::uint32_t;
+
+constexpr NodeId invalidNode = ~0u;
+
+class CsrGraph;
+
+/**
+ * Transpose: reverse every edge (weights follow). The result's vertex
+ * array indexes *in*-neighbors of the original graph — the substrate
+ * for pull-mode kernels (direction-optimized BFS, pull PageRank).
+ */
+CsrGraph transpose(const CsrGraph &graph);
+
+/**
+ * Directed graph in CSR form: the vertex array holds cumulative
+ * neighbor counts (offsets), the edge array holds neighbor IDs, and an
+ * optional values array holds per-edge weights. This mirrors the
+ * paper's Fig. 5 layout exactly; the per-vertex property array is owned
+ * by the executing kernel, not the graph.
+ */
+class CsrGraph
+{
+  public:
+    CsrGraph() = default;
+
+    /**
+     * Assemble from prebuilt arrays (see Builder for the usual path).
+     * offsets.size() must equal num_nodes + 1 and offsets.back() must
+     * equal neighbors.size(); weights must be empty or edge-sized.
+     */
+    CsrGraph(std::vector<EdgeIdx> offsets, std::vector<NodeId> neighbors,
+             std::vector<Weight> weights);
+
+    NodeId numNodes() const
+    {
+        return offsets.empty()
+                   ? 0
+                   : static_cast<NodeId>(offsets.size() - 1);
+    }
+    EdgeIdx numEdges() const { return neighbors.size(); }
+    bool weighted() const { return !weights.empty(); }
+
+    EdgeIdx outDegree(NodeId v) const
+    {
+        return offsets[v + 1] - offsets[v];
+    }
+
+    std::span<const NodeId>
+    neighborsOf(NodeId v) const
+    {
+        return {neighbors.data() + offsets[v],
+                static_cast<size_t>(outDegree(v))};
+    }
+
+    /** @name Raw arrays (loaded into simulated memory by SimView) @{ */
+    const std::vector<EdgeIdx> &vertexArray() const { return offsets; }
+    const std::vector<NodeId> &edgeArray() const { return neighbors; }
+    const std::vector<Weight> &valuesArray() const { return weights; }
+    /** @} */
+
+    double
+    averageDegree() const
+    {
+        return numNodes() == 0 ? 0.0
+                               : static_cast<double>(numEdges()) /
+                                     numNodes();
+    }
+
+    /** Degree distribution (log2 buckets). */
+    Log2Histogram degreeHistogram() const;
+
+    /**
+     * In-memory footprint of the CSR arrays plus an 8-byte-per-vertex
+     * property array, matching the paper's Table 2 accounting.
+     *
+     * @param with_values Include the values (weights) array.
+     */
+    std::uint64_t footprintBytes(bool with_values) const;
+
+    /** Structural sanity check (sorted offsets, targets in range). */
+    void validate() const;
+
+    /** "name: N nodes, M edges, avg degree d" */
+    std::string summary(const std::string &name) const;
+
+  private:
+    std::vector<EdgeIdx> offsets;
+    std::vector<NodeId> neighbors;
+    std::vector<Weight> weights;
+};
+
+} // namespace gpsm::graph
+
+#endif // GPSM_GRAPH_CSR_HH

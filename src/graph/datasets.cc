@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Dataset presets.
+ *
+ * Structural characters (motivating §5.2's DBG observations):
+ * - kron: synthetic power-law with *no* ID locality (Graph500 permutes
+ *   vertex IDs), so DBG recovers substantial locality.
+ * - twit: social network; crawl order clusters hubs at low IDs, strong
+ *   hub locality, moderate community structure.
+ * - web: host-lexicographic ordering gives very strong community
+ *   structure with moderate hub locality.
+ * - wiki: smaller social-ish network, strong hub locality.
+ */
+
+#include "graph/datasets.hh"
+
+#include <cmath>
+
+#include "graph/builder.hh"
+#include "graph/generators.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace gpsm::graph
+{
+
+std::vector<DatasetSpec>
+standardDatasets()
+{
+    std::vector<DatasetSpec> specs;
+    specs.push_back(DatasetSpec{"kron", "Kronecker25 (Kr25)",
+                                34'000'000ull, 1'050'000'000ull,
+                                /*kronecker=*/true, 0.0, 0.0, 0.0});
+    specs.push_back(DatasetSpec{"twit", "Twitter (Twit)",
+                                53'000'000ull, 1'940'000'000ull,
+                                /*kronecker=*/false, 0.70, 0.95, 0.30});
+    specs.push_back(DatasetSpec{"web", "Sd1 Arc (Web)", 95'000'000ull,
+                                1'960'000'000ull,
+                                /*kronecker=*/false, 0.60, 0.60, 0.70});
+    specs.push_back(DatasetSpec{"wiki", "Wikipedia (Wiki)",
+                                12'000'000ull, 378'000'000ull,
+                                /*kronecker=*/false, 0.65, 0.90, 0.40});
+    return specs;
+}
+
+DatasetSpec
+datasetByName(const std::string &short_name)
+{
+    for (const DatasetSpec &spec : standardDatasets())
+        if (spec.shortName == short_name)
+            return spec;
+    fatal("unknown dataset '%s' (kron/twit/web/wiki)",
+          short_name.c_str());
+}
+
+CsrGraph
+makeDataset(const DatasetSpec &spec, std::uint64_t scale_divisor,
+            bool weighted, std::uint64_t seed)
+{
+    GPSM_ASSERT(scale_divisor > 0);
+    const std::uint64_t nodes64 = spec.paperNodes / scale_divisor;
+    if (nodes64 < 1024 || nodes64 > 0xffffffffull)
+        fatal("dataset %s at divisor %llu yields unusable node count",
+              spec.shortName.c_str(),
+              static_cast<unsigned long long>(scale_divisor));
+    const double avg_degree = static_cast<double>(spec.paperEdges) /
+                              static_cast<double>(spec.paperNodes);
+
+    std::vector<Edge> edges;
+    NodeId n;
+    if (spec.kronecker) {
+        RmatParams params;
+        params.scale = ceilLog2(nodes64);
+        params.edgeFactor = avg_degree;
+        params.seed = seed;
+        n = 1u << params.scale;
+        edges = rmatEdges(params);
+    } else {
+        PowerLawParams params;
+        params.nodes = static_cast<NodeId>(nodes64);
+        params.avgDegree = avg_degree;
+        params.theta = spec.theta;
+        params.hubLocality = spec.hubLocality;
+        params.community = spec.community;
+        params.communityWindow =
+            std::max<NodeId>(256, static_cast<NodeId>(nodes64 / 256));
+        params.seed = seed;
+        n = params.nodes;
+        edges = powerLawEdges(params);
+    }
+
+    Builder builder(n);
+    if (weighted)
+        return builder.fromEdgesWeighted(edges, /*max_weight=*/255,
+                                         seed ^ 0x5eed);
+    return builder.fromEdges(edges);
+}
+
+} // namespace gpsm::graph

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The paper's evaluation datasets (Table 2), reproduced as scaled
+ * synthetic networks with matching structural character.
+ */
+
+#ifndef GPSM_GRAPH_DATASETS_HH
+#define GPSM_GRAPH_DATASETS_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hh"
+
+namespace gpsm::graph
+{
+
+/**
+ * One Table 2 dataset. The paper's node/edge counts are kept as
+ * reference metadata; generation shrinks both by `1/scaleDivisor`
+ * while preserving the degree structure, hub locality and community
+ * character that drive the paper's results.
+ */
+struct DatasetSpec
+{
+    std::string shortName;   ///< "kron", "twit", "web", "wiki"
+    std::string paperName;   ///< "Kronecker25 (Kr25)", ...
+    std::uint64_t paperNodes;
+    std::uint64_t paperEdges;
+    /** Structural knobs (see generators.hh). */
+    bool kronecker = false;  ///< R-MAT with permuted IDs
+    double theta = 0.65;
+    double hubLocality = 1.0;
+    double community = 0.0;
+};
+
+/** The four Table 2 networks. */
+std::vector<DatasetSpec> standardDatasets();
+
+/** Look up a standard dataset by short name (fatal if unknown). */
+DatasetSpec datasetByName(const std::string &short_name);
+
+/**
+ * Generate the scaled instance of @p spec.
+ *
+ * @param scale_divisor Paper size divided by this (default 128 keeps
+ *        every bench run in seconds; tests use larger divisors).
+ * @param weighted Generate the SSSP values array.
+ * @param seed Generator seed.
+ */
+CsrGraph makeDataset(const DatasetSpec &spec,
+                     std::uint64_t scale_divisor = 128,
+                     bool weighted = false, std::uint64_t seed = 1);
+
+} // namespace gpsm::graph
+
+#endif // GPSM_GRAPH_DATASETS_HH

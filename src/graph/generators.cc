@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Generator implementations.
+ */
+
+#include "graph/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace gpsm::graph
+{
+
+std::vector<Edge>
+rmatEdges(const RmatParams &params)
+{
+    if (params.scale == 0 || params.scale > 30)
+        fatal("rmat scale %u out of range", params.scale);
+    const double d = 1.0 - params.a - params.b - params.c;
+    if (d < 0.0)
+        fatal("rmat quadrant probabilities exceed 1");
+
+    const NodeId n = 1u << params.scale;
+    const auto m = static_cast<std::uint64_t>(params.edgeFactor * n);
+    Rng rng(params.seed);
+
+    std::vector<Edge> edges;
+    edges.reserve(m);
+    for (std::uint64_t i = 0; i < m; ++i) {
+        NodeId src = 0;
+        NodeId dst = 0;
+        for (unsigned bit = 0; bit < params.scale; ++bit) {
+            // Slightly perturb quadrant probabilities per level, as the
+            // classic R-MAT implementation does, to avoid degenerate
+            // self-similarity.
+            const double noise = 0.9 + 0.2 * rng.uniform();
+            const double ab = (params.a + params.b) * noise;
+            const double a_of_ab =
+                params.a / (params.a + params.b);
+            const double c_of_cd = params.c / (params.c + d);
+            const double r = rng.uniform();
+            bool right;
+            bool down;
+            if (r < ab) {
+                down = false;
+                right = rng.uniform() > a_of_ab;
+            } else {
+                down = true;
+                right = rng.uniform() > c_of_cd;
+            }
+            src = (src << 1) | (down ? 1u : 0u);
+            dst = (dst << 1) | (right ? 1u : 0u);
+        }
+        edges.push_back(Edge{src, dst});
+    }
+
+    if (params.permute) {
+        std::vector<NodeId> perm(n);
+        std::iota(perm.begin(), perm.end(), 0u);
+        // Fisher-Yates with the deterministic generator.
+        for (NodeId i = n - 1; i > 0; --i) {
+            const auto j = static_cast<NodeId>(rng.below(i + 1));
+            std::swap(perm[i], perm[j]);
+        }
+        for (Edge &e : edges) {
+            e.src = perm[e.src];
+            e.dst = perm[e.dst];
+        }
+    }
+    return edges;
+}
+
+namespace
+{
+
+/**
+ * Cumulative Zipf weight table for O(log n) inverse-CDF sampling.
+ * ranks[k] holds the vertex ID owning popularity rank k.
+ */
+struct ZipfSampler
+{
+    std::vector<double> cdf;     // cumulative weights by rank
+    std::vector<NodeId> ranks;   // rank -> vertex id
+    double total = 0.0;
+
+    ZipfSampler(NodeId n, double theta, double hub_locality, Rng &rng)
+    {
+        cdf.resize(n);
+        double acc = 0.0;
+        for (NodeId k = 0; k < n; ++k) {
+            acc += std::pow(static_cast<double>(k) + 1.0, -theta);
+            cdf[k] = acc;
+        }
+        total = acc;
+
+        ranks.resize(n);
+        std::iota(ranks.begin(), ranks.end(), 0u);
+        if (hub_locality < 1.0) {
+            // Displace each rank with probability (1 - locality):
+            // locality 1 keeps rank k at vertex k (hubs form a dense
+            // low-ID prefix); locality 0 approaches a full shuffle.
+            const double p = 1.0 - hub_locality;
+            for (NodeId i = 0; i < n; ++i) {
+                if (rng.chance(p)) {
+                    const auto j =
+                        static_cast<NodeId>(rng.below(n));
+                    std::swap(ranks[i], ranks[j]);
+                }
+            }
+        }
+    }
+
+    NodeId
+    sample(Rng &rng) const
+    {
+        const double r = rng.uniform() * total;
+        const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+        const auto k = static_cast<size_t>(it - cdf.begin());
+        return ranks[k < ranks.size() ? k : ranks.size() - 1];
+    }
+};
+
+} // anonymous namespace
+
+std::vector<Edge>
+powerLawEdges(const PowerLawParams &params)
+{
+    const NodeId n = params.nodes;
+    if (n < 2)
+        fatal("power-law generator needs at least two nodes");
+    const auto m = static_cast<std::uint64_t>(params.avgDegree * n);
+    Rng rng(params.seed);
+    ZipfSampler sampler(n, params.theta, params.hubLocality, rng);
+
+    std::vector<Edge> edges;
+    edges.reserve(m);
+    for (std::uint64_t i = 0; i < m; ++i) {
+        const NodeId src = sampler.sample(rng);
+        NodeId dst;
+        if (params.community > 0.0 && rng.chance(params.community)) {
+            // Destination near the source in ID space.
+            const NodeId w = std::max<NodeId>(params.communityWindow, 2);
+            const NodeId lo = src > w / 2 ? src - w / 2 : 0;
+            const NodeId span = std::min<NodeId>(w, n - lo);
+            dst = lo + static_cast<NodeId>(rng.below(span));
+        } else {
+            dst = sampler.sample(rng);
+        }
+        edges.push_back(Edge{src, dst});
+    }
+    return edges;
+}
+
+std::vector<Edge>
+uniformEdges(NodeId nodes, double avg_degree, std::uint64_t seed)
+{
+    if (nodes < 2)
+        fatal("uniform generator needs at least two nodes");
+    const auto m = static_cast<std::uint64_t>(avg_degree * nodes);
+    Rng rng(seed);
+    std::vector<Edge> edges;
+    edges.reserve(m);
+    for (std::uint64_t i = 0; i < m; ++i) {
+        edges.push_back(Edge{static_cast<NodeId>(rng.below(nodes)),
+                             static_cast<NodeId>(rng.below(nodes))});
+    }
+    return edges;
+}
+
+} // namespace gpsm::graph

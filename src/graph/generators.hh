@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic synthetic network generators.
+ *
+ * Stand-ins for the paper's datasets (Table 2), which are not
+ * redistributable here: Kronecker25 is replaced by a Graph500-style
+ * R-MAT with permuted vertex IDs (no community structure — hot vertices
+ * scattered across the ID space, which is why DBG helps it, §5.2);
+ * Twitter / Sd1-Arc / Wikipedia are replaced by Chung-Lu power-law
+ * generators with tunable *hub locality* (hot vertices already adjacent
+ * in ID space) and *community* structure (neighbors close in ID space),
+ * reproducing why DBG barely changes those networks.
+ */
+
+#ifndef GPSM_GRAPH_GENERATORS_HH
+#define GPSM_GRAPH_GENERATORS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/builder.hh"
+#include "graph/csr.hh"
+
+namespace gpsm::graph
+{
+
+/** Graph500-style R-MAT (Kronecker) generator parameters. */
+struct RmatParams
+{
+    /** Number of vertices = 2^scale. */
+    unsigned scale = 18;
+    /** Directed edges per vertex. */
+    double edgeFactor = 16.0;
+    /** Quadrant probabilities (d = 1-a-b-c). */
+    double a = 0.57;
+    double b = 0.19;
+    double c = 0.19;
+    /**
+     * Shuffle vertex IDs after generation, as Graph500 specifies.
+     * Scatters the hubs across the ID space, destroying any
+     * ID-locality — the paper's "little to no community structure".
+     */
+    bool permute = true;
+    std::uint64_t seed = 1;
+};
+
+std::vector<Edge> rmatEdges(const RmatParams &params);
+
+/** Chung-Lu power-law generator parameters. */
+struct PowerLawParams
+{
+    NodeId nodes = 1u << 18;
+    double avgDegree = 16.0;
+    /**
+     * Zipf exponent of the expected-degree sequence (by rank);
+     * 0.5-0.8 covers social/web networks.
+     */
+    double theta = 0.65;
+    /**
+     * 1.0: rank == vertex ID, so hubs occupy a dense low-ID prefix
+     * (Twitter/Wikipedia crawl orderings); 0.0: ranks randomly
+     * assigned (no hub locality).
+     */
+    double hubLocality = 1.0;
+    /**
+     * Probability that an edge's destination is drawn from the
+     * source's ID-neighborhood instead of the global degree
+     * distribution (community / spatial structure).
+     */
+    double community = 0.0;
+    /** ID-distance window for community edges. */
+    NodeId communityWindow = 4096;
+    std::uint64_t seed = 1;
+};
+
+std::vector<Edge> powerLawEdges(const PowerLawParams &params);
+
+/** Uniform-random (Erdős–Rényi-style) edges; locality-free control. */
+std::vector<Edge> uniformEdges(NodeId nodes, double avg_degree,
+                               std::uint64_t seed);
+
+} // namespace gpsm::graph
+
+#endif // GPSM_GRAPH_GENERATORS_HH

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Graph IO implementation.
+ */
+
+#include "graph/io.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "graph/builder.hh"
+#include "util/logging.hh"
+
+namespace gpsm::graph
+{
+
+namespace
+{
+
+constexpr char magic[8] = {'G', 'P', 'S', 'M', 'C', 'S', 'R', '1'};
+
+template <typename T>
+void
+writeVec(std::ofstream &os, const std::vector<T> &vec)
+{
+    const std::uint64_t count = vec.size();
+    os.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    os.write(reinterpret_cast<const char *>(vec.data()),
+             static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T>
+readVec(std::ifstream &is)
+{
+    std::uint64_t count = 0;
+    is.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!is)
+        fatal("truncated CSR file (count)");
+    std::vector<T> vec(count);
+    is.read(reinterpret_cast<char *>(vec.data()),
+            static_cast<std::streamsize>(count * sizeof(T)));
+    if (!is)
+        fatal("truncated CSR file (payload)");
+    return vec;
+}
+
+} // anonymous namespace
+
+void
+saveCsr(const CsrGraph &graph, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    os.write(magic, sizeof(magic));
+    writeVec(os, graph.vertexArray());
+    writeVec(os, graph.edgeArray());
+    writeVec(os, graph.valuesArray());
+    if (!os)
+        fatal("write error on '%s'", path.c_str());
+}
+
+CsrGraph
+loadCsr(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open '%s'", path.c_str());
+    char got[sizeof(magic)];
+    is.read(got, sizeof(got));
+    if (!is || std::memcmp(got, magic, sizeof(magic)) != 0)
+        fatal("'%s' is not a gpsm CSR file", path.c_str());
+    auto offsets = readVec<EdgeIdx>(is);
+    auto neighbors = readVec<NodeId>(is);
+    auto weights = readVec<Weight>(is);
+    return CsrGraph(std::move(offsets), std::move(neighbors),
+                    std::move(weights));
+}
+
+std::uint64_t
+csrFileBytes(const CsrGraph &graph)
+{
+    return sizeof(magic) + 3 * sizeof(std::uint64_t) +
+           graph.vertexArray().size() * sizeof(EdgeIdx) +
+           graph.edgeArray().size() * sizeof(NodeId) +
+           graph.valuesArray().size() * sizeof(Weight);
+}
+
+CsrGraph
+loadEdgeList(const std::string &path, NodeId num_nodes)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '%s'", path.c_str());
+
+    std::vector<Edge> edges;
+    std::vector<Weight> weights;
+    bool any_weight = false;
+    NodeId max_id = 0;
+
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::uint64_t src;
+        std::uint64_t dst;
+        if (!(ls >> src >> dst))
+            fatal("malformed edge line in '%s': %s", path.c_str(),
+                  line.c_str());
+        std::uint64_t w;
+        if (ls >> w) {
+            any_weight = true;
+            weights.push_back(static_cast<Weight>(w));
+        } else {
+            weights.push_back(1);
+        }
+        edges.push_back(Edge{static_cast<NodeId>(src),
+                             static_cast<NodeId>(dst)});
+        max_id = std::max({max_id, static_cast<NodeId>(src),
+                           static_cast<NodeId>(dst)});
+    }
+
+    const NodeId n =
+        num_nodes != 0 ? num_nodes : (edges.empty() ? 0 : max_id + 1);
+    Builder builder(n, /*remove_self_loops=*/false);
+    if (!any_weight)
+        return builder.fromEdges(edges);
+
+    // Weighted: rebuild preserving the parsed weights by constructing
+    // CSR manually through the builder's counting-sort logic.
+    std::vector<EdgeIdx> offsets(static_cast<size_t>(n) + 1, 0);
+    for (const Edge &e : edges)
+        ++offsets[e.src + 1];
+    for (size_t v = 1; v < offsets.size(); ++v)
+        offsets[v] += offsets[v - 1];
+    std::vector<NodeId> neighbors(edges.size());
+    std::vector<Weight> wts(edges.size());
+    std::vector<EdgeIdx> cursor(offsets.begin(), offsets.end() - 1);
+    for (size_t i = 0; i < edges.size(); ++i) {
+        const EdgeIdx slot = cursor[edges[i].src]++;
+        neighbors[slot] = edges[i].dst;
+        wts[slot] = weights[i];
+    }
+    return CsrGraph(std::move(offsets), std::move(neighbors),
+                    std::move(wts));
+}
+
+void
+saveEdgeList(const CsrGraph &graph, const std::string &path)
+{
+    std::ofstream os(path, std::ios::trunc);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    const bool weighted = graph.weighted();
+    for (NodeId v = 0; v < graph.numNodes(); ++v) {
+        const EdgeIdx begin = graph.vertexArray()[v];
+        const EdgeIdx end = graph.vertexArray()[v + 1];
+        for (EdgeIdx e = begin; e < end; ++e) {
+            os << v << ' ' << graph.edgeArray()[e];
+            if (weighted)
+                os << ' ' << graph.valuesArray()[e];
+            os << '\n';
+        }
+    }
+}
+
+} // namespace gpsm::graph

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Graph serialization: binary CSR container and text edge lists.
+ */
+
+#ifndef GPSM_GRAPH_IO_HH
+#define GPSM_GRAPH_IO_HH
+
+#include <string>
+
+#include "graph/csr.hh"
+
+namespace gpsm::graph
+{
+
+/**
+ * Write @p graph to @p path in the gpsm binary CSR format
+ * (magic "GPSMCSR1", counts, then the raw arrays little-endian).
+ */
+void saveCsr(const CsrGraph &graph, const std::string &path);
+
+/** Load a graph written by saveCsr. */
+CsrGraph loadCsr(const std::string &path);
+
+/** Size in bytes a saveCsr file for @p graph occupies (for the page
+ *  cache interference model: this many bytes flow through the cache
+ *  when loading from storage). */
+std::uint64_t csrFileBytes(const CsrGraph &graph);
+
+/**
+ * Parse a whitespace-separated text edge list ("src dst [weight]" per
+ * line, '#' comments). Node count is 1 + max id unless @p num_nodes
+ * is nonzero.
+ */
+CsrGraph loadEdgeList(const std::string &path, NodeId num_nodes = 0);
+
+/** Write "src dst [weight]" lines. */
+void saveEdgeList(const CsrGraph &graph, const std::string &path);
+
+} // namespace gpsm::graph
+
+#endif // GPSM_GRAPH_IO_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Vertex reordering: Degree-Based Grouping (Faldu et al., the paper's
+ * §5.1.2 preprocessing step) and comparison orderings.
+ */
+
+#ifndef GPSM_GRAPH_REORDER_HH
+#define GPSM_GRAPH_REORDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hh"
+
+namespace gpsm::graph
+{
+
+/** Available reordering methods. */
+enum class ReorderMethod : std::uint8_t
+{
+    /** Identity (original vertex IDs). */
+    None,
+    /**
+     * Degree-Based Grouping: coarse 8-bin bucketing by out-degree with
+     * thresholds {32d, 16d, 8d, 4d, 2d, d, d/2, 0} (d = average
+     * degree), stable within bins. Hot vertices end up in a dense
+     * low-ID prefix while most intra-bin structure survives.
+     */
+    Dbg,
+    /** Full descending sort by degree (destroys community structure). */
+    SortByDegree,
+    /** HubSort: vertices with degree > d sorted first, rest stable. */
+    HubSort,
+    /** Random permutation (worst-case control). */
+    Random,
+};
+
+const char *reorderMethodName(ReorderMethod method);
+
+/**
+ * Compute the new-ID mapping for @p method: result[old_id] == new_id.
+ * Deterministic; Random uses @p seed.
+ */
+std::vector<NodeId> reorderMapping(const CsrGraph &graph,
+                                   ReorderMethod method,
+                                   std::uint64_t seed = 1);
+
+/** DBG bin thresholds as multiples of the average degree. */
+std::vector<double> dbgThresholds();
+
+/**
+ * Per-vertex DBG bin index (0 = hottest); exposed for tests and for
+ * the selective-THP advisor's hot-prefix estimate.
+ */
+std::vector<std::uint8_t> dbgBins(const CsrGraph &graph);
+
+/**
+ * Apply a mapping: relabel every vertex and edge target, rebuilding
+ * the CSR (edges of the same new source keep ascending new-target
+ * order is NOT guaranteed; order follows old adjacency order).
+ * Weights follow their edges.
+ */
+CsrGraph applyMapping(const CsrGraph &graph,
+                      const std::vector<NodeId> &mapping);
+
+/**
+ * Fraction of all edge endpoints landing on the first @p prefix
+ * vertices (new ID order) — the "hot prefix coverage" used to size
+ * selective THP regions.
+ */
+double hotPrefixCoverage(const CsrGraph &graph, NodeId prefix);
+
+/**
+ * Preprocessing cost model for the paper's overhead discussion
+ * (§5.1.2): DBG traverses the vertex set three times.
+ */
+std::uint64_t dbgTraversalWork(const CsrGraph &graph);
+
+} // namespace gpsm::graph
+
+#endif // GPSM_GRAPH_REORDER_HH

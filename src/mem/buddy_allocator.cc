@@ -1,0 +1,424 @@
+/**
+ * @file
+ * BuddyAllocator implementation.
+ */
+
+#include "mem/buddy_allocator.hh"
+
+#include <sstream>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace gpsm::mem
+{
+
+const char *
+migratetypeName(Migratetype mt)
+{
+    switch (mt) {
+      case Migratetype::Movable: return "movable";
+      case Migratetype::Unmovable: return "unmovable";
+      case Migratetype::Pinned: return "pinned";
+    }
+    return "?";
+}
+
+BuddyAllocator::BuddyAllocator(std::uint64_t frames, unsigned max_order)
+    : nframes(frames), maxOrd(max_order)
+{
+    if (frames == 0)
+        fatal("buddy allocator needs at least one frame");
+    if (max_order > 30)
+        fatal("buddy max order %u unreasonably large", max_order);
+
+    meta.resize(nframes);
+    freeListHead.assign(maxOrd + 1, invalidFrame);
+    nextFree.assign(nframes, invalidFrame);
+    prevFree.assign(nframes, invalidFrame);
+
+    // Carve the frame range into maximal aligned free blocks.
+    FrameNum f = 0;
+    while (f < nframes) {
+        unsigned order = maxOrd;
+        // Largest order that keeps the block aligned and in range.
+        while (order > 0 &&
+               (!isAligned(f, 1ull << order) ||
+                f + (1ull << order) > nframes)) {
+            --order;
+        }
+        attachFree(f, order);
+        f += 1ull << order;
+    }
+}
+
+void
+BuddyAllocator::attachFree(FrameNum head, unsigned order)
+{
+    const std::uint64_t size = 1ull << order;
+    meta[head].state = State::FreeHead;
+    meta[head].order = static_cast<std::uint8_t>(order);
+    for (std::uint64_t i = 1; i < size; ++i)
+        meta[head + i].state = State::FreeBody;
+
+    nextFree[head] = freeListHead[order];
+    prevFree[head] = invalidFrame;
+    if (freeListHead[order] != invalidFrame)
+        prevFree[freeListHead[order]] = head;
+    freeListHead[order] = head;
+    nfree += size;
+}
+
+void
+BuddyAllocator::detachFree(FrameNum head, unsigned order)
+{
+    GPSM_ASSERT(meta[head].state == State::FreeHead &&
+                meta[head].order == order);
+    FrameNum nxt = nextFree[head];
+    FrameNum prv = prevFree[head];
+    if (prv != invalidFrame)
+        nextFree[prv] = nxt;
+    else
+        freeListHead[order] = nxt;
+    if (nxt != invalidFrame)
+        prevFree[nxt] = prv;
+    nextFree[head] = prevFree[head] = invalidFrame;
+    nfree -= 1ull << order;
+}
+
+void
+BuddyAllocator::markAllocated(FrameNum head, unsigned order, Migratetype mt,
+                              std::uint16_t client)
+{
+    const std::uint64_t size = 1ull << order;
+    meta[head].state = State::AllocHead;
+    meta[head].order = static_cast<std::uint8_t>(order);
+    meta[head].mt = mt;
+    meta[head].client = client;
+    for (std::uint64_t i = 1; i < size; ++i)
+        meta[head + i].state = State::AllocBody;
+}
+
+FrameNum
+BuddyAllocator::allocate(unsigned order, Migratetype mt,
+                         std::uint16_t client)
+{
+    ++allocCalls;
+    GPSM_ASSERT(order <= maxOrd);
+
+    unsigned have = order;
+    while (have <= maxOrd && freeListHead[have] == invalidFrame)
+        ++have;
+    if (have > maxOrd) {
+        ++allocFailures;
+        return invalidFrame;
+    }
+
+    FrameNum head = freeListHead[have];
+    detachFree(head, have);
+
+    // Split down to the requested order, freeing the upper halves.
+    while (have > order) {
+        --have;
+        ++splits;
+        attachFree(head + (1ull << have), have);
+    }
+
+    markAllocated(head, order, mt, client);
+    return head;
+}
+
+bool
+BuddyAllocator::allocateExact(FrameNum head, unsigned order, Migratetype mt,
+                              std::uint16_t client)
+{
+    ++allocCalls;
+    GPSM_ASSERT(order <= maxOrd && isAligned(head, 1ull << order));
+    if (head + (1ull << order) > nframes) {
+        ++allocFailures;
+        return false;
+    }
+
+    // Eager coalescing guarantees a fully free aligned range is covered
+    // by exactly one free block of order >= requested. Find its head.
+    FrameNum h0 = head;
+    while (meta[h0].state == State::FreeBody)
+        --h0;
+    if (meta[h0].state != State::FreeHead) {
+        ++allocFailures;
+        return false;
+    }
+    unsigned o0 = meta[h0].order;
+    if (h0 + (1ull << o0) < head + (1ull << order)) {
+        // Containing free block too small: range not fully free.
+        ++allocFailures;
+        return false;
+    }
+
+    detachFree(h0, o0);
+    // Targeted split: repeatedly halve the block containing the target,
+    // freeing the non-containing half.
+    while (o0 > order) {
+        --o0;
+        ++splits;
+        FrameNum low = h0;
+        FrameNum high = h0 + (1ull << o0);
+        if (head >= high) {
+            attachFree(low, o0);
+            h0 = high;
+        } else {
+            attachFree(high, o0);
+            h0 = low;
+        }
+    }
+    GPSM_ASSERT(h0 == head);
+    markAllocated(head, order, mt, client);
+    return true;
+}
+
+void
+BuddyAllocator::free(FrameNum head)
+{
+    if (head >= nframes || meta[head].state != State::AllocHead)
+        panic("free of non-head frame %llu",
+              static_cast<unsigned long long>(head));
+
+    unsigned order = meta[head].order;
+
+    // Coalesce with free buddies as far as possible.
+    while (order < maxOrd) {
+        FrameNum buddy = buddyOf(head, order);
+        if (buddy + (1ull << order) > nframes)
+            break;
+        if (meta[buddy].state != State::FreeHead ||
+            meta[buddy].order != order) {
+            break;
+        }
+        detachFree(buddy, order);
+        ++merges;
+        head = std::min(head, buddy);
+        ++order;
+    }
+    attachFree(head, order);
+}
+
+void
+BuddyAllocator::splitAllocated(FrameNum head)
+{
+    if (head >= nframes || meta[head].state != State::AllocHead)
+        panic("splitAllocated of non-head frame %llu",
+              static_cast<unsigned long long>(head));
+    unsigned order = meta[head].order;
+    GPSM_ASSERT(order >= 1, "cannot split an order-0 block");
+
+    --order;
+    ++splits;
+    const Migratetype mt = meta[head].mt;
+    const std::uint16_t client = meta[head].client;
+    markAllocated(head, order, mt, client);
+    markAllocated(head + (1ull << order), order, mt, client);
+}
+
+std::uint64_t
+BuddyAllocator::freeBlocksAt(unsigned order) const
+{
+    GPSM_ASSERT(order <= maxOrd);
+    std::uint64_t n = 0;
+    for (FrameNum f = freeListHead[order]; f != invalidFrame;
+         f = nextFree[f]) {
+        ++n;
+    }
+    return n;
+}
+
+std::uint64_t
+BuddyAllocator::freeBlocksAtLeast(unsigned order) const
+{
+    std::uint64_t n = 0;
+    for (unsigned o = order; o <= maxOrd; ++o)
+        n += freeBlocksAt(o);
+    return n;
+}
+
+int
+BuddyAllocator::largestFreeOrder() const
+{
+    for (int o = static_cast<int>(maxOrd); o >= 0; --o)
+        if (freeListHead[static_cast<unsigned>(o)] != invalidFrame)
+            return o;
+    return -1;
+}
+
+bool
+BuddyAllocator::isAllocated(FrameNum frame) const
+{
+    GPSM_ASSERT(frame < nframes);
+    return meta[frame].state == State::AllocHead ||
+           meta[frame].state == State::AllocBody;
+}
+
+bool
+BuddyAllocator::isAllocatedHead(FrameNum frame) const
+{
+    GPSM_ASSERT(frame < nframes);
+    return meta[frame].state == State::AllocHead;
+}
+
+unsigned
+BuddyAllocator::orderOf(FrameNum frame) const
+{
+    GPSM_ASSERT(frame < nframes && meta[frame].state == State::AllocHead);
+    return meta[frame].order;
+}
+
+Migratetype
+BuddyAllocator::migratetypeOf(FrameNum frame) const
+{
+    GPSM_ASSERT(frame < nframes && meta[frame].state == State::AllocHead);
+    return meta[frame].mt;
+}
+
+std::uint16_t
+BuddyAllocator::clientOf(FrameNum frame) const
+{
+    GPSM_ASSERT(frame < nframes && meta[frame].state == State::AllocHead);
+    return meta[frame].client;
+}
+
+FrameNum
+BuddyAllocator::headOf(FrameNum frame) const
+{
+    GPSM_ASSERT(frame < nframes);
+    FrameNum f = frame;
+    while (meta[f].state == State::AllocBody ||
+           meta[f].state == State::FreeBody) {
+        GPSM_ASSERT(f > 0);
+        --f;
+    }
+    return meta[f].state == State::AllocHead ? f : invalidFrame;
+}
+
+BuddyAllocator::RegionSummary
+BuddyAllocator::summarizeRegion(FrameNum region_head) const
+{
+    const std::uint64_t region_size = 1ull << maxOrd;
+    GPSM_ASSERT(isAligned(region_head, region_size) &&
+                region_head + region_size <= nframes);
+
+    RegionSummary s;
+    FrameNum f = region_head;
+    const FrameNum end = region_head + region_size;
+    while (f < end) {
+        const Frame &fr = meta[f];
+        const std::uint64_t block = 1ull << fr.order;
+        switch (fr.state) {
+          case State::FreeHead:
+            s.freeFrames += block;
+            f += block;
+            break;
+          case State::AllocHead:
+            switch (fr.mt) {
+              case Migratetype::Movable:
+                s.movableFrames += block;
+                s.movableHeads.push_back(f);
+                break;
+              case Migratetype::Unmovable:
+                s.unmovableFrames += block;
+                break;
+              case Migratetype::Pinned:
+                s.pinnedFrames += block;
+                break;
+            }
+            f += block;
+            break;
+          default:
+            panic("region scan hit body frame %llu; block straddles "
+                  "region boundary",
+                  static_cast<unsigned long long>(f));
+        }
+    }
+    return s;
+}
+
+double
+BuddyAllocator::fragmentationLevel() const
+{
+    if (nfree == 0)
+        return 0.0;
+    const std::uint64_t huge_free =
+        freeBlocksAt(maxOrd) * (1ull << maxOrd);
+    return 1.0 - static_cast<double>(huge_free) /
+                     static_cast<double>(nfree);
+}
+
+void
+BuddyAllocator::checkInvariants() const
+{
+    std::uint64_t free_count = 0;
+    FrameNum f = 0;
+    while (f < nframes) {
+        const Frame &fr = meta[f];
+        if (fr.state == State::FreeBody || fr.state == State::AllocBody)
+            panic("frame %llu: body frame where head expected",
+                  static_cast<unsigned long long>(f));
+        const std::uint64_t block = 1ull << fr.order;
+        if (!isAligned(f, block))
+            panic("frame %llu: misaligned order-%u block",
+                  static_cast<unsigned long long>(f), unsigned(fr.order));
+        if (f + block > nframes)
+            panic("frame %llu: block overruns node",
+                  static_cast<unsigned long long>(f));
+        const State body_state = fr.state == State::FreeHead
+                                     ? State::FreeBody
+                                     : State::AllocBody;
+        for (std::uint64_t i = 1; i < block; ++i) {
+            if (meta[f + i].state != body_state)
+                panic("frame %llu: inconsistent body state",
+                      static_cast<unsigned long long>(f + i));
+        }
+        if (fr.state == State::FreeHead) {
+            free_count += block;
+            // Eager coalescing: the buddy must not also be a free block
+            // of the same order.
+            FrameNum buddy = f ^ block;
+            if (buddy + block <= nframes &&
+                meta[buddy].state == State::FreeHead &&
+                meta[buddy].order == fr.order && fr.order < maxOrd) {
+                panic("frames %llu/%llu: uncoalesced free buddies",
+                      static_cast<unsigned long long>(f),
+                      static_cast<unsigned long long>(buddy));
+            }
+        }
+        f += block;
+    }
+    if (free_count != nfree)
+        panic("free frame accounting mismatch: walked %llu, counter %llu",
+              static_cast<unsigned long long>(free_count),
+              static_cast<unsigned long long>(nfree));
+
+    // Free lists must reference exactly the FreeHead frames.
+    std::uint64_t listed = 0;
+    for (unsigned o = 0; o <= maxOrd; ++o) {
+        for (FrameNum h = freeListHead[o]; h != invalidFrame;
+             h = nextFree[h]) {
+            if (meta[h].state != State::FreeHead || meta[h].order != o)
+                panic("free list %u contains non-free frame %llu", o,
+                      static_cast<unsigned long long>(h));
+            listed += 1ull << o;
+        }
+    }
+    if (listed != nfree)
+        panic("free list coverage mismatch");
+}
+
+std::string
+BuddyAllocator::dumpFreeLists() const
+{
+    std::ostringstream os;
+    for (unsigned o = 0; o <= maxOrd; ++o)
+        os << "order " << o << ": " << freeBlocksAt(o)
+           << " free blocks\n";
+    return os.str();
+}
+
+} // namespace gpsm::mem

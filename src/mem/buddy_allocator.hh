@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Binary buddy allocator over one memory node's physical frames.
+ *
+ * This reproduces the structural behaviour of Linux's zoned buddy
+ * allocator that the paper's huge-page availability arguments rest on:
+ * power-of-two blocks with aligned buddies, split on demand from the
+ * smallest sufficient order, and eager coalescing on free. Huge pages
+ * are order `hugeOrder()` blocks; a node has a free huge-page region iff
+ * the buddy has a free block of at least that order.
+ */
+
+#ifndef GPSM_MEM_BUDDY_ALLOCATOR_HH
+#define GPSM_MEM_BUDDY_ALLOCATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/types.hh"
+#include "util/stats.hh"
+
+namespace gpsm::mem
+{
+
+/**
+ * Buddy allocator state plus per-frame metadata.
+ *
+ * Frames are identified by FrameNum in [0, frames()). A block of order
+ * k covers 2^k frames and is aligned to 2^k. The allocator tracks, per
+ * head frame, the block's order, migratetype and owning client id; body
+ * frames point back to membership only implicitly (state AllocBody /
+ * FreeBody).
+ */
+class BuddyAllocator
+{
+  public:
+    /**
+     * @param frames Total frames managed (need not be a power of two).
+     * @param max_order Largest block order (the huge-page order).
+     */
+    BuddyAllocator(std::uint64_t frames, unsigned max_order);
+
+    BuddyAllocator(const BuddyAllocator &) = delete;
+    BuddyAllocator &operator=(const BuddyAllocator &) = delete;
+
+    /**
+     * Allocate one block of exactly @p order, splitting larger blocks
+     * if needed (smallest-sufficient-order policy).
+     *
+     * @param order Block order requested.
+     * @param mt Mobility class recorded on the block.
+     * @param client Owner id recorded on the block (see MemoryNode).
+     * @return Head frame, or invalidFrame when no block of any order
+     *         >= @p order is free.
+     */
+    FrameNum allocate(unsigned order, Migratetype mt,
+                      std::uint16_t client);
+
+    /**
+     * Allocate a specific free block (used by the compactor to claim a
+     * region it just emptied, and by tests).
+     *
+     * @return true when the exact block [head, head+2^order) was free
+     *         and is now allocated.
+     */
+    bool allocateExact(FrameNum head, unsigned order, Migratetype mt,
+                       std::uint16_t client);
+
+    /**
+     * Free the block headed at @p head. The block's recorded order is
+     * used; freeing a non-head or free frame panics. Buddies coalesce
+     * eagerly up to maxOrder.
+     */
+    void free(FrameNum head);
+
+    /**
+     * Split one allocated block of order >= 1 headed at @p head into
+     * two allocated buddies of order-1 (fragmenter building block;
+     * mirrors Linux split_page()). Metadata (mt, client) is copied.
+     */
+    void splitAllocated(FrameNum head);
+
+    /** @name Queries @{ */
+    std::uint64_t frames() const { return nframes; }
+    unsigned maxOrder() const { return maxOrd; }
+    std::uint64_t freeFrames() const { return nfree; }
+    std::uint64_t allocatedFrames() const { return nframes - nfree; }
+
+    /** Number of free blocks at exactly @p order. */
+    std::uint64_t freeBlocksAt(unsigned order) const;
+
+    /** Number of free blocks of order >= @p order. */
+    std::uint64_t freeBlocksAtLeast(unsigned order) const;
+
+    /** Largest order with a free block, or -1 when empty. */
+    int largestFreeOrder() const;
+
+    /** True when frame is inside any allocated block. */
+    bool isAllocated(FrameNum frame) const;
+
+    /** True when @p frame heads an allocated block. */
+    bool isAllocatedHead(FrameNum frame) const;
+
+    /** Order of the allocated block headed at @p frame (panics else). */
+    unsigned orderOf(FrameNum frame) const;
+
+    /** Migratetype of the allocated block headed at @p frame. */
+    Migratetype migratetypeOf(FrameNum frame) const;
+
+    /** Owner id of the allocated block headed at @p frame. */
+    std::uint16_t clientOf(FrameNum frame) const;
+
+    /**
+     * Head frame of the allocated block containing @p frame
+     * (invalidFrame when the frame is free).
+     */
+    FrameNum headOf(FrameNum frame) const;
+    /** @} */
+
+    /**
+     * Per-maxOrder-region summary used by the compactor and by
+     * fragmentation metrics: counts of free / movable / unmovable /
+     * pinned frames within the aligned region containing @p frame.
+     */
+    struct RegionSummary
+    {
+        std::uint64_t freeFrames = 0;
+        std::uint64_t movableFrames = 0;
+        std::uint64_t unmovableFrames = 0;
+        std::uint64_t pinnedFrames = 0;
+        /** Heads of movable allocated blocks inside the region. */
+        std::vector<FrameNum> movableHeads;
+    };
+
+    RegionSummary summarizeRegion(FrameNum region_head) const;
+
+    /** Number of maxOrder regions fully contained in the node. */
+    std::uint64_t regions() const { return nframes >> maxOrd; }
+
+    /**
+     * Fraction of free memory that does not belong to any free
+     * maxOrder block — the paper's "fragmentation level" measured on
+     * the current allocator state.
+     */
+    double fragmentationLevel() const;
+
+    /** Consistency check used by tests; panics on violation. */
+    void checkInvariants() const;
+
+    /** One line per order: "order k: n free blocks". */
+    std::string dumpFreeLists() const;
+
+    /** @name Event counters (registered by MemoryNode) @{ */
+    Counter allocCalls;
+    Counter allocFailures;
+    Counter splits;
+    Counter merges;
+    /** @} */
+
+  private:
+    enum class State : std::uint8_t
+    {
+        FreeHead,
+        FreeBody,
+        AllocHead,
+        AllocBody,
+    };
+
+    struct Frame
+    {
+        State state = State::FreeBody;
+        std::uint8_t order = 0;
+        Migratetype mt = Migratetype::Movable;
+        std::uint16_t client = 0;
+    };
+
+    /** Remove a known free block from its free list. */
+    void detachFree(FrameNum head, unsigned order);
+    /** Push a block onto the free list of @p order and mark frames. */
+    void attachFree(FrameNum head, unsigned order);
+    /** Mark block frames allocated with metadata. */
+    void markAllocated(FrameNum head, unsigned order, Migratetype mt,
+                       std::uint16_t client);
+
+    FrameNum buddyOf(FrameNum head, unsigned order) const
+    {
+        return head ^ (1ull << order);
+    }
+
+    std::uint64_t nframes;
+    unsigned maxOrd;
+    std::uint64_t nfree = 0;
+
+    std::vector<Frame> meta;
+
+    /** Intrusive doubly-linked free lists, one per order. */
+    std::vector<FrameNum> freeListHead; // per order
+    std::vector<FrameNum> nextFree;     // per frame (valid for FreeHead)
+    std::vector<FrameNum> prevFree;
+};
+
+} // namespace gpsm::mem
+
+#endif // GPSM_MEM_BUDDY_ALLOCATOR_HH

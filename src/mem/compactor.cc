@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Compactor implementation.
+ */
+
+#include "mem/compactor.hh"
+
+#include <limits>
+
+#include "mem/memory_node.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace gpsm::mem
+{
+
+Compactor::Result
+Compactor::createHugeRegion()
+{
+    BuddyAllocator &buddy = node.buddy();
+    const unsigned huge_order = buddy.maxOrder();
+    const std::uint64_t region_size = 1ull << huge_order;
+
+    // Pass 1: pick the cheapest candidate region.
+    FrameNum best = invalidFrame;
+    std::uint64_t best_cost = std::numeric_limits<std::uint64_t>::max();
+    for (std::uint64_t r = 0; r < buddy.regions(); ++r) {
+        const FrameNum head = r * region_size;
+        const auto s = buddy.summarizeRegion(head);
+        if (s.unmovableFrames != 0 || s.pinnedFrames != 0)
+            continue;
+        if (s.freeFrames == region_size)
+            continue; // already a free huge region
+        if (s.movableFrames == 0)
+            continue; // cannot happen with the above, defensive
+        // A fully-occupied movable region containing one huge block
+        // yields nothing (it would just trade one huge page for
+        // another).
+        bool has_huge_block = false;
+        for (FrameNum h : s.movableHeads) {
+            if (buddy.orderOf(h) == huge_order) {
+                has_huge_block = true;
+                break;
+            }
+        }
+        if (has_huge_block)
+            continue;
+        // Feasibility: enough free frames outside the region to absorb
+        // the evacuated pages.
+        const std::uint64_t free_elsewhere =
+            buddy.freeFrames() - s.freeFrames;
+        if (free_elsewhere < s.movableFrames)
+            continue;
+        if (s.movableFrames < best_cost) {
+            best_cost = s.movableFrames;
+            best = head;
+        }
+    }
+
+    Result res;
+    if (best == invalidFrame)
+        return res;
+
+    // Pass 2: reserve the region's free space so evacuation targets
+    // land outside it, then migrate every movable block out.
+    const auto summary = buddy.summarizeRegion(best);
+    std::vector<FrameNum> reserved;
+    {
+        FrameNum f = best;
+        const FrameNum end = best + region_size;
+        while (f < end) {
+            if (buddy.isAllocated(f)) {
+                f += 1ull << buddy.orderOf(buddy.headOf(f));
+            } else {
+                // Claim the largest aligned free block at f within the
+                // region; order-0 claims always succeed on free frames.
+                unsigned order = 0;
+                while (order + 1 <= huge_order &&
+                       isAligned(f, 1ull << (order + 1)) &&
+                       f + (1ull << (order + 1)) <= end) {
+                    // Probe: the bigger block must be fully free.
+                    bool free_block = true;
+                    for (FrameNum g = f; g < f + (1ull << (order + 1));
+                         ++g) {
+                        if (buddy.isAllocated(g)) {
+                            free_block = false;
+                            break;
+                        }
+                    }
+                    if (!free_block)
+                        break;
+                    ++order;
+                }
+                bool ok = buddy.allocateExact(f, order,
+                                              Migratetype::Unmovable,
+                                              /*client=*/0);
+                GPSM_ASSERT(ok, "failed to reserve free block during "
+                                "compaction");
+                reserved.push_back(f);
+                f += 1ull << order;
+            }
+        }
+    }
+
+    // Migrate first, free the sources afterwards: freeing a source
+    // mid-loop would let a later evacuee be relocated back *into* the
+    // region being compacted.
+    for (FrameNum from : summary.movableHeads) {
+        const unsigned order = buddy.orderOf(from);
+        GPSM_ASSERT(order == 0,
+                    "compaction only migrates order-0 movable blocks");
+        const Migratetype mt = buddy.migratetypeOf(from);
+        const std::uint16_t owner = buddy.clientOf(from);
+
+        FrameNum to = buddy.allocate(order, mt, owner);
+        GPSM_ASSERT(to != invalidFrame,
+                    "feasibility precheck guaranteed a free frame");
+        PageClient *pc = node.client(owner);
+        GPSM_ASSERT(pc != nullptr);
+        pc->migratePage(from, to);
+        res.migratedPages += 1ull << order;
+    }
+    for (FrameNum from : summary.movableHeads)
+        buddy.free(from);
+
+    // Release the reservations; frees coalesce into one huge block.
+    for (FrameNum f : reserved)
+        buddy.free(f);
+
+    res.success = true;
+    res.regionHead = best;
+    return res;
+}
+
+} // namespace gpsm::mem

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Direct memory compaction: assemble a free huge-page region by
+ * migrating movable pages out of the least-occupied candidate region.
+ */
+
+#ifndef GPSM_MEM_COMPACTOR_HH
+#define GPSM_MEM_COMPACTOR_HH
+
+#include <cstdint>
+
+#include "mem/types.hh"
+
+namespace gpsm::mem
+{
+
+class MemoryNode;
+
+/**
+ * Models Linux's direct compaction for huge-page allocations.
+ *
+ * A candidate region is a huge-page-aligned frame range containing no
+ * unmovable or pinned block. Compaction picks the candidate with the
+ * fewest movable frames (cheapest to empty), relocates each movable
+ * order-0 block to a frame outside the region, and leaves the region as
+ * one free huge block. Like Linux, it cannot help when every region is
+ * polluted by non-movable allocations — the fragmentation scenario of
+ * paper §4.4.
+ */
+class Compactor
+{
+  public:
+    explicit Compactor(MemoryNode &target) : node(target) {}
+
+    struct Result
+    {
+        bool success = false;
+        /** Head frame of the now-free huge region (on success). */
+        FrameNum regionHead = invalidFrame;
+        /** Pages copied. */
+        std::uint64_t migratedPages = 0;
+    };
+
+    /**
+     * Try to produce one free huge-page region.
+     *
+     * @return Result with success=false when no candidate region can be
+     *         emptied (all contain non-movable pages, or too little
+     *         free memory exists elsewhere to absorb the evacuees).
+     */
+    Result createHugeRegion();
+
+  private:
+    MemoryNode &node;
+};
+
+} // namespace gpsm::mem
+
+#endif // GPSM_MEM_COMPACTOR_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fragmenter implementation.
+ */
+
+#include "mem/fragmenter.hh"
+
+#include "mem/memory_node.hh"
+#include "util/logging.hh"
+
+namespace gpsm::mem
+{
+
+Fragmenter::Fragmenter(MemoryNode &target) : node(target)
+{
+    clientId = node.registerClient(this);
+}
+
+Fragmenter::~Fragmenter()
+{
+    release();
+}
+
+std::uint64_t
+Fragmenter::fragment(double level)
+{
+    if (level < 0.0 || level > 1.0)
+        fatal("fragmentation level %.2f out of [0,1]", level);
+
+    BuddyAllocator &buddy = node.buddy();
+    const unsigned huge_order = buddy.maxOrder();
+    const std::uint64_t block_frames = 1ull << huge_order;
+
+    const std::uint64_t free_frames = buddy.freeFrames();
+    const auto target_frames = static_cast<std::uint64_t>(
+        level * static_cast<double>(free_frames));
+    const std::uint64_t blocks = target_frames / block_frames;
+
+    std::uint64_t poisoned = 0;
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+        FrameNum head = buddy.allocate(huge_order, Migratetype::Unmovable,
+                                       clientId);
+        if (head == invalidFrame)
+            break; // no huge regions left to poison
+
+        // split_page(): turn the huge block into base-page blocks.
+        for (unsigned order = huge_order; order > 0; --order) {
+            for (FrameNum f = head; f < head + block_frames;
+                 f += 1ull << order) {
+                buddy.splitAllocated(f);
+            }
+        }
+        // Free pages 2..N, keeping the first page of the region
+        // allocated (and unmovable) forever.
+        for (FrameNum f = head + 1; f < head + block_frames; ++f)
+            buddy.free(f);
+        retained.push_back(head);
+        ++poisoned;
+    }
+    return poisoned;
+}
+
+void
+Fragmenter::release()
+{
+    for (FrameNum f : retained)
+        node.free(f);
+    retained.clear();
+}
+
+void
+Fragmenter::migratePage(FrameNum, FrameNum)
+{
+    panic("fragmenter pages are unmovable and must never migrate");
+}
+
+} // namespace gpsm::mem

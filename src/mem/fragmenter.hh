@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Non-movable memory fragmentation injector (the paper's `frag` tool).
+ */
+
+#ifndef GPSM_MEM_FRAGMENTER_HH
+#define GPSM_MEM_FRAGMENTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/types.hh"
+
+namespace gpsm::mem
+{
+
+class MemoryNode;
+
+/**
+ * Reproduces the paper's custom `frag` program (§4.4.1): allocate huge
+ * blocks of *non-movable* memory until F% of the available memory is
+ * held, split each block into base pages, then free every page except
+ * the first. The surviving unmovable page at each huge-page-aligned
+ * region head makes that region permanently ineligible for huge pages —
+ * compaction cannot move it.
+ */
+class Fragmenter : public PageClient
+{
+  public:
+    explicit Fragmenter(MemoryNode &node);
+    ~Fragmenter() override;
+
+    Fragmenter(const Fragmenter &) = delete;
+    Fragmenter &operator=(const Fragmenter &) = delete;
+
+    /**
+     * Fragment @p level (0.0–1.0) of the currently free memory.
+     *
+     * @return Number of huge-page regions poisoned.
+     */
+    std::uint64_t fragment(double level);
+
+    /** Free all retained pages, restoring the regions. */
+    void release();
+
+    std::uint64_t retainedPages() const { return retained.size(); }
+
+    /** @name PageClient @{ */
+    void migratePage(FrameNum from, FrameNum to) override;
+    const char *clientName() const override { return "fragmenter"; }
+    /** @} */
+
+  private:
+    MemoryNode &node;
+    std::uint16_t clientId;
+    /** One retained (unmovable) frame per poisoned region. */
+    std::vector<FrameNum> retained;
+};
+
+} // namespace gpsm::mem
+
+#endif // GPSM_MEM_FRAGMENTER_HH

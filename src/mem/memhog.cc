@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Memhog implementation.
+ */
+
+#include "mem/memhog.hh"
+
+#include "mem/memory_node.hh"
+#include "util/logging.hh"
+
+namespace gpsm::mem
+{
+
+Memhog::Memhog(MemoryNode &target) : node(target)
+{
+    clientId = node.registerClient(this);
+}
+
+Memhog::~Memhog()
+{
+    release();
+}
+
+std::uint64_t
+Memhog::occupy(std::uint64_t bytes)
+{
+    BuddyAllocator &buddy = node.buddy();
+    const std::uint64_t page = node.basePageBytes();
+    std::uint64_t want_frames = bytes / page;
+    std::uint64_t got_frames = 0;
+
+    // Largest-first to occupy space without shredding free regions.
+    int order = static_cast<int>(buddy.maxOrder());
+    while (want_frames > 0 && order >= 0) {
+        const std::uint64_t block = 1ull << order;
+        if (block > want_frames) {
+            --order;
+            continue;
+        }
+        FrameNum head = buddy.allocate(static_cast<unsigned>(order),
+                                       Migratetype::Pinned, clientId);
+        if (head == invalidFrame) {
+            --order;
+            continue;
+        }
+        blocks.push_back(head);
+        got_frames += block;
+        want_frames -= block;
+    }
+    heldFrames += got_frames;
+    return got_frames * page;
+}
+
+std::uint64_t
+Memhog::occupyAllBut(std::uint64_t bytes)
+{
+    const std::uint64_t free_now = node.freeBytes();
+    if (free_now <= bytes)
+        return 0;
+    return occupy(free_now - bytes);
+}
+
+void
+Memhog::release()
+{
+    for (FrameNum head : blocks)
+        node.free(head);
+    blocks.clear();
+    heldFrames = 0;
+}
+
+std::uint64_t
+Memhog::heldBytes() const
+{
+    return heldFrames * node.basePageBytes();
+}
+
+void
+Memhog::migratePage(FrameNum, FrameNum)
+{
+    panic("memhog pages are pinned and must never migrate");
+}
+
+} // namespace gpsm::mem

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Memory-pressure generator (the paper's memhog + mlock combination).
+ */
+
+#ifndef GPSM_MEM_MEMHOG_HH
+#define GPSM_MEM_MEMHOG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/types.hh"
+
+namespace gpsm::mem
+{
+
+class MemoryNode;
+
+/**
+ * Occupies a fixed amount of node memory with pinned (mlocked) pages,
+ * exactly like the paper's `memhog M` + `mlock` methodology (§4.3.1):
+ * the pages can be neither swapped nor migrated, so the application is
+ * left with only `node - M` usable bytes.
+ *
+ * Memory is grabbed largest-block-first so memhog itself introduces no
+ * fragmentation; fragmentation is injected separately by Fragmenter.
+ */
+class Memhog : public PageClient
+{
+  public:
+    explicit Memhog(MemoryNode &node);
+    ~Memhog() override;
+
+    Memhog(const Memhog &) = delete;
+    Memhog &operator=(const Memhog &) = delete;
+
+    /**
+     * Pin @p bytes of memory.
+     *
+     * @return Bytes actually pinned (less when the node runs out).
+     */
+    std::uint64_t occupy(std::uint64_t bytes);
+
+    /**
+     * Pin memory until only @p bytes remain free on the node — the
+     * natural way to express the paper's "WSS + slack" scenarios.
+     */
+    std::uint64_t occupyAllBut(std::uint64_t bytes);
+
+    /** Release everything held. */
+    void release();
+
+    std::uint64_t heldBytes() const;
+
+    /** @name PageClient @{ */
+    void migratePage(FrameNum from, FrameNum to) override;
+    const char *clientName() const override { return "memhog"; }
+    /** @} */
+
+  private:
+    MemoryNode &node;
+    std::uint16_t clientId;
+    std::vector<FrameNum> blocks;
+    std::uint64_t heldFrames = 0;
+};
+
+} // namespace gpsm::mem
+
+#endif // GPSM_MEM_MEMHOG_HH

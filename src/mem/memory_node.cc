@@ -1,0 +1,254 @@
+/**
+ * @file
+ * MemoryNode implementation.
+ */
+
+#include "mem/memory_node.hh"
+
+#include "mem/compactor.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace gpsm::mem
+{
+
+MemoryNode::MemoryNode(const Params &params)
+    : pageBytes(params.basePageBytes), hugeOrd(params.hugeOrder)
+{
+    if (!isPowerOfTwo(pageBytes))
+        fatal("base page size must be a power of two");
+    if (params.bytes < (pageBytes << hugeOrd))
+        fatal("node smaller than one huge page");
+
+    const std::uint64_t frames = params.bytes / pageBytes;
+    watermarkFrames = params.hugeWatermarkBytes / pageBytes;
+    alloc = std::make_unique<BuddyAllocator>(frames, hugeOrd);
+    compactor = std::make_unique<Compactor>(*this);
+
+    // Client id 0 is reserved for internal (kernel) allocations.
+    clients.push_back(nullptr);
+
+    // Carve the hugetlbfs-style giant-page pool out of boot-fresh
+    // memory: contiguous runs of huge blocks, pinned forever.
+    giantOrd = params.giantOrder;
+    if (params.giantPoolPages > 0) {
+        if (giantOrd <= hugeOrd)
+            fatal("giant order must exceed the huge order");
+        const std::uint64_t giant_frames = 1ull << giantOrd;
+        for (std::uint64_t p = 0; p < params.giantPoolPages; ++p) {
+            const FrameNum head = p * giant_frames;
+            if (head + giant_frames > alloc->frames())
+                fatal("giant pool exceeds node memory");
+            for (FrameNum f = head; f < head + giant_frames;
+                 f += 1ull << hugeOrd) {
+                bool ok = alloc->allocateExact(
+                    f, hugeOrd, Migratetype::Pinned, /*client=*/0);
+                GPSM_ASSERT(ok, "boot-time giant reservation failed");
+            }
+            giantPool.push_back(head);
+        }
+        giantTotal = params.giantPoolPages;
+    }
+}
+
+MemoryNode::~MemoryNode() = default;
+
+std::uint16_t
+MemoryNode::registerClient(PageClient *client)
+{
+    GPSM_ASSERT(client != nullptr);
+    if (clients.size() >= 0xffff)
+        fatal("too many page clients");
+    clients.push_back(client);
+    return static_cast<std::uint16_t>(clients.size() - 1);
+}
+
+PageClient *
+MemoryNode::client(std::uint16_t id) const
+{
+    GPSM_ASSERT(id < clients.size());
+    return clients[id];
+}
+
+void
+MemoryNode::addReclaimable(Reclaimable *pool)
+{
+    GPSM_ASSERT(pool != nullptr);
+    reclaimables.push_back(pool);
+}
+
+std::uint64_t
+MemoryNode::reclaimFrames(std::uint64_t frames)
+{
+    std::uint64_t got = 0;
+    for (Reclaimable *pool : reclaimables) {
+        if (got >= frames)
+            break;
+        got += pool->reclaim(frames - got);
+    }
+    reclaimedPages += got;
+    return got;
+}
+
+std::uint64_t
+MemoryNode::swapOutOne()
+{
+    std::uint64_t evicted = 0;
+    while (!swappable.empty() && evicted == 0) {
+        FrameNum victim = swappable.front();
+        swappable.pop_front();
+        if (victim >= alloc->frames() || !alloc->isAllocatedHead(victim))
+            continue; // stale: freed since registration
+        if (alloc->orderOf(victim) != 0 ||
+            alloc->migratetypeOf(victim) != Migratetype::Movable) {
+            continue;
+        }
+        PageClient *owner = client(alloc->clientOf(victim));
+        if (owner == nullptr)
+            continue;
+        if (owner->evictPage(victim)) {
+            ++evicted;
+            ++swapOuts;
+        }
+    }
+    return evicted;
+}
+
+AllocOutcome
+MemoryNode::allocate(const Request &req)
+{
+    AllocOutcome out;
+    out.order = req.order;
+
+    // Watermark rule: huge-order requests must leave watermarkFrames
+    // of free memory behind, or they fail without any further effort
+    // (Linux would defer compaction and fall back).
+    if (req.order == hugeOrd && watermarkFrames != 0) {
+        const std::uint64_t need =
+            (1ull << hugeOrd) + watermarkFrames;
+        if (alloc->freeFrames() < need) {
+            ++watermarkFailures;
+            return out;
+        }
+    }
+
+    auto attempt = [&]() -> FrameNum {
+        return alloc->allocate(req.order, req.mt, req.client);
+    };
+
+    FrameNum f = attempt();
+
+    // Escalation 1: reclaim clean page-cache pages. For base pages one
+    // reclaimed frame suffices; for huge requests reclaim a region's
+    // worth and retry (the freed pages may still be discontiguous —
+    // that is exactly the paper's point).
+    if (f == invalidFrame && req.mayReclaim) {
+        const std::uint64_t want = 1ull << req.order;
+        out.reclaimedPages = reclaimFrames(want);
+        if (out.reclaimedPages > 0)
+            f = attempt();
+    }
+
+    // Escalation 2: direct compaction for huge-page requests.
+    if (f == invalidFrame && req.mayCompact && req.order == hugeOrd) {
+        ++compactionRuns;
+        Compactor::Result res = compactor->createHugeRegion();
+        out.migratedPages += res.migratedPages;
+        compactionPagesMigrated += res.migratedPages;
+        if (res.success) {
+            bool ok = alloc->allocateExact(res.regionHead, hugeOrd,
+                                           req.mt, req.client);
+            GPSM_ASSERT(ok, "compacted region vanished");
+            f = res.regionHead;
+        } else {
+            ++out.compactionFailures;
+            ++compactionFails;
+        }
+    }
+
+    // Escalation 3: swap out movable pages (base-page requests only;
+    // Linux's huge-page fault path falls back to 4KB instead).
+    if (f == invalidFrame && req.maySwap && req.order == 0) {
+        while (f == invalidFrame) {
+            std::uint64_t evicted = swapOutOne();
+            if (evicted == 0)
+                break;
+            out.swappedPages += evicted;
+            f = attempt();
+        }
+    }
+
+    if (f == invalidFrame) {
+        ++oomFailures;
+        return out;
+    }
+
+    out.frame = f;
+    out.success = true;
+    return out;
+}
+
+void
+MemoryNode::free(FrameNum head)
+{
+    alloc->free(head);
+}
+
+FrameNum
+MemoryNode::allocGiantPage()
+{
+    if (giantPool.empty())
+        return invalidFrame;
+    FrameNum head = giantPool.back();
+    giantPool.pop_back();
+    return head;
+}
+
+void
+MemoryNode::freeGiantPage(FrameNum head)
+{
+    GPSM_ASSERT(giantOrd != 0 &&
+                isAligned(head, 1ull << giantOrd) &&
+                giantPool.size() < giantTotal);
+    giantPool.push_back(head);
+}
+
+void
+MemoryNode::noteSwappable(FrameNum frame)
+{
+    swappable.push_back(frame);
+}
+
+void
+MemoryNode::registerStats(StatSet &stats, const std::string &prefix) const
+{
+    stats.registerCounter(prefix + ".watermarkFailures",
+                          &watermarkFailures,
+                          "huge requests rejected by the free-memory "
+                          "watermark");
+    stats.registerCounter(prefix + ".reclaimedPages", &reclaimedPages,
+                          "page-cache pages reclaimed under pressure");
+    stats.registerCounter(prefix + ".swapOuts", &swapOuts,
+                          "pages swapped out under pressure");
+    stats.registerCounter(prefix + ".compactionRuns", &compactionRuns,
+                          "direct compaction attempts");
+    stats.registerCounter(prefix + ".compactionPagesMigrated",
+                          &compactionPagesMigrated,
+                          "pages copied by direct compaction");
+    stats.registerCounter(prefix + ".compactionFails", &compactionFails,
+                          "direct compaction attempts that found no "
+                          "candidate region");
+    stats.registerCounter(prefix + ".oomFailures", &oomFailures,
+                          "allocation requests that failed outright");
+    stats.registerCounter(prefix + ".buddy.allocCalls",
+                          &alloc->allocCalls, "buddy allocate() calls");
+    stats.registerCounter(prefix + ".buddy.allocFailures",
+                          &alloc->allocFailures,
+                          "buddy allocate() failures");
+    stats.registerCounter(prefix + ".buddy.splits", &alloc->splits,
+                          "buddy block splits");
+    stats.registerCounter(prefix + ".buddy.merges", &alloc->merges,
+                          "buddy block merges");
+}
+
+} // namespace gpsm::mem

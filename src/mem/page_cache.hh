@@ -1,0 +1,80 @@
+/**
+ * @file
+ * OS page cache model for single-use file data (paper §4.3).
+ */
+
+#ifndef GPSM_MEM_PAGE_CACHE_HH
+#define GPSM_MEM_PAGE_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "mem/types.hh"
+#include "util/stats.hh"
+
+namespace gpsm::mem
+{
+
+class MemoryNode;
+
+/**
+ * Models the page cache occupying free memory while graph files are
+ * loaded from storage.
+ *
+ * Each cached page takes one movable frame. Pages are clean by
+ * definition (the application only reads the input files), so reclaim
+ * simply drops the oldest pages. The paper's observation: unless the
+ * cache is bypassed (direct I/O) or placed remotely (tmpfs on the other
+ * node), these single-use pages consume exactly the free memory that
+ * huge-page allocation needed.
+ */
+class PageCache : public PageClient, public Reclaimable
+{
+  public:
+    explicit PageCache(MemoryNode &node);
+    ~PageCache() override;
+
+    PageCache(const PageCache &) = delete;
+    PageCache &operator=(const PageCache &) = delete;
+
+    /**
+     * Cache @p bytes of file data read from storage.
+     *
+     * Caching is best-effort: it stops (without escalation) when no
+     * free frame is available, like readahead under pressure.
+     *
+     * @return Bytes actually cached.
+     */
+    std::uint64_t cacheFileData(std::uint64_t bytes);
+
+    /** Drop every cached page (the /proc/sys/vm/drop_caches knob). */
+    void dropAll();
+
+    std::uint64_t cachedBytes() const;
+    std::uint64_t cachedPages() const { return frames.size(); }
+
+    /** @name Reclaimable @{ */
+    std::uint64_t reclaim(std::uint64_t frames) override;
+    /** @} */
+
+    /** @name PageClient @{ */
+    void migratePage(FrameNum from, FrameNum to) override;
+    const char *clientName() const override { return "pagecache"; }
+    /** @} */
+
+    Counter pagesCached;
+    Counter pagesDropped;
+
+  private:
+    MemoryNode &node;
+    std::uint16_t clientId;
+
+    /** FIFO of cached frames plus an index for O(1) migration fixup. */
+    std::deque<FrameNum> lru;
+    std::unordered_map<FrameNum, bool> frames;
+};
+
+} // namespace gpsm::mem
+
+#endif // GPSM_MEM_PAGE_CACHE_HH

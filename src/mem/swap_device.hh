@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Swap backing store: slot allocation and occupancy accounting.
+ */
+
+#ifndef GPSM_MEM_SWAP_DEVICE_HH
+#define GPSM_MEM_SWAP_DEVICE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hh"
+#include "util/units.hh"
+
+namespace gpsm::mem
+{
+
+/**
+ * Models the secondary-storage swap area. Time-free like the rest of
+ * the mem layer: the VM layer charges swap-in/out costs; this class
+ * only tracks slots so oversubscription is bounded and accounted.
+ */
+class SwapDevice
+{
+  public:
+    /** @param bytes Device capacity; @param page_bytes slot size. */
+    SwapDevice(std::uint64_t bytes, std::uint64_t page_bytes)
+        : slotBytes(page_bytes), totalSlots(bytes / page_bytes)
+    {
+    }
+
+    /** Reserve a slot for a swapped-out page; ~0 when device is full. */
+    std::uint64_t
+    allocSlot()
+    {
+        std::uint64_t slot;
+        if (!freeSlots.empty()) {
+            slot = freeSlots.back();
+            freeSlots.pop_back();
+        } else if (nextSlot < totalSlots) {
+            slot = nextSlot++;
+        } else {
+            return ~0ull;
+        }
+        ++pagesOut;
+        return slot;
+    }
+
+    /** Release a slot after swap-in (or on unmap of a swapped page). */
+    void
+    freeSlot(std::uint64_t slot)
+    {
+        freeSlots.push_back(slot);
+        ++pagesIn;
+    }
+
+    std::uint64_t usedSlots() const
+    {
+        return nextSlot - freeSlots.size();
+    }
+    std::uint64_t capacitySlots() const { return totalSlots; }
+    std::uint64_t usedBytes() const { return usedSlots() * slotBytes; }
+
+    Counter pagesOut;
+    Counter pagesIn;
+
+  private:
+    std::uint64_t slotBytes;
+    std::uint64_t totalSlots;
+    std::uint64_t nextSlot = 0;
+    std::vector<std::uint64_t> freeSlots;
+};
+
+} // namespace gpsm::mem
+
+#endif // GPSM_MEM_SWAP_DEVICE_HH

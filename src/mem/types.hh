@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Shared physical-memory types: frame numbers, migratetypes, and the
+ * client interface through which page owners participate in migration,
+ * reclaim and swap.
+ */
+
+#ifndef GPSM_MEM_TYPES_HH
+#define GPSM_MEM_TYPES_HH
+
+#include <cstdint>
+
+namespace gpsm::mem
+{
+
+/** Physical frame number, in base-page units within one memory node. */
+using FrameNum = std::uint64_t;
+
+constexpr FrameNum invalidFrame = ~0ull;
+
+/**
+ * Mobility class of an allocated block, mirroring Linux migratetypes.
+ *
+ * Movable pages can be relocated by compaction (user data). Unmovable
+ * pages model kernel allocations that pin their frame forever (the
+ * paper's non-movable fragmentation source). Pinned pages model
+ * mlock()ed user memory: they cannot be swapped, and our compactor also
+ * skips them (memhog occupies whole blocks, so their movability never
+ * matters for huge page formation).
+ */
+enum class Migratetype : std::uint8_t
+{
+    Movable,
+    Unmovable,
+    Pinned,
+};
+
+const char *migratetypeName(Migratetype mt);
+
+/**
+ * Interface implemented by owners of physical frames (address spaces,
+ * the page cache, pinned-memory holders).
+ *
+ * The memory node calls back through this interface when it wants to
+ * move or take back a frame. Implementations must keep their own
+ * mapping metadata (e.g. page-table entries) consistent.
+ */
+class PageClient
+{
+  public:
+    virtual ~PageClient() = default;
+
+    /**
+     * The frame backing one of this client's pages moved from @p from
+     * to @p to during compaction. Data is logically copied by the
+     * caller; the client must retarget its mapping.
+     */
+    virtual void migratePage(FrameNum from, FrameNum to) = 0;
+
+    /**
+     * Ask the client to give up @p frame for swap-out. On success the
+     * client has unmapped the page, recorded it as swapped, and freed
+     * the frame back to the node before returning.
+     *
+     * @retval true the frame was released.
+     * @retval false the page cannot be evicted (e.g. mlocked).
+     */
+    virtual bool evictPage(FrameNum frame) { (void)frame; return false; }
+
+    /** Debug name used in allocator dumps. */
+    virtual const char *clientName() const = 0;
+};
+
+/**
+ * What it took to satisfy (or fail) an allocation request.
+ *
+ * The VM layer converts these event counts into simulated cycles; the
+ * memory layer itself is time-free.
+ */
+struct AllocOutcome
+{
+    FrameNum frame = invalidFrame;
+    unsigned order = 0;
+    bool success = false;
+
+    /** Pages copied by direct compaction on this request's path. */
+    std::uint64_t migratedPages = 0;
+    /** Page-cache pages reclaimed to satisfy this request. */
+    std::uint64_t reclaimedPages = 0;
+    /** Pages swapped out to satisfy this request. */
+    std::uint64_t swappedPages = 0;
+    /** Number of failed compaction scans (charged as wasted effort). */
+    std::uint64_t compactionFailures = 0;
+};
+
+/**
+ * Interface for pools that can surrender clean pages under pressure
+ * (the page cache). reclaim(n) frees up to n frames and returns how
+ * many were actually released.
+ */
+class Reclaimable
+{
+  public:
+    virtual ~Reclaimable() = default;
+    virtual std::uint64_t reclaim(std::uint64_t frames) = 0;
+};
+
+} // namespace gpsm::mem
+
+#endif // GPSM_MEM_TYPES_HH

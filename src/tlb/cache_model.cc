@@ -1,0 +1,118 @@
+/**
+ * @file
+ * CacheModel implementation.
+ */
+
+#include "tlb/cache_model.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace gpsm::tlb
+{
+
+CacheModel::CacheModel(std::vector<CacheLevelConfig> levels,
+                       std::uint32_t memory_cycles)
+    : memCycles(memory_cycles)
+{
+    if (levels.empty())
+        fatal("cache model needs at least one level");
+    lvls.resize(levels.size());
+    for (size_t i = 0; i < levels.size(); ++i) {
+        Level &lvl = lvls[i];
+        lvl.cfg = levels[i];
+        if (!isPowerOfTwo(lvl.cfg.lineBytes))
+            fatal("cache line size must be a power of two");
+        const std::uint64_t lines = lvl.cfg.bytes / lvl.cfg.lineBytes;
+        if (lvl.cfg.ways == 0 || lines % lvl.cfg.ways != 0)
+            fatal("cache %s: %llu lines not divisible by %u ways",
+                  lvl.cfg.name.c_str(),
+                  static_cast<unsigned long long>(lines), lvl.cfg.ways);
+        lvl.sets = static_cast<std::uint32_t>(lines / lvl.cfg.ways);
+        if (!isPowerOfTwo(lvl.sets))
+            fatal("cache %s: set count %u not a power of two",
+                  lvl.cfg.name.c_str(), lvl.sets);
+        lvl.lineShift = floorLog2(lvl.cfg.lineBytes);
+        lvl.arr.assign(static_cast<size_t>(lvl.sets) * lvl.cfg.ways,
+                       Line{});
+    }
+}
+
+void
+CacheModel::fill(Level &lvl, std::uint64_t block)
+{
+    Line *set = lvl.set(block);
+    Line *victim = &set[0];
+    for (std::uint32_t w = 0; w < lvl.cfg.ways; ++w) {
+        if (set[w].valid && set[w].tag == block) {
+            set[w].stamp = ++stampCounter;
+            return;
+        }
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].stamp < victim->stamp)
+            victim = &set[w];
+    }
+    victim->valid = true;
+    victim->tag = block;
+    victim->stamp = ++stampCounter;
+}
+
+std::uint32_t
+CacheModel::access(Addr paddr)
+{
+    ++accesses;
+    size_t hit_level = lvls.size();
+    for (size_t i = 0; i < lvls.size(); ++i) {
+        Level &lvl = lvls[i];
+        const std::uint64_t block = paddr >> lvl.lineShift;
+        Line *set = lvl.set(block);
+        bool hit = false;
+        for (std::uint32_t w = 0; w < lvl.cfg.ways; ++w) {
+            if (set[w].valid && set[w].tag == block) {
+                set[w].stamp = ++stampCounter;
+                hit = true;
+                break;
+            }
+        }
+        if (hit) {
+            hit_level = i;
+            break;
+        }
+    }
+
+    // Fill every level above the hit point (inclusive hierarchy).
+    for (size_t i = 0; i < hit_level && i < lvls.size(); ++i)
+        fill(lvls[i], paddr >> lvls[i].lineShift);
+
+    if (hit_level == lvls.size()) {
+        ++misses;
+        return memCycles;
+    }
+    ++lvls[hit_level].hits;
+    return lvls[hit_level].cfg.hitCycles;
+}
+
+void
+CacheModel::flushAll()
+{
+    for (Level &lvl : lvls)
+        for (Line &line : lvl.arr)
+            line.valid = false;
+}
+
+void
+CacheModel::registerStats(StatSet &stats, const std::string &prefix) const
+{
+    stats.registerCounter(prefix + ".accesses", &accesses,
+                          "data cache probes");
+    stats.registerCounter(prefix + ".memoryAccesses", &misses,
+                          "probes missing every level");
+    for (const Level &lvl : lvls)
+        stats.registerCounter(prefix + "." + lvl.cfg.name + ".hits",
+                              &lvl.hits, "hits at this level");
+}
+
+} // namespace gpsm::tlb

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Mmu implementation.
+ */
+
+#include "tlb/mmu.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace gpsm::tlb
+{
+
+Mmu::Mmu(vm::AddressSpace &target_space, Tlb l1, Tlb l2,
+         const CostModel &cost_model,
+         std::unique_ptr<CacheModel> cache_model)
+    : space(target_space), costs(cost_model), dtlb(std::move(l1)),
+      stlb(std::move(l2)), cache(std::move(cache_model))
+{
+    pageBytes = space.basePageBytes();
+    baseShift = floorLog2(pageBytes);
+    hugeShift = floorLog2(space.hugePageBytes());
+    hugeMask = space.hugePageBytes() - 1;
+    const unsigned giant_order = space.memoryNode().giantOrder();
+    if (giant_order != 0) {
+        giantShift = baseShift + giant_order;
+        giantMask = (pageBytes << giant_order) - 1;
+    }
+}
+
+void
+Mmu::chargeTouch(const vm::TouchInfo &info)
+{
+    if (info.majorFault) {
+        faultCycles += costs.majorFaultCycles;
+    } else if (info.hugeFault) {
+        faultCycles += costs.hugeFaultCycles(
+            static_cast<unsigned>(hugeShift - baseShift));
+    } else if (info.pageFault) {
+        faultCycles += costs.minorFaultCycles;
+    }
+    std::uint64_t os = 0;
+    os += info.migratedPages * costs.migrateCyclesPerPage;
+    os += info.reclaimedPages * costs.reclaimCyclesPerPage;
+    os += info.swappedOutPages * costs.swapOutCyclesPerPage;
+    os += info.compactionFailures * costs.compactionFailCycles;
+    if (os != 0)
+        osCycles += os;
+}
+
+void
+Mmu::access(Addr vaddr, bool write, unsigned tag)
+{
+    GPSM_ASSERT(tag < numTags);
+    ++accesses;
+    ++tags[tag].accesses;
+    baseCycles += costs.baseAccessCycles;
+
+    const std::uint64_t vpn_base = vaddr >> baseShift;
+    const std::uint64_t vpn_huge = vaddr >> hugeShift;
+
+    std::uint64_t paddr = 0;
+    bool translated = false;
+
+    // L1: probe every size class (parallel sub-TLBs in hardware).
+    Tlb::Probe p = dtlb.lookup(vpn_base, vm::PageSizeClass::Base);
+    if (p.hit) {
+        paddr = p.frame * pageBytes + (vaddr & (pageBytes - 1));
+        translated = true;
+    } else {
+        p = dtlb.lookup(vpn_huge, vm::PageSizeClass::Huge);
+        if (p.hit) {
+            paddr = p.frame * pageBytes + (vaddr & hugeMask);
+            translated = true;
+        } else if (giantShift != 0) {
+            p = dtlb.lookup(vaddr >> giantShift,
+                            vm::PageSizeClass::Giant);
+            if (p.hit) {
+                paddr = p.frame * pageBytes + (vaddr & giantMask);
+                translated = true;
+            }
+        }
+    }
+
+    if (!translated) {
+        ++dtlbMisses;
+        ++tags[tag].dtlbMisses;
+
+        // STLB: unified second level.
+        p = stlb.lookup(vpn_base, vm::PageSizeClass::Base);
+        if (p.hit) {
+            ++stlbHits;
+            translationCycles += costs.stlbHitCycles;
+            dtlb.insert(vpn_base, vm::PageSizeClass::Base, p.frame);
+            paddr = p.frame * pageBytes + (vaddr & (pageBytes - 1));
+            translated = true;
+        } else {
+            p = stlb.lookup(vpn_huge, vm::PageSizeClass::Huge);
+            if (p.hit) {
+                ++stlbHits;
+                translationCycles += costs.stlbHitCycles;
+                dtlb.insert(vpn_huge, vm::PageSizeClass::Huge, p.frame);
+                paddr = p.frame * pageBytes + (vaddr & hugeMask);
+                translated = true;
+            }
+        }
+    }
+
+    if (!translated) {
+        // Page walk (possibly faulting).
+        ++walks;
+        ++tags[tag].walks;
+        if (trackHeat)
+            ++heat[vaddr >> hugeShift];
+        vm::TouchInfo info = space.touch(vaddr, write);
+        chargeTouch(info);
+
+        if (info.size == vm::PageSizeClass::Base) {
+            ++walksBase;
+            translationCycles += costs.walkCyclesBase;
+            stlb.insert(vpn_base, vm::PageSizeClass::Base, info.frame);
+            dtlb.insert(vpn_base, vm::PageSizeClass::Base, info.frame);
+            paddr = info.frame * pageBytes + (vaddr & (pageBytes - 1));
+        } else if (info.size == vm::PageSizeClass::Giant) {
+            // Giant translations live only in the L1 giant sub-TLB
+            // (Haswell's STLB does not cache 1GB entries).
+            ++walksGiant;
+            translationCycles += costs.walkCyclesGiant;
+            dtlb.insert(vaddr >> giantShift, vm::PageSizeClass::Giant,
+                        info.frame);
+            paddr = info.frame * pageBytes + (vaddr & giantMask);
+        } else {
+            ++walksHuge;
+            translationCycles += costs.walkCyclesHuge;
+            stlb.insert(vpn_huge, vm::PageSizeClass::Huge, info.frame);
+            dtlb.insert(vpn_huge, vm::PageSizeClass::Huge, info.frame);
+            paddr = info.frame * pageBytes + (vaddr & hugeMask);
+        }
+    }
+
+    if (cache) {
+        // The data cache is indexed by *virtual* address: physical
+        // indexing at this scaled operating point would inject page-
+        // coloring noise (the scaled datasets are comparable in size
+        // to the LLC, unlike the paper's, where placement effects wash
+        // out). Virtual indexing keeps locality effects — including
+        // DBG's — while making runs placement-invariant.
+        (void)paddr;
+        memoryCycles += cache->access(vaddr);
+    }
+
+    if (space.hasPendingInvalidations())
+        syncTlb();
+
+    if (hookInterval != 0 && --hookCountdown == 0) {
+        hookCountdown = hookInterval;
+        periodicHook();
+    }
+}
+
+void
+Mmu::syncTlb()
+{
+    if (!space.hasPendingInvalidations())
+        return;
+    auto events = space.drainInvalidations();
+    const unsigned huge_shift = hugeShift - baseShift;
+    for (const vm::TlbInvalidation &ev : events) {
+        if (ev.flushAll) {
+            dtlb.flushAll();
+            stlb.flushAll();
+        } else {
+            // Events carry base-page VPNs; huge-class TLB entries are
+            // keyed in huge-page units.
+            const std::uint64_t vpn =
+                ev.size == vm::PageSizeClass::Huge
+                    ? ev.vpn >> huge_shift
+                    : ev.vpn;
+            dtlb.invalidate(vpn, ev.size);
+            stlb.invalidate(vpn, ev.size);
+        }
+    }
+    osCycles += events.size() * costs.shootdownCycles;
+}
+
+void
+Mmu::flushTlbs()
+{
+    dtlb.flushAll();
+    stlb.flushAll();
+}
+
+void
+Mmu::registerStats(StatSet &stats, const std::string &prefix) const
+{
+    stats.registerCounter(prefix + ".accesses", &accesses,
+                          "traced memory accesses");
+    stats.registerCounter(prefix + ".dtlbMisses", &dtlbMisses,
+                          "accesses missing the first-level DTLB");
+    stats.registerCounter(prefix + ".stlbHits", &stlbHits,
+                          "DTLB misses resolved by the STLB");
+    stats.registerCounter(prefix + ".walks", &walks,
+                          "accesses requiring a page table walk");
+    stats.registerCounter(prefix + ".walksBase", &walksBase,
+                          "walks resolving to base pages");
+    stats.registerCounter(prefix + ".walksHuge", &walksHuge,
+                          "walks resolving to huge pages");
+    stats.registerCounter(prefix + ".walksGiant", &walksGiant,
+                          "walks resolving to giant pages");
+    stats.registerCounter(prefix + ".cycles.base", &baseCycles,
+                          "fixed per-access cycles");
+    stats.registerCounter(prefix + ".cycles.memory", &memoryCycles,
+                          "data cache hierarchy cycles");
+    stats.registerCounter(prefix + ".cycles.translation",
+                          &translationCycles,
+                          "STLB hit and page walk cycles");
+    stats.registerCounter(prefix + ".cycles.fault", &faultCycles,
+                          "page fault service cycles");
+    stats.registerCounter(prefix + ".cycles.os", &osCycles,
+                          "compaction/reclaim/swap/shootdown cycles");
+    stats.registerCounter(prefix + ".cycles.io", &ioCycles,
+                          "input-file staging cycles (load path)");
+}
+
+} // namespace gpsm::tlb

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The simulated MMU: two-level TLB lookup, page walks via the address
+ * space, fault/OS-event cost accounting, and the data-cache probe.
+ *
+ * This is the component every traced load/store of the instrumented
+ * graph kernels flows through. The instruction-side TLB is not modeled:
+ * the paper's bottleneck is data-side translation (Figs. 2-3), and the
+ * kernels' code footprints fit a handful of pages.
+ */
+
+#ifndef GPSM_TLB_MMU_HH
+#define GPSM_TLB_MMU_HH
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "tlb/cache_model.hh"
+#include "tlb/cost_model.hh"
+#include "tlb/tlb.hh"
+#include "util/stats.hh"
+#include "util/units.hh"
+#include "vm/address_space.hh"
+
+namespace gpsm::tlb
+{
+
+/**
+ * MMU bound to one address space.
+ *
+ * Cost accounting is split into five buckets so benches can report the
+ * translation share of runtime (paper Fig. 2):
+ * - base: fixed per-access work,
+ * - memory: data cache hierarchy latency,
+ * - translation: STLB hit penalties and page walks,
+ * - fault: minor/huge/major fault service,
+ * - os: compaction, reclaim, swap-out, shootdowns (kernel overheads).
+ */
+class Mmu
+{
+  public:
+    /** Number of distinguishable access tags (per-array attribution). */
+    static constexpr unsigned numTags = 8;
+
+    /**
+     * @param space Address space faults are routed to.
+     * @param l1 First-level data TLB (typically split-size).
+     * @param l2 Second-level TLB (typically Tlb::makeUnified).
+     * @param costs Cycle cost model.
+     * @param cache Optional data cache model (may be null).
+     */
+    Mmu(vm::AddressSpace &space, Tlb l1, Tlb l2, const CostModel &costs,
+        std::unique_ptr<CacheModel> cache);
+
+    /**
+     * Perform one traced memory access.
+     *
+     * @param vaddr Virtual address touched.
+     * @param write Stores and loads are charged identically today; the
+     *              flag is kept for interface stability.
+     * @param tag Attribution tag (e.g. one per graph array).
+     */
+    void access(Addr vaddr, bool write, unsigned tag = 0);
+
+    /** Flush both TLB levels (and drop nothing else). */
+    void flushTlbs();
+
+    /**
+     * Charge file-I/O cycles (input staging during loads). Kept in its
+     * own bucket so benches can separate load-path I/O from the memory
+     * system proper.
+     */
+    void chargeIo(std::uint64_t cycles) { ioCycles += cycles; }
+
+    /** @name Access-tracking hooks (HawkEye/Ingens-style policies) @{ */
+
+    /**
+     * Record per-huge-region page-walk counts ("heat"). This is the
+     * access-tracking information state-of-the-art huge-page managers
+     * pay kernel overhead to collect; policies read it to decide what
+     * to promote. Off by default (no hot-path cost).
+     */
+    void enableHeatTracking(bool on) { trackHeat = on; }
+
+    /** Walks observed per huge-region VPN since the last clear. */
+    const std::unordered_map<std::uint64_t, std::uint32_t> &
+    regionHeat() const
+    {
+        return heat;
+    }
+    void clearHeat() { heat.clear(); }
+
+    /**
+     * Invoke @p hook every @p interval traced accesses (a background
+     * daemon's wakeup tick, e.g. khugepaged during execution). Pass a
+     * null hook to disable.
+     */
+    void
+    setPeriodicHook(std::uint64_t interval,
+                    std::function<void()> hook)
+    {
+        hookInterval = interval;
+        periodicHook = std::move(hook);
+        hookCountdown = interval;
+    }
+    /** @} */
+
+    /**
+     * Apply pending address-space invalidations immediately (called by
+     * drivers after background khugepaged work; also runs after every
+     * access).
+     */
+    void syncTlb();
+
+    /** @name Simulated time @{ */
+    Cycles totalCycles() const
+    {
+        return baseCycles.value() + memoryCycles.value() +
+               translationCycles.value() + faultCycles.value() +
+               osCycles.value() + ioCycles.value();
+    }
+    double seconds() const { return costs.seconds(totalCycles()); }
+    /** @} */
+
+    /** @name Rates (paper metrics) @{ */
+    double
+    dtlbMissRate() const
+    {
+        return ratio(dtlbMisses.value(), accesses.value());
+    }
+    double
+    stlbMissRate() const
+    {
+        return ratio(walks.value(), accesses.value());
+    }
+    /** @} */
+
+    const CostModel &costModel() const { return costs; }
+    CacheModel *cacheModel() { return cache.get(); }
+    vm::AddressSpace &addressSpace() { return space; }
+    Tlb &l1() { return dtlb; }
+    Tlb &l2() { return stlb; }
+
+    void registerStats(StatSet &stats, const std::string &prefix) const;
+
+    /** @name Event counters @{ */
+    Counter accesses;
+    Counter dtlbMisses;  ///< missed both L1 classes
+    Counter stlbHits;    ///< L1 miss resolved by the STLB
+    Counter walks;       ///< missed both TLB levels
+    Counter walksBase;
+    Counter walksHuge;
+    Counter walksGiant;
+
+    Counter baseCycles;
+    Counter memoryCycles;
+    Counter translationCycles;
+    Counter faultCycles;
+    Counter osCycles;
+    Counter ioCycles;
+    /** @} */
+
+    /** Per-tag attribution. */
+    struct TagStats
+    {
+        Counter accesses;
+        Counter dtlbMisses;
+        Counter walks;
+    };
+    const TagStats &tagStats(unsigned tag) const { return tags.at(tag); }
+
+  private:
+    static double
+    ratio(std::uint64_t num, std::uint64_t den)
+    {
+        return den == 0 ? 0.0
+                        : static_cast<double>(num) /
+                              static_cast<double>(den);
+    }
+
+    /** Charge fault/OS costs reported by a touch. */
+    void chargeTouch(const vm::TouchInfo &info);
+
+    vm::AddressSpace &space;
+    CostModel costs;
+    Tlb dtlb;
+    Tlb stlb;
+    std::unique_ptr<CacheModel> cache;
+
+    unsigned baseShift;
+    unsigned hugeShift;
+    unsigned giantShift = 0; ///< 0: giant pages disabled
+    std::uint64_t pageBytes;
+    std::uint64_t hugeMask;
+    std::uint64_t giantMask = 0;
+
+    bool trackHeat = false;
+    std::unordered_map<std::uint64_t, std::uint32_t> heat;
+
+    std::function<void()> periodicHook;
+    std::uint64_t hookInterval = 0;
+    std::uint64_t hookCountdown = 0;
+
+    std::array<TagStats, numTags> tags;
+};
+
+} // namespace gpsm::tlb
+
+#endif // GPSM_TLB_MMU_HH

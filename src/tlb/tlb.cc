@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tlb implementation.
+ */
+
+#include "tlb/tlb.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace gpsm::tlb
+{
+
+Tlb::Tlb(std::string name, std::vector<TlbGeometry> geometry)
+    : _name(std::move(name))
+{
+    subs.resize(std::max<size_t>(geometry.size(),
+                                 vm::numPageSizeClasses));
+    for (size_t i = 0; i < geometry.size(); ++i) {
+        const TlbGeometry &g = geometry[i];
+        SubTlb &sub = subs[i];
+        if (g.entries == 0)
+            continue;
+        if (g.ways == 0 || g.entries % g.ways != 0)
+            fatal("TLB %s class %zu: %u entries not divisible by %u "
+                  "ways",
+                  _name.c_str(), i, g.entries, g.ways);
+        sub.sets = g.entries / g.ways;
+        if (!isPowerOfTwo(sub.sets))
+            fatal("TLB %s class %zu: set count %u not a power of two",
+                  _name.c_str(), i, sub.sets);
+        sub.ways = g.ways;
+        sub.arr.assign(static_cast<size_t>(sub.sets) * sub.ways, Way{});
+    }
+}
+
+Tlb
+Tlb::makeUnified(std::string name, std::uint32_t entries,
+                 std::uint32_t ways)
+{
+    Tlb tlb(std::move(name), {TlbGeometry{entries, ways}});
+    tlb.unified = true;
+    return tlb;
+}
+
+Tlb::Probe
+Tlb::lookup(std::uint64_t vpn, vm::PageSizeClass cls)
+{
+    ++accesses;
+    SubTlb &sub = subFor(cls);
+    Probe probe;
+    if (sub.sets == 0) {
+        ++misses;
+        return probe;
+    }
+    Way *set = sub.set(vpn);
+    for (std::uint32_t w = 0; w < sub.ways; ++w) {
+        if (set[w].valid && set[w].vpn == vpn && set[w].cls == cls) {
+            set[w].stamp = ++stampCounter;
+            probe.hit = true;
+            probe.frame = set[w].frame;
+            return probe;
+        }
+    }
+    ++misses;
+    return probe;
+}
+
+void
+Tlb::insert(std::uint64_t vpn, vm::PageSizeClass cls, std::uint64_t frame)
+{
+    SubTlb &sub = subFor(cls);
+    if (sub.sets == 0)
+        return;
+    Way *set = sub.set(vpn);
+    Way *victim = &set[0];
+    for (std::uint32_t w = 0; w < sub.ways; ++w) {
+        if (set[w].valid && set[w].vpn == vpn && set[w].cls == cls) {
+            // Refresh in place (reinsert after shootdown races).
+            set[w].frame = frame;
+            set[w].stamp = ++stampCounter;
+            return;
+        }
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].stamp < victim->stamp)
+            victim = &set[w];
+    }
+    if (victim->valid)
+        ++evictions;
+    victim->valid = true;
+    victim->cls = cls;
+    victim->vpn = vpn;
+    victim->frame = frame;
+    victim->stamp = ++stampCounter;
+    ++insertions;
+}
+
+void
+Tlb::invalidate(std::uint64_t vpn, vm::PageSizeClass cls)
+{
+    SubTlb &sub = subFor(cls);
+    if (sub.sets == 0)
+        return;
+    Way *set = sub.set(vpn);
+    for (std::uint32_t w = 0; w < sub.ways; ++w) {
+        if (set[w].valid && set[w].vpn == vpn && set[w].cls == cls) {
+            set[w].valid = false;
+            ++invalidations;
+            return;
+        }
+    }
+}
+
+void
+Tlb::flushAll()
+{
+    for (SubTlb &sub : subs)
+        for (Way &w : sub.arr)
+            w.valid = false;
+    ++flushes;
+}
+
+std::uint64_t
+Tlb::validEntries(vm::PageSizeClass cls) const
+{
+    const SubTlb &sub = subFor(cls);
+    std::uint64_t n = 0;
+    for (const Way &w : sub.arr)
+        n += (w.valid && (!unified || w.cls == cls)) ? 1 : 0;
+    return n;
+}
+
+void
+Tlb::registerStats(StatSet &stats) const
+{
+    stats.registerCounter(_name + ".accesses", &accesses,
+                          "translation probes");
+    stats.registerCounter(_name + ".misses", &misses,
+                          "probes missing every sub-TLB class");
+    stats.registerCounter(_name + ".insertions", &insertions, "fills");
+    stats.registerCounter(_name + ".evictions", &evictions,
+                          "valid entries displaced by fills");
+    stats.registerCounter(_name + ".invalidations", &invalidations,
+                          "entries removed by shootdowns");
+    stats.registerCounter(_name + ".flushes", &flushes,
+                          "full flushes");
+}
+
+} // namespace gpsm::tlb

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Set-associative TLB model with per-page-size sub-TLBs.
+ */
+
+#ifndef GPSM_TLB_TLB_HH
+#define GPSM_TLB_TLB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/stats.hh"
+#include "vm/page_table.hh"
+
+namespace gpsm::tlb
+{
+
+/** Geometry of one sub-TLB (one page-size class). */
+struct TlbGeometry
+{
+    std::uint32_t entries = 0; ///< 0 disables the class in this TLB
+    std::uint32_t ways = 1;
+};
+
+/**
+ * A TLB composed of one sub-array per page-size class, probed in
+ * parallel like hardware split-size TLBs (Haswell L1) or holding both
+ * sizes (Haswell unified STLB = both classes configured).
+ *
+ * Entries cache VPN -> frame translations with true-LRU replacement
+ * within a set. Only translation presence matters for the simulation;
+ * the cached frame is carried so the cache model can index by physical
+ * address on TLB hits.
+ */
+class Tlb
+{
+  public:
+    /**
+     * Split-size TLB: one sub-array per PageSizeClass (Base, Huge),
+     * probed independently — the Haswell L1 organization.
+     *
+     * @param name Stat prefix ("dtlb", "stlb").
+     * @param geometry One entry per PageSizeClass (Base, Huge).
+     */
+    Tlb(std::string name, std::vector<TlbGeometry> geometry);
+
+    /**
+     * Unified TLB: all page-size classes compete for one entry pool,
+     * class-tagged within each set — the Haswell STLB organization
+     * (1536 entries shared by 4KB and 2MB translations). This is what
+     * makes huge-page entries a *contended resource* under selective
+     * THP (§5.2 "reducing 2MB TLB thrashing").
+     */
+    static Tlb makeUnified(std::string name, std::uint32_t entries,
+                           std::uint32_t ways);
+
+    /** Probe result. */
+    struct Probe
+    {
+        bool hit = false;
+        std::uint64_t frame = 0;
+    };
+
+    /**
+     * Probe the sub-TLB of @p cls for @p vpn (a VPN in that class's
+     * units); updates LRU on hit.
+     */
+    Probe lookup(std::uint64_t vpn, vm::PageSizeClass cls);
+
+    /** Install a translation, evicting the set's LRU entry. */
+    void insert(std::uint64_t vpn, vm::PageSizeClass cls,
+                std::uint64_t frame);
+
+    /** Remove one translation if cached. */
+    void invalidate(std::uint64_t vpn, vm::PageSizeClass cls);
+
+    /** Drop every entry (full shootdown). */
+    void flushAll();
+
+    /** Number of valid entries in class @p cls (tests/introspection). */
+    std::uint64_t validEntries(vm::PageSizeClass cls) const;
+
+    const std::string &name() const { return _name; }
+
+    void registerStats(StatSet &stats) const;
+
+    /** @name Event counters @{ */
+    Counter accesses;
+    Counter misses;
+    Counter insertions;
+    Counter evictions;
+    Counter invalidations;
+    Counter flushes;
+    /** @} */
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        vm::PageSizeClass cls = vm::PageSizeClass::Base;
+        std::uint64_t vpn = 0;
+        std::uint64_t frame = 0;
+        std::uint64_t stamp = 0;
+    };
+
+    struct SubTlb
+    {
+        std::uint32_t sets = 0;
+        std::uint32_t ways = 0;
+        std::vector<Way> arr; ///< sets * ways, row-major by set
+
+        Way *
+        set(std::uint64_t vpn)
+        {
+            return &arr[(vpn & (sets - 1)) * ways];
+        }
+    };
+
+    std::string _name;
+    std::vector<SubTlb> subs;
+    /** Unified mode: subs has one array shared by every class. */
+    bool unified = false;
+    std::uint64_t stampCounter = 0;
+
+    SubTlb &
+    subFor(vm::PageSizeClass cls)
+    {
+        return unified ? subs[0] : subs[static_cast<size_t>(cls)];
+    }
+    const SubTlb &
+    subFor(vm::PageSizeClass cls) const
+    {
+        return unified ? subs[0] : subs[static_cast<size_t>(cls)];
+    }
+};
+
+} // namespace gpsm::tlb
+
+#endif // GPSM_TLB_TLB_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Log2Histogram implementation.
+ */
+
+#include "util/histogram.hh"
+
+#include <sstream>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace gpsm
+{
+
+unsigned
+Log2Histogram::bucketOf(std::uint64_t sample)
+{
+    if (sample == 0)
+        return 0;
+    return floorLog2(sample) + 1;
+}
+
+std::uint64_t
+Log2Histogram::percentileUpperBound(double q) const
+{
+    GPSM_ASSERT(q >= 0.0 && q <= 1.0);
+    if (total == 0)
+        return 0;
+    const auto threshold =
+        static_cast<std::uint64_t>(q * static_cast<double>(total));
+    std::uint64_t seen = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        seen += counts[i];
+        if (seen >= threshold)
+            return i == 0 ? 0 : (1ull << i) - 1;
+    }
+    return maxSample;
+}
+
+std::string
+Log2Histogram::dump() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0)
+            continue;
+        std::uint64_t lo = i == 0 ? 0 : (1ull << (i - 1));
+        std::uint64_t hi = i == 0 ? 1 : (1ull << i);
+        os << '[' << lo << ',' << hi << ") " << counts[i] << '\n';
+    }
+    return os.str();
+}
+
+} // namespace gpsm

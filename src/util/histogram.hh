@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Power-of-two bucketed histogram for degree / reuse distributions.
+ */
+
+#ifndef GPSM_UTIL_HISTOGRAM_HH
+#define GPSM_UTIL_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpsm
+{
+
+/**
+ * Histogram over uint64 samples with log2 buckets.
+ *
+ * Bucket i counts samples in [2^(i-1), 2^i) for i >= 1; bucket 0 counts
+ * zero-valued samples. Used for vertex degrees and per-structure access
+ * frequency profiles (paper Fig. 4).
+ */
+class Log2Histogram
+{
+  public:
+    void
+    add(std::uint64_t sample, std::uint64_t weight = 1)
+    {
+        unsigned bucket = bucketOf(sample);
+        if (bucket >= counts.size())
+            counts.resize(bucket + 1, 0);
+        counts[bucket] += weight;
+        total += weight;
+        if (sample > maxSample)
+            maxSample = sample;
+        sum += sample * weight;
+    }
+
+    /** Bucket index for a sample value. */
+    static unsigned bucketOf(std::uint64_t sample);
+
+    std::uint64_t samples() const { return total; }
+    std::uint64_t max() const { return maxSample; }
+    double mean() const
+    {
+        return total ? static_cast<double>(sum) / total : 0.0;
+    }
+
+    /** Smallest v such that at least fraction @p q of samples <= v. */
+    std::uint64_t percentileUpperBound(double q) const;
+
+    const std::vector<std::uint64_t> &buckets() const { return counts; }
+
+    /** Multi-line "[lo,hi) count" rendering. */
+    std::string dump() const;
+
+  private:
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t maxSample = 0;
+};
+
+} // namespace gpsm
+
+#endif // GPSM_UTIL_HISTOGRAM_HH

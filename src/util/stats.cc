@@ -1,0 +1,100 @@
+/**
+ * @file
+ * StatSet implementation.
+ */
+
+#include "util/stats.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace gpsm
+{
+
+void
+StatSet::registerCounter(const std::string &name, const Counter *counter,
+                         std::string desc)
+{
+    GPSM_ASSERT(counter != nullptr);
+    auto [it, inserted] = entries.emplace(name,
+                                          Entry{counter, std::move(desc)});
+    if (!inserted)
+        panic("stat '%s' registered twice in set '%s'", name.c_str(),
+              _name.c_str());
+    (void)it;
+}
+
+void
+StatSet::resetAll()
+{
+    for (auto &[name, entry] : entries)
+        const_cast<Counter *>(entry.counter)->reset();
+}
+
+std::uint64_t
+StatSet::value(const std::string &name) const
+{
+    auto it = entries.find(name);
+    if (it == entries.end())
+        panic("unknown stat '%s' in set '%s'", name.c_str(), _name.c_str());
+    return it->second.counter->value();
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return entries.find(name) != entries.end();
+}
+
+std::map<std::string, std::uint64_t>
+StatSet::snapshot() const
+{
+    std::map<std::string, std::uint64_t> snap;
+    for (const auto &[name, entry] : entries)
+        snap.emplace(name, entry.counter->value());
+    return snap;
+}
+
+std::map<std::string, std::uint64_t>
+StatSet::since(const std::map<std::string, std::uint64_t> &before) const
+{
+    std::map<std::string, std::uint64_t> delta;
+    for (const auto &[name, entry] : entries) {
+        auto it = before.find(name);
+        std::uint64_t base = (it == before.end()) ? 0 : it->second;
+        delta.emplace(name, entry.counter->value() - base);
+    }
+    return delta;
+}
+
+std::string
+StatSet::dump() const
+{
+    std::ostringstream os;
+    os << "---------- " << _name << " ----------\n";
+    for (const auto &[name, entry] : entries) {
+        os << name;
+        for (size_t i = name.size(); i < 44; ++i)
+            os << ' ';
+        os << entry.counter->value();
+        if (!entry.desc.empty())
+            os << "  # " << entry.desc;
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::vector<std::string>
+StatSet::statNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(entries.size());
+    for (const auto &[name, entry] : entries) {
+        (void)entry;
+        names.push_back(name);
+    }
+    return names;
+}
+
+} // namespace gpsm

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Lightweight named statistics, in the spirit of gem5's stats package.
+ *
+ * A StatSet owns a group of named counters; modules register counters at
+ * construction and bump them on hot paths with plain integer increments.
+ * StatSet can render itself as text or CSV and supports diffing so a
+ * caller can isolate the events of one execution phase.
+ */
+
+#ifndef GPSM_UTIL_STATS_HH
+#define GPSM_UTIL_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gpsm
+{
+
+/**
+ * A single monotonically increasing event counter.
+ *
+ * Counter is trivially copyable; hot paths increment via operator++ or
+ * operator+=. Registration with a StatSet is by pointer, so a Counter
+ * must outlive the StatSet snapshotting it.
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++val; return *this; }
+    Counter &operator+=(std::uint64_t n) { val += n; return *this; }
+
+    std::uint64_t value() const { return val; }
+    void reset() { val = 0; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/**
+ * A named group of counters with snapshot/diff support.
+ */
+class StatSet
+{
+  public:
+    explicit StatSet(std::string name) : _name(std::move(name)) {}
+
+    StatSet(const StatSet &) = delete;
+    StatSet &operator=(const StatSet &) = delete;
+
+    /**
+     * Register a counter under @p name.
+     *
+     * @param name Dotted stat name, e.g. "dtlb.misses".
+     * @param counter Pointer to a counter that outlives this set.
+     * @param desc One-line description used in dumps.
+     */
+    void registerCounter(const std::string &name, const Counter *counter,
+                         std::string desc = "");
+
+    /** Reset every registered counter to zero. */
+    void resetAll();
+
+    /** @return the live value of stat @p name (panics if unknown). */
+    std::uint64_t value(const std::string &name) const;
+
+    /** @return true if @p name is registered. */
+    bool has(const std::string &name) const;
+
+    /** Point-in-time copy of all counter values. */
+    std::map<std::string, std::uint64_t> snapshot() const;
+
+    /**
+     * Values accumulated since @p before was taken.
+     *
+     * Stats added after the snapshot appear with their full value.
+     */
+    std::map<std::string, std::uint64_t>
+    since(const std::map<std::string, std::uint64_t> &before) const;
+
+    /** Render "name value # desc" lines, gem5 stats.txt style. */
+    std::string dump() const;
+
+    const std::string &name() const { return _name; }
+    std::vector<std::string> statNames() const;
+
+  private:
+    struct Entry
+    {
+        const Counter *counter;
+        std::string desc;
+    };
+
+    std::string _name;
+    std::map<std::string, Entry> entries;
+};
+
+} // namespace gpsm
+
+#endif // GPSM_UTIL_STATS_HH

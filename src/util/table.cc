@@ -1,0 +1,139 @@
+/**
+ * @file
+ * TableWriter implementation.
+ */
+
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace gpsm
+{
+
+void
+TableWriter::setHeader(std::vector<std::string> cols)
+{
+    GPSM_ASSERT(body.empty(), "header must precede rows");
+    header = std::move(cols);
+}
+
+void
+TableWriter::addRow(std::vector<std::string> cells)
+{
+    if (!header.empty() && cells.size() != header.size())
+        panic("table '%s': row arity %zu != header arity %zu",
+              _title.c_str(), cells.size(), header.size());
+    body.push_back(std::move(cells));
+}
+
+std::string
+TableWriter::num(double v, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TableWriter::pct(double fraction, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+TableWriter::text() const
+{
+    std::vector<size_t> widths(header.size(), 0);
+    auto grow = [&](const std::vector<std::string> &row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(header);
+    for (const auto &row : body)
+        grow(row);
+
+    std::ostringstream os;
+    os << "== " << _title << " ==\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            os << row[i];
+            if (i + 1 < row.size())
+                os << std::string(widths[i] - row[i].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+    if (!header.empty()) {
+        emit(header);
+        size_t rule = 0;
+        for (size_t w : widths)
+            rule += w + 2;
+        os << std::string(rule > 2 ? rule - 2 : rule, '-') << '\n';
+    }
+    for (const auto &row : body)
+        emit(row);
+    return os.str();
+}
+
+namespace
+{
+
+std::string
+csvQuote(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // anonymous namespace
+
+std::string
+TableWriter::csv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            os << csvQuote(row[i]);
+            if (i + 1 < row.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    if (!header.empty())
+        emit(header);
+    for (const auto &row : body)
+        emit(row);
+    return os.str();
+}
+
+void
+TableWriter::print(std::ostream &os, bool with_csv) const
+{
+    os << text();
+    if (with_csv) {
+        os << "# CSV: " << _title << '\n';
+        std::istringstream lines(csv());
+        std::string line;
+        while (std::getline(lines, line))
+            os << "# " << line << '\n';
+    }
+    os << '\n';
+}
+
+} // namespace gpsm

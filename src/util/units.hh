@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Size and time unit helpers shared across the simulator.
+ */
+
+#ifndef GPSM_UTIL_UNITS_HH
+#define GPSM_UTIL_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gpsm
+{
+
+/** Simulated clock cycles (monotonic, accumulated by the cost model). */
+using Cycles = std::uint64_t;
+
+/** Byte counts and addresses. */
+using Addr = std::uint64_t;
+
+constexpr std::uint64_t KiB = 1024ull;
+constexpr std::uint64_t MiB = 1024ull * KiB;
+constexpr std::uint64_t GiB = 1024ull * MiB;
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v * KiB;
+}
+constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v * MiB;
+}
+constexpr std::uint64_t operator""_GiB(unsigned long long v)
+{
+    return v * GiB;
+}
+
+/** Render a byte count as a short human-readable string ("16.5GB"). */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Render a cycle count at a given frequency as seconds ("1.24s"). */
+std::string formatSeconds(double seconds);
+
+} // namespace gpsm
+
+#endif // GPSM_UTIL_UNITS_HH

@@ -1,0 +1,606 @@
+/**
+ * @file
+ * AddressSpace implementation.
+ */
+
+#include "vm/address_space.hh"
+
+#include <algorithm>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace gpsm::vm
+{
+
+const char *
+thpModeName(ThpMode mode)
+{
+    switch (mode) {
+      case ThpMode::Never: return "never";
+      case ThpMode::Madvise: return "madvise";
+      case ThpMode::Always: return "always";
+    }
+    return "?";
+}
+
+AddressSpace::AddressSpace(mem::MemoryNode &mem_node,
+                           mem::SwapDevice &swap_dev,
+                           const ThpConfig &thp_config)
+    : node(mem_node), swap(swap_dev), thp(thp_config),
+      pageBytes(node.basePageBytes()), hugeOrd(node.hugeOrder()),
+      pt(node.hugeOrder(), node.giantOrder()),
+      nextMmapBase(node.hugePageBytes() * 16)
+{
+    clientId = node.registerClient(this);
+}
+
+AddressSpace::~AddressSpace()
+{
+    // Free every frame still mapped so node-level tests can assert
+    // full reclamation.
+    while (!regions.empty())
+        munmap(regions.begin()->first);
+}
+
+Addr
+AddressSpace::mmap(std::uint64_t length, const std::string &name)
+{
+    if (length == 0)
+        fatal("mmap of zero length ('%s')", name.c_str());
+    const std::uint64_t huge = hugePageBytes();
+    length = alignUp(length, pageBytes);
+
+    Vma vma;
+    vma.start = nextMmapBase;
+    vma.end = vma.start + length;
+    vma.name = name;
+    // Guard gap keeps adjacent VMAs out of each other's huge regions.
+    nextMmapBase = alignUp(vma.end, huge) + huge;
+
+    Addr start = vma.start;
+    regions.emplace(start, std::move(vma));
+    return start;
+}
+
+Addr
+AddressSpace::mmapGiant(std::uint64_t length, const std::string &name)
+{
+    const std::uint64_t giant = node.giantPageBytes();
+    if (node.giantOrder() == 0)
+        fatal("mmapGiant('%s'): node has no giant-page support",
+              name.c_str());
+    length = alignUp(length, giant);
+    // Giant VMAs must be giant-aligned; bump the allocator cursor.
+    nextMmapBase = alignUp(nextMmapBase, giant);
+    const Addr start = mmap(length, name);
+    GPSM_ASSERT(isAligned(start, giant));
+    Vma *vma = findVmaMutable(start);
+
+    for (Addr a = start; a < start + length; a += giant) {
+        mem::FrameNum head = node.allocGiantPage();
+        if (head == mem::invalidFrame)
+            fatal("giant-page pool exhausted mapping '%s' (%llu of "
+                  "%llu pages free)",
+                  name.c_str(),
+                  static_cast<unsigned long long>(
+                      node.giantPagesFree()),
+                  static_cast<unsigned long long>(
+                      node.giantPagesTotal()));
+        pt.mapGiant(vpnOf(a), head);
+        ++vma->giantPages;
+    }
+    return start;
+}
+
+void
+AddressSpace::munmap(Addr start)
+{
+    auto it = regions.find(start);
+    if (it == regions.end())
+        fatal("munmap of unknown region 0x%llx",
+              static_cast<unsigned long long>(start));
+    Vma &vma = it->second;
+
+    const std::uint64_t span = 1ull << hugeOrd;
+    std::uint64_t v = vpnOf(vma.start);
+    const std::uint64_t vend = vpnOf(vma.end - 1) + 1;
+    while (v < vend) {
+        PageTable::Translation t = pt.lookup(v);
+        if (!t.valid) {
+            ++v;
+            continue;
+        }
+        if (t.size == PageSizeClass::Giant) {
+            node.freeGiantPage(t.pte.frame);
+            pt.unmapGiant(v);
+            v = pt.giantVpnOf(v) + (1ull << node.giantOrder());
+        } else if (t.size == PageSizeClass::Huge) {
+            node.free(t.pte.frame);
+            pt.unmapHuge(v);
+            v = pt.hugeVpnOf(v) + span;
+        } else if (t.pte.present) {
+            rmap.erase(t.pte.frame);
+            node.free(t.pte.frame);
+            pt.unmapBase(v);
+            ++v;
+        } else {
+            GPSM_ASSERT(t.pte.swapped);
+            swap.freeSlot(t.pte.swapSlot);
+            pt.unmapBase(v);
+            ++v;
+        }
+    }
+    pendingInvalidations.push_back(TlbInvalidation{true, 0,
+                                                   PageSizeClass::Base});
+    regions.erase(it);
+}
+
+void
+AddressSpace::addInterval(std::vector<std::pair<Addr, Addr>> &set, Addr a,
+                          Addr b)
+{
+    GPSM_ASSERT(a < b);
+    set.emplace_back(a, b);
+    std::sort(set.begin(), set.end());
+    // Merge overlapping / adjacent intervals.
+    std::vector<std::pair<Addr, Addr>> merged;
+    for (const auto &iv : set) {
+        if (!merged.empty() && iv.first <= merged.back().second)
+            merged.back().second = std::max(merged.back().second,
+                                            iv.second);
+        else
+            merged.push_back(iv);
+    }
+    set = std::move(merged);
+}
+
+bool
+AddressSpace::coveredBy(const std::vector<std::pair<Addr, Addr>> &set,
+                        Addr a, Addr b)
+{
+    for (const auto &[lo, hi] : set)
+        if (a >= lo && b <= hi)
+            return true;
+    return false;
+}
+
+bool
+AddressSpace::intersects(const std::vector<std::pair<Addr, Addr>> &set,
+                         Addr a, Addr b)
+{
+    for (const auto &[lo, hi] : set)
+        if (a < hi && lo < b)
+            return true;
+    return false;
+}
+
+void
+AddressSpace::madviseHuge(Addr start, std::uint64_t length)
+{
+    Vma *vma = findVmaMutable(start);
+    if (vma == nullptr || start + length > vma->end)
+        fatal("madviseHuge range outside any VMA");
+    if (length == 0)
+        return;
+    addInterval(vma->hugeAdvised, start, start + length);
+}
+
+void
+AddressSpace::madviseNoHuge(Addr start, std::uint64_t length)
+{
+    Vma *vma = findVmaMutable(start);
+    if (vma == nullptr || start + length > vma->end)
+        fatal("madviseNoHuge range outside any VMA");
+    if (length == 0)
+        return;
+    addInterval(vma->hugeForbidden, start, start + length);
+}
+
+const Vma *
+AddressSpace::findVma(Addr vaddr) const
+{
+    auto it = regions.upper_bound(vaddr);
+    if (it == regions.begin())
+        return nullptr;
+    --it;
+    return it->second.contains(vaddr) ? &it->second : nullptr;
+}
+
+Vma *
+AddressSpace::findVmaMutable(Addr vaddr)
+{
+    return const_cast<Vma *>(findVma(vaddr));
+}
+
+std::vector<const Vma *>
+AddressSpace::vmas() const
+{
+    std::vector<const Vma *> out;
+    out.reserve(regions.size());
+    for (const auto &[start, vma] : regions) {
+        (void)start;
+        out.push_back(&vma);
+    }
+    return out;
+}
+
+bool
+AddressSpace::hugeEligible(Addr vaddr) const
+{
+    const Vma *vma = findVma(vaddr);
+    if (vma == nullptr)
+        return false;
+    const std::uint64_t huge = hugePageBytes();
+    const Addr hstart = alignDown(vaddr, huge);
+    const Addr hend = hstart + huge;
+    if (hstart < vma->start || hend > vma->end)
+        return false;
+    if (intersects(vma->hugeForbidden, hstart, hend))
+        return false;
+    switch (thp.mode) {
+      case ThpMode::Never:
+        return false;
+      case ThpMode::Always:
+        return true;
+      case ThpMode::Madvise:
+        return coveredBy(vma->hugeAdvised, hstart, hend);
+    }
+    return false;
+}
+
+bool
+AddressSpace::regionEmpty(std::uint64_t huge_vpn) const
+{
+    const std::uint64_t span = 1ull << hugeOrd;
+    for (std::uint64_t v = huge_vpn; v < huge_vpn + span; ++v)
+        if (pt.covered(v))
+            return false;
+    return true;
+}
+
+std::vector<std::uint64_t>
+AddressSpace::presentInRegion(std::uint64_t huge_vpn) const
+{
+    std::vector<std::uint64_t> out;
+    const std::uint64_t span = 1ull << hugeOrd;
+    for (std::uint64_t v = huge_vpn; v < huge_vpn + span; ++v) {
+        PageTable::Translation t = pt.lookup(v);
+        if (t.valid && t.size == PageSizeClass::Base && t.pte.present)
+            out.push_back(v);
+    }
+    return out;
+}
+
+TouchInfo
+AddressSpace::touch(Addr vaddr, bool write)
+{
+    (void)write; // all graph arrays are read-write anonymous memory
+    const std::uint64_t vpn = vpnOf(vaddr);
+    PageTable::Translation t = pt.lookup(vpn);
+
+    if (t.valid && t.pte.present) {
+        TouchInfo info;
+        info.frame = t.pte.frame;
+        info.size = t.size;
+        return info;
+    }
+    return handleFault(vaddr, t);
+}
+
+TouchInfo
+AddressSpace::handleFault(Addr vaddr, const PageTable::Translation &cur)
+{
+    TouchInfo info;
+    info.pageFault = true;
+
+    Vma *vma = findVmaMutable(vaddr);
+    if (vma == nullptr)
+        panic("segfault: access to unmapped address 0x%llx",
+              static_cast<unsigned long long>(vaddr));
+
+    const std::uint64_t vpn = vpnOf(vaddr);
+
+    // Major fault: page lives in swap.
+    if (cur.valid && cur.pte.swapped) {
+        mem::MemoryNode::Request req;
+        req.order = 0;
+        req.mt = mem::Migratetype::Movable;
+        req.client = clientId;
+        req.mayReclaim = true;
+        req.maySwap = true;
+        mem::AllocOutcome out = node.allocate(req);
+        if (!out.success)
+            fatal("out of memory swapping in page 0x%llx",
+                  static_cast<unsigned long long>(vaddr));
+        info.reclaimedPages = out.reclaimedPages;
+        info.swappedOutPages = out.swappedPages;
+        swap.freeSlot(cur.pte.swapSlot);
+        pt.restoreSwapped(vpn, out.frame);
+        rmap.emplace(out.frame, vpn);
+        node.noteSwappable(out.frame);
+        --vma->swappedBasePages;
+        ++vma->presentBasePages;
+        ++majorFaults;
+        ++swapInPages;
+        info.frame = out.frame;
+        info.size = PageSizeClass::Base;
+        info.majorFault = true;
+        return info;
+    }
+
+    // Fresh fault: maybe satisfy with a huge page.
+    const std::uint64_t huge_vpn = pt.hugeVpnOf(vpn);
+    const bool eligible = hugeEligible(vaddr);
+    if (eligible && regionEmpty(huge_vpn)) {
+        const Addr hstart = alignDown(vaddr, hugePageBytes());
+        bool may_compact = false;
+        switch (thp.defrag) {
+          case ThpDefrag::Never:
+            may_compact = false;
+            break;
+          case ThpDefrag::Always:
+            may_compact = true;
+            break;
+          case ThpDefrag::Madvise:
+            may_compact = coveredBy(vma->hugeAdvised, hstart,
+                                    hstart + hugePageBytes());
+            break;
+        }
+
+        mem::MemoryNode::Request req;
+        req.order = hugeOrd;
+        req.mt = mem::Migratetype::Movable;
+        req.client = clientId;
+        req.mayReclaim = thp.reclaimForHuge;
+        req.mayCompact = may_compact;
+        req.maySwap = false;
+        mem::AllocOutcome out = node.allocate(req);
+        info.migratedPages += out.migratedPages;
+        info.reclaimedPages += out.reclaimedPages;
+        info.compactionFailures += out.compactionFailures;
+        if (out.success) {
+            pt.mapHuge(huge_vpn, out.frame);
+            ++vma->hugePages;
+            ++hugeFaults;
+            info.frame = out.frame;
+            info.size = PageSizeClass::Huge;
+            info.hugeFault = true;
+            return info;
+        }
+        ++hugeFallbacks;
+    }
+
+    // Base-page fault.
+    mem::MemoryNode::Request req;
+    req.order = 0;
+    req.mt = mem::Migratetype::Movable;
+    req.client = clientId;
+    req.mayReclaim = true;
+    req.maySwap = true;
+    mem::AllocOutcome out = node.allocate(req);
+    if (!out.success)
+        fatal("out of memory: node exhausted and swap full (footprint "
+              "%llu bytes)",
+              static_cast<unsigned long long>(footprintBytes()));
+    info.reclaimedPages += out.reclaimedPages;
+    info.swappedOutPages += out.swappedPages;
+    pt.mapBase(vpn, out.frame);
+    rmap.emplace(out.frame, vpn);
+    node.noteSwappable(out.frame);
+    ++vma->presentBasePages;
+    ++minorFaults;
+    info.frame = out.frame;
+    info.size = PageSizeClass::Base;
+    return info;
+}
+
+PageTable::Translation
+AddressSpace::translate(Addr vaddr) const
+{
+    return pt.lookup(vpnOf(vaddr));
+}
+
+AddressSpace::PromoteResult
+AddressSpace::promote(Addr vaddr)
+{
+    PromoteResult res;
+    Vma *vma = findVmaMutable(vaddr);
+    if (vma == nullptr || !hugeEligible(vaddr))
+        return res;
+
+    const std::uint64_t huge_vpn = pt.hugeVpnOf(vpnOf(vaddr));
+    if (pt.lookup(huge_vpn).valid &&
+        pt.lookup(huge_vpn).size == PageSizeClass::Huge) {
+        return res; // already huge
+    }
+
+    // Collect candidate base pages; bail out on swapped entries
+    // (khugepaged's max_ptes_swap behaviour, simplified to zero).
+    const std::uint64_t span = 1ull << hugeOrd;
+    std::vector<std::uint64_t> present;
+    for (std::uint64_t v = huge_vpn; v < huge_vpn + span; ++v) {
+        PageTable::Translation t = pt.lookup(v);
+        if (!t.valid)
+            continue;
+        if (t.pte.swapped)
+            return res;
+        present.push_back(v);
+    }
+    if (present.size() < thp.khugepagedMinPresent)
+        return res;
+
+    mem::MemoryNode::Request req;
+    req.order = hugeOrd;
+    req.mt = mem::Migratetype::Movable;
+    req.client = clientId;
+    req.mayReclaim = thp.reclaimForHuge;
+    req.mayCompact = thp.defrag != ThpDefrag::Never;
+    req.maySwap = false;
+    mem::AllocOutcome out = node.allocate(req);
+    res.migratedPages = out.migratedPages;
+    res.reclaimedPages = out.reclaimedPages;
+    if (!out.success)
+        return res;
+
+    // Copy and retire the old base pages.
+    for (std::uint64_t v : present) {
+        PageTable::Translation t = pt.lookup(v);
+        rmap.erase(t.pte.frame);
+        node.free(t.pte.frame);
+        pt.unmapBase(v);
+    }
+    vma->presentBasePages -= present.size();
+    for (std::uint64_t v : present) {
+        pendingInvalidations.push_back(
+            TlbInvalidation{false, v, PageSizeClass::Base});
+    }
+    pt.mapHuge(huge_vpn, out.frame);
+    ++vma->hugePages;
+    ++promotions;
+    promotionCopiedPages += present.size();
+    res.copiedPages = present.size();
+    res.success = true;
+    return res;
+}
+
+void
+AddressSpace::demote(Addr vaddr)
+{
+    const std::uint64_t vpn = vpnOf(vaddr);
+    PageTable::Translation t = pt.lookup(vpn);
+    if (!t.valid || t.size != PageSizeClass::Huge)
+        fatal("demote of non-huge-mapped address 0x%llx",
+              static_cast<unsigned long long>(vaddr));
+    Vma *vma = findVmaMutable(vaddr);
+    GPSM_ASSERT(vma != nullptr);
+
+    // Physically split the huge block so frames free independently.
+    mem::BuddyAllocator &buddy = node.buddy();
+    const mem::FrameNum head = t.pte.frame;
+    const std::uint64_t span = 1ull << hugeOrd;
+    for (unsigned order = hugeOrd; order > 0; --order)
+        for (mem::FrameNum f = head; f < head + span; f += 1ull << order)
+            buddy.splitAllocated(f);
+
+    const std::uint64_t huge_vpn = pt.hugeVpnOf(vpn);
+    pt.demoteToBase(vpn);
+    for (std::uint64_t i = 0; i < span; ++i) {
+        rmap.emplace(head + i, huge_vpn + i);
+        node.noteSwappable(head + i);
+    }
+    --vma->hugePages;
+    vma->presentBasePages += span;
+    ++demotions;
+    pendingInvalidations.push_back(
+        TlbInvalidation{false, huge_vpn, PageSizeClass::Huge});
+}
+
+std::uint64_t
+AddressSpace::hugeBackedBytes() const
+{
+    std::uint64_t pages = 0;
+    for (const auto &[start, vma] : regions) {
+        (void)start;
+        pages += vma.hugePages;
+    }
+    return pages * hugePageBytes();
+}
+
+std::uint64_t
+AddressSpace::giantBackedBytes() const
+{
+    std::uint64_t pages = 0;
+    for (const auto &[start, vma] : regions) {
+        (void)start;
+        pages += vma.giantPages;
+    }
+    return pages * node.giantPageBytes();
+}
+
+std::uint64_t
+AddressSpace::footprintBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const auto &[start, vma] : regions) {
+        (void)start;
+        bytes += (vma.presentBasePages + vma.swappedBasePages) * pageBytes;
+        bytes += vma.hugePages * hugePageBytes();
+        bytes += vma.giantPages * node.giantPageBytes();
+    }
+    return bytes;
+}
+
+std::vector<TlbInvalidation>
+AddressSpace::drainInvalidations()
+{
+    std::vector<TlbInvalidation> out;
+    out.swap(pendingInvalidations);
+    return out;
+}
+
+void
+AddressSpace::migratePage(mem::FrameNum from, mem::FrameNum to)
+{
+    auto it = rmap.find(from);
+    GPSM_ASSERT(it != rmap.end(),
+                "migration of a frame this space does not own");
+    const std::uint64_t vpn = it->second;
+    rmap.erase(it);
+    pt.retargetBase(vpn, to);
+    rmap.emplace(to, vpn);
+    node.noteSwappable(to);
+    pendingInvalidations.push_back(
+        TlbInvalidation{false, vpn, PageSizeClass::Base});
+}
+
+bool
+AddressSpace::evictPage(mem::FrameNum frame)
+{
+    auto it = rmap.find(frame);
+    if (it == rmap.end())
+        return false;
+    const std::uint64_t slot = swap.allocSlot();
+    if (slot == ~0ull)
+        return false; // swap device full
+    const std::uint64_t vpn = it->second;
+    Vma *vma = findVmaMutable(vpn * pageBytes);
+    GPSM_ASSERT(vma != nullptr);
+    pt.markSwapped(vpn, slot);
+    rmap.erase(it);
+    node.free(frame);
+    --vma->presentBasePages;
+    ++vma->swappedBasePages;
+    ++swapOutPages;
+    pendingInvalidations.push_back(
+        TlbInvalidation{false, vpn, PageSizeClass::Base});
+    return true;
+}
+
+void
+AddressSpace::registerStats(StatSet &stats,
+                            const std::string &prefix) const
+{
+    stats.registerCounter(prefix + ".minorFaults", &minorFaults,
+                          "base-page demand faults");
+    stats.registerCounter(prefix + ".hugeFaults", &hugeFaults,
+                          "faults satisfied with a huge page");
+    stats.registerCounter(prefix + ".majorFaults", &majorFaults,
+                          "faults served from swap");
+    stats.registerCounter(prefix + ".hugeFallbacks", &hugeFallbacks,
+                          "huge-eligible faults that fell back to base "
+                          "pages");
+    stats.registerCounter(prefix + ".promotions", &promotions,
+                          "khugepaged collapses");
+    stats.registerCounter(prefix + ".demotions", &demotions,
+                          "huge pages split back to base pages");
+    stats.registerCounter(prefix + ".promotionCopiedPages",
+                          &promotionCopiedPages,
+                          "base pages copied during collapses");
+    stats.registerCounter(prefix + ".swapInPages", &swapInPages,
+                          "pages read back from swap");
+    stats.registerCounter(prefix + ".swapOutPages", &swapOutPages,
+                          "pages written to swap");
+}
+
+} // namespace gpsm::vm

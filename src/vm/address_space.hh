@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Process address space: VMAs, demand paging, THP fault policy, swap,
+ * and the owner-side half of compaction and khugepaged.
+ */
+
+#ifndef GPSM_VM_ADDRESS_SPACE_HH
+#define GPSM_VM_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/memory_node.hh"
+#include "mem/swap_device.hh"
+#include "mem/types.hh"
+#include "util/stats.hh"
+#include "util/units.hh"
+#include "vm/page_table.hh"
+#include "vm/thp_config.hh"
+
+namespace gpsm::vm
+{
+
+/**
+ * One virtual memory area (a contiguous mmap'd range).
+ */
+struct Vma
+{
+    Addr start = 0;
+    Addr end = 0; // exclusive
+    std::string name;
+
+    /** MADV_HUGEPAGE intervals, disjoint and sorted, [start,end). */
+    std::vector<std::pair<Addr, Addr>> hugeAdvised;
+    /** MADV_NOHUGEPAGE intervals. */
+    std::vector<std::pair<Addr, Addr>> hugeForbidden;
+
+    /** @name Live mapping counters @{ */
+    std::uint64_t presentBasePages = 0;
+    std::uint64_t swappedBasePages = 0;
+    std::uint64_t hugePages = 0;
+    std::uint64_t giantPages = 0;
+    /** @} */
+
+    std::uint64_t length() const { return end - start; }
+    bool contains(Addr a) const { return a >= start && a < end; }
+};
+
+/**
+ * One pending TLB invalidation, produced whenever a translation a TLB
+ * may have cached stops being valid (migration, swap-out, promotion,
+ * demotion, unmap). The Mmu drains these, invalidates matching entries
+ * and charges shootdown cost.
+ */
+struct TlbInvalidation
+{
+    /** Invalidate everything (munmap). */
+    bool flushAll = false;
+    std::uint64_t vpn = 0;
+    PageSizeClass size = PageSizeClass::Base;
+};
+
+/**
+ * Events produced while making one virtual address accessible. The TLB
+ * layer (Mmu) converts these into simulated cycles; the address space
+ * itself is time-free.
+ */
+struct TouchInfo
+{
+    mem::FrameNum frame = mem::invalidFrame;
+    PageSizeClass size = PageSizeClass::Base;
+
+    bool pageFault = false;      ///< any fault was taken
+    bool hugeFault = false;      ///< fault was satisfied with a huge page
+    bool majorFault = false;     ///< page had to be read back from swap
+
+    /** Escalation work performed on the fault path. */
+    std::uint64_t migratedPages = 0;
+    std::uint64_t reclaimedPages = 0;
+    std::uint64_t swappedOutPages = 0;
+    std::uint64_t compactionFailures = 0;
+};
+
+/**
+ * The simulated process address space.
+ *
+ * Responsibilities:
+ * - virtual address allocation (mmap/munmap), huge-page aligned;
+ * - madvise(MADV_HUGEPAGE / MADV_NOHUGEPAGE) interval bookkeeping;
+ * - demand paging with Linux-like THP fault policy: on first touch of
+ *   an eligible huge region, try a huge allocation (with optional
+ *   reclaim and direct compaction), else fall back to a base page;
+ * - swap-in of previously evicted pages (major faults);
+ * - PageClient duties: retargeting mappings when compaction migrates a
+ *   frame, and surrendering pages chosen as swap victims.
+ *
+ * All state-changing operations bump a pending-TLB-shootdown counter
+ * that the Mmu drains to charge invalidation costs and flush stale
+ * entries.
+ */
+class AddressSpace : public mem::PageClient
+{
+  public:
+    AddressSpace(mem::MemoryNode &node, mem::SwapDevice &swap,
+                 const ThpConfig &thp);
+    ~AddressSpace() override;
+
+    AddressSpace(const AddressSpace &) = delete;
+    AddressSpace &operator=(const AddressSpace &) = delete;
+
+    /** @name Region management @{ */
+
+    /**
+     * Reserve @p length bytes of virtual address space.
+     * The base is huge-page aligned, as glibc arranges for large
+     * allocations (and as the paper's madvise usage requires).
+     */
+    Addr mmap(std::uint64_t length, const std::string &name);
+
+    /**
+     * Reserve and *eagerly* map @p length bytes backed by giant pages
+     * from the node's hugetlbfs-style pool (rounded up to whole giant
+     * pages). Fatal when the pool cannot cover the request — explicit
+     * reservations fail loudly, unlike THP.
+     */
+    Addr mmapGiant(std::uint64_t length, const std::string &name);
+
+    /** Unmap the entire VMA starting at @p start; frees its frames. */
+    void munmap(Addr start);
+
+    /** madvise(MADV_HUGEPAGE) on [start, start+length). */
+    void madviseHuge(Addr start, std::uint64_t length);
+
+    /** madvise(MADV_NOHUGEPAGE) on [start, start+length). */
+    void madviseNoHuge(Addr start, std::uint64_t length);
+    /** @} */
+
+    /** @name Access path @{ */
+
+    /**
+     * Ensure @p vaddr is mapped, faulting if necessary, and report the
+     * backing translation plus all fault-path events.
+     */
+    TouchInfo touch(Addr vaddr, bool write);
+
+    /** Fault-free lookup (invalid result when unmapped). */
+    PageTable::Translation translate(Addr vaddr) const;
+    /** @} */
+
+    /** @name khugepaged / policy hooks @{ */
+
+    struct PromoteResult
+    {
+        bool success = false;
+        std::uint64_t copiedPages = 0;
+        std::uint64_t migratedPages = 0;
+        std::uint64_t reclaimedPages = 0;
+    };
+
+    /**
+     * Try to promote the huge region containing @p vaddr, copying the
+     * present base pages into a fresh huge frame (khugepaged's
+     * collapse operation).
+     */
+    PromoteResult promote(Addr vaddr);
+
+    /**
+     * Demote the huge mapping covering @p vaddr into base pages; the
+     * physical huge block is split so constituent frames can be freed
+     * or swapped individually.
+     */
+    void demote(Addr vaddr);
+
+    /**
+     * Is the huge region containing @p vaddr eligible for huge-page
+     * backing under the current mode (ignoring what is mapped)?
+     */
+    bool hugeEligible(Addr vaddr) const;
+    /** @} */
+
+    /** @name Introspection @{ */
+    const ThpConfig &thpConfig() const { return thp; }
+
+    /**
+     * Replace the THP configuration at runtime (the sysfs knobs are
+     * writable on a live system; existing mappings are unaffected).
+     */
+    void updateThpConfig(const ThpConfig &config) { thp = config; }
+    const PageTable &pageTable() const { return pt; }
+    mem::MemoryNode &memoryNode() { return node; }
+
+    const Vma *findVma(Addr vaddr) const;
+    std::vector<const Vma *> vmas() const;
+
+    std::uint64_t basePageBytes() const { return pageBytes; }
+    std::uint64_t hugePageBytes() const { return pageBytes << hugeOrd; }
+
+    /** Total bytes currently backed by huge pages. */
+    std::uint64_t hugeBackedBytes() const;
+    /** Total bytes currently backed by giant pages. */
+    std::uint64_t giantBackedBytes() const;
+    /** Total mapped bytes (present base + swapped + huge). */
+    std::uint64_t footprintBytes() const;
+
+    /**
+     * True when TLB invalidations are pending (checked on the hot
+     * path; draining allocates, so callers test this first).
+     */
+    bool hasPendingInvalidations() const
+    {
+        return !pendingInvalidations.empty();
+    }
+
+    /** Move out the pending TLB invalidation events. */
+    std::vector<TlbInvalidation> drainInvalidations();
+    /** @} */
+
+    /** @name PageClient @{ */
+    void migratePage(mem::FrameNum from, mem::FrameNum to) override;
+    bool evictPage(mem::FrameNum frame) override;
+    const char *clientName() const override { return "addrspace"; }
+    /** @} */
+
+    void registerStats(StatSet &stats, const std::string &prefix) const;
+
+    /** @name Event counters @{ */
+    Counter minorFaults;
+    Counter hugeFaults;
+    Counter majorFaults;
+    Counter hugeFallbacks;  ///< eligible faults that fell back to base
+    Counter promotions;
+    Counter demotions;
+    Counter promotionCopiedPages;
+    Counter swapInPages;
+    Counter swapOutPages;
+    /** @} */
+
+  private:
+    /** Fault in the page backing @p vaddr (not currently covered). */
+    TouchInfo handleFault(Addr vaddr, const PageTable::Translation &cur);
+
+    /** True when [a,b) is fully inside one interval of @p set. */
+    static bool coveredBy(const std::vector<std::pair<Addr, Addr>> &set,
+                          Addr a, Addr b);
+    /** True when [a,b) intersects any interval of @p set. */
+    static bool intersects(const std::vector<std::pair<Addr, Addr>> &set,
+                           Addr a, Addr b);
+    static void addInterval(std::vector<std::pair<Addr, Addr>> &set,
+                            Addr a, Addr b);
+
+    Vma *findVmaMutable(Addr vaddr);
+
+    std::uint64_t vpnOf(Addr vaddr) const { return vaddr / pageBytes; }
+
+    /** True when no PTE (present or swapped) covers the huge region. */
+    bool regionEmpty(std::uint64_t huge_vpn) const;
+    /** Present base VPNs within the huge region. */
+    std::vector<std::uint64_t> presentInRegion(std::uint64_t huge_vpn) const;
+
+    mem::MemoryNode &node;
+    mem::SwapDevice &swap;
+    ThpConfig thp;
+    std::uint64_t pageBytes;
+    unsigned hugeOrd;
+    std::uint16_t clientId;
+
+    PageTable pt;
+
+    /** VMAs keyed by start address. */
+    std::map<Addr, Vma> regions;
+
+    /** Reverse map: base-page frame -> vpn (for migrate/evict). */
+    std::unordered_map<mem::FrameNum, std::uint64_t> rmap;
+
+    /** Bump-pointer virtual address allocator. */
+    Addr nextMmapBase;
+
+    std::vector<TlbInvalidation> pendingInvalidations;
+};
+
+} // namespace gpsm::vm
+
+#endif // GPSM_VM_ADDRESS_SPACE_HH

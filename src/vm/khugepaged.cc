@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Khugepaged implementation.
+ */
+
+#include "vm/khugepaged.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/bitops.hh"
+#include "vm/address_space.hh"
+
+namespace gpsm::vm
+{
+
+Khugepaged::ScanResult
+Khugepaged::scan(std::uint64_t page_budget)
+{
+    ScanResult res;
+    if (!space.thpConfig().khugepagedEnabled)
+        return res;
+
+    const std::uint64_t huge = space.hugePageBytes();
+    const std::uint64_t span_pages = huge / space.basePageBytes();
+
+    // Flat list of candidate regions across all VMAs, in address
+    // order, scanned round-robin from the saved cursor.
+    std::vector<Addr> all;
+    for (const Vma *vma : space.vmas()) {
+        for (Addr region = alignUp(vma->start, huge);
+             region + huge <= vma->end; region += huge) {
+            all.push_back(region);
+        }
+    }
+    if (all.empty())
+        return res;
+    std::sort(all.begin(), all.end());
+
+    size_t start = static_cast<size_t>(
+        std::lower_bound(all.begin(), all.end(), cursor) - all.begin());
+    if (start == all.size())
+        start = 0;
+
+    std::uint64_t budget = page_budget;
+    for (size_t i = 0; i < all.size() && budget >= span_pages; ++i) {
+        const Addr region = all[(start + i) % all.size()];
+        budget -= span_pages;
+        ++res.regionsScanned;
+        ++regionsScanned;
+        auto pr = space.promote(region);
+        if (pr.success) {
+            ++res.promoted;
+            ++regionsPromoted;
+            res.copiedPages += pr.copiedPages;
+        }
+        cursor = region + huge;
+    }
+    return res;
+}
+
+Khugepaged::ScanResult
+Khugepaged::scanHotFirst(
+    std::uint64_t page_budget,
+    const std::unordered_map<std::uint64_t, std::uint32_t> &heat)
+{
+    ScanResult res;
+    if (!space.thpConfig().khugepagedEnabled || heat.empty())
+        return res;
+
+    const std::uint64_t huge = space.hugePageBytes();
+    const std::uint64_t span_pages = huge / space.basePageBytes();
+
+    // Rank the observed regions by heat, hottest first; ties broken
+    // by address for determinism.
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> ranked;
+    ranked.reserve(heat.size());
+    for (const auto &[region_vpn, count] : heat)
+        ranked.emplace_back(count, region_vpn);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first != b.first ? a.first > b.first
+                                            : a.second < b.second;
+              });
+
+    std::uint64_t budget = page_budget;
+    for (const auto &[count, region_vpn] : ranked) {
+        (void)count;
+        if (budget < span_pages)
+            break;
+        const Addr region = region_vpn * huge;
+        if (space.findVma(region) == nullptr)
+            continue; // heat recorded for a since-unmapped region
+        budget -= span_pages;
+        ++res.regionsScanned;
+        ++regionsScanned;
+        auto pr = space.promote(region);
+        if (pr.success) {
+            ++res.promoted;
+            ++regionsPromoted;
+            res.copiedPages += pr.copiedPages;
+        }
+    }
+    return res;
+}
+
+} // namespace gpsm::vm

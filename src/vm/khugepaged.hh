@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Background huge-page promotion daemon (khugepaged).
+ */
+
+#ifndef GPSM_VM_KHUGEPAGED_HH
+#define GPSM_VM_KHUGEPAGED_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/stats.hh"
+#include "util/units.hh"
+
+namespace gpsm::vm
+{
+
+class AddressSpace;
+
+/**
+ * Models Linux's khugepaged: a kernel thread that periodically scans a
+ * bounded number of pages of the address space and collapses eligible
+ * huge regions in the background.
+ *
+ * The simulation driver calls scan() at configured cycle intervals;
+ * copy work is reported back so callers may charge it to a background
+ * budget (it does not block the faulting application, matching §2.3.1).
+ */
+class Khugepaged
+{
+  public:
+    explicit Khugepaged(AddressSpace &target) : space(target) {}
+
+    struct ScanResult
+    {
+        std::uint64_t regionsScanned = 0;
+        std::uint64_t promoted = 0;
+        std::uint64_t copiedPages = 0;
+    };
+
+    /**
+     * Scan up to @p page_budget base pages worth of address space from
+     * the saved cursor, promoting eligible huge regions.
+     */
+    ScanResult scan(std::uint64_t page_budget);
+
+    /**
+     * Access-tracking variant (HawkEye-style): spend the budget on the
+     * *hottest* regions first, ranked by observed page-walk counts
+     * (@p heat, keyed by huge-region VPN). Regions with no recorded
+     * heat are skipped — the policy only acts on measured pain.
+     */
+    ScanResult scanHotFirst(
+        std::uint64_t page_budget,
+        const std::unordered_map<std::uint64_t, std::uint32_t> &heat);
+
+    Counter regionsScanned;
+    Counter regionsPromoted;
+
+  private:
+    AddressSpace &space;
+    /** Resume cursor (virtual address of next region to scan). */
+    Addr cursor = 0;
+};
+
+} // namespace gpsm::vm
+
+#endif // GPSM_VM_KHUGEPAGED_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * PageTable implementation.
+ */
+
+#include "vm/page_table.hh"
+
+#include "util/logging.hh"
+
+namespace gpsm::vm
+{
+
+PageTable::Translation
+PageTable::lookup(std::uint64_t vpn) const
+{
+    Translation t;
+    if (giantOrd != 0) {
+        auto git = giant.find(giantVpnOf(vpn));
+        if (git != giant.end()) {
+            t.valid = true;
+            t.size = PageSizeClass::Giant;
+            t.pte = git->second;
+            return t;
+        }
+    }
+    auto hit = huge.find(hugeVpnOf(vpn));
+    if (hit != huge.end()) {
+        t.valid = true;
+        t.size = PageSizeClass::Huge;
+        t.pte = hit->second;
+        return t;
+    }
+    auto bit = base.find(vpn);
+    if (bit != base.end()) {
+        t.valid = true;
+        t.size = PageSizeClass::Base;
+        t.pte = bit->second;
+    }
+    return t;
+}
+
+bool
+PageTable::covered(std::uint64_t vpn) const
+{
+    if (giantOrd != 0 && giant.count(giantVpnOf(vpn)) != 0)
+        return true;
+    return huge.count(hugeVpnOf(vpn)) != 0 || base.count(vpn) != 0;
+}
+
+void
+PageTable::mapBase(std::uint64_t vpn, mem::FrameNum frame)
+{
+    if (huge.count(hugeVpnOf(vpn)))
+        panic("mapBase under existing huge mapping, vpn %llu",
+              static_cast<unsigned long long>(vpn));
+    Pte pte;
+    pte.frame = frame;
+    pte.present = true;
+    auto [it, inserted] = base.emplace(vpn, pte);
+    (void)it;
+    if (!inserted)
+        panic("double mapBase of vpn %llu",
+              static_cast<unsigned long long>(vpn));
+}
+
+void
+PageTable::mapHuge(std::uint64_t vpn, mem::FrameNum frame)
+{
+    const std::uint64_t head = hugeVpnOf(vpn);
+    const std::uint64_t span = 1ull << hugeOrd;
+    for (std::uint64_t v = head; v < head + span; ++v) {
+        if (base.count(v))
+            panic("mapHuge over existing base mapping, vpn %llu",
+                  static_cast<unsigned long long>(v));
+    }
+    Pte pte;
+    pte.frame = frame;
+    pte.present = true;
+    auto [it, inserted] = huge.emplace(head, pte);
+    (void)it;
+    if (!inserted)
+        panic("double mapHuge of vpn %llu",
+              static_cast<unsigned long long>(head));
+}
+
+void
+PageTable::mapGiant(std::uint64_t vpn, mem::FrameNum frame)
+{
+    GPSM_ASSERT(giantOrd != 0, "giant level disabled");
+    const std::uint64_t head = giantVpnOf(vpn);
+    const std::uint64_t span = 1ull << giantOrd;
+    for (std::uint64_t v = head; v < head + span; ++v) {
+        if (base.count(v) != 0 || huge.count(hugeVpnOf(v)) != 0)
+            panic("mapGiant over existing mapping, vpn %llu",
+                  static_cast<unsigned long long>(v));
+    }
+    Pte pte;
+    pte.frame = frame;
+    pte.present = true;
+    auto [it, inserted] = giant.emplace(head, pte);
+    (void)it;
+    if (!inserted)
+        panic("double mapGiant of vpn %llu",
+              static_cast<unsigned long long>(head));
+}
+
+void
+PageTable::unmapGiant(std::uint64_t vpn)
+{
+    if (giant.erase(giantVpnOf(vpn)) == 0)
+        panic("unmapGiant of absent vpn %llu",
+              static_cast<unsigned long long>(vpn));
+}
+
+void
+PageTable::markSwapped(std::uint64_t vpn, std::uint64_t slot)
+{
+    auto it = base.find(vpn);
+    if (it == base.end() || !it->second.present)
+        panic("markSwapped of absent base vpn %llu",
+              static_cast<unsigned long long>(vpn));
+    it->second.present = false;
+    it->second.swapped = true;
+    it->second.swapSlot = slot;
+    it->second.frame = mem::invalidFrame;
+}
+
+void
+PageTable::restoreSwapped(std::uint64_t vpn, mem::FrameNum frame)
+{
+    auto it = base.find(vpn);
+    if (it == base.end() || !it->second.swapped)
+        panic("restoreSwapped of non-swapped vpn %llu",
+              static_cast<unsigned long long>(vpn));
+    it->second.present = true;
+    it->second.swapped = false;
+    it->second.frame = frame;
+}
+
+void
+PageTable::unmapBase(std::uint64_t vpn)
+{
+    if (base.erase(vpn) == 0)
+        panic("unmapBase of absent vpn %llu",
+              static_cast<unsigned long long>(vpn));
+}
+
+void
+PageTable::unmapHuge(std::uint64_t vpn)
+{
+    if (huge.erase(hugeVpnOf(vpn)) == 0)
+        panic("unmapHuge of absent vpn %llu",
+              static_cast<unsigned long long>(vpn));
+}
+
+void
+PageTable::demoteToBase(std::uint64_t vpn)
+{
+    const std::uint64_t head = hugeVpnOf(vpn);
+    auto it = huge.find(head);
+    if (it == huge.end() || !it->second.present)
+        panic("demoteToBase of absent huge vpn %llu",
+              static_cast<unsigned long long>(head));
+    const mem::FrameNum frame = it->second.frame;
+    huge.erase(it);
+    const std::uint64_t span = 1ull << hugeOrd;
+    for (std::uint64_t i = 0; i < span; ++i)
+        mapBase(head + i, frame + i);
+}
+
+void
+PageTable::retargetBase(std::uint64_t vpn, mem::FrameNum frame)
+{
+    auto it = base.find(vpn);
+    if (it == base.end() || !it->second.present)
+        panic("retargetBase of absent vpn %llu",
+              static_cast<unsigned long long>(vpn));
+    it->second.frame = frame;
+}
+
+} // namespace gpsm::vm

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Per-address-space page table with mixed page sizes.
+ *
+ * Linux keeps a radix tree whose leaf level is fixed by hardware; huge
+ * pages are leaves one level up. We model the same *translation
+ * contract* — at most one mapping covers any virtual page, and a huge
+ * mapping occupies exactly one entry — with per-size-class hash maps,
+ * because our scaled system configuration allows huge-page ratios
+ * (e.g. 64 base pages) that do not land on an x86 level boundary. Walk
+ * latency is charged by the TLB cost model, parameterized by the
+ * resolved page size, so the structural substitution does not affect
+ * any measured quantity.
+ */
+
+#ifndef GPSM_VM_PAGE_TABLE_HH
+#define GPSM_VM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/types.hh"
+#include "util/units.hh"
+
+namespace gpsm::vm
+{
+
+/** Resolved translation size class. */
+enum class PageSizeClass : std::uint8_t
+{
+    Base = 0,
+    Huge = 1,
+    /** 1GB-class pages (hugetlbfs-style explicit reservation). */
+    Giant = 2,
+};
+
+constexpr unsigned numPageSizeClasses = 3;
+
+/** Page table entry. Either present (frame valid) or swapped out. */
+struct Pte
+{
+    mem::FrameNum frame = mem::invalidFrame;
+    bool present = false;
+    bool swapped = false;
+    std::uint64_t swapSlot = 0;
+};
+
+/**
+ * Mixed-granularity page table keyed by virtual page number (VPN, in
+ * base-page units). Huge entries are keyed by their aligned VPN.
+ */
+class PageTable
+{
+  public:
+    /**
+     * @param huge_order log2(huge page / base page).
+     * @param giant_order log2(giant page / base page); 0 disables the
+     *        giant level.
+     */
+    explicit PageTable(unsigned huge_order, unsigned giant_order = 0)
+        : hugeOrd(huge_order), giantOrd(giant_order)
+    {
+    }
+
+    /** Translation result for lookups. */
+    struct Translation
+    {
+        bool valid = false;
+        PageSizeClass size = PageSizeClass::Base;
+        Pte pte;
+    };
+
+    /**
+     * Look up the mapping covering base-page @p vpn, checking the huge
+     * level first as a hardware walker would.
+     */
+    Translation lookup(std::uint64_t vpn) const;
+
+    /** Present/ swapped entry exists covering @p vpn? */
+    bool covered(std::uint64_t vpn) const;
+
+    /** Map base page @p vpn to @p frame. Panics on double map. */
+    void mapBase(std::uint64_t vpn, mem::FrameNum frame);
+
+    /**
+     * Map the huge region containing @p vpn to @p frame (head frame of
+     * a huge block). @p vpn is rounded down. Panics if any base entry
+     * exists inside the region or the region is already mapped.
+     */
+    void mapHuge(std::uint64_t vpn, mem::FrameNum frame);
+
+    /** Mark base page @p vpn swapped out to @p slot. */
+    void markSwapped(std::uint64_t vpn, std::uint64_t slot);
+
+    /** Restore swapped base page @p vpn with a fresh frame. */
+    void restoreSwapped(std::uint64_t vpn, mem::FrameNum frame);
+
+    /** Remove the base entry at @p vpn (panics if absent). */
+    void unmapBase(std::uint64_t vpn);
+
+    /** Remove the huge entry covering @p vpn (panics if absent). */
+    void unmapHuge(std::uint64_t vpn);
+
+    /**
+     * Map the giant region containing @p vpn to @p frame (head frame
+     * of a reserved giant block). Panics on conflicts with existing
+     * base/huge entries in the region.
+     */
+    void mapGiant(std::uint64_t vpn, mem::FrameNum frame);
+
+    /** Remove the giant entry covering @p vpn (panics if absent). */
+    void unmapGiant(std::uint64_t vpn);
+
+    /**
+     * Demote the huge mapping covering @p vpn: replace one huge entry
+     * with per-base-page entries onto consecutive frames of the old
+     * huge block. (The physical block stays allocated as one unit; see
+     * AddressSpace::demote for the full flow.)
+     */
+    void demoteToBase(std::uint64_t vpn);
+
+    /** Retarget the base entry at @p vpn to a new frame (migration). */
+    void retargetBase(std::uint64_t vpn, mem::FrameNum frame);
+
+    std::uint64_t basePagesMapped() const { return base.size(); }
+    std::uint64_t hugePagesMapped() const { return huge.size(); }
+    std::uint64_t giantPagesMapped() const { return giant.size(); }
+    unsigned hugeOrder() const { return hugeOrd; }
+    unsigned giantOrder() const { return giantOrd; }
+
+    std::uint64_t
+    hugeVpnOf(std::uint64_t vpn) const
+    {
+        return vpn & ~((1ull << hugeOrd) - 1);
+    }
+
+    std::uint64_t
+    giantVpnOf(std::uint64_t vpn) const
+    {
+        return giantOrd ? (vpn & ~((1ull << giantOrd) - 1)) : vpn;
+    }
+
+    /** Iterate present base entries (for eviction victim scans). */
+    template <typename Fn>
+    void
+    forEachBase(Fn &&fn) const
+    {
+        for (const auto &[vpn, pte] : base)
+            fn(vpn, pte);
+    }
+
+    template <typename Fn>
+    void
+    forEachHuge(Fn &&fn) const
+    {
+        for (const auto &[vpn, pte] : huge)
+            fn(vpn, pte);
+    }
+
+  private:
+    unsigned hugeOrd;
+    unsigned giantOrd;
+    std::unordered_map<std::uint64_t, Pte> base;
+    std::unordered_map<std::uint64_t, Pte> huge;
+    std::unordered_map<std::uint64_t, Pte> giant;
+};
+
+} // namespace gpsm::vm
+
+#endif // GPSM_VM_PAGE_TABLE_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Transparent huge page policy knobs, mirroring Linux sysfs settings.
+ */
+
+#ifndef GPSM_VM_THP_CONFIG_HH
+#define GPSM_VM_THP_CONFIG_HH
+
+#include <cstdint>
+
+namespace gpsm::vm
+{
+
+/**
+ * /sys/kernel/mm/transparent_hugepage/enabled:
+ * - Never: base pages only (the paper's baseline).
+ * - Madvise: huge pages only inside MADV_HUGEPAGE regions
+ *   (programmer-directed selective THP).
+ * - Always: system-wide greedy THP (Linux's default policy in the
+ *   paper's characterization).
+ */
+enum class ThpMode : std::uint8_t
+{
+    Never,
+    Madvise,
+    Always,
+};
+
+const char *thpModeName(ThpMode mode);
+
+/**
+ * /sys/kernel/mm/transparent_hugepage/defrag analogue: when may the
+ * fault path perform direct compaction?
+ */
+enum class ThpDefrag : std::uint8_t
+{
+    /** Never compact at fault time (fall back to base pages). */
+    Never,
+    /** Compact only for MADV_HUGEPAGE regions (Linux default). */
+    Madvise,
+    /** Compact for every eligible fault. */
+    Always,
+};
+
+struct ThpConfig
+{
+    ThpMode mode = ThpMode::Never;
+    ThpDefrag defrag = ThpDefrag::Madvise;
+
+    /** Reclaim page cache on huge-page allocation failure. */
+    bool reclaimForHuge = true;
+
+    /** khugepaged background promotion. */
+    bool khugepagedEnabled = true;
+    /** Pages khugepaged scans per wakeup (pages_to_scan). */
+    std::uint64_t khugepagedScanPages = 4096;
+    /**
+     * Minimum present base pages for a region to be promoted
+     * (512 - max_ptes_none in Linux terms; 1 reproduces the greedy
+     * default, higher values model utilization-aware policies like
+     * Ingens).
+     */
+    std::uint64_t khugepagedMinPresent = 1;
+
+    /**
+     * Promote the regions with the highest observed page-walk counts
+     * first (HawkEye-style access tracking) instead of scanning the
+     * address space linearly.
+     */
+    bool khugepagedHotFirst = false;
+
+    /** Convenience presets. */
+    static ThpConfig
+    never()
+    {
+        ThpConfig c;
+        c.mode = ThpMode::Never;
+        c.khugepagedEnabled = false;
+        return c;
+    }
+
+    static ThpConfig
+    always()
+    {
+        ThpConfig c;
+        c.mode = ThpMode::Always;
+        c.defrag = ThpDefrag::Always;
+        return c;
+    }
+
+    static ThpConfig
+    madvise()
+    {
+        ThpConfig c;
+        c.mode = ThpMode::Madvise;
+        c.defrag = ThpDefrag::Madvise;
+        return c;
+    }
+};
+
+} // namespace gpsm::vm
+
+#endif // GPSM_VM_THP_CONFIG_HH

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Cost-accounting integrity tests: the cycle buckets must be complete
+ * (sum to totalCycles), deterministic, and attributable; mixed page
+ * sizes must coexist and tear down cleanly; swap exhaustion must fail
+ * loudly rather than corrupt state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/kernels.hh"
+#include "core/machine.hh"
+#include "core/views.hh"
+#include "graph/datasets.hh"
+#include "mem/memhog.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/units.hh"
+
+using namespace gpsm;
+using namespace gpsm::core;
+
+namespace
+{
+
+SystemConfig
+testConfig()
+{
+    SystemConfig cfg = SystemConfig::scaled();
+    cfg.node.bytes = 64_MiB;
+    cfg.node.hugeWatermarkBytes = 0;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Accounting, BucketsSumToTotal)
+{
+    SimMachine m(testConfig(), vm::ThpConfig::always());
+    SimArray<std::uint64_t> arr(m, 1 << 15, "a", TagProperty);
+    arr.fill(3);
+    Rng rng(1);
+    for (int i = 0; i < 5000; ++i)
+        arr.get(rng.below(1 << 15));
+
+    const tlb::Mmu &mmu = m.mmu();
+    EXPECT_EQ(mmu.totalCycles(),
+              mmu.baseCycles.value() + mmu.memoryCycles.value() +
+                  mmu.translationCycles.value() +
+                  mmu.faultCycles.value() + mmu.osCycles.value() +
+                  mmu.ioCycles.value());
+    // Every traced access costs at least the base cycles.
+    EXPECT_GE(mmu.baseCycles.value(),
+              mmu.accesses.value() *
+                  mmu.costModel().baseAccessCycles);
+}
+
+TEST(Accounting, FaultCyclesMatchFaultCounts)
+{
+    SystemConfig cfg = testConfig();
+    cfg.enableCache = false;
+    SimMachine m(cfg, vm::ThpConfig::never());
+    SimArray<std::uint64_t> arr(m, 1 << 14, "a", TagOther); // 32 pages
+    arr.fill(1);
+    const auto &costs = m.mmu().costModel();
+    EXPECT_EQ(m.mmu().faultCycles.value(),
+              m.space().minorFaults.value() *
+                  costs.minorFaultCycles);
+}
+
+TEST(Accounting, HugeFaultCostScalesWithOrder)
+{
+    SystemConfig cfg = testConfig();
+    cfg.enableCache = false;
+    SimMachine m(cfg, vm::ThpConfig::always());
+    const std::uint64_t huge = cfg.hugePageBytes();
+    SimArray<std::uint64_t> arr(m, 2 * huge / 8, "a", TagOther);
+    arr.fill(1);
+    const auto &costs = m.mmu().costModel();
+    EXPECT_EQ(m.space().hugeFaults.value(), 2u);
+    EXPECT_EQ(m.mmu().faultCycles.value(),
+              2 * costs.hugeFaultCycles(cfg.node.hugeOrder));
+}
+
+TEST(Accounting, TranslationShareIsAFraction)
+{
+    ExperimentConfig cfg;
+    cfg.sys = testConfig();
+    cfg.dataset = "wiki";
+    cfg.scaleDivisor = 1024;
+    const RunResult r = runExperiment(cfg);
+    EXPECT_GT(r.translationCycleShare, 0.0);
+    EXPECT_LT(r.translationCycleShare, 1.0);
+    EXPECT_GT(r.initSeconds, 0.0);
+    EXPECT_GT(r.kernelSeconds, 0.0);
+}
+
+TEST(Accounting, IoChargesOnlyAtLoadTime)
+{
+    graph::CsrGraph g =
+        graph::makeDataset(graph::datasetByName("wiki"), 2048);
+    SimMachine m(testConfig(), vm::ThpConfig::never());
+    SimView<std::uint64_t>::Options opts;
+    opts.fileSource = FileSource::DirectIo;
+    SimView<std::uint64_t> view(m, g, opts);
+    EXPECT_EQ(m.mmu().ioCycles.value(), 0u);
+    view.load(unreachedDist);
+    const std::uint64_t after_load = m.mmu().ioCycles.value();
+    EXPECT_GT(after_load, 0u);
+    bfs(view, defaultRoot(g));
+    EXPECT_EQ(m.mmu().ioCycles.value(), after_load);
+}
+
+TEST(Accounting, FileSourceCostOrdering)
+{
+    // tmpfs-remote loads slower than local cache, direct I/O slowest.
+    graph::CsrGraph g =
+        graph::makeDataset(graph::datasetByName("wiki"), 2048);
+    std::uint64_t io[3];
+    const FileSource sources[] = {FileSource::PageCacheLocal,
+                                  FileSource::TmpfsRemote,
+                                  FileSource::DirectIo};
+    for (int i = 0; i < 3; ++i) {
+        SimMachine m(testConfig(), vm::ThpConfig::never());
+        SimView<std::uint64_t>::Options opts;
+        opts.fileSource = sources[i];
+        SimView<std::uint64_t> view(m, g, opts);
+        view.load(unreachedDist);
+        io[i] = m.mmu().ioCycles.value();
+    }
+    EXPECT_LT(io[0], io[1]);
+    EXPECT_LT(io[1], io[2]);
+}
+
+TEST(MixedPageSizes, AllThreeClassesCoexistAndTearDown)
+{
+    SystemConfig cfg = testConfig();
+    cfg.node.giantOrder = 12;
+    cfg.node.giantPoolPages = 1;
+    SimMachine m(cfg, vm::ThpConfig::madvise());
+    const std::uint64_t free0 = m.node().freeBytes();
+
+    {
+        SimArray<std::uint64_t> base_arr(m, 4096, "base", TagOther);
+        SimArray<std::uint64_t> huge_arr(
+            m, cfg.hugePageBytes() / 8, "huge", TagOther);
+        huge_arr.adviseHugeFraction(1.0);
+        SimArray<std::uint64_t> giant_arr(
+            m, (cfg.node.basePageBytes << cfg.node.giantOrder) / 8,
+            "giant", TagOther, /*giant=*/true);
+
+        base_arr.fill(1);
+        huge_arr.fill(2);
+        giant_arr.fill(3);
+
+        EXPECT_GT(m.space().footprintBytes(), 0u);
+        EXPECT_EQ(m.space().hugeBackedBytes(), cfg.hugePageBytes());
+        EXPECT_EQ(m.space().giantBackedBytes(), 16_MiB);
+
+        // Each class translates through its own sub-TLB on re-access.
+        m.mmu().flushTlbs();
+        base_arr.get(0);
+        huge_arr.get(0);
+        giant_arr.get(0);
+        EXPECT_EQ(m.mmu().walksBase.value() > 0, true);
+        EXPECT_GT(m.mmu().walksHuge.value(), 0u);
+        EXPECT_GT(m.mmu().walksGiant.value(), 0u);
+    }
+    // Arrays destroyed: everything back (giant pool refilled too).
+    EXPECT_EQ(m.node().freeBytes(), free0);
+    EXPECT_EQ(m.node().giantPagesFree(), 1u);
+    m.node().buddy().checkInvariants();
+}
+
+TEST(SwapExhaustion, OomIsFatalNotSilent)
+{
+    // Node 16MiB, swap 4MiB, workload 32MiB: must die loudly.
+    SystemConfig cfg = testConfig();
+    cfg.node.bytes = 16_MiB;
+    cfg.swapBytes = 4_MiB;
+    SimMachine m(cfg, vm::ThpConfig::never());
+    mem::Memhog hog(m.node());
+    hog.occupyAllBut(4_MiB);
+    SimArray<std::uint64_t> arr(m, 32_MiB / 8, "big", TagOther);
+    EXPECT_THROW(arr.fill(1), FatalError);
+}
+
+TEST(SwapExhaustion, SufficientSwapSurvives)
+{
+    SystemConfig cfg = testConfig();
+    cfg.node.bytes = 16_MiB;
+    cfg.swapBytes = 64_MiB;
+    SimMachine m(cfg, vm::ThpConfig::never());
+    mem::Memhog hog(m.node());
+    hog.occupyAllBut(4_MiB);
+    SimArray<std::uint64_t> arr(m, 16_MiB / 8, "big", TagOther);
+    arr.fill(7);
+    EXPECT_GT(m.space().swapOutPages.value(), 0u);
+    // Data survives the round trip through "disk".
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(arr.get(rng.below(16_MiB / 8)), 7u);
+}

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * AddressSpace tests: demand paging, THP fault policy, madvise
+ * intervals, swap, promotion/demotion, invalidation events.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/fragmenter.hh"
+#include "mem/memhog.hh"
+#include "mem/memory_node.hh"
+#include "mem/swap_device.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+#include "vm/address_space.hh"
+
+using namespace gpsm;
+using namespace gpsm::mem;
+using namespace gpsm::vm;
+
+namespace
+{
+
+constexpr std::uint64_t pageB = 4_KiB;
+constexpr std::uint64_t hugeB = 256_KiB;
+
+struct World
+{
+    World(const ThpConfig &thp, std::uint64_t node_bytes = 16_MiB)
+        : node(params(node_bytes)), swap(4_MiB, pageB),
+          space(node, swap, thp)
+    {
+    }
+
+    static MemoryNode::Params
+    params(std::uint64_t bytes)
+    {
+        MemoryNode::Params p;
+        p.bytes = bytes;
+        p.basePageBytes = pageB;
+        p.hugeOrder = 6;
+        return p;
+    }
+
+    MemoryNode node;
+    SwapDevice swap;
+    AddressSpace space;
+};
+
+} // namespace
+
+TEST(AddressSpace, MmapIsHugeAligned)
+{
+    World w(ThpConfig::never());
+    Addr a = w.space.mmap(10000, "a");
+    EXPECT_TRUE(isAligned(a, hugeB));
+    Addr b = w.space.mmap(1, "b");
+    EXPECT_TRUE(isAligned(b, hugeB));
+    EXPECT_GE(b, a + 10000);
+    const Vma *vma = w.space.findVma(a + 5000);
+    ASSERT_NE(vma, nullptr);
+    EXPECT_EQ(vma->name, "a");
+}
+
+TEST(AddressSpace, TouchFaultsBasePageOnce)
+{
+    World w(ThpConfig::never());
+    Addr a = w.space.mmap(1_MiB, "arr");
+    TouchInfo t1 = w.space.touch(a + 100, true);
+    EXPECT_TRUE(t1.pageFault);
+    EXPECT_FALSE(t1.hugeFault);
+    EXPECT_EQ(t1.size, PageSizeClass::Base);
+    TouchInfo t2 = w.space.touch(a + 200, false); // same page
+    EXPECT_FALSE(t2.pageFault);
+    EXPECT_EQ(t2.frame, t1.frame);
+    EXPECT_EQ(w.space.minorFaults.value(), 1u);
+}
+
+TEST(AddressSpace, SegfaultPanics)
+{
+    World w(ThpConfig::never());
+    EXPECT_THROW(w.space.touch(0x10, true), PanicError);
+}
+
+TEST(AddressSpace, AlwaysModeUsesHugePages)
+{
+    World w(ThpConfig::always());
+    Addr a = w.space.mmap(hugeB * 2, "arr");
+    TouchInfo t = w.space.touch(a, true);
+    EXPECT_TRUE(t.hugeFault);
+    EXPECT_EQ(t.size, PageSizeClass::Huge);
+    // The whole region is now mapped.
+    TouchInfo t2 = w.space.touch(a + hugeB - 1, true);
+    EXPECT_FALSE(t2.pageFault);
+    EXPECT_EQ(w.space.hugeFaults.value(), 1u);
+    EXPECT_EQ(w.space.hugeBackedBytes(), hugeB);
+}
+
+TEST(AddressSpace, MadviseModeRequiresAdvice)
+{
+    World w(ThpConfig::madvise());
+    Addr a = w.space.mmap(hugeB * 4, "arr");
+    // No advice yet: base page.
+    EXPECT_FALSE(w.space.touch(a, true).hugeFault);
+    // Advise the second half only.
+    w.space.madviseHuge(a + 2 * hugeB, 2 * hugeB);
+    EXPECT_FALSE(w.space.touch(a + hugeB, true).hugeFault);
+    EXPECT_TRUE(w.space.touch(a + 2 * hugeB, true).hugeFault);
+    EXPECT_TRUE(w.space.touch(a + 3 * hugeB, true).hugeFault);
+}
+
+TEST(AddressSpace, PartiallyAdvisedRegionIneligible)
+{
+    World w(ThpConfig::madvise());
+    Addr a = w.space.mmap(hugeB * 2, "arr");
+    // Advise only half a huge region: faults there stay base-sized.
+    w.space.madviseHuge(a, hugeB / 2);
+    EXPECT_FALSE(w.space.touch(a, true).hugeFault);
+}
+
+TEST(AddressSpace, NoHugeOverridesAlways)
+{
+    World w(ThpConfig::always());
+    Addr a = w.space.mmap(hugeB * 2, "arr");
+    w.space.madviseNoHuge(a, hugeB);
+    EXPECT_FALSE(w.space.touch(a, true).hugeFault);
+    EXPECT_TRUE(w.space.touch(a + hugeB, true).hugeFault);
+}
+
+TEST(AddressSpace, UnalignedTailIneligible)
+{
+    World w(ThpConfig::always());
+    // 1.5 huge pages: the tail half-region must use base pages.
+    Addr a = w.space.mmap(hugeB + hugeB / 2, "arr");
+    EXPECT_TRUE(w.space.touch(a, true).hugeFault);
+    EXPECT_FALSE(w.space.touch(a + hugeB, true).hugeFault);
+}
+
+TEST(AddressSpace, PopulatedRegionNotCollapsedAtFaultTime)
+{
+    // Fault base pages before madvise: once the region holds PTEs,
+    // later faults must not huge-map it (that is khugepaged's job).
+    World w(ThpConfig::madvise());
+    Addr a = w.space.mmap(hugeB, "arr");
+    w.space.touch(a, true); // base (no advice yet)
+    w.space.madviseHuge(a, hugeB);
+    TouchInfo t = w.space.touch(a + pageB, true);
+    EXPECT_TRUE(t.pageFault);
+    EXPECT_FALSE(t.hugeFault);
+}
+
+TEST(AddressSpace, FallsBackToBaseWhenNoHugeMemory)
+{
+    World w(ThpConfig::always(), 2_MiB); // 8 huge regions
+    Memhog hog(w.node);
+    Fragmenter frag(w.node);
+    hog.occupyAllBut(hugeB); // one region's worth of frames
+    frag.fragment(1.0);      // ...and poison it
+    Addr a = w.space.mmap(hugeB, "arr");
+    TouchInfo t = w.space.touch(a, true);
+    EXPECT_FALSE(t.hugeFault);
+    EXPECT_TRUE(t.pageFault);
+    EXPECT_EQ(w.space.hugeFallbacks.value(), 1u);
+}
+
+TEST(AddressSpace, SwapOutAndMajorFault)
+{
+    World w(ThpConfig::never(), 1_MiB); // 256 frames
+    Addr a = w.space.mmap(2_MiB, "arr");
+    // Touch 2x the node size: must trigger swap-outs.
+    for (Addr off = 0; off < 2_MiB; off += pageB)
+        w.space.touch(a + off, true);
+    EXPECT_GT(w.space.swapOutPages.value(), 0u);
+
+    // Touch an early page again: major fault.
+    const auto majors_before = w.space.majorFaults.value();
+    TouchInfo t = w.space.touch(a, false);
+    EXPECT_TRUE(t.majorFault);
+    EXPECT_EQ(w.space.majorFaults.value(), majors_before + 1);
+}
+
+TEST(AddressSpace, PromoteCollapsesPopulatedRegion)
+{
+    World w(ThpConfig::madvise());
+    Addr a = w.space.mmap(hugeB * 2, "arr");
+    // Fault 10 base pages (no advice -> base).
+    for (int i = 0; i < 10; ++i)
+        w.space.touch(a + i * pageB, true);
+    // Now advise and promote.
+    w.space.madviseHuge(a, hugeB * 2);
+    auto res = w.space.promote(a);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.copiedPages, 10u);
+    EXPECT_EQ(w.space.promotions.value(), 1u);
+    EXPECT_EQ(w.space.hugeBackedBytes(), hugeB);
+    // Subsequent touches are huge-mapped, no faults.
+    EXPECT_FALSE(w.space.touch(a + 20 * pageB, true).pageFault);
+}
+
+TEST(AddressSpace, PromoteRespectsMinPresent)
+{
+    ThpConfig cfg = ThpConfig::madvise();
+    cfg.khugepagedMinPresent = 32;
+    World w(cfg);
+    Addr a = w.space.mmap(hugeB, "arr");
+    w.space.madviseHuge(a, hugeB);
+    // With madvise set, the first touch huge-faults; force base pages
+    // by faulting through a no-advice window first.
+    World w2(cfg);
+    Addr b = w2.space.mmap(hugeB, "arr");
+    for (int i = 0; i < 10; ++i)
+        w2.space.touch(b + i * pageB, true);
+    w2.space.madviseHuge(b, hugeB);
+    EXPECT_FALSE(w2.space.promote(b).success); // 10 < 32 present
+    for (int i = 10; i < 32; ++i)
+        w2.space.touch(b + i * pageB, true);
+    EXPECT_TRUE(w2.space.promote(b).success);
+    (void)w;
+    (void)a;
+}
+
+TEST(AddressSpace, DemoteSplitsHugeMapping)
+{
+    World w(ThpConfig::always());
+    Addr a = w.space.mmap(hugeB, "arr");
+    w.space.touch(a, true);
+    ASSERT_EQ(w.space.hugeBackedBytes(), hugeB);
+    w.space.demote(a);
+    EXPECT_EQ(w.space.hugeBackedBytes(), 0u);
+    EXPECT_EQ(w.space.demotions.value(), 1u);
+    // Pages remain mapped (no faults), now individually.
+    EXPECT_FALSE(w.space.touch(a + 5 * pageB, true).pageFault);
+    // And they can be freed individually via munmap.
+    w.space.munmap(a);
+    EXPECT_EQ(w.node.freeBytes(), w.node.totalBytes());
+    w.node.buddy().checkInvariants();
+}
+
+TEST(AddressSpace, MunmapReleasesEverything)
+{
+    World w(ThpConfig::always());
+    Addr a = w.space.mmap(3 * hugeB + 5 * pageB, "arr");
+    for (Addr off = 0; off < 3 * hugeB + 5 * pageB; off += pageB)
+        w.space.touch(a + off, true);
+    EXPECT_GT(w.space.footprintBytes(), 0u);
+    w.space.munmap(a);
+    EXPECT_EQ(w.space.footprintBytes(), 0u);
+    EXPECT_EQ(w.node.freeBytes(), w.node.totalBytes());
+}
+
+TEST(AddressSpace, InvalidationEventsEmitted)
+{
+    World w(ThpConfig::always());
+    Addr a = w.space.mmap(hugeB, "arr");
+    w.space.touch(a, true);
+    (void)w.space.drainInvalidations();
+    w.space.demote(a);
+    EXPECT_TRUE(w.space.hasPendingInvalidations());
+    auto events = w.space.drainInvalidations();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_FALSE(events[0].flushAll);
+    EXPECT_EQ(events[0].size, PageSizeClass::Huge);
+    EXPECT_FALSE(w.space.hasPendingInvalidations());
+
+    w.space.munmap(a);
+    events = w.space.drainInvalidations();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_TRUE(events[0].flushAll);
+}
+
+TEST(AddressSpace, FootprintAccounting)
+{
+    World w(ThpConfig::always());
+    Addr a = w.space.mmap(hugeB * 2, "arr");
+    w.space.touch(a, true);               // huge
+    w.space.touch(a + hugeB * 2 - 1, true); // would be huge too
+    EXPECT_EQ(w.space.footprintBytes(), 2 * hugeB);
+    Addr b = w.space.mmap(10 * pageB, "small");
+    w.space.touch(b, true); // region smaller than huge -> base page
+    EXPECT_EQ(w.space.footprintBytes(), 2 * hugeB + pageB);
+}
+
+TEST(AddressSpace, MadviseOutsideVmaIsFatal)
+{
+    World w(ThpConfig::madvise());
+    Addr a = w.space.mmap(hugeB, "arr");
+    EXPECT_THROW(w.space.madviseHuge(a, hugeB * 2), FatalError);
+    EXPECT_THROW(w.space.madviseHuge(a - 1, 1), FatalError);
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * PageSizeAdvisor tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/advisor.hh"
+#include "graph/builder.hh"
+#include "graph/datasets.hh"
+#include "graph/generators.hh"
+#include "graph/reorder.hh"
+
+using namespace gpsm;
+using namespace gpsm::core;
+using namespace gpsm::graph;
+
+namespace
+{
+
+CsrGraph
+kronLike(unsigned scale = 16)
+{
+    RmatParams p;
+    p.scale = scale;
+    p.edgeFactor = 16;
+    Builder b(1u << scale);
+    return b.fromEdges(rmatEdges(p));
+}
+
+} // namespace
+
+TEST(Advisor, RecommendsDbgForScatteredHubs)
+{
+    const CsrGraph g = kronLike();
+    const auto advice =
+        advisePageSizes(g, SystemConfig::scaled(), 0.8);
+    EXPECT_TRUE(advice.useDbg);
+    EXPECT_LT(advice.propertyFraction, 0.7);
+    EXPECT_GE(advice.expectedCoverage, 0.8);
+    EXPECT_GT(advice.hugePagesNeeded, 0u);
+}
+
+TEST(Advisor, SkipsDbgForHubLocalNetworks)
+{
+    // Twitter-like data: hubs already occupy a dense low-ID prefix.
+    const CsrGraph g = makeDataset(datasetByName("twit"), 1024);
+    const auto advice =
+        advisePageSizes(g, SystemConfig::scaled(), 0.8);
+    EXPECT_FALSE(advice.useDbg);
+}
+
+TEST(Advisor, CoverageEstimateMatchesReality)
+{
+    const CsrGraph g = kronLike();
+    const auto advice =
+        advisePageSizes(g, SystemConfig::scaled(), 0.8);
+    ASSERT_TRUE(advice.useDbg);
+
+    // Apply the recommended plan and measure the true coverage.
+    CsrGraph h = applyMapping(
+        g, reorderMapping(g, ReorderMethod::Dbg));
+    const auto prefix = static_cast<NodeId>(
+        advice.propertyFraction * g.numNodes());
+    const double actual = hotPrefixCoverage(h, prefix);
+    // DBG approaches the ideal-sort estimate from below.
+    EXPECT_GT(actual, advice.expectedCoverage * 0.9);
+}
+
+TEST(Advisor, HigherTargetNeedsMorePages)
+{
+    const CsrGraph g = kronLike();
+    const auto lo = advisePageSizes(g, SystemConfig::scaled(), 0.5);
+    const auto hi = advisePageSizes(g, SystemConfig::scaled(), 0.95);
+    EXPECT_LE(lo.hugePagesNeeded, hi.hugePagesNeeded);
+    EXPECT_LE(lo.propertyFraction, hi.propertyFraction);
+}
+
+TEST(Advisor, FractionIsHugePageGranular)
+{
+    const CsrGraph g = kronLike();
+    const SystemConfig sys = SystemConfig::scaled();
+    const auto advice = advisePageSizes(g, sys, 0.8);
+    const std::uint64_t prop_bytes =
+        static_cast<std::uint64_t>(g.numNodes()) * 8;
+    const auto advised = static_cast<std::uint64_t>(
+        advice.propertyFraction * prop_bytes);
+    EXPECT_EQ(advice.hugePagesNeeded,
+              (advised + sys.hugePageBytes() - 1) /
+                  sys.hugePageBytes());
+}
+
+TEST(Advisor, DescribeMentionsThePlan)
+{
+    const CsrGraph g = kronLike();
+    const auto advice =
+        advisePageSizes(g, SystemConfig::scaled(), 0.8);
+    const std::string text = advice.describe();
+    EXPECT_NE(text.find("madvise"), std::string::npos);
+    EXPECT_NE(text.find("huge pages"), std::string::npos);
+}
+
+TEST(Advisor, FullCoverageTargetAdvisesWholeArray)
+{
+    const CsrGraph g = kronLike(13);
+    const auto advice =
+        advisePageSizes(g, SystemConfig::scaled(), 1.0);
+    EXPECT_DOUBLE_EQ(advice.propertyFraction, 1.0);
+    EXPECT_GE(advice.expectedCoverage, 0.999);
+}

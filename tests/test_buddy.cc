@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Unit and property tests for the buddy allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "mem/buddy_allocator.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+using namespace gpsm;
+using namespace gpsm::mem;
+
+namespace
+{
+
+constexpr unsigned hugeOrder = 6; // 64-frame huge blocks for tests
+
+BuddyAllocator
+makeBuddy(std::uint64_t frames = 1024)
+{
+    return BuddyAllocator(frames, hugeOrder);
+}
+
+} // namespace
+
+TEST(Buddy, FreshAllocatorIsFullyFree)
+{
+    BuddyAllocator b(1024, hugeOrder);
+    EXPECT_EQ(b.freeFrames(), 1024u);
+    EXPECT_EQ(b.freeBlocksAt(hugeOrder), 1024u >> hugeOrder);
+    EXPECT_DOUBLE_EQ(b.fragmentationLevel(), 0.0);
+    b.checkInvariants();
+}
+
+TEST(Buddy, NonPowerOfTwoSizeCarvesCorrectly)
+{
+    // 1000 frames: 15 full huge blocks (960) + 40 = 32+8 remainder.
+    BuddyAllocator b(1000, hugeOrder);
+    EXPECT_EQ(b.freeFrames(), 1000u);
+    EXPECT_EQ(b.freeBlocksAt(hugeOrder), 15u);
+    b.checkInvariants();
+}
+
+TEST(Buddy, AllocateAndFreeRestoresState)
+{
+    auto b = makeBuddy();
+    FrameNum f = b.allocate(0, Migratetype::Movable, 1);
+    ASSERT_NE(f, invalidFrame);
+    EXPECT_EQ(b.freeFrames(), 1023u);
+    EXPECT_TRUE(b.isAllocatedHead(f));
+    EXPECT_EQ(b.orderOf(f), 0u);
+    EXPECT_EQ(b.migratetypeOf(f), Migratetype::Movable);
+    EXPECT_EQ(b.clientOf(f), 1u);
+    b.free(f);
+    EXPECT_EQ(b.freeFrames(), 1024u);
+    EXPECT_EQ(b.freeBlocksAt(hugeOrder), 16u);
+    b.checkInvariants();
+}
+
+TEST(Buddy, SplitsSmallestSufficientBlock)
+{
+    auto b = makeBuddy();
+    // First order-0 allocation splits exactly one huge block.
+    FrameNum f = b.allocate(0, Migratetype::Movable, 1);
+    (void)f;
+    EXPECT_EQ(b.freeBlocksAt(hugeOrder), 15u);
+    // Second allocation must reuse the shattered block, not split
+    // another huge one.
+    FrameNum g = b.allocate(0, Migratetype::Movable, 1);
+    (void)g;
+    EXPECT_EQ(b.freeBlocksAt(hugeOrder), 15u);
+    b.checkInvariants();
+}
+
+TEST(Buddy, BuddiesCoalesceOnFree)
+{
+    auto b = makeBuddy();
+    std::vector<FrameNum> frames;
+    for (int i = 0; i < 64; ++i)
+        frames.push_back(b.allocate(0, Migratetype::Movable, 1));
+    EXPECT_EQ(b.freeBlocksAt(hugeOrder), 15u);
+    for (FrameNum f : frames)
+        b.free(f);
+    EXPECT_EQ(b.freeBlocksAt(hugeOrder), 16u);
+    b.checkInvariants();
+}
+
+TEST(Buddy, ExhaustionReturnsInvalid)
+{
+    BuddyAllocator b(64, hugeOrder);
+    EXPECT_NE(b.allocate(hugeOrder, Migratetype::Movable, 1),
+              invalidFrame);
+    EXPECT_EQ(b.allocate(0, Migratetype::Movable, 1), invalidFrame);
+    EXPECT_EQ(b.allocFailures.value(), 1u);
+}
+
+TEST(Buddy, AllocateExactClaimsSpecificBlock)
+{
+    auto b = makeBuddy();
+    EXPECT_TRUE(b.allocateExact(128, 3, Migratetype::Unmovable, 2));
+    EXPECT_TRUE(b.isAllocatedHead(128));
+    EXPECT_EQ(b.orderOf(128), 3u);
+    // The same range cannot be claimed twice.
+    EXPECT_FALSE(b.allocateExact(128, 3, Migratetype::Unmovable, 2));
+    // An overlapping larger claim also fails.
+    EXPECT_FALSE(b.allocateExact(128, 4, Migratetype::Unmovable, 2));
+    // But the sibling range is fine.
+    EXPECT_TRUE(b.allocateExact(136, 3, Migratetype::Unmovable, 2));
+    b.checkInvariants();
+}
+
+TEST(Buddy, AllocateExactOutOfRangeFails)
+{
+    BuddyAllocator b(64, hugeOrder);
+    EXPECT_FALSE(b.allocateExact(64, 0, Migratetype::Movable, 1));
+}
+
+TEST(Buddy, SplitAllocatedProducesTwoBuddies)
+{
+    auto b = makeBuddy();
+    FrameNum f = b.allocate(hugeOrder, Migratetype::Unmovable, 3);
+    b.splitAllocated(f);
+    EXPECT_EQ(b.orderOf(f), hugeOrder - 1);
+    EXPECT_TRUE(b.isAllocatedHead(f + 32));
+    EXPECT_EQ(b.orderOf(f + 32), hugeOrder - 1);
+    EXPECT_EQ(b.migratetypeOf(f + 32), Migratetype::Unmovable);
+    EXPECT_EQ(b.clientOf(f + 32), 3u);
+    b.free(f);
+    b.free(f + 32);
+    EXPECT_EQ(b.freeFrames(), 1024u);
+    b.checkInvariants();
+}
+
+TEST(Buddy, FreeOfNonHeadPanics)
+{
+    auto b = makeBuddy();
+    FrameNum f = b.allocate(2, Migratetype::Movable, 1);
+    EXPECT_THROW(b.free(f + 1), PanicError);
+    EXPECT_THROW(b.free(f + 4), PanicError); // free frame
+}
+
+TEST(Buddy, HeadOfWalksBackToHead)
+{
+    auto b = makeBuddy();
+    FrameNum f = b.allocate(3, Migratetype::Movable, 1);
+    EXPECT_EQ(b.headOf(f), f);
+    EXPECT_EQ(b.headOf(f + 5), f);
+}
+
+TEST(Buddy, RegionSummaryClassifiesBlocks)
+{
+    auto b = makeBuddy();
+    // One movable page + one unmovable page in one region, rest free.
+    FrameNum m = b.allocate(0, Migratetype::Movable, 1);
+    FrameNum u = b.allocate(0, Migratetype::Unmovable, 2);
+    const FrameNum region = m & ~63ull;
+    ASSERT_EQ(u & ~63ull, region) << "allocations split across regions";
+    auto s = b.summarizeRegion(region);
+    EXPECT_EQ(s.movableFrames, 1u);
+    EXPECT_EQ(s.unmovableFrames, 1u);
+    EXPECT_EQ(s.pinnedFrames, 0u);
+    EXPECT_EQ(s.freeFrames, 62u);
+    ASSERT_EQ(s.movableHeads.size(), 1u);
+    EXPECT_EQ(s.movableHeads[0], m);
+}
+
+TEST(Buddy, FragmentationLevelReflectsBrokenRegions)
+{
+    auto b = makeBuddy(); // 16 huge regions
+    // Break 4 regions by pinning one page in each.
+    std::vector<FrameNum> pins;
+    for (int r = 0; r < 4; ++r) {
+        FrameNum h = b.allocate(hugeOrder, Migratetype::Unmovable, 1);
+        for (unsigned o = hugeOrder; o > 0; --o)
+            for (FrameNum f = h; f < h + 64; f += 1ull << o)
+                b.splitAllocated(f);
+        for (FrameNum f = h + 1; f < h + 64; ++f)
+            b.free(f);
+        pins.push_back(h);
+    }
+    // 4*63 free frames are stranded outside huge blocks.
+    const double free_total = 12 * 64 + 4 * 63;
+    EXPECT_NEAR(b.fragmentationLevel(), 4 * 63 / free_total, 1e-9);
+    EXPECT_EQ(b.freeBlocksAt(hugeOrder), 12u);
+    b.checkInvariants();
+    for (FrameNum f : pins)
+        b.free(f);
+    EXPECT_DOUBLE_EQ(b.fragmentationLevel(), 0.0);
+}
+
+TEST(Buddy, LargestFreeOrderTracksState)
+{
+    BuddyAllocator b(64, hugeOrder);
+    EXPECT_EQ(b.largestFreeOrder(), static_cast<int>(hugeOrder));
+    FrameNum f = b.allocate(hugeOrder, Migratetype::Movable, 1);
+    EXPECT_EQ(b.largestFreeOrder(), -1);
+    b.free(f);
+    EXPECT_EQ(b.largestFreeOrder(), static_cast<int>(hugeOrder));
+}
+
+/**
+ * Property test: random alloc/free/split sequences conserve frames and
+ * never violate structural invariants.
+ */
+class BuddyRandomized : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BuddyRandomized, ConservationAndInvariants)
+{
+    Rng rng(GetParam());
+    BuddyAllocator b(2048, hugeOrder);
+    // head -> order (order recorded at allocation, may shrink on
+    // splitAllocated; track live heads precisely).
+    std::map<FrameNum, unsigned> live;
+    std::uint64_t live_frames = 0;
+
+    for (int step = 0; step < 4000; ++step) {
+        const auto action = rng.below(100);
+        if (action < 50) {
+            const auto order =
+                static_cast<unsigned>(rng.below(hugeOrder + 1));
+            FrameNum f = b.allocate(
+                order,
+                rng.chance(0.5) ? Migratetype::Movable
+                                : Migratetype::Unmovable,
+                1);
+            if (f != invalidFrame) {
+                live.emplace(f, order);
+                live_frames += 1ull << order;
+            }
+        } else if (action < 85 && !live.empty()) {
+            auto it = live.begin();
+            std::advance(it, static_cast<long>(rng.below(live.size())));
+            b.free(it->first);
+            live_frames -= 1ull << it->second;
+            live.erase(it);
+        } else if (!live.empty()) {
+            auto it = live.begin();
+            std::advance(it, static_cast<long>(rng.below(live.size())));
+            if (it->second >= 1) {
+                const FrameNum head = it->first;
+                const unsigned order = it->second;
+                b.splitAllocated(head);
+                it->second = order - 1;
+                live.emplace(head + (1ull << (order - 1)), order - 1);
+            }
+        }
+        ASSERT_EQ(b.freeFrames() + live_frames, 2048u);
+    }
+    b.checkInvariants();
+
+    for (const auto &[head, order] : live) {
+        (void)order;
+        b.free(head);
+    }
+    EXPECT_EQ(b.freeFrames(), 2048u);
+    EXPECT_EQ(b.freeBlocksAt(hugeOrder), 2048u >> hugeOrder);
+    b.checkInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyRandomized,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Multi-level cache model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/cache_model.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+using namespace gpsm;
+using namespace gpsm::tlb;
+
+namespace
+{
+
+CacheModel
+twoLevel()
+{
+    return CacheModel({CacheLevelConfig{"l1", 1024, 2, 64, 4},
+                       CacheLevelConfig{"l2", 4096, 4, 64, 12}},
+                      100);
+}
+
+} // namespace
+
+TEST(CacheModel, ColdMissCostsMemoryLatency)
+{
+    CacheModel c = twoLevel();
+    EXPECT_EQ(c.access(0x1000), 100u);
+    EXPECT_EQ(c.memoryAccesses(), 1u);
+}
+
+TEST(CacheModel, HitAfterFillCostsL1)
+{
+    CacheModel c = twoLevel();
+    c.access(0x1000);
+    EXPECT_EQ(c.access(0x1000), 4u);
+    EXPECT_EQ(c.hitsAt(0), 1u);
+    // Same line, different byte: still a hit.
+    EXPECT_EQ(c.access(0x1010), 4u);
+}
+
+TEST(CacheModel, L2CatchesL1Evictions)
+{
+    CacheModel c = twoLevel();
+    // L1: 1KiB/64B = 16 lines, 2-way, 8 sets. Lines 0x0000, 0x2000,
+    // 0x4000 collide in set 0 of L1 but spread over L2's 16 sets.
+    c.access(0x0000);
+    c.access(0x2000);
+    c.access(0x4000); // evicts 0x0000 from L1
+    const std::uint32_t lat = c.access(0x0000);
+    EXPECT_EQ(lat, 12u); // L2 hit
+    EXPECT_EQ(c.hitsAt(1), 1u);
+}
+
+TEST(CacheModel, LruWithinSet)
+{
+    CacheModel c = twoLevel();
+    c.access(0x0000);
+    c.access(0x2000);
+    c.access(0x0000);  // make 0x2000 the L1 victim
+    c.access(0x4000);
+    EXPECT_EQ(c.access(0x0000), 4u); // still in L1
+}
+
+TEST(CacheModel, FlushAllEmpties)
+{
+    CacheModel c = twoLevel();
+    c.access(0x1000);
+    c.flushAll();
+    EXPECT_EQ(c.access(0x1000), 100u);
+}
+
+TEST(CacheModel, SequentialStreamHasPerLineMisses)
+{
+    CacheModel c = twoLevel();
+    std::uint64_t misses_cost = 0;
+    for (Addr a = 0; a < 64 * 64; a += 8)
+        misses_cost += c.access(a) == 100 ? 1 : 0;
+    // One miss per 64B line.
+    EXPECT_EQ(misses_cost, 64u);
+}
+
+TEST(CacheModel, StatsRegistration)
+{
+    CacheModel c = twoLevel();
+    StatSet stats("s");
+    c.registerStats(stats, "cache");
+    EXPECT_TRUE(stats.has("cache.accesses"));
+    EXPECT_TRUE(stats.has("cache.l1.hits"));
+    EXPECT_TRUE(stats.has("cache.l2.hits"));
+}
+
+TEST(CacheModel, BadGeometryIsFatal)
+{
+    EXPECT_THROW(CacheModel({CacheLevelConfig{"x", 1000, 3, 64, 1}},
+                            10),
+                 FatalError);
+    EXPECT_THROW(CacheModel({}, 10), FatalError);
+}

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Integration tests: the experiment harness must reproduce the paper's
+ * qualitative orderings at small scale.
+ *
+ * These run whole simulations, so they use a large scale divisor and a
+ * shrunken node; they assert orderings and invariants, not absolute
+ * numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "util/units.hh"
+
+using namespace gpsm;
+using namespace gpsm::core;
+
+namespace
+{
+
+/** Small machine + dataset so each run takes ~100ms. */
+ExperimentConfig
+smallConfig(App app = App::Bfs, const std::string &dataset = "kron")
+{
+    ExperimentConfig cfg;
+    cfg.app = app;
+    cfg.dataset = dataset;
+    cfg.scaleDivisor = 512;
+    cfg.sys = SystemConfig::scaled();
+    cfg.sys.node.bytes = 96_MiB;
+    cfg.sys.node.hugeWatermarkBytes = 96_MiB / 26;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Experiment, WorkingSetMatchesFootprint)
+{
+    ExperimentConfig cfg = smallConfig();
+    const std::uint64_t wss = workingSetBytes(cfg);
+    RunResult r = runExperiment(cfg);
+    // The mapped footprint exceeds the raw working set only by
+    // per-array page rounding (4 arrays at most).
+    EXPECT_GE(r.footprintBytes, wss);
+    EXPECT_LE(r.footprintBytes, wss + 8 * 4_KiB);
+    EXPECT_GT(wss, 8_MiB); // big enough to stress the scaled TLBs
+}
+
+TEST(Experiment, FreshBootThpBeatsBaseline)
+{
+    // Paper Fig. 1 (ideal): system-wide THP with free memory gives a
+    // healthy speedup and much lower TLB miss rates.
+    ExperimentConfig base = smallConfig();
+    base.thpMode = vm::ThpMode::Never;
+    RunResult r4k = runExperiment(base);
+
+    ExperimentConfig thp = smallConfig();
+    thp.thpMode = vm::ThpMode::Always;
+    RunResult rthp = runExperiment(thp);
+
+    EXPECT_GT(speedupOver(r4k, rthp), 1.10);
+    EXPECT_LT(rthp.dtlbMissRate, r4k.dtlbMissRate * 0.7);
+    EXPECT_LT(rthp.stlbMissRate, r4k.stlbMissRate * 0.5);
+    EXPECT_EQ(r4k.checksum, rthp.checksum);
+    EXPECT_GT(r4k.dtlbMissRate, 0.10); // the paper's problem exists
+}
+
+TEST(Experiment, PressureNeutralizesThp)
+{
+    // Paper Fig. 7: +small slack, natural order -> THP gains collapse;
+    // property-first order recovers most of them.
+    ExperimentConfig base = smallConfig();
+    base.thpMode = vm::ThpMode::Never;
+    RunResult r4k = runExperiment(base);
+
+    ExperimentConfig ideal = smallConfig();
+    ideal.thpMode = vm::ThpMode::Always;
+    RunResult rideal = runExperiment(ideal);
+
+    ExperimentConfig pressured = ideal;
+    pressured.constrainMemory = true;
+    pressured.slackBytes = 2_MiB; // ~0.5GB at paper scale
+    RunResult rpress = runExperiment(pressured);
+
+    ExperimentConfig optimized = pressured;
+    optimized.order = AllocOrder::PropertyFirst;
+    RunResult ropt = runExperiment(optimized);
+
+    const double ideal_speedup = speedupOver(r4k, rideal);
+    const double press_speedup = speedupOver(r4k, rpress);
+    const double opt_speedup = speedupOver(r4k, ropt);
+
+    // Pressure loses most of the ideal gain...
+    EXPECT_LT(press_speedup - 1.0, 0.4 * (ideal_speedup - 1.0));
+    // ...and the allocation-order optimization recovers most of it.
+    EXPECT_GT(opt_speedup - 1.0, 0.7 * (ideal_speedup - 1.0));
+    // The baseline itself is unaffected by pressure (sanity).
+    EXPECT_EQ(r4k.checksum, rpress.checksum);
+    EXPECT_EQ(r4k.checksum, ropt.checksum);
+}
+
+TEST(Experiment, FragmentationNeutralizesThp)
+{
+    // Paper Figs. 8-9: non-movable fragmentation at +3GB-equivalent
+    // slack kills THP gains under natural order; property-first
+    // recovers them.
+    ExperimentConfig base = smallConfig();
+    base.thpMode = vm::ThpMode::Never;
+    RunResult r4k = runExperiment(base);
+
+    ExperimentConfig ideal = smallConfig();
+    ideal.thpMode = vm::ThpMode::Always;
+    ideal.constrainMemory = true;
+    ideal.slackBytes = 12_MiB;
+    RunResult rideal = runExperiment(ideal);
+
+    ExperimentConfig frag = ideal;
+    frag.fragLevel = 0.75;
+    RunResult rfrag = runExperiment(frag);
+
+    ExperimentConfig opt = frag;
+    opt.order = AllocOrder::PropertyFirst;
+    RunResult ropt = runExperiment(opt);
+
+    const double ideal_sp = speedupOver(r4k, rideal);
+    const double frag_sp = speedupOver(r4k, rfrag);
+    const double opt_sp = speedupOver(r4k, ropt);
+
+    EXPECT_GT(ideal_sp, 1.10);
+    EXPECT_LT(frag_sp - 1.0, 0.5 * (ideal_sp - 1.0));
+    EXPECT_GT(opt_sp, frag_sp);
+    EXPECT_GT(opt_sp - 1.0, 0.6 * (ideal_sp - 1.0));
+}
+
+TEST(Experiment, SelectiveThpIsEfficient)
+{
+    // Paper Figs. 10-11 + headline: DBG + selective madvise on part of
+    // the property array beats pressured system-wide THP while using
+    // a tiny fraction of the footprint in huge pages.
+    ExperimentConfig base = smallConfig();
+    base.thpMode = vm::ThpMode::Never;
+    RunResult r4k = runExperiment(base);
+
+    ExperimentConfig thp = smallConfig();
+    thp.thpMode = vm::ThpMode::Always;
+    thp.constrainMemory = true;
+    thp.slackBytes = 12_MiB;
+    thp.fragLevel = 0.5;
+    RunResult rthp = runExperiment(thp);
+
+    ExperimentConfig sel = thp;
+    sel.thpMode = vm::ThpMode::Madvise;
+    sel.madvise = MadviseSelection::propertyOnly(0.4);
+    sel.reorder = graph::ReorderMethod::Dbg;
+    RunResult rsel = runExperiment(sel);
+
+    EXPECT_GT(speedupOver(r4k, rsel), speedupOver(r4k, rthp));
+    EXPECT_GT(speedupOver(r4k, rsel), 1.15);
+    // Huge-page budget: a few percent of the footprint at most.
+    EXPECT_LT(rsel.hugeFractionOfFootprint, 0.05);
+    EXPECT_GT(rsel.hugeBackedBytes, 0u);
+    // Result must survive the relabeling (permutation-invariant count).
+    EXPECT_EQ(r4k.kernelOutput, rsel.kernelOutput);
+}
+
+TEST(Experiment, OversubscriptionCollapsesEverything)
+{
+    // Paper §4.3.1 "high memory pressure": negative slack swaps and
+    // slows down by an order of magnitude for both policies.
+    ExperimentConfig base = smallConfig(App::Bfs, "wiki");
+    base.thpMode = vm::ThpMode::Never;
+    RunResult r4k = runExperiment(base);
+
+    ExperimentConfig over = base;
+    over.constrainMemory = true;
+    over.slackBytes = -static_cast<std::int64_t>(2_MiB);
+    RunResult rover = runExperiment(over);
+
+    EXPECT_GT(rover.majorFaults, 0u);
+    EXPECT_GT(rover.kernelSeconds, 5.0 * r4k.kernelSeconds);
+    EXPECT_EQ(r4k.checksum, rover.checksum);
+}
+
+TEST(Experiment, PerStructureMadviseOnlyHelpsProperty)
+{
+    // Paper Fig. 5: property-array THP captures most of system-wide
+    // THP's benefit; vertex/edge-only THP do little.
+    ExperimentConfig base = smallConfig();
+    base.thpMode = vm::ThpMode::Never;
+    RunResult r4k = runExperiment(base);
+
+    ExperimentConfig all = smallConfig();
+    all.thpMode = vm::ThpMode::Always;
+    RunResult rall = runExperiment(all);
+
+    ExperimentConfig prop = smallConfig();
+    prop.thpMode = vm::ThpMode::Madvise;
+    prop.madvise = MadviseSelection::propertyOnly(1.0);
+    RunResult rprop = runExperiment(prop);
+
+    ExperimentConfig vtx = smallConfig();
+    vtx.thpMode = vm::ThpMode::Madvise;
+    vtx.madvise.vertex = true;
+    RunResult rvtx = runExperiment(vtx);
+
+    const double sp_all = speedupOver(r4k, rall);
+    const double sp_prop = speedupOver(r4k, rprop);
+    const double sp_vtx = speedupOver(r4k, rvtx);
+
+    EXPECT_GT(sp_prop - 1.0, 0.6 * (sp_all - 1.0));
+    EXPECT_LT(sp_vtx - 1.0, 0.3 * (sp_all - 1.0));
+    // And it does so with a small fraction of the footprint.
+    EXPECT_LT(rprop.hugeFractionOfFootprint, 0.10);
+}
+
+TEST(Experiment, AllAppsRunAndValidate)
+{
+    for (App app : {App::Bfs, App::Sssp, App::Pr, App::Cc}) {
+        ExperimentConfig cfg = smallConfig(app, "wiki");
+        cfg.scaleDivisor = 1024;
+        RunResult r = runExperiment(cfg);
+        EXPECT_GT(r.kernelSeconds, 0.0) << appName(app);
+        EXPECT_GT(r.accesses, 0u) << appName(app);
+        EXPECT_GT(r.kernelOutput, 0u) << appName(app);
+    }
+}
+
+TEST(Experiment, DeterministicAcrossRuns)
+{
+    ExperimentConfig cfg = smallConfig(App::Bfs, "wiki");
+    cfg.scaleDivisor = 1024;
+    cfg.thpMode = vm::ThpMode::Always;
+    cfg.constrainMemory = true;
+    cfg.slackBytes = 4_MiB;
+    cfg.fragLevel = 0.25;
+    RunResult a = runExperiment(cfg);
+    RunResult b = runExperiment(cfg);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_DOUBLE_EQ(a.kernelSeconds, b.kernelSeconds);
+    EXPECT_EQ(a.walks, b.walks);
+    EXPECT_EQ(a.hugeBackedBytes, b.hugeBackedBytes);
+}
+
+TEST(Experiment, LabelsAreDescriptive)
+{
+    ExperimentConfig cfg = smallConfig(App::Pr, "twit");
+    cfg.thpMode = vm::ThpMode::Madvise;
+    cfg.madvise = MadviseSelection::propertyOnly(0.5);
+    cfg.reorder = graph::ReorderMethod::Dbg;
+    cfg.constrainMemory = true;
+    cfg.slackBytes = 8_MiB;
+    cfg.fragLevel = 0.5;
+    const std::string label = cfg.label();
+    EXPECT_NE(label.find("pr/twit"), std::string::npos);
+    EXPECT_NE(label.find("madvise"), std::string::npos);
+    EXPECT_NE(label.find("50%"), std::string::npos);
+    EXPECT_NE(label.find("dbg"), std::string::npos);
+    EXPECT_NE(label.find("frag=50%"), std::string::npos);
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Fragmenter (the paper's frag tool) and Memhog tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/fragmenter.hh"
+#include "mem/memhog.hh"
+#include "mem/memory_node.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+using namespace gpsm;
+using namespace gpsm::mem;
+
+namespace
+{
+
+MemoryNode::Params
+smallNode()
+{
+    MemoryNode::Params p;
+    p.bytes = 16_MiB; // 4096 frames, 64 huge regions
+    p.basePageBytes = 4_KiB;
+    p.hugeOrder = 6;
+    return p;
+}
+
+} // namespace
+
+TEST(Fragmenter, FiftyPercentPoisonsHalfTheRegions)
+{
+    MemoryNode node(smallNode());
+    Fragmenter frag(node);
+    const std::uint64_t regions = node.freeHugeRegions();
+    const std::uint64_t poisoned = frag.fragment(0.5);
+    EXPECT_EQ(poisoned, regions / 2);
+    EXPECT_EQ(frag.retainedPages(), regions / 2);
+    EXPECT_EQ(node.freeHugeRegions(), regions - poisoned);
+    // Each poisoned region keeps exactly one resident 4KB page.
+    EXPECT_EQ(node.freeBytes(),
+              node.totalBytes() - poisoned * 4096);
+    node.buddy().checkInvariants();
+}
+
+TEST(Fragmenter, FullFragmentationKillsAllHugeRegions)
+{
+    MemoryNode node(smallNode());
+    Fragmenter frag(node);
+    frag.fragment(1.0);
+    EXPECT_EQ(node.freeHugeRegions(), 0u);
+    EXPECT_GT(node.fragmentationLevel(), 0.99);
+}
+
+TEST(Fragmenter, ZeroLevelIsNoOp)
+{
+    MemoryNode node(smallNode());
+    Fragmenter frag(node);
+    EXPECT_EQ(frag.fragment(0.0), 0u);
+    EXPECT_EQ(node.freeBytes(), node.totalBytes());
+}
+
+TEST(Fragmenter, LevelOutOfRangeIsFatal)
+{
+    MemoryNode node(smallNode());
+    Fragmenter frag(node);
+    EXPECT_THROW(frag.fragment(1.5), FatalError);
+    EXPECT_THROW(frag.fragment(-0.1), FatalError);
+}
+
+TEST(Fragmenter, RetainedPagesResistCompaction)
+{
+    MemoryNode node(smallNode());
+    Fragmenter frag(node);
+    frag.fragment(1.0);
+
+    // Even with compaction allowed, no huge page can be built: the
+    // retained pages are unmovable (paper §4.4).
+    MemoryNode::Request req;
+    req.order = 6;
+    req.mayCompact = true;
+    AllocOutcome out = node.allocate(req);
+    EXPECT_FALSE(out.success);
+}
+
+TEST(Fragmenter, ReleaseRestoresContiguity)
+{
+    MemoryNode node(smallNode());
+    Fragmenter frag(node);
+    const std::uint64_t regions = node.freeHugeRegions();
+    frag.fragment(0.75);
+    frag.release();
+    EXPECT_EQ(node.freeHugeRegions(), regions);
+    EXPECT_DOUBLE_EQ(node.fragmentationLevel(), 0.0);
+    node.buddy().checkInvariants();
+}
+
+TEST(Fragmenter, FragmentsOnlyAvailableMemory)
+{
+    MemoryNode node(smallNode());
+    Memhog hog(node);
+    // Pin 3/4 of the node; fragmenting 100% of what remains must only
+    // poison the remaining quarter's regions.
+    hog.occupy(12_MiB);
+    Fragmenter frag(node);
+    const std::uint64_t poisoned = frag.fragment(1.0);
+    EXPECT_EQ(poisoned, 16u);
+    EXPECT_EQ(node.freeHugeRegions(), 0u);
+}
+
+TEST(Memhog, OccupyExactBytes)
+{
+    MemoryNode node(smallNode());
+    Memhog hog(node);
+    EXPECT_EQ(hog.occupy(4_MiB), 4_MiB);
+    EXPECT_EQ(hog.heldBytes(), 4_MiB);
+    EXPECT_EQ(node.freeBytes(), 12_MiB);
+}
+
+TEST(Memhog, OccupyAllButLeavesSlack)
+{
+    MemoryNode node(smallNode());
+    Memhog hog(node);
+    hog.occupyAllBut(3_MiB);
+    EXPECT_EQ(node.freeBytes(), 3_MiB);
+    // Calling again with a larger target is a no-op.
+    EXPECT_EQ(hog.occupyAllBut(8_MiB), 0u);
+    EXPECT_EQ(node.freeBytes(), 3_MiB);
+}
+
+TEST(Memhog, LargestFirstDoesNotFragment)
+{
+    MemoryNode node(smallNode());
+    Memhog hog(node);
+    hog.occupyAllBut(4_MiB);
+    // The remaining free memory must still be whole huge regions.
+    EXPECT_EQ(node.freeHugeRegions(), 4_MiB / (256 * 1024));
+    EXPECT_DOUBLE_EQ(node.fragmentationLevel(), 0.0);
+}
+
+TEST(Memhog, PinnedPagesAreNotSwappable)
+{
+    MemoryNode node(smallNode());
+    Memhog hog(node);
+    hog.occupyAllBut(0);
+    for (std::uint64_t f = 0; f < 4096; f += 64)
+        node.noteSwappable(f); // bogus registrations; must be rejected
+
+    MemoryNode::Request req;
+    req.order = 0;
+    req.maySwap = true;
+    AllocOutcome out = node.allocate(req);
+    EXPECT_FALSE(out.success); // pinned memory cannot be evicted
+}
+
+TEST(Memhog, ReleaseReturnsEverything)
+{
+    MemoryNode node(smallNode());
+    {
+        Memhog hog(node);
+        hog.occupy(10_MiB);
+        hog.release();
+        EXPECT_EQ(node.freeBytes(), node.totalBytes());
+        hog.occupy(2_MiB);
+        // Destructor releases too.
+    }
+    MemoryNode node2(smallNode());
+    EXPECT_EQ(node2.freeBytes(), node2.totalBytes());
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Giant-page (1GB-class, hugetlbfs-style) extension tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/kernels.hh"
+#include "core/machine.hh"
+#include "core/views.hh"
+#include "graph/builder.hh"
+#include "graph/generators.hh"
+#include "mem/fragmenter.hh"
+#include "mem/memhog.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+using namespace gpsm;
+using namespace gpsm::core;
+using namespace gpsm::mem;
+using namespace gpsm::vm;
+
+namespace
+{
+
+/** Scaled config with a giant pool of @p pages 16MiB pages. */
+SystemConfig
+giantConfig(std::uint64_t pages)
+{
+    SystemConfig cfg = SystemConfig::scaled();
+    cfg.node.bytes = 128_MiB;
+    cfg.node.hugeWatermarkBytes = 0;
+    cfg.node.giantOrder = 12; // 16MiB
+    cfg.node.giantPoolPages = pages;
+    cfg.enableCache = false;
+    return cfg;
+}
+
+} // namespace
+
+TEST(GiantPages, PoolIsCarvedAtBoot)
+{
+    SimMachine m(giantConfig(3), ThpConfig::never());
+    EXPECT_EQ(m.node().giantPageBytes(), 16_MiB);
+    EXPECT_EQ(m.node().giantPagesTotal(), 3u);
+    EXPECT_EQ(m.node().giantPagesFree(), 3u);
+    // The pool is pinned: buddy-visible free memory excludes it.
+    EXPECT_EQ(m.node().freeBytes(), 128_MiB - 3 * 16_MiB);
+}
+
+TEST(GiantPages, PoolSurvivesFragmentation)
+{
+    SimMachine m(giantConfig(2), ThpConfig::never());
+    Memhog hog(m.node());
+    Fragmenter frag(m.node());
+    hog.occupyAllBut(8_MiB);
+    frag.fragment(1.0);
+    EXPECT_EQ(m.node().freeHugeRegions(), 0u);
+    // Giant pages are still available: boot-time reservation.
+    EXPECT_EQ(m.node().giantPagesFree(), 2u);
+    Addr a = m.space().mmapGiant(16_MiB, "g");
+    EXPECT_EQ(m.space().giantBackedBytes(), 16_MiB);
+    m.space().munmap(a);
+    EXPECT_EQ(m.node().giantPagesFree(), 2u);
+}
+
+TEST(GiantPages, MmapGiantMapsEagerly)
+{
+    SimMachine m(giantConfig(2), ThpConfig::never());
+    Addr a = m.space().mmapGiant(20_MiB, "g"); // rounds to 32MiB
+    EXPECT_EQ(m.node().giantPagesFree(), 0u);
+    // No faults on access: the mapping is populated at mmap time.
+    auto t = m.space().touch(a + 17_MiB, true);
+    EXPECT_FALSE(t.pageFault);
+    EXPECT_EQ(t.size, PageSizeClass::Giant);
+    EXPECT_EQ(m.space().footprintBytes(), 32_MiB);
+}
+
+TEST(GiantPages, ExhaustedPoolIsFatal)
+{
+    SimMachine m(giantConfig(1), ThpConfig::never());
+    EXPECT_THROW(m.space().mmapGiant(32_MiB, "g"), FatalError);
+}
+
+TEST(GiantPages, NodeWithoutPoolIsFatal)
+{
+    SystemConfig cfg = giantConfig(0);
+    cfg.node.giantOrder = 0;
+    SimMachine m(cfg, ThpConfig::never());
+    EXPECT_THROW(m.space().mmapGiant(16_MiB, "g"), FatalError);
+}
+
+TEST(GiantPages, MmuUsesGiantSubTlb)
+{
+    SimMachine m(giantConfig(1), ThpConfig::never());
+    Addr a = m.space().mmapGiant(16_MiB, "g");
+    m.mmu().access(a, true);
+    EXPECT_EQ(m.mmu().walksGiant.value(), 1u);
+    // Any address within the giant page now hits the L1 giant class.
+    m.mmu().access(a + 13_MiB, false);
+    EXPECT_EQ(m.mmu().accesses.value(), 2u);
+    EXPECT_EQ(m.mmu().dtlbMisses.value(), 1u);
+    EXPECT_EQ(m.mmu().walks.value(), 1u);
+}
+
+TEST(GiantPages, GiantPropertyViewRunsCorrectly)
+{
+    graph::RmatParams params;
+    params.scale = 14;
+    params.edgeFactor = 8;
+    graph::Builder b(1u << params.scale);
+    const graph::CsrGraph g =
+        b.fromEdges(graph::rmatEdges(params));
+    const graph::NodeId root = defaultRoot(g);
+
+    NativeView<std::uint64_t> native(g, {});
+    native.load(unreachedDist);
+    const std::uint64_t want = bfs(native, root);
+
+    SimMachine m(giantConfig(2), ThpConfig::never());
+    SimView<std::uint64_t>::Options opts;
+    opts.giantProperty = true;
+    SimView<std::uint64_t> view(m, g, opts);
+    view.load(unreachedDist);
+    EXPECT_EQ(bfs(view, root), want);
+    EXPECT_EQ(native.propRaw(), view.propRaw());
+    EXPECT_GT(m.space().giantBackedBytes(), 0u);
+    // The property array never walks more than once per giant page.
+    EXPECT_LE(m.mmu().walksGiant.value(),
+              m.node().giantPagesTotal());
+}
+
+TEST(GiantPages, ExperimentHarnessSupportsGiantProperty)
+{
+    ExperimentConfig cfg;
+    cfg.sys = giantConfig(2);
+    cfg.app = App::Bfs;
+    cfg.dataset = "wiki";
+    cfg.scaleDivisor = 512;
+    cfg.giantProperty = true;
+    const RunResult r = runExperiment(cfg);
+    EXPECT_GT(r.giantBackedBytes, 0u);
+    EXPECT_GT(r.kernelOutput, 0u);
+
+    // Same result as the plain 4KB run.
+    cfg.giantProperty = false;
+    cfg.sys.node.giantPoolPages = 0;
+    const RunResult r4k = runExperiment(cfg);
+    EXPECT_EQ(r4k.checksum, r.checksum);
+    // And better translation behaviour.
+    EXPECT_LT(r.stlbMissRate, r4k.stlbMissRate);
+}

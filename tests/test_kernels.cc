@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Kernel correctness tests: BFS/SSSP against independent reference
+ * implementations, PageRank against a pull-based reference, result
+ * invariance under reordering, and native-vs-simulated equality.
+ */
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "core/kernels.hh"
+#include "core/machine.hh"
+#include "core/views.hh"
+#include "graph/builder.hh"
+#include "graph/generators.hh"
+#include "graph/reorder.hh"
+
+using namespace gpsm;
+using namespace gpsm::core;
+using namespace gpsm::graph;
+
+namespace
+{
+
+CsrGraph
+randomGraph(std::uint64_t seed, NodeId n = 512, double deg = 6,
+            bool weighted = false)
+{
+    Builder b(n);
+    auto edges = uniformEdges(n, deg, seed);
+    if (weighted)
+        return b.fromEdgesWeighted(edges, 20, seed ^ 0xabc);
+    return b.fromEdges(edges);
+}
+
+/** Independent BFS reference: simple queue over the CSR directly. */
+std::vector<std::uint64_t>
+refBfs(const CsrGraph &g, NodeId root)
+{
+    std::vector<std::uint64_t> dist(g.numNodes(), unreachedDist);
+    std::queue<NodeId> q;
+    dist[root] = 0;
+    q.push(root);
+    while (!q.empty()) {
+        const NodeId u = q.front();
+        q.pop();
+        for (NodeId v : g.neighborsOf(u)) {
+            if (dist[v] == unreachedDist) {
+                dist[v] = dist[u] + 1;
+                q.push(v);
+            }
+        }
+    }
+    return dist;
+}
+
+/** Independent SSSP reference: Dijkstra with a binary heap. */
+std::vector<std::uint64_t>
+refDijkstra(const CsrGraph &g, NodeId root)
+{
+    std::vector<std::uint64_t> dist(g.numNodes(), unreachedDist);
+    using Item = std::pair<std::uint64_t, NodeId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[root] = 0;
+    pq.emplace(0, root);
+    while (!pq.empty()) {
+        auto [d, u] = pq.top();
+        pq.pop();
+        if (d > dist[u])
+            continue;
+        const EdgeIdx begin = g.vertexArray()[u];
+        const EdgeIdx end = g.vertexArray()[u + 1];
+        for (EdgeIdx e = begin; e < end; ++e) {
+            const NodeId v = g.edgeArray()[e];
+            const std::uint64_t nd = d + g.valuesArray()[e];
+            if (nd < dist[v]) {
+                dist[v] = nd;
+                pq.emplace(nd, v);
+            }
+        }
+    }
+    return dist;
+}
+
+/** Pull-based PageRank reference (same damping/dangling handling). */
+std::vector<double>
+refPageRank(const CsrGraph &g, std::uint32_t iters, double damping)
+{
+    const NodeId n = g.numNodes();
+    std::vector<double> rank(n, 1.0 / n);
+    std::vector<double> next(n, 0.0);
+    for (std::uint32_t it = 0; it < iters; ++it) {
+        double dangling = 0.0;
+        std::fill(next.begin(), next.end(), 0.0);
+        for (NodeId u = 0; u < n; ++u) {
+            const EdgeIdx deg =
+                g.vertexArray()[u + 1] - g.vertexArray()[u];
+            if (deg == 0) {
+                dangling += rank[u];
+                continue;
+            }
+            const double c = rank[u] / static_cast<double>(deg);
+            for (NodeId v : g.neighborsOf(u))
+                next[v] += c;
+        }
+        const double base =
+            (1.0 - damping) / n + damping * dangling / n;
+        for (NodeId v = 0; v < n; ++v)
+            rank[v] = base + damping * next[v];
+    }
+    return rank;
+}
+
+} // namespace
+
+class KernelSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(KernelSeeds, BfsMatchesReference)
+{
+    CsrGraph g = randomGraph(GetParam());
+    const NodeId root = defaultRoot(g);
+    NativeView<std::uint64_t> view(g, {});
+    view.load(unreachedDist);
+    const std::uint64_t reached = bfs(view, root);
+    const auto ref = refBfs(g, root);
+    std::uint64_t ref_reached = 0;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        EXPECT_EQ(view.propGet(v), ref[v]) << "vertex " << v;
+        ref_reached += ref[v] != unreachedDist ? 1 : 0;
+    }
+    EXPECT_EQ(reached, ref_reached);
+}
+
+TEST_P(KernelSeeds, SsspMatchesDijkstra)
+{
+    CsrGraph g = randomGraph(GetParam(), 512, 6, /*weighted=*/true);
+    const NodeId root = defaultRoot(g);
+    NativeView<std::uint64_t>::Options opts;
+    opts.needValues = true;
+    NativeView<std::uint64_t> view(g, opts);
+    view.load(unreachedDist);
+    sssp(view, root, /*delta=*/4);
+    const auto ref = refDijkstra(g, root);
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        EXPECT_EQ(view.propGet(v), ref[v]) << "vertex " << v;
+}
+
+TEST_P(KernelSeeds, SsspDeltaInsensitive)
+{
+    CsrGraph g = randomGraph(GetParam(), 256, 5, /*weighted=*/true);
+    const NodeId root = defaultRoot(g);
+    std::vector<std::uint64_t> results[3];
+    int i = 0;
+    for (std::uint32_t delta : {1u, 8u, 1000u}) {
+        NativeView<std::uint64_t>::Options opts;
+        opts.needValues = true;
+        NativeView<std::uint64_t> view(g, opts);
+        view.load(unreachedDist);
+        sssp(view, root, delta);
+        results[i++] = view.propRaw();
+    }
+    EXPECT_EQ(results[0], results[1]);
+    EXPECT_EQ(results[1], results[2]);
+}
+
+TEST_P(KernelSeeds, PageRankMatchesPullReference)
+{
+    CsrGraph g = randomGraph(GetParam(), 256, 8);
+    NativeView<double>::Options opts;
+    opts.needAux = true;
+    NativeView<double> view(g, opts);
+    view.load(1.0 / g.numNodes());
+    pagerank(view, 10, 0.85, /*epsilon=*/0.0);
+    const auto ref = refPageRank(g, 10, 0.85);
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        EXPECT_NEAR(view.propGet(v), ref[v], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99));
+
+TEST(Kernels, PageRankMassIsConserved)
+{
+    CsrGraph g = randomGraph(3, 512, 4);
+    NativeView<double>::Options opts;
+    opts.needAux = true;
+    NativeView<double> view(g, opts);
+    view.load(1.0 / g.numNodes());
+    pagerank(view, 8, 0.85, 0.0);
+    double total = 0.0;
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        total += view.propGet(v);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Kernels, PageRankConvergesAndStops)
+{
+    CsrGraph g = randomGraph(4, 128, 8);
+    NativeView<double>::Options opts;
+    opts.needAux = true;
+    NativeView<double> view(g, opts);
+    view.load(1.0 / g.numNodes());
+    auto res = pagerank(view, 1000, 0.85, 1e-10);
+    EXPECT_LT(res.iterations, 1000u);
+    EXPECT_LE(res.finalError, 1e-10);
+}
+
+TEST(Kernels, BfsReachedCountInvariantUnderReorder)
+{
+    CsrGraph g = randomGraph(7, 1024, 4);
+    NativeView<std::uint64_t> v1(g, {});
+    v1.load(unreachedDist);
+    const std::uint64_t r1 = bfs(v1, defaultRoot(g));
+
+    auto mapping = reorderMapping(g, ReorderMethod::Dbg);
+    CsrGraph h = applyMapping(g, mapping);
+    NativeView<std::uint64_t> v2(h, {});
+    v2.load(unreachedDist);
+    const std::uint64_t r2 = bfs(v2, mapping[defaultRoot(g)]);
+    EXPECT_EQ(r1, r2);
+
+    // Distances map exactly through the permutation.
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        EXPECT_EQ(v1.propGet(v), v2.propGet(mapping[v]));
+}
+
+TEST(Kernels, LabelPropagationFindsComponents)
+{
+    // Two disjoint cliques plus an isolated vertex = 3 labels.
+    Builder b(9);
+    std::vector<Edge> edges;
+    for (NodeId i = 0; i < 4; ++i)
+        for (NodeId j = 0; j < 4; ++j)
+            if (i != j)
+                edges.push_back({i, j});
+    for (NodeId i = 4; i < 8; ++i)
+        for (NodeId j = 4; j < 8; ++j)
+            if (i != j)
+                edges.push_back({i, j});
+    CsrGraph g = b.fromEdges(edges);
+    NativeView<std::uint64_t> view(g, {});
+    view.load(0);
+    EXPECT_EQ(labelPropagation(view), 3u);
+    EXPECT_EQ(view.propGet(5), 4u);
+    EXPECT_EQ(view.propGet(8), 8u);
+}
+
+TEST(Kernels, DefaultRootIsMaxOutDegree)
+{
+    Builder b(4);
+    CsrGraph g = b.fromEdges({{2, 0}, {2, 1}, {2, 3}, {0, 1}});
+    EXPECT_EQ(defaultRoot(g), 2u);
+}
+
+TEST(Kernels, SimViewMatchesNativeViewExactly)
+{
+    CsrGraph g = randomGraph(11, 2048, 8, /*weighted=*/true);
+    const NodeId root = defaultRoot(g);
+
+    NativeView<std::uint64_t>::Options nopts;
+    nopts.needValues = true;
+    NativeView<std::uint64_t> native(g, nopts);
+    native.load(unreachedDist);
+    const std::uint64_t native_reached = sssp(native, root, 8);
+
+    SystemConfig cfg = SystemConfig::scaled();
+    cfg.node.bytes = 64_MiB;
+    SimMachine machine(cfg, vm::ThpConfig::always());
+    SimView<std::uint64_t>::Options sopts;
+    sopts.needValues = true;
+    SimView<std::uint64_t> sim(machine, g, sopts);
+    sim.load(unreachedDist);
+    const std::uint64_t sim_reached = sssp(sim, root, 8);
+
+    EXPECT_EQ(native_reached, sim_reached);
+    EXPECT_EQ(native.propRaw(), sim.propRaw());
+    EXPECT_EQ(propChecksum(native.propRaw()),
+              propChecksum(sim.propRaw()));
+}
+
+TEST(Kernels, ChecksumDetectsDifferences)
+{
+    std::vector<std::uint64_t> a{1, 2, 3};
+    std::vector<std::uint64_t> b{1, 2, 4};
+    EXPECT_NE(propChecksum(a), propChecksum(b));
+    EXPECT_EQ(propChecksum(a), propChecksum(a));
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Khugepaged background promotion tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memhog.hh"
+#include "mem/memory_node.hh"
+#include "mem/swap_device.hh"
+#include "util/units.hh"
+#include "vm/address_space.hh"
+#include "vm/khugepaged.hh"
+
+using namespace gpsm;
+using namespace gpsm::mem;
+using namespace gpsm::vm;
+
+namespace
+{
+
+constexpr std::uint64_t pageB = 4_KiB;
+constexpr std::uint64_t hugeB = 256_KiB;
+
+struct World
+{
+    explicit World(const ThpConfig &thp, std::uint64_t bytes = 16_MiB)
+        : node(params(bytes)), swap(4_MiB, pageB),
+          space(node, swap, thp), daemon(space)
+    {
+    }
+
+    static MemoryNode::Params
+    params(std::uint64_t bytes)
+    {
+        MemoryNode::Params p;
+        p.bytes = bytes;
+        p.basePageBytes = pageB;
+        p.hugeOrder = 6;
+        return p;
+    }
+
+    MemoryNode node;
+    SwapDevice swap;
+    AddressSpace space;
+    Khugepaged daemon;
+};
+
+} // namespace
+
+TEST(Khugepaged, DisabledConfigDoesNothing)
+{
+    ThpConfig cfg = ThpConfig::always();
+    cfg.khugepagedEnabled = false;
+    World w(cfg);
+    Addr a = w.space.mmap(hugeB, "arr");
+    w.space.touch(a, true);
+    auto res = w.daemon.scan(1 << 20);
+    EXPECT_EQ(res.regionsScanned, 0u);
+}
+
+TEST(Khugepaged, PromotesBasePopulatedRegions)
+{
+    // Fault base pages (madvise mode without advice), then advise and
+    // let the daemon catch up — the paper's "huge pages become
+    // available after fault time" scenario.
+    World w2(ThpConfig::madvise());
+    Addr a = w2.space.mmap(4 * hugeB, "arr");
+    for (Addr off = 0; off < 4 * hugeB; off += pageB)
+        w2.space.touch(a + off, true);
+    EXPECT_EQ(w2.space.hugeBackedBytes(), 0u);
+    w2.space.madviseHuge(a, 4 * hugeB);
+
+    auto res = w2.daemon.scan(1 << 20);
+    EXPECT_EQ(res.promoted, 4u);
+    EXPECT_EQ(w2.space.hugeBackedBytes(), 4 * hugeB);
+    EXPECT_EQ(res.copiedPages, 4 * 64u);
+}
+
+TEST(Khugepaged, BudgetBoundsWork)
+{
+    World w(ThpConfig::madvise());
+    Addr a = w.space.mmap(8 * hugeB, "arr");
+    for (Addr off = 0; off < 8 * hugeB; off += pageB)
+        w.space.touch(a + off, true);
+    w.space.madviseHuge(a, 8 * hugeB);
+
+    // Budget for exactly two regions per wakeup.
+    auto res = w.daemon.scan(2 * 64);
+    EXPECT_EQ(res.regionsScanned, 2u);
+    EXPECT_EQ(res.promoted, 2u);
+    // Next wakeup resumes from the cursor.
+    res = w.daemon.scan(2 * 64);
+    EXPECT_EQ(res.promoted, 2u);
+    EXPECT_EQ(w.space.hugeBackedBytes(), 4 * hugeB);
+}
+
+TEST(Khugepaged, SkipsIneligibleRegions)
+{
+    World w(ThpConfig::madvise());
+    Addr a = w.space.mmap(2 * hugeB, "arr");
+    for (Addr off = 0; off < 2 * hugeB; off += pageB)
+        w.space.touch(a + off, true);
+    // Only the first region is advised.
+    w.space.madviseHuge(a, hugeB);
+    auto res = w.daemon.scan(1 << 20);
+    EXPECT_EQ(res.promoted, 1u);
+    EXPECT_EQ(w.space.hugeBackedBytes(), hugeB);
+}
+
+TEST(Khugepaged, RespectsUtilizationThreshold)
+{
+    ThpConfig cfg = ThpConfig::madvise();
+    cfg.khugepagedMinPresent = 48; // Ingens-style 75% utilization
+    World w(cfg);
+    Addr a = w.space.mmap(2 * hugeB, "arr");
+    // Region 0: 10 pages (under threshold); region 1: 60 pages.
+    for (int i = 0; i < 10; ++i)
+        w.space.touch(a + i * pageB, true);
+    for (int i = 0; i < 60; ++i)
+        w.space.touch(a + hugeB + i * pageB, true);
+    w.space.madviseHuge(a, 2 * hugeB);
+    auto res = w.daemon.scan(1 << 20);
+    EXPECT_EQ(res.promoted, 1u);
+    EXPECT_EQ(res.copiedPages, 60u);
+}
+
+TEST(Khugepaged, AlreadyHugeRegionsAreNotReprocessed)
+{
+    World w(ThpConfig::always());
+    Addr a = w.space.mmap(2 * hugeB, "arr");
+    w.space.touch(a, true);
+    w.space.touch(a + hugeB, true);
+    auto res = w.daemon.scan(1 << 20);
+    EXPECT_EQ(res.promoted, 0u);
+    EXPECT_GE(res.regionsScanned, 2u);
+}

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * MMU tests: two-level lookup flow, walk/fault cost accounting,
+ * per-tag attribution, shootdown synchronization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_node.hh"
+#include "mem/swap_device.hh"
+#include "tlb/mmu.hh"
+#include "util/units.hh"
+#include "vm/address_space.hh"
+
+using namespace gpsm;
+using namespace gpsm::mem;
+using namespace gpsm::tlb;
+using namespace gpsm::vm;
+
+namespace
+{
+
+constexpr std::uint64_t pageB = 4_KiB;
+constexpr std::uint64_t hugeB = 256_KiB;
+
+struct World
+{
+    explicit World(const ThpConfig &thp, bool with_cache = false,
+                   std::uint64_t node_bytes = 16_MiB)
+        : node(params(node_bytes)), swap(16_MiB, pageB),
+          space(node, swap, thp),
+          mmu(space, Tlb("dtlb", {TlbGeometry{16, 4}, TlbGeometry{8, 4}}),
+              Tlb::makeUnified("stlb", 64, 8), CostModel{},
+              with_cache
+                  ? std::make_unique<CacheModel>(
+                        std::vector<CacheLevelConfig>{
+                            CacheLevelConfig{"l1", 16_KiB, 8, 64, 4}},
+                        200u)
+                  : nullptr)
+    {
+    }
+
+    static MemoryNode::Params
+    params(std::uint64_t bytes)
+    {
+        MemoryNode::Params p;
+        p.bytes = bytes;
+        p.basePageBytes = pageB;
+        p.hugeOrder = 6;
+        return p;
+    }
+
+    MemoryNode node;
+    SwapDevice swap;
+    AddressSpace space;
+    Mmu mmu;
+};
+
+} // namespace
+
+TEST(Mmu, FirstAccessWalksAndFaults)
+{
+    World w(ThpConfig::never());
+    Addr a = w.space.mmap(1_MiB, "arr");
+    w.mmu.access(a, true);
+    EXPECT_EQ(w.mmu.accesses.value(), 1u);
+    EXPECT_EQ(w.mmu.dtlbMisses.value(), 1u);
+    EXPECT_EQ(w.mmu.walks.value(), 1u);
+    EXPECT_EQ(w.mmu.walksBase.value(), 1u);
+    EXPECT_EQ(w.mmu.faultCycles.value(),
+              w.mmu.costModel().minorFaultCycles);
+}
+
+TEST(Mmu, SecondAccessHitsDtlb)
+{
+    World w(ThpConfig::never());
+    Addr a = w.space.mmap(1_MiB, "arr");
+    w.mmu.access(a, true);
+    w.mmu.access(a + 8, false);
+    EXPECT_EQ(w.mmu.accesses.value(), 2u);
+    EXPECT_EQ(w.mmu.dtlbMisses.value(), 1u);
+    EXPECT_EQ(w.mmu.walks.value(), 1u);
+}
+
+TEST(Mmu, StlbCatchesDtlbEvictions)
+{
+    World w(ThpConfig::never());
+    Addr a = w.space.mmap(4_MiB, "arr");
+    // Touch 64 distinct pages: DTLB (16 entries) thrashes, STLB (64)
+    // holds them all.
+    for (int i = 0; i < 64; ++i)
+        w.mmu.access(a + i * pageB, true);
+    const auto walks_after_fill = w.mmu.walks.value();
+    EXPECT_EQ(walks_after_fill, 64u);
+    // Second sweep: no more walks, many STLB hits.
+    for (int i = 0; i < 64; ++i)
+        w.mmu.access(a + i * pageB, false);
+    EXPECT_EQ(w.mmu.walks.value(), walks_after_fill);
+    EXPECT_GT(w.mmu.stlbHits.value(), 0u);
+}
+
+TEST(Mmu, HugeMappingUsesHugeClass)
+{
+    World w(ThpConfig::always());
+    Addr a = w.space.mmap(hugeB, "arr");
+    w.mmu.access(a, true);
+    EXPECT_EQ(w.mmu.walksHuge.value(), 1u);
+    // Any page within the huge region now hits the DTLB huge class.
+    w.mmu.access(a + 17 * pageB, false);
+    EXPECT_EQ(w.mmu.accesses.value(), 2u);
+    EXPECT_EQ(w.mmu.dtlbMisses.value(), 1u);
+    EXPECT_EQ(w.mmu.faultCycles.value(),
+              w.mmu.costModel().hugeFaultCycles(6));
+}
+
+TEST(Mmu, DtlbMissRateMetric)
+{
+    World w(ThpConfig::never());
+    Addr a = w.space.mmap(1_MiB, "arr");
+    w.mmu.access(a, true);
+    w.mmu.access(a, true);
+    w.mmu.access(a, true);
+    w.mmu.access(a, true);
+    EXPECT_DOUBLE_EQ(w.mmu.dtlbMissRate(), 0.25);
+    EXPECT_DOUBLE_EQ(w.mmu.stlbMissRate(), 0.25);
+}
+
+TEST(Mmu, TagAttribution)
+{
+    World w(ThpConfig::never());
+    Addr a = w.space.mmap(1_MiB, "arr");
+    w.mmu.access(a, true, 2);
+    w.mmu.access(a, true, 2);
+    w.mmu.access(a + pageB, true, 4);
+    EXPECT_EQ(w.mmu.tagStats(2).accesses.value(), 2u);
+    EXPECT_EQ(w.mmu.tagStats(2).walks.value(), 1u);
+    EXPECT_EQ(w.mmu.tagStats(4).accesses.value(), 1u);
+    EXPECT_EQ(w.mmu.tagStats(4).walks.value(), 1u);
+}
+
+TEST(Mmu, CacheModelChargesMemoryCycles)
+{
+    World w(ThpConfig::never(), /*with_cache=*/true);
+    Addr a = w.space.mmap(1_MiB, "arr");
+    w.mmu.access(a, true);
+    EXPECT_EQ(w.mmu.memoryCycles.value(), 200u); // cold miss
+    w.mmu.access(a, false);
+    EXPECT_EQ(w.mmu.memoryCycles.value(), 204u); // + L1 hit
+}
+
+TEST(Mmu, CyclesAccumulateAcrossBuckets)
+{
+    World w(ThpConfig::never());
+    Addr a = w.space.mmap(1_MiB, "arr");
+    w.mmu.access(a, true);
+    const CostModel &costs = w.mmu.costModel();
+    EXPECT_EQ(w.mmu.totalCycles(),
+              costs.baseAccessCycles + costs.walkCyclesBase +
+                  costs.minorFaultCycles);
+    EXPECT_GT(w.mmu.seconds(), 0.0);
+}
+
+TEST(Mmu, DemotionShootdownInvalidatesHugeEntry)
+{
+    World w(ThpConfig::always());
+    Addr a = w.space.mmap(hugeB, "arr");
+    w.mmu.access(a, true);
+    // Demote behind the MMU's back, then sync.
+    w.space.demote(a);
+    const auto os_before = w.mmu.osCycles.value();
+    w.mmu.syncTlb();
+    EXPECT_GT(w.mmu.osCycles.value(), os_before);
+    // Next access misses (entry invalidated) and walks to a base page.
+    const auto walks = w.mmu.walks.value();
+    w.mmu.access(a, false);
+    EXPECT_EQ(w.mmu.walks.value(), walks + 1);
+    EXPECT_EQ(w.mmu.walksBase.value(), 1u);
+}
+
+TEST(Mmu, SwapShootdownsAreChargedDuringAccess)
+{
+    // Oversubscribe a tiny node so faults trigger swap-outs; the
+    // shootdown events must be drained and charged automatically.
+    World w(ThpConfig::never(), false, 1_MiB);
+    Addr a = w.space.mmap(2_MiB, "arr");
+    for (Addr off = 0; off < 2_MiB; off += pageB)
+        w.mmu.access(a + off, true);
+    EXPECT_GT(w.space.swapOutPages.value(), 0u);
+    EXPECT_FALSE(w.space.hasPendingInvalidations());
+    EXPECT_GT(w.mmu.osCycles.value(), 0u);
+}
+
+TEST(Mmu, FlushTlbsForcesRewalk)
+{
+    World w(ThpConfig::never());
+    Addr a = w.space.mmap(1_MiB, "arr");
+    w.mmu.access(a, true);
+    w.mmu.flushTlbs();
+    w.mmu.access(a, false);
+    EXPECT_EQ(w.mmu.walks.value(), 2u);
+    // But no new fault: the page stayed mapped.
+    EXPECT_EQ(w.space.minorFaults.value(), 1u);
+}
+
+TEST(Mmu, StatsRegistration)
+{
+    World w(ThpConfig::never());
+    StatSet stats("s");
+    w.mmu.registerStats(stats, "mmu");
+    EXPECT_TRUE(stats.has("mmu.accesses"));
+    EXPECT_TRUE(stats.has("mmu.cycles.translation"));
+}

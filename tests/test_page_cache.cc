@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Page cache model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_node.hh"
+#include "mem/page_cache.hh"
+#include "util/units.hh"
+
+using namespace gpsm;
+using namespace gpsm::mem;
+
+namespace
+{
+
+MemoryNode::Params
+smallNode()
+{
+    MemoryNode::Params p;
+    p.bytes = 4_MiB;
+    p.basePageBytes = 4_KiB;
+    p.hugeOrder = 6;
+    return p;
+}
+
+} // namespace
+
+TEST(PageCache, CachesWholePagesRoundedUp)
+{
+    MemoryNode node(smallNode());
+    PageCache cache(node);
+    EXPECT_EQ(cache.cacheFileData(5000), 8192u);
+    EXPECT_EQ(cache.cachedPages(), 2u);
+    EXPECT_EQ(cache.cachedBytes(), 8192u);
+    EXPECT_EQ(cache.pagesCached.value(), 2u);
+}
+
+TEST(PageCache, StopsAtExhaustionWithoutEscalating)
+{
+    MemoryNode node(smallNode());
+    PageCache cache(node);
+    // Ask for double the node: caching is best effort.
+    EXPECT_EQ(cache.cacheFileData(8_MiB), 4_MiB);
+    EXPECT_EQ(node.freeBytes(), 0u);
+}
+
+TEST(PageCache, ReclaimIsFifoAndBounded)
+{
+    MemoryNode node(smallNode());
+    PageCache cache(node);
+    cache.cacheFileData(16 * 4096);
+    EXPECT_EQ(cache.reclaim(4), 4u);
+    EXPECT_EQ(cache.cachedPages(), 12u);
+    EXPECT_EQ(cache.reclaim(100), 12u);
+    EXPECT_EQ(cache.cachedPages(), 0u);
+    EXPECT_EQ(cache.reclaim(1), 0u);
+}
+
+TEST(PageCache, DropAllFreesEverything)
+{
+    MemoryNode node(smallNode());
+    PageCache cache(node);
+    cache.cacheFileData(1_MiB);
+    cache.dropAll();
+    EXPECT_EQ(cache.cachedPages(), 0u);
+    EXPECT_EQ(node.freeBytes(), node.totalBytes());
+    node.buddy().checkInvariants();
+}
+
+TEST(PageCache, SurvivesMigrationDuringCompaction)
+{
+    MemoryNode node(smallNode());
+    PageCache cache(node);
+
+    // Leave exactly two usable regions: pin 14 regions wholesale,
+    // poison one more with a single unmovable page, and put 20 cache
+    // pages in the last one. A huge request must then compact the
+    // cache-holding region, migrating its pages into the poisoned
+    // region's free frames.
+    std::vector<FrameNum> pinned;
+    for (int i = 0; i < 14; ++i) {
+        FrameNum f = node.buddy().allocate(6, Migratetype::Pinned, 0);
+        ASSERT_NE(f, invalidFrame);
+        pinned.push_back(f);
+    }
+    cache.cacheFileData(20 * 4096);
+    const std::uint64_t pages_before = cache.cachedPages();
+    // Poison whichever region is still fully free.
+    FrameNum poison = invalidFrame;
+    for (FrameNum r = 0; r < 16; ++r) {
+        auto s = node.buddy().summarizeRegion(r * 64);
+        if (s.freeFrames == 64) {
+            poison = r * 64 + 5;
+            break;
+        }
+    }
+    ASSERT_NE(poison, invalidFrame);
+    ASSERT_TRUE(node.buddy().allocateExact(poison, 0,
+                                           Migratetype::Unmovable, 0));
+    EXPECT_EQ(node.freeHugeRegions(), 0u);
+
+    MemoryNode::Request req;
+    req.order = 6;
+    req.mayCompact = true;
+    req.mayReclaim = false;
+    AllocOutcome out = node.allocate(req);
+    ASSERT_TRUE(out.success);
+    EXPECT_EQ(out.migratedPages, 20u);
+    EXPECT_EQ(cache.cachedPages(), pages_before);
+    // The cache can still reclaim everything it owns.
+    EXPECT_EQ(cache.reclaim(~0ull), pages_before);
+    node.free(out.frame);
+    node.buddy().checkInvariants();
+}
+
+TEST(PageCache, SingleUseInterferenceScenario)
+{
+    // The paper's §4.3 scenario at miniature scale: the page cache
+    // eats free memory during loading, so a later huge-page fault
+    // without reclaim rights fails even though the data is single-use.
+    MemoryNode node(smallNode());
+    PageCache cache(node);
+    cache.cacheFileData(node.totalBytes());
+
+    MemoryNode::Request huge;
+    huge.order = 6;
+    huge.mayReclaim = false;
+    huge.mayCompact = false;
+    EXPECT_FALSE(node.allocate(huge).success);
+
+    // With reclaim (drop_caches semantics) the same request succeeds.
+    huge.mayReclaim = true;
+    AllocOutcome out = node.allocate(huge);
+    EXPECT_TRUE(out.success);
+    EXPECT_EQ(out.reclaimedPages, 64u);
+}

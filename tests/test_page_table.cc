@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Page table tests: mixed-size mapping contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "vm/page_table.hh"
+
+using namespace gpsm;
+using namespace gpsm::vm;
+
+namespace
+{
+constexpr unsigned hugeOrd = 6; // 64 base pages per huge page
+}
+
+TEST(PageTable, EmptyLookupIsInvalid)
+{
+    PageTable pt(hugeOrd);
+    EXPECT_FALSE(pt.lookup(0).valid);
+    EXPECT_FALSE(pt.covered(123));
+    EXPECT_EQ(pt.basePagesMapped(), 0u);
+}
+
+TEST(PageTable, BaseMapRoundTrip)
+{
+    PageTable pt(hugeOrd);
+    pt.mapBase(100, 555);
+    auto t = pt.lookup(100);
+    ASSERT_TRUE(t.valid);
+    EXPECT_EQ(t.size, PageSizeClass::Base);
+    EXPECT_TRUE(t.pte.present);
+    EXPECT_EQ(t.pte.frame, 555u);
+    EXPECT_FALSE(pt.lookup(101).valid);
+    EXPECT_EQ(pt.basePagesMapped(), 1u);
+}
+
+TEST(PageTable, HugeMapCoversWholeRegion)
+{
+    PageTable pt(hugeOrd);
+    pt.mapHuge(130, 4096); // vpn inside region [128,192)
+    for (std::uint64_t v = 128; v < 192; ++v) {
+        auto t = pt.lookup(v);
+        ASSERT_TRUE(t.valid);
+        EXPECT_EQ(t.size, PageSizeClass::Huge);
+        EXPECT_EQ(t.pte.frame, 4096u);
+    }
+    EXPECT_FALSE(pt.lookup(127).valid);
+    EXPECT_FALSE(pt.lookup(192).valid);
+    EXPECT_EQ(pt.hugePagesMapped(), 1u);
+}
+
+TEST(PageTable, DoubleMapPanics)
+{
+    PageTable pt(hugeOrd);
+    pt.mapBase(7, 1);
+    EXPECT_THROW(pt.mapBase(7, 2), PanicError);
+    pt.mapHuge(128, 64);
+    EXPECT_THROW(pt.mapHuge(150, 128), PanicError);
+}
+
+TEST(PageTable, HugeOverBaseConflictPanics)
+{
+    PageTable pt(hugeOrd);
+    pt.mapBase(130, 1);
+    EXPECT_THROW(pt.mapHuge(128, 64), PanicError);
+    // And base under huge:
+    pt.mapHuge(256, 64);
+    EXPECT_THROW(pt.mapBase(260, 9), PanicError);
+}
+
+TEST(PageTable, SwapTransitions)
+{
+    PageTable pt(hugeOrd);
+    pt.mapBase(42, 9);
+    pt.markSwapped(42, 777);
+    auto t = pt.lookup(42);
+    ASSERT_TRUE(t.valid);
+    EXPECT_FALSE(t.pte.present);
+    EXPECT_TRUE(t.pte.swapped);
+    EXPECT_EQ(t.pte.swapSlot, 777u);
+    EXPECT_TRUE(pt.covered(42)); // swapped still occupies the slot
+
+    pt.restoreSwapped(42, 33);
+    t = pt.lookup(42);
+    EXPECT_TRUE(t.pte.present);
+    EXPECT_EQ(t.pte.frame, 33u);
+    EXPECT_FALSE(t.pte.swapped);
+}
+
+TEST(PageTable, SwapErrorsPanic)
+{
+    PageTable pt(hugeOrd);
+    EXPECT_THROW(pt.markSwapped(5, 1), PanicError);
+    pt.mapBase(5, 1);
+    EXPECT_THROW(pt.restoreSwapped(5, 2), PanicError);
+}
+
+TEST(PageTable, UnmapBaseAndHuge)
+{
+    PageTable pt(hugeOrd);
+    pt.mapBase(1, 10);
+    pt.unmapBase(1);
+    EXPECT_FALSE(pt.covered(1));
+    EXPECT_THROW(pt.unmapBase(1), PanicError);
+
+    pt.mapHuge(64, 100);
+    pt.unmapHuge(70); // any vpn in region
+    EXPECT_FALSE(pt.covered(64));
+    EXPECT_THROW(pt.unmapHuge(64), PanicError);
+}
+
+TEST(PageTable, DemoteSplitsIntoConsecutiveFrames)
+{
+    PageTable pt(hugeOrd);
+    pt.mapHuge(128, 4096);
+    pt.demoteToBase(130);
+    EXPECT_EQ(pt.hugePagesMapped(), 0u);
+    EXPECT_EQ(pt.basePagesMapped(), 64u);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        auto t = pt.lookup(128 + i);
+        ASSERT_TRUE(t.valid);
+        EXPECT_EQ(t.size, PageSizeClass::Base);
+        EXPECT_EQ(t.pte.frame, 4096 + i);
+    }
+}
+
+TEST(PageTable, RetargetBase)
+{
+    PageTable pt(hugeOrd);
+    pt.mapBase(9, 1);
+    pt.retargetBase(9, 2);
+    EXPECT_EQ(pt.lookup(9).pte.frame, 2u);
+    EXPECT_THROW(pt.retargetBase(10, 3), PanicError);
+}
+
+TEST(PageTable, HugeVpnOfAligns)
+{
+    PageTable pt(hugeOrd);
+    EXPECT_EQ(pt.hugeVpnOf(0), 0u);
+    EXPECT_EQ(pt.hugeVpnOf(63), 0u);
+    EXPECT_EQ(pt.hugeVpnOf(64), 64u);
+    EXPECT_EQ(pt.hugeVpnOf(130), 128u);
+}
+
+TEST(PageTable, IterationHelpers)
+{
+    PageTable pt(hugeOrd);
+    pt.mapBase(1, 10);
+    pt.mapBase(2, 11);
+    pt.mapHuge(128, 100);
+    int bases = 0;
+    int huges = 0;
+    pt.forEachBase([&](std::uint64_t, const Pte &) { ++bases; });
+    pt.forEachHuge([&](std::uint64_t, const Pte &) { ++huges; });
+    EXPECT_EQ(bases, 2);
+    EXPECT_EQ(huges, 1);
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * SystemConfig preset tests, including an end-to-end run on the exact
+ * Haswell (Table 1) geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/machine.hh"
+#include "util/units.hh"
+
+using namespace gpsm;
+using namespace gpsm::core;
+
+TEST(SystemConfig, HaswellMatchesTable1)
+{
+    const SystemConfig cfg = SystemConfig::haswell();
+    EXPECT_EQ(cfg.node.basePageBytes, 4_KiB);
+    EXPECT_EQ(cfg.hugePageBytes(), 2_MiB);
+    EXPECT_EQ(cfg.l1Base.entries, 64u); // Table 1: 64-entry 4-way
+    EXPECT_EQ(cfg.l1Base.ways, 4u);
+    EXPECT_EQ(cfg.l1Huge.entries, 32u); // Table 1: 32-entry 4-way
+    EXPECT_EQ(cfg.stlbEntries, 1024u);
+    EXPECT_DOUBLE_EQ(cfg.costs.frequencyGhz, 3.2);
+}
+
+TEST(SystemConfig, ScaledPreservesStructuralRatios)
+{
+    const SystemConfig h = SystemConfig::haswell();
+    const SystemConfig s = SystemConfig::scaled();
+    // Huge/base ratio shrinks 8x; node shrinks with it so the
+    // footprint:coverage regime is preserved.
+    EXPECT_EQ(1u << h.node.hugeOrder, 512u);
+    EXPECT_EQ(1u << s.node.hugeOrder, 64u);
+    EXPECT_LT(s.node.bytes, h.node.bytes);
+    // Watermark is the same fraction of the node in both.
+    EXPECT_EQ(h.node.hugeWatermarkBytes, h.node.bytes / 40);
+    EXPECT_EQ(s.node.hugeWatermarkBytes, s.node.bytes / 40);
+}
+
+TEST(SystemConfig, DescribeListsTheGeometry)
+{
+    const std::string text = SystemConfig::haswell().describe();
+    EXPECT_NE(text.find("2.00MiB"), std::string::npos);
+    EXPECT_NE(text.find("1024"), std::string::npos);
+}
+
+TEST(SystemConfig, MachineAssemblesOnBothPresets)
+{
+    for (auto make : {&SystemConfig::haswell, &SystemConfig::scaled}) {
+        SystemConfig cfg = make();
+        cfg.node.bytes = 256_MiB; // keep the test light
+        cfg.node.hugeWatermarkBytes = cfg.node.bytes / 26;
+        SimMachine machine(cfg, vm::ThpConfig::always());
+        EXPECT_EQ(machine.node().totalBytes(), 256_MiB);
+        EXPECT_TRUE(machine.stats().has("mmu.accesses"));
+        EXPECT_TRUE(machine.stats().has("node.watermarkFailures"));
+    }
+}
+
+TEST(SystemConfig, HaswellEndToEndRun)
+{
+    // Full experiment on the exact 4KB/2MB geometry: wiki is small
+    // enough that 2MB huge pages still cover multiple regions.
+    ExperimentConfig cfg;
+    cfg.sys = SystemConfig::haswell();
+    cfg.sys.node.bytes = 512_MiB;
+    cfg.sys.node.hugeWatermarkBytes = cfg.sys.node.bytes / 26;
+    cfg.app = App::Bfs;
+    cfg.dataset = "wiki";
+    cfg.scaleDivisor = 256;
+
+    cfg.thpMode = vm::ThpMode::Never;
+    const RunResult r4k = runExperiment(cfg);
+
+    cfg.thpMode = vm::ThpMode::Always;
+    const RunResult rthp = runExperiment(cfg);
+
+    EXPECT_EQ(r4k.checksum, rthp.checksum);
+    EXPECT_GT(rthp.hugeBackedBytes, 0u);
+    EXPECT_EQ(rthp.hugeBackedBytes % 2_MiB, 0u);
+    EXPECT_LT(rthp.stlbMissRate, r4k.stlbMissRate);
+    EXPECT_GT(speedupOver(r4k, rthp), 1.0);
+}

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * TLB model tests: associativity, LRU, split vs unified organization,
+ * and a property test against a reference fully-tracked LRU oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+
+#include "tlb/tlb.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+using namespace gpsm;
+using namespace gpsm::tlb;
+using vm::PageSizeClass;
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb t("t", {TlbGeometry{16, 4}, TlbGeometry{8, 4}});
+    EXPECT_FALSE(t.lookup(5, PageSizeClass::Base).hit);
+    t.insert(5, PageSizeClass::Base, 42);
+    auto p = t.lookup(5, PageSizeClass::Base);
+    EXPECT_TRUE(p.hit);
+    EXPECT_EQ(p.frame, 42u);
+}
+
+TEST(Tlb, ClassesAreIndependentInSplitMode)
+{
+    Tlb t("t", {TlbGeometry{16, 4}, TlbGeometry{8, 4}});
+    t.insert(5, PageSizeClass::Base, 1);
+    EXPECT_FALSE(t.lookup(5, PageSizeClass::Huge).hit);
+    t.insert(5, PageSizeClass::Huge, 2);
+    EXPECT_EQ(t.lookup(5, PageSizeClass::Base).frame, 1u);
+    EXPECT_EQ(t.lookup(5, PageSizeClass::Huge).frame, 2u);
+}
+
+TEST(Tlb, DisabledClassAlwaysMisses)
+{
+    Tlb t("t", {TlbGeometry{16, 4}, TlbGeometry{0, 1}});
+    t.insert(5, PageSizeClass::Huge, 1);
+    EXPECT_FALSE(t.lookup(5, PageSizeClass::Huge).hit);
+}
+
+TEST(Tlb, LruEvictionWithinSet)
+{
+    // 4 sets, 2 ways: vpns 0,4,8 share set 0.
+    Tlb t("t", {TlbGeometry{8, 2}, TlbGeometry{0, 1}});
+    t.insert(0, PageSizeClass::Base, 10);
+    t.insert(4, PageSizeClass::Base, 11);
+    // Touch 0 so 4 becomes LRU.
+    EXPECT_TRUE(t.lookup(0, PageSizeClass::Base).hit);
+    t.insert(8, PageSizeClass::Base, 12);
+    EXPECT_TRUE(t.lookup(0, PageSizeClass::Base).hit);
+    EXPECT_FALSE(t.lookup(4, PageSizeClass::Base).hit);
+    EXPECT_TRUE(t.lookup(8, PageSizeClass::Base).hit);
+    EXPECT_EQ(t.evictions.value(), 1u);
+}
+
+TEST(Tlb, InsertIsIdempotentPerVpn)
+{
+    Tlb t("t", {TlbGeometry{8, 2}, TlbGeometry{0, 1}});
+    t.insert(0, PageSizeClass::Base, 10);
+    t.insert(0, PageSizeClass::Base, 20); // refresh, not duplicate
+    EXPECT_EQ(t.validEntries(PageSizeClass::Base), 1u);
+    EXPECT_EQ(t.lookup(0, PageSizeClass::Base).frame, 20u);
+}
+
+TEST(Tlb, InvalidateRemovesSingleEntry)
+{
+    Tlb t("t", {TlbGeometry{16, 4}, TlbGeometry{8, 4}});
+    t.insert(5, PageSizeClass::Base, 1);
+    t.insert(6, PageSizeClass::Base, 2);
+    t.invalidate(5, PageSizeClass::Base);
+    EXPECT_FALSE(t.lookup(5, PageSizeClass::Base).hit);
+    EXPECT_TRUE(t.lookup(6, PageSizeClass::Base).hit);
+    EXPECT_EQ(t.invalidations.value(), 1u);
+    // Invalidating a missing entry is harmless.
+    t.invalidate(99, PageSizeClass::Base);
+    EXPECT_EQ(t.invalidations.value(), 1u);
+}
+
+TEST(Tlb, FlushAllEmptiesEverything)
+{
+    Tlb t("t", {TlbGeometry{16, 4}, TlbGeometry{8, 4}});
+    for (std::uint64_t v = 0; v < 10; ++v)
+        t.insert(v, PageSizeClass::Base, v);
+    t.insert(3, PageSizeClass::Huge, 7);
+    t.flushAll();
+    EXPECT_EQ(t.validEntries(PageSizeClass::Base), 0u);
+    EXPECT_EQ(t.validEntries(PageSizeClass::Huge), 0u);
+    EXPECT_EQ(t.flushes.value(), 1u);
+}
+
+TEST(Tlb, UnifiedModeSharesCapacityAcrossClasses)
+{
+    // 8-entry fully... 2 sets x 4 ways unified TLB.
+    Tlb t = Tlb::makeUnified("stlb", 8, 4);
+    // Fill set 0 with base entries (vpns 0,2,4,6 map to set 0).
+    for (std::uint64_t v = 0; v <= 6; v += 2)
+        t.insert(v, PageSizeClass::Base, v);
+    EXPECT_EQ(t.validEntries(PageSizeClass::Base), 4u);
+    // A huge insertion into the same set evicts a base entry: the
+    // classes compete (Haswell STLB behaviour).
+    t.insert(0, PageSizeClass::Huge, 99);
+    EXPECT_EQ(t.validEntries(PageSizeClass::Huge), 1u);
+    EXPECT_EQ(t.validEntries(PageSizeClass::Base), 3u);
+    // Same vpn, different class: distinct entries.
+    EXPECT_TRUE(t.lookup(0, PageSizeClass::Huge).hit);
+}
+
+TEST(Tlb, UnifiedModeDistinguishesClassTags)
+{
+    Tlb t = Tlb::makeUnified("stlb", 8, 4);
+    t.insert(12, PageSizeClass::Base, 1);
+    EXPECT_FALSE(t.lookup(12, PageSizeClass::Huge).hit);
+    t.insert(12, PageSizeClass::Huge, 2);
+    EXPECT_EQ(t.lookup(12, PageSizeClass::Base).frame, 1u);
+    EXPECT_EQ(t.lookup(12, PageSizeClass::Huge).frame, 2u);
+}
+
+TEST(Tlb, BadGeometryIsFatal)
+{
+    EXPECT_THROW(Tlb("t", {TlbGeometry{10, 4}, TlbGeometry{0, 1}}),
+                 FatalError);
+    EXPECT_THROW(Tlb("t", {TlbGeometry{24, 4}, TlbGeometry{0, 1}}),
+                 FatalError); // 6 sets: not a power of two
+}
+
+/**
+ * Property test: the set-associative TLB with true LRU must behave
+ * identically to a reference model (per-set std::list LRU) over long
+ * random access streams.
+ */
+class TlbVsOracle : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TlbVsOracle, MatchesReferenceModel)
+{
+    constexpr std::uint32_t entries = 32;
+    constexpr std::uint32_t ways = 4;
+    constexpr std::uint32_t sets = entries / ways;
+    Tlb t("t", {TlbGeometry{entries, ways}, TlbGeometry{0, 1}});
+
+    // Reference: per set, an LRU-ordered list of vpns.
+    std::vector<std::list<std::uint64_t>> ref(sets);
+    auto ref_access = [&](std::uint64_t vpn) {
+        auto &set = ref[vpn % sets];
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (*it == vpn) {
+                set.erase(it);
+                set.push_front(vpn);
+                return true;
+            }
+        }
+        set.push_front(vpn);
+        if (set.size() > ways)
+            set.pop_back();
+        return false;
+    };
+
+    Rng rng(GetParam());
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t vpn = rng.below(64); // 8x capacity stress
+        const bool ref_hit = ref_access(vpn);
+        const bool hit = t.lookup(vpn, PageSizeClass::Base).hit;
+        ASSERT_EQ(hit, ref_hit) << "step " << i << " vpn " << vpn;
+        if (!hit)
+            t.insert(vpn, PageSizeClass::Base, vpn);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TlbVsOracle,
+                         ::testing::Values(11, 22, 33, 44));

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for the util layer: logging, bitops, RNG, stats,
+ * histogram, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bitops.hh"
+#include "util/histogram.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace gpsm;
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("user misconfigured %d", 42), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("invariant %s broke", "x"), PanicError);
+}
+
+TEST(Logging, FatalMessageIsFormatted)
+{
+    try {
+        fatal("value=%d name=%s", 7, "abc");
+        FAIL() << "fatal returned";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value=7 name=abc");
+    }
+}
+
+TEST(Logging, AssertMacroPassesAndFails)
+{
+    EXPECT_NO_THROW(GPSM_ASSERT(1 + 1 == 2));
+    EXPECT_THROW(GPSM_ASSERT(false, "context %d", 3), PanicError);
+}
+
+TEST(Bitops, PowersOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(4096));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(4097));
+}
+
+TEST(Bitops, Log2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4097), 13u);
+    EXPECT_EQ(floorLog2(~0ull), 63u);
+}
+
+TEST(Bitops, Alignment)
+{
+    EXPECT_EQ(alignDown(4097, 4096), 4096u);
+    EXPECT_EQ(alignUp(4097, 4096), 8192u);
+    EXPECT_EQ(alignUp(4096, 4096), 4096u);
+    EXPECT_TRUE(isAligned(8192, 4096));
+    EXPECT_FALSE(isAligned(8193, 4096));
+    EXPECT_EQ(divCeil(10, 3), 4u);
+    EXPECT_EQ(divCeil(9, 3), 3u);
+}
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a() == b()) ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(37), 37u);
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Stats, RegisterValueAndDump)
+{
+    Counter c;
+    StatSet set("s");
+    set.registerCounter("a.b", &c, "a counter");
+    ++c;
+    c += 4;
+    EXPECT_EQ(set.value("a.b"), 5u);
+    EXPECT_TRUE(set.has("a.b"));
+    EXPECT_FALSE(set.has("a.c"));
+    EXPECT_NE(set.dump().find("a.b"), std::string::npos);
+}
+
+TEST(Stats, DuplicateRegistrationPanics)
+{
+    Counter c;
+    StatSet set("s");
+    set.registerCounter("x", &c);
+    EXPECT_THROW(set.registerCounter("x", &c), PanicError);
+}
+
+TEST(Stats, SnapshotAndSince)
+{
+    Counter a;
+    Counter b;
+    StatSet set("s");
+    set.registerCounter("a", &a);
+    set.registerCounter("b", &b);
+    a += 3;
+    auto snap = set.snapshot();
+    a += 2;
+    b += 7;
+    auto delta = set.since(snap);
+    EXPECT_EQ(delta.at("a"), 2u);
+    EXPECT_EQ(delta.at("b"), 7u);
+}
+
+TEST(Stats, ResetAll)
+{
+    Counter a;
+    StatSet set("s");
+    set.registerCounter("a", &a);
+    a += 9;
+    set.resetAll();
+    EXPECT_EQ(set.value("a"), 0u);
+}
+
+TEST(Histogram, BucketBoundaries)
+{
+    EXPECT_EQ(Log2Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Log2Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Log2Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Log2Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Log2Histogram::bucketOf(4), 3u);
+}
+
+TEST(Histogram, MeanMaxAndCounts)
+{
+    Log2Histogram h;
+    h.add(0);
+    h.add(1);
+    h.add(7);
+    h.add(8, 2);
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_EQ(h.max(), 8u);
+    EXPECT_DOUBLE_EQ(h.mean(), (0 + 1 + 7 + 16) / 5.0);
+}
+
+TEST(Table, TextAndCsv)
+{
+    TableWriter t("demo");
+    t.setHeader({"x", "y"});
+    t.addRow({"1", "a,b"});
+    const std::string text = t.text();
+    EXPECT_NE(text.find("demo"), std::string::npos);
+    EXPECT_NE(text.find("a,b"), std::string::npos);
+    const std::string csv = t.csv();
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+}
+
+TEST(Table, ArityMismatchPanics)
+{
+    TableWriter t("demo");
+    t.setHeader({"x", "y"});
+    EXPECT_THROW(t.addRow({"only one"}), PanicError);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(TableWriter::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TableWriter::pct(0.5), "50.0%");
+    EXPECT_EQ(TableWriter::speedup(1.5), "1.50x");
+}
+
+TEST(Units, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512B");
+    EXPECT_EQ(formatBytes(2048), "2.00KiB");
+    EXPECT_EQ(formatBytes(3 * MiB), "3.00MiB");
+    EXPECT_EQ(formatBytes(5 * GiB), "5.00GiB");
+}
+
+TEST(Units, Literals)
+{
+    EXPECT_EQ(4_KiB, 4096u);
+    EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+    EXPECT_EQ(1_GiB, 1024ull * 1024 * 1024);
+}

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * gpsm_run: command-line front end for the experiment harness — the
+ * equivalent of the paper artifact's thp.sh / constrained.sh /
+ * run_frag.sh scripts, in one binary.
+ *
+ * Examples:
+ *   gpsm_run --app bfs --dataset kron --thp always
+ *   gpsm_run --app pr --dataset twit --thp madvise --prop-fraction 0.2 \
+ *            --reorder dbg --slack-mib 8 --frag 0.5 --order prop-first
+ *   gpsm_run --app sssp --dataset web --thp never --stats
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "core/advisor.hh"
+#include "core/experiment.hh"
+#include "graph/datasets.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace gpsm;
+using namespace gpsm::core;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "gpsm_run — run one page-size-management experiment\n"
+        "\n"
+        "  --app bfs|sssp|pr|cc           application (default bfs)\n"
+        "  --dataset kron|twit|web|wiki   input network (default kron)\n"
+        "  --divisor N                    Table 2 size divisor (256)\n"
+        "  --thp never|always|madvise     THP mode (never)\n"
+        "  --prop-fraction F              madvise F of property array\n"
+        "  --madvise-vertex/edge/values   madvise whole CSR arrays\n"
+        "  --order natural|prop-first     allocation order (natural)\n"
+        "  --reorder none|dbg|sort|hubsort|random\n"
+        "  --advisor [coverage]           let the advisor pick reorder\n"
+        "                                 and fraction (default 0.8)\n"
+        "  --slack-mib N                  memhog leaves WSS+N MiB free\n"
+        "  --frag F                       fragment F (0-1) of free mem\n"
+        "  --file-source tmpfs|cache|directio\n"
+        "  --paper                        Haswell 4KB/2MB geometry\n"
+        "  --seed N                       generator seed (1)\n"
+        "  --quiet                        suppress progress notes\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    ExperimentConfig cfg;
+    cfg.scaleDivisor = 256;
+    bool use_advisor = false;
+    double advisor_coverage = 0.8;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value after %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--app") {
+            const std::string v = next();
+            if (v == "bfs")
+                cfg.app = App::Bfs;
+            else if (v == "sssp")
+                cfg.app = App::Sssp;
+            else if (v == "pr")
+                cfg.app = App::Pr;
+            else if (v == "cc")
+                cfg.app = App::Cc;
+            else
+                fatal("unknown app '%s'", v.c_str());
+        } else if (arg == "--dataset") {
+            cfg.dataset = next();
+        } else if (arg == "--divisor") {
+            cfg.scaleDivisor =
+                std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--thp") {
+            const std::string v = next();
+            if (v == "never")
+                cfg.thpMode = vm::ThpMode::Never;
+            else if (v == "always")
+                cfg.thpMode = vm::ThpMode::Always;
+            else if (v == "madvise")
+                cfg.thpMode = vm::ThpMode::Madvise;
+            else
+                fatal("unknown THP mode '%s'", v.c_str());
+        } else if (arg == "--prop-fraction") {
+            cfg.madvise.propertyFraction =
+                std::strtod(next().c_str(), nullptr);
+        } else if (arg == "--madvise-vertex") {
+            cfg.madvise.vertex = true;
+        } else if (arg == "--madvise-edge") {
+            cfg.madvise.edge = true;
+        } else if (arg == "--madvise-values") {
+            cfg.madvise.values = true;
+        } else if (arg == "--order") {
+            const std::string v = next();
+            cfg.order = v == "prop-first" ? AllocOrder::PropertyFirst
+                                          : AllocOrder::Natural;
+        } else if (arg == "--reorder") {
+            const std::string v = next();
+            if (v == "none")
+                cfg.reorder = graph::ReorderMethod::None;
+            else if (v == "dbg")
+                cfg.reorder = graph::ReorderMethod::Dbg;
+            else if (v == "sort")
+                cfg.reorder = graph::ReorderMethod::SortByDegree;
+            else if (v == "hubsort")
+                cfg.reorder = graph::ReorderMethod::HubSort;
+            else if (v == "random")
+                cfg.reorder = graph::ReorderMethod::Random;
+            else
+                fatal("unknown reorder '%s'", v.c_str());
+        } else if (arg == "--advisor") {
+            use_advisor = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                advisor_coverage =
+                    std::strtod(next().c_str(), nullptr);
+        } else if (arg == "--slack-mib") {
+            cfg.constrainMemory = true;
+            cfg.slackBytes =
+                std::strtoll(next().c_str(), nullptr, 10) *
+                1024 * 1024;
+        } else if (arg == "--frag") {
+            cfg.fragLevel = std::strtod(next().c_str(), nullptr);
+        } else if (arg == "--file-source") {
+            const std::string v = next();
+            if (v == "tmpfs")
+                cfg.fileSource = FileSource::TmpfsRemote;
+            else if (v == "cache")
+                cfg.fileSource = FileSource::PageCacheLocal;
+            else if (v == "directio")
+                cfg.fileSource = FileSource::DirectIo;
+            else
+                fatal("unknown file source '%s'", v.c_str());
+        } else if (arg == "--paper") {
+            cfg.sys = SystemConfig::haswell();
+        } else if (arg == "--seed") {
+            cfg.seed = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--quiet") {
+            setQuiet(true);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            fatal("unknown argument '%s' (try --help)", arg.c_str());
+        }
+    }
+
+    if (use_advisor) {
+        const graph::CsrGraph g = graph::makeDataset(
+            graph::datasetByName(cfg.dataset), cfg.scaleDivisor,
+            cfg.app == App::Sssp, cfg.seed);
+        const PageSizeAdvice advice =
+            advisePageSizes(g, cfg.sys, advisor_coverage);
+        std::cout << "advisor: " << advice.describe() << '\n';
+        cfg.thpMode = vm::ThpMode::Madvise;
+        cfg.order = AllocOrder::PropertyFirst;
+        cfg.reorder = advice.useDbg ? graph::ReorderMethod::Dbg
+                                    : graph::ReorderMethod::None;
+        cfg.madvise =
+            MadviseSelection::propertyOnly(advice.propertyFraction);
+    }
+
+    std::cout << cfg.sys.describe() << "config: " << cfg.label()
+              << "\n\n";
+    const RunResult r = runExperiment(cfg);
+
+    TableWriter table("result");
+    table.setHeader({"metric", "value"});
+    table.addRow({"preprocess time",
+                  formatSeconds(r.preprocessSeconds)});
+    table.addRow({"init time", formatSeconds(r.initSeconds)});
+    table.addRow({"kernel time", formatSeconds(r.kernelSeconds)});
+    table.addRow({"kernel accesses", std::to_string(r.accesses)});
+    table.addRow({"dtlb miss rate",
+                  TableWriter::pct(r.dtlbMissRate)});
+    table.addRow({"stlb hit (of accesses)",
+                  TableWriter::pct(
+                      r.accesses ? static_cast<double>(r.stlbHits) /
+                                       r.accesses
+                                 : 0)});
+    table.addRow({"walk rate", TableWriter::pct(r.stlbMissRate)});
+    table.addRow({"translation share of kernel",
+                  TableWriter::pct(r.translationCycleShare)});
+    table.addRow({"minor faults", std::to_string(r.minorFaults)});
+    table.addRow({"huge faults", std::to_string(r.hugeFaults)});
+    table.addRow({"major faults", std::to_string(r.majorFaults)});
+    table.addRow({"swap-outs", std::to_string(r.swapOuts)});
+    table.addRow({"compaction runs",
+                  std::to_string(r.compactionRuns)});
+    table.addRow({"khugepaged promotions",
+                  std::to_string(r.promotions)});
+    table.addRow({"footprint", formatBytes(r.footprintBytes)});
+    table.addRow({"huge-backed", formatBytes(r.hugeBackedBytes)});
+    table.addRow({"giant-backed", formatBytes(r.giantBackedBytes)});
+    table.addRow({"huge fraction",
+                  TableWriter::pct(r.hugeFractionOfFootprint, 2)});
+    table.addRow({"kernel output", std::to_string(r.kernelOutput)});
+    table.addRow({"checksum", std::to_string(r.checksum)});
+    table.print(std::cout, /*with_csv=*/false);
+    return 0;
+} catch (const FatalError &) {
+    return 1;
+}
