@@ -83,9 +83,41 @@ main(int argc, char **argv)
         opts.datasets = {"kron", "twit", "web", "wiki"};
     printHeader("Ablation: promotion policy comparison (BFS)", opts);
 
-    TableWriter table("ablation_promotion");
-    table.setHeader({"dataset", "policy", "speedup over 4k",
-                     "promotions", "huge frac"});
+    struct Policy
+    {
+        const char *name;
+        vm::ThpMode mode;
+        bool khugepaged;
+        std::uint64_t minPresent;
+        bool hotFirst;
+        bool duringKernel;
+        bool selective;
+    };
+    const Policy policies[] = {
+        {"linux greedy (min=1)", vm::ThpMode::Always, true, 1,
+         false, false, false},
+        {"util 50% (min=32)", vm::ThpMode::Always, true, 32,
+         false, false, false},
+        {"util 90% (min=58)", vm::ThpMode::Always, true, 58,
+         false, false, false},
+        {"hawkeye-like (hot-first)", vm::ThpMode::Always, true, 1,
+         true, true, false},
+        {"no khugepaged", vm::ThpMode::Always, false, 1, false,
+         false, false},
+        {"programmer-guided", vm::ThpMode::Madvise, true, 1,
+         false, false, true},
+    };
+
+    // Declare the steady-pressure comparison up front for the
+    // experiment pool; rows are assembled afterwards.
+    std::vector<ExperimentConfig> configs;
+    struct Row
+    {
+        std::string ds;
+        const char *policy;
+        std::size_t base, cfg;
+    };
+    std::vector<Row> rows;
 
     for (const std::string &ds : opts.datasets) {
         ExperimentConfig base = baseConfig(opts, App::Bfs, ds);
@@ -93,32 +125,8 @@ main(int argc, char **argv)
         base.constrainMemory = true;
         base.slackBytes = paperGiB(1.0, base.sys);
         base.fragLevel = 0.5;
-        const RunResult r4k = run(base);
-
-        struct Policy
-        {
-            const char *name;
-            vm::ThpMode mode;
-            bool khugepaged;
-            std::uint64_t minPresent;
-            bool hotFirst;
-            bool duringKernel;
-            bool selective;
-        };
-        const Policy policies[] = {
-            {"linux greedy (min=1)", vm::ThpMode::Always, true, 1,
-             false, false, false},
-            {"util 50% (min=32)", vm::ThpMode::Always, true, 32,
-             false, false, false},
-            {"util 90% (min=58)", vm::ThpMode::Always, true, 58,
-             false, false, false},
-            {"hawkeye-like (hot-first)", vm::ThpMode::Always, true, 1,
-             true, true, false},
-            {"no khugepaged", vm::ThpMode::Always, false, 1, false,
-             false, false},
-            {"programmer-guided", vm::ThpMode::Madvise, true, 1,
-             false, false, true},
-        };
+        const std::size_t base_idx = configs.size();
+        configs.push_back(base);
 
         for (const Policy &p : policies) {
             ExperimentConfig cfg = base;
@@ -132,13 +140,24 @@ main(int argc, char **argv)
                 cfg.order = AllocOrder::PropertyFirst;
             }
             cfg.khugepagedMinPresent = p.minPresent;
-            const RunResult r = run(cfg);
-            table.addRow({ds, p.name,
-                          TableWriter::speedup(speedupOver(r4k, r)),
-                          std::to_string(r.promotions),
-                          TableWriter::pct(r.hugeFractionOfFootprint,
-                                           2)});
+            rows.push_back(Row{ds, p.name, base_idx, configs.size()});
+            configs.push_back(cfg);
         }
+    }
+
+    const std::vector<RunResult> results = runAll(configs);
+
+    TableWriter table("ablation_promotion");
+    table.setHeader({"dataset", "policy", "speedup over 4k",
+                     "promotions", "huge frac"});
+    for (const Row &row : rows) {
+        const RunResult &r4k = results[row.base];
+        const RunResult &r = results[row.cfg];
+        table.addRow({row.ds, row.policy,
+                      TableWriter::speedup(speedupOver(r4k, r)),
+                      std::to_string(r.promotions),
+                      TableWriter::pct(r.hugeFractionOfFootprint,
+                                       2)});
     }
     table.print(std::cout);
 

@@ -11,8 +11,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 
+#include "core/runner.hh"
 #include "util/logging.hh"
 
 namespace gpsm::bench
@@ -20,6 +22,17 @@ namespace gpsm::bench
 
 namespace
 {
+
+/** Worker-thread count selected by parseOptions (0 = hardware). */
+unsigned gJobs = 0;
+
+/** Keeps concurrent note() lines whole. */
+std::mutex &
+noteMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 std::vector<std::string>
 splitCsv(const std::string &arg)
@@ -53,10 +66,18 @@ Options
 parseOptions(int argc, char **argv)
 {
     Options opts;
-    if (const char *env = std::getenv("GPSM_BENCH_DIVISOR"))
+    bool set_divisor = false;
+    bool set_datasets = false;
+    bool set_apps = false;
+    if (const char *env = std::getenv("GPSM_BENCH_DIVISOR")) {
         opts.divisor = std::strtoull(env, nullptr, 10);
+        set_divisor = true;
+    }
     if (const char *env = std::getenv("GPSM_BENCH_QUICK"))
         opts.quick = env[0] == '1';
+    if (const char *env = std::getenv("GPSM_BENCH_JOBS"))
+        opts.jobs = static_cast<unsigned>(
+            std::strtoul(env, nullptr, 10));
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -67,22 +88,28 @@ parseOptions(int argc, char **argv)
         };
         if (arg == "--divisor") {
             opts.divisor = std::strtoull(next().c_str(), nullptr, 10);
+            set_divisor = true;
         } else if (arg == "--quick") {
             opts.quick = true;
         } else if (arg == "--paper") {
             opts.paperGeometry = true;
+        } else if (arg == "--jobs") {
+            opts.jobs = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
         } else if (arg == "--datasets") {
             opts.datasets = splitCsv(next());
+            set_datasets = true;
         } else if (arg == "--apps") {
             opts.apps.clear();
             for (const std::string &name : splitCsv(next()))
                 opts.apps.push_back(appByName(name));
+            set_apps = true;
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(
                 stderr,
                 "usage: %s [--divisor N] [--quick] [--paper]\n"
                 "          [--datasets kron,twit,web,wiki]"
-                " [--apps bfs,sssp,pr]\n",
+                " [--apps bfs,sssp,pr] [--jobs N]\n",
                 argv[0]);
             std::exit(0);
         } else {
@@ -90,13 +117,19 @@ parseOptions(int argc, char **argv)
         }
     }
 
+    // Quick mode throttles only what the user left at the default, so
+    // e.g. `--quick --apps pr` still runs PageRank.
     if (opts.quick) {
-        opts.divisor = std::max<std::uint64_t>(opts.divisor, 1024);
-        opts.datasets = {"kron", "wiki"};
-        opts.apps = {core::App::Bfs};
+        if (!set_divisor)
+            opts.divisor = std::max<std::uint64_t>(opts.divisor, 1024);
+        if (!set_datasets)
+            opts.datasets = {"kron", "wiki"};
+        if (!set_apps)
+            opts.apps = {core::App::Bfs};
     }
     if (opts.divisor == 0)
         fatal("--divisor must be positive");
+    gJobs = opts.jobs;
     return opts;
 }
 
@@ -132,6 +165,7 @@ baseConfig(const Options &opts, core::App app,
 void
 note(const char *fmt, ...)
 {
+    std::lock_guard<std::mutex> lock(noteMutex());
     std::va_list ap;
     va_start(ap, fmt);
     std::vfprintf(stderr, fmt, ap);
@@ -149,20 +183,46 @@ printHeader(const std::string &bench_name, const Options &opts)
               << opts.divisor << "\n\n";
 }
 
+namespace
+{
+
+void
+noteResult(const core::ExperimentConfig &cfg,
+           const core::RunResult &res, double wall, bool cached)
+{
+    note("  [%5.1fs] %-60s kernel=%s dtlb=%.1f%% huge=%s%s", wall,
+         cfg.label().c_str(),
+         formatSeconds(res.kernelSeconds).c_str(),
+         res.dtlbMissRate * 100.0,
+         formatBytes(res.hugeBackedBytes).c_str(),
+         cached ? " (cached)" : "");
+}
+
+} // namespace
+
 core::RunResult
 run(const core::ExperimentConfig &cfg)
 {
     const auto start = std::chrono::steady_clock::now();
-    core::RunResult res = core::runExperiment(cfg);
+    bool cached = false;
+    core::RunResult res = core::runMemoized(cfg, &cached);
     const double wall = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - start)
                             .count();
-    note("  [%5.1fs] %-60s kernel=%s dtlb=%.1f%% huge=%s", wall,
-         cfg.label().c_str(),
-         formatSeconds(res.kernelSeconds).c_str(),
-         res.dtlbMissRate * 100.0,
-         formatBytes(res.hugeBackedBytes).c_str());
+    noteResult(cfg, res, wall, cached);
     return res;
+}
+
+std::vector<core::RunResult>
+runAll(const std::vector<core::ExperimentConfig> &configs)
+{
+    core::ExperimentPool pool(gJobs);
+    return pool.run(configs,
+                    [](std::size_t, const core::ExperimentConfig &cfg,
+                       const core::RunResult &res, double wall,
+                       bool cached) {
+                        noteResult(cfg, res, wall, cached);
+                    });
 }
 
 } // namespace gpsm::bench

@@ -36,12 +36,20 @@ struct Options
                                 core::App::Pr};
     /** --paper: Haswell geometry (4KB/2MB) instead of scaled. */
     bool paperGeometry = false;
+    /** --jobs N / GPSM_BENCH_JOBS: worker threads for runAll()
+     *  batches. 0 (the default) means hardware concurrency; the
+     *  effective count is clamped to the hardware thread count.
+     *  Results and stdout tables are byte-identical at any value. */
+    unsigned jobs = 0;
 };
 
 /**
  * Parse common options; unknown arguments are fatal. Also honors the
- * GPSM_BENCH_DIVISOR / GPSM_BENCH_QUICK environment variables so the
- * whole suite can be throttled without editing commands.
+ * GPSM_BENCH_DIVISOR / GPSM_BENCH_QUICK / GPSM_BENCH_JOBS environment
+ * variables so the whole suite can be throttled without editing
+ * commands. --quick applies its defaults (tiny divisor, kron+wiki,
+ * BFS only) only to options the user did not set explicitly, so
+ * `--quick --apps pr` runs PageRank on quick-sized inputs.
  */
 Options parseOptions(int argc, char **argv);
 
@@ -58,15 +66,34 @@ std::int64_t paperGiB(double gib, const core::SystemConfig &sys);
 core::ExperimentConfig baseConfig(const Options &opts, core::App app,
                                   const std::string &dataset);
 
-/** Progress note to stderr (stdout carries only tables). */
+/** Progress note to stderr (stdout carries only tables). Serialized
+ *  under a mutex so notes from ExperimentPool workers stay whole. */
 void note(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 /** Print the standard bench header (system + option summary). */
 void printHeader(const std::string &bench_name, const Options &opts);
 
-/** Cached experiment execution with a progress note. */
+/**
+ * Cached experiment execution with a progress note.
+ *
+ * Results are memoized process-wide, keyed by
+ * ExperimentConfig::fingerprint() (every field, so configs that
+ * differ only in fields label() omits still run separately). A cached
+ * result is returned without re-execution and never invalidated —
+ * runExperiment() is deterministic, so an entry cannot go stale
+ * within a process.
+ */
 core::RunResult run(const core::ExperimentConfig &cfg);
+
+/**
+ * Batch experiment execution on the worker pool selected by --jobs,
+ * deduplicated through the same memo cache as run(). Results come
+ * back in submission order and are bit-identical to calling run() in
+ * a serial loop; a progress note is emitted as each config finishes.
+ */
+std::vector<core::RunResult>
+runAll(const std::vector<core::ExperimentConfig> &configs);
 
 } // namespace gpsm::bench
 

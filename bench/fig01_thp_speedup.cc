@@ -24,19 +24,25 @@ main(int argc, char **argv)
     printHeader("Fig. 1: THP speedup, fresh vs pressured machine",
                 opts);
 
-    TableWriter table("fig01");
-    table.setHeader({"app", "dataset", "thp ideal", "thp pressured",
-                     "dtlb 4k", "dtlb ideal", "dtlb pressured"});
+    // Declare every config up front and batch them through the
+    // experiment pool (--jobs); rows are assembled afterwards so the
+    // stdout table is byte-identical at any parallelism level.
+    std::vector<ExperimentConfig> configs;
+    struct Row
+    {
+        App app;
+        std::string ds;
+        std::size_t base, ideal, press;
+    };
+    std::vector<Row> rows;
 
     for (App app : opts.apps) {
         for (const std::string &ds : opts.datasets) {
             ExperimentConfig base = baseConfig(opts, app, ds);
             base.thpMode = vm::ThpMode::Never;
-            const RunResult r4k = run(base);
 
             ExperimentConfig ideal = base;
             ideal.thpMode = vm::ThpMode::Always;
-            const RunResult rideal = run(ideal);
 
             // Realistic machine: +0.5GB-equivalent slack, 50% of the
             // free memory fragmented by non-movable pages.
@@ -44,15 +50,30 @@ main(int argc, char **argv)
             press.constrainMemory = true;
             press.slackBytes = paperGiB(0.5, press.sys);
             press.fragLevel = 0.5;
-            const RunResult rpress = run(press);
 
-            table.addRow({appName(app), ds,
-                          TableWriter::speedup(speedupOver(r4k, rideal)),
-                          TableWriter::speedup(speedupOver(r4k, rpress)),
-                          TableWriter::pct(r4k.dtlbMissRate),
-                          TableWriter::pct(rideal.dtlbMissRate),
-                          TableWriter::pct(rpress.dtlbMissRate)});
+            rows.push_back(Row{app, ds, configs.size(),
+                               configs.size() + 1, configs.size() + 2});
+            configs.push_back(base);
+            configs.push_back(ideal);
+            configs.push_back(press);
         }
+    }
+
+    const std::vector<RunResult> results = runAll(configs);
+
+    TableWriter table("fig01");
+    table.setHeader({"app", "dataset", "thp ideal", "thp pressured",
+                     "dtlb 4k", "dtlb ideal", "dtlb pressured"});
+    for (const Row &row : rows) {
+        const RunResult &r4k = results[row.base];
+        const RunResult &rideal = results[row.ideal];
+        const RunResult &rpress = results[row.press];
+        table.addRow({appName(row.app), row.ds,
+                      TableWriter::speedup(speedupOver(r4k, rideal)),
+                      TableWriter::speedup(speedupOver(r4k, rpress)),
+                      TableWriter::pct(r4k.dtlbMissRate),
+                      TableWriter::pct(rideal.dtlbMissRate),
+                      TableWriter::pct(rpress.dtlbMissRate)});
     }
     table.print(std::cout);
     return 0;

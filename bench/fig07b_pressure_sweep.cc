@@ -30,41 +30,65 @@ main(int argc, char **argv)
         opts.datasets = {"kron", "wiki"};
     printHeader("Fig. 7b: memory-pressure sweep (BFS)", opts);
 
-    TableWriter table("fig07b");
-    table.setHeader({"dataset", "slack (paper GB)", "4k slowdown",
-                     "thp natural speedup", "thp prop-first speedup",
-                     "major faults (4k)"});
+    // Declare the whole sweep up front for the experiment pool; rows
+    // are assembled afterwards in sweep order (byte-identical stdout
+    // at any --jobs value).
+    std::vector<ExperimentConfig> configs;
+    struct Row
+    {
+        std::string ds;
+        double slackGib;
+        std::size_t free4k, c4k, nat, opt;
+    };
+    std::vector<Row> rows;
 
     for (const std::string &ds : opts.datasets) {
         ExperimentConfig base = baseConfig(opts, App::Bfs, ds);
         base.thpMode = vm::ThpMode::Never;
-        const RunResult free4k = run(base);
+        const std::size_t free_idx = configs.size();
+        configs.push_back(base);
 
         for (double slack_gib :
              {-0.5, 0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0}) {
             ExperimentConfig c4k = base;
             c4k.constrainMemory = true;
             c4k.slackBytes = paperGiB(slack_gib, c4k.sys);
-            const RunResult r4k = run(c4k);
 
             ExperimentConfig nat = c4k;
             nat.thpMode = vm::ThpMode::Always;
-            const RunResult rnat = run(nat);
 
             ExperimentConfig opt = nat;
             opt.order = AllocOrder::PropertyFirst;
-            const RunResult ropt = run(opt);
 
-            // 4KB slowdown vs the unpressured 4KB baseline; THP
-            // speedups vs the 4KB run under the same pressure.
-            table.addRow(
-                {ds, TableWriter::num(slack_gib, 1),
-                 TableWriter::speedup(r4k.kernelSeconds /
-                                      free4k.kernelSeconds),
-                 TableWriter::speedup(speedupOver(r4k, rnat)),
-                 TableWriter::speedup(speedupOver(r4k, ropt)),
-                 std::to_string(r4k.majorFaults)});
+            rows.push_back(Row{ds, slack_gib, free_idx,
+                               configs.size(), configs.size() + 1,
+                               configs.size() + 2});
+            configs.push_back(c4k);
+            configs.push_back(nat);
+            configs.push_back(opt);
         }
+    }
+
+    const std::vector<RunResult> results = runAll(configs);
+
+    TableWriter table("fig07b");
+    table.setHeader({"dataset", "slack (paper GB)", "4k slowdown",
+                     "thp natural speedup", "thp prop-first speedup",
+                     "major faults (4k)"});
+    for (const Row &row : rows) {
+        const RunResult &free4k = results[row.free4k];
+        const RunResult &r4k = results[row.c4k];
+        const RunResult &rnat = results[row.nat];
+        const RunResult &ropt = results[row.opt];
+        // 4KB slowdown vs the unpressured 4KB baseline; THP
+        // speedups vs the 4KB run under the same pressure.
+        table.addRow(
+            {row.ds, TableWriter::num(row.slackGib, 1),
+             TableWriter::speedup(r4k.kernelSeconds /
+                                  free4k.kernelSeconds),
+             TableWriter::speedup(speedupOver(r4k, rnat)),
+             TableWriter::speedup(speedupOver(r4k, ropt)),
+             std::to_string(r4k.majorFaults)});
     }
     table.print(std::cout);
     return 0;

@@ -23,33 +23,56 @@ main(int argc, char **argv)
     const Options opts = parseOptions(argc, argv);
     printHeader("Fig. 9: fragmentation-level sweep (BFS)", opts);
 
-    TableWriter table("fig09");
-    table.setHeader({"dataset", "frag", "thp natural speedup",
-                     "thp prop-first speedup", "walk rate natural"});
+    // Declare the whole sweep up front so the experiment pool can run
+    // it in parallel; rows are assembled afterwards in sweep order,
+    // keeping the stdout tables byte-identical at any --jobs value.
+    std::vector<ExperimentConfig> configs;
+    struct Row
+    {
+        std::string ds;
+        double frag;
+        std::size_t base, nat, opt;
+    };
+    std::vector<Row> rows;
 
     for (const std::string &ds : opts.datasets) {
         ExperimentConfig base = baseConfig(opts, App::Bfs, ds);
         base.thpMode = vm::ThpMode::Never;
         base.constrainMemory = true;
         base.slackBytes = paperGiB(3.0, base.sys);
-        const RunResult r4k = run(base);
+        const std::size_t base_idx = configs.size();
+        configs.push_back(base);
 
         for (double frag : {0.0, 0.25, 0.5, 0.75}) {
             ExperimentConfig nat = base;
             nat.thpMode = vm::ThpMode::Always;
             nat.fragLevel = frag;
-            const RunResult rnat = run(nat);
+            const std::size_t nat_idx = configs.size();
+            configs.push_back(nat);
 
             ExperimentConfig opt = nat;
             opt.order = AllocOrder::PropertyFirst;
-            const RunResult ropt = run(opt);
+            const std::size_t opt_idx = configs.size();
+            configs.push_back(opt);
 
-            table.addRow(
-                {ds, TableWriter::pct(frag, 0),
-                 TableWriter::speedup(speedupOver(r4k, rnat)),
-                 TableWriter::speedup(speedupOver(r4k, ropt)),
-                 TableWriter::pct(rnat.stlbMissRate)});
+            rows.push_back(Row{ds, frag, base_idx, nat_idx, opt_idx});
         }
+    }
+
+    const std::vector<RunResult> results = runAll(configs);
+
+    TableWriter table("fig09");
+    table.setHeader({"dataset", "frag", "thp natural speedup",
+                     "thp prop-first speedup", "walk rate natural"});
+    for (const Row &row : rows) {
+        const RunResult &r4k = results[row.base];
+        const RunResult &rnat = results[row.nat];
+        const RunResult &ropt = results[row.opt];
+        table.addRow(
+            {row.ds, TableWriter::pct(row.frag, 0),
+             TableWriter::speedup(speedupOver(r4k, rnat)),
+             TableWriter::speedup(speedupOver(r4k, ropt)),
+             TableWriter::pct(rnat.stlbMissRate)});
     }
     table.print(std::cout);
     return 0;

@@ -27,6 +27,46 @@ main(int argc, char **argv)
     printHeader("Headline: DBG + selective THP efficiency summary",
                 opts);
 
+    // Declare every config up front and batch them through the
+    // experiment pool; summary rows are assembled afterwards.
+    std::vector<ExperimentConfig> configs;
+    struct Row
+    {
+        App app;
+        std::string ds;
+        std::size_t base, unbounded, sel;
+    };
+    std::vector<Row> rows;
+
+    for (App app : opts.apps) {
+        for (const std::string &ds : opts.datasets) {
+            ExperimentConfig base = baseConfig(opts, app, ds);
+            base.thpMode = vm::ThpMode::Never;
+            base.constrainMemory = true;
+            base.slackBytes = paperGiB(3.0, base.sys);
+            base.fragLevel = 0.5;
+
+            // Unbounded: fresh machine, system-wide THP.
+            ExperimentConfig unbounded = baseConfig(opts, app, ds);
+            unbounded.thpMode = vm::ThpMode::Always;
+
+            // This paper: DBG + selective THP on 20% of the property
+            // array, under the constrained environment.
+            ExperimentConfig sel = base;
+            sel.thpMode = vm::ThpMode::Madvise;
+            sel.reorder = graph::ReorderMethod::Dbg;
+            sel.madvise = MadviseSelection::propertyOnly(0.2);
+
+            rows.push_back(Row{app, ds, configs.size(),
+                               configs.size() + 1, configs.size() + 2});
+            configs.push_back(base);
+            configs.push_back(unbounded);
+            configs.push_back(sel);
+        }
+    }
+
+    const std::vector<RunResult> results = runAll(configs);
+
     TableWriter table("headline");
     table.setHeader({"app", "dataset", "speedup vs 4k",
                      "% of unbounded thp", "huge pages / footprint"});
@@ -38,51 +78,33 @@ main(int argc, char **argv)
     double min_frac = 1e9;
     double max_frac = 0.0;
 
-    for (App app : opts.apps) {
-        for (const std::string &ds : opts.datasets) {
-            ExperimentConfig base = baseConfig(opts, app, ds);
-            base.thpMode = vm::ThpMode::Never;
-            base.constrainMemory = true;
-            base.slackBytes = paperGiB(3.0, base.sys);
-            base.fragLevel = 0.5;
-            const RunResult r4k = run(base);
+    for (const Row &row : rows) {
+        const RunResult &r4k = results[row.base];
+        const RunResult &runb = results[row.unbounded];
+        const RunResult &rsel = results[row.sel];
 
-            // Unbounded: fresh machine, system-wide THP.
-            ExperimentConfig unbounded = baseConfig(opts, app, ds);
-            unbounded.thpMode = vm::ThpMode::Always;
-            const RunResult runb = run(unbounded);
+        const double speedup = speedupOver(r4k, rsel);
+        // Fraction of the unbounded configuration's performance:
+        // perf = 1/time, so the ratio of runtimes (selective run
+        // charged with its preprocessing, as in §5.1.2).
+        const double unbounded_frac =
+            runb.kernelSeconds /
+            (rsel.kernelSeconds + rsel.preprocessSeconds);
+        const double frac = rsel.hugeFractionOfFootprint;
 
-            // This paper: DBG + selective THP on 20% of the property
-            // array, under the constrained environment.
-            ExperimentConfig sel = base;
-            sel.thpMode = vm::ThpMode::Madvise;
-            sel.reorder = graph::ReorderMethod::Dbg;
-            sel.madvise = MadviseSelection::propertyOnly(0.2);
-            const RunResult rsel = run(sel);
-
-            const double speedup = speedupOver(r4k, rsel);
-            // Fraction of the unbounded configuration's performance:
-            // perf = 1/time, so the ratio of runtimes (selective run
-            // charged with its preprocessing, as in §5.1.2).
-            const double unbounded_frac =
-                runb.kernelSeconds /
-                (rsel.kernelSeconds + rsel.preprocessSeconds);
-            const double frac = rsel.hugeFractionOfFootprint;
-
-            min_speedup = std::min(min_speedup, speedup);
-            max_speedup = std::max(max_speedup, speedup);
-            min_unbounded = std::min(min_unbounded, unbounded_frac);
-            max_unbounded = std::max(max_unbounded, unbounded_frac);
-            if (frac > 0) {
-                min_frac = std::min(min_frac, frac);
-                max_frac = std::max(max_frac, frac);
-            }
-
-            table.addRow({appName(app), ds,
-                          TableWriter::speedup(speedup),
-                          TableWriter::pct(unbounded_frac),
-                          TableWriter::pct(frac, 2)});
+        min_speedup = std::min(min_speedup, speedup);
+        max_speedup = std::max(max_speedup, speedup);
+        min_unbounded = std::min(min_unbounded, unbounded_frac);
+        max_unbounded = std::max(max_unbounded, unbounded_frac);
+        if (frac > 0) {
+            min_frac = std::min(min_frac, frac);
+            max_frac = std::max(max_frac, frac);
         }
+
+        table.addRow({appName(row.app), row.ds,
+                      TableWriter::speedup(speedup),
+                      TableWriter::pct(unbounded_frac),
+                      TableWriter::pct(frac, 2)});
     }
     table.print(std::cout);
 

@@ -108,11 +108,20 @@ BM_Compaction(benchmark::State &state)
         p.hugeOrder = 6;
         mem::MemoryNode node(p);
         // One movable page per region (worst-case scatter), owned by
-        // the page cache so migration callbacks run.
-        mem::PageCache cache(node);
+        // a registered client so migration callbacks run.
+        struct MovableOwner : mem::PageClient
+        {
+            void migratePage(mem::FrameNum, mem::FrameNum) override {}
+            const char *clientName() const override
+            {
+                return "micro";
+            }
+        };
+        static MovableOwner owner;
+        const std::uint16_t id = node.registerClient(&owner);
         for (std::uint64_t r = 0; r < 64; ++r)
             (void)node.buddy().allocateExact(
-                r * 64 + 13, 0, mem::Migratetype::Movable, 0);
+                r * 64 + 13, 0, mem::Migratetype::Movable, id);
         state.ResumeTiming();
 
         mem::Compactor compactor(node);

@@ -1,13 +1,59 @@
 #!/bin/bash
 # Run every bench binary, teeing combined output. Usage:
-#   scripts/run_benches.sh [output_file] [extra bench args...]
+#   scripts/run_benches.sh [output_file] [bench flags...]
+#
+# Any argument starting with '-' (e.g. --quick, --jobs N, --apps ...)
+# is forwarded to the bench harness binaries; the first non-flag
+# argument names the output file. micro_substrate is a
+# google-benchmark binary that rejects harness flags, so it runs
+# without them. Exits nonzero if any bench fails.
 set -u
-out=${1:-bench_output.txt}
-shift || true
+
+out=""
+flags=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+    --jobs|--divisor|--apps|--datasets)
+        flags+=("$1" "$2")
+        shift 2
+        ;;
+    -*)
+        flags+=("$1")
+        shift
+        ;;
+    *)
+        if [ -z "$out" ]; then
+            out=$1
+        else
+            flags+=("$1")
+        fi
+        shift
+        ;;
+    esac
+done
+out=${out:-bench_output.txt}
+
 : > "$out"
+status=0
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     echo "===== $b =====" >> "$out"
-    "$b" "$@" >> "$out" 2>> "${out%.txt}_progress.log"
+    case "$(basename "$b")" in
+    micro_*)
+        # google-benchmark binaries: no harness flags.
+        "$b" >> "$out" 2>> "${out%.txt}_progress.log"
+        ;;
+    *)
+        "$b" ${flags[@]+"${flags[@]}"} >> "$out" \
+            2>> "${out%.txt}_progress.log"
+        ;;
+    esac
+    rc=$?
+    if [ $rc -ne 0 ]; then
+        echo "BENCH_FAILED $b (exit $rc)" >> "$out"
+        echo "BENCH_FAILED $b (exit $rc)" >&2
+        status=1
+    fi
 done
 echo "ALL_BENCHES_DONE" >> "$out"
+exit $status

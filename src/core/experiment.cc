@@ -5,8 +5,11 @@
 
 #include "core/experiment.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <sstream>
 
 #include "core/kernels.hh"
@@ -57,6 +60,28 @@ ExperimentConfig::label() const
         os << " slack=" << slackBytes / (1024 * 1024) << "MiB";
     if (fragLevel > 0.0)
         os << " frag=" << static_cast<int>(fragLevel * 100) << '%';
+    return os.str();
+}
+
+std::string
+ExperimentConfig::fingerprint() const
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << static_cast<int>(app) << '|' << dataset << '|'
+       << scaleDivisor << '|' << seed << '|'
+       << static_cast<int>(reorder) << '|'
+       << static_cast<int>(thpMode) << '|' << madvise.vertex
+       << madvise.edge << madvise.values << ','
+       << madvise.propertyFraction << '|' << static_cast<int>(order)
+       << '|' << khugepagedAfterInit << ',' << khugepagedMinPresent
+       << ',' << khugepagedScanPages << ',' << khugepagedHotFirst
+       << ',' << khugepagedDuringKernel << ','
+       << khugepagedIntervalAccesses << '|' << constrainMemory << ','
+       << slackBytes << '|' << fragLevel << '|'
+       << static_cast<int>(fileSource) << '|' << giantProperty << '|'
+       << prMaxIters << ',' << prDamping << ',' << prEpsilon << ','
+       << ssspDelta << ',' << ccMaxIters << '|' << sys.fingerprint();
     return os.str();
 }
 
@@ -149,28 +174,51 @@ struct KernelOutcome
  * Tiny dataset cache: figure benches sweep many policies over the same
  * graph, and regeneration dominates wall-clock otherwise. Keyed by
  * (dataset, divisor, weighted, seed); bounded to a few entries.
+ *
+ * Thread-safe for ExperimentPool workers: entries are shared_ptrs (an
+ * evicted graph stays alive while a running experiment holds it) and
+ * concurrent first requests for the same key are single-flighted
+ * through a shared_future so the graph is generated exactly once.
  */
-const graph::CsrGraph &
+std::shared_ptr<const graph::CsrGraph>
 cachedDataset(const std::string &name, std::uint64_t divisor,
               bool weighted, std::uint64_t seed)
 {
+    using GraphPtr = std::shared_ptr<const graph::CsrGraph>;
     struct Entry
     {
         std::string key;
-        graph::CsrGraph graph;
+        std::shared_future<GraphPtr> graph;
     };
+    static std::mutex mtx;
     static std::vector<Entry> cache;
-    std::ostringstream key;
-    key << name << '/' << divisor << '/' << weighted << '/' << seed;
-    for (const Entry &e : cache)
-        if (e.key == key.str())
-            return e.graph;
-    if (cache.size() >= 4)
-        cache.erase(cache.begin());
-    cache.push_back(Entry{
-        key.str(), graph::makeDataset(graph::datasetByName(name),
-                                      divisor, weighted, seed)});
-    return cache.back().graph;
+
+    std::ostringstream os;
+    os << name << '/' << divisor << '/' << weighted << '/' << seed;
+    const std::string key = os.str();
+
+    std::promise<GraphPtr> promise;
+    std::shared_future<GraphPtr> future;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        for (const Entry &e : cache)
+            if (e.key == key)
+                return e.graph.get();
+        if (cache.size() >= 8)
+            cache.erase(cache.begin());
+        future = promise.get_future().share();
+        cache.push_back(Entry{key, future});
+    }
+    // Generate outside the lock; other threads wanting other datasets
+    // proceed, threads wanting this one block on the future.
+    try {
+        promise.set_value(std::make_shared<const graph::CsrGraph>(
+            graph::makeDataset(graph::datasetByName(name), divisor,
+                               weighted, seed)));
+    } catch (...) {
+        promise.set_exception(std::current_exception());
+    }
+    return future.get();
 }
 
 } // anonymous namespace
@@ -178,9 +226,9 @@ cachedDataset(const std::string &name, std::uint64_t divisor,
 std::uint64_t
 workingSetBytes(const ExperimentConfig &cfg)
 {
-    const graph::CsrGraph &g = cachedDataset(
-        cfg.dataset, cfg.scaleDivisor, cfg.app == App::Sssp, cfg.seed);
-    return wssOf(g, cfg.app);
+    const auto g = cachedDataset(cfg.dataset, cfg.scaleDivisor,
+                                 cfg.app == App::Sssp, cfg.seed);
+    return wssOf(*g, cfg.app);
 }
 
 RunResult
@@ -190,8 +238,9 @@ runExperiment(const ExperimentConfig &cfg)
 
     // 1. Build the dataset (this models reading the input files; the
     //    graph itself lives host-side until loaded into the view).
-    const graph::CsrGraph &base_graph = cachedDataset(
+    const auto base_graph_ptr = cachedDataset(
         cfg.dataset, cfg.scaleDivisor, cfg.app == App::Sssp, cfg.seed);
+    const graph::CsrGraph &base_graph = *base_graph_ptr;
 
     // 2. Preprocess (DBG etc.) — performed separately so it does not
     //    disturb huge-page availability (§5.1.2), with its runtime
@@ -255,9 +304,16 @@ runExperiment(const ExperimentConfig &cfg)
     if (cfg.constrainMemory) {
         const std::int64_t target =
             static_cast<std::int64_t>(wss) + cfg.slackBytes;
-        memhog.occupyAllBut(target > 0 ? static_cast<std::uint64_t>(
-                                             target)
-                                       : 0);
+        // Oversubscribing beyond the entire working set would leave
+        // demand paging with neither a free frame nor a resident
+        // victim to swap (the hog's pages are pinned), so the first
+        // fault dies. Keep one huge page of headroom: the run still
+        // thrashes — the paper's oversubscription regime — but can
+        // make progress.
+        const std::int64_t floor =
+            static_cast<std::int64_t>(cfg.sys.hugePageBytes());
+        memhog.occupyAllBut(
+            static_cast<std::uint64_t>(std::max(target, floor)));
     }
     if (cfg.fragLevel > 0.0)
         fragmenter.fragment(cfg.fragLevel);

@@ -119,8 +119,19 @@ struct ExperimentConfig
     std::uint32_t ccMaxIters = 8;
     /** @} */
 
-    /** One-line label for tables. */
+    /** One-line label for tables. Lossy: omits fields that rarely
+     *  vary (khugepaged tuning, kernel parameters, system geometry);
+     *  never use it as a cache key — that is fingerprint()'s job. */
     std::string label() const;
+
+    /**
+     * Exact serialization of *every* field (nested SystemConfig
+     * included, doubles in hexfloat). Two configs produce the same
+     * fingerprint iff runExperiment() would behave identically, which
+     * makes it the memo-cache key for core::runMemoized() and
+     * core::ExperimentPool.
+     */
+    std::string fingerprint() const;
 };
 
 /** Everything a bench needs to print one figure bar. */

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Parallel experiment engine implementation.
+ */
+
+#include "core/runner.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "util/thread_pool.hh"
+
+namespace gpsm::core
+{
+
+namespace
+{
+
+/**
+ * Process-wide result cache. RunResults are a few hundred bytes, so
+ * the cache is unbounded: even a full figure-suite process caches a
+ * few thousand entries at most.
+ */
+struct MemoCache
+{
+    std::mutex mtx;
+    std::unordered_map<std::string, RunResult> results;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+MemoCache &
+memo()
+{
+    static MemoCache cache;
+    return cache;
+}
+
+} // namespace
+
+MemoStats
+experimentMemoStats()
+{
+    MemoCache &m = memo();
+    std::lock_guard<std::mutex> lock(m.mtx);
+    return MemoStats{m.hits, m.misses, m.results.size()};
+}
+
+void
+clearExperimentMemo()
+{
+    MemoCache &m = memo();
+    std::lock_guard<std::mutex> lock(m.mtx);
+    m.results.clear();
+}
+
+RunResult
+runMemoized(const ExperimentConfig &config, bool *was_cached)
+{
+    MemoCache &m = memo();
+    const std::string key = config.fingerprint();
+    {
+        std::lock_guard<std::mutex> lock(m.mtx);
+        auto it = m.results.find(key);
+        if (it != m.results.end()) {
+            ++m.hits;
+            if (was_cached != nullptr)
+                *was_cached = true;
+            return it->second;
+        }
+    }
+    // Execute outside the lock: concurrent identical misses may race
+    // to run the same config, but the results are bit-identical by
+    // determinism, so last-insert-wins is harmless. ExperimentPool
+    // dedupes within a batch, so this only happens across batches.
+    const RunResult result = runExperiment(config);
+    {
+        std::lock_guard<std::mutex> lock(m.mtx);
+        ++m.misses;
+        m.results.emplace(key, result);
+    }
+    if (was_cached != nullptr)
+        *was_cached = false;
+    return result;
+}
+
+ExperimentPool::ExperimentPool(unsigned jobs)
+{
+    const unsigned hw = util::ThreadPool::hardwareThreads();
+    jobCount = jobs == 0 ? hw : std::min(jobs, hw);
+}
+
+std::vector<RunResult>
+ExperimentPool::run(const std::vector<ExperimentConfig> &configs,
+                    const Progress &progress)
+{
+    std::vector<RunResult> results(configs.size());
+
+    // Group the batch by fingerprint: one execution per unique
+    // config, every duplicate index filled from the representative.
+    struct Group
+    {
+        std::vector<std::size_t> indices;
+    };
+    std::unordered_map<std::string, Group> groups;
+    std::vector<std::string> order; // deterministic submission order
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const std::string key = configs[i].fingerprint();
+        auto [it, inserted] = groups.try_emplace(key);
+        if (inserted)
+            order.push_back(key);
+        it->second.indices.push_back(i);
+    }
+
+    auto run_one = [&](const std::string &key) {
+        const Group &group = groups.at(key);
+        const std::size_t rep = group.indices.front();
+        const auto start = std::chrono::steady_clock::now();
+        bool cached = false;
+        const RunResult result = runMemoized(configs[rep], &cached);
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        for (std::size_t idx : group.indices)
+            results[idx] = result;
+        if (progress) {
+            for (std::size_t idx : group.indices)
+                progress(idx, configs[idx], result,
+                         idx == rep && !cached ? wall : 0.0,
+                         cached || idx != rep);
+        }
+    };
+
+    if (jobCount <= 1 || order.size() <= 1) {
+        for (const std::string &key : order)
+            run_one(key);
+        return results;
+    }
+
+    util::ThreadPool pool(
+        std::min<unsigned>(jobCount,
+                           static_cast<unsigned>(order.size())));
+    for (const std::string &key : order)
+        pool.submit([&run_one, &key] { run_one(key); });
+    pool.wait();
+    return results;
+}
+
+} // namespace gpsm::core

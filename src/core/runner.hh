@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Parallel experiment engine: batch execution of independent
+ * ExperimentConfigs on a worker pool, with a process-wide memo cache
+ * keyed by ExperimentConfig::fingerprint().
+ *
+ * Every runExperiment() call is deterministic and fully independent
+ * (each run builds its own SimMachine; all RNG is config-seeded), so
+ * a batch of configs is embarrassingly parallel and parallel results
+ * are bit-for-bit identical to a serial loop. The memo cache exploits
+ * the other dominant redundancy of the figure-bench suite: the same
+ * baseline configuration (e.g. 4KB pages, no pressure) is re-run
+ * dozens of times across sweeps.
+ */
+
+#ifndef GPSM_CORE_RUNNER_HH
+#define GPSM_CORE_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace gpsm::core
+{
+
+/** Counters of the process-wide experiment memo cache. */
+struct MemoStats
+{
+    std::uint64_t hits = 0;     ///< results served from the cache
+    std::uint64_t misses = 0;   ///< configs actually executed
+    std::uint64_t entries = 0;  ///< results currently cached
+};
+
+/** Snapshot of the memo cache counters. */
+MemoStats experimentMemoStats();
+
+/** Drop every cached result (and reset nothing else; counters keep
+ *  accumulating so tests can difference them). */
+void clearExperimentMemo();
+
+/**
+ * Memoized runExperiment(): returns the cached RunResult when an
+ * identical config (by fingerprint(), which covers every field) ran
+ * before in this process, and executes + caches otherwise.
+ *
+ * Results are immutable once cached and never invalidated: a
+ * fingerprint captures the complete input of a deterministic
+ * function, so a cached result can never go stale within a process.
+ *
+ * @param was_cached Optional out-flag: true when served from cache.
+ */
+RunResult runMemoized(const ExperimentConfig &config,
+                      bool *was_cached = nullptr);
+
+/**
+ * Runs batches of experiments on min(jobs, hardware threads) worker
+ * threads, deduplicating identical configs through the memo cache.
+ *
+ * Determinism: results are returned in submission order and each
+ * worker owns its SimMachine, so run(configs) is bit-for-bit
+ * identical to a serial loop over runExperiment() (asserted by
+ * tests/test_runner.cc).
+ */
+class ExperimentPool
+{
+  public:
+    /** Progress callback: invoked once per input config as its result
+     *  becomes available, possibly from a worker thread (callees must
+     *  serialize their own output). @p wall_seconds is 0 for results
+     *  served from the memo cache. */
+    using Progress = std::function<void(
+        std::size_t index, const ExperimentConfig &config,
+        const RunResult &result, double wall_seconds, bool cached)>;
+
+    /** @param jobs Worker threads; 0 means hardware concurrency. The
+     *  effective count is clamped to the hardware thread count. */
+    explicit ExperimentPool(unsigned jobs = 0);
+
+    /** Run every config, in parallel, memoized; results come back in
+     *  submission order. */
+    std::vector<RunResult>
+    run(const std::vector<ExperimentConfig> &configs,
+        const Progress &progress = nullptr);
+
+    unsigned jobs() const { return jobCount; }
+
+  private:
+    unsigned jobCount;
+};
+
+} // namespace gpsm::core
+
+#endif // GPSM_CORE_RUNNER_HH

@@ -10,6 +10,7 @@
 #ifndef GPSM_CORE_SIM_ARRAY_HH
 #define GPSM_CORE_SIM_ARRAY_HH
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -145,12 +146,18 @@ class SimArray
      * Write every element sequentially through traced stores — the
      * initialization/loading pattern of paper Fig. 4 lines 1-5. This
      * is what demand-faults the array's pages in.
+     *
+     * Uses the MMU's bulk accessRange (identical counter semantics to
+     * per-element set(), without the per-element call overhead); the
+     * host-side writes are untraced and happen afterwards, which is
+     * unobservable to the simulation.
      */
     void
     fill(const T &value)
     {
-        for (size_t i = 0; i < host.size(); ++i)
-            set(i, value);
+        machine->mmu().accessRange(base, host.size(), sizeof(T),
+                                   /*write=*/true, tag);
+        std::fill(host.begin(), host.end(), value);
     }
 
     /** Traced sequential copy-in from host data (file load). */
@@ -158,8 +165,9 @@ class SimArray
     loadFrom(const std::vector<T> &data)
     {
         GPSM_ASSERT(data.size() == host.size());
-        for (size_t i = 0; i < data.size(); ++i)
-            set(i, data[i]);
+        machine->mmu().accessRange(base, host.size(), sizeof(T),
+                                   /*write=*/true, tag);
+        std::copy(data.begin(), data.end(), host.begin());
     }
 
   private:

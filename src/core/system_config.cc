@@ -98,4 +98,34 @@ SystemConfig::describe() const
     return os.str();
 }
 
+std::string
+SystemConfig::fingerprint() const
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << name << ';' << node.bytes << ';' << node.basePageBytes << ';'
+       << node.hugeOrder << ';' << node.hugeWatermarkBytes << ';'
+       << node.giantOrder << ';' << node.giantPoolPages << ';'
+       << swapBytes << ';';
+    for (const tlb::TlbGeometry &g : {l1Base, l1Huge, l1Giant})
+        os << g.entries << ',' << g.ways << ';';
+    os << stlbEntries << ';' << stlbWays << ';';
+    const tlb::CostModel &c = costs;
+    os << c.frequencyGhz << ';' << c.baseAccessCycles << ';'
+       << c.stlbHitCycles << ';' << c.walkCyclesBase << ';'
+       << c.walkCyclesHuge << ';' << c.walkCyclesGiant << ';'
+       << c.fileReadLocalCacheCycles << ';' << c.fileReadRemoteCycles
+       << ';' << c.fileReadDirectIoCycles << ';' << c.minorFaultCycles
+       << ';' << c.hugeFaultCyclesPerBasePage << ';'
+       << c.majorFaultCycles << ';' << c.swapOutCyclesPerPage << ';'
+       << c.migrateCyclesPerPage << ';' << c.reclaimCyclesPerPage
+       << ';' << c.compactionFailCycles << ';' << c.shootdownCycles
+       << ';';
+    os << enableCache << ';' << memoryCycles << ';';
+    for (const tlb::CacheLevelConfig &lvl : cacheLevels)
+        os << lvl.name << ',' << lvl.bytes << ',' << lvl.ways << ','
+           << lvl.lineBytes << ',' << lvl.hitCycles << ';';
+    return os.str();
+}
+
 } // namespace gpsm::core

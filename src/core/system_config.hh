@@ -62,6 +62,14 @@ struct SystemConfig
 
     /** Table 1-style multi-line description. */
     std::string describe() const;
+
+    /**
+     * Exact serialization of every field (doubles in hexfloat), used
+     * as part of ExperimentConfig::fingerprint() for result
+     * memoization. Two configs compare equal iff their fingerprints
+     * are equal.
+     */
+    std::string fingerprint() const;
 };
 
 } // namespace gpsm::core

@@ -49,112 +49,55 @@ Mmu::chargeTouch(const vm::TouchInfo &info)
 }
 
 void
-Mmu::access(Addr vaddr, bool write, unsigned tag)
+Mmu::accessMiss(Addr vaddr, bool write, unsigned tag)
 {
-    GPSM_ASSERT(tag < numTags);
-    ++accesses;
-    ++tags[tag].accesses;
-    baseCycles += costs.baseAccessCycles;
-
     const std::uint64_t vpn_base = vaddr >> baseShift;
     const std::uint64_t vpn_huge = vaddr >> hugeShift;
 
-    std::uint64_t paddr = 0;
-    bool translated = false;
+    ++dtlbMisses;
+    ++tags[tag].dtlbMisses;
 
-    // L1: probe every size class (parallel sub-TLBs in hardware).
-    Tlb::Probe p = dtlb.lookup(vpn_base, vm::PageSizeClass::Base);
+    // STLB: unified second level.
+    Tlb::Probe p = stlb.lookup(vpn_base, vm::PageSizeClass::Base);
     if (p.hit) {
-        paddr = p.frame * pageBytes + (vaddr & (pageBytes - 1));
-        translated = true;
+        ++stlbHits;
+        translationCycles += costs.stlbHitCycles;
+        dtlb.insert(vpn_base, vm::PageSizeClass::Base, p.frame);
+        return;
+    }
+    p = stlb.lookup(vpn_huge, vm::PageSizeClass::Huge);
+    if (p.hit) {
+        ++stlbHits;
+        translationCycles += costs.stlbHitCycles;
+        dtlb.insert(vpn_huge, vm::PageSizeClass::Huge, p.frame);
+        return;
+    }
+
+    // Page walk (possibly faulting).
+    ++walks;
+    ++tags[tag].walks;
+    if (trackHeat)
+        ++heat[vaddr >> hugeShift];
+    vm::TouchInfo info = space.touch(vaddr, write);
+    chargeTouch(info);
+
+    if (info.size == vm::PageSizeClass::Base) {
+        ++walksBase;
+        translationCycles += costs.walkCyclesBase;
+        stlb.insert(vpn_base, vm::PageSizeClass::Base, info.frame);
+        dtlb.insert(vpn_base, vm::PageSizeClass::Base, info.frame);
+    } else if (info.size == vm::PageSizeClass::Giant) {
+        // Giant translations live only in the L1 giant sub-TLB
+        // (Haswell's STLB does not cache 1GB entries).
+        ++walksGiant;
+        translationCycles += costs.walkCyclesGiant;
+        dtlb.insert(vaddr >> giantShift, vm::PageSizeClass::Giant,
+                    info.frame);
     } else {
-        p = dtlb.lookup(vpn_huge, vm::PageSizeClass::Huge);
-        if (p.hit) {
-            paddr = p.frame * pageBytes + (vaddr & hugeMask);
-            translated = true;
-        } else if (giantShift != 0) {
-            p = dtlb.lookup(vaddr >> giantShift,
-                            vm::PageSizeClass::Giant);
-            if (p.hit) {
-                paddr = p.frame * pageBytes + (vaddr & giantMask);
-                translated = true;
-            }
-        }
-    }
-
-    if (!translated) {
-        ++dtlbMisses;
-        ++tags[tag].dtlbMisses;
-
-        // STLB: unified second level.
-        p = stlb.lookup(vpn_base, vm::PageSizeClass::Base);
-        if (p.hit) {
-            ++stlbHits;
-            translationCycles += costs.stlbHitCycles;
-            dtlb.insert(vpn_base, vm::PageSizeClass::Base, p.frame);
-            paddr = p.frame * pageBytes + (vaddr & (pageBytes - 1));
-            translated = true;
-        } else {
-            p = stlb.lookup(vpn_huge, vm::PageSizeClass::Huge);
-            if (p.hit) {
-                ++stlbHits;
-                translationCycles += costs.stlbHitCycles;
-                dtlb.insert(vpn_huge, vm::PageSizeClass::Huge, p.frame);
-                paddr = p.frame * pageBytes + (vaddr & hugeMask);
-                translated = true;
-            }
-        }
-    }
-
-    if (!translated) {
-        // Page walk (possibly faulting).
-        ++walks;
-        ++tags[tag].walks;
-        if (trackHeat)
-            ++heat[vaddr >> hugeShift];
-        vm::TouchInfo info = space.touch(vaddr, write);
-        chargeTouch(info);
-
-        if (info.size == vm::PageSizeClass::Base) {
-            ++walksBase;
-            translationCycles += costs.walkCyclesBase;
-            stlb.insert(vpn_base, vm::PageSizeClass::Base, info.frame);
-            dtlb.insert(vpn_base, vm::PageSizeClass::Base, info.frame);
-            paddr = info.frame * pageBytes + (vaddr & (pageBytes - 1));
-        } else if (info.size == vm::PageSizeClass::Giant) {
-            // Giant translations live only in the L1 giant sub-TLB
-            // (Haswell's STLB does not cache 1GB entries).
-            ++walksGiant;
-            translationCycles += costs.walkCyclesGiant;
-            dtlb.insert(vaddr >> giantShift, vm::PageSizeClass::Giant,
-                        info.frame);
-            paddr = info.frame * pageBytes + (vaddr & giantMask);
-        } else {
-            ++walksHuge;
-            translationCycles += costs.walkCyclesHuge;
-            stlb.insert(vpn_huge, vm::PageSizeClass::Huge, info.frame);
-            dtlb.insert(vpn_huge, vm::PageSizeClass::Huge, info.frame);
-            paddr = info.frame * pageBytes + (vaddr & hugeMask);
-        }
-    }
-
-    if (cache) {
-        // The data cache is indexed by *virtual* address: physical
-        // indexing at this scaled operating point would inject page-
-        // coloring noise (the scaled datasets are comparable in size
-        // to the LLC, unlike the paper's, where placement effects wash
-        // out). Virtual indexing keeps locality effects — including
-        // DBG's — while making runs placement-invariant.
-        (void)paddr;
-        memoryCycles += cache->access(vaddr);
-    }
-
-    if (space.hasPendingInvalidations())
-        syncTlb();
-
-    if (hookInterval != 0 && --hookCountdown == 0) {
-        hookCountdown = hookInterval;
-        periodicHook();
+        ++walksHuge;
+        translationCycles += costs.walkCyclesHuge;
+        stlb.insert(vpn_huge, vm::PageSizeClass::Huge, info.frame);
+        dtlb.insert(vpn_huge, vm::PageSizeClass::Huge, info.frame);
     }
 }
 

@@ -21,6 +21,7 @@
 #include "tlb/cache_model.hh"
 #include "tlb/cost_model.hh"
 #include "tlb/tlb.hh"
+#include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/units.hh"
 #include "vm/address_space.hh"
@@ -58,12 +59,33 @@ class Mmu
     /**
      * Perform one traced memory access.
      *
+     * The common case — an L1 DTLB hit plus the cache-model charge —
+     * is inlined below so kernel loops pay no out-of-line call on the
+     * hot path; only an L1 miss drops into accessMiss() in mmu.cc.
+     * Counter and cycle accounting are exactly the same as when the
+     * whole path was out of line (asserted by tests/test_accounting).
+     *
      * @param vaddr Virtual address touched.
      * @param write Stores and loads are charged identically today; the
      *              flag is kept for interface stability.
      * @param tag Attribution tag (e.g. one per graph array).
      */
     void access(Addr vaddr, bool write, unsigned tag = 0);
+
+    /**
+     * Trace @p count strided accesses starting at @p start — the bulk
+     * sequential pattern of array initialization/loading. Counter
+     * semantics are identical to calling access() once per element;
+     * the point is keeping the per-element work fully inlined in the
+     * caller's loop (SimArray::fill/loadFrom).
+     */
+    void
+    accessRange(Addr start, std::size_t count, std::size_t stride,
+                bool write, unsigned tag = 0)
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            access(start + i * stride, write, tag);
+    }
 
     /** Flush both TLB levels (and drop nothing else). */
     void flushTlbs();
@@ -184,6 +206,10 @@ class Mmu
     /** Charge fault/OS costs reported by a touch. */
     void chargeTouch(const vm::TouchInfo &info);
 
+    /** Out-of-line continuation of access() after an L1 DTLB miss:
+     *  STLB probes, page walk (possibly faulting), TLB refills. */
+    void accessMiss(Addr vaddr, bool write, unsigned tag);
+
     vm::AddressSpace &space;
     CostModel costs;
     Tlb dtlb;
@@ -206,6 +232,47 @@ class Mmu
 
     std::array<TagStats, numTags> tags;
 };
+
+inline void
+Mmu::access(Addr vaddr, bool write, unsigned tag)
+{
+    GPSM_ASSERT(tag < numTags);
+    ++accesses;
+    ++tags[tag].accesses;
+    baseCycles += costs.baseAccessCycles;
+
+    // L1: probe every size class (parallel sub-TLBs in hardware).
+    bool hit =
+        dtlb.lookup(vaddr >> baseShift, vm::PageSizeClass::Base).hit;
+    if (!hit) {
+        hit = dtlb.lookup(vaddr >> hugeShift, vm::PageSizeClass::Huge)
+                  .hit;
+        if (!hit && giantShift != 0)
+            hit = dtlb.lookup(vaddr >> giantShift,
+                              vm::PageSizeClass::Giant)
+                      .hit;
+    }
+    if (!hit)
+        accessMiss(vaddr, write, tag);
+
+    if (cache) {
+        // The data cache is indexed by *virtual* address: physical
+        // indexing at this scaled operating point would inject page-
+        // coloring noise (the scaled datasets are comparable in size
+        // to the LLC, unlike the paper's, where placement effects wash
+        // out). Virtual indexing keeps locality effects — including
+        // DBG's — while making runs placement-invariant.
+        memoryCycles += cache->access(vaddr);
+    }
+
+    if (space.hasPendingInvalidations())
+        syncTlb();
+
+    if (hookInterval != 0 && --hookCountdown == 0) {
+        hookCountdown = hookInterval;
+        periodicHook();
+    }
+}
 
 } // namespace gpsm::tlb
 

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * ThreadPool implementation.
+ */
+
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+
+namespace gpsm::util
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned count = std::max(threads, 1u);
+    workers.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    wakeWorker.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        queue.push_back(std::move(job));
+        ++inFlight;
+    }
+    wakeWorker.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    batchDone.wait(lock, [this] { return inFlight == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            wakeWorker.wait(lock, [this] {
+                return stopping || !queue.empty();
+            });
+            if (queue.empty())
+                return; // stopping and drained
+            job = std::move(queue.front());
+            queue.pop_front();
+        }
+        job();
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            if (--inFlight == 0)
+                batchDone.notify_all();
+        }
+    }
+}
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+} // namespace gpsm::util

@@ -14,9 +14,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <sstream>
+#include <vector>
 
 #include "core/advisor.hh"
 #include "core/experiment.hh"
+#include "core/runner.hh"
 #include "graph/datasets.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
@@ -31,10 +34,14 @@ void
 usage()
 {
     std::cout <<
-        "gpsm_run — run one page-size-management experiment\n"
+        "gpsm_run — run page-size-management experiments\n"
         "\n"
-        "  --app bfs|sssp|pr|cc           application (default bfs)\n"
-        "  --dataset kron|twit|web|wiki   input network (default kron)\n"
+        "  --app bfs|sssp|pr|cc           application (default bfs);\n"
+        "                                 comma list runs each\n"
+        "  --dataset kron|twit|web|wiki   input network (default kron);\n"
+        "                                 comma list runs each\n"
+        "  --jobs N                       worker threads for the app x\n"
+        "                                 dataset set (default: cores)\n"
         "  --divisor N                    Table 2 size divisor (256)\n"
         "  --thp never|always|madvise     THP mode (never)\n"
         "  --prop-fraction F              madvise F of property array\n"
@@ -51,6 +58,74 @@ usage()
         "  --quiet                        suppress progress notes\n";
 }
 
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream in(s);
+    std::string item;
+    while (std::getline(in, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    if (out.empty())
+        fatal("empty list '%s'", s.c_str());
+    return out;
+}
+
+App
+parseApp(const std::string &v)
+{
+    if (v == "bfs")
+        return App::Bfs;
+    if (v == "sssp")
+        return App::Sssp;
+    if (v == "pr")
+        return App::Pr;
+    if (v == "cc")
+        return App::Cc;
+    fatal("unknown app '%s'", v.c_str());
+}
+
+void
+printResult(const ExperimentConfig &cfg, const RunResult &r)
+{
+    std::cout << "config: " << cfg.label() << "\n\n";
+
+    TableWriter table("result");
+    table.setHeader({"metric", "value"});
+    table.addRow({"preprocess time",
+                  formatSeconds(r.preprocessSeconds)});
+    table.addRow({"init time", formatSeconds(r.initSeconds)});
+    table.addRow({"kernel time", formatSeconds(r.kernelSeconds)});
+    table.addRow({"kernel accesses", std::to_string(r.accesses)});
+    table.addRow({"dtlb miss rate",
+                  TableWriter::pct(r.dtlbMissRate)});
+    table.addRow({"stlb hit (of accesses)",
+                  TableWriter::pct(
+                      r.accesses ? static_cast<double>(r.stlbHits) /
+                                       r.accesses
+                                 : 0)});
+    table.addRow({"walk rate", TableWriter::pct(r.stlbMissRate)});
+    table.addRow({"translation share of kernel",
+                  TableWriter::pct(r.translationCycleShare)});
+    table.addRow({"minor faults", std::to_string(r.minorFaults)});
+    table.addRow({"huge faults", std::to_string(r.hugeFaults)});
+    table.addRow({"major faults", std::to_string(r.majorFaults)});
+    table.addRow({"swap-outs", std::to_string(r.swapOuts)});
+    table.addRow({"compaction runs",
+                  std::to_string(r.compactionRuns)});
+    table.addRow({"khugepaged promotions",
+                  std::to_string(r.promotions)});
+    table.addRow({"footprint", formatBytes(r.footprintBytes)});
+    table.addRow({"huge-backed", formatBytes(r.hugeBackedBytes)});
+    table.addRow({"giant-backed", formatBytes(r.giantBackedBytes)});
+    table.addRow({"huge fraction",
+                  TableWriter::pct(r.hugeFractionOfFootprint, 2)});
+    table.addRow({"kernel output", std::to_string(r.kernelOutput)});
+    table.addRow({"checksum", std::to_string(r.checksum)});
+    table.print(std::cout, /*with_csv=*/false);
+}
+
 } // namespace
 
 int
@@ -60,6 +135,9 @@ try {
     cfg.scaleDivisor = 256;
     bool use_advisor = false;
     double advisor_coverage = 0.8;
+    unsigned jobs = 0; // 0 = hardware concurrency
+    std::vector<App> apps = {App::Bfs};
+    std::vector<std::string> datasets = {"kron"};
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -69,19 +147,14 @@ try {
             return argv[++i];
         };
         if (arg == "--app") {
-            const std::string v = next();
-            if (v == "bfs")
-                cfg.app = App::Bfs;
-            else if (v == "sssp")
-                cfg.app = App::Sssp;
-            else if (v == "pr")
-                cfg.app = App::Pr;
-            else if (v == "cc")
-                cfg.app = App::Cc;
-            else
-                fatal("unknown app '%s'", v.c_str());
+            apps.clear();
+            for (const std::string &v : splitCommas(next()))
+                apps.push_back(parseApp(v));
         } else if (arg == "--dataset") {
-            cfg.dataset = next();
+            datasets = splitCommas(next());
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
         } else if (arg == "--divisor") {
             cfg.scaleDivisor =
                 std::strtoull(next().c_str(), nullptr, 10);
@@ -158,59 +231,42 @@ try {
         }
     }
 
-    if (use_advisor) {
-        const graph::CsrGraph g = graph::makeDataset(
-            graph::datasetByName(cfg.dataset), cfg.scaleDivisor,
-            cfg.app == App::Sssp, cfg.seed);
-        const PageSizeAdvice advice =
-            advisePageSizes(g, cfg.sys, advisor_coverage);
-        std::cout << "advisor: " << advice.describe() << '\n';
-        cfg.thpMode = vm::ThpMode::Madvise;
-        cfg.order = AllocOrder::PropertyFirst;
-        cfg.reorder = advice.useDbg ? graph::ReorderMethod::Dbg
-                                    : graph::ReorderMethod::None;
-        cfg.madvise =
-            MadviseSelection::propertyOnly(advice.propertyFraction);
+    // Expand the app x dataset cross product into a config set, in
+    // declared order, and execute the whole set through the pool.
+    std::vector<ExperimentConfig> configs;
+    for (App app : apps) {
+        for (const std::string &ds : datasets) {
+            ExperimentConfig c = cfg;
+            c.app = app;
+            c.dataset = ds;
+            if (use_advisor) {
+                const graph::CsrGraph g = graph::makeDataset(
+                    graph::datasetByName(c.dataset), c.scaleDivisor,
+                    c.app == App::Sssp, c.seed);
+                const PageSizeAdvice advice =
+                    advisePageSizes(g, c.sys, advisor_coverage);
+                std::cout << "advisor [" << c.dataset
+                          << "]: " << advice.describe() << '\n';
+                c.thpMode = vm::ThpMode::Madvise;
+                c.order = AllocOrder::PropertyFirst;
+                c.reorder = advice.useDbg
+                                ? graph::ReorderMethod::Dbg
+                                : graph::ReorderMethod::None;
+                c.madvise = MadviseSelection::propertyOnly(
+                    advice.propertyFraction);
+            }
+            configs.push_back(std::move(c));
+        }
     }
 
-    std::cout << cfg.sys.describe() << "config: " << cfg.label()
-              << "\n\n";
-    const RunResult r = runExperiment(cfg);
+    std::cout << cfg.sys.describe();
+    ExperimentPool pool(jobs);
+    const std::vector<RunResult> results = pool.run(configs);
 
-    TableWriter table("result");
-    table.setHeader({"metric", "value"});
-    table.addRow({"preprocess time",
-                  formatSeconds(r.preprocessSeconds)});
-    table.addRow({"init time", formatSeconds(r.initSeconds)});
-    table.addRow({"kernel time", formatSeconds(r.kernelSeconds)});
-    table.addRow({"kernel accesses", std::to_string(r.accesses)});
-    table.addRow({"dtlb miss rate",
-                  TableWriter::pct(r.dtlbMissRate)});
-    table.addRow({"stlb hit (of accesses)",
-                  TableWriter::pct(
-                      r.accesses ? static_cast<double>(r.stlbHits) /
-                                       r.accesses
-                                 : 0)});
-    table.addRow({"walk rate", TableWriter::pct(r.stlbMissRate)});
-    table.addRow({"translation share of kernel",
-                  TableWriter::pct(r.translationCycleShare)});
-    table.addRow({"minor faults", std::to_string(r.minorFaults)});
-    table.addRow({"huge faults", std::to_string(r.hugeFaults)});
-    table.addRow({"major faults", std::to_string(r.majorFaults)});
-    table.addRow({"swap-outs", std::to_string(r.swapOuts)});
-    table.addRow({"compaction runs",
-                  std::to_string(r.compactionRuns)});
-    table.addRow({"khugepaged promotions",
-                  std::to_string(r.promotions)});
-    table.addRow({"footprint", formatBytes(r.footprintBytes)});
-    table.addRow({"huge-backed", formatBytes(r.hugeBackedBytes)});
-    table.addRow({"giant-backed", formatBytes(r.giantBackedBytes)});
-    table.addRow({"huge fraction",
-                  TableWriter::pct(r.hugeFractionOfFootprint, 2)});
-    table.addRow({"kernel output", std::to_string(r.kernelOutput)});
-    table.addRow({"checksum", std::to_string(r.checksum)});
-    table.print(std::cout, /*with_csv=*/false);
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        printResult(configs[i], results[i]);
     return 0;
 } catch (const FatalError &) {
     return 1;
 }
+
