@@ -15,12 +15,6 @@
 #include <iostream>
 
 #include "common.hh"
-#include "core/kernels.hh"
-#include "core/machine.hh"
-#include "core/views.hh"
-#include "graph/datasets.hh"
-#include "mem/fragmenter.hh"
-#include "mem/memhog.hh"
 
 using namespace gpsm;
 using namespace gpsm::bench;
@@ -30,47 +24,34 @@ namespace
 {
 
 /**
- * Transient-pressure scenario: the graph loads while memory is full
- * and fragmented (everything base pages), then the co-located tenants
- * exit. A budget-limited khugepaged must now decide what to collapse
- * while the kernel runs: linear scanning spends the budget on the CSR
- * arrays it meets first; access tracking (hot-first) finds the
- * property array immediately.
+ * Transient-pressure scenario, declared as a FaultPlan: the graph
+ * loads while a transient hog holds all but the working set and huge
+ * allocations fail (everything lands on base pages), then the
+ * co-located tenants exit at kernel start. A budget-limited
+ * khugepaged must now decide what to collapse while the kernel runs:
+ * linear scanning spends the budget on the CSR arrays it meets first;
+ * access tracking (hot-first) finds the property array immediately.
+ *
+ * khugepagedAfterInit stays on only to enable the daemon — its
+ * post-init scan runs inside the huge-allocation failure window, so
+ * every collapse it attempts is vetoed and recovery is left entirely
+ * to the during-kernel wakeups the scenario measures.
  */
-double
-transientRecovery(const Options &opts, const std::string &ds,
-                  bool hot_first, std::uint64_t *promoted)
+ExperimentConfig
+transientRecoveryConfig(const Options &opts, const std::string &ds,
+                        bool hot_first)
 {
-    const graph::CsrGraph &g = graph::makeDataset(
-        graph::datasetByName(ds), opts.divisor);
-
-    const SystemConfig sys = systemConfig(opts);
-    vm::ThpConfig thp = vm::ThpConfig::always();
-    thp.khugepagedHotFirst = hot_first;
+    ExperimentConfig cfg = baseConfig(opts, App::Bfs, ds);
+    cfg.thpMode = vm::ThpMode::Always;
+    cfg.khugepagedAfterInit = true;
+    cfg.khugepagedDuringKernel = true;
+    cfg.khugepagedIntervalAccesses = 1u << 19;
     // 16 regions per wakeup: a deliberately tight daemon budget.
-    thp.khugepagedScanPages = 16ull << sys.node.hugeOrder;
-    SimMachine machine(sys, thp);
-
-    // Load under full pressure: no huge pages anywhere.
-    auto hog = std::make_unique<mem::Memhog>(machine.node());
-    auto frag = std::make_unique<mem::Fragmenter>(machine.node());
-    hog->occupyAllBut(g.footprintBytes(false));
-    frag->fragment(1.0);
-
-    SimView<std::uint64_t> view(machine, g, {});
-    view.load(unreachedDist);
-
-    // Tenants exit; the daemon runs during the kernel.
-    frag.reset();
-    hog.reset();
-    machine.enableKhugepagedDuringExecution(1u << 19);
-
-    const Cycles c0 = machine.mmu().totalCycles();
-    bfs(view, defaultRoot(g));
-    const double seconds = machine.config().costs.seconds(
-        machine.mmu().totalCycles() - c0);
-    *promoted = machine.space().promotions.value();
-    return seconds;
+    cfg.khugepagedScanPages = 16ull << cfg.sys.node.hugeOrder;
+    cfg.khugepagedHotFirst = hot_first;
+    cfg.faultPlan = fault::FaultPlan::transientPressure(
+        core::workingSetBytes(cfg) + cfg.sys.hugePageBytes());
+    return cfg;
 }
 
 } // namespace
@@ -162,24 +143,33 @@ main(int argc, char **argv)
     table.print(std::cout);
 
     // Part 2: transient pressure — where access tracking can shine.
+    // Declared configs with a fault plan, so the scenario runs on the
+    // pool (and memo/journal) like everything else.
+    std::vector<ExperimentConfig> transient_configs;
+    for (const std::string &ds : opts.datasets) {
+        transient_configs.push_back(
+            transientRecoveryConfig(opts, ds, false));
+        transient_configs.push_back(
+            transientRecoveryConfig(opts, ds, true));
+    }
+    const std::vector<RunResult> transient =
+        runAll(transient_configs);
+
     TableWriter table2("ablation_promotion_transient");
     table2.setHeader({"dataset", "daemon policy", "kernel time",
                       "speedup over linear", "promotions"});
-    for (const std::string &ds : opts.datasets) {
-        std::uint64_t promoted_linear = 0;
-        std::uint64_t promoted_hot = 0;
-        const double t_linear =
-            transientRecovery(opts, ds, false, &promoted_linear);
-        note("  transient linear-scan %s done", ds.c_str());
-        const double t_hot =
-            transientRecovery(opts, ds, true, &promoted_hot);
-        note("  transient hot-first %s done", ds.c_str());
-        table2.addRow({ds, "linear scan", formatSeconds(t_linear),
-                       "1.00x", std::to_string(promoted_linear)});
+    for (std::size_t i = 0; i < opts.datasets.size(); ++i) {
+        const std::string &ds = opts.datasets[i];
+        const RunResult &linear = transient[2 * i];
+        const RunResult &hot = transient[2 * i + 1];
+        table2.addRow({ds, "linear scan",
+                       formatSeconds(linear.kernelSeconds), "1.00x",
+                       std::to_string(linear.promotions)});
         table2.addRow({ds, "hot-first (access tracking)",
-                       formatSeconds(t_hot),
-                       TableWriter::speedup(t_linear / t_hot),
-                       std::to_string(promoted_hot)});
+                       formatSeconds(hot.kernelSeconds),
+                       TableWriter::speedup(linear.kernelSeconds /
+                                            hot.kernelSeconds),
+                       std::to_string(hot.promotions)});
     }
     table2.print(std::cout);
     return 0;

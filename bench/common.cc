@@ -26,6 +26,9 @@ namespace
 /** Worker-thread count selected by parseOptions (0 = hardware). */
 unsigned gJobs = 0;
 
+/** Per-experiment timeout selected by parseOptions (0 = none). */
+double gTimeoutSeconds = 0.0;
+
 /** Keeps concurrent note() lines whole. */
 std::mutex &
 noteMutex()
@@ -78,6 +81,10 @@ parseOptions(int argc, char **argv)
     if (const char *env = std::getenv("GPSM_BENCH_JOBS"))
         opts.jobs = static_cast<unsigned>(
             std::strtoul(env, nullptr, 10));
+    if (const char *env = std::getenv("GPSM_RESULT_JOURNAL"))
+        opts.journal = env;
+    if (const char *env = std::getenv("GPSM_BENCH_TIMEOUT_SECONDS"))
+        opts.timeoutSeconds = std::strtod(env, nullptr);
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -96,6 +103,10 @@ parseOptions(int argc, char **argv)
         } else if (arg == "--jobs") {
             opts.jobs = static_cast<unsigned>(
                 std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--journal") {
+            opts.journal = next();
+        } else if (arg == "--timeout-seconds") {
+            opts.timeoutSeconds = std::strtod(next().c_str(), nullptr);
         } else if (arg == "--datasets") {
             opts.datasets = splitCsv(next());
             set_datasets = true;
@@ -109,7 +120,8 @@ parseOptions(int argc, char **argv)
                 stderr,
                 "usage: %s [--divisor N] [--quick] [--paper]\n"
                 "          [--datasets kron,twit,web,wiki]"
-                " [--apps bfs,sssp,pr] [--jobs N]\n",
+                " [--apps bfs,sssp,pr] [--jobs N]\n"
+                "          [--journal PATH] [--timeout-seconds X]\n",
                 argv[0]);
             std::exit(0);
         } else {
@@ -129,7 +141,27 @@ parseOptions(int argc, char **argv)
     }
     if (opts.divisor == 0)
         fatal("--divisor must be positive");
+    if (opts.timeoutSeconds < 0.0)
+        fatal("--timeout-seconds must be non-negative");
     gJobs = opts.jobs;
+    gTimeoutSeconds = opts.timeoutSeconds;
+    if (!opts.journal.empty()) {
+        std::string err;
+        if (core::enableResultJournal(opts.journal, &err)) {
+            const core::JournalStats js = core::resultJournalStats();
+            if (js.loaded > 0 || js.corrupted > 0) {
+                note("journal %s: %llu results resumed, %llu corrupt "
+                     "lines skipped",
+                     opts.journal.c_str(),
+                     static_cast<unsigned long long>(js.loaded),
+                     static_cast<unsigned long long>(js.corrupted));
+            }
+        } else {
+            // Unwritable journal degrades to a warning: the bench can
+            // still run, it just won't be resumable.
+            warn("result journal disabled: %s", err.c_str());
+        }
+    }
     return opts;
 }
 
@@ -217,12 +249,37 @@ std::vector<core::RunResult>
 runAll(const std::vector<core::ExperimentConfig> &configs)
 {
     core::ExperimentPool pool(gJobs);
-    return pool.run(configs,
-                    [](std::size_t, const core::ExperimentConfig &cfg,
-                       const core::RunResult &res, double wall,
-                       bool cached) {
-                        noteResult(cfg, res, wall, cached);
-                    });
+    core::PoolOptions popts;
+    popts.timeoutSeconds = gTimeoutSeconds;
+    const std::vector<core::RunOutcome> outcomes = pool.runOutcomes(
+        configs, popts,
+        [](std::size_t, const core::ExperimentConfig &cfg,
+           const core::RunResult &res, double wall, bool cached) {
+            noteResult(cfg, res, wall, cached);
+        });
+
+    // Report failures only after the whole batch drained: every
+    // healthy config has produced (and journaled) its result, so a
+    // re-run resumes instead of recomputing.
+    std::vector<core::RunResult> results(outcomes.size());
+    std::size_t failures = 0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].ok()) {
+            results[i] = *outcomes[i].result;
+            continue;
+        }
+        const core::ExperimentError &err = *outcomes[i].error;
+        ++failures;
+        note("  FAILED [%s] %s: %s",
+             core::experimentErrorKindName(err.kind),
+             err.label.c_str(), err.message.c_str());
+        note("         fingerprint: %s", err.fingerprint.c_str());
+    }
+    if (failures > 0) {
+        fatal("%zu of %zu experiments failed", failures,
+              outcomes.size());
+    }
+    return results;
 }
 
 } // namespace gpsm::bench

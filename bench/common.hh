@@ -41,6 +41,14 @@ struct Options
      *  effective count is clamped to the hardware thread count.
      *  Results and stdout tables are byte-identical at any value. */
     unsigned jobs = 0;
+    /** --journal PATH / GPSM_RESULT_JOURNAL: crash-safe result
+     *  journal; finished experiments are skipped on re-runs. Empty
+     *  (the default) disables journaling. */
+    std::string journal;
+    /** --timeout-seconds X / GPSM_BENCH_TIMEOUT_SECONDS: per-
+     *  experiment wall-clock budget for runAll() batches; overruns
+     *  are cancelled and reported per fingerprint. 0 disables. */
+    double timeoutSeconds = 0.0;
 };
 
 /**
@@ -91,6 +99,12 @@ core::RunResult run(const core::ExperimentConfig &cfg);
  * deduplicated through the same memo cache as run(). Results come
  * back in submission order and are bit-identical to calling run() in
  * a serial loop; a progress note is emitted as each config finishes.
+ *
+ * Hardened: each experiment runs under the --timeout-seconds
+ * watchdog, and a config that throws or times out does not abort the
+ * batch — every other config still completes (and is journaled when
+ * --journal is set) before the failures are reported per fingerprint
+ * and the bench exits nonzero.
  */
 std::vector<core::RunResult>
 runAll(const std::vector<core::ExperimentConfig> &configs);

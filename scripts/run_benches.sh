@@ -6,14 +6,24 @@
 # is forwarded to the bench harness binaries; the first non-flag
 # argument names the output file. micro_substrate is a
 # google-benchmark binary that rejects harness flags, so it runs
-# without them. Exits nonzero if any bench fails.
+# without them.
+#
+# Robustness:
+# - GPSM_BENCH_TIMEOUT (seconds) caps each bench's wall clock; an
+#   overrun is killed and reported as TIMEOUT.
+# - A failing or timed-out bench does not stop the suite: the rest
+#   still run, a PASS/FAIL/TIMEOUT summary is printed, and the exit
+#   code is nonzero if anything was not PASS.
+# - Unless GPSM_RESULT_JOURNAL is already set (or GPSM_NO_JOURNAL=1),
+#   results are journaled next to the output file, so re-running after
+#   a kill skips every experiment that already finished.
 set -u
 
 out=""
 flags=()
 while [ $# -gt 0 ]; do
     case "$1" in
-    --jobs|--divisor|--apps|--datasets)
+    --jobs|--divisor|--apps|--datasets|--journal|--timeout-seconds)
         flags+=("$1" "$2")
         shift 2
         ;;
@@ -33,27 +43,58 @@ while [ $# -gt 0 ]; do
 done
 out=${out:-bench_output.txt}
 
+# Crash-safe resume by default: bench binaries skip journaled results.
+if [ -z "${GPSM_RESULT_JOURNAL:-}" ] && [ "${GPSM_NO_JOURNAL:-0}" != 1 ]; then
+    export GPSM_RESULT_JOURNAL="${out%.txt}_journal.gpsmj"
+fi
+
+# Per-bench wall-clock cap (seconds); empty disables.
+bench_timeout=${GPSM_BENCH_TIMEOUT:-}
+
 : > "$out"
 status=0
+names=()
+verdicts=()
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     echo "===== $b =====" >> "$out"
+    cmd=("$b")
     case "$(basename "$b")" in
     micro_*)
         # google-benchmark binaries: no harness flags.
-        "$b" >> "$out" 2>> "${out%.txt}_progress.log"
         ;;
     *)
-        "$b" ${flags[@]+"${flags[@]}"} >> "$out" \
-            2>> "${out%.txt}_progress.log"
+        cmd+=(${flags[@]+"${flags[@]}"})
         ;;
     esac
+    if [ -n "$bench_timeout" ]; then
+        # -k grants a grace period before SIGKILL backs up SIGTERM.
+        cmd=(timeout -k 10 "$bench_timeout" "${cmd[@]}")
+    fi
+    "${cmd[@]}" >> "$out" 2>> "${out%.txt}_progress.log"
     rc=$?
-    if [ $rc -ne 0 ]; then
+    names+=("$(basename "$b")")
+    if [ $rc -eq 0 ]; then
+        verdicts+=("PASS")
+    elif [ -n "$bench_timeout" ] && [ $rc -eq 124 ]; then
+        verdicts+=("TIMEOUT after ${bench_timeout}s")
+        echo "BENCH_TIMEOUT $b (${bench_timeout}s)" >> "$out"
+        echo "BENCH_TIMEOUT $b (${bench_timeout}s)" >&2
+        status=1
+    else
+        verdicts+=("FAIL (exit $rc)")
         echo "BENCH_FAILED $b (exit $rc)" >> "$out"
         echo "BENCH_FAILED $b (exit $rc)" >&2
         status=1
     fi
 done
+
+{
+    echo "===== summary ====="
+    for i in "${!names[@]}"; do
+        printf '%-32s %s\n' "${names[$i]}" "${verdicts[$i]}"
+    done
+} | tee -a "$out" >&2
+
 echo "ALL_BENCHES_DONE" >> "$out"
 exit $status

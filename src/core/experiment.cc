@@ -12,9 +12,12 @@
 #include <mutex>
 #include <sstream>
 
+#include <optional>
+
 #include "core/kernels.hh"
 #include "core/machine.hh"
 #include "core/views.hh"
+#include "fault/fault_session.hh"
 #include "graph/datasets.hh"
 #include "mem/fragmenter.hh"
 #include "mem/memhog.hh"
@@ -81,7 +84,8 @@ ExperimentConfig::fingerprint() const
        << slackBytes << '|' << fragLevel << '|'
        << static_cast<int>(fileSource) << '|' << giantProperty << '|'
        << prMaxIters << ',' << prDamping << ',' << prEpsilon << ','
-       << ssspDelta << ',' << ccMaxIters << '|' << sys.fingerprint();
+       << ssspDelta << ',' << ccMaxIters << '|' << hugeFaultRetries
+       << '|' << faultPlan.fingerprint() << '|' << sys.fingerprint();
     return os.str();
 }
 
@@ -216,7 +220,17 @@ cachedDataset(const std::string &name, std::uint64_t divisor,
             graph::makeDataset(graph::datasetByName(name), divisor,
                                weighted, seed)));
     } catch (...) {
+        // Evict the poisoned entry before propagating: concurrent
+        // waiters see this exception, but later requests for the same
+        // key must regenerate rather than rethrow forever.
         promise.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(mtx);
+        for (auto it = cache.begin(); it != cache.end(); ++it) {
+            if (it->key == key) {
+                cache.erase(it);
+                break;
+            }
+        }
     }
     return future.get();
 }
@@ -232,15 +246,26 @@ workingSetBytes(const ExperimentConfig &cfg)
 }
 
 RunResult
-runExperiment(const ExperimentConfig &cfg)
+runExperiment(const ExperimentConfig &cfg,
+              const std::atomic<bool> *cancel)
 {
     RunResult res;
+
+    const auto check_cancel = [cancel](const char *where) {
+        if (cancel != nullptr &&
+            cancel->load(std::memory_order_relaxed)) {
+            throw CancelledError(std::string("experiment cancelled ") +
+                                 where);
+        }
+    };
+    check_cancel("before dataset generation");
 
     // 1. Build the dataset (this models reading the input files; the
     //    graph itself lives host-side until loaded into the view).
     const auto base_graph_ptr = cachedDataset(
         cfg.dataset, cfg.scaleDivisor, cfg.app == App::Sssp, cfg.seed);
     const graph::CsrGraph &base_graph = *base_graph_ptr;
+    check_cancel("before preprocessing");
 
     // 2. Preprocess (DBG etc.) — performed separately so it does not
     //    disturb huge-page availability (§5.1.2), with its runtime
@@ -275,6 +300,7 @@ runExperiment(const ExperimentConfig &cfg)
     thp.khugepagedMinPresent = cfg.khugepagedMinPresent;
     thp.khugepagedScanPages = cfg.khugepagedScanPages;
     thp.khugepagedHotFirst = cfg.khugepagedHotFirst;
+    thp.hugeFaultRetries = cfg.hugeFaultRetries;
 
     SystemConfig sys = cfg.sys;
     if (cfg.giantProperty && sys.node.giantPoolPages == 0) {
@@ -295,6 +321,16 @@ runExperiment(const ExperimentConfig &cfg)
     if (cfg.khugepagedDuringKernel && thp.khugepagedEnabled)
         machine.enableKhugepagedDuringExecution(
             cfg.khugepagedIntervalAccesses);
+    machine.mmu().setCancelFlag(cancel);
+
+    // The fault session (when a plan is declared) installs the node,
+    // swap and MMU hooks for this machine's lifetime. Declared after
+    // the machine so it uninstalls and releases its hogs first.
+    std::optional<fault::FaultSession> faults;
+    if (!cfg.faultPlan.empty()) {
+        faults.emplace(cfg.faultPlan, cfg.seed, machine.node(),
+                       machine.swapDevice(), machine.mmu());
+    }
 
     // 4. Age the machine: memhog pins memory down to WSS + slack, then
     //    the frag tool poisons the remaining free memory (§4.3-4.4).
@@ -354,6 +390,7 @@ runExperiment(const ExperimentConfig &cfg)
             init_value = static_cast<PropT>(1.0 / g.numNodes());
         }
         view.load(init_value);
+        check_cancel("after load");
 
         if (cfg.khugepagedAfterInit)
             machine.runKhugepaged();
@@ -362,6 +399,12 @@ runExperiment(const ExperimentConfig &cfg)
         res.footprintBytes = machine.space().footprintBytes();
         res.hugeBackedBytes = machine.space().hugeBackedBytes();
         res.giantBackedBytes = machine.space().giantBackedBytes();
+
+        // Kernel-anchored fault events (transient pressure departing,
+        // failure windows closing) resolve here, just before the
+        // kernel's first access.
+        if (faults)
+            faults->enterKernelPhase();
 
         before_kernel = MmuSnap::take(mmu);
         if constexpr (std::is_same_v<PropT, std::uint64_t>) {
@@ -425,6 +468,14 @@ runExperiment(const ExperimentConfig &cfg)
     res.compactionRuns = machine.node().compactionRuns.value();
     res.compactionPagesMigrated =
         machine.node().compactionPagesMigrated.value();
+
+    res.hugeFallbacks = space.hugeFallbacks.value();
+    res.hugeAllocRetries = space.hugeRetries.value();
+    res.injectedHugeFailures =
+        machine.node().injectedHugeFailures.value();
+    res.swapStalls = machine.swapDevice().stalledAllocs.value();
+    if (faults)
+        res.faultEventsApplied = faults->eventsApplied();
 
     res.hugeFractionOfFootprint =
         res.footprintBytes

@@ -12,12 +12,14 @@
 #ifndef GPSM_CORE_EXPERIMENT_HH
 #define GPSM_CORE_EXPERIMENT_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 #include "core/alloc_order.hh"
 #include "core/file_source.hh"
 #include "core/system_config.hh"
+#include "fault/fault_plan.hh"
 #include "graph/csr.hh"
 #include "graph/reorder.hh"
 #include "vm/thp_config.hh"
@@ -111,6 +113,22 @@ struct ExperimentConfig
      */
     bool giantProperty = false;
 
+    /**
+     * Bounded fault-path retries of a failed huge allocation before
+     * base-page fallback (graceful degradation under transient failure
+     * windows; each retry charges backoff). 0 = Linux behaviour.
+     */
+    unsigned hugeFaultRetries = 0;
+
+    /**
+     * Declarative fault-injection plan, interpreted on the simulated
+     * access clock by fault::FaultSession. Part of the fingerprint: a
+     * faulty run memoizes exactly like a clean one. Empty by default —
+     * and an empty plan installs nothing, leaving the run bit-identical
+     * to a build without the fault layer.
+     */
+    fault::FaultPlan faultPlan;
+
     /** @name Kernel parameters @{ */
     std::uint32_t prMaxIters = 4;
     double prDamping = 0.85;
@@ -170,6 +188,14 @@ struct RunResult
     double hugeFractionOfFootprint = 0.0;
     /** @} */
 
+    /** @name Degradation under injected faults (whole run) @{ */
+    std::uint64_t hugeFallbacks = 0;  ///< huge faults degraded to base
+    std::uint64_t hugeAllocRetries = 0; ///< bounded fault-path retries
+    std::uint64_t injectedHugeFailures = 0; ///< vetoed by fault layer
+    std::uint64_t swapStalls = 0; ///< swap slots refused by fault layer
+    std::uint64_t faultEventsApplied = 0; ///< FaultSession activity
+    /** @} */
+
     /** Result checksum: must match across page-size policies. */
     std::uint64_t checksum = 0;
     /** Kernel-specific output (reached vertices / iterations). */
@@ -178,8 +204,14 @@ struct RunResult
 
 /**
  * Run one experiment end to end. Deterministic for a given config.
+ *
+ * @param cancel Optional cooperative cancellation flag (the pool's
+ *        watchdog sets it on timeout). Checked at phase boundaries and
+ *        on the MMU miss path; a set flag aborts the run by throwing
+ *        CancelledError. Null (the default) disables the checks.
  */
-RunResult runExperiment(const ExperimentConfig &config);
+RunResult runExperiment(const ExperimentConfig &config,
+                        const std::atomic<bool> *cancel = nullptr);
 
 /**
  * Convenience: working-set size (bytes) the given app/dataset/divisor

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * ResultJournal implementation.
+ */
+
+#include "core/journal.hh"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace gpsm::core
+{
+
+namespace
+{
+
+/** Record tag; bump the digit whenever the field list changes. */
+constexpr const char *recordTag = "gpsmj1";
+
+/** FNV-1a 64-bit over a string (the per-record checksum). */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** %-escape the record separators so fingerprints stay one field. */
+std::string
+escapeField(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '%':
+            out += "%25";
+            break;
+          case '|':
+            out += "%7c";
+            break;
+          case '\n':
+            out += "%0a";
+            break;
+          case '\r':
+            out += "%0d";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+int
+hexVal(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+std::optional<std::string>
+unescapeField(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '%') {
+            out += s[i];
+            continue;
+        }
+        if (i + 2 >= s.size())
+            return std::nullopt;
+        const int hi = hexVal(s[i + 1]);
+        const int lo = hexVal(s[i + 2]);
+        if (hi < 0 || lo < 0)
+            return std::nullopt;
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+    }
+    return out;
+}
+
+/**
+ * Doubles as decimal text: %.17g round-trips every IEEE double and,
+ * unlike std::hexfloat, parses back reliably with strtod (libstdc++'s
+ * istream rejects hexfloat input).
+ */
+void
+putDouble(std::ostringstream &os, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+struct FieldReader
+{
+    std::vector<std::string> fields;
+    std::size_t next = 0;
+    bool ok = true;
+
+    explicit FieldReader(const std::string &text)
+    {
+        std::string cur;
+        for (const char c : text) {
+            if (c == ',') {
+                fields.push_back(cur);
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        fields.push_back(cur);
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (next >= fields.size()) {
+            ok = false;
+            return 0;
+        }
+        const std::string &f = fields[next++];
+        char *end = nullptr;
+        const std::uint64_t v = std::strtoull(f.c_str(), &end, 10);
+        if (end == f.c_str() || *end != '\0')
+            ok = false;
+        return v;
+    }
+
+    double
+    f64()
+    {
+        if (next >= fields.size()) {
+            ok = false;
+            return 0.0;
+        }
+        const std::string &f = fields[next++];
+        char *end = nullptr;
+        const double v = std::strtod(f.c_str(), &end);
+        if (end == f.c_str() || *end != '\0')
+            ok = false;
+        return v;
+    }
+};
+
+} // namespace
+
+std::string
+serializeRunResult(const RunResult &r)
+{
+    std::ostringstream os;
+    putDouble(os, r.initSeconds);
+    os << ',';
+    putDouble(os, r.kernelSeconds);
+    os << ',';
+    putDouble(os, r.preprocessSeconds);
+    os << ',' << r.accesses << ',' << r.dtlbMisses << ',' << r.stlbHits
+       << ',' << r.walks << ',';
+    putDouble(os, r.dtlbMissRate);
+    os << ',';
+    putDouble(os, r.stlbMissRate);
+    os << ',';
+    putDouble(os, r.translationCycleShare);
+    os << ',' << r.hugeFaults << ',' << r.minorFaults << ','
+       << r.majorFaults << ',' << r.swapOuts << ',' << r.compactionRuns
+       << ',' << r.compactionPagesMigrated << ',' << r.promotions << ','
+       << r.footprintBytes << ',' << r.hugeBackedBytes << ','
+       << r.giantBackedBytes << ',';
+    putDouble(os, r.hugeFractionOfFootprint);
+    os << ',' << r.hugeFallbacks << ',' << r.hugeAllocRetries << ','
+       << r.injectedHugeFailures << ',' << r.swapStalls << ','
+       << r.faultEventsApplied << ',' << r.checksum << ','
+       << r.kernelOutput;
+    return os.str();
+}
+
+std::optional<RunResult>
+deserializeRunResult(const std::string &text)
+{
+    FieldReader in(text);
+    RunResult r;
+    r.initSeconds = in.f64();
+    r.kernelSeconds = in.f64();
+    r.preprocessSeconds = in.f64();
+    r.accesses = in.u64();
+    r.dtlbMisses = in.u64();
+    r.stlbHits = in.u64();
+    r.walks = in.u64();
+    r.dtlbMissRate = in.f64();
+    r.stlbMissRate = in.f64();
+    r.translationCycleShare = in.f64();
+    r.hugeFaults = in.u64();
+    r.minorFaults = in.u64();
+    r.majorFaults = in.u64();
+    r.swapOuts = in.u64();
+    r.compactionRuns = in.u64();
+    r.compactionPagesMigrated = in.u64();
+    r.promotions = in.u64();
+    r.footprintBytes = in.u64();
+    r.hugeBackedBytes = in.u64();
+    r.giantBackedBytes = in.u64();
+    r.hugeFractionOfFootprint = in.f64();
+    r.hugeFallbacks = in.u64();
+    r.hugeAllocRetries = in.u64();
+    r.injectedHugeFailures = in.u64();
+    r.swapStalls = in.u64();
+    r.faultEventsApplied = in.u64();
+    r.checksum = in.u64();
+    r.kernelOutput = in.u64();
+    if (!in.ok || in.next != in.fields.size())
+        return std::nullopt;
+    return r;
+}
+
+ResultJournal::ResultJournal(const std::string &path) : filePath(path)
+{
+    // Load phase: parse every complete line, skipping bad ones.
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        // tag|fingerprint|payload|checksum
+        const std::size_t p1 = line.find('|');
+        const std::size_t p2 =
+            p1 == std::string::npos ? p1 : line.find('|', p1 + 1);
+        const std::size_t p3 =
+            p2 == std::string::npos ? p2 : line.find('|', p2 + 1);
+        if (p3 == std::string::npos ||
+            line.compare(0, p1, recordTag) != 0) {
+            ++corrupted;
+            continue;
+        }
+        const std::string body = line.substr(0, p3);
+        const std::string sum_text = line.substr(p3 + 1);
+        char *end = nullptr;
+        const std::uint64_t sum =
+            std::strtoull(sum_text.c_str(), &end, 16);
+        if (end == sum_text.c_str() || *end != '\0' ||
+            sum != fnv1a(body)) {
+            ++corrupted;
+            continue;
+        }
+        const auto fp =
+            unescapeField(line.substr(p1 + 1, p2 - p1 - 1));
+        const auto result =
+            deserializeRunResult(line.substr(p2 + 1, p3 - p2 - 1));
+        if (!fp || !result) {
+            ++corrupted;
+            continue;
+        }
+        index[*fp] = *result; // last record wins
+    }
+    in.close();
+
+    // Append phase. "a" positions every write at EOF; if the previous
+    // process died mid-write the torn line simply stays (and is
+    // skipped on the next load) — but records we append must start on
+    // a fresh line, so terminate an unterminated file first.
+    file = std::fopen(path.c_str(), "ab");
+    if (file != nullptr) {
+        std::ifstream tail(path, std::ios::binary | std::ios::ate);
+        const auto size = tail.tellg();
+        if (size > 0) {
+            tail.seekg(-1, std::ios::end);
+            char last = '\n';
+            tail.get(last);
+            if (last != '\n')
+                std::fputc('\n', file);
+        }
+    }
+}
+
+ResultJournal::~ResultJournal()
+{
+    if (file != nullptr)
+        std::fclose(file);
+}
+
+std::optional<RunResult>
+ResultJournal::lookup(const std::string &fingerprint) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    const auto it = index.find(fingerprint);
+    if (it == index.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+ResultJournal::record(const std::string &fingerprint,
+                      const RunResult &result)
+{
+    std::ostringstream os;
+    os << recordTag << '|' << escapeField(fingerprint) << '|'
+       << serializeRunResult(result);
+    const std::string body = os.str();
+    char sum[32];
+    std::snprintf(sum, sizeof(sum), "|%016" PRIx64 "\n", fnv1a(body));
+    const std::string line = body + sum;
+
+    std::lock_guard<std::mutex> lock(mtx);
+    index[fingerprint] = result;
+    if (file == nullptr)
+        return false;
+    // One fwrite per record: appends from concurrent processes in
+    // O_APPEND mode interleave at worst whole-line-wise for lines
+    // under the pipe buffer size, and a crash tears at most this line.
+    const bool ok =
+        std::fwrite(line.data(), 1, line.size(), file) == line.size();
+    std::fflush(file);
+    return ok;
+}
+
+std::size_t
+ResultJournal::entries() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return index.size();
+}
+
+} // namespace gpsm::core

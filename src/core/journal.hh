@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Crash-safe on-disk result journal.
+ *
+ * Append-only file mapping ExperimentConfig::fingerprint() to a
+ * serialized RunResult, one record per line. A bench batch that is
+ * killed part-way (crash, timeout, ctrl-C) leaves every completed
+ * experiment on disk; the re-run reloads the journal and skips them.
+ *
+ * Robustness properties:
+ * - atomic append: each record is written with a single fwrite and
+ *   flushed, so a torn final line is the only possible corruption;
+ * - corruption tolerance: a record with a bad tag, field count or
+ *   checksum is skipped on reload (counted, not fatal), and appending
+ *   after a torn line starts on a fresh line;
+ * - versioned: the record tag carries a format version, so a journal
+ *   written by an incompatible build is ignored rather than
+ *   misparsed (fingerprints additionally pin every config field).
+ */
+
+#ifndef GPSM_CORE_JOURNAL_HH
+#define GPSM_CORE_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/experiment.hh"
+
+namespace gpsm::core
+{
+
+/** @name Record serialization (exposed for tests) @{ */
+
+/** Lossless text encoding (doubles round-trip via %.17g). */
+std::string serializeRunResult(const RunResult &result);
+
+/** Inverse of serializeRunResult; nullopt on malformed input. */
+std::optional<RunResult> deserializeRunResult(const std::string &text);
+/** @} */
+
+/**
+ * One journal file. Thread-safe: ExperimentPool workers record
+ * results concurrently.
+ */
+class ResultJournal
+{
+  public:
+    /**
+     * Open (creating if absent) the journal at @p path and load every
+     * valid record. Throws util FatalError never — an unreadable or
+     * partly corrupt file simply yields fewer records; an unwritable
+     * path surfaces on the first record() as a false return.
+     */
+    explicit ResultJournal(const std::string &path);
+    ~ResultJournal();
+
+    ResultJournal(const ResultJournal &) = delete;
+    ResultJournal &operator=(const ResultJournal &) = delete;
+
+    /** Result previously journaled for @p fingerprint, if any. */
+    std::optional<RunResult> lookup(const std::string &fingerprint) const;
+
+    /**
+     * Append one record durably (single write + flush) and add it to
+     * the in-memory index. @return false when the append failed (disk
+     * full, unwritable path); the run itself is unaffected.
+     */
+    bool record(const std::string &fingerprint, const RunResult &result);
+
+    /** Records loaded from disk plus records appended this process. */
+    std::size_t entries() const;
+
+    /** Lines skipped on load (torn writes, corruption, old formats). */
+    std::size_t corruptedLines() const { return corrupted; }
+
+    /** False when the file could not be opened for appending. */
+    bool writable() const { return file != nullptr; }
+
+    const std::string &path() const { return filePath; }
+
+  private:
+    std::string filePath;
+    mutable std::mutex mtx;
+    std::unordered_map<std::string, RunResult> index;
+    std::FILE *file = nullptr;
+    std::size_t corrupted = 0;
+};
+
+} // namespace gpsm::core
+
+#endif // GPSM_CORE_JOURNAL_HH

@@ -7,10 +7,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
+#include "core/journal.hh"
+#include "util/logging.hh"
 #include "util/thread_pool.hh"
 
 namespace gpsm::core
@@ -23,6 +29,10 @@ namespace
  * Process-wide result cache. RunResults are a few hundred bytes, so
  * the cache is unbounded: even a full figure-suite process caches a
  * few thousand entries at most.
+ *
+ * An optional on-disk journal backs the cache: misses consult it
+ * before executing and executed results are appended to it, which is
+ * what makes a killed bench batch resumable.
  */
 struct MemoCache
 {
@@ -30,6 +40,10 @@ struct MemoCache
     std::unordered_map<std::string, RunResult> results;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+
+    std::unique_ptr<ResultJournal> journal;
+    std::uint64_t journalHits = 0;
+    std::uint64_t journalAppends = 0;
 };
 
 MemoCache &
@@ -57,8 +71,52 @@ clearExperimentMemo()
     m.results.clear();
 }
 
+bool
+enableResultJournal(const std::string &path, std::string *error)
+{
+    auto journal = std::make_unique<ResultJournal>(path);
+    // Surface writability up front: an open that loaded records fine
+    // but cannot append should be reported now, not at the first
+    // completed experiment. A read-only journal is still attached —
+    // resuming from it works even when appending new results won't.
+    const bool writable = journal->writable();
+    if (!writable && error != nullptr)
+        *error = "cannot open '" + path + "' for appending";
+    MemoCache &m = memo();
+    std::lock_guard<std::mutex> lock(m.mtx);
+    m.journal = std::move(journal);
+    m.journalHits = 0;
+    m.journalAppends = 0;
+    return writable;
+}
+
+void
+disableResultJournal()
+{
+    MemoCache &m = memo();
+    std::lock_guard<std::mutex> lock(m.mtx);
+    m.journal.reset();
+}
+
+JournalStats
+resultJournalStats()
+{
+    MemoCache &m = memo();
+    std::lock_guard<std::mutex> lock(m.mtx);
+    JournalStats s;
+    if (m.journal != nullptr) {
+        s.enabled = true;
+        s.loaded = m.journal->entries() - m.journalAppends;
+        s.corrupted = m.journal->corruptedLines();
+        s.hits = m.journalHits;
+        s.appends = m.journalAppends;
+    }
+    return s;
+}
+
 RunResult
-runMemoized(const ExperimentConfig &config, bool *was_cached)
+runMemoized(const ExperimentConfig &config, bool *was_cached,
+            const std::atomic<bool> *cancel)
 {
     MemoCache &m = memo();
     const std::string key = config.fingerprint();
@@ -71,20 +129,50 @@ runMemoized(const ExperimentConfig &config, bool *was_cached)
                 *was_cached = true;
             return it->second;
         }
+        // Memory miss: a journaled result from an earlier (possibly
+        // killed) process is just as authoritative — fingerprints pin
+        // every input of the deterministic run.
+        if (m.journal != nullptr) {
+            const auto logged = m.journal->lookup(key);
+            if (logged) {
+                ++m.hits;
+                ++m.journalHits;
+                m.results.emplace(key, *logged);
+                if (was_cached != nullptr)
+                    *was_cached = true;
+                return *logged;
+            }
+        }
     }
     // Execute outside the lock: concurrent identical misses may race
     // to run the same config, but the results are bit-identical by
     // determinism, so last-insert-wins is harmless. ExperimentPool
     // dedupes within a batch, so this only happens across batches.
-    const RunResult result = runExperiment(config);
+    const RunResult result = runExperiment(config, cancel);
     {
         std::lock_guard<std::mutex> lock(m.mtx);
         ++m.misses;
         m.results.emplace(key, result);
+        if (m.journal != nullptr) {
+            if (m.journal->record(key, result))
+                ++m.journalAppends;
+        }
     }
     if (was_cached != nullptr)
         *was_cached = false;
     return result;
+}
+
+const char *
+experimentErrorKindName(ExperimentError::Kind kind)
+{
+    switch (kind) {
+      case ExperimentError::Kind::Exception:
+        return "exception";
+      case ExperimentError::Kind::Timeout:
+        return "timeout";
+    }
+    return "?";
 }
 
 ExperimentPool::ExperimentPool(unsigned jobs)
@@ -148,6 +236,198 @@ ExperimentPool::run(const std::vector<ExperimentConfig> &configs,
         pool.submit([&run_one, &key] { run_one(key); });
     pool.wait();
     return results;
+}
+
+namespace
+{
+
+/**
+ * Wall-clock watchdog shared by one runOutcomes() batch: workers
+ * register their cancellation flag with a deadline, a scan thread
+ * trips flags past their deadline. Scanning at a coarse period keeps
+ * the cost negligible next to multi-second experiments while bounding
+ * overshoot to ~one scan period plus cancellation latency.
+ */
+class Watchdog
+{
+  public:
+    Watchdog() : scanner([this] { loop(); }) {}
+
+    ~Watchdog()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            stopping = true;
+        }
+        cv.notify_all();
+        scanner.join();
+    }
+
+    void
+    watch(const std::shared_ptr<std::atomic<bool>> &flag,
+          std::chrono::steady_clock::time_point deadline)
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        active.push_back({flag, deadline});
+    }
+
+    void
+    unwatch(const std::shared_ptr<std::atomic<bool>> &flag)
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        for (auto it = active.begin(); it != active.end(); ++it) {
+            if (it->flag == flag) {
+                active.erase(it);
+                return;
+            }
+        }
+    }
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<std::atomic<bool>> flag;
+        std::chrono::steady_clock::time_point deadline;
+    };
+
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        while (!stopping) {
+            const auto now = std::chrono::steady_clock::now();
+            for (const Entry &e : active) {
+                if (now >= e.deadline)
+                    e.flag->store(true, std::memory_order_relaxed);
+            }
+            cv.wait_for(lock, std::chrono::milliseconds(25));
+        }
+    }
+
+    std::mutex mtx;
+    std::condition_variable cv;
+    std::vector<Entry> active;
+    bool stopping = false;
+    std::thread scanner;
+};
+
+} // namespace
+
+std::vector<RunOutcome>
+ExperimentPool::runOutcomes(const std::vector<ExperimentConfig> &configs,
+                            const PoolOptions &options,
+                            const Progress &progress)
+{
+    std::vector<RunOutcome> outcomes(configs.size());
+
+    struct Group
+    {
+        std::vector<std::size_t> indices;
+    };
+    std::unordered_map<std::string, Group> groups;
+    std::vector<std::string> order;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const std::string key = configs[i].fingerprint();
+        auto [it, inserted] = groups.try_emplace(key);
+        if (inserted)
+            order.push_back(key);
+        it->second.indices.push_back(i);
+    }
+
+    const bool timed = options.timeoutSeconds > 0.0;
+    std::unique_ptr<Watchdog> watchdog;
+    if (timed)
+        watchdog = std::make_unique<Watchdog>();
+
+    // ThreadPool jobs must not throw (they would terminate the
+    // process), so every failure mode is converted to an
+    // ExperimentError inside the job.
+    auto run_one = [&](const std::string &key) {
+        const Group &group = groups.at(key);
+        const std::size_t rep = group.indices.front();
+        RunOutcome outcome;
+        double wall = 0.0;
+        bool cached = false;
+        unsigned attempts = 0;
+
+        for (;;) {
+            ++attempts;
+            auto flag = std::make_shared<std::atomic<bool>>(false);
+            const auto start = std::chrono::steady_clock::now();
+            if (timed) {
+                watchdog->watch(
+                    flag,
+                    start + std::chrono::duration_cast<
+                                std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double>(
+                                    options.timeoutSeconds)));
+            }
+            try {
+                cached = false;
+                const RunResult result = runMemoized(
+                    configs[rep], &cached, timed ? flag.get() : nullptr);
+                if (timed)
+                    watchdog->unwatch(flag);
+                wall = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+                outcome.result = result;
+                break;
+            } catch (const CancelledError &) {
+                if (timed)
+                    watchdog->unwatch(flag);
+                if (attempts <= options.timeoutRetries)
+                    continue; // transient overrun: grant another try
+                ExperimentError err;
+                err.kind = ExperimentError::Kind::Timeout;
+                std::ostringstream msg;
+                msg << "exceeded " << options.timeoutSeconds
+                    << "s wall-clock budget";
+                if (attempts > 1)
+                    msg << " (" << attempts << " attempts)";
+                err.message = msg.str();
+                err.fingerprint = key;
+                err.label = configs[rep].label();
+                err.attempts = attempts;
+                outcome.error = std::move(err);
+                break;
+            } catch (const std::exception &e) {
+                if (timed)
+                    watchdog->unwatch(flag);
+                ExperimentError err;
+                err.kind = ExperimentError::Kind::Exception;
+                err.message = e.what();
+                err.fingerprint = key;
+                err.label = configs[rep].label();
+                err.attempts = attempts;
+                outcome.error = std::move(err);
+                break;
+            }
+        }
+
+        for (std::size_t idx : group.indices)
+            outcomes[idx] = outcome;
+        if (progress && outcome.ok()) {
+            for (std::size_t idx : group.indices)
+                progress(idx, configs[idx], *outcome.result,
+                         idx == rep && !cached ? wall : 0.0,
+                         cached || idx != rep);
+        }
+    };
+
+    if (jobCount <= 1 || order.size() <= 1) {
+        for (const std::string &key : order)
+            run_one(key);
+        return outcomes;
+    }
+
+    util::ThreadPool pool(
+        std::min<unsigned>(jobCount,
+                           static_cast<unsigned>(order.size())));
+    for (const std::string &key : order)
+        pool.submit([&run_one, &key] { run_one(key); });
+    pool.wait();
+    return outcomes;
 }
 
 } // namespace gpsm::core

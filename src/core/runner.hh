@@ -18,6 +18,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/experiment.hh"
@@ -40,19 +42,106 @@ MemoStats experimentMemoStats();
  *  accumulating so tests can difference them). */
 void clearExperimentMemo();
 
+/** Counters of the optional on-disk result journal. */
+struct JournalStats
+{
+    bool enabled = false;
+    std::uint64_t loaded = 0;    ///< records reloaded at open
+    std::uint64_t corrupted = 0; ///< lines skipped at open
+    std::uint64_t hits = 0;      ///< memo misses served from disk
+    std::uint64_t appends = 0;   ///< records written this process
+};
+
+/**
+ * Attach a crash-safe on-disk result journal (core/journal.hh) to the
+ * memo cache: memo misses consult the journal before executing, and
+ * every executed result is durably appended, so a killed batch's
+ * re-run skips all completed experiments. Replaces any journal
+ * attached earlier.
+ *
+ * @param error Optional out-message when the journal could not be
+ *        opened for writing (it still serves reads in that case).
+ * @return false when @p path is unwritable.
+ */
+bool enableResultJournal(const std::string &path,
+                         std::string *error = nullptr);
+
+/** Detach (and close) the journal; the memo cache is unaffected. */
+void disableResultJournal();
+
+/** Snapshot of the journal counters. */
+JournalStats resultJournalStats();
+
 /**
  * Memoized runExperiment(): returns the cached RunResult when an
  * identical config (by fingerprint(), which covers every field) ran
- * before in this process, and executes + caches otherwise.
+ * before in this process, and executes + caches otherwise. When a
+ * result journal is attached, memo misses check it before executing
+ * and executed results are appended to it.
  *
  * Results are immutable once cached and never invalidated: a
  * fingerprint captures the complete input of a deterministic
  * function, so a cached result can never go stale within a process.
  *
- * @param was_cached Optional out-flag: true when served from cache.
+ * @param was_cached Optional out-flag: true when served from cache
+ *        (memory or journal).
+ * @param cancel Optional cancellation flag forwarded to
+ *        runExperiment().
  */
 RunResult runMemoized(const ExperimentConfig &config,
-                      bool *was_cached = nullptr);
+                      bool *was_cached = nullptr,
+                      const std::atomic<bool> *cancel = nullptr);
+
+/**
+ * Why one experiment in a batch failed to produce a RunResult.
+ * Carries the config's fingerprint (the stable identity a user needs
+ * to reproduce or exclude it) alongside the human-readable label.
+ */
+struct ExperimentError
+{
+    enum class Kind : std::uint8_t
+    {
+        Exception, ///< runExperiment threw (bad config, OOM, bug)
+        Timeout,   ///< cancelled by the pool's wall-clock watchdog
+    };
+
+    Kind kind = Kind::Exception;
+    std::string message;
+    std::string fingerprint;
+    std::string label;
+    unsigned attempts = 1; ///< executions including retries
+};
+
+const char *experimentErrorKindName(ExperimentError::Kind kind);
+
+/** Exactly one of result / error is set. */
+struct RunOutcome
+{
+    std::optional<RunResult> result;
+    std::optional<ExperimentError> error;
+
+    bool ok() const { return result.has_value(); }
+};
+
+/** Hardening knobs for ExperimentPool::runOutcomes(). */
+struct PoolOptions
+{
+    /**
+     * Per-experiment wall-clock budget, seconds. A run past its
+     * deadline is cooperatively cancelled (the flag is polled on the
+     * MMU miss path and at phase boundaries) and reported as a
+     * Timeout error. 0 disables the watchdog.
+     */
+    double timeoutSeconds = 0.0;
+
+    /**
+     * Extra executions granted after a timeout before giving up
+     * (transient interference — a loaded CI machine — can make a
+     * healthy config overrun once). Exceptions never retry: a
+     * deterministic throw would just throw again.
+     */
+    unsigned timeoutRetries = 0;
+};
 
 /**
  * Runs batches of experiments on min(jobs, hardware threads) worker
@@ -83,6 +172,18 @@ class ExperimentPool
     std::vector<RunResult>
     run(const std::vector<ExperimentConfig> &configs,
         const Progress &progress = nullptr);
+
+    /**
+     * Hardened variant of run(): every config gets an outcome, never
+     * an exception. A config that throws or times out yields an
+     * ExperimentError carrying its fingerprint; every other config
+     * still yields its RunResult. Duplicate configs share one
+     * execution (and one error).
+     */
+    std::vector<RunOutcome>
+    runOutcomes(const std::vector<ExperimentConfig> &configs,
+                const PoolOptions &options = PoolOptions(),
+                const Progress &progress = nullptr);
 
     unsigned jobs() const { return jobCount; }
 

@@ -120,7 +120,7 @@ SystemConfig::fingerprint() const
        << c.majorFaultCycles << ';' << c.swapOutCyclesPerPage << ';'
        << c.migrateCyclesPerPage << ';' << c.reclaimCyclesPerPage
        << ';' << c.compactionFailCycles << ';' << c.shootdownCycles
-       << ';';
+       << ';' << c.hugeRetryBackoffCycles << ';';
     os << enableCache << ';' << memoryCycles << ';';
     for (const tlb::CacheLevelConfig &lvl : cacheLevels)
         os << lvl.name << ',' << lvl.bytes << ',' << lvl.ways << ','

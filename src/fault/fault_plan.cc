@@ -1,0 +1,96 @@
+/**
+ * @file
+ * FaultPlan serialization and canned scenarios.
+ */
+
+#include "fault/fault_plan.hh"
+
+#include <sstream>
+
+namespace gpsm::fault
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::HugeAllocFail:
+        return "hugeAllocFail";
+      case FaultKind::SwapLatency:
+        return "swapLatency";
+      case FaultKind::SwapStall:
+        return "swapStall";
+      case FaultKind::MemhogArrive:
+        return "memhogArrive";
+      case FaultKind::MemhogDepart:
+        return "memhogDepart";
+      case FaultKind::FramePoolShrink:
+        return "framePoolShrink";
+    }
+    return "?";
+}
+
+const char *
+faultAnchorName(FaultAnchor anchor)
+{
+    switch (anchor) {
+      case FaultAnchor::Start:
+        return "start";
+      case FaultAnchor::KernelStart:
+        return "kernel";
+    }
+    return "?";
+}
+
+std::string
+FaultPlan::fingerprint() const
+{
+    // Exact, lossless encoding: every field of every event, doubles in
+    // hexfloat (this string is only ever written, never parsed).
+    std::ostringstream os;
+    os << "fp1;" << seed;
+    os << std::hexfloat;
+    for (const FaultEvent &ev : events) {
+        os << ';' << faultKindName(ev.kind) << ','
+           << faultAnchorName(ev.anchor) << ',' << ev.at << ','
+           << faultAnchorName(ev.endAnchor) << ',' << ev.endAt << ','
+           << ev.probability << ',' << ev.bytes << ','
+           << (ev.allButBytes ? 1 : 0) << ',' << ev.factor;
+    }
+    return os.str();
+}
+
+FaultPlan
+FaultPlan::transientPressure(std::uint64_t reserve_bytes)
+{
+    FaultPlan plan;
+
+    FaultEvent hog;
+    hog.kind = FaultKind::MemhogArrive;
+    hog.anchor = FaultAnchor::Start;
+    hog.at = 0;
+    hog.bytes = reserve_bytes;
+    hog.allButBytes = true;
+    plan.events.push_back(hog);
+
+    // While the hog is resident the node has no huge-page-sized holes
+    // anyway; the explicit window makes the scenario independent of
+    // exactly how the hog carved up the free lists.
+    FaultEvent window;
+    window.kind = FaultKind::HugeAllocFail;
+    window.anchor = FaultAnchor::Start;
+    window.at = 0;
+    window.endAnchor = FaultAnchor::KernelStart;
+    window.endAt = 0;
+    plan.events.push_back(window);
+
+    FaultEvent depart;
+    depart.kind = FaultKind::MemhogDepart;
+    depart.anchor = FaultAnchor::KernelStart;
+    depart.at = 0;
+    plan.events.push_back(depart);
+
+    return plan;
+}
+
+} // namespace gpsm::fault

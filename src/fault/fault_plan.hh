@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Declarative, config-seeded fault plans.
+ *
+ * A FaultPlan is *data*: an ordered list of events scheduled on the
+ * simulated access clock (Mmu::accesses), describing transient
+ * adversities the memory system must degrade gracefully under —
+ * huge-allocation failure windows, swap-device latency spikes and
+ * stalls, a memhog arriving and departing mid-run, the frame pool
+ * shrinking. The plan is part of ExperimentConfig (and of its
+ * fingerprint), so a faulty run is exactly as reproducible and
+ * memoizable as a clean one. FaultSession interprets the plan against
+ * one SimMachine via the narrow interceptor hooks in mem/ and tlb/.
+ */
+
+#ifndef GPSM_FAULT_FAULT_PLAN_HH
+#define GPSM_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpsm::fault
+{
+
+/** What a FaultEvent does when it fires (or while its window is open). */
+enum class FaultKind : std::uint8_t
+{
+    /** Window: huge-order allocations fail (vetoed at the node). */
+    HugeAllocFail,
+    /** Window: swap-in/swap-out cycle costs are multiplied by
+     *  FaultEvent::factor (device transiently slower). */
+    SwapLatency,
+    /** Window: swap slot allocations are refused outright (device
+     *  unresponsive; swap-outs fail as if the device were full). */
+    SwapStall,
+    /** Point event: a transient memhog pins FaultEvent::bytes (or all
+     *  but `bytes` when allButBytes is set). */
+    MemhogArrive,
+    /** Point event: the transient memhog releases everything. */
+    MemhogDepart,
+    /** Point event: permanently pin FaultEvent::bytes, shrinking the
+     *  frame pool for the rest of the run (ballooning / hotunplug). */
+    FramePoolShrink,
+};
+
+const char *faultKindName(FaultKind kind);
+
+/**
+ * Where an event's trigger time is measured from. Start anchors are
+ * resolved when the FaultSession is installed; KernelStart anchors
+ * resolve when the driver calls FaultSession::enterKernelPhase() (just
+ * before the kernel runs), so "pressure arrives during BFS" does not
+ * depend on how many accesses graph loading happened to take.
+ */
+enum class FaultAnchor : std::uint8_t
+{
+    Start,
+    KernelStart,
+};
+
+const char *faultAnchorName(FaultAnchor anchor);
+
+/**
+ * One scheduled fault. Point kinds (Memhog*, FramePoolShrink) fire once
+ * when the clock passes `anchor + at`. Window kinds (HugeAllocFail,
+ * Swap*) are active while the clock is inside
+ * [anchor + at, endAnchor + endAt); the default end (~0 offset) keeps
+ * the window open for the rest of the run.
+ */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::HugeAllocFail;
+
+    FaultAnchor anchor = FaultAnchor::Start;
+    std::uint64_t at = 0; ///< accesses after `anchor`
+
+    FaultAnchor endAnchor = FaultAnchor::Start;
+    std::uint64_t endAt = ~0ull; ///< window end offset (windows only)
+
+    /**
+     * For HugeAllocFail windows: per-request veto probability. 1.0
+     * (default) vetoes deterministically; fractions draw from the
+     * session RNG, which is seeded from the plan seed and the
+     * experiment seed, so the flakiness itself is reproducible.
+     */
+    double probability = 1.0;
+
+    /** Memhog / pool-shrink size. */
+    std::uint64_t bytes = 0;
+    /** Interpret `bytes` as "occupy all but this many" instead. */
+    bool allButBytes = false;
+
+    /** SwapLatency multiplier. */
+    double factor = 1.0;
+};
+
+/**
+ * The full plan: events plus the seed for any probabilistic draws.
+ * Event order is significant only for same-clock point events (applied
+ * in declaration order).
+ */
+struct FaultPlan
+{
+    std::vector<FaultEvent> events;
+    std::uint64_t seed = 1;
+
+    bool empty() const { return events.empty(); }
+
+    /**
+     * Exact serialization of the plan, suitable for embedding in
+     * ExperimentConfig::fingerprint(): two plans with the same
+     * fingerprint inject identical faults.
+     */
+    std::string fingerprint() const;
+
+    /**
+     * The canonical transient-pressure recovery scenario (paper §6's
+     * ablation, part 2): a hog pins all but @p reserve_bytes before
+     * first touch and huge allocations fail while it is resident, so
+     * the graph loads entirely onto base pages; at kernel start the
+     * hog departs and the failure window closes, leaving recovery to
+     * the promotion policy under test.
+     */
+    static FaultPlan transientPressure(std::uint64_t reserve_bytes);
+};
+
+} // namespace gpsm::fault
+
+#endif // GPSM_FAULT_FAULT_PLAN_HH

@@ -120,6 +120,19 @@ MemoryNode::allocate(const Request &req)
     AllocOutcome out;
     out.order = req.order;
 
+    if (interceptor != nullptr) {
+        // Let the fault layer apply events that have come due (a
+        // transient memhog arriving or departing, the frame pool
+        // shrinking) before this request sees the free lists.
+        interceptor->onAllocate();
+        if (req.order == hugeOrd && interceptor->dropHugeAllocation()) {
+            // Injected failure window: behave exactly like a
+            // watermark rejection — fail fast, no escalation.
+            ++injectedHugeFailures;
+            return out;
+        }
+    }
+
     // Watermark rule: huge-order requests must leave watermarkFrames
     // of free memory behind, or they fail without any further effort
     // (Linux would defer compaction and fall back).
@@ -222,6 +235,10 @@ MemoryNode::noteSwappable(FrameNum frame)
 void
 MemoryNode::registerStats(StatSet &stats, const std::string &prefix) const
 {
+    stats.registerCounter(prefix + ".injectedHugeFailures",
+                          &injectedHugeFailures,
+                          "huge requests vetoed by the fault-injection "
+                          "layer");
     stats.registerCounter(prefix + ".watermarkFailures",
                           &watermarkFailures,
                           "huge requests rejected by the free-memory "

@@ -24,6 +24,32 @@ namespace gpsm::mem
 class Compactor;
 
 /**
+ * Narrow fault-injection hook threaded through MemoryNode::allocate().
+ *
+ * The fault layer (fault::FaultSession) implements this to (a) apply
+ * scheduled events lazily at the next allocation — the only point at
+ * which changed physical-memory state becomes observable — and (b)
+ * veto individual huge-order requests inside a failure window. With no
+ * interceptor installed the allocation path is bit-identical to the
+ * un-hooked build.
+ */
+class AllocationInterceptor
+{
+  public:
+    virtual ~AllocationInterceptor() = default;
+
+    /** Called at the top of every allocate(), before any attempt. */
+    virtual void onAllocate() = 0;
+
+    /**
+     * Should this huge-order request be failed artificially? Called
+     * once per huge-order allocate(); a true return fails the request
+     * fast, exactly like a watermark rejection.
+     */
+    virtual bool dropHugeAllocation() = 0;
+};
+
+/**
  * Physical memory of one NUMA node.
  *
  * All sizes are in base pages (frames). The node is time-free: callers
@@ -77,6 +103,16 @@ class MemoryNode
 
     /** Register a pool willing to surrender pages under pressure. */
     void addReclaimable(Reclaimable *pool);
+
+    /**
+     * Install (or, with nullptr, remove) the fault-injection hook.
+     * At most one interceptor is supported; the caller owns it and
+     * must uninstall it before destruction.
+     */
+    void setInterceptor(AllocationInterceptor *hook)
+    {
+        interceptor = hook;
+    }
 
     /** Allocation request with Linux-like escalation switches. */
     struct Request
@@ -147,6 +183,7 @@ class MemoryNode
     void registerStats(StatSet &stats, const std::string &prefix) const;
 
     /** @name Event counters @{ */
+    mutable Counter injectedHugeFailures;
     mutable Counter watermarkFailures;
     mutable Counter reclaimedPages;
     mutable Counter swapOuts;
@@ -178,6 +215,7 @@ class MemoryNode
 
     std::vector<PageClient *> clients;
     std::vector<Reclaimable *> reclaimables;
+    AllocationInterceptor *interceptor = nullptr;
 
     /** FIFO of possibly-swappable frames (validated lazily). */
     std::deque<FrameNum> swappable;

@@ -65,6 +65,14 @@ struct CostModel
     std::uint64_t compactionFailCycles = 150000;
     std::uint64_t shootdownCycles = 1800;
 
+    /**
+     * Backoff charged per bounded huge-fault retry (the fault path
+     * waiting out a transient allocation-failure window before
+     * falling back to base pages). Only reachable when
+     * ThpConfig::hugeFaultRetries > 0, so default runs never pay it.
+     */
+    std::uint64_t hugeRetryBackoffCycles = 20000;
+
     double
     seconds(Cycles cycles) const
     {

@@ -32,7 +32,12 @@ void
 Mmu::chargeTouch(const vm::TouchInfo &info)
 {
     if (info.majorFault) {
-        faultCycles += costs.majorFaultCycles;
+        // Swap-in cost goes through the fault-injection latency scaler
+        // when one is installed (a transient device slowdown window).
+        std::uint64_t in_cycles = costs.majorFaultCycles;
+        if (swapScaler != nullptr)
+            in_cycles = swapScaler->scaleSwapCycles(in_cycles);
+        faultCycles += in_cycles;
     } else if (info.hugeFault) {
         faultCycles += costs.hugeFaultCycles(
             static_cast<unsigned>(hugeShift - baseShift));
@@ -42,8 +47,13 @@ Mmu::chargeTouch(const vm::TouchInfo &info)
     std::uint64_t os = 0;
     os += info.migratedPages * costs.migrateCyclesPerPage;
     os += info.reclaimedPages * costs.reclaimCyclesPerPage;
-    os += info.swappedOutPages * costs.swapOutCyclesPerPage;
+    std::uint64_t swap_out =
+        info.swappedOutPages * costs.swapOutCyclesPerPage;
+    if (swap_out != 0 && swapScaler != nullptr)
+        swap_out = swapScaler->scaleSwapCycles(swap_out);
+    os += swap_out;
     os += info.compactionFailures * costs.compactionFailCycles;
+    os += info.hugeAllocRetries * costs.hugeRetryBackoffCycles;
     if (os != 0)
         osCycles += os;
 }
@@ -51,6 +61,13 @@ Mmu::chargeTouch(const vm::TouchInfo &info)
 void
 Mmu::accessMiss(Addr vaddr, bool write, unsigned tag)
 {
+    // Watchdog cancellation is honored here, off the inlined all-hits
+    // path: a timed-out run unwinds at its next DTLB miss.
+    if (cancelFlag != nullptr &&
+        cancelFlag->load(std::memory_order_relaxed)) {
+        throw CancelledError("experiment cancelled during access");
+    }
+
     const std::uint64_t vpn_base = vaddr >> baseShift;
     const std::uint64_t vpn_huge = vaddr >> hugeShift;
 

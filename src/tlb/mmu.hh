@@ -13,6 +13,7 @@
 #define GPSM_TLB_MMU_HH
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -28,6 +29,21 @@
 
 namespace gpsm::tlb
 {
+
+/**
+ * Narrow fault-injection hook for swap timing: an active swap-latency
+ * window multiplies the cycles charged for swap traffic (the device
+ * transiently serving I/O slower). Implemented by fault::FaultSession;
+ * absent by default.
+ */
+class SwapCostScaler
+{
+  public:
+    virtual ~SwapCostScaler() = default;
+
+    /** Scale @p cycles of swap-device work by the active window. */
+    virtual std::uint64_t scaleSwapCycles(std::uint64_t cycles) = 0;
+};
 
 /**
  * MMU bound to one address space.
@@ -130,6 +146,27 @@ class Mmu
     }
     /** @} */
 
+    /** @name Fault-injection / cancellation hooks @{ */
+
+    /** Install (or, with nullptr, remove) the swap-latency scaler. */
+    void setSwapCostScaler(SwapCostScaler *scaler)
+    {
+        swapScaler = scaler;
+    }
+
+    /**
+     * Install a cooperative cancellation flag (the experiment engine's
+     * watchdog sets it on timeout). Checked only on the out-of-line
+     * miss path — the inlined hot path stays untouched — plus at
+     * runExperiment phase boundaries, so cancellation latency is at
+     * most one all-hits streak. Throws util CancelledError when set.
+     */
+    void setCancelFlag(const std::atomic<bool> *flag)
+    {
+        cancelFlag = flag;
+    }
+    /** @} */
+
     /**
      * Apply pending address-space invalidations immediately (called by
      * drivers after background khugepaged work; also runs after every
@@ -225,6 +262,9 @@ class Mmu
 
     bool trackHeat = false;
     std::unordered_map<std::uint64_t, std::uint32_t> heat;
+
+    SwapCostScaler *swapScaler = nullptr;
+    const std::atomic<bool> *cancelFlag = nullptr;
 
     std::function<void()> periodicHook;
     std::uint64_t hookInterval = 0;

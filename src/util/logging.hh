@@ -35,6 +35,22 @@ class PanicError : public std::logic_error
     explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
 };
 
+/**
+ * Thrown when a cooperative cancellation flag trips mid-execution
+ * (the experiment watchdog's timeout path). Neither a user error nor
+ * a gpsm bug: harness code catches it and reports a structured
+ * timeout, so it deliberately shares no base with FatalError or
+ * PanicError beyond std::exception.
+ */
+class CancelledError : public std::runtime_error
+{
+  public:
+    explicit CancelledError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
 namespace detail
 {
 

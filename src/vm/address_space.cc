@@ -359,6 +359,20 @@ AddressSpace::handleFault(Addr vaddr, const PageTable::Translation &cur)
         info.migratedPages += out.migratedPages;
         info.reclaimedPages += out.reclaimedPages;
         info.compactionFailures += out.compactionFailures;
+
+        // Graceful degradation: a failure may be a transient window
+        // (fault injection, or a hog releasing memory momentarily), so
+        // optionally wait it out with bounded, backoff-charged retries
+        // before the permanent base-page fallback.
+        for (unsigned attempt = 0;
+             !out.success && attempt < thp.hugeFaultRetries; ++attempt) {
+            ++info.hugeAllocRetries;
+            ++hugeRetries;
+            out = node.allocate(req);
+            info.migratedPages += out.migratedPages;
+            info.reclaimedPages += out.reclaimedPages;
+            info.compactionFailures += out.compactionFailures;
+        }
         if (out.success) {
             pt.mapHuge(huge_vpn, out.frame);
             ++vma->hugePages;
@@ -590,6 +604,9 @@ AddressSpace::registerStats(StatSet &stats,
     stats.registerCounter(prefix + ".hugeFallbacks", &hugeFallbacks,
                           "huge-eligible faults that fell back to base "
                           "pages");
+    stats.registerCounter(prefix + ".hugeRetries", &hugeRetries,
+                          "bounded huge-allocation retries taken on "
+                          "the fault path before fallback");
     stats.registerCounter(prefix + ".promotions", &promotions,
                           "khugepaged collapses");
     stats.registerCounter(prefix + ".demotions", &demotions,

@@ -82,6 +82,9 @@ struct TouchInfo
     std::uint64_t reclaimedPages = 0;
     std::uint64_t swappedOutPages = 0;
     std::uint64_t compactionFailures = 0;
+    /** Bounded huge-allocation retries taken before fallback
+     *  (ThpConfig::hugeFaultRetries); each is charged backoff. */
+    std::uint64_t hugeAllocRetries = 0;
 };
 
 /**
@@ -231,6 +234,7 @@ class AddressSpace : public mem::PageClient
     Counter hugeFaults;
     Counter majorFaults;
     Counter hugeFallbacks;  ///< eligible faults that fell back to base
+    Counter hugeRetries;    ///< bounded fault-path huge-alloc retries
     Counter promotions;
     Counter demotions;
     Counter promotionCopiedPages;

@@ -69,6 +69,15 @@ struct ThpConfig
      */
     bool khugepagedHotFirst = false;
 
+    /**
+     * Bounded retries of a failed huge-order allocation on the fault
+     * path before falling back to base pages (graceful degradation
+     * under transient, fault-injected failure windows; each retry is
+     * charged CostModel::hugeRetryBackoffCycles of backoff). 0 — the
+     * default, and Linux's behaviour — falls back immediately.
+     */
+    unsigned hugeFaultRetries = 0;
+
     /** Convenience presets. */
     static ThpConfig
     never()

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Fault-injection tests: a FaultPlan must be part of the experiment's
+ * identity (fingerprint), deterministic for a given seed pair, inert
+ * when dormant, and gracefully degrading when active — a run under
+ * injected faults still produces the correct kernel answer, only
+ * slower and on smaller pages.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "fault/fault_plan.hh"
+#include "fault/fault_session.hh"
+#include "mem/memory_node.hh"
+#include "mem/swap_device.hh"
+#include "tlb/mmu.hh"
+#include "util/units.hh"
+#include "vm/address_space.hh"
+
+using namespace gpsm;
+using namespace gpsm::core;
+using namespace gpsm::fault;
+
+namespace
+{
+
+/** Small machine + dataset so each run takes ~100ms. */
+ExperimentConfig
+smallConfig(App app = App::Bfs, const std::string &dataset = "kron")
+{
+    ExperimentConfig cfg;
+    cfg.app = app;
+    cfg.dataset = dataset;
+    cfg.scaleDivisor = 512;
+    cfg.sys = SystemConfig::scaled();
+    cfg.sys.node.bytes = 96_MiB;
+    cfg.sys.node.hugeWatermarkBytes = 96_MiB / 26;
+    return cfg;
+}
+
+/** Every field of RunResult, compared exactly — fault injection must
+ * be bit-reproducible, and a dormant plan must change nothing. */
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.initSeconds, b.initSeconds);
+    EXPECT_EQ(a.kernelSeconds, b.kernelSeconds);
+    EXPECT_EQ(a.preprocessSeconds, b.preprocessSeconds);
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.dtlbMisses, b.dtlbMisses);
+    EXPECT_EQ(a.stlbHits, b.stlbHits);
+    EXPECT_EQ(a.walks, b.walks);
+    EXPECT_EQ(a.dtlbMissRate, b.dtlbMissRate);
+    EXPECT_EQ(a.stlbMissRate, b.stlbMissRate);
+    EXPECT_EQ(a.translationCycleShare, b.translationCycleShare);
+    EXPECT_EQ(a.hugeFaults, b.hugeFaults);
+    EXPECT_EQ(a.minorFaults, b.minorFaults);
+    EXPECT_EQ(a.majorFaults, b.majorFaults);
+    EXPECT_EQ(a.swapOuts, b.swapOuts);
+    EXPECT_EQ(a.compactionRuns, b.compactionRuns);
+    EXPECT_EQ(a.compactionPagesMigrated, b.compactionPagesMigrated);
+    EXPECT_EQ(a.promotions, b.promotions);
+    EXPECT_EQ(a.footprintBytes, b.footprintBytes);
+    EXPECT_EQ(a.hugeBackedBytes, b.hugeBackedBytes);
+    EXPECT_EQ(a.giantBackedBytes, b.giantBackedBytes);
+    EXPECT_EQ(a.hugeFractionOfFootprint, b.hugeFractionOfFootprint);
+    EXPECT_EQ(a.hugeFallbacks, b.hugeFallbacks);
+    EXPECT_EQ(a.hugeAllocRetries, b.hugeAllocRetries);
+    EXPECT_EQ(a.injectedHugeFailures, b.injectedHugeFailures);
+    EXPECT_EQ(a.swapStalls, b.swapStalls);
+    EXPECT_EQ(a.faultEventsApplied, b.faultEventsApplied);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.kernelOutput, b.kernelOutput);
+}
+
+/** Bare machine for driving a FaultSession through its hooks
+ * directly (mirrors the test_mmu harness). */
+struct World
+{
+    explicit World()
+        : node(params(16_MiB)), swap(16_MiB, 4_KiB),
+          space(node, swap, vm::ThpConfig::never()),
+          mmu(space,
+              tlb::Tlb("dtlb",
+                       {tlb::TlbGeometry{16, 4}, tlb::TlbGeometry{8, 4}}),
+              tlb::Tlb::makeUnified("stlb", 64, 8), tlb::CostModel{},
+              nullptr)
+    {
+    }
+
+    static mem::MemoryNode::Params
+    params(std::uint64_t bytes)
+    {
+        mem::MemoryNode::Params p;
+        p.bytes = bytes;
+        p.basePageBytes = 4_KiB;
+        p.hugeOrder = 6;
+        return p;
+    }
+
+    mem::MemoryNode node;
+    mem::SwapDevice swap;
+    vm::AddressSpace space;
+    tlb::Mmu mmu;
+};
+
+} // namespace
+
+TEST(FaultPlan, FingerprintDistinguishesPlans)
+{
+    FaultPlan empty;
+    FaultPlan veto;
+    veto.events.push_back(FaultEvent{});
+    EXPECT_NE(empty.fingerprint(), veto.fingerprint());
+
+    FaultPlan reseeded = veto;
+    reseeded.seed = 2;
+    EXPECT_NE(veto.fingerprint(), reseeded.fingerprint());
+
+    FaultPlan flaky = veto;
+    flaky.events[0].probability = 0.5;
+    EXPECT_NE(veto.fingerprint(), flaky.fingerprint());
+
+    FaultPlan windowed = veto;
+    windowed.events[0].endAnchor = FaultAnchor::KernelStart;
+    windowed.events[0].endAt = 0;
+    EXPECT_NE(veto.fingerprint(), windowed.fingerprint());
+
+    // Identical plans agree (the memo/journal key must be stable).
+    EXPECT_EQ(veto.fingerprint(), FaultPlan(veto).fingerprint());
+
+    // The plan is part of the experiment's identity: same label,
+    // different fingerprint — aliasing them in the memo cache would
+    // serve a faulty run's result for a clean config.
+    ExperimentConfig clean = smallConfig();
+    ExperimentConfig faulty = clean;
+    faulty.faultPlan = veto;
+    EXPECT_EQ(clean.label(), faulty.label());
+    EXPECT_NE(clean.fingerprint(), faulty.fingerprint());
+}
+
+TEST(FaultSession, ProbabilisticVetoesAreSeedDeterministic)
+{
+    FaultPlan plan;
+    FaultEvent ev;
+    ev.kind = FaultKind::HugeAllocFail;
+    ev.probability = 0.5;
+    plan.events.push_back(ev);
+    plan.seed = 7;
+
+    // The veto pattern is a pure function of (plan seed, config seed).
+    auto pattern = [&](std::uint64_t config_seed) {
+        World w;
+        FaultSession s(plan, config_seed, w.node, w.swap, w.mmu);
+        std::vector<bool> out;
+        for (int i = 0; i < 256; ++i)
+            out.push_back(s.dropHugeAllocation());
+        return out;
+    };
+    const std::vector<bool> first = pattern(1);
+    EXPECT_EQ(first, pattern(1));
+    EXPECT_NE(first, pattern(2));
+
+    // probability 1 (the default) vetoes without consulting the RNG.
+    plan.events[0].probability = 1.0;
+    World w;
+    FaultSession s(plan, 1, w.node, w.swap, w.mmu);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(s.dropHugeAllocation());
+}
+
+TEST(FaultSession, TransientHogArrivesAndDeparts)
+{
+    World w;
+    FaultPlan plan;
+    FaultEvent arrive;
+    arrive.kind = FaultKind::MemhogArrive;
+    arrive.bytes = 4_MiB;
+    plan.events.push_back(arrive);
+    FaultEvent depart;
+    depart.kind = FaultKind::MemhogDepart;
+    depart.anchor = FaultAnchor::KernelStart;
+    plan.events.push_back(depart);
+
+    const std::uint64_t free_before = w.node.freeBytes();
+    FaultSession s(plan, 1, w.node, w.swap, w.mmu);
+    EXPECT_GE(s.transientHeldBytes(), 4_MiB);
+    EXPECT_LT(w.node.freeBytes(), free_before);
+    EXPECT_EQ(s.eventsApplied(), 1u);
+
+    s.enterKernelPhase();
+    EXPECT_EQ(s.transientHeldBytes(), 0u);
+    EXPECT_EQ(w.node.freeBytes(), free_before);
+    EXPECT_EQ(s.eventsApplied(), 2u);
+    ASSERT_EQ(s.trace().size(), 2u);
+    EXPECT_EQ(s.trace()[0].kind, FaultKind::MemhogArrive);
+    EXPECT_EQ(s.trace()[1].kind, FaultKind::MemhogDepart);
+}
+
+TEST(FaultSession, SwapLatencyWindowScalesCycles)
+{
+    FaultPlan plan;
+    FaultEvent spike;
+    spike.kind = FaultKind::SwapLatency;
+    spike.factor = 3.0;
+    spike.endAnchor = FaultAnchor::KernelStart;
+    spike.endAt = 0;
+    plan.events.push_back(spike);
+
+    World w;
+    FaultSession s(plan, 1, w.node, w.swap, w.mmu);
+    EXPECT_EQ(s.scaleSwapCycles(100), 300u);
+    // Closing the window (KernelStart end anchor) restores 1x.
+    s.enterKernelPhase();
+    EXPECT_EQ(s.scaleSwapCycles(100), 100u);
+}
+
+TEST(FaultExperiment, DormantPlanIsBitIdenticalToNoPlan)
+{
+    // A plan whose only window opens far past any reachable clock
+    // installs the full hook machinery but never fires: the result
+    // must be bit-identical to a run without any plan, proving the
+    // hooks are free when inactive.
+    const ExperimentConfig clean = smallConfig();
+    const RunResult base = runExperiment(clean);
+
+    ExperimentConfig dormant = clean;
+    FaultEvent never;
+    never.kind = FaultKind::HugeAllocFail;
+    never.at = 1ull << 60;
+    dormant.faultPlan.events.push_back(never);
+    const RunResult r = runExperiment(dormant);
+    expectIdentical(base, r);
+    EXPECT_EQ(r.faultEventsApplied, 0u);
+    EXPECT_EQ(r.injectedHugeFailures, 0u);
+}
+
+TEST(FaultExperiment, HugeFailureWindowDegradesToBasePages)
+{
+    ExperimentConfig clean = smallConfig();
+    clean.thpMode = vm::ThpMode::Always;
+    const RunResult base = runExperiment(clean);
+    ASSERT_GT(base.hugeBackedBytes, 0u); // window has something to kill
+
+    ExperimentConfig faulty = clean;
+    faulty.faultPlan.events.push_back(FaultEvent{}); // whole-run veto
+    const RunResult r = runExperiment(faulty);
+
+    // Graceful degradation: every huge fault falls back to base
+    // pages; the kernel's answer is untouched.
+    EXPECT_EQ(r.hugeBackedBytes, 0u);
+    EXPECT_GT(r.injectedHugeFailures, 0u);
+    EXPECT_GT(r.hugeFallbacks, 0u);
+    EXPECT_EQ(r.faultEventsApplied, r.injectedHugeFailures);
+    EXPECT_EQ(r.checksum, base.checksum);
+    EXPECT_EQ(r.kernelOutput, base.kernelOutput);
+}
+
+TEST(FaultExperiment, BoundedRetriesAreAccounted)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.thpMode = vm::ThpMode::Always;
+    cfg.hugeFaultRetries = 2;
+    cfg.faultPlan.events.push_back(FaultEvent{}); // whole-run veto
+
+    const RunResult r = runExperiment(cfg);
+    // Under a deterministic whole-run veto no retry can succeed, so
+    // every fallback burned exactly the configured retry budget.
+    EXPECT_GT(r.hugeFallbacks, 0u);
+    EXPECT_EQ(r.hugeAllocRetries, 2 * r.hugeFallbacks);
+
+    // The retry budget is part of the fingerprint (it changes costs).
+    ExperimentConfig no_retries = cfg;
+    no_retries.hugeFaultRetries = 0;
+    EXPECT_NE(cfg.fingerprint(), no_retries.fingerprint());
+}
+
+TEST(FaultExperiment, TransientPressureIsDeterministicAndCorrect)
+{
+    // The canonical scenario behind the promotion-policy ablation:
+    // load under a transient hog with huge allocations failing, then
+    // both lift at kernel start.
+    ExperimentConfig cfg = smallConfig();
+    cfg.thpMode = vm::ThpMode::Always;
+    cfg.faultPlan = FaultPlan::transientPressure(
+        workingSetBytes(cfg) + cfg.sys.hugePageBytes());
+
+    const RunResult a = runExperiment(cfg);
+    const RunResult b = runExperiment(cfg);
+    expectIdentical(a, b);
+
+    EXPECT_GE(a.faultEventsApplied, 2u); // hog arrived and departed
+    EXPECT_GT(a.injectedHugeFailures, 0u);
+
+    ExperimentConfig clean = smallConfig();
+    clean.thpMode = vm::ThpMode::Always;
+    const RunResult c = runExperiment(clean);
+    EXPECT_EQ(a.checksum, c.checksum);
+    EXPECT_EQ(a.kernelOutput, c.kernelOutput);
+}

@@ -55,6 +55,10 @@ usage()
         "  --file-source tmpfs|cache|directio\n"
         "  --paper                        Haswell 4KB/2MB geometry\n"
         "  --seed N                       generator seed (1)\n"
+        "  --journal PATH                 crash-safe result journal;\n"
+        "                                 re-runs skip finished runs\n"
+        "  --timeout-seconds X            per-experiment wall budget\n"
+        "  --timeout-retries N            extra tries after a timeout\n"
         "  --quiet                        suppress progress notes\n";
 }
 
@@ -136,6 +140,8 @@ try {
     bool use_advisor = false;
     double advisor_coverage = 0.8;
     unsigned jobs = 0; // 0 = hardware concurrency
+    std::string journal_path;
+    PoolOptions pool_opts;
     std::vector<App> apps = {App::Bfs};
     std::vector<std::string> datasets = {"kron"};
 
@@ -221,6 +227,14 @@ try {
             cfg.sys = SystemConfig::haswell();
         } else if (arg == "--seed") {
             cfg.seed = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--journal") {
+            journal_path = next();
+        } else if (arg == "--timeout-seconds") {
+            pool_opts.timeoutSeconds =
+                std::strtod(next().c_str(), nullptr);
+        } else if (arg == "--timeout-retries") {
+            pool_opts.timeoutRetries = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
         } else if (arg == "--quiet") {
             setQuiet(true);
         } else if (arg == "--help" || arg == "-h") {
@@ -259,13 +273,41 @@ try {
         }
     }
 
+    if (!journal_path.empty()) {
+        std::string err;
+        if (!enableResultJournal(journal_path, &err))
+            warn("result journal disabled: %s", err.c_str());
+        else if (resultJournalStats().loaded > 0)
+            inform("journal: %llu results resumed",
+                   static_cast<unsigned long long>(
+                       resultJournalStats().loaded));
+    }
+
     std::cout << cfg.sys.describe();
     ExperimentPool pool(jobs);
-    const std::vector<RunResult> results = pool.run(configs);
+    const std::vector<RunOutcome> outcomes =
+        pool.runOutcomes(configs, pool_opts);
 
-    for (std::size_t i = 0; i < configs.size(); ++i)
-        printResult(configs[i], results[i]);
-    return 0;
+    // Print every successful result first, then the structured
+    // failures, so one bad combination never hides the others.
+    int failures = 0;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (outcomes[i].ok())
+            printResult(configs[i], *outcomes[i].result);
+    }
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (outcomes[i].ok())
+            continue;
+        const ExperimentError &err = *outcomes[i].error;
+        ++failures;
+        std::fprintf(stderr,
+                     "FAILED [%s] %s: %s (attempts: %u)\n"
+                     "  fingerprint: %s\n",
+                     experimentErrorKindName(err.kind),
+                     err.label.c_str(), err.message.c_str(),
+                     err.attempts, err.fingerprint.c_str());
+    }
+    return failures == 0 ? 0 : 1;
 } catch (const FatalError &) {
     return 1;
 }
