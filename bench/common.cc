@@ -12,9 +12,11 @@
 #include <cstring>
 #include <iostream>
 #include <mutex>
+#include <optional>
 #include <sstream>
 
 #include "core/runner.hh"
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace gpsm::bench
@@ -28,6 +30,16 @@ unsigned gJobs = 0;
 
 /** Per-experiment timeout selected by parseOptions (0 = none). */
 double gTimeoutSeconds = 0.0;
+
+/** Live progress rendering selected by parseOptions. */
+bool gProgress = false;
+
+/** Shard selected by parseOptions (1/1 = whole batch). */
+unsigned gShard = 1;
+unsigned gShards = 1;
+
+/** Metrics dir selected by parseOptions ("" = telemetry off). */
+std::string gMetricsDir;
 
 /** Keeps concurrent note() lines whole. */
 std::mutex &
@@ -47,6 +59,23 @@ splitCsv(const std::string &arg)
         if (!tok.empty())
             out.push_back(tok);
     return out;
+}
+
+/** Parse a 1-based "--shard i/n" spec. */
+void
+parseShard(const std::string &spec, unsigned &shard, unsigned &shards)
+{
+    const std::size_t slash = spec.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= spec.size()) {
+        fatal("--shard wants i/n (e.g. 2/4), got '%s'", spec.c_str());
+    }
+    shard = static_cast<unsigned>(
+        std::strtoul(spec.substr(0, slash).c_str(), nullptr, 10));
+    shards = static_cast<unsigned>(
+        std::strtoul(spec.substr(slash + 1).c_str(), nullptr, 10));
+    if (shard == 0 || shards == 0 || shard > shards)
+        fatal("--shard %s out of range (1 <= i <= n)", spec.c_str());
 }
 
 core::App
@@ -85,6 +114,14 @@ parseOptions(int argc, char **argv)
         opts.journal = env;
     if (const char *env = std::getenv("GPSM_BENCH_TIMEOUT_SECONDS"))
         opts.timeoutSeconds = std::strtod(env, nullptr);
+    if (const char *env = std::getenv("GPSM_METRICS_DIR"))
+        opts.metricsDir = env;
+    if (const char *env = std::getenv("GPSM_SAMPLE_INTERVAL"))
+        opts.sampleInterval = std::strtoull(env, nullptr, 10);
+    if (const char *env = std::getenv("GPSM_BENCH_PROGRESS"))
+        opts.progress = env[0] == '1';
+    if (const char *env = std::getenv("GPSM_BENCH_SHARD"))
+        parseShard(env, opts.shard, opts.shards);
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -107,6 +144,15 @@ parseOptions(int argc, char **argv)
             opts.journal = next();
         } else if (arg == "--timeout-seconds") {
             opts.timeoutSeconds = std::strtod(next().c_str(), nullptr);
+        } else if (arg == "--metrics-dir") {
+            opts.metricsDir = next();
+        } else if (arg == "--sample-interval") {
+            opts.sampleInterval =
+                std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--progress") {
+            opts.progress = true;
+        } else if (arg == "--shard") {
+            parseShard(next(), opts.shard, opts.shards);
         } else if (arg == "--datasets") {
             opts.datasets = splitCsv(next());
             set_datasets = true;
@@ -121,7 +167,9 @@ parseOptions(int argc, char **argv)
                 "usage: %s [--divisor N] [--quick] [--paper]\n"
                 "          [--datasets kron,twit,web,wiki]"
                 " [--apps bfs,sssp,pr] [--jobs N]\n"
-                "          [--journal PATH] [--timeout-seconds X]\n",
+                "          [--journal PATH] [--timeout-seconds X]\n"
+                "          [--metrics-dir PATH] [--sample-interval N]\n"
+                "          [--progress] [--shard i/n]\n",
                 argv[0]);
             std::exit(0);
         } else {
@@ -145,6 +193,24 @@ parseOptions(int argc, char **argv)
         fatal("--timeout-seconds must be non-negative");
     gJobs = opts.jobs;
     gTimeoutSeconds = opts.timeoutSeconds;
+    gProgress = opts.progress;
+    gShard = opts.shard;
+    gShards = opts.shards;
+    gMetricsDir = opts.metricsDir;
+
+    // Telemetry request (process-wide, before the first experiment).
+    // setTelemetry() with an empty dir is the documented off switch,
+    // so benches that never pass --metrics-dir install nothing.
+    obs::TelemetryOptions telemetry;
+    telemetry.metricsDir = opts.metricsDir;
+    telemetry.sampleInterval = opts.sampleInterval;
+    obs::setTelemetry(telemetry);
+    if (gShards > 1) {
+        note("shard %u/%u: unowned rows render as zeros; union the "
+             "shards' journals for the full figure",
+             gShard, gShards);
+    }
+
     if (!opts.journal.empty()) {
         std::string err;
         if (core::enableResultJournal(opts.journal, &err)) {
@@ -245,27 +311,109 @@ run(const core::ExperimentConfig &cfg)
     return res;
 }
 
+namespace
+{
+
+/**
+ * Append one batch summary line to <metrics-dir>/batches.jsonl. This
+ * is the only telemetry file carrying wall-clock values (prefetch and
+ * batch durations), which is why it lives apart from the per-run
+ * documents: those stay byte-identical across --jobs levels and CI
+ * diffs them directly, excluding only this file.
+ */
+void
+appendBatchRecord(std::size_t configs, std::size_t owned,
+                  std::size_t failures,
+                  const core::PrefetchStats &prefetch,
+                  double wall_seconds)
+{
+    if (!obs::telemetryEnabled())
+        return;
+    const std::string path =
+        obs::telemetry().metricsDir + "/batches.jsonl";
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    if (f == nullptr)
+        return;
+    obs::Json line = obs::Json::object();
+    line.set("configs", static_cast<std::uint64_t>(configs));
+    line.set("owned", static_cast<std::uint64_t>(owned));
+    line.set("failures", static_cast<std::uint64_t>(failures));
+    line.set("jobs", static_cast<std::uint64_t>(gJobs));
+    line.set("shard", static_cast<std::uint64_t>(gShard));
+    line.set("shards", static_cast<std::uint64_t>(gShards));
+    line.set("prefetch_datasets",
+             static_cast<std::uint64_t>(prefetch.datasets));
+    line.set("prefetch_seconds", prefetch.seconds);
+    line.set("wall_seconds", wall_seconds);
+    const std::string text = line.dump() + "\n";
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
+} // namespace
+
 std::vector<core::RunResult>
 runAll(const std::vector<core::ExperimentConfig> &configs)
 {
+    // Shard filter: run only the owned deterministic partition;
+    // unowned rows keep default (zero) results so table geometry is
+    // unchanged and shard outputs can be overlaid.
+    std::vector<core::ExperimentConfig> owned_configs;
+    std::vector<std::size_t> owned_index;
+    if (gShards > 1) {
+        const std::vector<bool> owned =
+            core::shardSelection(configs, gShard, gShards);
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            if (owned[i]) {
+                owned_index.push_back(i);
+                owned_configs.push_back(configs[i]);
+            }
+        }
+    }
+    const std::vector<core::ExperimentConfig> &batch =
+        gShards > 1 ? owned_configs : configs;
+
+    std::optional<obs::ProgressMeter> meter;
+    if (gProgress)
+        meter.emplace(batch.size(), "");
+
     core::ExperimentPool pool(gJobs);
     core::PoolOptions popts;
     popts.timeoutSeconds = gTimeoutSeconds;
+    core::PrefetchStats prefetch;
+    popts.prefetchStats = &prefetch;
+    if (meter) {
+        popts.errorProgress = [&meter](std::size_t,
+                                       const core::ExperimentConfig &,
+                                       const core::ExperimentError &) {
+            meter->onError();
+        };
+    }
+    const auto start = std::chrono::steady_clock::now();
     const std::vector<core::RunOutcome> outcomes = pool.runOutcomes(
-        configs, popts,
-        [](std::size_t, const core::ExperimentConfig &cfg,
-           const core::RunResult &res, double wall, bool cached) {
+        batch, popts,
+        [&meter](std::size_t, const core::ExperimentConfig &cfg,
+                 const core::RunResult &res, double wall, bool cached) {
             noteResult(cfg, res, wall, cached);
+            if (meter)
+                meter->onResult(wall, cached);
         });
+    const double batch_wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (meter)
+        meter->finish();
 
     // Report failures only after the whole batch drained: every
     // healthy config has produced (and journaled) its result, so a
     // re-run resumes instead of recomputing.
-    std::vector<core::RunResult> results(outcomes.size());
+    std::vector<core::RunResult> results(configs.size());
     std::size_t failures = 0;
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const std::size_t at = gShards > 1 ? owned_index[i] : i;
         if (outcomes[i].ok()) {
-            results[i] = *outcomes[i].result;
+            results[at] = *outcomes[i].result;
             continue;
         }
         const core::ExperimentError &err = *outcomes[i].error;
@@ -275,6 +423,8 @@ runAll(const std::vector<core::ExperimentConfig> &configs)
              err.label.c_str(), err.message.c_str());
         note("         fingerprint: %s", err.fingerprint.c_str());
     }
+    appendBatchRecord(configs.size(), batch.size(), failures,
+                      prefetch, batch_wall);
     if (failures > 0) {
         fatal("%zu of %zu experiments failed", failures,
               outcomes.size());

@@ -49,6 +49,28 @@ struct Options
      *  experiment wall-clock budget for runAll() batches; overruns
      *  are cancelled and reported per fingerprint. 0 disables. */
     double timeoutSeconds = 0.0;
+    /** --metrics-dir PATH / GPSM_METRICS_DIR: per-run telemetry
+     *  documents (metrics JSON, Chrome trace, series JSONL) are
+     *  written here, one set per executed fingerprint. Empty (the
+     *  default) disables telemetry entirely; bench stdout is
+     *  byte-identical either way. */
+    std::string metricsDir;
+    /** --sample-interval N / GPSM_SAMPLE_INTERVAL: sampler epoch
+     *  length in traced accesses (simulated clock, so series are
+     *  identical at any --jobs). 0 disables the time-series sampler;
+     *  metrics documents are still written. Only meaningful with
+     *  --metrics-dir. */
+    std::uint64_t sampleInterval = 1u << 20;
+    /** --progress / GPSM_BENCH_PROGRESS: live batch progress lines
+     *  (done/cached/failed counts, elapsed, ETA) on stderr. */
+    bool progress = false;
+    /** --shard i/n / GPSM_BENCH_SHARD: run only the i-th of n
+     *  deterministic partitions of each runAll() batch (1-based).
+     *  Unowned rows render as zeros; union the result journals of all
+     *  shards (or diff their metrics dirs) to assemble the full
+     *  figure. 1/1 (the default) disables sharding. */
+    unsigned shard = 1;
+    unsigned shards = 1;
 };
 
 /**

@@ -13,12 +13,51 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "common.hh"
 
 using namespace gpsm;
 using namespace gpsm::bench;
 using namespace gpsm::core;
+
+namespace
+{
+
+/** Configs per (app, dataset) cell, in declaration order. */
+constexpr std::size_t kPerCell = 6;
+
+/** The six bars of one cell: baseline first, then the five series. */
+std::vector<ExperimentConfig>
+cellConfigs(const Options &opts, App app, const std::string &ds)
+{
+    ExperimentConfig base = baseConfig(opts, app, ds);
+    base.thpMode = vm::ThpMode::Never;
+    base.constrainMemory = true;
+    base.slackBytes = paperGiB(3.0, base.sys);
+    base.fragLevel = 0.5;
+
+    ExperimentConfig dbg = base;
+    dbg.reorder = graph::ReorderMethod::Dbg;
+
+    ExperimentConfig thp = base;
+    thp.thpMode = vm::ThpMode::Always;
+
+    ExperimentConfig dbg_thp = thp;
+    dbg_thp.reorder = graph::ReorderMethod::Dbg;
+
+    auto selective = [&](double s) {
+        ExperimentConfig cfg = base;
+        cfg.thpMode = vm::ThpMode::Madvise;
+        cfg.reorder = graph::ReorderMethod::Dbg;
+        cfg.madvise = MadviseSelection::propertyOnly(s);
+        return cfg;
+    };
+
+    return {base, dbg, thp, dbg_thp, selective(0.5), selective(1.0)};
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -28,41 +67,32 @@ main(int argc, char **argv)
                 "fragmentation",
                 opts);
 
+    // Declare the whole figure up front and execute it as one
+    // runAll() batch so the pool sees every config at once (parallel
+    // dispatch, dataset prefetch, sharding); results come back in
+    // declaration order, kPerCell per (app, dataset) cell.
+    std::vector<ExperimentConfig> configs;
+    for (App app : opts.apps)
+        for (const std::string &ds : opts.datasets)
+            for (ExperimentConfig &cfg : cellConfigs(opts, app, ds))
+                configs.push_back(std::move(cfg));
+    const std::vector<RunResult> results = runAll(configs);
+
     TableWriter table("fig10");
     table.setHeader({"app", "dataset", "dbg only", "thp system",
                      "dbg+thp system", "dbg+sel 50%", "dbg+sel 100%",
                      "huge frac (sel 50%)"});
 
+    std::size_t at = 0;
     for (App app : opts.apps) {
         for (const std::string &ds : opts.datasets) {
-            ExperimentConfig base = baseConfig(opts, app, ds);
-            base.thpMode = vm::ThpMode::Never;
-            base.constrainMemory = true;
-            base.slackBytes = paperGiB(3.0, base.sys);
-            base.fragLevel = 0.5;
-            const RunResult r4k = run(base);
-
-            ExperimentConfig dbg = base;
-            dbg.reorder = graph::ReorderMethod::Dbg;
-            const RunResult rdbg = run(dbg);
-
-            ExperimentConfig thp = base;
-            thp.thpMode = vm::ThpMode::Always;
-            const RunResult rthp = run(thp);
-
-            ExperimentConfig dbg_thp = thp;
-            dbg_thp.reorder = graph::ReorderMethod::Dbg;
-            const RunResult rdbg_thp = run(dbg_thp);
-
-            auto selective = [&](double s) {
-                ExperimentConfig cfg = base;
-                cfg.thpMode = vm::ThpMode::Madvise;
-                cfg.reorder = graph::ReorderMethod::Dbg;
-                cfg.madvise = MadviseSelection::propertyOnly(s);
-                return run(cfg);
-            };
-            const RunResult rsel50 = selective(0.5);
-            const RunResult rsel100 = selective(1.0);
+            const RunResult &r4k = results[at + 0];
+            const RunResult &rdbg = results[at + 1];
+            const RunResult &rthp = results[at + 2];
+            const RunResult &rdbg_thp = results[at + 3];
+            const RunResult &rsel50 = results[at + 4];
+            const RunResult &rsel100 = results[at + 5];
+            at += kPerCell;
 
             table.addRow(
                 {appName(app), ds,

@@ -23,7 +23,7 @@ out=""
 flags=()
 while [ $# -gt 0 ]; do
     case "$1" in
-    --jobs|--divisor|--apps|--datasets|--journal|--timeout-seconds)
+    --jobs|--divisor|--apps|--datasets|--journal|--timeout-seconds|--shard|--metrics-dir|--sample-interval)
         flags+=("$1" "$2")
         shift 2
         ;;

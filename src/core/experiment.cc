@@ -10,17 +10,19 @@
 #include <future>
 #include <memory>
 #include <mutex>
-#include <sstream>
-
 #include <optional>
+#include <sstream>
+#include <thread>
 
 #include "core/kernels.hh"
 #include "core/machine.hh"
+#include "core/metrics.hh"
 #include "core/views.hh"
 #include "fault/fault_session.hh"
 #include "graph/datasets.hh"
 #include "mem/fragmenter.hh"
 #include "mem/memhog.hh"
+#include "obs/telemetry.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -356,7 +358,67 @@ runExperiment(const ExperimentConfig &cfg,
 
     // 5/6. Load and execute, separating init- and kernel-phase costs.
     tlb::Mmu &mmu = machine.mmu();
+
+    // Telemetry session (opt-in): a trace sink plus, when sampling is
+    // requested, a StatSet sampler clocked on the MMU access counter.
+    // Hooks are installed only here and released on every exit path
+    // (the guard covers cancellation unwind), so a run without
+    // telemetry stays bit-identical to a build without this layer.
+    std::optional<obs::TraceSink> trace;
+    std::optional<obs::TimeSeriesSampler> sampler;
+    struct HookGuard
+    {
+        SimMachine *machine = nullptr;
+        fault::FaultSession *session = nullptr;
+
+        void
+        release()
+        {
+            if (machine == nullptr)
+                return;
+            machine->space().setTraceHook(nullptr);
+            machine->node().setTraceHook(nullptr);
+            machine->mmu().setSampleHook(0, nullptr);
+            if (session != nullptr)
+                session->setTraceHook(nullptr);
+            machine = nullptr;
+            session = nullptr;
+        }
+
+        ~HookGuard() { release(); }
+    } hooks;
+    if (obs::telemetryEnabled()) {
+        trace.emplace(mmu.accesses);
+        machine.space().setTraceHook(&*trace);
+        machine.node().setTraceHook(&*trace);
+        if (faults)
+            faults->setTraceHook(&*trace);
+        hooks.machine = &machine;
+        hooks.session = faults ? &*faults : nullptr;
+
+        const std::uint64_t interval = obs::telemetry().sampleInterval;
+        if (interval != 0) {
+            sampler.emplace(machine.stats(), mmu.accesses, interval);
+            // Gauges: huge-backed bytes of every live array, so the
+            // series shows *which* array gained coverage when
+            // khugepaged or the fault path promoted regions.
+            sampler->setGaugeProvider([&machine]() {
+                std::vector<std::pair<std::string, std::uint64_t>> g;
+                const vm::AddressSpace &space = machine.space();
+                for (const vm::Vma *vma : space.vmas()) {
+                    g.emplace_back("hugeBytes." + vma->name,
+                                   vma->hugePages *
+                                       space.hugePageBytes());
+                }
+                return g;
+            });
+            mmu.setSampleHook(interval, [&sampler] { sampler->tick(); });
+        }
+    }
+
     const MmuSnap before_init = MmuSnap::take(mmu);
+    if (trace)
+        trace->traceEvent(obs::TraceKind::PhaseBegin, 0, "init");
 
     KernelOutcome outcome;
     MmuSnap before_kernel{};
@@ -406,6 +468,10 @@ runExperiment(const ExperimentConfig &cfg,
         if (faults)
             faults->enterKernelPhase();
 
+        if (trace) {
+            trace->traceEvent(obs::TraceKind::PhaseEnd, 0, "init");
+            trace->traceEvent(obs::TraceKind::PhaseBegin, 0, "kernel");
+        }
         before_kernel = MmuSnap::take(mmu);
         if constexpr (std::is_same_v<PropT, std::uint64_t>) {
             const graph::NodeId root = defaultRoot(g);
@@ -422,6 +488,8 @@ runExperiment(const ExperimentConfig &cfg,
                     .iterations;
         }
         outcome.checksum = propChecksum(view.propRaw());
+        if (trace)
+            trace->traceEvent(obs::TraceKind::PhaseEnd, 0, "kernel");
     };
 
     if (cfg.app == App::Pr)
@@ -485,7 +553,94 @@ runExperiment(const ExperimentConfig &cfg,
 
     res.checksum = outcome.checksum;
     res.kernelOutput = outcome.output;
+
+    if (trace) {
+        if (sampler)
+            sampler->finish();
+        // Uninstall before exporting: the export allocates and must
+        // never record into the sink it is reading.
+        hooks.release();
+
+        obs::Json stats_json = obs::Json::object();
+        for (const auto &[name, value] : machine.stats().snapshot())
+            stats_json.set(name, obs::Json(value));
+        obs::Json extra = obs::Json::object();
+        extra.set("app", appName(cfg.app));
+        extra.set("dataset", cfg.dataset);
+        obs::writeRunTelemetry(obs::telemetry(), cfg.label(),
+                               cfg.fingerprint(), *trace,
+                               sampler ? &*sampler : nullptr,
+                               resultJson(res), std::move(stats_json),
+                               std::move(extra));
+    }
     return res;
+}
+
+std::size_t
+prefetchDatasets(const std::vector<ExperimentConfig> &configs,
+                 unsigned jobs)
+{
+    struct Key
+    {
+        std::string dataset;
+        std::uint64_t divisor;
+        bool weighted;
+        std::uint64_t seed;
+
+        bool
+        operator==(const Key &o) const
+        {
+            return dataset == o.dataset && divisor == o.divisor &&
+                   weighted == o.weighted && seed == o.seed;
+        }
+    };
+
+    std::vector<Key> keys;
+    for (const ExperimentConfig &cfg : configs) {
+        Key k{cfg.dataset, cfg.scaleDivisor, cfg.app == App::Sssp,
+              cfg.seed};
+        if (std::find(keys.begin(), keys.end(), k) == keys.end())
+            keys.push_back(std::move(k));
+        // The dataset cache holds 8 entries (FIFO): prefetching more
+        // would evict earlier prefetches before the batch uses them.
+        if (keys.size() >= 8)
+            break;
+    }
+    if (keys.empty())
+        return 0;
+
+    auto generate = [&keys](std::size_t i) {
+        const Key &k = keys[i];
+        try {
+            cachedDataset(k.dataset, k.divisor, k.weighted, k.seed);
+        } catch (...) {
+            // Generation failures surface on the real run, with the
+            // pool's per-config error reporting around them.
+        }
+    };
+
+    const unsigned workers = std::min<unsigned>(
+        jobs, static_cast<unsigned>(keys.size()));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < keys.size(); ++i)
+            generate(i);
+        return keys.size();
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        threads.emplace_back([&] {
+            for (std::size_t i = next.fetch_add(1); i < keys.size();
+                 i = next.fetch_add(1)) {
+                generate(i);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    return keys.size();
 }
 
 double

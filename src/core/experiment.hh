@@ -13,8 +13,10 @@
 #define GPSM_CORE_EXPERIMENT_HH
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/alloc_order.hh"
 #include "core/file_source.hh"
@@ -218,6 +220,21 @@ RunResult runExperiment(const ExperimentConfig &config,
  * will occupy, used to express paper-style "WSS + slack" scenarios.
  */
 std::uint64_t workingSetBytes(const ExperimentConfig &config);
+
+/**
+ * Pre-generate the distinct datasets of @p configs in parallel (the
+ * pool's batch warm-up): dataset generation is the serial head of an
+ * otherwise parallel sweep, because each graph is built single-flight
+ * on whichever worker asks first while workers needing the *same*
+ * graph block behind it. Prefetching with @p jobs generator threads
+ * fills the dataset cache before experiments start. Bounded by the
+ * cache capacity (8 entries, FIFO); failures are swallowed here and
+ * surface on the run that needs the dataset.
+ *
+ * @return number of distinct datasets prefetched.
+ */
+std::size_t prefetchDatasets(
+    const std::vector<ExperimentConfig> &configs, unsigned jobs);
 
 /**
  * The speedup of @p result over @p baseline (ratio of kernel times,

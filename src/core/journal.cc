@@ -5,6 +5,7 @@
 
 #include "core/journal.hh"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdlib>
 #include <cstring>
@@ -332,6 +333,23 @@ ResultJournal::entries() const
 {
     std::lock_guard<std::mutex> lock(mtx);
     return index.size();
+}
+
+std::vector<std::pair<std::string, RunResult>>
+ResultJournal::snapshotAll() const
+{
+    std::vector<std::pair<std::string, RunResult>> out;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        out.reserve(index.size());
+        for (const auto &[fp, result] : index)
+            out.emplace_back(fp, result);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+        return a.first < b.first;
+    });
+    return out;
 }
 
 } // namespace gpsm::core

@@ -27,6 +27,8 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/experiment.hh"
 
@@ -73,6 +75,13 @@ class ResultJournal
 
     /** Records loaded from disk plus records appended this process. */
     std::size_t entries() const;
+
+    /**
+     * Copy of every indexed (fingerprint, result) record, sorted by
+     * fingerprint so callers iterate deterministically (gpsm_report
+     * summarizes and diffs whole journals).
+     */
+    std::vector<std::pair<std::string, RunResult>> snapshotAll() const;
 
     /** Lines skipped on load (torn writes, corruption, old formats). */
     std::size_t corruptedLines() const { return corrupted; }

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * RunResult metrics bridge implementation.
+ */
+
+#include "core/metrics.hh"
+
+namespace gpsm::core
+{
+
+namespace
+{
+
+/**
+ * Visit every RunResult field in declaration order. One traversal
+ * feeds both the metric list and the JSON object, so the two exports
+ * cannot drift apart.
+ *
+ * @param f callback(name, value, integral) — integral distinguishes
+ *        counters (emitted as JSON integers) from rates/seconds.
+ */
+template <typename F>
+void
+visitResult(const RunResult &r, F &&f)
+{
+    f("initSeconds", r.initSeconds, false);
+    f("kernelSeconds", r.kernelSeconds, false);
+    f("preprocessSeconds", r.preprocessSeconds, false);
+
+    f("accesses", static_cast<double>(r.accesses), true);
+    f("dtlbMisses", static_cast<double>(r.dtlbMisses), true);
+    f("stlbHits", static_cast<double>(r.stlbHits), true);
+    f("walks", static_cast<double>(r.walks), true);
+    f("dtlbMissRate", r.dtlbMissRate, false);
+    f("stlbMissRate", r.stlbMissRate, false);
+    f("translationCycleShare", r.translationCycleShare, false);
+
+    f("hugeFaults", static_cast<double>(r.hugeFaults), true);
+    f("minorFaults", static_cast<double>(r.minorFaults), true);
+    f("majorFaults", static_cast<double>(r.majorFaults), true);
+    f("swapOuts", static_cast<double>(r.swapOuts), true);
+    f("compactionRuns", static_cast<double>(r.compactionRuns), true);
+    f("compactionPagesMigrated",
+      static_cast<double>(r.compactionPagesMigrated), true);
+    f("promotions", static_cast<double>(r.promotions), true);
+
+    f("footprintBytes", static_cast<double>(r.footprintBytes), true);
+    f("hugeBackedBytes", static_cast<double>(r.hugeBackedBytes), true);
+    f("giantBackedBytes", static_cast<double>(r.giantBackedBytes), true);
+    f("hugeFractionOfFootprint", r.hugeFractionOfFootprint, false);
+
+    f("hugeFallbacks", static_cast<double>(r.hugeFallbacks), true);
+    f("hugeAllocRetries", static_cast<double>(r.hugeAllocRetries), true);
+    f("injectedHugeFailures",
+      static_cast<double>(r.injectedHugeFailures), true);
+    f("swapStalls", static_cast<double>(r.swapStalls), true);
+    f("faultEventsApplied",
+      static_cast<double>(r.faultEventsApplied), true);
+
+    f("checksum", static_cast<double>(r.checksum), true);
+    f("kernelOutput", static_cast<double>(r.kernelOutput), true);
+}
+
+} // namespace
+
+std::vector<std::pair<std::string, double>>
+resultMetrics(const RunResult &result)
+{
+    std::vector<std::pair<std::string, double>> out;
+    visitResult(result, [&](const char *name, double value, bool) {
+        out.emplace_back(name, value);
+    });
+    return out;
+}
+
+std::map<std::string, double>
+resultMetricMap(const RunResult &result)
+{
+    std::map<std::string, double> out;
+    visitResult(result, [&](const char *name, double value, bool) {
+        out.emplace(name, value);
+    });
+    return out;
+}
+
+obs::Json
+resultJson(const RunResult &result)
+{
+    obs::Json doc = obs::Json::object();
+    visitResult(result,
+                [&](const char *name, double value, bool integral) {
+        // Counters go through the uint64 constructor so dump() writes
+        // them without a decimal point and they round-trip exactly.
+        if (integral)
+            doc.set(name, obs::Json(static_cast<std::uint64_t>(value)));
+        else
+            doc.set(name, obs::Json(value));
+    });
+    return doc;
+}
+
+std::map<std::string, double>
+metricMapFromJson(const obs::Json &object)
+{
+    std::map<std::string, double> out;
+    if (!object.isObject())
+        return out;
+    for (const auto &[key, value] : object.entries()) {
+        if (value.isNumber())
+            out.emplace(key, value.asNumber());
+    }
+    return out;
+}
+
+} // namespace gpsm::core

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * RunResult <-> structured-metrics bridge.
+ *
+ * One place defines how a RunResult is seen by the telemetry layer:
+ * resultJson() produces the insertion-ordered "result" object embedded
+ * in per-run metrics documents (obs::writeRunTelemetry), and
+ * resultMetrics() flattens the same fields into name/value pairs for
+ * gpsm_report's diff engine. Keeping both in one translation unit
+ * guarantees a journaled result and a metrics document disagree only
+ * when the underlying runs did.
+ */
+
+#ifndef GPSM_CORE_METRICS_HH
+#define GPSM_CORE_METRICS_HH
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "obs/json.hh"
+
+namespace gpsm::core
+{
+
+/**
+ * Every RunResult field as an ordered name/value list (doubles; the
+ * integral fields convert exactly below 2^53). Order matches the
+ * RunResult declaration so tables and JSON documents read the same.
+ */
+std::vector<std::pair<std::string, double>>
+resultMetrics(const RunResult &result);
+
+/** resultMetrics() as a lookup map (for diffing). */
+std::map<std::string, double> resultMetricMap(const RunResult &result);
+
+/**
+ * The "result" object of a metrics document: one member per RunResult
+ * field, declaration order, integral fields as JSON integers.
+ */
+obs::Json resultJson(const RunResult &result);
+
+/**
+ * Inverse direction for gpsm_report: flatten a metrics document's
+ * "result" object (any JSON object of numbers) into a metric map.
+ * Non-numeric members are ignored.
+ */
+std::map<std::string, double> metricMapFromJson(const obs::Json &object);
+
+} // namespace gpsm::core
+
+#endif // GPSM_CORE_METRICS_HH

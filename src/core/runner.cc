@@ -53,6 +53,42 @@ memo()
     return cache;
 }
 
+/**
+ * Will @p key be served without executing? Peeks memory and journal
+ * without touching the hit counters (used to scope the prefetch stage
+ * to configs that will actually run).
+ */
+bool
+memoHas(const std::string &key)
+{
+    MemoCache &m = memo();
+    std::lock_guard<std::mutex> lock(m.mtx);
+    if (m.results.find(key) != m.results.end())
+        return true;
+    return m.journal != nullptr && m.journal->lookup(key).has_value();
+}
+
+/**
+ * Batch warm-up: pre-generate the datasets of the configs that will
+ * execute (memo/journal misses). Worth nothing at one job —
+ * generation serializes either way — so it is skipped there.
+ */
+PrefetchStats
+prefetchPending(const std::vector<ExperimentConfig> &pending,
+                unsigned jobs)
+{
+    PrefetchStats stats;
+    if (jobs <= 1 || pending.empty())
+        return stats;
+
+    const auto start = std::chrono::steady_clock::now();
+    stats.datasets = prefetchDatasets(pending, jobs);
+    stats.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    return stats;
+}
+
 } // namespace
 
 MemoStats
@@ -203,6 +239,16 @@ ExperimentPool::run(const std::vector<ExperimentConfig> &configs,
         it->second.indices.push_back(i);
     }
 
+    if (jobCount > 1) {
+        std::vector<ExperimentConfig> pending;
+        for (const std::string &key : order) {
+            if (!memoHas(key))
+                pending.push_back(
+                    configs[groups.at(key).indices.front()]);
+        }
+        prefetchPending(pending, jobCount);
+    }
+
     auto run_one = [&](const std::string &key) {
         const Group &group = groups.at(key);
         const std::size_t rep = group.indices.front();
@@ -334,6 +380,21 @@ ExperimentPool::runOutcomes(const std::vector<ExperimentConfig> &configs,
         it->second.indices.push_back(i);
     }
 
+    if (options.prefetchStats != nullptr)
+        *options.prefetchStats = PrefetchStats{};
+    if (options.prefetch && jobCount > 1) {
+        std::vector<ExperimentConfig> pending;
+        for (const std::string &key : order) {
+            if (!memoHas(key))
+                pending.push_back(
+                    configs[groups.at(key).indices.front()]);
+        }
+        const PrefetchStats stats =
+            prefetchPending(pending, jobCount);
+        if (options.prefetchStats != nullptr)
+            *options.prefetchStats = stats;
+    }
+
     const bool timed = options.timeoutSeconds > 0.0;
     std::unique_ptr<Watchdog> watchdog;
     if (timed)
@@ -413,6 +474,11 @@ ExperimentPool::runOutcomes(const std::vector<ExperimentConfig> &configs,
                          idx == rep && !cached ? wall : 0.0,
                          cached || idx != rep);
         }
+        if (options.errorProgress && !outcome.ok()) {
+            for (std::size_t idx : group.indices)
+                options.errorProgress(idx, configs[idx],
+                                      *outcome.error);
+        }
     };
 
     if (jobCount <= 1 || order.size() <= 1) {
@@ -428,6 +494,23 @@ ExperimentPool::runOutcomes(const std::vector<ExperimentConfig> &configs,
         pool.submit([&run_one, &key] { run_one(key); });
     pool.wait();
     return outcomes;
+}
+
+std::vector<bool>
+shardSelection(const std::vector<ExperimentConfig> &configs,
+               unsigned shard, unsigned shards)
+{
+    if (shards == 0 || shard == 0 || shard > shards)
+        fatal("invalid shard %u/%u", shard, shards);
+
+    std::vector<bool> owned(configs.size(), false);
+    std::unordered_map<std::string, std::size_t> unique;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const std::string key = configs[i].fingerprint();
+        const auto it = unique.try_emplace(key, unique.size()).first;
+        owned[i] = (it->second % shards) == (shard - 1);
+    }
+    return owned;
 }
 
 } // namespace gpsm::core

@@ -123,6 +123,14 @@ struct RunOutcome
     bool ok() const { return result.has_value(); }
 };
 
+/** What the batch's dataset-prefetch stage did (wall time only ever
+ *  reported out-of-band: simulated results are unaffected). */
+struct PrefetchStats
+{
+    std::size_t datasets = 0; ///< distinct datasets pre-generated
+    double seconds = 0.0;     ///< wall-clock spent prefetching
+};
+
 /** Hardening knobs for ExperimentPool::runOutcomes(). */
 struct PoolOptions
 {
@@ -141,6 +149,29 @@ struct PoolOptions
      * deterministic throw would just throw again.
      */
     unsigned timeoutRetries = 0;
+
+    /**
+     * Pre-generate the batch's distinct datasets in parallel before
+     * dispatching experiments (core::prefetchDatasets). Only configs
+     * that will actually execute are considered — memoized and
+     * journaled fingerprints are skipped. No effect at --jobs 1
+     * (generation would serialize either way).
+     */
+    bool prefetch = true;
+
+    /** Out-param: prefetch activity of this batch (when non-null). */
+    PrefetchStats *prefetchStats = nullptr;
+
+    /**
+     * Invoked once per input config whose outcome is an error, as it
+     * happens, possibly from a worker thread (callees serialize their
+     * own output). Complements Progress, which only fires for
+     * successful results.
+     */
+    std::function<void(std::size_t index,
+                       const ExperimentConfig &config,
+                       const ExperimentError &error)>
+        errorProgress;
 };
 
 /**
@@ -190,6 +221,21 @@ class ExperimentPool
   private:
     unsigned jobCount;
 };
+
+/**
+ * Deterministic shard filter for splitting one batch across processes
+ * (bench --shard i/n): input config @c i is owned by shard
+ * `(first-occurrence index of its fingerprint) % shards`, counted over
+ * the batch's unique fingerprints in submission order. Duplicate
+ * configs therefore always land on the same shard (one execution per
+ * shard set), and the union of all shards is exactly the batch.
+ *
+ * @param shard 1-based shard number, 1 <= shard <= shards.
+ * @return one flag per input config; true = owned by @p shard.
+ */
+std::vector<bool>
+shardSelection(const std::vector<ExperimentConfig> &configs,
+               unsigned shard, unsigned shards);
 
 } // namespace gpsm::core
 

@@ -99,6 +99,11 @@ FaultSession::record(FaultKind kind, std::uint64_t detail)
     ++appliedCount;
     if (applied.size() < traceCapacity)
         applied.push_back({now(), kind, detail});
+    if (traceHook != nullptr) {
+        traceHook->traceEvent(isWindow(kind) ? obs::TraceKind::FaultVeto
+                                             : obs::TraceKind::FaultEvent,
+                              detail, faultKindName(kind));
+    }
 }
 
 void

@@ -13,6 +13,7 @@
 #include "mem/memhog.hh"
 #include "mem/memory_node.hh"
 #include "mem/swap_device.hh"
+#include "obs/hooks.hh"
 #include "tlb/mmu.hh"
 #include "util/rng.hh"
 
@@ -92,6 +93,14 @@ class FaultSession final : public mem::AllocationInterceptor,
 
     static constexpr std::size_t traceCapacity = 65536;
 
+    /**
+     * Install (or, with nullptr, remove) the telemetry trace hook.
+     * Every applied point event (FaultEvent) and veto (FaultVeto) is
+     * mirrored through it. Observation-only: the hook never alters
+     * what the session applies or records.
+     */
+    void setTraceHook(obs::TraceHook *hook) { traceHook = hook; }
+
   private:
     /** One plan event bound to resolved clock values. */
     struct Scheduled
@@ -136,6 +145,7 @@ class FaultSession final : public mem::AllocationInterceptor,
     mem::Memhog permanentHog;  ///< FramePoolShrink target
 
     std::vector<AppliedEvent> applied;
+    obs::TraceHook *traceHook = nullptr;
     std::uint64_t appliedCount = 0;
     bool anyPending = false; ///< unfired point events remain
 };

@@ -168,6 +168,11 @@ MemoryNode::allocate(const Request &req)
         Compactor::Result res = compactor->createHugeRegion();
         out.migratedPages += res.migratedPages;
         compactionPagesMigrated += res.migratedPages;
+        if (traceHook != nullptr)
+            traceHook->traceEvent(obs::TraceKind::CompactionRun,
+                                  res.migratedPages,
+                                  res.success ? "direct"
+                                              : "direct_failed");
         if (res.success) {
             bool ok = alloc->allocateExact(res.regionHead, hugeOrd,
                                            req.mt, req.client);

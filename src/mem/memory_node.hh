@@ -15,6 +15,7 @@
 
 #include "mem/buddy_allocator.hh"
 #include "mem/types.hh"
+#include "obs/hooks.hh"
 #include "util/stats.hh"
 #include "util/units.hh"
 
@@ -113,6 +114,14 @@ class MemoryNode
     {
         interceptor = hook;
     }
+
+    /**
+     * Install (or, with nullptr, remove) the telemetry trace hook;
+     * direct-compaction passes are reported through it. Same contract
+     * as the fault interceptor: one hook, caller-owned, observation-
+     * only.
+     */
+    void setTraceHook(obs::TraceHook *hook) { traceHook = hook; }
 
     /** Allocation request with Linux-like escalation switches. */
     struct Request
@@ -216,6 +225,7 @@ class MemoryNode
     std::vector<PageClient *> clients;
     std::vector<Reclaimable *> reclaimables;
     AllocationInterceptor *interceptor = nullptr;
+    obs::TraceHook *traceHook = nullptr;
 
     /** FIFO of possibly-swappable frames (validated lazily). */
     std::deque<FrameNum> swappable;

@@ -1,0 +1,431 @@
+/**
+ * @file
+ * JSON parser/writer implementation.
+ */
+
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace gpsm::obs
+{
+
+void
+Json::set(const std::string &key, Json v)
+{
+    kind_ = Kind::Object;
+    for (auto &[k, val] : members) {
+        if (k == key) {
+            val = std::move(v);
+            return;
+        }
+    }
+    members.emplace_back(key, std::move(v));
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    for (const auto &[k, val] : members)
+        if (k == key)
+            return &val;
+    return nullptr;
+}
+
+void
+jsonEscape(const std::string &s, std::string &out)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+namespace
+{
+
+void
+appendNumber(std::string &out, double d)
+{
+    // Integral values (counters, clocks) print exactly; everything
+    // else round-trips through %.17g.
+    if (std::isfinite(d) && d == std::floor(d) &&
+        std::fabs(d) < 9.007199254740992e15 /* 2^53 */) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(d));
+        out += buf;
+        return;
+    }
+    if (!std::isfinite(d)) {
+        out += "null"; // JSON has no Inf/NaN
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+}
+
+void
+appendIndent(std::string &out, int indent, int depth)
+{
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += boolean ? "true" : "false";
+        break;
+      case Kind::Number:
+        appendNumber(out, number);
+        break;
+      case Kind::String:
+        out += '"';
+        jsonEscape(str, out);
+        out += '"';
+        break;
+      case Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const Json &v : items) {
+            if (!first)
+                out += ',';
+            first = false;
+            if (indent > 0)
+                appendIndent(out, indent, depth + 1);
+            v.dumpTo(out, indent, depth + 1);
+        }
+        if (indent > 0 && !items.empty())
+            appendIndent(out, indent, depth);
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto &[k, v] : members) {
+            if (!first)
+                out += ',';
+            first = false;
+            if (indent > 0)
+                appendIndent(out, indent, depth + 1);
+            out += '"';
+            jsonEscape(k, out);
+            out += '"';
+            out += indent > 0 ? ": " : ":";
+            v.dumpTo(out, indent, depth + 1);
+        }
+        if (indent > 0 && !members.empty())
+            appendIndent(out, indent, depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a byte range. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s(text) {}
+
+    std::optional<Json>
+    parse()
+    {
+        skipWs();
+        auto v = parseValue();
+        if (!v)
+            return std::nullopt;
+        skipWs();
+        if (pos != s.size())
+            return fail();
+        return v;
+    }
+
+    std::size_t errorOffset() const { return errPos; }
+
+  private:
+    std::optional<Json>
+    fail()
+    {
+        if (errPos == 0)
+            errPos = pos;
+        return std::nullopt;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (s.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    std::optional<Json>
+    parseValue()
+    {
+        if (pos >= s.size())
+            return fail();
+        // Depth guard: a hostile or corrupt document must not smash
+        // the stack.
+        if (depth > 128)
+            return fail();
+        switch (s[pos]) {
+          case 'n':
+            return literal("null") ? std::optional<Json>(Json())
+                                   : fail();
+          case 't':
+            return literal("true") ? std::optional<Json>(Json(true))
+                                   : fail();
+          case 'f':
+            return literal("false") ? std::optional<Json>(Json(false))
+                                    : fail();
+          case '"':
+            return parseString();
+          case '[':
+            return parseArray();
+          case '{':
+            return parseObject();
+          default:
+            return parseNumber();
+        }
+    }
+
+    std::optional<Json>
+    parseNumber()
+    {
+        const char *start = s.c_str() + pos;
+        char *end = nullptr;
+        const double d = std::strtod(start, &end);
+        if (end == start)
+            return fail();
+        pos += static_cast<std::size_t>(end - start);
+        return Json(d);
+    }
+
+    std::optional<Json>
+    parseString()
+    {
+        std::string out;
+        if (!parseRawString(out))
+            return fail();
+        return Json(std::move(out));
+    }
+
+    bool
+    parseRawString(std::string &out)
+    {
+        if (pos >= s.size() || s[pos] != '"')
+            return false;
+        ++pos;
+        while (pos < s.size()) {
+            const char c = s[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                if (pos + 1 >= s.size())
+                    return false;
+                const char e = s[pos + 1];
+                pos += 2;
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'u': {
+                    if (pos + 4 > s.size())
+                        return false;
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = s[pos + i];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return false;
+                    }
+                    pos += 4;
+                    // Encode the code point as UTF-8 (surrogate pairs
+                    // are passed through as two 3-byte sequences; the
+                    // writer never emits non-BMP escapes).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    return false;
+                }
+                continue;
+            }
+            out += c;
+            ++pos;
+        }
+        return false; // unterminated
+    }
+
+    std::optional<Json>
+    parseArray()
+    {
+        ++pos; // '['
+        ++depth;
+        Json arr = Json::array();
+        skipWs();
+        if (pos < s.size() && s[pos] == ']') {
+            ++pos;
+            --depth;
+            return arr;
+        }
+        for (;;) {
+            skipWs();
+            auto v = parseValue();
+            if (!v)
+                return std::nullopt;
+            arr.push(std::move(*v));
+            skipWs();
+            if (pos >= s.size())
+                return fail();
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == ']') {
+                ++pos;
+                --depth;
+                return arr;
+            }
+            return fail();
+        }
+    }
+
+    std::optional<Json>
+    parseObject()
+    {
+        ++pos; // '{'
+        ++depth;
+        Json obj = Json::object();
+        skipWs();
+        if (pos < s.size() && s[pos] == '}') {
+            ++pos;
+            --depth;
+            return obj;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!parseRawString(key))
+                return fail();
+            skipWs();
+            if (pos >= s.size() || s[pos] != ':')
+                return fail();
+            ++pos;
+            skipWs();
+            auto v = parseValue();
+            if (!v)
+                return std::nullopt;
+            obj.set(key, std::move(*v));
+            skipWs();
+            if (pos >= s.size())
+                return fail();
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == '}') {
+                ++pos;
+                --depth;
+                return obj;
+            }
+            return fail();
+        }
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+    std::size_t errPos = 0;
+    int depth = 0;
+};
+
+} // namespace
+
+std::optional<Json>
+parseJson(const std::string &text, std::size_t *error_offset)
+{
+    Parser p(text);
+    auto v = p.parse();
+    if (!v && error_offset != nullptr)
+        *error_offset = p.errorOffset();
+    return v;
+}
+
+} // namespace gpsm::obs

@@ -1,0 +1,461 @@
+/**
+ * @file
+ * Telemetry implementation: sampler, trace sink export, progress.
+ */
+
+#include "obs/telemetry.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include "util/logging.hh"
+
+namespace gpsm::obs
+{
+
+const char *
+traceKindName(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::Promotion: return "promotion";
+      case TraceKind::Demotion: return "demotion";
+      case TraceKind::CompactionRun: return "compaction";
+      case TraceKind::FaultVeto: return "fault_veto";
+      case TraceKind::FaultEvent: return "fault_event";
+      case TraceKind::PhaseBegin: return "phase_begin";
+      case TraceKind::PhaseEnd: return "phase_end";
+    }
+    return "?";
+}
+
+namespace
+{
+
+TelemetryOptions gOptions;
+bool gEnabled = false;
+
+} // namespace
+
+void
+setTelemetry(const TelemetryOptions &options)
+{
+    gOptions = options;
+    gEnabled = !options.metricsDir.empty();
+    if (gEnabled && !ensureDir(options.metricsDir)) {
+        warn("telemetry disabled: cannot create metrics dir '%s'",
+             options.metricsDir.c_str());
+        gEnabled = false;
+    }
+}
+
+const TelemetryOptions &
+telemetry()
+{
+    return gOptions;
+}
+
+bool
+telemetryEnabled()
+{
+    return gEnabled;
+}
+
+std::string
+runId(const std::string &fingerprint)
+{
+    // FNV-1a, same family the journal uses for record checksums.
+    std::uint64_t h = 1469598103934665603ull;
+    for (char c : fingerprint) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+bool
+ensureDir(const std::string &path)
+{
+    if (path.empty())
+        return false;
+    if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST) {
+        struct stat st;
+        return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+    }
+    return false;
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        return false;
+    const bool ok =
+        std::fwrite(content.data(), 1, content.size(), f) ==
+        content.size();
+    std::fclose(f);
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+TimeSeriesSampler::TimeSeriesSampler(const StatSet &stats,
+                                     const Counter &clock,
+                                     std::uint64_t interval)
+    : stats(stats), clock(clock), epochInterval(interval),
+      prev(stats.snapshot())
+{
+}
+
+void
+TimeSeriesSampler::tick()
+{
+    if (series.size() >= maxEpochs) {
+        ++dropped;
+        return;
+    }
+    Epoch e;
+    e.index = series.size() + dropped;
+    e.clock = clock.value();
+    auto now = stats.snapshot();
+    for (const auto &[name, value] : now) {
+        auto it = prev.find(name);
+        const std::uint64_t base = it == prev.end() ? 0 : it->second;
+        if (value != base)
+            e.deltas.emplace(name, value - base);
+    }
+    if (gauges)
+        e.gauges = gauges();
+    prev = std::move(now);
+    series.push_back(std::move(e));
+}
+
+void
+TimeSeriesSampler::finish()
+{
+    // The trailing partial epoch only exists if anything moved since
+    // the last full one.
+    const auto now = stats.snapshot();
+    for (const auto &[name, value] : now) {
+        auto it = prev.find(name);
+        if (it == prev.end() || it->second != value) {
+            tick();
+            return;
+        }
+    }
+}
+
+namespace
+{
+
+/** Counter tracks emitted into the Chrome trace (grouped by theme). */
+struct CounterTrack
+{
+    const char *track;
+    const char *arg;
+    const char *stat;
+};
+
+constexpr CounterTrack counterTracks[] = {
+    {"tlb", "dtlbMisses", "mmu.dtlbMisses"},
+    {"tlb", "stlbHits", "mmu.stlbHits"},
+    {"tlb", "walks", "mmu.walks"},
+    {"faults", "minor", "space.minorFaults"},
+    {"faults", "huge", "space.hugeFaults"},
+    {"faults", "major", "space.majorFaults"},
+    {"mm", "promotions", "space.promotions"},
+    {"mm", "swapOut", "space.swapOutPages"},
+    {"mm", "compactionRuns", "node.compactionRuns"},
+};
+
+Json
+traceEventJson(const char *name, const char *ph, std::uint64_t ts)
+{
+    Json ev = Json::object();
+    ev.set("name", name);
+    ev.set("ph", ph);
+    // ts is the simulated access clock; Chrome interprets it as
+    // microseconds, which makes one "second" of trace = 1M accesses.
+    ev.set("ts", ts);
+    ev.set("pid", 1);
+    ev.set("tid", 1);
+    return ev;
+}
+
+} // namespace
+
+Json
+buildTraceJson(const TraceSink &sink, const TimeSeriesSampler *sampler,
+               const std::string &label)
+{
+    Json events = Json::array();
+
+    for (const TraceSink::Event &e : sink.events()) {
+        const char *name =
+            !e.name.empty() ? e.name.c_str() : traceKindName(e.kind);
+        switch (e.kind) {
+          case TraceKind::PhaseBegin: {
+            events.push(traceEventJson(name, "B", e.clock));
+            break;
+          }
+          case TraceKind::PhaseEnd: {
+            events.push(traceEventJson(name, "E", e.clock));
+            break;
+          }
+          default: {
+            Json ev = traceEventJson(traceKindName(e.kind), "i",
+                                     e.clock);
+            ev.set("s", "t");
+            Json args = Json::object();
+            args.set("detail", e.detail);
+            if (!e.name.empty())
+                args.set("site", e.name);
+            ev.set("args", std::move(args));
+            events.push(std::move(ev));
+            break;
+          }
+        }
+    }
+
+    if (sampler != nullptr) {
+        for (const TimeSeriesSampler::Epoch &e : sampler->epochs()) {
+            // One counter event per themed track per epoch; Perfetto
+            // renders each args key as a series on that track.
+            const char *current = nullptr;
+            Json args = Json::object();
+            for (const CounterTrack &t : counterTracks) {
+                if (current != nullptr &&
+                    std::string(current) != t.track) {
+                    Json ev = traceEventJson(current, "C", e.clock);
+                    ev.set("args", std::move(args));
+                    events.push(std::move(ev));
+                    args = Json::object();
+                }
+                current = t.track;
+                auto it = e.deltas.find(t.stat);
+                args.set(t.arg,
+                         it == e.deltas.end()
+                             ? std::uint64_t(0)
+                             : it->second);
+            }
+            if (current != nullptr) {
+                Json ev = traceEventJson(current, "C", e.clock);
+                ev.set("args", std::move(args));
+                events.push(std::move(ev));
+            }
+            if (!e.gauges.empty()) {
+                Json cov = Json::object();
+                for (const auto &[name, value] : e.gauges)
+                    cov.set(name, value);
+                Json ev = traceEventJson("coverage", "C", e.clock);
+                ev.set("args", std::move(cov));
+                events.push(std::move(ev));
+            }
+        }
+    }
+
+    Json doc = Json::object();
+    doc.set("traceEvents", std::move(events));
+    doc.set("displayTimeUnit", "ms");
+    Json meta = Json::object();
+    meta.set("label", label);
+    meta.set("clock", "simulated accesses (1 tick = 1 traced access)");
+    doc.set("otherData", std::move(meta));
+    return doc;
+}
+
+std::string
+buildSeriesJsonl(const TimeSeriesSampler &sampler,
+                 const std::string &run_id, const std::string &label)
+{
+    std::string out;
+    Json header = Json::object();
+    header.set("run", run_id);
+    header.set("label", label);
+    header.set("interval", sampler.interval());
+    header.set("epochs",
+               static_cast<std::uint64_t>(sampler.epochs().size()));
+    header.set("dropped", sampler.droppedEpochs());
+    out += header.dump();
+    out += '\n';
+    for (const TimeSeriesSampler::Epoch &e : sampler.epochs()) {
+        Json line = Json::object();
+        line.set("epoch", e.index);
+        line.set("clock", e.clock);
+        Json deltas = Json::object();
+        for (const auto &[name, value] : e.deltas)
+            deltas.set(name, value);
+        line.set("deltas", std::move(deltas));
+        if (!e.gauges.empty()) {
+            Json g = Json::object();
+            for (const auto &[name, value] : e.gauges)
+                g.set(name, value);
+            line.set("gauges", std::move(g));
+        }
+        out += line.dump();
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+writeRunTelemetry(const TelemetryOptions &options,
+                  const std::string &label,
+                  const std::string &fingerprint,
+                  const TraceSink &sink,
+                  const TimeSeriesSampler *sampler, Json result,
+                  Json stats, Json extra)
+{
+    const std::string id = runId(fingerprint);
+    const std::string base = options.metricsDir + "/";
+
+    Json doc = Json::object();
+    doc.set("schema", "gpsm-metrics-v1");
+    doc.set("run", id);
+    doc.set("label", label);
+    doc.set("fingerprint", fingerprint);
+    for (auto &[k, v] : extra.entries())
+        doc.set(k, v);
+    doc.set("result", std::move(result));
+    doc.set("stats", std::move(stats));
+    if (sampler != nullptr) {
+        Json series = Json::object();
+        series.set("interval", sampler->interval());
+        series.set("epochs", static_cast<std::uint64_t>(
+                                 sampler->epochs().size()));
+        series.set("dropped", sampler->droppedEpochs());
+        series.set("file", "series_" + id + ".jsonl");
+        doc.set("series", std::move(series));
+    }
+    Json tracing = Json::object();
+    tracing.set("events", sink.totalEvents());
+    tracing.set("dropped", sink.droppedEvents());
+    if (sampler != nullptr || sink.totalEvents() > 0)
+        tracing.set("file", "trace_" + id + ".json");
+    doc.set("trace", std::move(tracing));
+
+    const std::string doc_path = base + "run_" + id + ".json";
+    if (!writeFileAtomic(doc_path, doc.dump(2) + "\n")) {
+        warn("telemetry: cannot write %s", doc_path.c_str());
+        return "";
+    }
+
+    if (sampler != nullptr || sink.totalEvents() > 0) {
+        const Json trace = buildTraceJson(sink, sampler, label);
+        writeFileAtomic(base + "trace_" + id + ".json",
+                        trace.dump(1) + "\n");
+    }
+    if (sampler != nullptr) {
+        writeFileAtomic(base + "series_" + id + ".jsonl",
+                        buildSeriesJsonl(*sampler, id, label));
+    }
+    return doc_path;
+}
+
+ProgressMeter::ProgressMeter(std::size_t total,
+                             std::string batch_label)
+    : label(std::move(batch_label)), total(total),
+      start(std::chrono::steady_clock::now())
+{
+}
+
+std::size_t
+ProgressMeter::done() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return completed;
+}
+
+std::size_t
+ProgressMeter::failed() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return failedCount;
+}
+
+void
+ProgressMeter::onResult(double wall_seconds, bool cached)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    ++completed;
+    if (cached)
+        ++cachedCount;
+    else
+        uncachedWall += wall_seconds;
+    render();
+}
+
+void
+ProgressMeter::onError()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    ++completed;
+    ++failedCount;
+    render();
+}
+
+void
+ProgressMeter::render()
+{
+    // Called with mtx held. stderr only: stdout carries bench tables.
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    const std::size_t remaining = total - completed;
+    const std::size_t executed = completed - cachedCount - failedCount;
+    // ETA from the memo/journal hit rate: cached results are ~free,
+    // so remaining cost ≈ remaining * (1 - hit rate) * mean wall of
+    // an executed experiment.
+    double eta = -1.0;
+    if (completed > 0 && executed > 0) {
+        const double hit_rate =
+            static_cast<double>(cachedCount) /
+            static_cast<double>(completed);
+        const double mean_wall =
+            uncachedWall / static_cast<double>(executed);
+        eta = static_cast<double>(remaining) * (1.0 - hit_rate) *
+              mean_wall;
+    } else if (completed > 0) {
+        eta = 0.0; // everything so far was cached/failed instantly
+    }
+    char eta_buf[32];
+    if (eta >= 0.0)
+        std::snprintf(eta_buf, sizeof(eta_buf), "%.1fs", eta);
+    else
+        std::snprintf(eta_buf, sizeof(eta_buf), "?");
+    const std::string prefix = label.empty() ? "" : label + " ";
+    std::fprintf(stderr,
+                 "  %s[%zu/%zu] cached=%zu failed=%zu "
+                 "elapsed=%.1fs eta=%s\n",
+                 prefix.c_str(), completed, total, cachedCount,
+                 failedCount, elapsed, eta_buf);
+    std::fflush(stderr);
+}
+
+void
+ProgressMeter::finish()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    const std::string prefix = label.empty() ? "" : label + " ";
+    std::fprintf(stderr,
+                 "  %sbatch done: %zu configs (%zu cached, %zu "
+                 "failed) in %.1fs\n",
+                 prefix.c_str(), total, cachedCount, failedCount,
+                 elapsed);
+    std::fflush(stderr);
+}
+
+} // namespace gpsm::obs

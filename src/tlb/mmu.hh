@@ -144,6 +144,23 @@ class Mmu
         periodicHook = std::move(hook);
         hookCountdown = interval;
     }
+
+    /**
+     * Invoke @p hook every @p interval traced accesses — the
+     * telemetry sampler's epoch clock (obs::TimeSeriesSampler). Kept
+     * separate from the periodic hook so sampling composes with
+     * khugepaged-during-execution; like it, the hook must only
+     * *observe* (a sampler that mutated simulation state would break
+     * the disabled-vs-enabled bit-identity the obs layer guarantees).
+     * Pass interval 0 (or a null hook) to disable.
+     */
+    void
+    setSampleHook(std::uint64_t interval, std::function<void()> hook)
+    {
+        sampleInterval = hook ? interval : 0;
+        sampleHook = std::move(hook);
+        sampleCountdown = sampleInterval;
+    }
     /** @} */
 
     /** @name Fault-injection / cancellation hooks @{ */
@@ -270,6 +287,10 @@ class Mmu
     std::uint64_t hookInterval = 0;
     std::uint64_t hookCountdown = 0;
 
+    std::function<void()> sampleHook;
+    std::uint64_t sampleInterval = 0;
+    std::uint64_t sampleCountdown = 0;
+
     std::array<TagStats, numTags> tags;
 };
 
@@ -311,6 +332,11 @@ Mmu::access(Addr vaddr, bool write, unsigned tag)
     if (hookInterval != 0 && --hookCountdown == 0) {
         hookCountdown = hookInterval;
         periodicHook();
+    }
+
+    if (sampleInterval != 0 && --sampleCountdown == 0) {
+        sampleCountdown = sampleInterval;
+        sampleHook();
     }
 }
 

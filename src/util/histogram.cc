@@ -32,8 +32,13 @@ Log2Histogram::percentileUpperBound(double q) const
     std::uint64_t seen = 0;
     for (size_t i = 0; i < counts.size(); ++i) {
         seen += counts[i];
-        if (seen >= threshold)
-            return i == 0 ? 0 : (1ull << i) - 1;
+        if (seen >= threshold) {
+            if (i == 0)
+                return 0;
+            // Bucket 64 holds samples in [2^63, 2^64); its upper
+            // bound does not fit a shift, so report the observed max.
+            return i >= 64 ? maxSample : (1ull << i) - 1;
+        }
     }
     return maxSample;
 }

@@ -63,7 +63,11 @@ StatSet::since(const std::map<std::string, std::uint64_t> &before) const
     for (const auto &[name, entry] : entries) {
         auto it = before.find(name);
         std::uint64_t base = (it == before.end()) ? 0 : it->second;
-        delta.emplace(name, entry.counter->value() - base);
+        std::uint64_t now = entry.counter->value();
+        // A resetAll() between the snapshot and now leaves live values
+        // below the snapshot; that means "no events since", not a
+        // wrapped ~2^64 delta.
+        delta.emplace(name, now >= base ? now - base : 0);
     }
     return delta;
 }

@@ -472,6 +472,9 @@ AddressSpace::promote(Addr vaddr)
     pt.mapHuge(huge_vpn, out.frame);
     ++vma->hugePages;
     ++promotions;
+    if (traceHook != nullptr)
+        traceHook->traceEvent(obs::TraceKind::Promotion,
+                              present.size(), vma->name.c_str());
     promotionCopiedPages += present.size();
     res.copiedPages = present.size();
     res.success = true;
@@ -506,6 +509,9 @@ AddressSpace::demote(Addr vaddr)
     --vma->hugePages;
     vma->presentBasePages += span;
     ++demotions;
+    if (traceHook != nullptr)
+        traceHook->traceEvent(obs::TraceKind::Demotion, span,
+                              vma->name.c_str());
     pendingInvalidations.push_back(
         TlbInvalidation{false, huge_vpn, PageSizeClass::Huge});
 }

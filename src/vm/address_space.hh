@@ -16,6 +16,7 @@
 #include "mem/memory_node.hh"
 #include "mem/swap_device.hh"
 #include "mem/types.hh"
+#include "obs/hooks.hh"
 #include "util/stats.hh"
 #include "util/units.hh"
 #include "vm/page_table.hh"
@@ -229,6 +230,14 @@ class AddressSpace : public mem::PageClient
 
     void registerStats(StatSet &stats, const std::string &prefix) const;
 
+    /**
+     * Install (or, with nullptr, remove) the telemetry trace hook;
+     * promotion and demotion events are reported through it. Same
+     * contract as the fault interceptors: at most one, caller-owned,
+     * uninstalled before destruction, and observation-only.
+     */
+    void setTraceHook(obs::TraceHook *hook) { traceHook = hook; }
+
     /** @name Event counters @{ */
     Counter minorFaults;
     Counter hugeFaults;
@@ -267,6 +276,7 @@ class AddressSpace : public mem::PageClient
     mem::MemoryNode &node;
     mem::SwapDevice &swap;
     ThpConfig thp;
+    obs::TraceHook *traceHook = nullptr;
     std::uint64_t pageBytes;
     unsigned hugeOrd;
     std::uint16_t clientId;

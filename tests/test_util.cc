@@ -230,3 +230,97 @@ TEST(Units, Literals)
     EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
     EXPECT_EQ(1_GiB, 1024ull * 1024 * 1024);
 }
+
+TEST(Stats, SinceAfterResetUnderflowsToZeroDelta)
+{
+    // resetAll() between a snapshot and since() makes live < snapshot;
+    // the delta must clamp at zero rather than wrap to ~2^64 (a reset
+    // mid-phase means "no events since", not "astronomical events").
+    Counter a;
+    StatSet set("s");
+    set.registerCounter("a", &a);
+    a += 5;
+    const auto snap = set.snapshot();
+    set.resetAll();
+    a += 2;
+    const auto delta = set.since(snap);
+    EXPECT_EQ(delta.at("a"), 0u);
+
+    // A fresh snapshot after the reset counts normally again.
+    const auto snap2 = set.snapshot();
+    a += 3;
+    EXPECT_EQ(set.since(snap2).at("a"), 3u);
+}
+
+TEST(Stats, EmptySetSnapshotDumpAndSince)
+{
+    StatSet set("empty");
+    EXPECT_TRUE(set.snapshot().empty());
+    EXPECT_TRUE(set.since({}).empty());
+    EXPECT_TRUE(set.statNames().empty());
+    // dump() of an empty set renders (possibly just a banner) without
+    // panicking.
+    EXPECT_NO_THROW(set.dump());
+}
+
+TEST(Stats, SinceIgnoresStaleSnapshotKeys)
+{
+    // A snapshot naming counters the set no longer reports (or never
+    // had) must not make since() panic or invent entries.
+    Counter a;
+    StatSet set("s");
+    set.registerCounter("a", &a);
+    a += 4;
+    std::map<std::string, std::uint64_t> snap{{"ghost", 10}};
+    const auto delta = set.since(snap);
+    EXPECT_EQ(delta.at("a"), 4u);
+    EXPECT_EQ(delta.count("ghost"), 0u);
+}
+
+TEST(Table, CsvEscapesQuotesAndNewlines)
+{
+    TableWriter t("esc");
+    t.setHeader({"name", "value"});
+    t.addRow({"say \"hi\"", "1"});
+    t.addRow({"line1\nline2", "2"});
+    const std::string csv = t.csv();
+    // RFC-4180: embedded quotes double, the field gets wrapped.
+    EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+    // Embedded newline forces quoting too.
+    EXPECT_NE(csv.find("\"line1\nline2\""), std::string::npos);
+}
+
+TEST(Table, EmptyBodyRendersHeaderOnly)
+{
+    TableWriter t("empty");
+    t.setHeader({"a", "b"});
+    EXPECT_EQ(t.rows(), 0u);
+    const std::string text = t.text();
+    EXPECT_NE(text.find("empty"), std::string::npos);
+    EXPECT_NE(text.find("a"), std::string::npos);
+    const std::string csv = t.csv();
+    EXPECT_NE(csv.find("a,b"), std::string::npos);
+}
+
+TEST(Histogram, EmptyHistogramIsWellDefined)
+{
+    Log2Histogram h;
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_TRUE(h.buckets().empty());
+    EXPECT_NO_THROW(h.dump());
+}
+
+TEST(Histogram, HugeSamplesAndPercentiles)
+{
+    Log2Histogram h;
+    h.add(~0ull); // top bucket must not overflow the bucket index
+    h.add(1, 99);
+    EXPECT_EQ(h.samples(), 100u);
+    EXPECT_EQ(h.max(), ~0ull);
+    EXPECT_EQ(Log2Histogram::bucketOf(~0ull), 64u);
+    // 99% of samples are 1, so the p50 upper bound stays in bucket 1.
+    EXPECT_LE(h.percentileUpperBound(0.5), 1u);
+    EXPECT_GT(h.percentileUpperBound(1.0), 1u);
+}

@@ -21,6 +21,7 @@
 #include "core/experiment.hh"
 #include "core/runner.hh"
 #include "graph/datasets.hh"
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -59,6 +60,12 @@ usage()
         "                                 re-runs skip finished runs\n"
         "  --timeout-seconds X            per-experiment wall budget\n"
         "  --timeout-retries N            extra tries after a timeout\n"
+        "  --metrics-dir PATH             write per-run telemetry\n"
+        "                                 (metrics JSON, Chrome trace,\n"
+        "                                 series JSONL) under PATH\n"
+        "  --sample-interval N            sampler epoch length in\n"
+        "                                 traced accesses (default 1M;\n"
+        "                                 0 disables the sampler)\n"
         "  --quiet                        suppress progress notes\n";
 }
 
@@ -141,6 +148,7 @@ try {
     double advisor_coverage = 0.8;
     unsigned jobs = 0; // 0 = hardware concurrency
     std::string journal_path;
+    obs::TelemetryOptions telemetry;
     PoolOptions pool_opts;
     std::vector<App> apps = {App::Bfs};
     std::vector<std::string> datasets = {"kron"};
@@ -235,6 +243,11 @@ try {
         } else if (arg == "--timeout-retries") {
             pool_opts.timeoutRetries = static_cast<unsigned>(
                 std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--metrics-dir") {
+            telemetry.metricsDir = next();
+        } else if (arg == "--sample-interval") {
+            telemetry.sampleInterval =
+                std::strtoull(next().c_str(), nullptr, 10);
         } else if (arg == "--quiet") {
             setQuiet(true);
         } else if (arg == "--help" || arg == "-h") {
@@ -272,6 +285,10 @@ try {
             configs.push_back(std::move(c));
         }
     }
+
+    // Install the telemetry request before the first experiment; with
+    // no --metrics-dir this is the documented off switch.
+    obs::setTelemetry(telemetry);
 
     if (!journal_path.empty()) {
         std::string err;
