@@ -1,11 +1,30 @@
 /**
  * @file
- * google-benchmark micro-benchmarks of the substrate hot paths: buddy
- * allocation, TLB lookups, full MMU accesses, compaction, DBG
- * reordering and graph generation throughput.
+ * Micro-benchmarks of the substrate hot paths: buddy allocation, page
+ * table walks, TLB lookups, full MMU accesses (random and sequential),
+ * compaction, DBG reordering, graph generation and CSR assembly.
+ *
+ * Unlike the figure benches these measure *wall time of the simulator
+ * itself*, not simulated cycles, so numbers vary run to run. Output
+ * goes through the standard TableWriter (text table + CSV block) so
+ * run_benches.sh journals it like the fig benches, and --emit-bench
+ * writes the measurements as JSON for the perf-trajectory artifacts
+ * (docs/BENCH_substrate.json).
+ *
+ * Harness flags shared with the fig benches (--jobs, --journal,
+ * --metrics-dir, ...) are accepted and ignored: the cases here run no
+ * experiments, but the suite driver passes one flag set to every
+ * binary.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/kernels.hh"
 #include "core/machine.hh"
@@ -16,178 +35,357 @@
 #include "mem/buddy_allocator.hh"
 #include "mem/compactor.hh"
 #include "mem/memory_node.hh"
+#include "obs/json.hh"
 #include "tlb/tlb.hh"
 #include "util/rng.hh"
+#include "util/table.hh"
+#include "vm/page_table.hh"
 
 using namespace gpsm;
 
 namespace
 {
 
-void
-BM_BuddyAllocFree(benchmark::State &state)
+struct CaseResult
 {
-    mem::BuddyAllocator buddy(1 << 16, 9);
-    std::vector<mem::FrameNum> live;
-    live.reserve(4096);
-    Rng rng(1);
-    for (auto _ : state) {
-        (void)_;
-        if (live.size() < 4096 && (live.empty() || rng.chance(0.55))) {
-            mem::FrameNum f =
-                buddy.allocate(0, mem::Migratetype::Movable, 1);
-            if (f != mem::invalidFrame)
-                live.push_back(f);
-        } else {
-            const size_t i = rng.below(live.size());
-            buddy.free(live[i]);
-            live[i] = live.back();
-            live.pop_back();
-        }
+    std::string name;
+    std::uint64_t items = 0;  ///< work units per repetition
+    double nsPerItem = 0.0;   ///< best-of-repetitions
+};
+
+/**
+ * Run @p body `reps` times around `items` work units; keep the best
+ * repetition (the usual microbenchmark noise-floor estimate).
+ */
+CaseResult
+timeCase(const std::string &name, std::uint64_t items, unsigned reps,
+         const std::function<void()> &body)
+{
+    using clock = std::chrono::steady_clock;
+    double best_ns = 0.0;
+    for (unsigned r = 0; r < reps; ++r) {
+        const auto t0 = clock::now();
+        body();
+        const auto t1 = clock::now();
+        const double ns = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count());
+        if (r == 0 || ns < best_ns)
+            best_ns = ns;
     }
-    for (mem::FrameNum f : live)
-        buddy.free(f);
+    CaseResult res;
+    res.name = name;
+    res.items = items;
+    res.nsPerItem = best_ns / static_cast<double>(items);
+    return res;
 }
-BENCHMARK(BM_BuddyAllocFree);
+
+/** Defeat dead-code elimination without observable side effects. */
+volatile std::uint64_t gSink;
 
 void
-BM_BuddyHugeAlloc(benchmark::State &state)
+sink(std::uint64_t v)
 {
-    mem::BuddyAllocator buddy(1 << 16, 9);
-    for (auto _ : state) {
-        (void)_;
-        mem::FrameNum f =
-            buddy.allocate(9, mem::Migratetype::Movable, 1);
-        benchmark::DoNotOptimize(f);
-        buddy.free(f);
-    }
+    gSink = v;
 }
-BENCHMARK(BM_BuddyHugeAlloc);
 
-void
-BM_TlbLookupHit(benchmark::State &state)
-{
-    tlb::Tlb t("t", {tlb::TlbGeometry{64, 4}, tlb::TlbGeometry{32, 4}});
-    for (std::uint64_t v = 0; v < 64; ++v)
-        t.insert(v, vm::PageSizeClass::Base, v);
-    std::uint64_t v = 0;
-    for (auto _ : state) {
-        (void)_;
-        benchmark::DoNotOptimize(
-            t.lookup(v++ & 63, vm::PageSizeClass::Base));
-    }
-}
-BENCHMARK(BM_TlbLookupHit);
-
-void
-BM_MmuAccessHot(benchmark::State &state)
+core::SystemConfig
+smallConfig(bool with_cache)
 {
     core::SystemConfig cfg = core::SystemConfig::scaled();
     cfg.node.bytes = 64_MiB;
-    core::SimMachine m(cfg, vm::ThpConfig::never());
-    core::SimArray<std::uint64_t> arr(m, 1 << 16, "a",
-                                      core::TagProperty);
-    arr.fill(1);
-    Rng rng(2);
-    for (auto _ : state) {
-        (void)_;
-        benchmark::DoNotOptimize(arr.get(rng.below(1 << 16)));
-    }
+    cfg.enableCache = with_cache;
+    return cfg;
 }
-BENCHMARK(BM_MmuAccessHot);
-
-void
-BM_Compaction(benchmark::State &state)
-{
-    for (auto _ : state) {
-        (void)_;
-        state.PauseTiming();
-        mem::MemoryNode::Params p;
-        p.bytes = 16_MiB;
-        p.basePageBytes = 4_KiB;
-        p.hugeOrder = 6;
-        mem::MemoryNode node(p);
-        // One movable page per region (worst-case scatter), owned by
-        // a registered client so migration callbacks run.
-        struct MovableOwner : mem::PageClient
-        {
-            void migratePage(mem::FrameNum, mem::FrameNum) override {}
-            const char *clientName() const override
-            {
-                return "micro";
-            }
-        };
-        static MovableOwner owner;
-        const std::uint16_t id = node.registerClient(&owner);
-        for (std::uint64_t r = 0; r < 64; ++r)
-            (void)node.buddy().allocateExact(
-                r * 64 + 13, 0, mem::Migratetype::Movable, id);
-        state.ResumeTiming();
-
-        mem::Compactor compactor(node);
-        benchmark::DoNotOptimize(compactor.createHugeRegion());
-    }
-}
-BENCHMARK(BM_Compaction);
-
-void
-BM_DbgReorder(benchmark::State &state)
-{
-    graph::RmatParams p;
-    p.scale = 16;
-    p.edgeFactor = 16;
-    graph::Builder b(1u << p.scale);
-    const graph::CsrGraph g = b.fromEdges(graph::rmatEdges(p));
-    for (auto _ : state) {
-        (void)_;
-        auto mapping =
-            graph::reorderMapping(g, graph::ReorderMethod::Dbg);
-        benchmark::DoNotOptimize(mapping.data());
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(g.numEdges()));
-}
-BENCHMARK(BM_DbgReorder);
-
-void
-BM_RmatGenerate(benchmark::State &state)
-{
-    graph::RmatParams p;
-    p.scale = 14;
-    p.edgeFactor = 8;
-    for (auto _ : state) {
-        (void)_;
-        auto edges = graph::rmatEdges(p);
-        benchmark::DoNotOptimize(edges.data());
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(p.edgeFactor * (1u << p.scale)));
-}
-BENCHMARK(BM_RmatGenerate);
-
-void
-BM_NativeBfs(benchmark::State &state)
-{
-    graph::RmatParams p;
-    p.scale = 15;
-    p.edgeFactor = 8;
-    graph::Builder b(1u << p.scale);
-    const graph::CsrGraph g = b.fromEdges(graph::rmatEdges(p));
-    const graph::NodeId root = core::defaultRoot(g);
-    for (auto _ : state) {
-        (void)_;
-        core::NativeView<std::uint64_t> view(g, {});
-        view.load(core::unreachedDist);
-        benchmark::DoNotOptimize(core::bfs(view, root));
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(g.numEdges()));
-}
-BENCHMARK(BM_NativeBfs);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string emit_bench;
+    // Flags that take a value in the common bench harness; accepted
+    // and ignored here so one flag set drives the whole suite.
+    static const char *ignored_with_value[] = {
+        "--jobs",        "--divisor",         "--datasets",
+        "--apps",        "--journal",         "--timeout-seconds",
+        "--metrics-dir", "--sample-interval", "--shard",
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value after %s\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        bool skipped = false;
+        for (const char *flag : ignored_with_value) {
+            if (arg == flag) {
+                (void)next();
+                skipped = true;
+                break;
+            }
+        }
+        if (skipped)
+            continue;
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--emit-bench") {
+            emit_bench = next();
+        } else if (arg == "--paper" || arg == "--progress") {
+            // valueless harness flags: ignored
+        } else if (arg == "--help" || arg == "-h") {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--emit-bench PATH]\n"
+                         "(common bench-harness flags are accepted and "
+                         "ignored)\n",
+                         argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+            return 1;
+        }
+    }
+
+    const unsigned reps = quick ? 2 : 3;
+    std::vector<CaseResult> results;
+
+    // --- buddy allocator: random alloc/free churn ---
+    {
+        const std::uint64_t iters = quick ? 200'000 : 2'000'000;
+        results.push_back(timeCase("buddy_alloc_free", iters, reps, [&]() {
+            mem::BuddyAllocator buddy(1 << 16, 9);
+            std::vector<mem::FrameNum> live;
+            live.reserve(4096);
+            Rng rng(1);
+            for (std::uint64_t i = 0; i < iters; ++i) {
+                if (live.size() < 4096 &&
+                    (live.empty() || rng.chance(0.55))) {
+                    mem::FrameNum f =
+                        buddy.allocate(0, mem::Migratetype::Movable, 1);
+                    if (f != mem::invalidFrame)
+                        live.push_back(f);
+                } else {
+                    const size_t j = rng.below(live.size());
+                    buddy.free(live[j]);
+                    live[j] = live.back();
+                    live.pop_back();
+                }
+            }
+            for (mem::FrameNum f : live)
+                buddy.free(f);
+        }));
+    }
+
+    // --- buddy allocator: huge-order alloc/free ---
+    {
+        const std::uint64_t iters = quick ? 100'000 : 1'000'000;
+        results.push_back(timeCase("buddy_huge_alloc", iters, reps, [&]() {
+            mem::BuddyAllocator buddy(1 << 16, 9);
+            std::uint64_t acc = 0;
+            for (std::uint64_t i = 0; i < iters; ++i) {
+                mem::FrameNum f =
+                    buddy.allocate(9, mem::Migratetype::Movable, 1);
+                acc += f;
+                buddy.free(f);
+            }
+            sink(acc);
+        }));
+    }
+
+    // --- TLB: L1 hit loop ---
+    {
+        const std::uint64_t iters = quick ? 2'000'000 : 20'000'000;
+        results.push_back(timeCase("tlb_lookup_hit", iters, reps, [&]() {
+            tlb::Tlb t("t",
+                       {tlb::TlbGeometry{64, 4}, tlb::TlbGeometry{32, 4}});
+            for (std::uint64_t v = 0; v < 64; ++v)
+                t.insert(v, vm::PageSizeClass::Base, v);
+            std::uint64_t acc = 0;
+            for (std::uint64_t i = 0; i < iters; ++i)
+                acc +=
+                    t.lookup(i & 63, vm::PageSizeClass::Base).hit ? 1 : 0;
+            sink(acc);
+        }));
+    }
+
+    // --- page table: mixed-size walk loop (translate-heavy) ---
+    {
+        const std::uint64_t pages = 1 << 14;
+        const std::uint64_t iters = quick ? 2'000'000 : 20'000'000;
+        vm::PageTable pt(6, 12);
+        // Half the VPN space base-mapped, half huge-mapped.
+        for (std::uint64_t v = 0; v < pages / 2; ++v)
+            pt.mapBase(v, v);
+        for (std::uint64_t v = pages / 2; v < pages; v += 64)
+            pt.mapHuge(v, v);
+        results.push_back(timeCase("page_table_walk", iters, reps, [&]() {
+            Rng rng(3);
+            std::uint64_t acc = 0;
+            for (std::uint64_t i = 0; i < iters; ++i) {
+                const auto t = pt.lookup(rng.below(pages));
+                acc += t.valid ? t.pte.frame : 0;
+            }
+            sink(acc);
+        }));
+    }
+
+    // --- MMU: random hot accesses (cache model on) ---
+    {
+        const std::uint64_t iters = quick ? 1'000'000 : 10'000'000;
+        core::SimMachine m(smallConfig(true), vm::ThpConfig::never());
+        core::SimArray<std::uint64_t> arr(m, 1 << 16, "a",
+                                          core::TagProperty);
+        arr.fill(1);
+        results.push_back(timeCase("mmu_access_hot", iters, reps, [&]() {
+            Rng rng(2);
+            std::uint64_t acc = 0;
+            for (std::uint64_t i = 0; i < iters; ++i)
+                acc += arr.get(rng.below(1 << 16));
+            sink(acc);
+        }));
+    }
+
+    // --- MMU: sequential scans (the accessRange / translateRun path;
+    //     translate-heavy with the cache model off) ---
+    {
+        const std::uint64_t elems = 1 << 20;
+        const std::uint64_t scans = quick ? 8 : 32;
+        core::SimMachine m(smallConfig(false), vm::ThpConfig::never());
+        core::SimArray<std::uint64_t> arr(m, elems, "a",
+                                          core::TagProperty);
+        arr.fill(1);
+        results.push_back(
+            timeCase("mmu_seq_scan", elems * scans, reps, [&]() {
+                for (std::uint64_t s = 0; s < scans; ++s)
+                    m.mmu().accessRange(arr.vaddr(), elems,
+                                        sizeof(std::uint64_t),
+                                        /*write=*/false, arr.arrayTag());
+            }));
+    }
+    {
+        const std::uint64_t elems = 1 << 20;
+        const std::uint64_t scans = quick ? 4 : 16;
+        core::SimMachine m(smallConfig(true), vm::ThpConfig::never());
+        core::SimArray<std::uint64_t> arr(m, elems, "a",
+                                          core::TagProperty);
+        arr.fill(1);
+        results.push_back(
+            timeCase("mmu_seq_scan_cached", elems * scans, reps, [&]() {
+                for (std::uint64_t s = 0; s < scans; ++s)
+                    m.mmu().accessRange(arr.vaddr(), elems,
+                                        sizeof(std::uint64_t),
+                                        /*write=*/false, arr.arrayTag());
+            }));
+    }
+
+    // --- compaction ---
+    {
+        const std::uint64_t iters = quick ? 200 : 1000;
+        results.push_back(timeCase("compaction", iters, reps, [&]() {
+            for (std::uint64_t i = 0; i < iters; ++i) {
+                mem::MemoryNode::Params p;
+                p.bytes = 16_MiB;
+                p.basePageBytes = 4_KiB;
+                p.hugeOrder = 6;
+                mem::MemoryNode node(p);
+                // One movable page per region (worst-case scatter),
+                // owned by a registered client so migration callbacks
+                // run.
+                struct MovableOwner : mem::PageClient
+                {
+                    void migratePage(mem::FrameNum,
+                                     mem::FrameNum) override
+                    {
+                    }
+                    const char *clientName() const override
+                    {
+                        return "micro";
+                    }
+                };
+                static MovableOwner owner;
+                const std::uint16_t id = node.registerClient(&owner);
+                for (std::uint64_t r = 0; r < 64; ++r)
+                    (void)node.buddy().allocateExact(
+                        r * 64 + 13, 0, mem::Migratetype::Movable, id);
+                mem::Compactor compactor(node);
+                sink(compactor.createHugeRegion().migratedPages);
+            }
+        }));
+    }
+
+    // --- graph: R-MAT generation (honors the build-jobs knob) ---
+    {
+        graph::RmatParams p;
+        p.scale = quick ? 16 : 18;
+        p.edgeFactor = 16;
+        const auto m = static_cast<std::uint64_t>(p.edgeFactor) *
+                       (1ull << p.scale);
+        results.push_back(timeCase("rmat_generate", m, reps, [&]() {
+            auto edges = graph::rmatEdges(p);
+            sink(edges.size());
+        }));
+
+        // --- graph: CSR assembly from the same edge list ---
+        const std::vector<graph::Edge> edges = graph::rmatEdges(p);
+        graph::Builder b(1u << p.scale);
+        results.push_back(timeCase("csr_build", edges.size(), reps, [&]() {
+            const graph::CsrGraph g = b.fromEdges(edges);
+            sink(g.numEdges());
+        }));
+
+        // --- graph: DBG reorder (mapping + relabel) ---
+        const graph::CsrGraph g = b.fromEdges(edges);
+        results.push_back(timeCase("dbg_reorder", g.numEdges(), reps, [&]() {
+            const auto mapping =
+                graph::reorderMapping(g, graph::ReorderMethod::Dbg);
+            const graph::CsrGraph rg = graph::applyMapping(g, mapping);
+            sink(rg.numEdges());
+        }));
+
+        // --- native BFS (kernel code, no simulation) ---
+        const graph::NodeId root = core::defaultRoot(g);
+        results.push_back(timeCase("native_bfs", g.numEdges(), reps, [&]() {
+            core::NativeView<std::uint64_t> view(g, {});
+            view.load(core::unreachedDist);
+            sink(core::bfs(view, root));
+        }));
+    }
+
+    TableWriter table("micro_substrate (wall time, best of reps)");
+    table.setHeader({"case", "items", "ns/item", "Mitems/s"});
+    for (const CaseResult &r : results) {
+        const double mips =
+            r.nsPerItem > 0.0 ? 1e3 / r.nsPerItem : 0.0;
+        table.addRow({r.name, std::to_string(r.items),
+                      TableWriter::num(r.nsPerItem, 2),
+                      TableWriter::num(mips, 2)});
+    }
+    table.print(std::cout);
+
+    if (!emit_bench.empty()) {
+        obs::Json doc = obs::Json::object();
+        doc.set("schema", "gpsm-microbench-v1");
+        doc.set("bench", "micro_substrate");
+        obs::Json cases = obs::Json::object();
+        for (const CaseResult &r : results) {
+            obs::Json c = obs::Json::object();
+            c.set("items", r.items);
+            c.set("ns_per_item", r.nsPerItem);
+            cases.set(r.name, std::move(c));
+        }
+        doc.set("cases", std::move(cases));
+        std::ofstream out(emit_bench);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", emit_bench.c_str());
+            return 1;
+        }
+        out << doc.dump(2) << "\n";
+    }
+    return 0;
+}

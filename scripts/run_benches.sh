@@ -4,9 +4,8 @@
 #
 # Any argument starting with '-' (e.g. --quick, --jobs N, --apps ...)
 # is forwarded to the bench harness binaries; the first non-flag
-# argument names the output file. micro_substrate is a
-# google-benchmark binary that rejects harness flags, so it runs
-# without them.
+# argument names the output file. Every bench binary (including
+# micro_substrate) accepts the shared harness flags.
 #
 # Robustness:
 # - GPSM_BENCH_TIMEOUT (seconds) caps each bench's wall clock; an
@@ -58,15 +57,7 @@ verdicts=()
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     echo "===== $b =====" >> "$out"
-    cmd=("$b")
-    case "$(basename "$b")" in
-    micro_*)
-        # google-benchmark binaries: no harness flags.
-        ;;
-    *)
-        cmd+=(${flags[@]+"${flags[@]}"})
-        ;;
-    esac
+    cmd=("$b" ${flags[@]+"${flags[@]}"})
     if [ -n "$bench_timeout" ]; then
         # -k grants a grace period before SIGKILL backs up SIGTERM.
         cmd=(timeout -k 10 "$bench_timeout" "${cmd[@]}")

@@ -52,8 +52,7 @@ bfs(View &view, graph::NodeId root)
     while (!frontier.empty()) {
         ++depth;
         for (graph::NodeId u : frontier) {
-            const graph::EdgeIdx begin = view.edgeBegin(u);
-            const graph::EdgeIdx end = view.edgeEnd(u);
+            const auto [begin, end] = view.edgeRange(u);
             for (graph::EdgeIdx e = begin; e < end; ++e) {
                 const graph::NodeId v = view.edgeTarget(e);
                 if (view.propGet(v) == unreachedDist) {
@@ -109,8 +108,7 @@ sssp(View &view, graph::NodeId root, std::uint32_t delta = 0)
                 const std::uint64_t du = view.propGet(u);
                 if (bucket_of(du) != b)
                     continue; // stale entry, relaxed since insertion
-                const graph::EdgeIdx begin = view.edgeBegin(u);
-                const graph::EdgeIdx end = view.edgeEnd(u);
+                const auto [begin, end] = view.edgeRange(u);
                 for (graph::EdgeIdx e = begin; e < end; ++e) {
                     const graph::NodeId v = view.edgeTarget(e);
                     const std::uint64_t nd = du + view.weight(e);
@@ -157,8 +155,7 @@ bfsPull(View &view, graph::NodeId root)
         for (graph::NodeId v = 0; v < n; ++v) {
             if (view.propGet(v) != unreachedDist)
                 continue;
-            const graph::EdgeIdx begin = view.edgeBegin(v);
-            const graph::EdgeIdx end = view.edgeEnd(v);
+            const auto [begin, end] = view.edgeRange(v);
             for (graph::EdgeIdx e = begin; e < end; ++e) {
                 const graph::NodeId u = view.edgeTarget(e);
                 if (view.propGet(u) == depth - 1) {
@@ -200,8 +197,7 @@ pagerank(View &view, std::uint32_t max_iters, double damping = 0.85,
         // Push phase: distribute each vertex's rank to its neighbors.
         double dangling = 0.0;
         for (graph::NodeId u = 0; u < n; ++u) {
-            const graph::EdgeIdx begin = view.edgeBegin(u);
-            const graph::EdgeIdx end = view.edgeEnd(u);
+            const auto [begin, end] = view.edgeRange(u);
             const double rank = view.propGet(u);
             if (begin == end) {
                 dangling += rank;
@@ -251,8 +247,7 @@ labelPropagation(View &view, std::uint32_t max_iters = 64)
         changed = false;
         for (graph::NodeId u = 0; u < n; ++u) {
             const auto label = view.propGet(u);
-            const graph::EdgeIdx begin = view.edgeBegin(u);
-            const graph::EdgeIdx end = view.edgeEnd(u);
+            const auto [begin, end] = view.edgeRange(u);
             for (graph::EdgeIdx e = begin; e < end; ++e) {
                 const graph::NodeId v = view.edgeTarget(e);
                 if (label < view.propGet(v)) {

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/machine.hh"
@@ -84,6 +85,20 @@ class SimArray
     {
         trace(i, false);
         return host[i];
+    }
+
+    /**
+     * Traced read of elements @p i and @p i + 1 — the CSR offset-pair
+     * pattern (edgeBegin/edgeEnd). Goes through the MMU's batched
+     * translateRun, so the adjacent element reuses the translation the
+     * first one established; counters match two get() calls exactly.
+     */
+    std::pair<T, T>
+    getPair(size_t i)
+    {
+        machine->mmu().translateRun(base + i * sizeof(T), 2, sizeof(T),
+                                    /*write=*/false, tag);
+        return {host[i], host[i + 1]};
     }
 
     /** Traced element write. */

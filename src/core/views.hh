@@ -21,7 +21,12 @@
 namespace gpsm::core
 {
 
-
+/** Half-open edge-index range of one vertex's out-edges. */
+struct EdgeRange
+{
+    graph::EdgeIdx begin;
+    graph::EdgeIdx end;
+};
 
 /**
  * View of one graph plus its property array in simulated memory.
@@ -168,6 +173,13 @@ class SimView
     {
         return vertex->get(static_cast<size_t>(v) + 1);
     }
+    /** Both CSR offsets of @p v in one batched translation. */
+    EdgeRange
+    edgeRange(graph::NodeId v)
+    {
+        const auto [b, e] = vertex->getPair(v);
+        return {b, e};
+    }
     graph::NodeId edgeTarget(graph::EdgeIdx e) { return edge->get(e); }
     graph::Weight weight(graph::EdgeIdx e) { return values->get(e); }
 
@@ -261,6 +273,12 @@ class NativeView
     edgeEnd(graph::NodeId v) const
     {
         return g->vertexArray()[static_cast<size_t>(v) + 1];
+    }
+    EdgeRange
+    edgeRange(graph::NodeId v) const
+    {
+        return {g->vertexArray()[v],
+                g->vertexArray()[static_cast<size_t>(v) + 1]};
     }
     graph::NodeId
     edgeTarget(graph::EdgeIdx e) const

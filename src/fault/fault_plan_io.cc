@@ -1,0 +1,144 @@
+/**
+ * @file
+ * FaultPlan JSON input implementation.
+ */
+
+#include "fault/fault_plan_io.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "util/logging.hh"
+
+namespace gpsm::fault
+{
+
+namespace
+{
+
+FaultKind
+parseKind(const std::string &name)
+{
+    for (const FaultKind k :
+         {FaultKind::HugeAllocFail, FaultKind::SwapLatency,
+          FaultKind::SwapStall, FaultKind::MemhogArrive,
+          FaultKind::MemhogDepart, FaultKind::FramePoolShrink}) {
+        if (name == faultKindName(k))
+            return k;
+    }
+    fatal("fault plan: unknown kind '%s'", name.c_str());
+}
+
+FaultAnchor
+parseAnchor(const std::string &name)
+{
+    for (const FaultAnchor a :
+         {FaultAnchor::Start, FaultAnchor::KernelStart}) {
+        if (name == faultAnchorName(a))
+            return a;
+    }
+    fatal("fault plan: unknown anchor '%s' (start|kernel)",
+          name.c_str());
+}
+
+std::uint64_t
+asCount(const obs::Json &v, const char *key)
+{
+    if (!v.isNumber() || v.asNumber() < 0 ||
+        v.asNumber() != std::floor(v.asNumber()))
+        fatal("fault plan: '%s' must be a non-negative integer", key);
+    return static_cast<std::uint64_t>(v.asNumber());
+}
+
+FaultEvent
+parseEvent(const obs::Json &j, std::size_t index)
+{
+    if (!j.isObject())
+        fatal("fault plan: events[%zu] is not an object", index);
+    FaultEvent ev;
+    bool have_kind = false;
+    for (const auto &[key, value] : j.entries()) {
+        if (key == "kind") {
+            if (!value.isString())
+                fatal("fault plan: 'kind' must be a string");
+            ev.kind = parseKind(value.asString());
+            have_kind = true;
+        } else if (key == "anchor") {
+            if (!value.isString())
+                fatal("fault plan: 'anchor' must be a string");
+            ev.anchor = parseAnchor(value.asString());
+        } else if (key == "at") {
+            ev.at = asCount(value, "at");
+        } else if (key == "endAnchor") {
+            if (!value.isString())
+                fatal("fault plan: 'endAnchor' must be a string");
+            ev.endAnchor = parseAnchor(value.asString());
+        } else if (key == "endAt") {
+            ev.endAt = asCount(value, "endAt");
+        } else if (key == "probability") {
+            if (!value.isNumber() || value.asNumber() < 0.0 ||
+                value.asNumber() > 1.0)
+                fatal("fault plan: 'probability' must be in [0,1]");
+            ev.probability = value.asNumber();
+        } else if (key == "bytes") {
+            ev.bytes = asCount(value, "bytes");
+        } else if (key == "allButBytes") {
+            if (value.kind() != obs::Json::Kind::Bool)
+                fatal("fault plan: 'allButBytes' must be a bool");
+            ev.allButBytes = value.asBool();
+        } else if (key == "factor") {
+            if (!value.isNumber() || value.asNumber() < 0.0)
+                fatal("fault plan: 'factor' must be non-negative");
+            ev.factor = value.asNumber();
+        } else {
+            fatal("fault plan: unknown event key '%s'", key.c_str());
+        }
+    }
+    if (!have_kind)
+        fatal("fault plan: events[%zu] has no 'kind'", index);
+    return ev;
+}
+
+} // anonymous namespace
+
+FaultPlan
+parseFaultPlan(const std::string &text)
+{
+    std::size_t err_off = 0;
+    const std::optional<obs::Json> doc = obs::parseJson(text, &err_off);
+    if (!doc)
+        fatal("fault plan: JSON syntax error at byte %zu", err_off);
+    if (!doc->isObject())
+        fatal("fault plan: top level must be an object");
+
+    FaultPlan plan;
+    for (const auto &[key, value] : doc->entries()) {
+        if (key == "seed") {
+            plan.seed = asCount(value, "seed");
+        } else if (key == "events") {
+            if (!value.isArray())
+                fatal("fault plan: 'events' must be an array");
+            for (std::size_t i = 0; i < value.elements().size(); ++i)
+                plan.events.push_back(
+                    parseEvent(value.elements()[i], i));
+        } else {
+            fatal("fault plan: unknown key '%s'", key.c_str());
+        }
+    }
+    return plan;
+}
+
+FaultPlan
+loadFaultPlan(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("fault plan: cannot read '%s'", path.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseFaultPlan(buf.str());
+}
+
+} // namespace gpsm::fault

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * FaultPlan JSON input: lets a driver script describe an injection
+ * scenario in a file instead of hard-coding it (gpsm_run
+ * --fault-plan). The format mirrors the FaultEvent fields one to one,
+ * with kinds and anchors spelled exactly as faultKindName /
+ * faultAnchorName print them.
+ *
+ * Example:
+ *   {
+ *     "seed": 7,
+ *     "events": [
+ *       {"kind": "memhogArrive", "at": 0,
+ *        "bytes": 8388608, "allButBytes": true},
+ *       {"kind": "hugeAllocFail", "at": 0,
+ *        "endAnchor": "kernel", "endAt": 0, "probability": 0.5},
+ *       {"kind": "memhogDepart", "anchor": "kernel", "at": 0}
+ *     ]
+ *   }
+ */
+
+#ifndef GPSM_FAULT_FAULT_PLAN_IO_HH
+#define GPSM_FAULT_FAULT_PLAN_IO_HH
+
+#include <string>
+
+#include "fault/fault_plan.hh"
+
+namespace gpsm::fault
+{
+
+/**
+ * Parse a plan from JSON text. Unknown keys, unknown kind/anchor
+ * names and type mismatches are fatal (a silently defaulted typo
+ * would corrupt an experiment definition).
+ */
+FaultPlan parseFaultPlan(const std::string &text);
+
+/** parseFaultPlan over the contents of @p path (fatal if unreadable). */
+FaultPlan loadFaultPlan(const std::string &path);
+
+} // namespace gpsm::fault
+
+#endif // GPSM_FAULT_FAULT_PLAN_IO_HH

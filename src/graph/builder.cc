@@ -1,6 +1,12 @@
 /**
  * @file
  * Builder implementation.
+ *
+ * CSR assembly runs chunk-parallel via a vertex-range partition: every
+ * worker scans the whole filtered edge list but touches only sources
+ * inside its range, so counts, cursors and neighbor slots are each
+ * owned by exactly one worker and edges keep list order within every
+ * source — the output is byte-identical to the serial build.
  */
 
 #include "graph/builder.hh"
@@ -8,6 +14,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "graph/parallel.hh"
 #include "util/logging.hh"
 
 namespace gpsm::graph
@@ -47,17 +54,26 @@ CsrGraph
 Builder::fromEdges(const std::vector<Edge> &edges) const
 {
     const std::vector<Edge> es = filter(edges);
+    const unsigned chunks = planChunks(es.size(), 1u << 15);
 
     std::vector<EdgeIdx> offsets(static_cast<size_t>(numNodes) + 1, 0);
-    for (const Edge &e : es)
-        ++offsets[e.src + 1];
+    runChunks(numNodes, chunks,
+              [&](std::size_t vlo, std::size_t vhi) {
+                  for (const Edge &e : es)
+                      if (e.src >= vlo && e.src < vhi)
+                          ++offsets[e.src + 1];
+              });
     for (size_t v = 1; v < offsets.size(); ++v)
         offsets[v] += offsets[v - 1];
 
     std::vector<NodeId> neighbors(es.size());
     std::vector<EdgeIdx> cursor(offsets.begin(), offsets.end() - 1);
-    for (const Edge &e : es)
-        neighbors[cursor[e.src]++] = e.dst;
+    runChunks(numNodes, chunks,
+              [&](std::size_t vlo, std::size_t vhi) {
+                  for (const Edge &e : es)
+                      if (e.src >= vlo && e.src < vhi)
+                          neighbors[cursor[e.src]++] = e.dst;
+              });
 
     return CsrGraph(std::move(offsets), std::move(neighbors), {});
 }
@@ -69,22 +85,45 @@ Builder::fromEdgesWeighted(const std::vector<Edge> &edges,
     if (max_weight == 0)
         fatal("max edge weight must be positive");
     const std::vector<Edge> es = filter(edges);
+    const unsigned chunks = planChunks(es.size(), 1u << 15);
 
     std::vector<EdgeIdx> offsets(static_cast<size_t>(numNodes) + 1, 0);
-    for (const Edge &e : es)
-        ++offsets[e.src + 1];
+    runChunks(numNodes, chunks,
+              [&](std::size_t vlo, std::size_t vhi) {
+                  for (const Edge &e : es)
+                      if (e.src >= vlo && e.src < vhi)
+                          ++offsets[e.src + 1];
+              });
     for (size_t v = 1; v < offsets.size(); ++v)
         offsets[v] += offsets[v - 1];
+
+    // Weights follow filtered-list order (exactly one draw per edge),
+    // so they are precomputed by list index — each chunk jumps its
+    // generator to its first index — then placed with the neighbor.
+    std::vector<Weight> drawn(es.size());
+    forBuildChunks(es.size(), 1u << 15,
+                   [&](std::size_t lo, std::size_t hi) {
+                       Rng rng(seed);
+                       rng.discard(lo);
+                       for (std::size_t i = lo; i < hi; ++i)
+                           drawn[i] = static_cast<Weight>(
+                               rng.below(max_weight) + 1);
+                   });
 
     std::vector<NodeId> neighbors(es.size());
     std::vector<Weight> weights(es.size());
     std::vector<EdgeIdx> cursor(offsets.begin(), offsets.end() - 1);
-    Rng rng(seed);
-    for (const Edge &e : es) {
-        const EdgeIdx slot = cursor[e.src]++;
-        neighbors[slot] = e.dst;
-        weights[slot] = static_cast<Weight>(rng.below(max_weight) + 1);
-    }
+    runChunks(numNodes, chunks,
+              [&](std::size_t vlo, std::size_t vhi) {
+                  for (std::size_t i = 0; i < es.size(); ++i) {
+                      const Edge &e = es[i];
+                      if (e.src < vlo || e.src >= vhi)
+                          continue;
+                      const EdgeIdx slot = cursor[e.src]++;
+                      neighbors[slot] = e.dst;
+                      weights[slot] = drawn[i];
+                  }
+              });
 
     return CsrGraph(std::move(offsets), std::move(neighbors),
                     std::move(weights));

@@ -1,6 +1,13 @@
 /**
  * @file
  * Generator implementations.
+ *
+ * All three generators run chunk-parallel over the edge range while
+ * staying byte-identical to serial generation: each edge consumes a
+ * fixed number of RNG draws, so a chunk starting at edge i jumps a
+ * private generator to the exact stream position serial execution
+ * would have reached (Rng::discard) and writes its disjoint slice of
+ * the pre-sized edge vector.
  */
 
 #include "graph/generators.hh"
@@ -9,6 +16,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "graph/parallel.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -26,39 +34,50 @@ rmatEdges(const RmatParams &params)
 
     const NodeId n = 1u << params.scale;
     const auto m = static_cast<std::uint64_t>(params.edgeFactor * n);
-    Rng rng(params.seed);
+    // Each edge consumes exactly 3 draws per scale bit: the noise
+    // perturbation, the quadrant pick, and the right/left pick (drawn
+    // in both branches).
+    const std::uint64_t draws_per_edge = 3ull * params.scale;
 
-    std::vector<Edge> edges;
-    edges.reserve(m);
-    for (std::uint64_t i = 0; i < m; ++i) {
-        NodeId src = 0;
-        NodeId dst = 0;
-        for (unsigned bit = 0; bit < params.scale; ++bit) {
-            // Slightly perturb quadrant probabilities per level, as the
-            // classic R-MAT implementation does, to avoid degenerate
-            // self-similarity.
-            const double noise = 0.9 + 0.2 * rng.uniform();
-            const double ab = (params.a + params.b) * noise;
-            const double a_of_ab =
-                params.a / (params.a + params.b);
-            const double c_of_cd = params.c / (params.c + d);
-            const double r = rng.uniform();
-            bool right;
-            bool down;
-            if (r < ab) {
-                down = false;
-                right = rng.uniform() > a_of_ab;
-            } else {
-                down = true;
-                right = rng.uniform() > c_of_cd;
+    const double sum_ab = params.a + params.b;
+    // Right/left threshold per quadrant half, indexed by the down bit
+    // (a table load compiles to a branch-free select; the down bit is
+    // random, so a branch here mispredicts half the time).
+    const double thr_tab[2] = {params.a / sum_ab,
+                               params.c / (params.c + d)};
+
+    std::vector<Edge> edges(m);
+    forBuildChunks(m, 1u << 12, [&](std::size_t lo, std::size_t hi) {
+        Rng rng(params.seed);
+        rng.discard(lo * draws_per_edge);
+        for (std::size_t i = lo; i < hi; ++i) {
+            NodeId src = 0;
+            NodeId dst = 0;
+            for (unsigned bit = 0; bit < params.scale; ++bit) {
+                // Slightly perturb quadrant probabilities per level,
+                // as the classic R-MAT implementation does, to avoid
+                // degenerate self-similarity. The right/left draw is
+                // unconditional (both quadrant halves consume it), so
+                // the half pick reduces to a threshold select — no
+                // data-dependent branch on the random bits.
+                const double noise = 0.9 + 0.2 * rng.uniform();
+                const double ab = sum_ab * noise;
+                const double r = rng.uniform();
+                const unsigned down = r < ab ? 0u : 1u;
+                const bool right = rng.uniform() > thr_tab[down];
+                src = (src << 1) | down;
+                dst = (dst << 1) | (right ? 1u : 0u);
             }
-            src = (src << 1) | (down ? 1u : 0u);
-            dst = (dst << 1) | (right ? 1u : 0u);
+            edges[i] = Edge{src, dst};
         }
-        edges.push_back(Edge{src, dst});
-    }
+    });
 
     if (params.permute) {
+        // The permutation continues the serial stream right after the
+        // last edge's draws; its swap sequence is order-dependent and
+        // stays serial. Applying it to the edges is draw-free.
+        Rng rng(params.seed);
+        rng.discard(m * draws_per_edge);
         std::vector<NodeId> perm(n);
         std::iota(perm.begin(), perm.end(), 0u);
         // Fisher-Yates with the deterministic generator.
@@ -66,10 +85,14 @@ rmatEdges(const RmatParams &params)
             const auto j = static_cast<NodeId>(rng.below(i + 1));
             std::swap(perm[i], perm[j]);
         }
-        for (Edge &e : edges) {
-            e.src = perm[e.src];
-            e.dst = perm[e.dst];
-        }
+        forBuildChunks(m, 1u << 14,
+                       [&](std::size_t lo, std::size_t hi) {
+                           for (std::size_t i = lo; i < hi; ++i) {
+                               Edge &e = edges[i];
+                               e.src = perm[e.src];
+                               e.dst = perm[e.dst];
+                           }
+                       });
     }
     return edges;
 }
@@ -90,9 +113,19 @@ struct ZipfSampler
     ZipfSampler(NodeId n, double theta, double hub_locality, Rng &rng)
     {
         cdf.resize(n);
+        // The pow evaluations dominate construction and take no
+        // draws; the serial prefix accumulation afterwards keeps the
+        // partial sums bit-identical to the serial single loop.
+        forBuildChunks(n, 1u << 13,
+                       [&](std::size_t lo, std::size_t hi) {
+                           for (std::size_t k = lo; k < hi; ++k)
+                               cdf[k] = std::pow(
+                                   static_cast<double>(k) + 1.0,
+                                   -theta);
+                       });
         double acc = 0.0;
         for (NodeId k = 0; k < n; ++k) {
-            acc += std::pow(static_cast<double>(k) + 1.0, -theta);
+            acc += cdf[k];
             cdf[k] = acc;
         }
         total = acc;
@@ -103,6 +136,7 @@ struct ZipfSampler
             // Displace each rank with probability (1 - locality):
             // locality 1 keeps rank k at vertex k (hubs form a dense
             // low-ID prefix); locality 0 approaches a full shuffle.
+            // Draw count is data-dependent, so this stays serial.
             const double p = 1.0 - hub_locality;
             for (NodeId i = 0; i < n; ++i) {
                 if (rng.chance(p)) {
@@ -136,22 +170,36 @@ powerLawEdges(const PowerLawParams &params)
     Rng rng(params.seed);
     ZipfSampler sampler(n, params.theta, params.hubLocality, rng);
 
-    std::vector<Edge> edges;
-    edges.reserve(m);
-    for (std::uint64_t i = 0; i < m; ++i) {
-        const NodeId src = sampler.sample(rng);
-        NodeId dst;
-        if (params.community > 0.0 && rng.chance(params.community)) {
-            // Destination near the source in ID space.
-            const NodeId w = std::max<NodeId>(params.communityWindow, 2);
-            const NodeId lo = src > w / 2 ? src - w / 2 : 0;
-            const NodeId span = std::min<NodeId>(w, n - lo);
-            dst = lo + static_cast<NodeId>(rng.below(span));
-        } else {
-            dst = sampler.sample(rng);
+    // Sampler construction consumes a data-dependent number of draws,
+    // so chunks start from a *copy* of the post-construction
+    // generator. Each edge then consumes a fixed count: the source
+    // sample, plus either the community coin and window pick or the
+    // coin and the second sample (the coin is skipped entirely when
+    // community is 0 — the && short-circuits on the constant).
+    const std::uint64_t draws_per_edge =
+        params.community > 0.0 ? 3 : 2;
+
+    std::vector<Edge> edges(m);
+    forBuildChunks(m, 1u << 13, [&](std::size_t lo, std::size_t hi) {
+        Rng r = rng;
+        r.discard(lo * draws_per_edge);
+        for (std::size_t i = lo; i < hi; ++i) {
+            const NodeId src = sampler.sample(r);
+            NodeId dst;
+            if (params.community > 0.0 &&
+                r.chance(params.community)) {
+                // Destination near the source in ID space.
+                const NodeId w =
+                    std::max<NodeId>(params.communityWindow, 2);
+                const NodeId lo_id = src > w / 2 ? src - w / 2 : 0;
+                const NodeId span = std::min<NodeId>(w, n - lo_id);
+                dst = lo_id + static_cast<NodeId>(r.below(span));
+            } else {
+                dst = sampler.sample(r);
+            }
+            edges[i] = Edge{src, dst};
         }
-        edges.push_back(Edge{src, dst});
-    }
+    });
     return edges;
 }
 
@@ -161,13 +209,16 @@ uniformEdges(NodeId nodes, double avg_degree, std::uint64_t seed)
     if (nodes < 2)
         fatal("uniform generator needs at least two nodes");
     const auto m = static_cast<std::uint64_t>(avg_degree * nodes);
-    Rng rng(seed);
-    std::vector<Edge> edges;
-    edges.reserve(m);
-    for (std::uint64_t i = 0; i < m; ++i) {
-        edges.push_back(Edge{static_cast<NodeId>(rng.below(nodes)),
-                             static_cast<NodeId>(rng.below(nodes))});
-    }
+    std::vector<Edge> edges(m);
+    forBuildChunks(m, 1u << 14, [&](std::size_t lo, std::size_t hi) {
+        Rng rng(seed);
+        rng.discard(lo * 2);
+        for (std::size_t i = lo; i < hi; ++i) {
+            edges[i] =
+                Edge{static_cast<NodeId>(rng.below(nodes)),
+                     static_cast<NodeId>(rng.below(nodes))};
+        }
+    });
     return edges;
 }
 

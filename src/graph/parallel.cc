@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Build-parallelism knob implementation.
+ */
+
+#include "graph/parallel.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/thread_pool.hh"
+
+namespace gpsm::graph
+{
+
+namespace
+{
+
+unsigned jobsOverride = 0;
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("GPSM_BUILD_JOBS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    return util::ThreadPool::hardwareThreads();
+}
+
+} // anonymous namespace
+
+void
+setBuildJobs(unsigned jobs)
+{
+    jobsOverride = jobs;
+}
+
+unsigned
+buildJobs()
+{
+    if (jobsOverride != 0)
+        return jobsOverride;
+    static const unsigned resolved = defaultJobs();
+    return resolved;
+}
+
+unsigned
+planChunks(std::size_t work, std::size_t min_grain)
+{
+    const unsigned jobs = buildJobs();
+    const std::size_t grain = std::max<std::size_t>(min_grain, 1);
+    if (jobs <= 1 || work < 2 * grain)
+        return 1;
+    return static_cast<unsigned>(
+        std::min<std::size_t>(jobs, work / grain));
+}
+
+void
+runChunks(std::size_t total, unsigned chunks,
+          const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    if (total == 0)
+        return;
+    if (chunks <= 1) {
+        fn(0, total);
+        return;
+    }
+    chunks = static_cast<unsigned>(
+        std::min<std::size_t>(chunks, total));
+    const std::size_t per = (total + chunks - 1) / chunks;
+    util::ThreadPool pool(chunks);
+    for (unsigned c = 0; c < chunks; ++c) {
+        const std::size_t lo = static_cast<std::size_t>(c) * per;
+        const std::size_t hi = std::min(total, lo + per);
+        if (lo >= hi)
+            break;
+        pool.submit([&fn, lo, hi] { fn(lo, hi); });
+    }
+    pool.wait();
+}
+
+void
+forBuildChunks(std::size_t total, std::size_t min_grain,
+               const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    runChunks(total, planChunks(total, min_grain), fn);
+}
+
+} // namespace gpsm::graph

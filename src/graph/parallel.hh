@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic parallelism for dataset construction.
+ *
+ * Generators, the CSR builder and the reorder pass split their work
+ * into contiguous chunks executed on a transient worker pool. The
+ * chunking is designed so output is byte-identical to the serial code
+ * at any worker count: RNG-consuming loops hand each chunk the exact
+ * stream position serial execution would have reached (Rng::discard),
+ * and array-writing loops partition their output disjointly.
+ */
+
+#ifndef GPSM_GRAPH_PARALLEL_HH
+#define GPSM_GRAPH_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace gpsm::graph
+{
+
+/**
+ * Override the build worker count; 0 restores the default (the
+ * GPSM_BUILD_JOBS environment variable, else one worker per hardware
+ * thread). Not thread-safe against a concurrently running build.
+ */
+void setBuildJobs(unsigned jobs);
+
+/** Resolved dataset-construction worker count (always >= 1). */
+unsigned buildJobs();
+
+/**
+ * Number of chunks to split @p work items into: buildJobs() capped so
+ * every chunk gets at least @p min_grain items; 1 means run inline.
+ */
+unsigned planChunks(std::size_t work, std::size_t min_grain);
+
+/**
+ * Invoke fn(begin, end) over contiguous chunks covering [0, total).
+ * chunks <= 1 runs fn(0, total) inline on the calling thread;
+ * otherwise the chunks run on a transient pool. fn must confine its
+ * writes to state owned by its chunk.
+ */
+void runChunks(std::size_t total, unsigned chunks,
+               const std::function<void(std::size_t, std::size_t)> &fn);
+
+/** runChunks with the chunk count planned from @p total itself. */
+void forBuildChunks(std::size_t total, std::size_t min_grain,
+                    const std::function<void(std::size_t,
+                                             std::size_t)> &fn);
+
+} // namespace gpsm::graph
+
+#endif // GPSM_GRAPH_PARALLEL_HH

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "graph/parallel.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -44,8 +45,16 @@ std::vector<std::uint64_t>
 inDegrees(const CsrGraph &graph)
 {
     std::vector<std::uint64_t> indeg(graph.numNodes(), 0);
-    for (NodeId t : graph.edgeArray())
-        ++indeg[t];
+    // Target-range partition: every worker scans all edges but counts
+    // only its own vertices, keeping increments race-free without
+    // atomics (and identical to the serial tally).
+    runChunks(graph.numNodes(),
+              planChunks(graph.numEdges(), 1u << 15),
+              [&](std::size_t vlo, std::size_t vhi) {
+                  for (NodeId t : graph.edgeArray())
+                      if (t >= vlo && t < vhi)
+                          ++indeg[t];
+              });
     return indeg;
 }
 
@@ -59,16 +68,20 @@ dbgBins(const CsrGraph &graph)
     const std::vector<double> thr = dbgThresholds();
 
     std::vector<std::uint8_t> bins(graph.numNodes());
-    for (NodeId v = 0; v < graph.numNodes(); ++v) {
-        std::uint8_t bin = static_cast<std::uint8_t>(thr.size() - 1);
-        for (std::uint8_t b = 0; b < thr.size(); ++b) {
-            if (static_cast<double>(indeg[v]) >= thr[b] * d) {
-                bin = b;
-                break;
+    forBuildChunks(graph.numNodes(), 1u << 14,
+                   [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t v = lo; v < hi; ++v) {
+            std::uint8_t bin =
+                static_cast<std::uint8_t>(thr.size() - 1);
+            for (std::uint8_t b = 0; b < thr.size(); ++b) {
+                if (static_cast<double>(indeg[v]) >= thr[b] * d) {
+                    bin = b;
+                    break;
+                }
             }
+            bins[v] = bin;
         }
-        bins[v] = bin;
-    }
+    });
     return bins;
 }
 
@@ -170,17 +183,24 @@ applyMapping(const CsrGraph &graph, const std::vector<NodeId> &mapping)
 
     std::vector<NodeId> neighbors(graph.numEdges());
     std::vector<Weight> weights(weighted ? graph.numEdges() : 0);
-    for (NodeId new_id = 0; new_id < n; ++new_id) {
-        const NodeId old_id = inverse[new_id];
-        EdgeIdx out = offsets[new_id];
-        const EdgeIdx begin = graph.vertexArray()[old_id];
-        const EdgeIdx end = graph.vertexArray()[old_id + 1];
-        for (EdgeIdx e = begin; e < end; ++e, ++out) {
-            neighbors[out] = mapping[graph.edgeArray()[e]];
-            if (weighted)
-                weights[out] = graph.valuesArray()[e];
+    // Each new_id owns the disjoint slot range
+    // [offsets[new_id], offsets[new_id + 1]), so new-ID chunks write
+    // without overlap.
+    runChunks(n, planChunks(graph.numEdges(), 1u << 15),
+              [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t nv = lo; nv < hi; ++nv) {
+            const auto new_id = static_cast<NodeId>(nv);
+            const NodeId old_id = inverse[new_id];
+            EdgeIdx out = offsets[new_id];
+            const EdgeIdx begin = graph.vertexArray()[old_id];
+            const EdgeIdx end = graph.vertexArray()[old_id + 1];
+            for (EdgeIdx e = begin; e < end; ++e, ++out) {
+                neighbors[out] = mapping[graph.edgeArray()[e]];
+                if (weighted)
+                    weights[out] = graph.valuesArray()[e];
+            }
         }
-    }
+    });
     return CsrGraph(std::move(offsets), std::move(neighbors),
                     std::move(weights));
 }

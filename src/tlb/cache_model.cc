@@ -17,6 +17,8 @@ CacheModel::CacheModel(std::vector<CacheLevelConfig> levels,
 {
     if (levels.empty())
         fatal("cache model needs at least one level");
+    if (levels.size() > maxLevels)
+        fatal("cache model supports at most %zu levels", maxLevels);
     lvls.resize(levels.size());
     for (size_t i = 0; i < levels.size(); ++i) {
         Level &lvl = lvls[i];
@@ -38,56 +40,55 @@ CacheModel::CacheModel(std::vector<CacheLevelConfig> levels,
     }
 }
 
-void
-CacheModel::fill(Level &lvl, std::uint64_t block)
-{
-    Line *set = lvl.set(block);
-    Line *victim = &set[0];
-    for (std::uint32_t w = 0; w < lvl.cfg.ways; ++w) {
-        if (set[w].valid && set[w].tag == block) {
-            set[w].stamp = ++stampCounter;
-            return;
-        }
-        if (!set[w].valid) {
-            victim = &set[w];
-            break;
-        }
-        if (set[w].stamp < victim->stamp)
-            victim = &set[w];
-    }
-    victim->valid = true;
-    victim->tag = block;
-    victim->stamp = ++stampCounter;
-}
-
 std::uint32_t
 CacheModel::access(Addr paddr)
 {
     ++accesses;
-    size_t hit_level = lvls.size();
-    for (size_t i = 0; i < lvls.size(); ++i) {
+    // One pass per level: the probe scan also selects the LRU victim
+    // (first invalid way, else minimum stamp — stamps are unique), so
+    // a miss installs the line without re-walking the set. Fill order
+    // matches the probe order: the hit line is stamped during its
+    // level's scan, then every level above the hit point is filled
+    // L1-first (inclusive hierarchy).
+    const size_t n = lvls.size();
+    Line *victims[maxLevels];
+    size_t hit_level = n;
+    for (size_t i = 0; i < n; ++i) {
         Level &lvl = lvls[i];
         const std::uint64_t block = paddr >> lvl.lineShift;
         Line *set = lvl.set(block);
+        Line *victim = set;
+        bool have_invalid = false;
         bool hit = false;
         for (std::uint32_t w = 0; w < lvl.cfg.ways; ++w) {
-            if (set[w].valid && set[w].tag == block) {
-                set[w].stamp = ++stampCounter;
+            Line &line = set[w];
+            if (line.stamp != 0 && line.tag == block) {
+                line.stamp = ++stampCounter;
                 hit = true;
                 break;
+            }
+            if (!have_invalid) {
+                if (line.stamp == 0) {
+                    victim = &line;
+                    have_invalid = true;
+                } else if (line.stamp < victim->stamp) {
+                    victim = &line;
+                }
             }
         }
         if (hit) {
             hit_level = i;
             break;
         }
+        victims[i] = victim;
     }
 
-    // Fill every level above the hit point (inclusive hierarchy).
-    for (size_t i = 0; i < hit_level && i < lvls.size(); ++i)
-        fill(lvls[i], paddr >> lvls[i].lineShift);
+    for (size_t i = 0; i < hit_level && i < n; ++i) {
+        victims[i]->tag = paddr >> lvls[i].lineShift;
+        victims[i]->stamp = ++stampCounter;
+    }
 
-    if (hit_level == lvls.size()) {
+    if (hit_level == n) {
         ++misses;
         return memCycles;
     }
@@ -95,12 +96,56 @@ CacheModel::access(Addr paddr)
     return lvls[hit_level].cfg.hitCycles;
 }
 
+std::uint64_t
+CacheModel::accessRun(Addr start, std::size_t stride, std::uint64_t n)
+{
+    std::uint64_t cycles = 0;
+    Level &l1 = lvls[0];
+    const std::uint64_t line_bytes = l1.cfg.lineBytes;
+    std::uint64_t i = 0;
+    while (i < n) {
+        const Addr addr = start + i * stride;
+        cycles += access(addr);
+        std::uint64_t k = 1;
+        if (stride < line_bytes) {
+            const Addr line_end =
+                (addr & ~(line_bytes - 1)) + line_bytes;
+            k = std::min<std::uint64_t>(
+                n - i, (line_end - addr + stride - 1) / stride);
+        }
+        if (k > 1) {
+            // The remaining k-1 elements share the line just probed,
+            // which access() left resident and most-recently-stamped
+            // in L1: each would hit L1 and restamp it. Account all of
+            // them at once.
+            const std::uint64_t block = addr >> l1.lineShift;
+            Line *set = l1.set(block);
+            Line *line = nullptr;
+            for (std::uint32_t w = 0; w < l1.cfg.ways; ++w) {
+                if (set[w].stamp != 0 && set[w].tag == block) {
+                    line = &set[w];
+                    break;
+                }
+            }
+            GPSM_ASSERT(line != nullptr);
+            const std::uint64_t r = k - 1;
+            accesses += r;
+            l1.hits += r;
+            stampCounter += r;
+            line->stamp = stampCounter;
+            cycles += r * l1.cfg.hitCycles;
+        }
+        i += k;
+    }
+    return cycles;
+}
+
 void
 CacheModel::flushAll()
 {
     for (Level &lvl : lvls)
         for (Line &line : lvl.arr)
-            line.valid = false;
+            line.stamp = 0;
 }
 
 void

@@ -49,6 +49,18 @@ class CacheModel
     /** Probe with a physical address; @return latency in cycles. */
     std::uint32_t access(Addr paddr);
 
+    /**
+     * Probe @p n strided addresses starting at @p start and @return
+     * the summed latency. Counter and LRU state are exactly those of
+     * n access() calls (asserted by tests/test_cache_model): after a
+     * line's first probe, the following elements of the same L1 line
+     * are guaranteed L1 hits — nothing intervenes within the run — so
+     * they are accounted in one step per line instead of one set scan
+     * per element.
+     */
+    std::uint64_t accessRun(Addr start, std::size_t stride,
+                            std::uint64_t n);
+
     /** Drop all lines (used between experiment phases). */
     void flushAll();
 
@@ -65,9 +77,15 @@ class CacheModel
     Counter misses; ///< accesses that reached memory
 
   private:
+    /**
+     * stamp == 0 marks the line invalid: stampCounter is never reset
+     * (flushAll only zeroes line stamps), so a resident line always
+     * carries a nonzero, set-unique stamp. Folding validity into the
+     * stamp keeps the line at 16 bytes — the set scan is the hottest
+     * loop in the simulator.
+     */
     struct Line
     {
-        bool valid = false;
         std::uint64_t tag = 0;
         std::uint64_t stamp = 0;
     };
@@ -88,8 +106,8 @@ class CacheModel
         }
     };
 
-    /** Install @p block into @p level, LRU-evicting. */
-    void fill(Level &lvl, std::uint64_t block);
+    /** Upper bound on configured levels (victim scratch in access). */
+    static constexpr size_t maxLevels = 8;
 
     std::vector<Level> lvls;
     std::uint32_t memCycles;

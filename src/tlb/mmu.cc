@@ -79,14 +79,20 @@ Mmu::accessMiss(Addr vaddr, bool write, unsigned tag)
     if (p.hit) {
         ++stlbHits;
         translationCycles += costs.stlbHitCycles;
-        dtlb.insert(vpn_base, vm::PageSizeClass::Base, p.frame);
+        noteReuse(tag,
+                  dtlb.insert(vpn_base, vm::PageSizeClass::Base,
+                              p.frame),
+                  vm::PageSizeClass::Base, vaddr);
         return;
     }
     p = stlb.lookup(vpn_huge, vm::PageSizeClass::Huge);
     if (p.hit) {
         ++stlbHits;
         translationCycles += costs.stlbHitCycles;
-        dtlb.insert(vpn_huge, vm::PageSizeClass::Huge, p.frame);
+        noteReuse(tag,
+                  dtlb.insert(vpn_huge, vm::PageSizeClass::Huge,
+                              p.frame),
+                  vm::PageSizeClass::Huge, vaddr);
         return;
     }
 
@@ -102,19 +108,75 @@ Mmu::accessMiss(Addr vaddr, bool write, unsigned tag)
         ++walksBase;
         translationCycles += costs.walkCyclesBase;
         stlb.insert(vpn_base, vm::PageSizeClass::Base, info.frame);
-        dtlb.insert(vpn_base, vm::PageSizeClass::Base, info.frame);
+        noteReuse(tag,
+                  dtlb.insert(vpn_base, vm::PageSizeClass::Base,
+                              info.frame),
+                  vm::PageSizeClass::Base, vaddr);
     } else if (info.size == vm::PageSizeClass::Giant) {
         // Giant translations live only in the L1 giant sub-TLB
         // (Haswell's STLB does not cache 1GB entries).
         ++walksGiant;
         translationCycles += costs.walkCyclesGiant;
-        dtlb.insert(vaddr >> giantShift, vm::PageSizeClass::Giant,
-                    info.frame);
+        noteReuse(tag,
+                  dtlb.insert(vaddr >> giantShift,
+                              vm::PageSizeClass::Giant, info.frame),
+                  vm::PageSizeClass::Giant, vaddr);
     } else {
         ++walksHuge;
         translationCycles += costs.walkCyclesHuge;
         stlb.insert(vpn_huge, vm::PageSizeClass::Huge, info.frame);
-        dtlb.insert(vpn_huge, vm::PageSizeClass::Huge, info.frame);
+        noteReuse(tag,
+                  dtlb.insert(vpn_huge, vm::PageSizeClass::Huge,
+                              info.frame),
+                  vm::PageSizeClass::Huge, vaddr);
+    }
+}
+
+void
+Mmu::translateRun(Addr start, std::size_t count, std::size_t stride,
+                  bool write, unsigned tag)
+{
+    GPSM_ASSERT(tag < numTags);
+    GPSM_ASSERT(stride != 0);
+    std::size_t i = 0;
+    while (i < count) {
+        access(start + i * stride, write, tag);
+        ++i;
+        if (i >= count)
+            return;
+        // A periodic hook may have queued invalidations after the
+        // in-access drain; bulk steps assume a quiescent TLB.
+        if (space.hasPendingInvalidations())
+            continue;
+        const ReuseEntry &re = reuse[tag];
+        const Addr next = start + i * stride;
+        if (!(next >= re.pageBase && next < re.pageEnd &&
+              re.way != nullptr && re.way->valid &&
+              re.way->vpn == re.vpn && re.way->cls == re.cls))
+            continue;
+        // Elements the validated translation still covers, capped so
+        // a hook/sample firing always takes the per-element path.
+        std::uint64_t n = (re.pageEnd - next + stride - 1) / stride;
+        n = std::min<std::uint64_t>(n, count - i);
+        if (hookInterval != 0)
+            n = std::min<std::uint64_t>(n, hookCountdown - 1);
+        if (sampleInterval != 0)
+            n = std::min<std::uint64_t>(n, sampleCountdown - 1);
+        if (n == 0)
+            continue;
+        // Bulk accounting: exactly n per-element accesses, each an L1
+        // reuse hit with no fault, no pending work and no hook firing.
+        accesses += n;
+        tags[tag].accesses += n;
+        baseCycles += n * costs.baseAccessCycles;
+        dtlb.touchEntryRun(re.way, re.probes, n);
+        if (cache)
+            memoryCycles += cache->accessRun(next, stride, n);
+        if (hookInterval != 0)
+            hookCountdown -= n;
+        if (sampleInterval != 0)
+            sampleCountdown -= n;
+        i += n;
     }
 }
 

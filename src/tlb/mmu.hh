@@ -90,18 +90,31 @@ class Mmu
 
     /**
      * Trace @p count strided accesses starting at @p start — the bulk
-     * sequential pattern of array initialization/loading. Counter
-     * semantics are identical to calling access() once per element;
-     * the point is keeping the per-element work fully inlined in the
-     * caller's loop (SimArray::fill/loadFrom).
+     * sequential pattern of array initialization/loading and of
+     * straight-line CSR scans. Counter semantics are identical to
+     * calling access() once per element (asserted by
+     * tests/test_mmu_reuse): elements sharing the page of a validated
+     * reuse entry are charged in one batched step instead of one probe
+     * sequence each.
      */
     void
     accessRange(Addr start, std::size_t count, std::size_t stride,
                 bool write, unsigned tag = 0)
     {
-        for (std::size_t i = 0; i < count; ++i)
-            access(start + i * stride, write, tag);
+        translateRun(start, count, stride, write, tag);
     }
+
+    /**
+     * Batched translation path behind accessRange: per-element
+     * access() at page boundaries (and wherever reuse cannot be
+     * proven), bulk accounting for the run of elements that the
+     * just-validated translation covers. Bulk steps never cross a
+     * periodic/sample hook boundary and are skipped entirely while
+     * invalidations are pending, so every observable counter matches
+     * the per-element loop exactly.
+     */
+    void translateRun(Addr start, std::size_t count, std::size_t stride,
+                      bool write, unsigned tag = 0);
 
     /** Flush both TLB levels (and drop nothing else). */
     void flushTlbs();
@@ -264,6 +277,55 @@ class Mmu
      *  STLB probes, page walk (possibly faulting), TLB refills. */
     void accessMiss(Addr vaddr, bool write, unsigned tag);
 
+    /**
+     * Per-tag last-translation cache entry. Pins the L1 entry that
+     * resolved this tag's previous access; the next access re-validates
+     * it by identity (valid + vpn + cls) and by address range, so any
+     * invalidation, eviction, refresh or flush that touches the entry
+     * is detected without a generation counter. pageEnd == 0 until the
+     * first hit is recorded, which makes the range check fail before
+     * `way` is ever dereferenced.
+     */
+    struct ReuseEntry
+    {
+        Tlb::Way *way = nullptr;
+        std::uint64_t vpn = 0; ///< in the class's own VPN units
+        Addr pageBase = 0;
+        Addr pageEnd = 0;
+        vm::PageSizeClass cls = vm::PageSizeClass::Base;
+        unsigned probes = 1; ///< L1 class probes up to and incl. the hit
+    };
+
+    /** Record the translation that resolved @p vaddr for reuse. */
+    void
+    noteReuse(unsigned tag, Tlb::Way *way, vm::PageSizeClass cls,
+              Addr vaddr)
+    {
+        if (way == nullptr)
+            return;
+        ReuseEntry &re = reuse[tag];
+        re.way = way;
+        re.vpn = way->vpn;
+        re.cls = cls;
+        switch (cls) {
+          case vm::PageSizeClass::Base:
+            re.pageBase = vaddr & ~(pageBytes - 1);
+            re.pageEnd = re.pageBase + pageBytes;
+            re.probes = 1;
+            break;
+          case vm::PageSizeClass::Huge:
+            re.pageBase = vaddr & ~hugeMask;
+            re.pageEnd = re.pageBase + hugeMask + 1;
+            re.probes = 2;
+            break;
+          case vm::PageSizeClass::Giant:
+            re.pageBase = vaddr & ~giantMask;
+            re.pageEnd = re.pageBase + giantMask + 1;
+            re.probes = 3;
+            break;
+        }
+    }
+
     vm::AddressSpace &space;
     CostModel costs;
     Tlb dtlb;
@@ -292,6 +354,7 @@ class Mmu
     std::uint64_t sampleCountdown = 0;
 
     std::array<TagStats, numTags> tags;
+    std::array<ReuseEntry, numTags> reuse;
 };
 
 inline void
@@ -302,19 +365,34 @@ Mmu::access(Addr vaddr, bool write, unsigned tag)
     ++tags[tag].accesses;
     baseCycles += costs.baseAccessCycles;
 
-    // L1: probe every size class (parallel sub-TLBs in hardware).
-    bool hit =
-        dtlb.lookup(vaddr >> baseShift, vm::PageSizeClass::Base).hit;
-    if (!hit) {
-        hit = dtlb.lookup(vaddr >> hugeShift, vm::PageSizeClass::Huge)
-                  .hit;
-        if (!hit && giantShift != 0)
-            hit = dtlb.lookup(vaddr >> giantShift,
-                              vm::PageSizeClass::Giant)
-                      .hit;
+    ReuseEntry &re = reuse[tag];
+    if (vaddr >= re.pageBase && vaddr < re.pageEnd && re.way->valid &&
+        re.way->vpn == re.vpn && re.way->cls == re.cls) {
+        // Same page as this tag's previous access and the pinned L1
+        // entry is still resident: account the probe sequence that
+        // would have hit it, without scanning.
+        dtlb.touchEntry(re.way, re.probes);
+    } else {
+        // L1: probe every size class (parallel sub-TLBs in hardware).
+        Tlb::Probe p =
+            dtlb.lookup(vaddr >> baseShift, vm::PageSizeClass::Base);
+        if (p.hit) {
+            noteReuse(tag, p.way, vm::PageSizeClass::Base, vaddr);
+        } else {
+            p = dtlb.lookup(vaddr >> hugeShift,
+                            vm::PageSizeClass::Huge);
+            if (p.hit) {
+                noteReuse(tag, p.way, vm::PageSizeClass::Huge, vaddr);
+            } else if (giantShift != 0 &&
+                       (p = dtlb.lookup(vaddr >> giantShift,
+                                        vm::PageSizeClass::Giant))
+                           .hit) {
+                noteReuse(tag, p.way, vm::PageSizeClass::Giant, vaddr);
+            } else {
+                accessMiss(vaddr, write, tag);
+            }
+        }
     }
-    if (!hit)
-        accessMiss(vaddr, write, tag);
 
     if (cache) {
         // The data cache is indexed by *virtual* address: physical

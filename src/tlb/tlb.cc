@@ -43,61 +43,6 @@ Tlb::makeUnified(std::string name, std::uint32_t entries,
     return tlb;
 }
 
-Tlb::Probe
-Tlb::lookup(std::uint64_t vpn, vm::PageSizeClass cls)
-{
-    ++accesses;
-    SubTlb &sub = subFor(cls);
-    Probe probe;
-    if (sub.sets == 0) {
-        ++misses;
-        return probe;
-    }
-    Way *set = sub.set(vpn);
-    for (std::uint32_t w = 0; w < sub.ways; ++w) {
-        if (set[w].valid && set[w].vpn == vpn && set[w].cls == cls) {
-            set[w].stamp = ++stampCounter;
-            probe.hit = true;
-            probe.frame = set[w].frame;
-            return probe;
-        }
-    }
-    ++misses;
-    return probe;
-}
-
-void
-Tlb::insert(std::uint64_t vpn, vm::PageSizeClass cls, std::uint64_t frame)
-{
-    SubTlb &sub = subFor(cls);
-    if (sub.sets == 0)
-        return;
-    Way *set = sub.set(vpn);
-    Way *victim = &set[0];
-    for (std::uint32_t w = 0; w < sub.ways; ++w) {
-        if (set[w].valid && set[w].vpn == vpn && set[w].cls == cls) {
-            // Refresh in place (reinsert after shootdown races).
-            set[w].frame = frame;
-            set[w].stamp = ++stampCounter;
-            return;
-        }
-        if (!set[w].valid) {
-            victim = &set[w];
-            break;
-        }
-        if (set[w].stamp < victim->stamp)
-            victim = &set[w];
-    }
-    if (victim->valid)
-        ++evictions;
-    victim->valid = true;
-    victim->cls = cls;
-    victim->vpn = vpn;
-    victim->frame = frame;
-    victim->stamp = ++stampCounter;
-    ++insertions;
-}
-
 void
 Tlb::invalidate(std::uint64_t vpn, vm::PageSizeClass cls)
 {

@@ -55,22 +55,73 @@ class Tlb
     static Tlb makeUnified(std::string name, std::uint32_t entries,
                            std::uint32_t ways);
 
+    /**
+     * One entry. Exposed (with const-only intent) so the Mmu's per-tag
+     * translation-reuse cache can pin the entry it last hit and
+     * re-validate it by identity (valid + vpn + cls) without a set
+     * scan. Entry storage never reallocates after construction, so
+     * pointers into it stay valid for the Tlb's lifetime.
+     */
+    struct Way
+    {
+        bool valid = false;
+        vm::PageSizeClass cls = vm::PageSizeClass::Base;
+        std::uint64_t vpn = 0;
+        std::uint64_t frame = 0;
+        std::uint64_t stamp = 0;
+    };
+
     /** Probe result. */
     struct Probe
     {
         bool hit = false;
         std::uint64_t frame = 0;
+        /** Entry that hit (for translation reuse); null on miss. */
+        Way *way = nullptr;
     };
 
     /**
      * Probe the sub-TLB of @p cls for @p vpn (a VPN in that class's
-     * units); updates LRU on hit.
+     * units); updates LRU on hit. Defined inline below — this is the
+     * per-access hot path.
      */
     Probe lookup(std::uint64_t vpn, vm::PageSizeClass cls);
 
-    /** Install a translation, evicting the set's LRU entry. */
-    void insert(std::uint64_t vpn, vm::PageSizeClass cls,
+    /**
+     * Install a translation, evicting the set's LRU entry. Defined
+     * inline below (miss-path companion of lookup).
+     *
+     * @return The entry now holding the translation (for reuse
+     *         pinning), or null when the class is disabled here.
+     */
+    Way *insert(std::uint64_t vpn, vm::PageSizeClass cls,
                 std::uint64_t frame);
+
+    /**
+     * Account a probe sequence that is known to end in a hit on
+     * @p way, without scanning: the hit class was preceded by
+     * @p probes - 1 probes of earlier classes that missed. Counter
+     * and LRU effects are exactly those of the equivalent lookup()
+     * calls (accesses += probes, misses += probes - 1, one LRU stamp).
+     * The caller must have validated @p way (valid, vpn, cls match).
+     */
+    void
+    touchEntry(Way *way, unsigned probes)
+    {
+        accesses += probes;
+        misses += probes - 1;
+        way->stamp = ++stampCounter;
+    }
+
+    /** touchEntry for @p n consecutive identical probe sequences. */
+    void
+    touchEntryRun(Way *way, unsigned probes, std::uint64_t n)
+    {
+        accesses += static_cast<std::uint64_t>(probes) * n;
+        misses += static_cast<std::uint64_t>(probes - 1) * n;
+        stampCounter += n;
+        way->stamp = stampCounter;
+    }
 
     /** Remove one translation if cached. */
     void invalidate(std::uint64_t vpn, vm::PageSizeClass cls);
@@ -95,15 +146,6 @@ class Tlb
     /** @} */
 
   private:
-    struct Way
-    {
-        bool valid = false;
-        vm::PageSizeClass cls = vm::PageSizeClass::Base;
-        std::uint64_t vpn = 0;
-        std::uint64_t frame = 0;
-        std::uint64_t stamp = 0;
-    };
-
     struct SubTlb
     {
         std::uint32_t sets = 0;
@@ -134,6 +176,64 @@ class Tlb
         return unified ? subs[0] : subs[static_cast<size_t>(cls)];
     }
 };
+
+inline Tlb::Probe
+Tlb::lookup(std::uint64_t vpn, vm::PageSizeClass cls)
+{
+    ++accesses;
+    SubTlb &sub = subFor(cls);
+    Probe probe;
+    if (sub.sets == 0) {
+        ++misses;
+        return probe;
+    }
+    Way *set = sub.set(vpn);
+    for (std::uint32_t w = 0; w < sub.ways; ++w) {
+        if (set[w].valid && set[w].vpn == vpn && set[w].cls == cls) {
+            set[w].stamp = ++stampCounter;
+            probe.hit = true;
+            probe.frame = set[w].frame;
+            probe.way = &set[w];
+            return probe;
+        }
+    }
+    ++misses;
+    return probe;
+}
+
+inline Tlb::Way *
+Tlb::insert(std::uint64_t vpn, vm::PageSizeClass cls,
+            std::uint64_t frame)
+{
+    SubTlb &sub = subFor(cls);
+    if (sub.sets == 0)
+        return nullptr;
+    Way *set = sub.set(vpn);
+    Way *victim = &set[0];
+    for (std::uint32_t w = 0; w < sub.ways; ++w) {
+        if (set[w].valid && set[w].vpn == vpn && set[w].cls == cls) {
+            // Refresh in place (reinsert after shootdown races).
+            set[w].frame = frame;
+            set[w].stamp = ++stampCounter;
+            return &set[w];
+        }
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].stamp < victim->stamp)
+            victim = &set[w];
+    }
+    if (victim->valid)
+        ++evictions;
+    victim->valid = true;
+    victim->cls = cls;
+    victim->vpn = vpn;
+    victim->frame = frame;
+    victim->stamp = ++stampCounter;
+    ++insertions;
+    return victim;
+}
 
 } // namespace gpsm::tlb
 

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Rng::discard — arbitrary-distance jump-ahead for xoshiro256**.
+ *
+ * The state transition (ignoring the output scrambler, which does not
+ * feed back into the state) is linear over GF(2): shifts, rotates and
+ * XORs only. One step is therefore a 256x256 bit matrix M, and
+ * skipping n steps multiplies the state vector by M^n. We lazily build
+ * M^(2^k) for k in [0, 64) by repeated squaring (~512 KiB, built once
+ * per process) and apply the matrices selected by the bits of n.
+ */
+
+#include "util/rng.hh"
+
+#include <array>
+#include <bit>
+#include <memory>
+
+namespace gpsm
+{
+
+namespace
+{
+
+/** 256-bit vector: the four xoshiro lanes viewed as one bit string. */
+struct Vec256
+{
+    std::uint64_t w[4];
+};
+
+/** Column-major 256x256 GF(2) matrix: col[i] = M * e_i. */
+struct Mat256
+{
+    std::array<Vec256, 256> col;
+};
+
+/** One xoshiro256** state transition (the linear part of operator()). */
+void
+stepState(std::uint64_t s[4])
+{
+    const std::uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = (s[3] << 45) | (s[3] >> 19);
+}
+
+Vec256
+matVec(const Mat256 &m, const Vec256 &v)
+{
+    Vec256 r{};
+    for (unsigned wi = 0; wi < 4; ++wi) {
+        std::uint64_t bits = v.w[wi];
+        while (bits != 0) {
+            const unsigned i =
+                wi * 64 +
+                static_cast<unsigned>(std::countr_zero(bits));
+            bits &= bits - 1;
+            for (unsigned k = 0; k < 4; ++k)
+                r.w[k] ^= m.col[i].w[k];
+        }
+    }
+    return r;
+}
+
+/** Table of M^(2^k); built on first use, thread-safe via static init. */
+const std::array<Mat256, 64> &
+jumpTable()
+{
+    static const std::unique_ptr<const std::array<Mat256, 64>> table =
+        [] {
+            auto t = std::make_unique<std::array<Mat256, 64>>();
+            Mat256 &m0 = (*t)[0];
+            for (unsigned i = 0; i < 256; ++i) {
+                std::uint64_t s[4] = {0, 0, 0, 0};
+                s[i >> 6] = 1ull << (i & 63);
+                stepState(s);
+                m0.col[i] = Vec256{{s[0], s[1], s[2], s[3]}};
+            }
+            for (unsigned k = 1; k < 64; ++k)
+                for (unsigned i = 0; i < 256; ++i)
+                    (*t)[k].col[i] =
+                        matVec((*t)[k - 1], (*t)[k - 1].col[i]);
+            return t;
+        }();
+    return *table;
+}
+
+} // namespace
+
+void
+Rng::discard(std::uint64_t n)
+{
+    // Short skips: stepping directly is cheaper than streaming the
+    // jump table through the cache.
+    constexpr std::uint64_t direct_limit = 1024;
+    if (n < direct_limit) {
+        while (n-- != 0)
+            stepState(state);
+        return;
+    }
+    const auto &table = jumpTable();
+    Vec256 v{{state[0], state[1], state[2], state[3]}};
+    for (unsigned k = 0; n != 0; ++k, n >>= 1)
+        if ((n & 1) != 0)
+            v = matVec(table[k], v);
+    state[0] = v.w[0];
+    state[1] = v.w[1];
+    state[2] = v.w[2];
+    state[3] = v.w[3];
+}
+
+} // namespace gpsm

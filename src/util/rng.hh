@@ -78,6 +78,18 @@ class Rng
     /** Bernoulli draw with probability @p p. */
     bool chance(double p) { return uniform() < p; }
 
+    /**
+     * Advance the generator by exactly @p n draws, as if operator()
+     * had been called @p n times, in O(1) amortized time for large n.
+     *
+     * The xoshiro256** state transition is linear over GF(2), so an
+     * arbitrary skip is a 256x256 bit-matrix/vector product; a lazily
+     * built table of squared step matrices covers every power of two.
+     * This is what lets parallel graph generation hand each worker the
+     * exact RNG stream position serial generation would have reached.
+     */
+    void discard(std::uint64_t n);
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

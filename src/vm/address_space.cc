@@ -252,11 +252,7 @@ AddressSpace::hugeEligible(Addr vaddr) const
 bool
 AddressSpace::regionEmpty(std::uint64_t huge_vpn) const
 {
-    const std::uint64_t span = 1ull << hugeOrd;
-    for (std::uint64_t v = huge_vpn; v < huge_vpn + span; ++v)
-        if (pt.covered(v))
-            return false;
-    return true;
+    return pt.regionEmpty(huge_vpn);
 }
 
 std::vector<std::uint64_t>

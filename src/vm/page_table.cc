@@ -1,6 +1,6 @@
 /**
  * @file
- * PageTable implementation.
+ * PageTable implementation: flat chunked PTE store.
  */
 
 #include "vm/page_table.hh"
@@ -10,77 +10,110 @@
 namespace gpsm::vm
 {
 
-PageTable::Translation
-PageTable::lookup(std::uint64_t vpn) const
+PageTable::Chunk &
+PageTable::ensureChunk(std::uint64_t vpn)
 {
-    Translation t;
-    if (giantOrd != 0) {
-        auto git = giant.find(giantVpnOf(vpn));
-        if (git != giant.end()) {
-            t.valid = true;
-            t.size = PageSizeClass::Giant;
-            t.pte = git->second;
-            return t;
-        }
-    }
-    auto hit = huge.find(hugeVpnOf(vpn));
-    if (hit != huge.end()) {
-        t.valid = true;
-        t.size = PageSizeClass::Huge;
-        t.pte = hit->second;
-        return t;
-    }
-    auto bit = base.find(vpn);
-    if (bit != base.end()) {
-        t.valid = true;
-        t.size = PageSizeClass::Base;
-        t.pte = bit->second;
-    }
-    return t;
+    const std::uint64_t ci = vpn >> chunkBits;
+    if (ci >= chunks.size())
+        chunks.resize(ci + 1);
+    if (chunks[ci] == nullptr)
+        chunks[ci] = std::make_unique<Chunk>();
+    return *chunks[ci];
+}
+
+PageTable::Chunk &
+PageTable::ensureBaseArena(std::uint64_t vpn)
+{
+    Chunk &c = ensureChunk(vpn);
+    if (c.base.empty())
+        c.base.resize(1ull << chunkBits);
+    return c;
+}
+
+Pte *
+PageTable::findBase(std::uint64_t vpn)
+{
+    const std::uint64_t ci = vpn >> chunkBits;
+    if (ci >= chunks.size() || chunks[ci] == nullptr ||
+        chunks[ci]->base.empty())
+        return nullptr;
+    Pte &pte = chunks[ci]->base[baseIndex(vpn)];
+    return occupied(pte) ? &pte : nullptr;
 }
 
 bool
 PageTable::covered(std::uint64_t vpn) const
 {
-    if (giantOrd != 0 && giant.count(giantVpnOf(vpn)) != 0)
+    if (giantOrd != 0) {
+        const std::uint64_t gi = vpn >> giantOrd;
+        if (gi < giants.size() && occupied(giants[gi]))
+            return true;
+    }
+    const Chunk *c = chunkAt(vpn);
+    if (c == nullptr)
+        return false;
+    if (occupied(c->huge[regionIndex(vpn)]))
         return true;
-    return huge.count(hugeVpnOf(vpn)) != 0 || base.count(vpn) != 0;
+    return !c->base.empty() && occupied(c->base[baseIndex(vpn)]);
+}
+
+bool
+PageTable::regionEmpty(std::uint64_t vpn) const
+{
+    if (giantOrd != 0) {
+        const std::uint64_t gi = vpn >> giantOrd;
+        if (gi < giants.size() && occupied(giants[gi]))
+            return false;
+    }
+    const Chunk *c = chunkAt(vpn);
+    if (c == nullptr)
+        return true;
+    const unsigned r = regionIndex(vpn);
+    return !occupied(c->huge[r]) && c->regionBaseCount[r] == 0;
 }
 
 void
 PageTable::mapBase(std::uint64_t vpn, mem::FrameNum frame)
 {
-    if (huge.count(hugeVpnOf(vpn)))
+    Chunk &c = ensureBaseArena(vpn);
+    if (occupied(c.huge[regionIndex(vpn)]))
         panic("mapBase under existing huge mapping, vpn %llu",
               static_cast<unsigned long long>(vpn));
-    Pte pte;
-    pte.frame = frame;
-    pte.present = true;
-    auto [it, inserted] = base.emplace(vpn, pte);
-    (void)it;
-    if (!inserted)
+    Pte &pte = c.base[baseIndex(vpn)];
+    if (occupied(pte))
         panic("double mapBase of vpn %llu",
               static_cast<unsigned long long>(vpn));
+    pte.frame = frame;
+    pte.present = true;
+    pte.swapped = false;
+    pte.swapSlot = 0;
+    ++c.regionBaseCount[regionIndex(vpn)];
+    ++nBase;
 }
 
 void
 PageTable::mapHuge(std::uint64_t vpn, mem::FrameNum frame)
 {
     const std::uint64_t head = hugeVpnOf(vpn);
-    const std::uint64_t span = 1ull << hugeOrd;
-    for (std::uint64_t v = head; v < head + span; ++v) {
-        if (base.count(v))
-            panic("mapHuge over existing base mapping, vpn %llu",
-                  static_cast<unsigned long long>(v));
+    Chunk &c = ensureChunk(head);
+    const unsigned r = regionIndex(head);
+    if (c.regionBaseCount[r] != 0) {
+        // Report the lowest conflicting VPN, as the full scan did.
+        const std::uint64_t span = 1ull << hugeOrd;
+        for (std::uint64_t v = head; v < head + span; ++v)
+            if (occupied(c.base[baseIndex(v)]))
+                panic("mapHuge over existing base mapping, vpn %llu",
+                      static_cast<unsigned long long>(v));
     }
-    Pte pte;
-    pte.frame = frame;
-    pte.present = true;
-    auto [it, inserted] = huge.emplace(head, pte);
-    (void)it;
-    if (!inserted)
+    Pte &pte = c.huge[r];
+    if (occupied(pte))
         panic("double mapHuge of vpn %llu",
               static_cast<unsigned long long>(head));
+    pte.frame = frame;
+    pte.present = true;
+    pte.swapped = false;
+    pte.swapSlot = 0;
+    ++nHuge;
 }
 
 void
@@ -88,81 +121,118 @@ PageTable::mapGiant(std::uint64_t vpn, mem::FrameNum frame)
 {
     GPSM_ASSERT(giantOrd != 0, "giant level disabled");
     const std::uint64_t head = giantVpnOf(vpn);
-    const std::uint64_t span = 1ull << giantOrd;
-    for (std::uint64_t v = head; v < head + span; ++v) {
-        if (base.count(v) != 0 || huge.count(hugeVpnOf(v)) != 0)
+    // Scan the covered huge regions; inside each, a base conflict at
+    // the lowest occupied VPN and a huge conflict at the region head
+    // reproduce the per-VPN scan's first-conflict report.
+    for (std::uint64_t rhead = head; rhead < head + (1ull << giantOrd);
+         rhead += 1ull << hugeOrd) {
+        const Chunk *c = chunkAt(rhead);
+        if (c == nullptr)
+            continue;
+        const unsigned r = regionIndex(rhead);
+        std::uint64_t conflict = ~0ull;
+        if (c->regionBaseCount[r] != 0) {
+            const std::uint64_t span = 1ull << hugeOrd;
+            for (std::uint64_t v = rhead; v < rhead + span; ++v)
+                if (occupied(c->base[baseIndex(v)])) {
+                    conflict = v;
+                    break;
+                }
+        }
+        if (occupied(c->huge[r]))
+            conflict = std::min(conflict, rhead);
+        if (conflict != ~0ull)
             panic("mapGiant over existing mapping, vpn %llu",
-                  static_cast<unsigned long long>(v));
+                  static_cast<unsigned long long>(conflict));
     }
-    Pte pte;
-    pte.frame = frame;
-    pte.present = true;
-    auto [it, inserted] = giant.emplace(head, pte);
-    (void)it;
-    if (!inserted)
+    const std::uint64_t gi = head >> giantOrd;
+    if (gi >= giants.size())
+        giants.resize(gi + 1);
+    Pte &pte = giants[gi];
+    if (occupied(pte))
         panic("double mapGiant of vpn %llu",
               static_cast<unsigned long long>(head));
+    pte.frame = frame;
+    pte.present = true;
+    pte.swapped = false;
+    pte.swapSlot = 0;
+    ++nGiant;
 }
 
 void
 PageTable::unmapGiant(std::uint64_t vpn)
 {
-    if (giant.erase(giantVpnOf(vpn)) == 0)
+    const std::uint64_t gi = giantVpnOf(vpn) >> giantOrd;
+    if (giantOrd == 0 || gi >= giants.size() || !occupied(giants[gi]))
         panic("unmapGiant of absent vpn %llu",
               static_cast<unsigned long long>(vpn));
+    giants[gi] = Pte{};
+    --nGiant;
 }
 
 void
 PageTable::markSwapped(std::uint64_t vpn, std::uint64_t slot)
 {
-    auto it = base.find(vpn);
-    if (it == base.end() || !it->second.present)
+    Pte *pte = findBase(vpn);
+    if (pte == nullptr || !pte->present)
         panic("markSwapped of absent base vpn %llu",
               static_cast<unsigned long long>(vpn));
-    it->second.present = false;
-    it->second.swapped = true;
-    it->second.swapSlot = slot;
-    it->second.frame = mem::invalidFrame;
+    pte->present = false;
+    pte->swapped = true;
+    pte->swapSlot = slot;
+    pte->frame = mem::invalidFrame;
 }
 
 void
 PageTable::restoreSwapped(std::uint64_t vpn, mem::FrameNum frame)
 {
-    auto it = base.find(vpn);
-    if (it == base.end() || !it->second.swapped)
+    Pte *pte = findBase(vpn);
+    if (pte == nullptr || !pte->swapped)
         panic("restoreSwapped of non-swapped vpn %llu",
               static_cast<unsigned long long>(vpn));
-    it->second.present = true;
-    it->second.swapped = false;
-    it->second.frame = frame;
+    pte->present = true;
+    pte->swapped = false;
+    pte->frame = frame;
 }
 
 void
 PageTable::unmapBase(std::uint64_t vpn)
 {
-    if (base.erase(vpn) == 0)
+    Pte *pte = findBase(vpn);
+    if (pte == nullptr)
         panic("unmapBase of absent vpn %llu",
               static_cast<unsigned long long>(vpn));
+    *pte = Pte{};
+    Chunk &c = *chunks[vpn >> chunkBits];
+    --c.regionBaseCount[regionIndex(vpn)];
+    --nBase;
 }
 
 void
 PageTable::unmapHuge(std::uint64_t vpn)
 {
-    if (huge.erase(hugeVpnOf(vpn)) == 0)
+    const std::uint64_t head = hugeVpnOf(vpn);
+    const std::uint64_t ci = head >> chunkBits;
+    Chunk *c = ci < chunks.size() ? chunks[ci].get() : nullptr;
+    if (c == nullptr || !occupied(c->huge[regionIndex(head)]))
         panic("unmapHuge of absent vpn %llu",
               static_cast<unsigned long long>(vpn));
+    c->huge[regionIndex(head)] = Pte{};
+    --nHuge;
 }
 
 void
 PageTable::demoteToBase(std::uint64_t vpn)
 {
     const std::uint64_t head = hugeVpnOf(vpn);
-    auto it = huge.find(head);
-    if (it == huge.end() || !it->second.present)
+    const std::uint64_t ci = head >> chunkBits;
+    Chunk *c = ci < chunks.size() ? chunks[ci].get() : nullptr;
+    if (c == nullptr || !c->huge[regionIndex(head)].present)
         panic("demoteToBase of absent huge vpn %llu",
               static_cast<unsigned long long>(head));
-    const mem::FrameNum frame = it->second.frame;
-    huge.erase(it);
+    const mem::FrameNum frame = c->huge[regionIndex(head)].frame;
+    c->huge[regionIndex(head)] = Pte{};
+    --nHuge;
     const std::uint64_t span = 1ull << hugeOrd;
     for (std::uint64_t i = 0; i < span; ++i)
         mapBase(head + i, frame + i);
@@ -171,11 +241,11 @@ PageTable::demoteToBase(std::uint64_t vpn)
 void
 PageTable::retargetBase(std::uint64_t vpn, mem::FrameNum frame)
 {
-    auto it = base.find(vpn);
-    if (it == base.end() || !it->second.present)
+    Pte *pte = findBase(vpn);
+    if (pte == nullptr || !pte->present)
         panic("retargetBase of absent vpn %llu",
               static_cast<unsigned long long>(vpn));
-    it->second.frame = frame;
+    pte->frame = frame;
 }
 
 } // namespace gpsm::vm

@@ -5,19 +5,23 @@
  * Linux keeps a radix tree whose leaf level is fixed by hardware; huge
  * pages are leaves one level up. We model the same *translation
  * contract* — at most one mapping covers any virtual page, and a huge
- * mapping occupies exactly one entry — with per-size-class hash maps,
- * because our scaled system configuration allows huge-page ratios
- * (e.g. 64 base pages) that do not land on an x86 level boundary. Walk
- * latency is charged by the TLB cost model, parameterized by the
- * resolved page size, so the structural substitution does not affect
- * any measured quantity.
+ * mapping occupies exactly one entry — with a flat two-level store:
+ * the VPN space is split into fixed-size chunks, each holding a
+ * contiguous PTE arena for base pages (allocated on first use) plus
+ * one slot and an occupancy count per huge region. A walk is then
+ * index arithmetic into at most three arrays instead of three hash
+ * probes. Giant (1GB-class) entries live in one flat arena of their
+ * own. Walk latency is still charged by the TLB cost model,
+ * parameterized by the resolved page size, so the structural
+ * substitution does not affect any measured quantity.
  */
 
 #ifndef GPSM_VM_PAGE_TABLE_HH
 #define GPSM_VM_PAGE_TABLE_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
+#include <vector>
 
 #include "mem/types.hh"
 #include "util/units.hh"
@@ -48,6 +52,10 @@ struct Pte
 /**
  * Mixed-granularity page table keyed by virtual page number (VPN, in
  * base-page units). Huge entries are keyed by their aligned VPN.
+ *
+ * A slot is *occupied* when its entry is present or swapped; empty
+ * slots hold the default Pte, which keeps "mapping exists" exactly
+ * equivalent to the old hash-map membership test.
  */
 class PageTable
 {
@@ -58,7 +66,8 @@ class PageTable
      *        giant level.
      */
     explicit PageTable(unsigned huge_order, unsigned giant_order = 0)
-        : hugeOrd(huge_order), giantOrd(giant_order)
+        : hugeOrd(huge_order), giantOrd(giant_order),
+          chunkBits(huge_order + regionsPerChunkLog2)
     {
     }
 
@@ -74,10 +83,48 @@ class PageTable
      * Look up the mapping covering base-page @p vpn, checking the huge
      * level first as a hardware walker would.
      */
-    Translation lookup(std::uint64_t vpn) const;
+    Translation
+    lookup(std::uint64_t vpn) const
+    {
+        Translation t;
+        if (giantOrd != 0) {
+            const std::uint64_t gi = vpn >> giantOrd;
+            if (gi < giants.size() && occupied(giants[gi])) {
+                t.valid = true;
+                t.size = PageSizeClass::Giant;
+                t.pte = giants[gi];
+                return t;
+            }
+        }
+        const Chunk *c = chunkAt(vpn);
+        if (c == nullptr)
+            return t;
+        const Pte &h = c->huge[regionIndex(vpn)];
+        if (occupied(h)) {
+            t.valid = true;
+            t.size = PageSizeClass::Huge;
+            t.pte = h;
+            return t;
+        }
+        if (!c->base.empty()) {
+            const Pte &b = c->base[baseIndex(vpn)];
+            if (occupied(b)) {
+                t.valid = true;
+                t.size = PageSizeClass::Base;
+                t.pte = b;
+            }
+        }
+        return t;
+    }
 
     /** Present/ swapped entry exists covering @p vpn? */
     bool covered(std::uint64_t vpn) const;
+
+    /**
+     * No mapping of any size intersects the huge region containing
+     * @p vpn? O(1): one giant probe, one huge slot, one region count.
+     */
+    bool regionEmpty(std::uint64_t vpn) const;
 
     /** Map base page @p vpn to @p frame. Panics on double map. */
     void mapBase(std::uint64_t vpn, mem::FrameNum frame);
@@ -122,9 +169,9 @@ class PageTable
     /** Retarget the base entry at @p vpn to a new frame (migration). */
     void retargetBase(std::uint64_t vpn, mem::FrameNum frame);
 
-    std::uint64_t basePagesMapped() const { return base.size(); }
-    std::uint64_t hugePagesMapped() const { return huge.size(); }
-    std::uint64_t giantPagesMapped() const { return giant.size(); }
+    std::uint64_t basePagesMapped() const { return nBase; }
+    std::uint64_t hugePagesMapped() const { return nHuge; }
+    std::uint64_t giantPagesMapped() const { return nGiant; }
     unsigned hugeOrder() const { return hugeOrd; }
     unsigned giantOrder() const { return giantOrd; }
 
@@ -140,29 +187,104 @@ class PageTable
         return giantOrd ? (vpn & ~((1ull << giantOrd) - 1)) : vpn;
     }
 
-    /** Iterate present base entries (for eviction victim scans). */
+    /** Iterate occupied base entries in VPN order. */
     template <typename Fn>
     void
     forEachBase(Fn &&fn) const
     {
-        for (const auto &[vpn, pte] : base)
-            fn(vpn, pte);
+        for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
+            const Chunk *c = chunks[ci].get();
+            if (c == nullptr || c->base.empty())
+                continue;
+            const std::uint64_t origin = static_cast<std::uint64_t>(ci)
+                                         << chunkBits;
+            for (std::size_t i = 0; i < c->base.size(); ++i)
+                if (occupied(c->base[i]))
+                    fn(origin + i, c->base[i]);
+        }
     }
 
+    /** Iterate occupied huge entries in VPN order. */
     template <typename Fn>
     void
     forEachHuge(Fn &&fn) const
     {
-        for (const auto &[vpn, pte] : huge)
-            fn(vpn, pte);
+        for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
+            const Chunk *c = chunks[ci].get();
+            if (c == nullptr)
+                continue;
+            const std::uint64_t origin = static_cast<std::uint64_t>(ci)
+                                         << chunkBits;
+            for (std::size_t r = 0; r < c->huge.size(); ++r)
+                if (occupied(c->huge[r]))
+                    fn(origin + (static_cast<std::uint64_t>(r)
+                                 << hugeOrd),
+                       c->huge[r]);
+        }
     }
 
   private:
+    /** Huge regions per chunk (16: keeps lazy base arenas small). */
+    static constexpr unsigned regionsPerChunkLog2 = 4;
+    static constexpr unsigned regionsPerChunk = 1u
+                                                << regionsPerChunkLog2;
+
+    /**
+     * One contiguous slab of the VPN space: a lazily allocated base
+     * PTE arena plus one huge slot and a base-occupancy count per
+     * region (the span tag deciding which level resolves a walk).
+     */
+    struct Chunk
+    {
+        std::vector<Pte> base; ///< empty until first base map
+        std::vector<Pte> huge = std::vector<Pte>(regionsPerChunk);
+        std::vector<std::uint32_t> regionBaseCount =
+            std::vector<std::uint32_t>(regionsPerChunk, 0);
+    };
+
+    static bool
+    occupied(const Pte &pte)
+    {
+        return pte.present || pte.swapped;
+    }
+
+    std::uint64_t
+    baseIndex(std::uint64_t vpn) const
+    {
+        return vpn & ((1ull << chunkBits) - 1);
+    }
+
+    unsigned
+    regionIndex(std::uint64_t vpn) const
+    {
+        return static_cast<unsigned>((vpn >> hugeOrd) &
+                                     (regionsPerChunk - 1));
+    }
+
+    const Chunk *
+    chunkAt(std::uint64_t vpn) const
+    {
+        const std::uint64_t ci = vpn >> chunkBits;
+        return ci < chunks.size() ? chunks[ci].get() : nullptr;
+    }
+
+    /** Grow the directory as needed and materialize the chunk. */
+    Chunk &ensureChunk(std::uint64_t vpn);
+
+    /** Chunk with a materialized base arena. */
+    Chunk &ensureBaseArena(std::uint64_t vpn);
+
+    /** Occupied base slot, or nullptr. */
+    Pte *findBase(std::uint64_t vpn);
+
     unsigned hugeOrd;
     unsigned giantOrd;
-    std::unordered_map<std::uint64_t, Pte> base;
-    std::unordered_map<std::uint64_t, Pte> huge;
-    std::unordered_map<std::uint64_t, Pte> giant;
+    unsigned chunkBits;
+    std::vector<std::unique_ptr<Chunk>> chunks;
+    std::vector<Pte> giants; ///< indexed by vpn >> giantOrd
+    std::uint64_t nBase = 0;
+    std::uint64_t nHuge = 0;
+    std::uint64_t nGiant = 0;
 };
 
 } // namespace gpsm::vm

@@ -14,6 +14,7 @@
 
 #include "core/experiment.hh"
 #include "fault/fault_plan.hh"
+#include "fault/fault_plan_io.hh"
 #include "fault/fault_session.hh"
 #include "mem/memory_node.hh"
 #include "mem/swap_device.hh"
@@ -301,4 +302,96 @@ TEST(FaultExperiment, TransientPressureIsDeterministicAndCorrect)
     const RunResult c = runExperiment(clean);
     EXPECT_EQ(a.checksum, c.checksum);
     EXPECT_EQ(a.kernelOutput, c.kernelOutput);
+}
+
+TEST(FaultPlanIo, ParsesFullEvent)
+{
+    const FaultPlan plan = parseFaultPlan(R"({
+        "seed": 9,
+        "events": [
+            {"kind": "hugeAllocFail", "anchor": "start", "at": 100,
+             "endAnchor": "kernel", "endAt": 50,
+             "probability": 0.25},
+            {"kind": "memhogArrive", "bytes": 4096,
+             "allButBytes": true},
+            {"kind": "swapLatency", "anchor": "kernel",
+             "factor": 8.5}
+        ]
+    })");
+    EXPECT_EQ(plan.seed, 9u);
+    ASSERT_EQ(plan.events.size(), 3u);
+
+    const FaultEvent &w = plan.events[0];
+    EXPECT_EQ(w.kind, FaultKind::HugeAllocFail);
+    EXPECT_EQ(w.anchor, FaultAnchor::Start);
+    EXPECT_EQ(w.at, 100u);
+    EXPECT_EQ(w.endAnchor, FaultAnchor::KernelStart);
+    EXPECT_EQ(w.endAt, 50u);
+    EXPECT_DOUBLE_EQ(w.probability, 0.25);
+
+    const FaultEvent &hog = plan.events[1];
+    EXPECT_EQ(hog.kind, FaultKind::MemhogArrive);
+    EXPECT_EQ(hog.bytes, 4096u);
+    EXPECT_TRUE(hog.allButBytes);
+    EXPECT_EQ(hog.endAt, ~0ull); // default window end untouched
+
+    EXPECT_EQ(plan.events[2].kind, FaultKind::SwapLatency);
+    EXPECT_DOUBLE_EQ(plan.events[2].factor, 8.5);
+}
+
+TEST(FaultPlanIo, DefaultsMatchFaultEventDefaults)
+{
+    const FaultPlan plan =
+        parseFaultPlan(R"({"events": [{"kind": "memhogDepart"}]})");
+    EXPECT_EQ(plan.seed, FaultPlan{}.seed);
+    const FaultEvent def;
+    const FaultEvent &ev = plan.events[0];
+    EXPECT_EQ(ev.anchor, def.anchor);
+    EXPECT_EQ(ev.at, def.at);
+    EXPECT_EQ(ev.endAt, def.endAt);
+    EXPECT_DOUBLE_EQ(ev.probability, def.probability);
+    EXPECT_DOUBLE_EQ(ev.factor, def.factor);
+}
+
+TEST(FaultPlanIo, ParsedPlanFingerprintsLikeBuiltPlan)
+{
+    // The canonical scenario expressed as JSON must be
+    // indistinguishable from the one FaultPlan::transientPressure
+    // builds — same fingerprint, same memoization identity.
+    const FaultPlan built = FaultPlan::transientPressure(4_MiB);
+    const FaultPlan parsed = parseFaultPlan(R"({
+        "events": [
+            {"kind": "memhogArrive", "at": 0,
+             "bytes": 4194304, "allButBytes": true},
+            {"kind": "hugeAllocFail", "at": 0,
+             "endAnchor": "kernel", "endAt": 0},
+            {"kind": "memhogDepart", "anchor": "kernel", "at": 0}
+        ]
+    })");
+    EXPECT_EQ(parsed.fingerprint(), built.fingerprint());
+}
+
+TEST(FaultPlanIo, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseFaultPlan("not json"), FatalError);
+    EXPECT_THROW(parseFaultPlan("[]"), FatalError);
+    EXPECT_THROW(parseFaultPlan(R"({"unknown": 1})"), FatalError);
+    EXPECT_THROW(
+        parseFaultPlan(R"({"events": [{"at": 3}]})"), // no kind
+        FatalError);
+    EXPECT_THROW(
+        parseFaultPlan(R"({"events": [{"kind": "nope"}]})"),
+        FatalError);
+    EXPECT_THROW(
+        parseFaultPlan(
+            R"({"events": [{"kind": "swapStall", "typo": 1}]})"),
+        FatalError);
+    EXPECT_THROW(
+        parseFaultPlan(
+            R"({"events": [{"kind": "swapStall", "at": -5}]})"),
+        FatalError);
+    EXPECT_THROW(
+        parseFaultPlan(R"({"events": [{"kind": "hugeAllocFail",
+                                       "probability": 1.5}]})"),
+        FatalError);
 }

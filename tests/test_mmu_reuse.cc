@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Translation-reuse contract tests: the per-tag reuse cache and the
+ * batched translateRun path must leave every observable counter
+ * exactly where the plain per-element access() loop would, and a
+ * reuse entry must never survive an event that changed the
+ * translation (demotion, flush, eviction refill, page boundary).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "mem/memory_node.hh"
+#include "mem/swap_device.hh"
+#include "tlb/mmu.hh"
+#include "util/units.hh"
+#include "vm/address_space.hh"
+
+using namespace gpsm;
+using namespace gpsm::mem;
+using namespace gpsm::tlb;
+using namespace gpsm::vm;
+
+namespace
+{
+
+constexpr std::uint64_t pageB = 4_KiB;
+constexpr std::uint64_t hugeB = 256_KiB;
+
+struct World
+{
+    explicit World(const ThpConfig &thp, bool with_cache = false,
+                   std::uint64_t node_bytes = 16_MiB)
+        : node(params(node_bytes)), swap(16_MiB, pageB),
+          space(node, swap, thp),
+          mmu(space,
+              Tlb("dtlb", {TlbGeometry{16, 4}, TlbGeometry{8, 4}}),
+              Tlb::makeUnified("stlb", 64, 8), CostModel{},
+              with_cache
+                  ? std::make_unique<CacheModel>(
+                        std::vector<CacheLevelConfig>{
+                            CacheLevelConfig{"l1", 16_KiB, 8, 64, 4}},
+                        200u)
+                  : nullptr)
+    {
+    }
+
+    static MemoryNode::Params
+    params(std::uint64_t bytes)
+    {
+        MemoryNode::Params p;
+        p.bytes = bytes;
+        p.basePageBytes = pageB;
+        p.hugeOrder = 6;
+        return p;
+    }
+
+    MemoryNode node;
+    SwapDevice swap;
+    AddressSpace space;
+    Mmu mmu;
+};
+
+/** Every counter either path could disturb. */
+struct Snap
+{
+    std::uint64_t vals[19];
+
+    explicit Snap(Mmu &m)
+        : vals{m.accesses.value(),
+               m.dtlbMisses.value(),
+               m.stlbHits.value(),
+               m.walks.value(),
+               m.walksBase.value(),
+               m.walksHuge.value(),
+               m.walksGiant.value(),
+               m.baseCycles.value(),
+               m.memoryCycles.value(),
+               m.translationCycles.value(),
+               m.faultCycles.value(),
+               m.osCycles.value(),
+               m.l1().accesses.value(),
+               m.l1().misses.value(),
+               m.l1().insertions.value(),
+               m.l1().evictions.value(),
+               m.l2().accesses.value(),
+               m.l2().misses.value(),
+               m.l2().insertions.value()}
+    {
+    }
+
+    bool
+    operator==(const Snap &other) const
+    {
+        for (int i = 0; i < 19; ++i)
+            if (vals[i] != other.vals[i])
+                return false;
+        return true;
+    }
+};
+
+/**
+ * Drive one world through translateRun and a twin through the
+ * per-element loop; every counter must match.
+ */
+void
+expectRunMatchesLoop(World &run, World &loop, Addr a_run, Addr a_loop,
+                     std::size_t count, std::size_t stride,
+                     unsigned tag = 0)
+{
+    run.mmu.translateRun(a_run, count, stride, false, tag);
+    for (std::size_t i = 0; i < count; ++i)
+        loop.mmu.access(a_loop + i * stride, false, tag);
+    EXPECT_TRUE(Snap(run.mmu) == Snap(loop.mmu));
+    EXPECT_EQ(run.mmu.accesses.value(), count);
+}
+
+} // anonymous namespace
+
+TEST(MmuReuse, RunMatchesLoopBasePages)
+{
+    World run(ThpConfig::never());
+    World loop(ThpConfig::never());
+    const Addr a = run.space.mmap(1_MiB, "arr");
+    const Addr b = loop.space.mmap(1_MiB, "arr");
+    expectRunMatchesLoop(run, loop, a, b, 3000, 8);
+}
+
+TEST(MmuReuse, RunMatchesLoopHugePages)
+{
+    World run(ThpConfig::always());
+    World loop(ThpConfig::always());
+    const Addr a = run.space.mmap(hugeB, "arr");
+    const Addr b = loop.space.mmap(hugeB, "arr");
+    expectRunMatchesLoop(run, loop, a, b, hugeB / 8, 8);
+}
+
+TEST(MmuReuse, RunMatchesLoopWithCacheModel)
+{
+    World run(ThpConfig::never(), /*with_cache=*/true);
+    World loop(ThpConfig::never(), /*with_cache=*/true);
+    const Addr a = run.space.mmap(1_MiB, "arr");
+    const Addr b = loop.space.mmap(1_MiB, "arr");
+    expectRunMatchesLoop(run, loop, a, b, 4000, 8, 2);
+}
+
+TEST(MmuReuse, RunMatchesLoopOddStride)
+{
+    World run(ThpConfig::never());
+    World loop(ThpConfig::never());
+    const Addr a = run.space.mmap(1_MiB, "arr");
+    const Addr b = loop.space.mmap(1_MiB, "arr");
+    // Misaligned start, non-power-of-two stride: page-boundary
+    // crossings land at irregular element indices.
+    expectRunMatchesLoop(run, loop, a + 12, b + 12, 2500, 24);
+}
+
+TEST(MmuReuse, RunMatchesLoopPageStride)
+{
+    World run(ThpConfig::never());
+    World loop(ThpConfig::never());
+    const Addr a = run.space.mmap(2_MiB, "arr");
+    const Addr b = loop.space.mmap(2_MiB, "arr");
+    // Every element on a fresh page: the bulk path must never engage.
+    expectRunMatchesLoop(run, loop, a, b, 256, pageB);
+}
+
+TEST(MmuReuse, RunMatchesLoopWithHooks)
+{
+    World run(ThpConfig::never());
+    World loop(ThpConfig::never());
+    int run_hooks = 0;
+    int loop_hooks = 0;
+    int run_samples = 0;
+    int loop_samples = 0;
+    run.mmu.setPeriodicHook(7, [&] { ++run_hooks; });
+    loop.mmu.setPeriodicHook(7, [&] { ++loop_hooks; });
+    run.mmu.setSampleHook(5, [&] { ++run_samples; });
+    loop.mmu.setSampleHook(5, [&] { ++loop_samples; });
+    const Addr a = run.space.mmap(1_MiB, "arr");
+    const Addr b = loop.space.mmap(1_MiB, "arr");
+    expectRunMatchesLoop(run, loop, a, b, 3000, 8);
+    EXPECT_EQ(run_hooks, loop_hooks);
+    EXPECT_EQ(run_samples, loop_samples);
+    EXPECT_GT(run_hooks, 0);
+    EXPECT_GT(run_samples, 0);
+}
+
+TEST(MmuReuse, FastPathHitsWithinPage)
+{
+    World w(ThpConfig::never());
+    const Addr a = w.space.mmap(1_MiB, "arr");
+    w.mmu.access(a, true);
+    const auto l1_misses = w.mmu.l1().misses.value();
+    for (int i = 1; i < 100; ++i)
+        w.mmu.access(a + i * 8, false);
+    // Same page, same tag: one L1 probe per access, zero new misses.
+    // (The initial miss probed both the base and huge classes, hence
+    // the two extra lookups.)
+    EXPECT_EQ(w.mmu.dtlbMisses.value(), 1u);
+    EXPECT_EQ(w.mmu.l1().misses.value(), l1_misses);
+    EXPECT_EQ(w.mmu.l1().accesses.value(), 99u + 2u);
+}
+
+TEST(MmuReuse, PageBoundaryLeavesCache)
+{
+    World w(ThpConfig::never());
+    const Addr a = w.space.mmap(1_MiB, "arr");
+    w.mmu.access(a, true);
+    w.mmu.access(a + pageB, true); // next page: full probe sequence
+    EXPECT_EQ(w.mmu.dtlbMisses.value(), 2u);
+    EXPECT_EQ(w.mmu.walks.value(), 2u);
+}
+
+TEST(MmuReuse, DemotionRejectsStaleEntry)
+{
+    World w(ThpConfig::always());
+    const Addr a = w.space.mmap(hugeB, "arr");
+    w.mmu.access(a, true);
+    w.mmu.access(a + 8, false); // reuse entry armed on the huge way
+    w.space.demote(a);
+    w.mmu.syncTlb(); // invalidates the way the entry points at
+    const auto walks = w.mmu.walks.value();
+    w.mmu.access(a + 16, false);
+    EXPECT_EQ(w.mmu.walks.value(), walks + 1);
+    EXPECT_EQ(w.mmu.walksBase.value(), 1u);
+}
+
+TEST(MmuReuse, FlushRejectsStaleEntry)
+{
+    World w(ThpConfig::never());
+    const Addr a = w.space.mmap(1_MiB, "arr");
+    w.mmu.access(a, true);
+    w.mmu.access(a + 8, false);
+    w.mmu.flushTlbs();
+    w.mmu.access(a + 16, false);
+    // The flushed way must not fast-path: a full rewalk happens.
+    EXPECT_EQ(w.mmu.walks.value(), 2u);
+}
+
+TEST(MmuReuse, EvictedWayRefillRejectsStaleEntry)
+{
+    World w(ThpConfig::never());
+    const Addr a = w.space.mmap(4_MiB, "arr");
+    // Arm tag 1's reuse entry on page 0, then thrash the 16-entry
+    // base DTLB with tag-0 accesses so the armed way is refilled
+    // with other VPNs while tag 1's entry still points at it.
+    w.mmu.access(a, true, 1);
+    for (int i = 1; i <= 64; ++i)
+        w.mmu.access(a + i * pageB, true, 0);
+    const auto misses = w.mmu.dtlbMisses.value();
+    w.mmu.access(a + 8, false, 1);
+    // The stale pointer must be rejected (way->vpn changed): this is
+    // a fresh DTLB miss, not a phantom hit.
+    EXPECT_EQ(w.mmu.dtlbMisses.value(), misses + 1);
+}
+
+TEST(MmuReuse, TagsKeepIndependentEntries)
+{
+    World w(ThpConfig::never());
+    const Addr a = w.space.mmap(1_MiB, "arr");
+    w.mmu.access(a, true, 1);
+    w.mmu.access(a + 8, false, 2);  // different tag: full probe, L1 hit
+    w.mmu.access(a + 16, false, 1); // tag 1 entry still valid
+    w.mmu.access(a + 24, false, 2); // tag 2 entry now armed too
+    EXPECT_EQ(w.mmu.dtlbMisses.value(), 1u);
+    EXPECT_EQ(w.mmu.accesses.value(), 4u);
+    // Miss path: 2 L1 probes; tag-2 first touch: 1 probe (base hit);
+    // the two reuse hits: 1 probe each.
+    EXPECT_EQ(w.mmu.l1().accesses.value(), 5u);
+}
+
+TEST(MmuReuse, SwapPressureRunMatchesLoop)
+{
+    // Oversubscribed node: faults trigger swap-outs and shootdowns in
+    // the middle of runs; the bulk path must keep counters identical.
+    World run(ThpConfig::never(), false, 1_MiB);
+    World loop(ThpConfig::never(), false, 1_MiB);
+    const Addr a = run.space.mmap(2_MiB, "arr");
+    const Addr b = loop.space.mmap(2_MiB, "arr");
+    run.mmu.translateRun(a, (2_MiB) / 8, 8, true);
+    for (Addr off = 0; off < 2_MiB; off += 8)
+        loop.mmu.access(b + off, true);
+    EXPECT_TRUE(Snap(run.mmu) == Snap(loop.mmu));
+    EXPECT_GT(run.space.swapOutPages.value(), 0u);
+}

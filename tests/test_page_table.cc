@@ -158,3 +158,116 @@ TEST(PageTable, IterationHelpers)
     EXPECT_EQ(bases, 2);
     EXPECT_EQ(huges, 1);
 }
+
+TEST(PageTable, IterationIsVpnOrderedAcrossChunks)
+{
+    PageTable pt(hugeOrd);
+    // Mappings scattered over several flat-store chunks (each chunk
+    // spans 16 huge regions = 1024 base VPNs at order 6), inserted
+    // out of order.
+    const std::uint64_t vpns[] = {5000, 3, 1024, 70000, 2048};
+    for (const auto v : vpns)
+        pt.mapBase(v, v + 1);
+    std::vector<std::uint64_t> seen;
+    pt.forEachBase([&](std::uint64_t v, const Pte &pte) {
+        seen.push_back(v);
+        EXPECT_EQ(pte.frame, v + 1);
+    });
+    const std::vector<std::uint64_t> want{3, 1024, 2048, 5000, 70000};
+    EXPECT_EQ(seen, want);
+}
+
+TEST(PageTable, RegionEmptyTracksOccupancy)
+{
+    PageTable pt(hugeOrd);
+    EXPECT_TRUE(pt.regionEmpty(128));
+    pt.mapBase(130, 1);
+    EXPECT_FALSE(pt.regionEmpty(128));
+    EXPECT_FALSE(pt.regionEmpty(150)); // any vpn inside the region
+    EXPECT_TRUE(pt.regionEmpty(192));  // neighbor region untouched
+    pt.unmapBase(130);
+    EXPECT_TRUE(pt.regionEmpty(128));
+
+    pt.mapHuge(128, 64);
+    EXPECT_FALSE(pt.regionEmpty(128));
+    pt.unmapHuge(128);
+    EXPECT_TRUE(pt.regionEmpty(128));
+}
+
+TEST(PageTable, SwappedPageStillOccupiesRegion)
+{
+    PageTable pt(hugeOrd);
+    pt.mapBase(130, 1);
+    pt.markSwapped(130, 9);
+    // Swapped-out pages keep their slot: the region cannot take a
+    // huge mapping and is not empty (a compactor must not treat the
+    // frame range as free).
+    EXPECT_FALSE(pt.regionEmpty(128));
+    EXPECT_THROW(pt.mapHuge(128, 64), PanicError);
+    EXPECT_THROW(pt.mapBase(130, 2), PanicError);
+    pt.restoreSwapped(130, 2);
+    EXPECT_EQ(pt.lookup(130).pte.frame, 2u);
+}
+
+TEST(PageTable, CountersSurviveMixedChurn)
+{
+    PageTable pt(hugeOrd);
+    for (std::uint64_t v = 0; v < 64; ++v)
+        pt.mapBase(2048 + v, v);
+    pt.mapHuge(4096, 500);
+    pt.mapHuge(8192, 600);
+    EXPECT_EQ(pt.basePagesMapped(), 64u);
+    EXPECT_EQ(pt.hugePagesMapped(), 2u);
+
+    pt.demoteToBase(4100); // one huge page becomes 64 base pages
+    EXPECT_EQ(pt.basePagesMapped(), 128u);
+    EXPECT_EQ(pt.hugePagesMapped(), 1u);
+
+    for (std::uint64_t v = 0; v < 64; ++v)
+        pt.unmapBase(2048 + v);
+    EXPECT_EQ(pt.basePagesMapped(), 64u);
+    EXPECT_TRUE(pt.regionEmpty(2048));
+    pt.unmapHuge(8192);
+    EXPECT_EQ(pt.hugePagesMapped(), 0u);
+    EXPECT_EQ(pt.basePagesMapped(), 64u); // the demoted region remains
+}
+
+TEST(PageTable, GiantMappingContract)
+{
+    PageTable pt(hugeOrd, /*giant_order=*/12);
+    const std::uint64_t giant_span = 1ull << 12;
+    pt.mapGiant(0, 7);
+    EXPECT_EQ(pt.giantPagesMapped(), 1u);
+    auto t = pt.lookup(giant_span - 1);
+    ASSERT_TRUE(t.valid);
+    EXPECT_EQ(t.size, PageSizeClass::Giant);
+    EXPECT_EQ(t.pte.frame, 7u);
+    EXPECT_FALSE(pt.lookup(giant_span).valid);
+
+    // Conflicts: double giant, giant over base, base/huge under giant
+    // still allowed? Giant regions shadow lower sizes, so mapping
+    // inside one is a conflict at giant-mapping time only.
+    EXPECT_THROW(pt.mapGiant(5, 8), PanicError);
+    pt.mapBase(giant_span + 3, 1);
+    EXPECT_THROW(pt.mapGiant(giant_span, 9), PanicError);
+
+    pt.unmapGiant(17); // any vpn inside the giant region
+    EXPECT_EQ(pt.giantPagesMapped(), 0u);
+    EXPECT_FALSE(pt.lookup(0).valid);
+    EXPECT_THROW(pt.unmapGiant(0), PanicError);
+}
+
+TEST(PageTable, RemapAfterUnmapReusesSlot)
+{
+    PageTable pt(hugeOrd);
+    pt.mapBase(777, 1);
+    pt.unmapBase(777);
+    pt.mapBase(777, 2); // the freed slot must accept a fresh mapping
+    EXPECT_EQ(pt.lookup(777).pte.frame, 2u);
+    EXPECT_EQ(pt.basePagesMapped(), 1u);
+
+    pt.mapHuge(1152, 64);
+    pt.unmapHuge(1152);
+    pt.mapBase(1153, 3); // region reusable for the other size class
+    EXPECT_EQ(pt.lookup(1153).pte.frame, 3u);
+}

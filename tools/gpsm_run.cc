@@ -20,6 +20,7 @@
 #include "core/advisor.hh"
 #include "core/experiment.hh"
 #include "core/runner.hh"
+#include "fault/fault_plan_io.hh"
 #include "graph/datasets.hh"
 #include "obs/telemetry.hh"
 #include "util/logging.hh"
@@ -52,6 +53,8 @@ usage()
         "  --advisor [coverage]           let the advisor pick reorder\n"
         "                                 and fraction (default 0.8)\n"
         "  --slack-mib N                  memhog leaves WSS+N MiB free\n"
+        "  --fault-plan FILE              JSON fault-injection plan\n"
+        "                                 (see fault/fault_plan_io.hh)\n"
         "  --frag F                       fragment F (0-1) of free mem\n"
         "  --file-source tmpfs|cache|directio\n"
         "  --paper                        Haswell 4KB/2MB geometry\n"
@@ -219,6 +222,8 @@ try {
             cfg.slackBytes =
                 std::strtoll(next().c_str(), nullptr, 10) *
                 1024 * 1024;
+        } else if (arg == "--fault-plan") {
+            cfg.faultPlan = fault::loadFaultPlan(next());
         } else if (arg == "--frag") {
             cfg.fragLevel = std::strtod(next().c_str(), nullptr);
         } else if (arg == "--file-source") {
