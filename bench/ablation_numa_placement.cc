@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Ablation (ours, extending the paper's single-node setup): NUMA page
+ * placement on a two-node machine. The paper stages input files on a
+ * remote node's tmpfs (§4.3) but keeps application memory local; this
+ * sweep asks what happens when the *application's* pages land remote —
+ * by policy (placement sweep) or by necessity (local node under
+ * memhog/fragmenter pressure, so allocations spill to the far node).
+ *
+ * Expected shape: remote-only placement pays the remote-DRAM tier on
+ * every traced miss and fault, so it bounds the penalty from below
+ * (all-local) and above (all-remote); interleave sits near the middle;
+ * preferred-local matches first-touch until the local node fills, then
+ * degrades toward interleave as spills accumulate. Pressuring the
+ * *remote* node, by contrast, barely moves a local-first run.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+
+using namespace gpsm;
+using namespace gpsm::bench;
+using namespace gpsm::core;
+
+namespace
+{
+
+/** Two-node copy of the base config: node 1 mirrors node 0. */
+ExperimentConfig
+twoNodeConfig(const Options &opts, App app, const std::string &ds,
+              NumaPlacement placement)
+{
+    ExperimentConfig cfg = baseConfig(opts, app, ds);
+    cfg.thpMode = vm::ThpMode::Always;
+    cfg.sys.enableSecondNode();
+    cfg.sys.numaPlacement = placement;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = parseOptions(argc, argv);
+    if (!opts.quick)
+        opts.datasets = {"kron", "twit", "web", "wiki"};
+    printHeader("Ablation: NUMA placement x pressure node (BFS)",
+                opts);
+
+    // Part 1: placement sweep, no pressure. First-touch is the
+    // all-local reference row every slowdown is measured against.
+    const NumaPlacement placements[] = {
+        NumaPlacement::FirstTouch,
+        NumaPlacement::PreferredLocal,
+        NumaPlacement::Interleave,
+        NumaPlacement::RemoteOnly,
+    };
+
+    std::vector<ExperimentConfig> configs;
+    for (const std::string &ds : opts.datasets)
+        for (NumaPlacement p : placements)
+            configs.push_back(twoNodeConfig(opts, App::Bfs, ds, p));
+    const std::vector<RunResult> results = runAll(configs);
+
+    TableWriter table("ablation_numa_placement");
+    table.setHeader({"dataset", "placement", "kernel time",
+                     "slowdown vs local", "dtlb miss"});
+    for (std::size_t d = 0; d < opts.datasets.size(); ++d) {
+        const RunResult &local = results[d * 4];
+        for (std::size_t p = 0; p < 4; ++p) {
+            const RunResult &r = results[d * 4 + p];
+            table.addRow({opts.datasets[d],
+                          numaPlacementName(placements[p]),
+                          formatSeconds(r.kernelSeconds),
+                          TableWriter::speedup(r.kernelSeconds /
+                                               local.kernelSeconds),
+                          TableWriter::pct(r.dtlbMissRate)});
+        }
+    }
+    table.print(std::cout);
+
+    // Part 2: pressure-node sweep under preferred-local placement.
+    // Hogging the local node forces spills to the far node (allocation
+    // succeeds, access gets slower); hogging the remote node leaves a
+    // local-first run nearly untouched; hogging both removes the spill
+    // escape hatch and forces real swap traffic.
+    const PressureNode hogs[] = {
+        PressureNode::Local,
+        PressureNode::Remote,
+        PressureNode::Both,
+    };
+
+    std::vector<ExperimentConfig> pressured;
+    for (const std::string &ds : opts.datasets) {
+        for (PressureNode hog : hogs) {
+            ExperimentConfig cfg = twoNodeConfig(
+                opts, App::Bfs, ds, NumaPlacement::PreferredLocal);
+            cfg.constrainMemory = true;
+            cfg.slackBytes = paperGiB(1.0, cfg.sys);
+            cfg.fragLevel = 0.5;
+            cfg.pressureNode = hog;
+            pressured.push_back(cfg);
+        }
+    }
+    const std::vector<RunResult> pressured_results =
+        runAll(pressured);
+
+    TableWriter table2("ablation_numa_pressure");
+    table2.setHeader({"dataset", "hog node", "kernel time",
+                      "slowdown vs local hog", "major faults",
+                      "swap-outs"});
+    for (std::size_t d = 0; d < opts.datasets.size(); ++d) {
+        const RunResult &local_hog = pressured_results[d * 3];
+        for (std::size_t h = 0; h < 3; ++h) {
+            const RunResult &r = pressured_results[d * 3 + h];
+            table2.addRow({opts.datasets[d],
+                           pressureNodeName(hogs[h]),
+                           formatSeconds(r.kernelSeconds),
+                           TableWriter::speedup(
+                               r.kernelSeconds /
+                               local_hog.kernelSeconds),
+                           std::to_string(r.majorFaults),
+                           std::to_string(r.swapOuts)});
+        }
+    }
+    table2.print(std::cout);
+    return 0;
+}

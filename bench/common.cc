@@ -18,6 +18,7 @@
 #include "core/runner.hh"
 #include "obs/telemetry.hh"
 #include "util/logging.hh"
+#include "util/parse.hh"
 
 namespace gpsm::bench
 {
@@ -70,10 +71,8 @@ parseShard(const std::string &spec, unsigned &shard, unsigned &shards)
         slash + 1 >= spec.size()) {
         fatal("--shard wants i/n (e.g. 2/4), got '%s'", spec.c_str());
     }
-    shard = static_cast<unsigned>(
-        std::strtoul(spec.substr(0, slash).c_str(), nullptr, 10));
-    shards = static_cast<unsigned>(
-        std::strtoul(spec.substr(slash + 1).c_str(), nullptr, 10));
+    shard = parseUnsigned(spec.substr(0, slash), "--shard index");
+    shards = parseUnsigned(spec.substr(slash + 1), "--shard count");
     if (shard == 0 || shards == 0 || shard > shards)
         fatal("--shard %s out of range (1 <= i <= n)", spec.c_str());
 }
@@ -102,22 +101,22 @@ parseOptions(int argc, char **argv)
     bool set_datasets = false;
     bool set_apps = false;
     if (const char *env = std::getenv("GPSM_BENCH_DIVISOR")) {
-        opts.divisor = std::strtoull(env, nullptr, 10);
+        opts.divisor = parseU64(env, "GPSM_BENCH_DIVISOR");
         set_divisor = true;
     }
     if (const char *env = std::getenv("GPSM_BENCH_QUICK"))
         opts.quick = env[0] == '1';
     if (const char *env = std::getenv("GPSM_BENCH_JOBS"))
-        opts.jobs = static_cast<unsigned>(
-            std::strtoul(env, nullptr, 10));
+        opts.jobs = parseUnsigned(env, "GPSM_BENCH_JOBS");
     if (const char *env = std::getenv("GPSM_RESULT_JOURNAL"))
         opts.journal = env;
     if (const char *env = std::getenv("GPSM_BENCH_TIMEOUT_SECONDS"))
-        opts.timeoutSeconds = std::strtod(env, nullptr);
+        opts.timeoutSeconds =
+            parseDouble(env, "GPSM_BENCH_TIMEOUT_SECONDS");
     if (const char *env = std::getenv("GPSM_METRICS_DIR"))
         opts.metricsDir = env;
     if (const char *env = std::getenv("GPSM_SAMPLE_INTERVAL"))
-        opts.sampleInterval = std::strtoull(env, nullptr, 10);
+        opts.sampleInterval = parseU64(env, "GPSM_SAMPLE_INTERVAL");
     if (const char *env = std::getenv("GPSM_BENCH_PROGRESS"))
         opts.progress = env[0] == '1';
     if (const char *env = std::getenv("GPSM_BENCH_SHARD"))
@@ -131,24 +130,24 @@ parseOptions(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--divisor") {
-            opts.divisor = std::strtoull(next().c_str(), nullptr, 10);
+            opts.divisor = parseU64(next(), "--divisor");
             set_divisor = true;
         } else if (arg == "--quick") {
             opts.quick = true;
         } else if (arg == "--paper") {
             opts.paperGeometry = true;
         } else if (arg == "--jobs") {
-            opts.jobs = static_cast<unsigned>(
-                std::strtoul(next().c_str(), nullptr, 10));
+            opts.jobs = parseUnsigned(next(), "--jobs");
         } else if (arg == "--journal") {
             opts.journal = next();
         } else if (arg == "--timeout-seconds") {
-            opts.timeoutSeconds = std::strtod(next().c_str(), nullptr);
+            opts.timeoutSeconds =
+                parseDouble(next(), "--timeout-seconds");
         } else if (arg == "--metrics-dir") {
             opts.metricsDir = next();
         } else if (arg == "--sample-interval") {
             opts.sampleInterval =
-                std::strtoull(next().c_str(), nullptr, 10);
+                parseU64(next(), "--sample-interval");
         } else if (arg == "--progress") {
             opts.progress = true;
         } else if (arg == "--shard") {

@@ -41,6 +41,17 @@ appName(App app)
     return "?";
 }
 
+const char *
+pressureNodeName(PressureNode p)
+{
+    switch (p) {
+      case PressureNode::Local: return "local";
+      case PressureNode::Remote: return "remote";
+      case PressureNode::Both: return "both";
+    }
+    return "?";
+}
+
 std::string
 ExperimentConfig::label() const
 {
@@ -65,6 +76,11 @@ ExperimentConfig::label() const
         os << " slack=" << slackBytes / (1024 * 1024) << "MiB";
     if (fragLevel > 0.0)
         os << " frag=" << static_cast<int>(fragLevel * 100) << '%';
+    if (sys.numaEnabled()) {
+        os << ' ' << numaPlacementName(sys.numaPlacement);
+        if (pressureNode != PressureNode::Local)
+            os << " hog=" << pressureNodeName(pressureNode);
+    }
     return os.str();
 }
 
@@ -88,6 +104,11 @@ ExperimentConfig::fingerprint() const
        << prMaxIters << ',' << prDamping << ',' << prEpsilon << ','
        << ssspDelta << ',' << ccMaxIters << '|' << hugeFaultRetries
        << '|' << faultPlan.fingerprint() << '|' << sys.fingerprint();
+    // Appended only when non-default so every pre-NUMA fingerprint —
+    // and with it every memo key, journal entry and runId — is
+    // preserved byte-for-byte.
+    if (pressureNode != PressureNode::Local)
+        os << "|hog" << static_cast<int>(pressureNode);
     return os.str();
 }
 
@@ -336,8 +357,24 @@ runExperiment(const ExperimentConfig &cfg,
 
     // 4. Age the machine: memhog pins memory down to WSS + slack, then
     //    the frag tool poisons the remaining free memory (§4.3-4.4).
+    //    On a two-node machine pressureNode picks the target node(s);
+    //    the Local default touches only node 0, exactly as before.
+    if (cfg.pressureNode != PressureNode::Local &&
+        !cfg.sys.numaEnabled()) {
+        fatal("pressureNode '%s' requires a two-node machine "
+              "(sys.node1.bytes != 0)",
+              pressureNodeName(cfg.pressureNode));
+    }
+    const bool pressure_local = cfg.pressureNode != PressureNode::Remote;
+    const bool pressure_remote = cfg.pressureNode != PressureNode::Local;
     mem::Memhog memhog(machine.node());
     mem::Fragmenter fragmenter(machine.node());
+    std::optional<mem::Memhog> memhog1;
+    std::optional<mem::Fragmenter> fragmenter1;
+    if (pressure_remote) {
+        memhog1.emplace(*machine.remoteNode());
+        fragmenter1.emplace(*machine.remoteNode());
+    }
     const std::uint64_t wss = wssOf(g, cfg.app);
     if (cfg.constrainMemory) {
         const std::int64_t target =
@@ -350,11 +387,19 @@ runExperiment(const ExperimentConfig &cfg,
         // make progress.
         const std::int64_t floor =
             static_cast<std::int64_t>(cfg.sys.hugePageBytes());
-        memhog.occupyAllBut(
-            static_cast<std::uint64_t>(std::max(target, floor)));
+        const std::uint64_t leave =
+            static_cast<std::uint64_t>(std::max(target, floor));
+        if (pressure_local)
+            memhog.occupyAllBut(leave);
+        if (pressure_remote)
+            memhog1->occupyAllBut(leave);
     }
-    if (cfg.fragLevel > 0.0)
-        fragmenter.fragment(cfg.fragLevel);
+    if (cfg.fragLevel > 0.0) {
+        if (pressure_local)
+            fragmenter.fragment(cfg.fragLevel);
+        if (pressure_remote)
+            fragmenter1->fragment(cfg.fragLevel);
+    }
 
     // 5/6. Load and execute, separating init- and kernel-phase costs.
     tlb::Mmu &mmu = machine.mmu();

@@ -40,6 +40,20 @@ enum class App : std::uint8_t
 
 const char *appName(App app);
 
+/**
+ * Which node(s) the memory-pressure tools (memhog + fragmenter) run
+ * against on a two-node machine. Local is the single-node-equivalent
+ * default; anything else requires sys.numaEnabled().
+ */
+enum class PressureNode : std::uint8_t
+{
+    Local,  ///< node 0 only (the pre-NUMA behaviour)
+    Remote, ///< node 1 only
+    Both,   ///< both nodes, same WSS+slack target each
+};
+
+const char *pressureNodeName(PressureNode p);
+
 /** Which arrays receive madvise(MADV_HUGEPAGE) in Madvise mode. */
 struct MadviseSelection
 {
@@ -104,6 +118,11 @@ struct ExperimentConfig
     /** Non-movable fragmentation level of the remaining free memory
      *  (paper §4.4.1's frag tool), applied after memhog. */
     double fragLevel = 0.0;
+
+    /** Node(s) memhog and the fragmenter pressure (two-node machines;
+     *  Local is the only valid choice when sys.numaEnabled() is
+     *  false). */
+    PressureNode pressureNode = PressureNode::Local;
 
     /** Where input files are staged during loading (paper §4.3). */
     FileSource fileSource = FileSource::TmpfsRemote;

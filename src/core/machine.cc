@@ -5,6 +5,8 @@
 
 #include "core/machine.hh"
 
+#include "util/logging.hh"
+
 namespace gpsm::core
 {
 
@@ -13,11 +15,22 @@ SimMachine::SimMachine(const SystemConfig &config,
     : sysConfig(config), statSet("machine")
 {
     memNode = std::make_unique<mem::MemoryNode>(config.node);
+    if (config.numaEnabled()) {
+        if (config.node1.basePageBytes != config.node.basePageBytes ||
+            config.node1.hugeOrder != config.node.hugeOrder)
+            fatal("node 1 page geometry must match node 0");
+        memNode1 = std::make_unique<mem::MemoryNode>(
+            config.node1, mem::remoteNodeFrameBase);
+    }
     swap = std::make_unique<mem::SwapDevice>(config.swapBytes,
                                              config.node.basePageBytes);
     cache = std::make_unique<mem::PageCache>(*memNode);
+    vm::NumaPolicy numa;
+    numa.remoteNode = memNode1.get();
+    numa.placement = config.numaPlacement;
+    numa.migrateOnPromote = config.numaMigrateOnPromote;
     addressSpace =
-        std::make_unique<vm::AddressSpace>(*memNode, *swap, thp);
+        std::make_unique<vm::AddressSpace>(*memNode, *swap, thp, numa);
 
     tlb::Tlb l1("dtlb",
                 {config.l1Base, config.l1Huge, config.l1Giant});
@@ -36,6 +49,11 @@ SimMachine::SimMachine(const SystemConfig &config,
         mmuUnit->enableHeatTracking(true);
 
     memNode->registerStats(statSet, "node");
+    if (memNode1 != nullptr) {
+        // "node1." keys exist only on two-node machines, keeping
+        // single-node stat dumps byte-identical to the pre-NUMA build.
+        memNode1->registerStats(statSet, "node1");
+    }
     addressSpace->registerStats(statSet, "space");
     mmuUnit->registerStats(statSet, "mmu");
     mmuUnit->l1().registerStats(statSet);

@@ -39,6 +39,8 @@ class SimMachine
     SimMachine &operator=(const SimMachine &) = delete;
 
     mem::MemoryNode &node() { return *memNode; }
+    /** The remote node, or nullptr on a single-node machine. */
+    mem::MemoryNode *remoteNode() { return memNode1.get(); }
     mem::SwapDevice &swapDevice() { return *swap; }
     mem::PageCache &pageCache() { return *cache; }
     vm::AddressSpace &space() { return *addressSpace; }
@@ -72,6 +74,8 @@ class SimMachine
     SystemConfig sysConfig;
 
     std::unique_ptr<mem::MemoryNode> memNode;
+    /** Second NUMA node; null unless config.numaEnabled(). */
+    std::unique_ptr<mem::MemoryNode> memNode1;
     std::unique_ptr<mem::SwapDevice> swap;
     std::unique_ptr<mem::PageCache> cache;
     std::unique_ptr<vm::AddressSpace> addressSpace;

@@ -215,6 +215,24 @@ loadMetricsDir(const std::string &dir)
         e.app = fieldOr(*doc, "app", "");
         e.dataset = fieldOr(*doc, "dataset", "");
         e.metrics = metricMapFromJson(*doc->find("result"));
+        // Two-node runs carry their NUMA counters only in the machine
+        // stats snapshot (RunResult is frozen for journal
+        // compatibility); fold them into the metric map so diffs watch
+        // them. Dormant runs have none of these keys, so pre-NUMA
+        // metric maps — and committed reference diffs — are unchanged.
+        if (const Json *stats = findObject(*doc, "stats")) {
+            for (const auto &[key, value] : stats->entries()) {
+                if (!value.isNumber())
+                    continue;
+                if (key.rfind("node1.", 0) == 0 ||
+                    key == "mmu.remoteAccesses" ||
+                    key == "space.remotePlacedPages" ||
+                    key == "space.spilledPages" ||
+                    key == "space.promoteMovedPages") {
+                    e.metrics.emplace(key, value.asNumber());
+                }
+            }
+        }
         store.entries.push_back(std::move(e));
     }
     sortEntries(store);
@@ -270,6 +288,13 @@ watchedMetrics()
         {"swapOuts", true},
         {"hugeFallbacks", true},
         {"hugeFractionOfFootprint", false},
+        // Two-node counters (absent on single-node runs; a watched
+        // name with no key on either side simply never produces a
+        // delta).
+        {"mmu.remoteAccesses", true},
+        {"space.remotePlacedPages", true},
+        {"space.spilledPages", true},
+        {"space.promoteMovedPages", true},
     };
     return watched;
 }

@@ -12,6 +12,21 @@
 namespace gpsm::core
 {
 
+void
+SystemConfig::enableSecondNode(std::uint64_t bytes)
+{
+    node1 = node;
+    node1.bytes = bytes != 0 ? bytes : node.bytes;
+    node1.giantPoolPages = 0;
+    if (node.hugeWatermarkBytes != 0 && node.bytes != 0) {
+        // Preserve the watermark as a fraction of node capacity.
+        node1.hugeWatermarkBytes = static_cast<std::uint64_t>(
+            static_cast<double>(node.hugeWatermarkBytes) /
+            static_cast<double>(node.bytes) *
+            static_cast<double>(node1.bytes));
+    }
+}
+
 SystemConfig
 SystemConfig::haswell()
 {
@@ -89,6 +104,17 @@ SystemConfig::describe() const
        << stlbWays << "-way\n"
        << "  swap             " << formatBytes(swapBytes) << "\n"
        << "  frequency        " << costs.frequencyGhz << " GHz\n";
+    if (numaEnabled()) {
+        // Only a two-node machine has these lines; the single-node
+        // default description stays byte-identical to the pre-NUMA
+        // build (it is printed into every gated bench header).
+        os << "  remote node      " << formatBytes(node1.bytes) << "\n"
+           << "  numa placement   " << numaPlacementName(numaPlacement)
+           << (numaMigrateOnPromote ? " (migrate-on-promote)" : "")
+           << "\n"
+           << "  remote access    +" << costs.remoteMemoryCycles
+           << " cycles\n";
+    }
     if (enableCache) {
         os << "  caches          ";
         for (const auto &lvl : cacheLevels)
@@ -125,6 +151,20 @@ SystemConfig::fingerprint() const
     for (const tlb::CacheLevelConfig &lvl : cacheLevels)
         os << lvl.name << ',' << lvl.bytes << ',' << lvl.ways << ','
            << lvl.lineBytes << ',' << lvl.hitCycles << ';';
+    if (numaEnabled()) {
+        // NUMA block only when the second node exists: a dormant
+        // config fingerprints exactly as before this field family
+        // existed, so memo caches, journals and runIds are preserved.
+        // The remote cost-model tier lives here too — it is
+        // unreachable on a single-node machine.
+        os << "numa{" << node1.bytes << ',' << node1.basePageBytes
+           << ',' << node1.hugeOrder << ',' << node1.hugeWatermarkBytes
+           << ',' << node1.giantOrder << ',' << node1.giantPoolPages
+           << ';' << static_cast<unsigned>(numaPlacement) << ';'
+           << numaMigrateOnPromote << ';' << c.remoteMemoryCycles
+           << ';' << c.remoteFaultMultiplier << ';'
+           << c.remoteSwapMultiplier << "};";
+    }
     return os.str();
 }
 

@@ -31,12 +31,45 @@ namespace gpsm::core
  *   proportionally smaller TLBs, so the Table 2 datasets shrunk by
  *   ~128x exercise identical contention regimes in seconds per run.
  */
+/**
+ * Placement policy for a two-node machine (defined in mem/ so the VM
+ * layer can honour it without depending on core/). RemoteOnly is the
+ * first-class replacement for the old tmpfs-remote special case.
+ */
+using NumaPlacement = mem::NumaPlacement;
+using mem::numaPlacementName;
+
 struct SystemConfig
 {
     std::string name = "scaled";
 
     mem::MemoryNode::Params node;
     std::uint64_t swapBytes = 1_GiB;
+
+    /**
+     * Second (remote) NUMA node. Dormant by default: node1.bytes == 0
+     * means the machine is single-node and none of the NUMA fields
+     * below exist as far as fingerprint()/describe()/telemetry are
+     * concerned, keeping default outputs byte-identical to the
+     * pre-NUMA build. Setting node1.bytes != 0 instantiates the node
+     * (page sizes are shared with node 0; only capacity and watermark
+     * are per-node).
+     */
+    mem::MemoryNode::Params node1{.bytes = 0};
+
+    /** Placement policy for anonymous memory on a two-node machine. */
+    NumaPlacement numaPlacement = NumaPlacement::FirstTouch;
+
+    /**
+     * When khugepaged collapses a region whose base pages live on the
+     * remote node, also migrate it to the local node (AutoNUMA-style
+     * promote-and-pull). Off: the huge page stays on the node that
+     * holds the majority of its base pages.
+     */
+    bool numaMigrateOnPromote = false;
+
+    /** True when the second node exists. */
+    bool numaEnabled() const { return node1.bytes != 0; }
 
     /** L1 DTLB geometry per page-size class. */
     tlb::TlbGeometry l1Base;
@@ -54,6 +87,14 @@ struct SystemConfig
 
     static SystemConfig haswell();
     static SystemConfig scaled();
+
+    /**
+     * Instantiate node 1 as a capacity-matched twin of node 0 (same
+     * page geometry and watermark fraction, no giant pool — giant
+     * reservations stay local, as hugetlbfs boot pools typically do).
+     * @param bytes Remote capacity; 0 copies node 0's capacity.
+     */
+    void enableSecondNode(std::uint64_t bytes = 0);
 
     std::uint64_t hugePageBytes() const
     {

@@ -133,6 +133,11 @@ class SimView
                                  costs.fileReadLocalCacheCycles);
             break;
           case FileSource::TmpfsRemote:
+            // Flat per-page surcharge for *staging input files* from a
+            // far node's tmpfs. Remote placement of the application's
+            // own memory is no longer modeled this way — use a two-node
+            // SystemConfig with NumaPlacement::RemoteOnly, which
+            // charges per access/fault on the translated frame's node.
             mach->mmu().chargeIo(file_pages *
                                  costs.fileReadRemoteCycles);
             break;

@@ -24,13 +24,35 @@ migratetypeName(Migratetype mt)
     return "?";
 }
 
-BuddyAllocator::BuddyAllocator(std::uint64_t frames, unsigned max_order)
-    : nframes(frames), maxOrd(max_order)
+const char *
+numaPlacementName(NumaPlacement p)
+{
+    switch (p) {
+      case NumaPlacement::FirstTouch: return "first-touch";
+      case NumaPlacement::Interleave: return "interleave";
+      case NumaPlacement::PreferredLocal: return "preferred-local";
+      case NumaPlacement::RemoteOnly: return "remote-only";
+    }
+    return "?";
+}
+
+BuddyAllocator::BuddyAllocator(std::uint64_t frames, unsigned max_order,
+                               FrameNum frame_base)
+    : nframes(frames), fbase(frame_base), maxOrd(max_order)
 {
     if (frames == 0)
         fatal("buddy allocator needs at least one frame");
     if (max_order > 30)
         fatal("buddy max order %u unreasonably large", max_order);
+    // The base must not perturb alignment or buddy-XOR math at any
+    // representable order (remoteNodeFrameBase = 2^32 satisfies this
+    // for every node smaller than 2^32 frames).
+    if (frame_base != 0 &&
+        (!isAligned(frame_base, 1ull << 31) || frames > frame_base)) {
+        fatal("buddy frame base %llu incompatible with %llu frames",
+              static_cast<unsigned long long>(frame_base),
+              static_cast<unsigned long long>(frames));
+    }
 
     meta.resize(nframes);
     freeListHead.assign(maxOrd + 1, invalidFrame);
@@ -125,7 +147,7 @@ BuddyAllocator::allocate(unsigned order, Migratetype mt,
     }
 
     markAllocated(head, order, mt, client);
-    return head;
+    return head + fbase;
 }
 
 bool
@@ -134,6 +156,11 @@ BuddyAllocator::allocateExact(FrameNum head, unsigned order, Migratetype mt,
 {
     ++allocCalls;
     GPSM_ASSERT(order <= maxOrd && isAligned(head, 1ull << order));
+    if (head < fbase) {
+        ++allocFailures;
+        return false;
+    }
+    head -= fbase;
     if (head + (1ull << order) > nframes) {
         ++allocFailures;
         return false;
@@ -179,9 +206,10 @@ BuddyAllocator::allocateExact(FrameNum head, unsigned order, Migratetype mt,
 void
 BuddyAllocator::free(FrameNum head)
 {
-    if (head >= nframes || meta[head].state != State::AllocHead)
+    if (!inRange(head) || meta[head - fbase].state != State::AllocHead)
         panic("free of non-head frame %llu",
               static_cast<unsigned long long>(head));
+    head -= fbase;
 
     unsigned order = meta[head].order;
 
@@ -205,9 +233,10 @@ BuddyAllocator::free(FrameNum head)
 void
 BuddyAllocator::splitAllocated(FrameNum head)
 {
-    if (head >= nframes || meta[head].state != State::AllocHead)
+    if (!inRange(head) || meta[head - fbase].state != State::AllocHead)
         panic("splitAllocated of non-head frame %llu",
               static_cast<unsigned long long>(head));
+    head -= fbase;
     unsigned order = meta[head].order;
     GPSM_ASSERT(order >= 1, "cannot split an order-0 block");
 
@@ -252,7 +281,9 @@ BuddyAllocator::largestFreeOrder() const
 bool
 BuddyAllocator::isAllocated(FrameNum frame) const
 {
-    GPSM_ASSERT(frame < nframes);
+    if (!inRange(frame))
+        return false;
+    frame -= fbase;
     return meta[frame].state == State::AllocHead ||
            meta[frame].state == State::AllocBody;
 }
@@ -260,48 +291,54 @@ BuddyAllocator::isAllocated(FrameNum frame) const
 bool
 BuddyAllocator::isAllocatedHead(FrameNum frame) const
 {
-    GPSM_ASSERT(frame < nframes);
-    return meta[frame].state == State::AllocHead;
+    if (!inRange(frame))
+        return false;
+    return meta[frame - fbase].state == State::AllocHead;
 }
 
 unsigned
 BuddyAllocator::orderOf(FrameNum frame) const
 {
-    GPSM_ASSERT(frame < nframes && meta[frame].state == State::AllocHead);
-    return meta[frame].order;
+    GPSM_ASSERT(inRange(frame) &&
+                meta[frame - fbase].state == State::AllocHead);
+    return meta[frame - fbase].order;
 }
 
 Migratetype
 BuddyAllocator::migratetypeOf(FrameNum frame) const
 {
-    GPSM_ASSERT(frame < nframes && meta[frame].state == State::AllocHead);
-    return meta[frame].mt;
+    GPSM_ASSERT(inRange(frame) &&
+                meta[frame - fbase].state == State::AllocHead);
+    return meta[frame - fbase].mt;
 }
 
 std::uint16_t
 BuddyAllocator::clientOf(FrameNum frame) const
 {
-    GPSM_ASSERT(frame < nframes && meta[frame].state == State::AllocHead);
-    return meta[frame].client;
+    GPSM_ASSERT(inRange(frame) &&
+                meta[frame - fbase].state == State::AllocHead);
+    return meta[frame - fbase].client;
 }
 
 FrameNum
 BuddyAllocator::headOf(FrameNum frame) const
 {
-    GPSM_ASSERT(frame < nframes);
-    FrameNum f = frame;
+    GPSM_ASSERT(inRange(frame));
+    FrameNum f = frame - fbase;
     while (meta[f].state == State::AllocBody ||
            meta[f].state == State::FreeBody) {
         GPSM_ASSERT(f > 0);
         --f;
     }
-    return meta[f].state == State::AllocHead ? f : invalidFrame;
+    return meta[f].state == State::AllocHead ? f + fbase : invalidFrame;
 }
 
 BuddyAllocator::RegionSummary
 BuddyAllocator::summarizeRegion(FrameNum region_head) const
 {
     const std::uint64_t region_size = 1ull << maxOrd;
+    GPSM_ASSERT(inRange(region_head));
+    region_head -= fbase;
     GPSM_ASSERT(isAligned(region_head, region_size) &&
                 region_head + region_size <= nframes);
 
@@ -320,7 +357,7 @@ BuddyAllocator::summarizeRegion(FrameNum region_head) const
             switch (fr.mt) {
               case Migratetype::Movable:
                 s.movableFrames += block;
-                s.movableHeads.push_back(f);
+                s.movableHeads.push_back(f + fbase);
                 break;
               case Migratetype::Unmovable:
                 s.unmovableFrames += block;

@@ -26,11 +26,18 @@ namespace gpsm::mem
 /**
  * Buddy allocator state plus per-frame metadata.
  *
- * Frames are identified by FrameNum in [0, frames()). A block of order
- * k covers 2^k frames and is aligned to 2^k. The allocator tracks, per
- * head frame, the block's order, migratetype and owning client id; body
- * frames point back to membership only implicitly (state AllocBody /
- * FreeBody).
+ * Frames are identified by FrameNum in [frameBase(), frameBase() +
+ * frames()). A block of order k covers 2^k frames and is aligned to
+ * 2^k. The allocator tracks, per head frame, the block's order,
+ * migratetype and owning client id; body frames point back to
+ * membership only implicitly (state AllocBody / FreeBody).
+ *
+ * On a two-node machine the remote node's allocator runs with
+ * frame_base = remoteNodeFrameBase, so its FrameNums are globally
+ * unique and carry their node identity. The base is aligned to every
+ * representable order, so alignment and buddy-XOR math agree between
+ * the global and node-local numberings. Internals are node-local
+ * (0-based); conversion happens at the public boundary.
  */
 class BuddyAllocator
 {
@@ -38,8 +45,11 @@ class BuddyAllocator
     /**
      * @param frames Total frames managed (need not be a power of two).
      * @param max_order Largest block order (the huge-page order).
+     * @param frame_base Global number of this node's first frame
+     *        (0 for the local node, remoteNodeFrameBase for node 1).
      */
-    BuddyAllocator(std::uint64_t frames, unsigned max_order);
+    BuddyAllocator(std::uint64_t frames, unsigned max_order,
+                   FrameNum frame_base = 0);
 
     BuddyAllocator(const BuddyAllocator &) = delete;
     BuddyAllocator &operator=(const BuddyAllocator &) = delete;
@@ -83,6 +93,8 @@ class BuddyAllocator
 
     /** @name Queries @{ */
     std::uint64_t frames() const { return nframes; }
+    /** Global frame number of this node's first frame. */
+    FrameNum frameBase() const { return fbase; }
     unsigned maxOrder() const { return maxOrd; }
     std::uint64_t freeFrames() const { return nfree; }
     std::uint64_t allocatedFrames() const { return nframes - nfree; }
@@ -96,10 +108,14 @@ class BuddyAllocator
     /** Largest order with a free block, or -1 when empty. */
     int largestFreeOrder() const;
 
-    /** True when frame is inside any allocated block. */
+    /**
+     * True when frame is inside any allocated block. Frames outside
+     * this node's range are simply "not allocated here" (stale swap
+     * queue entries probe across nodes), not an error.
+     */
     bool isAllocated(FrameNum frame) const;
 
-    /** True when @p frame heads an allocated block. */
+    /** True when @p frame heads an allocated block (range-tolerant). */
     bool isAllocatedHead(FrameNum frame) const;
 
     /** Order of the allocated block headed at @p frame (panics else). */
@@ -188,7 +204,14 @@ class BuddyAllocator
         return head ^ (1ull << order);
     }
 
+    /** Global frame range check (public-boundary validation). */
+    bool inRange(FrameNum global) const
+    {
+        return global >= fbase && global - fbase < nframes;
+    }
+
     std::uint64_t nframes;
+    FrameNum fbase = 0;
     unsigned maxOrd;
     std::uint64_t nfree = 0;
 

@@ -25,7 +25,7 @@ Compactor::createHugeRegion()
     FrameNum best = invalidFrame;
     std::uint64_t best_cost = std::numeric_limits<std::uint64_t>::max();
     for (std::uint64_t r = 0; r < buddy.regions(); ++r) {
-        const FrameNum head = r * region_size;
+        const FrameNum head = buddy.frameBase() + r * region_size;
         const auto s = buddy.summarizeRegion(head);
         if (s.unmovableFrames != 0 || s.pinnedFrames != 0)
             continue;

@@ -12,7 +12,7 @@
 namespace gpsm::mem
 {
 
-MemoryNode::MemoryNode(const Params &params)
+MemoryNode::MemoryNode(const Params &params, FrameNum frame_base)
     : pageBytes(params.basePageBytes), hugeOrd(params.hugeOrder)
 {
     if (!isPowerOfTwo(pageBytes))
@@ -22,7 +22,7 @@ MemoryNode::MemoryNode(const Params &params)
 
     const std::uint64_t frames = params.bytes / pageBytes;
     watermarkFrames = params.hugeWatermarkBytes / pageBytes;
-    alloc = std::make_unique<BuddyAllocator>(frames, hugeOrd);
+    alloc = std::make_unique<BuddyAllocator>(frames, hugeOrd, frame_base);
     compactor = std::make_unique<Compactor>(*this);
 
     // Client id 0 is reserved for internal (kernel) allocations.
@@ -36,8 +36,8 @@ MemoryNode::MemoryNode(const Params &params)
             fatal("giant order must exceed the huge order");
         const std::uint64_t giant_frames = 1ull << giantOrd;
         for (std::uint64_t p = 0; p < params.giantPoolPages; ++p) {
-            const FrameNum head = p * giant_frames;
-            if (head + giant_frames > alloc->frames())
+            const FrameNum head = frame_base + p * giant_frames;
+            if (p * giant_frames + giant_frames > alloc->frames())
                 fatal("giant pool exceeds node memory");
             for (FrameNum f = head; f < head + giant_frames;
                  f += 1ull << hugeOrd) {
@@ -97,7 +97,7 @@ MemoryNode::swapOutOne()
     while (!swappable.empty() && evicted == 0) {
         FrameNum victim = swappable.front();
         swappable.pop_front();
-        if (victim >= alloc->frames() || !alloc->isAllocatedHead(victim))
+        if (!alloc->isAllocatedHead(victim))
             continue; // stale: freed since registration
         if (alloc->orderOf(victim) != 0 ||
             alloc->migratetypeOf(victim) != Migratetype::Movable) {

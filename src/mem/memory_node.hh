@@ -91,7 +91,15 @@ class MemoryNode
         std::uint64_t giantPoolPages = 0;
     };
 
-    explicit MemoryNode(const Params &params);
+    /**
+     * @param params Node geometry.
+     * @param frame_base Global number of this node's first frame: 0
+     *        for the local node, remoteNodeFrameBase for the second
+     *        node of a two-node machine. Every FrameNum this node
+     *        hands out carries the base, so frame numbers are
+     *        machine-global and identify their owning node.
+     */
+    explicit MemoryNode(const Params &params, FrameNum frame_base = 0);
     ~MemoryNode();
 
     MemoryNode(const MemoryNode &) = delete;
@@ -176,6 +184,7 @@ class MemoryNode
         return pageBytes << hugeOrd;
     }
     unsigned hugeOrder() const { return hugeOrd; }
+    FrameNum frameBase() const { return alloc->frameBase(); }
     std::uint64_t totalBytes() const { return alloc->frames() * pageBytes; }
     std::uint64_t freeBytes() const { return alloc->freeFrames() * pageBytes; }
     std::uint64_t freeHugeRegions() const

@@ -19,6 +19,24 @@ using FrameNum = std::uint64_t;
 constexpr FrameNum invalidFrame = ~0ull;
 
 /**
+ * Frame-number base of the second (remote) memory node on a two-node
+ * machine. Node 0 owns [0, frames0); node 1 numbers its frames from
+ * remoteNodeFrameBase so every FrameNum identifies its node. The base
+ * is a power of two far above any node size and aligned to every
+ * buddy order in use, so order-alignment checks and XOR buddy math on
+ * global frame numbers behave identically on both nodes.
+ */
+constexpr FrameNum remoteNodeFrameBase = 1ull << 32;
+
+/** Which node a (global) frame number belongs to: 0 local, 1 remote. */
+constexpr unsigned
+nodeOfFrame(FrameNum frame)
+{
+    return frame != invalidFrame && frame >= remoteNodeFrameBase ? 1u
+                                                                 : 0u;
+}
+
+/**
  * Mobility class of an allocated block, mirroring Linux migratetypes.
  *
  * Movable pages can be relocated by compaction (user data). Unmovable
@@ -36,6 +54,26 @@ enum class Migratetype : std::uint8_t
 };
 
 const char *migratetypeName(Migratetype mt);
+
+/**
+ * Where policy-eligible anonymous allocations land on a two-node
+ * machine (numactl analogues). FirstTouch is the single-node-
+ * equivalent default: every page lands on node 0 and the remote tier
+ * never charges.
+ */
+enum class NumaPlacement : std::uint8_t
+{
+    /** Allocate on the faulting (local) node only — the default. */
+    FirstTouch,
+    /** Alternate nodes per huge-page-sized region (numactl -i). */
+    Interleave,
+    /** Local first, spill base pages to the remote node when full. */
+    PreferredLocal,
+    /** Everything on the remote node (numactl --membind=1). */
+    RemoteOnly,
+};
+
+const char *numaPlacementName(NumaPlacement p);
 
 /**
  * Interface implemented by owners of physical frames (address spaces,

@@ -41,7 +41,7 @@ CacheModel::CacheModel(std::vector<CacheLevelConfig> levels,
 }
 
 std::uint32_t
-CacheModel::access(Addr paddr)
+CacheModel::access(Addr paddr, std::uint32_t miss_extra_cycles)
 {
     ++accesses;
     // One pass per level: the probe scan also selects the LRU victim
@@ -90,14 +90,15 @@ CacheModel::access(Addr paddr)
 
     if (hit_level == n) {
         ++misses;
-        return memCycles;
+        return memCycles + miss_extra_cycles;
     }
     ++lvls[hit_level].hits;
     return lvls[hit_level].cfg.hitCycles;
 }
 
 std::uint64_t
-CacheModel::accessRun(Addr start, std::size_t stride, std::uint64_t n)
+CacheModel::accessRun(Addr start, std::size_t stride, std::uint64_t n,
+                      std::uint32_t miss_extra_cycles)
 {
     std::uint64_t cycles = 0;
     Level &l1 = lvls[0];
@@ -105,7 +106,7 @@ CacheModel::accessRun(Addr start, std::size_t stride, std::uint64_t n)
     std::uint64_t i = 0;
     while (i < n) {
         const Addr addr = start + i * stride;
-        cycles += access(addr);
+        cycles += access(addr, miss_extra_cycles);
         std::uint64_t k = 1;
         if (stride < line_bytes) {
             const Addr line_end =

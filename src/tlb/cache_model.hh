@@ -46,8 +46,15 @@ class CacheModel
     CacheModel(std::vector<CacheLevelConfig> levels,
                std::uint32_t memory_cycles);
 
-    /** Probe with a physical address; @return latency in cycles. */
-    std::uint32_t access(Addr paddr);
+    /**
+     * Probe with a physical address; @return latency in cycles.
+     * @p miss_extra_cycles is added only on a full miss — the hook
+     * through which the remote-DRAM tier charges its interconnect
+     * penalty (a hit at any level never pays it, since the line is
+     * already on-chip).
+     */
+    std::uint32_t access(Addr paddr,
+                         std::uint32_t miss_extra_cycles = 0);
 
     /**
      * Probe @p n strided addresses starting at @p start and @return
@@ -56,10 +63,13 @@ class CacheModel
      * line's first probe, the following elements of the same L1 line
      * are guaranteed L1 hits — nothing intervenes within the run — so
      * they are accounted in one step per line instead of one set scan
-     * per element.
+     * per element. @p miss_extra_cycles applies per full miss, i.e. to
+     * leading line probes only (trailing same-line elements are L1
+     * hits by construction).
      */
     std::uint64_t accessRun(Addr start, std::size_t stride,
-                            std::uint64_t n);
+                            std::uint64_t n,
+                            std::uint32_t miss_extra_cycles = 0);
 
     /** Drop all lines (used between experiment phases). */
     void flushAll();

@@ -65,6 +65,19 @@ struct CostModel
     std::uint64_t compactionFailCycles = 150000;
     std::uint64_t shootdownCycles = 1800;
 
+    /** @name Remote-DRAM tier (two-node machine)
+     *
+     * Charged only for accesses whose translated frame lives on the
+     * remote node, so a single-node machine never pays them. The
+     * per-access adder models the extra QPI hop on an LLC miss
+     * (~60-90 cycles on 2-socket Haswell); the multipliers model
+     * fault-time zeroing and swap traffic touching remote DRAM.
+     * @{ */
+    std::uint32_t remoteMemoryCycles = 90;
+    double remoteFaultMultiplier = 1.4;
+    double remoteSwapMultiplier = 1.2;
+    /** @} */
+
     /**
      * Backoff charged per bounded huge-fault retry (the fault path
      * waiting out a transient allocation-failure window before

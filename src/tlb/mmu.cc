@@ -26,29 +26,51 @@ Mmu::Mmu(vm::AddressSpace &target_space, Tlb l1, Tlb l2,
         giantShift = baseShift + giant_order;
         giantMask = (pageBytes << giant_order) - 1;
     }
+    if (space.remoteMemoryNode() != nullptr)
+        remoteFrameBase = mem::remoteNodeFrameBase;
 }
 
 void
 Mmu::chargeTouch(const vm::TouchInfo &info)
 {
+    // Remote-node fault service crosses the interconnect (zeroing or
+    // copying into far DRAM); the multipliers only ever apply on a
+    // two-node machine — info.remote is constant-false otherwise, so
+    // the single-node path performs no floating-point work at all.
+    const auto scale = [](std::uint64_t cycles, double mult) {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(cycles) * mult);
+    };
     if (info.majorFault) {
         // Swap-in cost goes through the fault-injection latency scaler
         // when one is installed (a transient device slowdown window).
         std::uint64_t in_cycles = costs.majorFaultCycles;
+        if (info.remote)
+            in_cycles = scale(in_cycles, costs.remoteSwapMultiplier);
         if (swapScaler != nullptr)
             in_cycles = swapScaler->scaleSwapCycles(in_cycles);
         faultCycles += in_cycles;
     } else if (info.hugeFault) {
-        faultCycles += costs.hugeFaultCycles(
+        std::uint64_t huge_cycles = costs.hugeFaultCycles(
             static_cast<unsigned>(hugeShift - baseShift));
+        if (info.remote)
+            huge_cycles = scale(huge_cycles,
+                                costs.remoteFaultMultiplier);
+        faultCycles += huge_cycles;
     } else if (info.pageFault) {
-        faultCycles += costs.minorFaultCycles;
+        std::uint64_t minor_cycles = costs.minorFaultCycles;
+        if (info.remote)
+            minor_cycles = scale(minor_cycles,
+                                 costs.remoteFaultMultiplier);
+        faultCycles += minor_cycles;
     }
     std::uint64_t os = 0;
     os += info.migratedPages * costs.migrateCyclesPerPage;
     os += info.reclaimedPages * costs.reclaimCyclesPerPage;
     std::uint64_t swap_out =
         info.swappedOutPages * costs.swapOutCyclesPerPage;
+    if (swap_out != 0 && info.remote)
+        swap_out = scale(swap_out, costs.remoteSwapMultiplier);
     if (swap_out != 0 && swapScaler != nullptr)
         swap_out = swapScaler->scaleSwapCycles(swap_out);
     os += swap_out;
@@ -58,7 +80,7 @@ Mmu::chargeTouch(const vm::TouchInfo &info)
         osCycles += os;
 }
 
-void
+mem::FrameNum
 Mmu::accessMiss(Addr vaddr, bool write, unsigned tag)
 {
     // Watchdog cancellation is honored here, off the inlined all-hits
@@ -83,7 +105,7 @@ Mmu::accessMiss(Addr vaddr, bool write, unsigned tag)
                   dtlb.insert(vpn_base, vm::PageSizeClass::Base,
                               p.frame),
                   vm::PageSizeClass::Base, vaddr);
-        return;
+        return p.frame;
     }
     p = stlb.lookup(vpn_huge, vm::PageSizeClass::Huge);
     if (p.hit) {
@@ -93,7 +115,7 @@ Mmu::accessMiss(Addr vaddr, bool write, unsigned tag)
                   dtlb.insert(vpn_huge, vm::PageSizeClass::Huge,
                               p.frame),
                   vm::PageSizeClass::Huge, vaddr);
-        return;
+        return p.frame;
     }
 
     // Page walk (possibly faulting).
@@ -130,6 +152,7 @@ Mmu::accessMiss(Addr vaddr, bool write, unsigned tag)
                               info.frame),
                   vm::PageSizeClass::Huge, vaddr);
     }
+    return info.frame;
 }
 
 void
@@ -170,8 +193,17 @@ Mmu::translateRun(Addr start, std::size_t count, std::size_t stride,
         tags[tag].accesses += n;
         baseCycles += n * costs.baseAccessCycles;
         dtlb.touchEntryRun(re.way, re.probes, n);
+        // The whole bulk step stays within one page, so one node backs
+        // all n elements.
+        const bool remote = re.way->frame >= remoteFrameBase;
+        if (remote)
+            remoteAccesses += n;
         if (cache)
-            memoryCycles += cache->accessRun(next, stride, n);
+            memoryCycles += cache->accessRun(
+                next, stride, n,
+                remote ? costs.remoteMemoryCycles : 0);
+        else if (remote)
+            memoryCycles += n * costs.remoteMemoryCycles;
         if (hookInterval != 0)
             hookCountdown -= n;
         if (sampleInterval != 0)
@@ -242,6 +274,14 @@ Mmu::registerStats(StatSet &stats, const std::string &prefix) const
                           "compaction/reclaim/swap/shootdown cycles");
     stats.registerCounter(prefix + ".cycles.io", &ioCycles,
                           "input-file staging cycles (load path)");
+    if (remoteFrameBase != mem::invalidFrame) {
+        // Only a two-node machine registers this key, so single-node
+        // stat dumps keep their exact pre-NUMA key set.
+        stats.registerCounter(prefix + ".remoteAccesses",
+                              &remoteAccesses,
+                              "traced accesses backed by the remote "
+                              "node");
+    }
 }
 
 } // namespace gpsm::tlb

@@ -250,6 +250,10 @@ class Mmu
     Counter faultCycles;
     Counter osCycles;
     Counter ioCycles;
+
+    /** Traced accesses backed by a remote-node frame (two-node
+     *  machines only; registered only when NUMA is active). */
+    Counter remoteAccesses;
     /** @} */
 
     /** Per-tag attribution. */
@@ -274,8 +278,9 @@ class Mmu
     void chargeTouch(const vm::TouchInfo &info);
 
     /** Out-of-line continuation of access() after an L1 DTLB miss:
-     *  STLB probes, page walk (possibly faulting), TLB refills. */
-    void accessMiss(Addr vaddr, bool write, unsigned tag);
+     *  STLB probes, page walk (possibly faulting), TLB refills.
+     *  @return the frame backing @p vaddr, for remote-tier charging. */
+    mem::FrameNum accessMiss(Addr vaddr, bool write, unsigned tag);
 
     /**
      * Per-tag last-translation cache entry. Pins the L1 entry that
@@ -339,6 +344,14 @@ class Mmu
     std::uint64_t hugeMask;
     std::uint64_t giantMask = 0;
 
+    /**
+     * mem::remoteNodeFrameBase on a two-node machine, otherwise
+     * invalidFrame (== UINT64_MAX) so `frame >= remoteFrameBase` is
+     * false for every translated frame and the hot path stays a single
+     * always-false compare on single-node machines.
+     */
+    mem::FrameNum remoteFrameBase = mem::invalidFrame;
+
     bool trackHeat = false;
     std::unordered_map<std::uint64_t, std::uint32_t> heat;
 
@@ -365,6 +378,10 @@ Mmu::access(Addr vaddr, bool write, unsigned tag)
     ++tags[tag].accesses;
     baseCycles += costs.baseAccessCycles;
 
+    // Track the frame that backs this access on every branch: the
+    // remote-DRAM tier charges by the *node* of the translated frame,
+    // which the virtually-indexed cache cannot know on its own.
+    mem::FrameNum frame;
     ReuseEntry &re = reuse[tag];
     if (vaddr >= re.pageBase && vaddr < re.pageEnd && re.way->valid &&
         re.way->vpn == re.vpn && re.way->cls == re.cls) {
@@ -372,36 +389,51 @@ Mmu::access(Addr vaddr, bool write, unsigned tag)
         // entry is still resident: account the probe sequence that
         // would have hit it, without scanning.
         dtlb.touchEntry(re.way, re.probes);
+        frame = re.way->frame;
     } else {
         // L1: probe every size class (parallel sub-TLBs in hardware).
         Tlb::Probe p =
             dtlb.lookup(vaddr >> baseShift, vm::PageSizeClass::Base);
         if (p.hit) {
             noteReuse(tag, p.way, vm::PageSizeClass::Base, vaddr);
+            frame = p.frame;
         } else {
             p = dtlb.lookup(vaddr >> hugeShift,
                             vm::PageSizeClass::Huge);
             if (p.hit) {
                 noteReuse(tag, p.way, vm::PageSizeClass::Huge, vaddr);
+                frame = p.frame;
             } else if (giantShift != 0 &&
                        (p = dtlb.lookup(vaddr >> giantShift,
                                         vm::PageSizeClass::Giant))
                            .hit) {
                 noteReuse(tag, p.way, vm::PageSizeClass::Giant, vaddr);
+                frame = p.frame;
             } else {
-                accessMiss(vaddr, write, tag);
+                frame = accessMiss(vaddr, write, tag);
             }
         }
     }
 
+    // remoteFrameBase is UINT64_MAX on single-node machines, so this
+    // compare is never taken there and no remote cost exists.
+    const bool remote = frame >= remoteFrameBase;
+    if (remote)
+        ++remoteAccesses;
     if (cache) {
         // The data cache is indexed by *virtual* address: physical
         // indexing at this scaled operating point would inject page-
         // coloring noise (the scaled datasets are comparable in size
         // to the LLC, unlike the paper's, where placement effects wash
         // out). Virtual indexing keeps locality effects — including
-        // DBG's — while making runs placement-invariant.
-        memoryCycles += cache->access(vaddr);
+        // DBG's — while making runs placement-invariant. Remote-node
+        // placement therefore charges only on full misses, when the
+        // line actually crosses the interconnect.
+        memoryCycles += cache->access(
+            vaddr, remote ? costs.remoteMemoryCycles : 0);
+    } else if (remote) {
+        // No cache model: every access is a DRAM access.
+        memoryCycles += costs.remoteMemoryCycles;
     }
 
     if (space.hasPendingInvalidations())

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Strict numeric parsing implementation.
+ */
+
+#include "util/parse.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace gpsm
+{
+
+namespace
+{
+
+/** Shared pre-checks: non-empty and no leading whitespace (strtoul
+ *  would skip it, hiding " 5" vs "5" differences in error output). */
+void
+checkHead(const std::string &text, const char *what)
+{
+    if (text.empty())
+        fatal("%s: expected a number, got an empty string", what);
+    if (std::isspace(static_cast<unsigned char>(text[0])))
+        fatal("%s: expected a number, got '%s'", what, text.c_str());
+}
+
+} // namespace
+
+std::uint64_t
+parseU64(const std::string &text, const char *what)
+{
+    checkHead(text, what);
+    // strtoull accepts a leading '-' by wrapping; reject it up front.
+    if (text[0] == '-' || text[0] == '+')
+        fatal("%s: expected an unsigned number, got '%s'", what,
+              text.c_str());
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size() || end == text.c_str())
+        fatal("%s: expected a number, got '%s'", what, text.c_str());
+    if (errno == ERANGE)
+        fatal("%s: '%s' out of range", what, text.c_str());
+    return static_cast<std::uint64_t>(v);
+}
+
+unsigned
+parseUnsigned(const std::string &text, const char *what)
+{
+    const std::uint64_t v = parseU64(text, what);
+    if (v > UINT_MAX)
+        fatal("%s: '%s' out of range", what, text.c_str());
+    return static_cast<unsigned>(v);
+}
+
+std::int64_t
+parseI64(const std::string &text, const char *what)
+{
+    checkHead(text, what);
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size() || end == text.c_str())
+        fatal("%s: expected a number, got '%s'", what, text.c_str());
+    if (errno == ERANGE)
+        fatal("%s: '%s' out of range", what, text.c_str());
+    return static_cast<std::int64_t>(v);
+}
+
+double
+parseDouble(const std::string &text, const char *what)
+{
+    checkHead(text, what);
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || end == text.c_str())
+        fatal("%s: expected a number, got '%s'", what, text.c_str());
+    if (errno == ERANGE || !std::isfinite(v))
+        fatal("%s: '%s' out of range", what, text.c_str());
+    return v;
+}
+
+} // namespace gpsm

@@ -33,6 +33,13 @@ formatBytes(std::uint64_t bytes)
 std::string
 formatSeconds(double seconds)
 {
+    // Zero and negatives used to fall into the "us" branch and render
+    // as "0.000us" / "-3000000.000us"; pin zero and mirror negatives
+    // around the positive scale selection instead.
+    if (seconds == 0.0)
+        return "0.000s";
+    if (seconds < 0.0)
+        return "-" + formatSeconds(-seconds);
     char buf[32];
     if (seconds >= 1.0)
         std::snprintf(buf, sizeof(buf), "%.3fs", seconds);

@@ -27,12 +27,35 @@ thpModeName(ThpMode mode)
 AddressSpace::AddressSpace(mem::MemoryNode &mem_node,
                            mem::SwapDevice &swap_dev,
                            const ThpConfig &thp_config)
+    : AddressSpace(mem_node, swap_dev, thp_config, NumaPolicy{})
+{
+}
+
+AddressSpace::AddressSpace(mem::MemoryNode &mem_node,
+                           mem::SwapDevice &swap_dev,
+                           const ThpConfig &thp_config,
+                           const NumaPolicy &numa)
     : node(mem_node), swap(swap_dev), thp(thp_config),
       pageBytes(node.basePageBytes()), hugeOrd(node.hugeOrder()),
       pt(node.hugeOrder(), node.giantOrder()),
       nextMmapBase(node.hugePageBytes() * 16)
 {
     clientId = node.registerClient(this);
+    remote = numa.remoteNode;
+    placement = numa.placement;
+    migrateOnPromote = numa.migrateOnPromote;
+    if (remote != nullptr) {
+        if (remote->basePageBytes() != node.basePageBytes() ||
+            remote->hugeOrder() != node.hugeOrder())
+            fatal("remote node page geometry differs from node 0");
+        if (remote->frameBase() != mem::remoteNodeFrameBase)
+            fatal("remote node must be built with remoteNodeFrameBase");
+        remoteClientId = remote->registerClient(this);
+    } else if (placement != mem::NumaPlacement::FirstTouch ||
+               migrateOnPromote) {
+        fatal("NUMA placement policy '%s' requires a remote node",
+              mem::numaPlacementName(placement));
+    }
 }
 
 AddressSpace::~AddressSpace()
@@ -116,12 +139,12 @@ AddressSpace::munmap(Addr start)
             pt.unmapGiant(v);
             v = pt.giantVpnOf(v) + (1ull << node.giantOrder());
         } else if (t.size == PageSizeClass::Huge) {
-            node.free(t.pte.frame);
+            nodeOf(t.pte.frame).free(t.pte.frame);
             pt.unmapHuge(v);
             v = pt.hugeVpnOf(v) + span;
         } else if (t.pte.present) {
             rmap.erase(t.pte.frame);
-            node.free(t.pte.frame);
+            nodeOf(t.pte.frame).free(t.pte.frame);
             pt.unmapBase(v);
             ++v;
         } else {
@@ -284,6 +307,73 @@ AddressSpace::touch(Addr vaddr, bool write)
     return handleFault(vaddr, t);
 }
 
+mem::MemoryNode &
+AddressSpace::preferredNode(std::uint64_t vpn)
+{
+    if (remote == nullptr)
+        return node;
+    switch (placement) {
+      case mem::NumaPlacement::FirstTouch:
+      case mem::NumaPlacement::PreferredLocal:
+        return node;
+      case mem::NumaPlacement::RemoteOnly:
+        return *remote;
+      case mem::NumaPlacement::Interleave:
+        // Alternate whole huge regions between the nodes so a region
+        // stays collapsible on one node (numactl -i at THP
+        // granularity).
+        return (pt.hugeVpnOf(vpn) >> hugeOrd) & 1 ? *remote : node;
+    }
+    return node;
+}
+
+mem::AllocOutcome
+AddressSpace::allocBase(std::uint64_t vpn, bool &spilled)
+{
+    spilled = false;
+    mem::MemoryNode::Request req;
+    req.order = 0;
+    req.mt = mem::Migratetype::Movable;
+    req.mayReclaim = true;
+    req.maySwap = true;
+    if (remote == nullptr) {
+        // Single-node machine: the original one-call path, untouched.
+        req.client = clientId;
+        return node.allocate(req);
+    }
+
+    mem::MemoryNode &pref = preferredNode(vpn);
+    if (placement == mem::NumaPlacement::FirstTouch ||
+        placement == mem::NumaPlacement::RemoteOnly) {
+        // Strict binding: all escalation (reclaim, swap) happens on
+        // the bound node, never on the other one.
+        req.client = clientFor(pref);
+        return pref.allocate(req);
+    }
+
+    // PreferredLocal / Interleave: exhaust both nodes' free memory
+    // before swapping on the preferred node, the way Linux walks the
+    // whole zonelist before reclaiming in anger.
+    mem::MemoryNode &other = &pref == &node ? *remote : node;
+    req.maySwap = false;
+    req.client = clientFor(pref);
+    mem::AllocOutcome out = pref.allocate(req);
+    if (out.success)
+        return out;
+    req.client = clientFor(other);
+    mem::AllocOutcome spill = other.allocate(req);
+    if (spill.success) {
+        spilled = true;
+        spill.reclaimedPages += out.reclaimedPages;
+        return spill;
+    }
+    req.maySwap = true;
+    req.client = clientFor(pref);
+    mem::AllocOutcome last = pref.allocate(req);
+    last.reclaimedPages += out.reclaimedPages + spill.reclaimedPages;
+    return last;
+}
+
 TouchInfo
 AddressSpace::handleFault(Addr vaddr, const PageTable::Translation &cur)
 {
@@ -299,13 +389,8 @@ AddressSpace::handleFault(Addr vaddr, const PageTable::Translation &cur)
 
     // Major fault: page lives in swap.
     if (cur.valid && cur.pte.swapped) {
-        mem::MemoryNode::Request req;
-        req.order = 0;
-        req.mt = mem::Migratetype::Movable;
-        req.client = clientId;
-        req.mayReclaim = true;
-        req.maySwap = true;
-        mem::AllocOutcome out = node.allocate(req);
+        bool spilled = false;
+        mem::AllocOutcome out = allocBase(vpn, spilled);
         if (!out.success)
             fatal("out of memory swapping in page 0x%llx",
                   static_cast<unsigned long long>(vaddr));
@@ -314,7 +399,7 @@ AddressSpace::handleFault(Addr vaddr, const PageTable::Translation &cur)
         swap.freeSlot(cur.pte.swapSlot);
         pt.restoreSwapped(vpn, out.frame);
         rmap.emplace(out.frame, vpn);
-        node.noteSwappable(out.frame);
+        nodeOf(out.frame).noteSwappable(out.frame);
         --vma->swappedBasePages;
         ++vma->presentBasePages;
         ++majorFaults;
@@ -322,6 +407,11 @@ AddressSpace::handleFault(Addr vaddr, const PageTable::Translation &cur)
         info.frame = out.frame;
         info.size = PageSizeClass::Base;
         info.majorFault = true;
+        info.remote = mem::nodeOfFrame(out.frame) == 1;
+        if (info.remote)
+            ++remotePlacedPages;
+        if (spilled)
+            ++spilledPages;
         return info;
     }
 
@@ -344,14 +434,18 @@ AddressSpace::handleFault(Addr vaddr, const PageTable::Translation &cur)
             break;
         }
 
+        // Huge allocations bind to the policy node with no cross-node
+        // fallback (__GFP_THISNODE): a huge page never straddles or
+        // silently migrates nodes, matching Linux's THP fault path.
+        mem::MemoryNode &target = preferredNode(vpn);
         mem::MemoryNode::Request req;
         req.order = hugeOrd;
         req.mt = mem::Migratetype::Movable;
-        req.client = clientId;
+        req.client = clientFor(target);
         req.mayReclaim = thp.reclaimForHuge;
         req.mayCompact = may_compact;
         req.maySwap = false;
-        mem::AllocOutcome out = node.allocate(req);
+        mem::AllocOutcome out = target.allocate(req);
         info.migratedPages += out.migratedPages;
         info.reclaimedPages += out.reclaimedPages;
         info.compactionFailures += out.compactionFailures;
@@ -364,7 +458,7 @@ AddressSpace::handleFault(Addr vaddr, const PageTable::Translation &cur)
              !out.success && attempt < thp.hugeFaultRetries; ++attempt) {
             ++info.hugeAllocRetries;
             ++hugeRetries;
-            out = node.allocate(req);
+            out = target.allocate(req);
             info.migratedPages += out.migratedPages;
             info.reclaimedPages += out.reclaimedPages;
             info.compactionFailures += out.compactionFailures;
@@ -376,19 +470,17 @@ AddressSpace::handleFault(Addr vaddr, const PageTable::Translation &cur)
             info.frame = out.frame;
             info.size = PageSizeClass::Huge;
             info.hugeFault = true;
+            info.remote = mem::nodeOfFrame(out.frame) == 1;
+            if (info.remote)
+                remotePlacedPages += 1ull << hugeOrd;
             return info;
         }
         ++hugeFallbacks;
     }
 
     // Base-page fault.
-    mem::MemoryNode::Request req;
-    req.order = 0;
-    req.mt = mem::Migratetype::Movable;
-    req.client = clientId;
-    req.mayReclaim = true;
-    req.maySwap = true;
-    mem::AllocOutcome out = node.allocate(req);
+    bool spilled = false;
+    mem::AllocOutcome out = allocBase(vpn, spilled);
     if (!out.success)
         fatal("out of memory: node exhausted and swap full (footprint "
               "%llu bytes)",
@@ -397,11 +489,16 @@ AddressSpace::handleFault(Addr vaddr, const PageTable::Translation &cur)
     info.swappedOutPages += out.swappedPages;
     pt.mapBase(vpn, out.frame);
     rmap.emplace(out.frame, vpn);
-    node.noteSwappable(out.frame);
+    nodeOf(out.frame).noteSwappable(out.frame);
     ++vma->presentBasePages;
     ++minorFaults;
     info.frame = out.frame;
     info.size = PageSizeClass::Base;
+    info.remote = mem::nodeOfFrame(out.frame) == 1;
+    if (info.remote)
+        ++remotePlacedPages;
+    if (spilled)
+        ++spilledPages;
     return info;
 }
 
@@ -440,26 +537,48 @@ AddressSpace::promote(Addr vaddr)
     if (present.size() < thp.khugepagedMinPresent)
         return res;
 
+    // Collapse target node: local when migrate-on-promote is set
+    // (AutoNUMA-style pull), otherwise wherever the majority of the
+    // region's base pages already live — a collapse should not move
+    // data across the interconnect unasked.
+    mem::MemoryNode *target = &node;
+    if (remote != nullptr && !migrateOnPromote) {
+        std::uint64_t remote_pages = 0;
+        for (std::uint64_t v : present) {
+            if (mem::nodeOfFrame(pt.lookup(v).pte.frame) == 1)
+                ++remote_pages;
+        }
+        if (remote_pages * 2 > present.size())
+            target = remote;
+    }
+
     mem::MemoryNode::Request req;
     req.order = hugeOrd;
     req.mt = mem::Migratetype::Movable;
-    req.client = clientId;
+    req.client = clientFor(*target);
     req.mayReclaim = thp.reclaimForHuge;
     req.mayCompact = thp.defrag != ThpDefrag::Never;
     req.maySwap = false;
-    mem::AllocOutcome out = node.allocate(req);
+    mem::AllocOutcome out = target->allocate(req);
     res.migratedPages = out.migratedPages;
     res.reclaimedPages = out.reclaimedPages;
     if (!out.success)
         return res;
 
     // Copy and retire the old base pages.
+    std::uint64_t moved = 0;
     for (std::uint64_t v : present) {
         PageTable::Translation t = pt.lookup(v);
         rmap.erase(t.pte.frame);
-        node.free(t.pte.frame);
+        if (mem::nodeOfFrame(t.pte.frame) !=
+            mem::nodeOfFrame(out.frame)) {
+            ++moved;
+        }
+        nodeOf(t.pte.frame).free(t.pte.frame);
         pt.unmapBase(v);
     }
+    if (remote != nullptr)
+        promoteMovedPages += moved;
     vma->presentBasePages -= present.size();
     for (std::uint64_t v : present) {
         pendingInvalidations.push_back(
@@ -489,7 +608,10 @@ AddressSpace::demote(Addr vaddr)
     GPSM_ASSERT(vma != nullptr);
 
     // Physically split the huge block so frames free independently.
-    mem::BuddyAllocator &buddy = node.buddy();
+    // The block is contiguous within one node, so all split frames
+    // stay with the node that owns the head.
+    mem::MemoryNode &owner = nodeOf(t.pte.frame);
+    mem::BuddyAllocator &buddy = owner.buddy();
     const mem::FrameNum head = t.pte.frame;
     const std::uint64_t span = 1ull << hugeOrd;
     for (unsigned order = hugeOrd; order > 0; --order)
@@ -500,7 +622,7 @@ AddressSpace::demote(Addr vaddr)
     pt.demoteToBase(vpn);
     for (std::uint64_t i = 0; i < span; ++i) {
         rmap.emplace(head + i, huge_vpn + i);
-        node.noteSwappable(head + i);
+        owner.noteSwappable(head + i);
     }
     --vma->hugePages;
     vma->presentBasePages += span;
@@ -565,7 +687,7 @@ AddressSpace::migratePage(mem::FrameNum from, mem::FrameNum to)
     rmap.erase(it);
     pt.retargetBase(vpn, to);
     rmap.emplace(to, vpn);
-    node.noteSwappable(to);
+    nodeOf(to).noteSwappable(to);
     pendingInvalidations.push_back(
         TlbInvalidation{false, vpn, PageSizeClass::Base});
 }
@@ -584,7 +706,7 @@ AddressSpace::evictPage(mem::FrameNum frame)
     GPSM_ASSERT(vma != nullptr);
     pt.markSwapped(vpn, slot);
     rmap.erase(it);
-    node.free(frame);
+    nodeOf(frame).free(frame);
     --vma->presentBasePages;
     ++vma->swappedBasePages;
     ++swapOutPages;
@@ -620,6 +742,22 @@ AddressSpace::registerStats(StatSet &stats,
                           "pages read back from swap");
     stats.registerCounter(prefix + ".swapOutPages", &swapOutPages,
                           "pages written to swap");
+    if (remote != nullptr) {
+        // Registered only on a two-node machine so single-node stat
+        // dumps (and the metrics documents built from them) keep their
+        // exact pre-NUMA key set.
+        stats.registerCounter(prefix + ".remotePlacedPages",
+                              &remotePlacedPages,
+                              "base-page units placed on the remote "
+                              "node at fault time");
+        stats.registerCounter(prefix + ".spilledPages", &spilledPages,
+                              "placements that fell back to the "
+                              "non-preferred node");
+        stats.registerCounter(prefix + ".promoteMovedPages",
+                              &promoteMovedPages,
+                              "pages that changed node during "
+                              "khugepaged collapse");
+    }
 }
 
 } // namespace gpsm::vm

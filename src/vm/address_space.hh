@@ -77,6 +77,7 @@ struct TouchInfo
     bool pageFault = false;      ///< any fault was taken
     bool hugeFault = false;      ///< fault was satisfied with a huge page
     bool majorFault = false;     ///< page had to be read back from swap
+    bool remote = false;         ///< fault was satisfied from node 1
 
     /** Escalation work performed on the fault path. */
     std::uint64_t migratedPages = 0;
@@ -86,6 +87,24 @@ struct TouchInfo
     /** Bounded huge-allocation retries taken before fallback
      *  (ThpConfig::hugeFaultRetries); each is charged backoff. */
     std::uint64_t hugeAllocRetries = 0;
+};
+
+/**
+ * Two-node placement policy handed to an AddressSpace at construction.
+ * The default (no remote node, FirstTouch) reproduces the single-node
+ * machine exactly: every allocation goes to the local node through the
+ * pre-NUMA code path.
+ */
+struct NumaPolicy
+{
+    /** The second node, or nullptr for a single-node machine. Must be
+     *  built with mem::remoteNodeFrameBase and the same page geometry
+     *  as the local node. */
+    mem::MemoryNode *remoteNode = nullptr;
+    mem::NumaPlacement placement = mem::NumaPlacement::FirstTouch;
+    /** Pull remote-backed regions local when khugepaged collapses
+     *  them (AutoNUMA-style promote-and-migrate). */
+    bool migrateOnPromote = false;
 };
 
 /**
@@ -110,6 +129,13 @@ class AddressSpace : public mem::PageClient
   public:
     AddressSpace(mem::MemoryNode &node, mem::SwapDevice &swap,
                  const ThpConfig &thp);
+    /**
+     * Two-node construction: @p numa names the remote node and the
+     * placement policy. Huge allocations never cross nodes
+     * (__GFP_THISNODE); base pages spill per policy.
+     */
+    AddressSpace(mem::MemoryNode &node, mem::SwapDevice &swap,
+                 const ThpConfig &thp, const NumaPolicy &numa);
     ~AddressSpace() override;
 
     AddressSpace(const AddressSpace &) = delete;
@@ -195,6 +221,8 @@ class AddressSpace : public mem::PageClient
     void updateThpConfig(const ThpConfig &config) { thp = config; }
     const PageTable &pageTable() const { return pt; }
     mem::MemoryNode &memoryNode() { return node; }
+    /** The remote node, or nullptr on a single-node machine. */
+    mem::MemoryNode *remoteMemoryNode() { return remote; }
 
     const Vma *findVma(Addr vaddr) const;
     std::vector<const Vma *> vmas() const;
@@ -249,6 +277,12 @@ class AddressSpace : public mem::PageClient
     Counter promotionCopiedPages;
     Counter swapInPages;
     Counter swapOutPages;
+
+    /** @name Two-node counters (registered only when NUMA is active) @{ */
+    Counter remotePlacedPages;  ///< base-page units placed on node 1
+    Counter spilledPages;       ///< placements on the non-preferred node
+    Counter promoteMovedPages;  ///< pages that changed node during collapse
+    /** @} */
     /** @} */
 
   private:
@@ -268,6 +302,26 @@ class AddressSpace : public mem::PageClient
 
     std::uint64_t vpnOf(Addr vaddr) const { return vaddr / pageBytes; }
 
+    /** The node that owns @p frame (by global frame number). */
+    mem::MemoryNode &nodeOf(mem::FrameNum frame)
+    {
+        return remote != nullptr && mem::nodeOfFrame(frame) == 1
+                   ? *remote
+                   : node;
+    }
+
+    /** This space's client id on @p n. */
+    std::uint16_t clientFor(const mem::MemoryNode &n) const
+    {
+        return &n == &node ? clientId : remoteClientId;
+    }
+
+    /** Policy-preferred node for the region containing @p vpn. */
+    mem::MemoryNode &preferredNode(std::uint64_t vpn);
+
+    /** Allocate one base page per placement policy (spill allowed). */
+    mem::AllocOutcome allocBase(std::uint64_t vpn, bool &spilled);
+
     /** True when no PTE (present or swapped) covers the huge region. */
     bool regionEmpty(std::uint64_t huge_vpn) const;
     /** Present base VPNs within the huge region. */
@@ -280,6 +334,13 @@ class AddressSpace : public mem::PageClient
     std::uint64_t pageBytes;
     unsigned hugeOrd;
     std::uint16_t clientId;
+
+    /** @name Two-node state (inert on a single-node machine) @{ */
+    mem::MemoryNode *remote = nullptr;
+    mem::NumaPlacement placement = mem::NumaPlacement::FirstTouch;
+    bool migrateOnPromote = false;
+    std::uint16_t remoteClientId = 0;
+    /** @} */
 
     PageTable pt;
 

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Fingerprint field-coverage tests: every behaviour-relevant field of
+ * ExperimentConfig and SystemConfig (the NUMA family included) must
+ * perturb fingerprint(), or two configs that run differently would
+ * collide in the memo cache / result journal and silently serve each
+ * other's results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "util/units.hh"
+
+using namespace gpsm;
+using namespace gpsm::core;
+
+namespace
+{
+
+struct Mutation
+{
+    const char *name;
+    std::function<void(ExperimentConfig &)> apply;
+};
+
+/** Baseline used by every mutation; NUMA enabled so the numa{} block
+ *  of the fingerprint is present and its fields are observable. */
+ExperimentConfig
+numaBase()
+{
+    ExperimentConfig cfg;
+    cfg.sys.enableSecondNode();
+    return cfg;
+}
+
+void
+expectAllDistinct(const ExperimentConfig &base,
+                  const std::vector<Mutation> &mutations)
+{
+    const std::string base_fp = base.fingerprint();
+    std::set<std::string> seen = {base_fp};
+    for (const Mutation &m : mutations) {
+        ExperimentConfig cfg = base;
+        m.apply(cfg);
+        const std::string fp = cfg.fingerprint();
+        EXPECT_NE(fp, base_fp) << "field not fingerprinted: "
+                               << m.name;
+        EXPECT_TRUE(seen.insert(fp).second)
+            << "fingerprint collision at: " << m.name;
+    }
+}
+
+} // namespace
+
+TEST(FingerprintCoverage, ExperimentFields)
+{
+    const std::vector<Mutation> mutations = {
+        {"app", [](auto &c) { c.app = App::Pr; }},
+        {"dataset", [](auto &c) { c.dataset = "wiki"; }},
+        {"scaleDivisor", [](auto &c) { c.scaleDivisor += 1; }},
+        {"seed", [](auto &c) { c.seed += 1; }},
+        {"reorder",
+         [](auto &c) { c.reorder = graph::ReorderMethod::Dbg; }},
+        {"thpMode", [](auto &c) { c.thpMode = vm::ThpMode::Always; }},
+        {"madvise.vertex", [](auto &c) { c.madvise.vertex = true; }},
+        {"madvise.edge", [](auto &c) { c.madvise.edge = true; }},
+        {"madvise.values", [](auto &c) { c.madvise.values = true; }},
+        {"madvise.propertyFraction",
+         [](auto &c) { c.madvise.propertyFraction = 0.4; }},
+        {"order",
+         [](auto &c) { c.order = AllocOrder::PropertyFirst; }},
+        {"khugepagedAfterInit",
+         [](auto &c) { c.khugepagedAfterInit = false; }},
+        {"khugepagedMinPresent",
+         [](auto &c) { c.khugepagedMinPresent += 1; }},
+        {"khugepagedScanPages",
+         [](auto &c) { c.khugepagedScanPages += 1; }},
+        {"khugepagedHotFirst",
+         [](auto &c) { c.khugepagedHotFirst = true; }},
+        {"khugepagedDuringKernel",
+         [](auto &c) { c.khugepagedDuringKernel = true; }},
+        {"khugepagedIntervalAccesses",
+         [](auto &c) { c.khugepagedIntervalAccesses += 1; }},
+        {"constrainMemory",
+         [](auto &c) { c.constrainMemory = true; }},
+        {"slackBytes", [](auto &c) { c.slackBytes += 4096; }},
+        {"fragLevel", [](auto &c) { c.fragLevel = 0.25; }},
+        {"pressureNode",
+         [](auto &c) { c.pressureNode = PressureNode::Remote; }},
+        {"pressureNode both",
+         [](auto &c) { c.pressureNode = PressureNode::Both; }},
+        {"fileSource",
+         [](auto &c) { c.fileSource = FileSource::DirectIo; }},
+        {"giantProperty", [](auto &c) { c.giantProperty = true; }},
+        {"hugeFaultRetries",
+         [](auto &c) { c.hugeFaultRetries = 2; }},
+        {"prMaxIters", [](auto &c) { c.prMaxIters += 1; }},
+        {"prDamping", [](auto &c) { c.prDamping = 0.9; }},
+        {"prEpsilon", [](auto &c) { c.prEpsilon = 1e-5; }},
+        {"ssspDelta", [](auto &c) { c.ssspDelta += 1; }},
+        {"ccMaxIters", [](auto &c) { c.ccMaxIters += 1; }},
+    };
+    expectAllDistinct(numaBase(), mutations);
+}
+
+TEST(FingerprintCoverage, SystemFields)
+{
+    const std::vector<Mutation> mutations = {
+        {"sys.name", [](auto &c) { c.sys.name = "other"; }},
+        {"node.bytes", [](auto &c) { c.sys.node.bytes *= 2; }},
+        {"node.basePageBytes",
+         [](auto &c) { c.sys.node.basePageBytes *= 2; }},
+        {"node.hugeOrder", [](auto &c) { c.sys.node.hugeOrder += 1; }},
+        {"node.hugeWatermarkBytes",
+         [](auto &c) { c.sys.node.hugeWatermarkBytes += 4096; }},
+        {"node.giantOrder",
+         [](auto &c) { c.sys.node.giantOrder += 1; }},
+        {"node.giantPoolPages",
+         [](auto &c) { c.sys.node.giantPoolPages += 1; }},
+        {"swapBytes", [](auto &c) { c.sys.swapBytes *= 2; }},
+        {"l1Base", [](auto &c) { c.sys.l1Base.entries *= 2; }},
+        {"l1Huge", [](auto &c) { c.sys.l1Huge.ways *= 2; }},
+        {"l1Giant", [](auto &c) { c.sys.l1Giant.entries *= 2; }},
+        {"stlbEntries", [](auto &c) { c.sys.stlbEntries *= 2; }},
+        {"stlbWays", [](auto &c) { c.sys.stlbWays *= 2; }},
+        {"costs.frequencyGhz",
+         [](auto &c) { c.sys.costs.frequencyGhz += 0.1; }},
+        {"costs.baseAccessCycles",
+         [](auto &c) { c.sys.costs.baseAccessCycles += 1; }},
+        {"costs.stlbHitCycles",
+         [](auto &c) { c.sys.costs.stlbHitCycles += 1; }},
+        {"costs.walkCyclesBase",
+         [](auto &c) { c.sys.costs.walkCyclesBase += 1; }},
+        {"costs.minorFaultCycles",
+         [](auto &c) { c.sys.costs.minorFaultCycles += 1; }},
+        {"costs.majorFaultCycles",
+         [](auto &c) { c.sys.costs.majorFaultCycles += 1; }},
+        {"enableCache", [](auto &c) { c.sys.enableCache = false; }},
+        {"memoryCycles", [](auto &c) { c.sys.memoryCycles += 1; }},
+        {"cacheLevels",
+         [](auto &c) { c.sys.cacheLevels[0].hitCycles += 1; }},
+    };
+    expectAllDistinct(numaBase(), mutations);
+}
+
+TEST(FingerprintCoverage, NumaFields)
+{
+    const std::vector<Mutation> mutations = {
+        {"node1.bytes", [](auto &c) { c.sys.node1.bytes *= 2; }},
+        {"node1.hugeWatermarkBytes",
+         [](auto &c) { c.sys.node1.hugeWatermarkBytes += 4096; }},
+        {"numaPlacement",
+         [](auto &c) {
+             c.sys.numaPlacement = NumaPlacement::Interleave;
+         }},
+        {"numaPlacement remote-only",
+         [](auto &c) {
+             c.sys.numaPlacement = NumaPlacement::RemoteOnly;
+         }},
+        {"numaMigrateOnPromote",
+         [](auto &c) { c.sys.numaMigrateOnPromote = true; }},
+        {"costs.remoteMemoryCycles",
+         [](auto &c) { c.sys.costs.remoteMemoryCycles += 1; }},
+        {"costs.remoteFaultMultiplier",
+         [](auto &c) { c.sys.costs.remoteFaultMultiplier += 0.1; }},
+        {"costs.remoteSwapMultiplier",
+         [](auto &c) { c.sys.costs.remoteSwapMultiplier += 0.1; }},
+    };
+    expectAllDistinct(numaBase(), mutations);
+}
+
+TEST(FingerprintCoverage, DormantNumaFieldsAreInvisible)
+{
+    // A single-node config must fingerprint exactly as it did before
+    // the NUMA family existed: no numa{} block, and remote-tier cost
+    // knobs (unreachable without a second node) must not perturb it.
+    ExperimentConfig base;
+    EXPECT_EQ(base.fingerprint().find("numa{"), std::string::npos);
+    EXPECT_EQ(base.fingerprint().find("|hog"), std::string::npos);
+
+    ExperimentConfig tweaked = base;
+    tweaked.sys.costs.remoteMemoryCycles += 100;
+    tweaked.sys.numaPlacement = NumaPlacement::RemoteOnly;
+    tweaked.sys.numaMigrateOnPromote = true;
+    EXPECT_EQ(tweaked.fingerprint(), base.fingerprint());
+
+    ExperimentConfig numa = base;
+    numa.sys.enableSecondNode();
+    EXPECT_NE(numa.fingerprint().find("numa{"), std::string::npos);
+}

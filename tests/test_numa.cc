@@ -1,0 +1,424 @@
+/**
+ * @file
+ * Two-node NUMA tests: placement policies, remote-access charging
+ * against hand-computed costs, per-node pressure, and the bit-identity
+ * guarantee for dormant (single-node) configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/machine.hh"
+#include "mem/fragmenter.hh"
+#include "mem/memhog.hh"
+#include "mem/memory_node.hh"
+#include "mem/swap_device.hh"
+#include "tlb/mmu.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+#include "vm/address_space.hh"
+
+using namespace gpsm;
+using namespace gpsm::mem;
+using namespace gpsm::vm;
+
+namespace
+{
+
+constexpr std::uint64_t pageB = 4_KiB;
+constexpr std::uint64_t hugeB = 256_KiB; // hugeOrder 6
+
+MemoryNode::Params
+nodeParams(std::uint64_t bytes)
+{
+    MemoryNode::Params p;
+    p.bytes = bytes;
+    p.basePageBytes = pageB;
+    p.hugeOrder = 6;
+    return p;
+}
+
+/** Two-node address-space fixture (no MMU). */
+struct NumaWorld
+{
+    NumaWorld(NumaPlacement placement, const ThpConfig &thp,
+              std::uint64_t local_bytes = 16_MiB,
+              std::uint64_t remote_bytes = 16_MiB,
+              bool migrate_on_promote = false)
+        : node(nodeParams(local_bytes)),
+          node1(nodeParams(remote_bytes), remoteNodeFrameBase),
+          swap(16_MiB, pageB),
+          space(node, swap, thp,
+                NumaPolicy{&node1, placement, migrate_on_promote})
+    {
+    }
+
+    MemoryNode node;
+    MemoryNode node1;
+    SwapDevice swap;
+    AddressSpace space;
+};
+
+} // namespace
+
+TEST(NumaPlacement, FirstTouchStaysLocal)
+{
+    NumaWorld w(NumaPlacement::FirstTouch, ThpConfig::never());
+    const Addr a = w.space.mmap(64 * pageB, "arr");
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        const TouchInfo t = w.space.touch(a + i * pageB, true);
+        EXPECT_FALSE(t.remote);
+        EXPECT_EQ(nodeOfFrame(t.frame), 0u);
+    }
+    EXPECT_EQ(w.space.remotePlacedPages.value(), 0u);
+    EXPECT_EQ(w.space.spilledPages.value(), 0u);
+}
+
+TEST(NumaPlacement, RemoteOnlyBindsToNode1)
+{
+    NumaWorld w(NumaPlacement::RemoteOnly, ThpConfig::never());
+    const Addr a = w.space.mmap(64 * pageB, "arr");
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        const TouchInfo t = w.space.touch(a + i * pageB, true);
+        EXPECT_TRUE(t.remote);
+        EXPECT_EQ(nodeOfFrame(t.frame), 1u);
+        EXPECT_GE(t.frame, remoteNodeFrameBase);
+    }
+    EXPECT_EQ(w.space.remotePlacedPages.value(), 64u);
+    // Strict binding spills nothing: node 1 *is* the policy node.
+    EXPECT_EQ(w.space.spilledPages.value(), 0u);
+    EXPECT_EQ(w.node.totalBytes() - w.node.freeBytes(), 0u);
+}
+
+TEST(NumaPlacement, InterleaveAlternatesHugeRegions)
+{
+    NumaWorld w(NumaPlacement::Interleave, ThpConfig::never());
+    const Addr a = w.space.mmap(4 * hugeB, "arr");
+    bool first_remote = false;
+    for (unsigned region = 0; region < 4; ++region) {
+        const TouchInfo t =
+            w.space.touch(a + region * hugeB, true);
+        if (region == 0) {
+            first_remote = t.remote;
+            continue;
+        }
+        // Whole huge regions alternate (numactl -i at THP
+        // granularity), so parity relative to region 0 is fixed.
+        EXPECT_EQ(t.remote, (region & 1) ? !first_remote
+                                         : first_remote)
+            << "region " << region;
+    }
+    // Base pages inside one region land on that region's node.
+    const TouchInfo same =
+        w.space.touch(a + 3 * pageB, true);
+    const TouchInfo region0 = w.space.touch(a, false);
+    EXPECT_EQ(same.remote, region0.remote);
+    EXPECT_EQ(w.space.remotePlacedPages.value(), 2u);
+}
+
+TEST(NumaPlacement, PreferredLocalSpillsInsteadOfSwapping)
+{
+    // Local node fits 256 pages; touching 320 must overflow to the
+    // far node without touching swap (the Linux zonelist walk).
+    NumaWorld w(NumaPlacement::PreferredLocal, ThpConfig::never(),
+                /*local=*/1_MiB, /*remote=*/16_MiB);
+    const Addr a = w.space.mmap(320 * pageB, "arr");
+    for (std::uint64_t i = 0; i < 320; ++i)
+        w.space.touch(a + i * pageB, true);
+    EXPECT_GT(w.space.spilledPages.value(), 0u);
+    EXPECT_EQ(w.space.remotePlacedPages.value(),
+              w.space.spilledPages.value());
+    EXPECT_EQ(w.space.swapOutPages.value(), 0u);
+}
+
+TEST(NumaPlacement, FirstTouchSwapsRatherThanSpill)
+{
+    // Same overflow with strict first-touch binding: the far node is
+    // never eligible, so the bound node must swap.
+    NumaWorld w(NumaPlacement::FirstTouch, ThpConfig::never(),
+                /*local=*/1_MiB, /*remote=*/16_MiB);
+    const Addr a = w.space.mmap(320 * pageB, "arr");
+    for (std::uint64_t i = 0; i < 320; ++i)
+        w.space.touch(a + i * pageB, true);
+    EXPECT_EQ(w.space.remotePlacedPages.value(), 0u);
+    EXPECT_GT(w.space.swapOutPages.value(), 0u);
+}
+
+TEST(NumaPlacement, HugeFaultsBindToThePolicyNode)
+{
+    NumaWorld w(NumaPlacement::RemoteOnly, ThpConfig::always());
+    const Addr a = w.space.mmap(2 * hugeB, "arr");
+    const TouchInfo t = w.space.touch(a, true);
+    EXPECT_TRUE(t.hugeFault);
+    EXPECT_TRUE(t.remote);
+    EXPECT_EQ(nodeOfFrame(t.frame), 1u);
+    EXPECT_EQ(w.space.remotePlacedPages.value(), hugeB / pageB);
+}
+
+TEST(NumaPlacement, MigrateOnPromotePullsPagesLocal)
+{
+    // madvise mode without advice faults base pages; advising after
+    // the fact makes the region collapse-eligible (khugepaged's
+    // catch-up scenario), now with a node decision attached.
+    NumaWorld w(NumaPlacement::RemoteOnly, ThpConfig::madvise(),
+                16_MiB, 16_MiB, /*migrate_on_promote=*/true);
+    const Addr a = w.space.mmap(hugeB, "arr");
+    for (std::uint64_t i = 0; i < hugeB / pageB; ++i)
+        w.space.touch(a + i * pageB, true);
+    w.space.madviseHuge(a, hugeB);
+    EXPECT_EQ(w.space.remotePlacedPages.value(), hugeB / pageB);
+
+    const AddressSpace::PromoteResult res = w.space.promote(a);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(w.space.promoteMovedPages.value(), hugeB / pageB);
+    const TouchInfo t = w.space.touch(a, false);
+    EXPECT_EQ(nodeOfFrame(t.frame), 0u);
+}
+
+TEST(NumaPlacement, PromoteWithoutMigrateKeepsMajorityNode)
+{
+    NumaWorld w(NumaPlacement::RemoteOnly, ThpConfig::madvise());
+    const Addr a = w.space.mmap(hugeB, "arr");
+    for (std::uint64_t i = 0; i < hugeB / pageB; ++i)
+        w.space.touch(a + i * pageB, true);
+    w.space.madviseHuge(a, hugeB);
+
+    const AddressSpace::PromoteResult res = w.space.promote(a);
+    ASSERT_TRUE(res.success);
+    // All constituents were remote, so the huge frame stays remote
+    // and nothing crossed nodes.
+    EXPECT_EQ(w.space.promoteMovedPages.value(), 0u);
+    const TouchInfo t = w.space.touch(a, false);
+    EXPECT_EQ(nodeOfFrame(t.frame), 1u);
+}
+
+TEST(NumaPressure, MemhogAndFragmenterTargetNode1)
+{
+    MemoryNode node1(nodeParams(16_MiB), remoteNodeFrameBase);
+    Memhog hog(node1);
+    hog.occupyAllBut(4_MiB);
+    EXPECT_LE(node1.freeBytes(), 4_MiB);
+    EXPECT_GE(hog.heldBytes(), 11_MiB);
+
+    Fragmenter frag(node1);
+    EXPECT_GT(frag.fragment(0.5), 0u);
+    hog.release();
+    EXPECT_GT(node1.freeBytes(), 11_MiB);
+}
+
+namespace
+{
+
+/** Two-node machine config small enough for fast unit runs. */
+core::SystemConfig
+machineConfig(NumaPlacement placement, bool with_cache)
+{
+    core::SystemConfig sys = core::SystemConfig::scaled();
+    sys.node.bytes = 32_MiB;
+    sys.node.hugeWatermarkBytes = sys.node.bytes / 40;
+    sys.enableSecondNode();
+    sys.numaPlacement = placement;
+    sys.enableCache = with_cache;
+    return sys;
+}
+
+/** Touch then stream over @p pages base pages; returns the MMU. */
+void
+streamAccesses(core::SimMachine &machine, std::uint64_t pages,
+               unsigned sweeps)
+{
+    const Addr a = machine.space().mmap(pages * pageB, "stream");
+    for (std::uint64_t i = 0; i < pages; ++i)
+        machine.space().touch(a + i * pageB, true);
+    for (unsigned s = 0; s < sweeps; ++s)
+        for (std::uint64_t i = 0; i < pages; ++i)
+            machine.mmu().access(a + i * pageB, false);
+}
+
+} // namespace
+
+TEST(NumaCharging, NoCacheRemoteCostIsExact)
+{
+    // Without a cache model every traced access to a remote frame
+    // pays exactly remoteMemoryCycles; local accesses pay nothing
+    // extra. memoryCycles is therefore a closed-form product.
+    core::SimMachine machine(
+        machineConfig(NumaPlacement::RemoteOnly, false),
+        vm::ThpConfig::never());
+    streamAccesses(machine, 64, 4);
+    const tlb::Mmu &mmu = machine.mmu();
+    EXPECT_GT(mmu.remoteAccesses.value(), 0u);
+    EXPECT_EQ(mmu.memoryCycles.value(),
+              mmu.remoteAccesses.value() *
+                  machine.config().costs.remoteMemoryCycles);
+
+    core::SimMachine local(
+        machineConfig(NumaPlacement::FirstTouch, false),
+        vm::ThpConfig::never());
+    streamAccesses(local, 64, 4);
+    EXPECT_EQ(local.mmu().remoteAccesses.value(), 0u);
+    EXPECT_EQ(local.mmu().memoryCycles.value(), 0u);
+}
+
+TEST(NumaCharging, CacheMissDeltaMatchesHandComputedCost)
+{
+    // The cache is virtually indexed, so an identical access pattern
+    // has identical hit/miss behaviour under any placement; the only
+    // difference remote placement can make is +remoteMemoryCycles on
+    // each full miss. Check the delta against the miss count exactly.
+    core::SimMachine local(
+        machineConfig(NumaPlacement::FirstTouch, true),
+        vm::ThpConfig::never());
+    core::SimMachine remote(
+        machineConfig(NumaPlacement::RemoteOnly, true),
+        vm::ThpConfig::never());
+    streamAccesses(local, 64, 4);
+    streamAccesses(remote, 64, 4);
+
+    ASSERT_NE(local.mmu().cacheModel(), nullptr);
+    const std::uint64_t local_misses =
+        local.mmu().cacheModel()->misses.value();
+    const std::uint64_t remote_misses =
+        remote.mmu().cacheModel()->misses.value();
+    ASSERT_EQ(local_misses, remote_misses);
+    ASSERT_GT(remote_misses, 0u);
+
+    EXPECT_EQ(remote.mmu().memoryCycles.value() -
+                  local.mmu().memoryCycles.value(),
+              remote_misses *
+                  remote.config().costs.remoteMemoryCycles);
+}
+
+TEST(NumaMachine, GeometryMismatchIsFatal)
+{
+    core::SystemConfig sys = machineConfig(
+        NumaPlacement::FirstTouch, false);
+    sys.node1.hugeOrder += 1;
+    EXPECT_THROW(
+        core::SimMachine(sys, vm::ThpConfig::never()), FatalError);
+}
+
+TEST(NumaMachine, RemoteCountersRegisteredOnlyWhenEnabled)
+{
+    core::SimMachine numa(
+        machineConfig(NumaPlacement::FirstTouch, false),
+        vm::ThpConfig::never());
+    EXPECT_TRUE(numa.stats().has("node1.watermarkFailures"));
+    EXPECT_TRUE(numa.stats().has("mmu.remoteAccesses"));
+    EXPECT_TRUE(numa.stats().has("space.remotePlacedPages"));
+
+    core::SystemConfig single = core::SystemConfig::scaled();
+    single.node.bytes = 32_MiB;
+    core::SimMachine plain(single, vm::ThpConfig::never());
+    EXPECT_FALSE(plain.stats().has("node1.watermarkFailures"));
+    EXPECT_FALSE(plain.stats().has("mmu.remoteAccesses"));
+    EXPECT_FALSE(plain.stats().has("space.remotePlacedPages"));
+}
+
+TEST(NumaExperiment, PressureNodeNeedsTwoNodes)
+{
+    core::ExperimentConfig cfg;
+    cfg.dataset = "wiki";
+    cfg.scaleDivisor = 1024;
+    cfg.pressureNode = core::PressureNode::Remote;
+    EXPECT_THROW(core::runExperiment(cfg), FatalError);
+}
+
+TEST(NumaExperiment, RemotePlacementIsMeasurablySlower)
+{
+    core::ExperimentConfig cfg;
+    cfg.dataset = "wiki";
+    cfg.scaleDivisor = 1024;
+    cfg.thpMode = vm::ThpMode::Always;
+    cfg.sys.enableSecondNode();
+    // No cache model: the scaled wiki footprint fits in the modeled
+    // LLC, so with a cache the kernel phase would have no misses left
+    // to charge the remote tier on. Cache-off charges every access.
+    cfg.sys.enableCache = false;
+
+    cfg.sys.numaPlacement = core::NumaPlacement::FirstTouch;
+    const core::RunResult local = core::runExperiment(cfg);
+
+    cfg.sys.numaPlacement = core::NumaPlacement::RemoteOnly;
+    const core::RunResult remote = core::runExperiment(cfg);
+
+    EXPECT_EQ(local.checksum, remote.checksum);
+    EXPECT_GT(remote.kernelSeconds, local.kernelSeconds);
+    EXPECT_GT(remote.initSeconds, local.initSeconds);
+}
+
+TEST(NumaExperiment, RemotePressureLeavesLocalRunUntouched)
+{
+    // Hogging only the far node must not perturb a local-first run:
+    // kernel-phase counters and simulated times stay identical.
+    core::ExperimentConfig cfg;
+    cfg.dataset = "wiki";
+    cfg.scaleDivisor = 1024;
+    cfg.thpMode = vm::ThpMode::Always;
+    cfg.sys.enableSecondNode();
+    const core::RunResult quiet = core::runExperiment(cfg);
+
+    cfg.constrainMemory = true;
+    cfg.slackBytes = 4_MiB;
+    cfg.fragLevel = 0.5;
+    cfg.pressureNode = core::PressureNode::Remote;
+    const core::RunResult hogged = core::runExperiment(cfg);
+
+    EXPECT_EQ(quiet.checksum, hogged.checksum);
+    EXPECT_EQ(quiet.accesses, hogged.accesses);
+    EXPECT_EQ(quiet.dtlbMisses, hogged.dtlbMisses);
+    EXPECT_DOUBLE_EQ(quiet.kernelSeconds, hogged.kernelSeconds);
+}
+
+TEST(NumaBitIdentity, DefaultConfigMatchesSeedGoldenCounters)
+{
+    // Golden values captured from the pre-NUMA seed build (BFS/wiki,
+    // divisor 1024, THP always, memhog WSS+4MiB, frag 0.5). Any drift
+    // here means the dormant single-node path is no longer
+    // byte-identical to the tree this feature landed on.
+    core::ExperimentConfig cfg;
+    cfg.app = core::App::Bfs;
+    cfg.dataset = "wiki";
+    cfg.scaleDivisor = 1024;
+    cfg.thpMode = vm::ThpMode::Always;
+    cfg.constrainMemory = true;
+    cfg.slackBytes = 4_MiB;
+    cfg.fragLevel = 0.5;
+    const core::RunResult r = core::runExperiment(cfg);
+
+    EXPECT_EQ(r.accesses, 772010u);
+    EXPECT_EQ(r.dtlbMisses, 96290u);
+    EXPECT_EQ(r.stlbHits, 82947u);
+    EXPECT_EQ(r.walks, 13343u);
+    EXPECT_EQ(r.hugeFaults, 0u);
+    EXPECT_EQ(r.minorFaults, 406u);
+    EXPECT_EQ(r.majorFaults, 0u);
+    EXPECT_EQ(r.swapOuts, 0u);
+    EXPECT_EQ(r.promotions, 0u);
+    EXPECT_EQ(r.footprintBytes, 1662976u);
+    EXPECT_EQ(r.hugeBackedBytes, 0u);
+    EXPECT_EQ(r.checksum, 3138942788393562627ull);
+    EXPECT_DOUBLE_EQ(r.kernelSeconds, 0.0031785521875000002);
+    EXPECT_DOUBLE_EQ(r.initSeconds, 0.0027537678124999999);
+}
+
+TEST(NumaBitIdentity, UnpressuredThpRunMatchesSeedGoldenCounters)
+{
+    // Second golden config (PageRank/kron, THP always, unpressured):
+    // exercises the huge fault path and the FP time accumulators.
+    core::ExperimentConfig cfg;
+    cfg.app = core::App::Pr;
+    cfg.dataset = "kron";
+    cfg.scaleDivisor = 1024;
+    cfg.thpMode = vm::ThpMode::Always;
+    const core::RunResult r = core::runExperiment(cfg);
+
+    EXPECT_EQ(r.accesses, 18018464u);
+    EXPECT_EQ(r.dtlbMisses, 364u);
+    EXPECT_EQ(r.walks, 363u);
+    EXPECT_EQ(r.hugeFaults, 36u);
+    EXPECT_EQ(r.minorFaults, 57u);
+    EXPECT_EQ(r.hugeBackedBytes, 9437184u);
+    EXPECT_EQ(r.checksum, 18404855942200662746ull);
+    EXPECT_DOUBLE_EQ(r.kernelSeconds, 0.116229036875);
+}

@@ -11,6 +11,7 @@
 #include "util/bitops.hh"
 #include "util/histogram.hh"
 #include "util/logging.hh"
+#include "util/parse.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -224,11 +225,78 @@ TEST(Units, FormatBytes)
     EXPECT_EQ(formatBytes(5 * GiB), "5.00GiB");
 }
 
+TEST(Units, FormatSecondsScales)
+{
+    EXPECT_EQ(formatSeconds(2.5), "2.500s");
+    EXPECT_EQ(formatSeconds(0.012), "12.000ms");
+    EXPECT_EQ(formatSeconds(42e-6), "42.000us");
+}
+
+TEST(Units, FormatSecondsZeroIsSeconds)
+{
+    // Zero used to fall into the smallest-unit branch as "0.000us".
+    EXPECT_EQ(formatSeconds(0.0), "0.000s");
+    EXPECT_EQ(formatSeconds(-0.0), "0.000s");
+}
+
+TEST(Units, FormatSecondsNegativeMirrorsPositive)
+{
+    // Negative durations (clock skew in deltas) keep the magnitude's
+    // unit instead of rendering as huge negative microseconds.
+    EXPECT_EQ(formatSeconds(-2.5), "-2.500s");
+    EXPECT_EQ(formatSeconds(-0.012), "-12.000ms");
+    EXPECT_EQ(formatSeconds(-42e-6), "-42.000us");
+}
+
 TEST(Units, Literals)
 {
     EXPECT_EQ(4_KiB, 4096u);
     EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
     EXPECT_EQ(1_GiB, 1024ull * 1024 * 1024);
+}
+
+TEST(Parse, AcceptsPlainNumbers)
+{
+    EXPECT_EQ(parseU64("0", "t"), 0u);
+    EXPECT_EQ(parseU64("18446744073709551615", "t"),
+              ~std::uint64_t{0});
+    EXPECT_EQ(parseUnsigned("4096", "t"), 4096u);
+    EXPECT_EQ(parseI64("-17", "t"), -17);
+    EXPECT_DOUBLE_EQ(parseDouble("2.5", "t"), 2.5);
+    EXPECT_DOUBLE_EQ(parseDouble("-1e-3", "t"), -1e-3);
+}
+
+TEST(Parse, RejectsGarbage)
+{
+    EXPECT_THROW(parseU64("banana", "--jobs"), FatalError);
+    EXPECT_THROW(parseU64("", "--jobs"), FatalError);
+    EXPECT_THROW(parseU64("12cows", "--jobs"), FatalError);
+    EXPECT_THROW(parseU64(" 5", "--jobs"), FatalError);
+    EXPECT_THROW(parseU64("5 ", "--jobs"), FatalError);
+    EXPECT_THROW(parseU64("-1", "--jobs"), FatalError);
+    EXPECT_THROW(parseUnsigned("4294967296", "--jobs"), FatalError);
+    EXPECT_THROW(parseI64("two", "--slack-mib"), FatalError);
+    EXPECT_THROW(parseDouble("fast", "--timeout-seconds"),
+                 FatalError);
+    EXPECT_THROW(parseDouble("1.5x", "--timeout-seconds"),
+                 FatalError);
+    EXPECT_THROW(parseDouble("nan", "--timeout-seconds"),
+                 FatalError);
+    EXPECT_THROW(parseDouble("inf", "--timeout-seconds"),
+                 FatalError);
+}
+
+TEST(Parse, ErrorNamesTheFlag)
+{
+    try {
+        parseU64("banana", "--jobs");
+        FAIL() << "parseU64 accepted garbage";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("--jobs"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("banana"),
+                  std::string::npos);
+    }
 }
 
 TEST(Stats, SinceAfterResetUnderflowsToZeroDelta)

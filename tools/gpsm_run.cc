@@ -24,6 +24,7 @@
 #include "graph/datasets.hh"
 #include "obs/telemetry.hh"
 #include "util/logging.hh"
+#include "util/parse.hh"
 #include "util/table.hh"
 
 using namespace gpsm;
@@ -59,6 +60,14 @@ usage()
         "  --file-source tmpfs|cache|directio\n"
         "  --paper                        Haswell 4KB/2MB geometry\n"
         "  --seed N                       generator seed (1)\n"
+        "  --numa-node1-mib N             add a second (remote) node\n"
+        "                                 with N MiB of DRAM\n"
+        "  --numa-placement first-touch|interleave|preferred-local|\n"
+        "                   remote-only   page placement policy\n"
+        "  --numa-migrate-on-promote      khugepaged pulls remote base\n"
+        "                                 pages local when collapsing\n"
+        "  --pressure-node local|remote|both\n"
+        "                                 where memhog/frag run\n"
         "  --journal PATH                 crash-safe result journal;\n"
         "                                 re-runs skip finished runs\n"
         "  --timeout-seconds X            per-experiment wall budget\n"
@@ -170,11 +179,9 @@ try {
         } else if (arg == "--dataset") {
             datasets = splitCommas(next());
         } else if (arg == "--jobs") {
-            jobs = static_cast<unsigned>(
-                std::strtoul(next().c_str(), nullptr, 10));
+            jobs = parseUnsigned(next(), "--jobs");
         } else if (arg == "--divisor") {
-            cfg.scaleDivisor =
-                std::strtoull(next().c_str(), nullptr, 10);
+            cfg.scaleDivisor = parseU64(next(), "--divisor");
         } else if (arg == "--thp") {
             const std::string v = next();
             if (v == "never")
@@ -187,7 +194,7 @@ try {
                 fatal("unknown THP mode '%s'", v.c_str());
         } else if (arg == "--prop-fraction") {
             cfg.madvise.propertyFraction =
-                std::strtod(next().c_str(), nullptr);
+                parseDouble(next(), "--prop-fraction");
         } else if (arg == "--madvise-vertex") {
             cfg.madvise.vertex = true;
         } else if (arg == "--madvise-edge") {
@@ -215,17 +222,15 @@ try {
         } else if (arg == "--advisor") {
             use_advisor = true;
             if (i + 1 < argc && argv[i + 1][0] != '-')
-                advisor_coverage =
-                    std::strtod(next().c_str(), nullptr);
+                advisor_coverage = parseDouble(next(), "--advisor");
         } else if (arg == "--slack-mib") {
             cfg.constrainMemory = true;
             cfg.slackBytes =
-                std::strtoll(next().c_str(), nullptr, 10) *
-                1024 * 1024;
+                parseI64(next(), "--slack-mib") * 1024 * 1024;
         } else if (arg == "--fault-plan") {
             cfg.faultPlan = fault::loadFaultPlan(next());
         } else if (arg == "--frag") {
-            cfg.fragLevel = std::strtod(next().c_str(), nullptr);
+            cfg.fragLevel = parseDouble(next(), "--frag");
         } else if (arg == "--file-source") {
             const std::string v = next();
             if (v == "tmpfs")
@@ -239,20 +244,47 @@ try {
         } else if (arg == "--paper") {
             cfg.sys = SystemConfig::haswell();
         } else if (arg == "--seed") {
-            cfg.seed = std::strtoull(next().c_str(), nullptr, 10);
+            cfg.seed = parseU64(next(), "--seed");
+        } else if (arg == "--numa-node1-mib") {
+            cfg.sys.enableSecondNode(
+                parseU64(next(), "--numa-node1-mib") * 1024 * 1024);
+        } else if (arg == "--numa-placement") {
+            const std::string v = next();
+            if (v == "first-touch")
+                cfg.sys.numaPlacement = NumaPlacement::FirstTouch;
+            else if (v == "interleave")
+                cfg.sys.numaPlacement = NumaPlacement::Interleave;
+            else if (v == "preferred-local")
+                cfg.sys.numaPlacement = NumaPlacement::PreferredLocal;
+            else if (v == "remote-only")
+                cfg.sys.numaPlacement = NumaPlacement::RemoteOnly;
+            else
+                fatal("unknown NUMA placement '%s'", v.c_str());
+        } else if (arg == "--numa-migrate-on-promote") {
+            cfg.sys.numaMigrateOnPromote = true;
+        } else if (arg == "--pressure-node") {
+            const std::string v = next();
+            if (v == "local")
+                cfg.pressureNode = PressureNode::Local;
+            else if (v == "remote")
+                cfg.pressureNode = PressureNode::Remote;
+            else if (v == "both")
+                cfg.pressureNode = PressureNode::Both;
+            else
+                fatal("unknown pressure node '%s'", v.c_str());
         } else if (arg == "--journal") {
             journal_path = next();
         } else if (arg == "--timeout-seconds") {
             pool_opts.timeoutSeconds =
-                std::strtod(next().c_str(), nullptr);
+                parseDouble(next(), "--timeout-seconds");
         } else if (arg == "--timeout-retries") {
-            pool_opts.timeoutRetries = static_cast<unsigned>(
-                std::strtoul(next().c_str(), nullptr, 10));
+            pool_opts.timeoutRetries =
+                parseUnsigned(next(), "--timeout-retries");
         } else if (arg == "--metrics-dir") {
             telemetry.metricsDir = next();
         } else if (arg == "--sample-interval") {
             telemetry.sampleInterval =
-                std::strtoull(next().c_str(), nullptr, 10);
+                parseU64(next(), "--sample-interval");
         } else if (arg == "--quiet") {
             setQuiet(true);
         } else if (arg == "--help" || arg == "-h") {
