@@ -15,6 +15,7 @@
 #include <optional>
 #include <sstream>
 
+#include "core/replay.hh"
 #include "core/runner.hh"
 #include "obs/telemetry.hh"
 #include "util/logging.hh"
@@ -41,6 +42,9 @@ unsigned gShards = 1;
 
 /** Metrics dir selected by parseOptions ("" = telemetry off). */
 std::string gMetricsDir;
+
+/** Replay switch selected by parseOptions. */
+bool gReplay = false;
 
 /** Keeps concurrent note() lines whole. */
 std::mutex &
@@ -119,6 +123,8 @@ parseOptions(int argc, char **argv)
         opts.sampleInterval = parseU64(env, "GPSM_SAMPLE_INTERVAL");
     if (const char *env = std::getenv("GPSM_BENCH_PROGRESS"))
         opts.progress = env[0] == '1';
+    if (const char *env = std::getenv("GPSM_REPLAY"))
+        opts.replay = env[0] == '1';
     if (const char *env = std::getenv("GPSM_BENCH_SHARD"))
         parseShard(env, opts.shard, opts.shards);
 
@@ -150,6 +156,8 @@ parseOptions(int argc, char **argv)
                 parseU64(next(), "--sample-interval");
         } else if (arg == "--progress") {
             opts.progress = true;
+        } else if (arg == "--replay") {
+            opts.replay = true;
         } else if (arg == "--shard") {
             parseShard(next(), opts.shard, opts.shards);
         } else if (arg == "--datasets") {
@@ -168,7 +176,7 @@ parseOptions(int argc, char **argv)
                 " [--apps bfs,sssp,pr] [--jobs N]\n"
                 "          [--journal PATH] [--timeout-seconds X]\n"
                 "          [--metrics-dir PATH] [--sample-interval N]\n"
-                "          [--progress] [--shard i/n]\n",
+                "          [--progress] [--shard i/n] [--replay]\n",
                 argv[0]);
             std::exit(0);
         } else {
@@ -196,6 +204,12 @@ parseOptions(int argc, char **argv)
     gShard = opts.shard;
     gShards = opts.shards;
     gMetricsDir = opts.metricsDir;
+    gReplay = opts.replay;
+
+    // Replay switch (process-wide, before the first experiment).
+    core::ReplayOptions replay;
+    replay.enabled = opts.replay;
+    core::setReplay(replay);
 
     // Telemetry request (process-wide, before the first experiment).
     // setTelemetry() with an empty dir is the documented off switch,
@@ -424,6 +438,14 @@ runAll(const std::vector<core::ExperimentConfig> &configs)
     }
     appendBatchRecord(configs.size(), batch.size(), failures,
                       prefetch, batch_wall);
+    if (gReplay) {
+        const core::ReplayStats rs = core::replayStats();
+        note("  replay: %llu streams recorded, %llu kernels skipped, "
+             "%llu live fallbacks",
+             static_cast<unsigned long long>(rs.recorded),
+             static_cast<unsigned long long>(rs.replayed),
+             static_cast<unsigned long long>(rs.fallbacks));
+    }
     if (failures > 0) {
         fatal("%zu of %zu experiments failed", failures,
               outcomes.size());

@@ -64,6 +64,11 @@ struct Options
     /** --progress / GPSM_BENCH_PROGRESS: live batch progress lines
      *  (done/cached/failed counts, elapsed, ETA) on stderr. */
     bool progress = false;
+    /** --replay / GPSM_REPLAY: record each distinct kernel access
+     *  stream once and replay it for every stream-invariant config in
+     *  the sweep, skipping kernel re-execution. Results, stdout and
+     *  telemetry are byte-identical with or without it (CI-gated). */
+    bool replay = false;
     /** --shard i/n / GPSM_BENCH_SHARD: run only the i-th of n
      *  deterministic partitions of each runAll() batch (1-based).
      *  Unowned rows render as zeros; union the result journals of all

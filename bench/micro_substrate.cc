@@ -137,7 +137,8 @@ main(int argc, char **argv)
             quick = true;
         } else if (arg == "--emit-bench") {
             emit_bench = next();
-        } else if (arg == "--paper" || arg == "--progress") {
+        } else if (arg == "--paper" || arg == "--progress" ||
+                   arg == "--replay") {
             // valueless harness flags: ignored
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Trace record-and-replay implementation.
+ */
+
+#include "core/replay.hh"
+
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/experiment.hh"
+#include "tlb/mmu.hh"
+#include "util/logging.hh"
+
+namespace gpsm::core
+{
+
+namespace
+{
+
+struct ReplayState
+{
+    std::mutex mtx;
+    ReplayOptions opts;
+    std::unordered_map<std::string,
+                       std::shared_ptr<const RecordedTrace>>
+        traces;
+    /** Keys a run is currently recording. */
+    std::set<std::string> recording;
+    /** Keys pinned to live execution (recording overflowed). */
+    std::set<std::string> pinnedLive;
+    ReplayStats stats;
+};
+
+ReplayState &
+state()
+{
+    static ReplayState s;
+    return s;
+}
+
+} // namespace
+
+void
+setReplay(const ReplayOptions &opts)
+{
+    ReplayState &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    s.opts = opts;
+}
+
+const ReplayOptions &
+replayOptions()
+{
+    // Read without the lock: benches set options once before any
+    // experiment runs.
+    return state().opts;
+}
+
+ReplayStats
+replayStats()
+{
+    ReplayState &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    return s.stats;
+}
+
+void
+resetReplayCache()
+{
+    ReplayState &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    s.traces.clear();
+    s.recording.clear();
+    s.pinnedLive.clear();
+    s.stats = ReplayStats{};
+}
+
+std::string
+streamFingerprint(const ExperimentConfig &cfg)
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << "stream-v1|" << static_cast<int>(cfg.app) << '|'
+       << cfg.dataset << '|' << cfg.scaleDivisor << '|' << cfg.seed
+       << '|' << static_cast<int>(cfg.reorder) << '|'
+       << static_cast<int>(cfg.order) << '|' << cfg.giantProperty
+       << '|' << cfg.prMaxIters << ',' << cfg.prDamping << ','
+       << cfg.prEpsilon << ',' << cfg.ssspDelta << ','
+       << cfg.ccMaxIters << '|' << cfg.sys.node.basePageBytes << ','
+       << cfg.sys.node.hugeOrder << ',' << cfg.sys.node.giantOrder;
+    return os.str();
+}
+
+std::shared_ptr<const RecordedTrace>
+replayLookup(const std::string &key)
+{
+    ReplayState &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    auto it = s.traces.find(key);
+    if (it == s.traces.end())
+        return nullptr;
+    ++s.stats.replayed;
+    return it->second;
+}
+
+bool
+replayClaimRecording(const std::string &key)
+{
+    ReplayState &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    if (s.pinnedLive.count(key) != 0 || s.recording.count(key) != 0)
+        return false;
+    s.recording.insert(key);
+    return true;
+}
+
+void
+replayPublish(const std::string &key,
+              std::shared_ptr<const RecordedTrace> trace)
+{
+    ReplayState &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    s.traces[key] = std::move(trace);
+    s.recording.erase(key);
+    ++s.stats.recorded;
+}
+
+void
+replayAbandon(const std::string &key, bool pin_live)
+{
+    ReplayState &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    s.recording.erase(key);
+    if (pin_live) {
+        s.pinnedLive.insert(key);
+        ++s.stats.fallbacks;
+    }
+}
+
+void
+noteReplayFallback()
+{
+    ReplayState &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    ++s.stats.fallbacks;
+}
+
+TraceRecorder::TraceRecorder(std::uint64_t max_bytes)
+    : maxBytes(max_bytes)
+{
+}
+
+void
+TraceRecorder::putHeader(unsigned tag, bool write, bool run)
+{
+    GPSM_ASSERT(tag < 8, "tag does not fit the record header");
+    bytes.push_back(static_cast<std::uint8_t>(
+        tag | (write ? 0x08 : 0) | (run ? 0x10 : 0)));
+}
+
+void
+TraceRecorder::putVarint(std::uint64_t v)
+{
+    while (v >= 0x80) {
+        bytes.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    bytes.push_back(static_cast<std::uint8_t>(v));
+}
+
+void
+TraceRecorder::putDelta(std::uint64_t addr)
+{
+    const std::int64_t d =
+        static_cast<std::int64_t>(addr - prev);
+    // Zigzag: small negative deltas (back-and-forth array hops) stay
+    // short.
+    putVarint((static_cast<std::uint64_t>(d) << 1) ^
+              static_cast<std::uint64_t>(d >> 63));
+    prev = addr;
+}
+
+void
+TraceRecorder::recordAccess(std::uint64_t vaddr, bool write,
+                            unsigned tag)
+{
+    if (overflow)
+        return;
+    putHeader(tag, write, /*run=*/false);
+    putDelta(vaddr);
+    ++records;
+    if (bytes.size() > maxBytes)
+        overflow = true;
+}
+
+void
+TraceRecorder::recordRun(std::uint64_t start, std::size_t count,
+                         std::size_t stride, bool write, unsigned tag)
+{
+    if (overflow)
+        return;
+    putHeader(tag, write, /*run=*/true);
+    putDelta(start);
+    putVarint(count);
+    putVarint(stride);
+    ++records;
+    if (bytes.size() > maxBytes)
+        overflow = true;
+}
+
+RecordedTrace
+TraceRecorder::take(std::uint64_t kernel_output, std::uint64_t checksum)
+{
+    GPSM_ASSERT(!overflow, "overflowed trace must not be published");
+    RecordedTrace t;
+    t.bytes = std::move(bytes);
+    t.bytes.shrink_to_fit();
+    t.records = records;
+    t.kernelOutput = kernel_output;
+    t.checksum = checksum;
+    return t;
+}
+
+void
+replayTrace(const RecordedTrace &trace, tlb::Mmu &mmu)
+{
+    const std::uint8_t *p = trace.bytes.data();
+    const std::uint8_t *const end = p + trace.bytes.size();
+    std::uint64_t prev = 0;
+    std::uint64_t seen = 0;
+
+    auto varint = [&p, end]() {
+        std::uint64_t v = 0;
+        unsigned shift = 0;
+        for (;;) {
+            GPSM_ASSERT(p < end, "truncated replay trace");
+            const std::uint8_t b = *p++;
+            v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+            if ((b & 0x80) == 0)
+                return v;
+            shift += 7;
+        }
+    };
+
+    while (p < end) {
+        const std::uint8_t h = *p++;
+        const unsigned tag = h & 0x07;
+        const bool write = (h & 0x08) != 0;
+        const std::uint64_t z = varint();
+        const std::uint64_t addr =
+            prev + ((z >> 1) ^ (~(z & 1) + 1));
+        prev = addr;
+        if ((h & 0x10) != 0) {
+            const std::uint64_t count = varint();
+            const std::uint64_t stride = varint();
+            mmu.translateRun(addr, count, stride, write, tag);
+        } else {
+            mmu.access(addr, write, tag);
+        }
+        ++seen;
+    }
+    GPSM_ASSERT(seen == trace.records,
+                "replay trace record count mismatch");
+}
+
+} // namespace gpsm::core

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Trace record-and-replay for sweep benches.
+ *
+ * A graph kernel's *virtual access stream* — the sequence of
+ * (vaddr, write, tag) scalar accesses and bulk accessRange runs it
+ * issues — depends only on the graph data, the kernel and its
+ * parameters, and the address-space layout. It does NOT depend on TLB
+ * geometry, cost models, cache configuration, THP policy, memory
+ * pressure, NUMA placement or fault plans: the kernels compute
+ * host-side and the MMU charges costs without returning data. Sweeps
+ * over those stream-invariant dimensions therefore re-execute the same
+ * kernel only to regenerate the same stream.
+ *
+ * With replay enabled, the first run of each distinct stream records
+ * it (delta-encoded, behind the Mmu's AccessRecorder hook) together
+ * with the kernel outputs; subsequent runs whose streamFingerprint()
+ * matches skip the kernel and feed the recorded stream back through
+ * mmu.access()/translateRun(). Because every simulated effect — TLB
+ * fills, faults, promotions, periodic khugepaged/sampler hooks — is
+ * driven by that stream through the very same entry points, a replayed
+ * run's counters and results are byte-identical to a live one
+ * (CI-gated by diffing sweep stdout + metrics directories).
+ *
+ * The fingerprint guard is a whitelist: any config field that could
+ * perturb the stream is part of the key, so configs differing in one
+ * of them never share a trace and simply fall back to live execution.
+ */
+
+#ifndef GPSM_CORE_REPLAY_HH
+#define GPSM_CORE_REPLAY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tlb/access_recorder.hh"
+
+namespace gpsm::tlb
+{
+class Mmu;
+}
+
+namespace gpsm::core
+{
+
+struct ExperimentConfig;
+
+/** Process-wide replay switches (set once at bench startup). */
+struct ReplayOptions
+{
+    bool enabled = false;
+    /**
+     * Recording aborts (and the config is pinned to live execution)
+     * once the encoded trace exceeds this size; bounds sweep memory
+     * on huge kernels.
+     */
+    std::uint64_t maxTraceBytes = 1ull << 30;
+};
+
+void setReplay(const ReplayOptions &opts);
+const ReplayOptions &replayOptions();
+
+/** Aggregate record/replay activity (reset by resetReplayCache). */
+struct ReplayStats
+{
+    std::uint64_t recorded = 0;  ///< traces captured and published
+    std::uint64_t replayed = 0;  ///< kernel executions skipped
+    std::uint64_t fallbacks = 0; ///< replay enabled but ran live
+};
+
+ReplayStats replayStats();
+
+/** Drop every cached trace and zero the stats (tests). */
+void resetReplayCache();
+
+/**
+ * One recorded kernel-phase stream plus the outputs that cannot be
+ * recomputed without re-executing the kernel host-side.
+ */
+struct RecordedTrace
+{
+    /**
+     * Record format (delta/varint, DESIGN.md §5f): each record is one
+     * header byte — bits 0-2 tag, bit 3 write, bit 4 run — followed by
+     * the zigzag-varint delta of the (start) address against the
+     * previous record's, and, for runs, varint count and stride.
+     */
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t records = 0;
+    std::uint64_t kernelOutput = 0;
+    std::uint64_t checksum = 0;
+};
+
+/**
+ * Serialization of exactly the fields that can perturb the kernel's
+ * access stream: app + kernel parameters, dataset identity (name,
+ * divisor, seed, weightedness via app), reordering, array placement
+ * (AllocOrder, giantProperty) and the node page geometry the vaddr
+ * layout derives from. Everything else in ExperimentConfig is
+ * stream-invariant (see EXPERIMENTS.md).
+ */
+std::string streamFingerprint(const ExperimentConfig &cfg);
+
+/** @name Claim-based process-wide trace cache
+ * Exactly one run records a given stream (single recorder, non-
+ * blocking): runs that neither find a published trace nor win the
+ * claim execute live without recording, like the dataset cache's
+ * single-flight discipline but without waiting.
+ * @{ */
+
+/** Published trace for @p key, or null. Counts a replay when found. */
+std::shared_ptr<const RecordedTrace> replayLookup(const std::string &key);
+
+/** Try to become @p key's recorder. False: someone else is, or the
+ *  key is pinned live (earlier overflow). */
+bool replayClaimRecording(const std::string &key);
+
+/** Publish the completed trace and release the claim. */
+void replayPublish(const std::string &key,
+                   std::shared_ptr<const RecordedTrace> trace);
+
+/** Release the claim without publishing; @p pin_live additionally
+ *  blacklists the key (trace overflowed — don't retry). */
+void replayAbandon(const std::string &key, bool pin_live);
+
+/** Count a run that had replay enabled but executed live. */
+void noteReplayFallback();
+/** @} */
+
+/** Encodes the stream observed through the Mmu recorder hook. */
+class TraceRecorder final : public tlb::AccessRecorder
+{
+  public:
+    explicit TraceRecorder(std::uint64_t max_bytes);
+
+    void recordAccess(std::uint64_t vaddr, bool write,
+                      unsigned tag) override;
+    void recordRun(std::uint64_t start, std::size_t count,
+                   std::size_t stride, bool write,
+                   unsigned tag) override;
+
+    /** True once the size cap was hit; the trace is unusable. */
+    bool overflowed() const { return overflow; }
+
+    /** Finish recording, attaching the kernel outputs. */
+    RecordedTrace take(std::uint64_t kernel_output,
+                       std::uint64_t checksum);
+
+  private:
+    void putHeader(unsigned tag, bool write, bool run);
+    void putVarint(std::uint64_t v);
+    void putDelta(std::uint64_t addr);
+
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t maxBytes;
+    std::uint64_t records = 0;
+    std::uint64_t prev = 0;
+    bool overflow = false;
+};
+
+/**
+ * Feed a recorded stream back through @p mmu — scalar records via
+ * access(), run records via translateRun() — reproducing a live
+ * kernel execution's counter evolution exactly.
+ */
+void replayTrace(const RecordedTrace &trace, tlb::Mmu &mmu);
+
+} // namespace gpsm::core
+
+#endif // GPSM_CORE_REPLAY_HH

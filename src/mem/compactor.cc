@@ -21,39 +21,32 @@ Compactor::createHugeRegion()
     const unsigned huge_order = buddy.maxOrder();
     const std::uint64_t region_size = 1ull << huge_order;
 
-    // Pass 1: pick the cheapest candidate region.
+    // Pass 1: pick the cheapest candidate region. The allocator keeps
+    // per-region frame-class counters current, so this is a pure
+    // counter scan — no frame metadata is touched.
     FrameNum best = invalidFrame;
     std::uint64_t best_cost = std::numeric_limits<std::uint64_t>::max();
+    const std::uint64_t total_free = buddy.freeFrames();
     for (std::uint64_t r = 0; r < buddy.regions(); ++r) {
-        const FrameNum head = buddy.frameBase() + r * region_size;
-        const auto s = buddy.summarizeRegion(head);
-        if (s.unmovableFrames != 0 || s.pinnedFrames != 0)
+        const auto &c = buddy.regionCounts(r);
+        if (c.unmovableFrames != 0 || c.pinnedFrames != 0)
             continue;
-        if (s.freeFrames == region_size)
+        if (c.freeFrames == region_size)
             continue; // already a free huge region
-        if (s.movableFrames == 0)
+        if (c.movableFrames == 0)
             continue; // cannot happen with the above, defensive
         // A fully-occupied movable region containing one huge block
         // yields nothing (it would just trade one huge page for
         // another).
-        bool has_huge_block = false;
-        for (FrameNum h : s.movableHeads) {
-            if (buddy.orderOf(h) == huge_order) {
-                has_huge_block = true;
-                break;
-            }
-        }
-        if (has_huge_block)
+        if (c.movableHugeBlocks != 0)
             continue;
         // Feasibility: enough free frames outside the region to absorb
         // the evacuated pages.
-        const std::uint64_t free_elsewhere =
-            buddy.freeFrames() - s.freeFrames;
-        if (free_elsewhere < s.movableFrames)
+        if (total_free - c.freeFrames < c.movableFrames)
             continue;
-        if (s.movableFrames < best_cost) {
-            best_cost = s.movableFrames;
-            best = head;
+        if (c.movableFrames < best_cost) {
+            best_cost = c.movableFrames;
+            best = buddy.frameBase() + r * region_size;
         }
     }
 
@@ -62,50 +55,35 @@ Compactor::createHugeRegion()
         return res;
 
     // Pass 2: reserve the region's free space so evacuation targets
-    // land outside it, then migrate every movable block out.
-    const auto summary = buddy.summarizeRegion(best);
-    std::vector<FrameNum> reserved;
+    // land outside it, then migrate every movable block out. The
+    // candidate pass already proved the region worth summarizing; do
+    // it exactly once, into the reused buffer.
+    buddy.summarizeRegion(best, scratch);
+    reserved.clear();
     {
         FrameNum f = best;
         const FrameNum end = best + region_size;
         while (f < end) {
-            if (buddy.isAllocated(f)) {
-                f += 1ull << buddy.orderOf(buddy.headOf(f));
-            } else {
-                // Claim the largest aligned free block at f within the
-                // region; order-0 claims always succeed on free frames.
-                unsigned order = 0;
-                while (order + 1 <= huge_order &&
-                       isAligned(f, 1ull << (order + 1)) &&
-                       f + (1ull << (order + 1)) <= end) {
-                    // Probe: the bigger block must be fully free.
-                    bool free_block = true;
-                    for (FrameNum g = f; g < f + (1ull << (order + 1));
-                         ++g) {
-                        if (buddy.isAllocated(g)) {
-                            free_block = false;
-                            break;
-                        }
-                    }
-                    if (!free_block)
-                        break;
-                    ++order;
-                }
-                bool ok = buddy.allocateExact(f, order,
+            // The walk advances block by block, so f is always a block
+            // head; eager coalescing makes each free block already the
+            // largest claimable aligned unit.
+            const auto b = buddy.blockOf(f);
+            if (b.free) {
+                bool ok = buddy.allocateExact(f, b.order,
                                               Migratetype::Unmovable,
                                               /*client=*/0);
                 GPSM_ASSERT(ok, "failed to reserve free block during "
                                 "compaction");
                 reserved.push_back(f);
-                f += 1ull << order;
             }
+            f += 1ull << b.order;
         }
     }
 
     // Migrate first, free the sources afterwards: freeing a source
     // mid-loop would let a later evacuee be relocated back *into* the
     // region being compacted.
-    for (FrameNum from : summary.movableHeads) {
+    for (FrameNum from : scratch.movableHeads) {
         const unsigned order = buddy.orderOf(from);
         GPSM_ASSERT(order == 0,
                     "compaction only migrates order-0 movable blocks");
@@ -120,7 +98,7 @@ Compactor::createHugeRegion()
         pc->migratePage(from, to);
         res.migratedPages += 1ull << order;
     }
-    for (FrameNum from : summary.movableHeads)
+    for (FrameNum from : scratch.movableHeads)
         buddy.free(from);
 
     // Release the reservations; frees coalesce into one huge block.

@@ -8,7 +8,9 @@
 #define GPSM_MEM_COMPACTOR_HH
 
 #include <cstdint>
+#include <vector>
 
+#include "mem/buddy_allocator.hh"
 #include "mem/types.hh"
 
 namespace gpsm::mem
@@ -26,6 +28,10 @@ class MemoryNode;
  * one free huge block. Like Linux, it cannot help when every region is
  * polluted by non-movable allocations — the fragmentation scenario of
  * paper §4.4.
+ *
+ * The candidate pass reads the allocator's cached per-region counters
+ * (O(regions)); only the one chosen region is actually summarized, into
+ * a buffer reused across calls.
  */
 class Compactor
 {
@@ -52,6 +58,11 @@ class Compactor
 
   private:
     MemoryNode &node;
+
+    /** Summary of the chosen region, reused across invocations. */
+    BuddyAllocator::RegionSummary scratch;
+    /** Reservation heads, reused across invocations. */
+    std::vector<FrameNum> reserved;
 };
 
 } // namespace gpsm::mem

@@ -161,6 +161,30 @@ Mmu::translateRun(Addr start, std::size_t count, std::size_t stride,
 {
     GPSM_ASSERT(tag < numTags);
     GPSM_ASSERT(stride != 0);
+    if (recorder != nullptr) {
+        // One run record stands for the whole call; suppress the
+        // recorder around the body so the per-element boundary
+        // accesses it issues internally are not recorded a second
+        // time (replay re-dispatches the run as one translateRun).
+        recorder->recordRun(start, count, stride, write, tag);
+        AccessRecorder *const saved = recorder;
+        recorder = nullptr;
+        try {
+            translateRunBody(start, count, stride, write, tag);
+        } catch (...) {
+            recorder = saved;
+            throw;
+        }
+        recorder = saved;
+        return;
+    }
+    translateRunBody(start, count, stride, write, tag);
+}
+
+void
+Mmu::translateRunBody(Addr start, std::size_t count, std::size_t stride,
+                      bool write, unsigned tag)
+{
     std::size_t i = 0;
     while (i < count) {
         access(start + i * stride, write, tag);

@@ -19,6 +19,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "tlb/access_recorder.hh"
 #include "tlb/cache_model.hh"
 #include "tlb/cost_model.hh"
 #include "tlb/tlb.hh"
@@ -116,6 +117,13 @@ class Mmu
     void translateRun(Addr start, std::size_t count, std::size_t stride,
                       bool write, unsigned tag = 0);
 
+  private:
+    /** translateRun's translation loop, recorder already handled. */
+    void translateRunBody(Addr start, std::size_t count,
+                          std::size_t stride, bool write, unsigned tag);
+
+  public:
+
     /** Flush both TLB levels (and drop nothing else). */
     void flushTlbs();
 
@@ -175,6 +183,13 @@ class Mmu
         sampleCountdown = sampleInterval;
     }
     /** @} */
+
+    /**
+     * Install (or, with nullptr, remove) the access-stream recorder
+     * (trace record-and-replay, see core/replay.hh). Costs one null
+     * test per traced access while absent.
+     */
+    void setAccessRecorder(AccessRecorder *rec) { recorder = rec; }
 
     /** @name Fault-injection / cancellation hooks @{ */
 
@@ -357,6 +372,7 @@ class Mmu
 
     SwapCostScaler *swapScaler = nullptr;
     const std::atomic<bool> *cancelFlag = nullptr;
+    AccessRecorder *recorder = nullptr;
 
     std::function<void()> periodicHook;
     std::uint64_t hookInterval = 0;
@@ -374,6 +390,8 @@ inline void
 Mmu::access(Addr vaddr, bool write, unsigned tag)
 {
     GPSM_ASSERT(tag < numTags);
+    if (recorder != nullptr)
+        recorder->recordAccess(vaddr, write, tag);
     ++accesses;
     ++tags[tag].accesses;
     baseCycles += costs.baseAccessCycles;

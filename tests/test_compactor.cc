@@ -143,6 +143,64 @@ TEST(Compactor, FailsWithoutRoomForEvacuees)
     EXPECT_FALSE(res.success);
 }
 
+TEST(Compactor, GoldenCountersOnHandBuiltFragmentation)
+{
+    // Fully hand-computed scenario: every buddy event counter and both
+    // migration destinations are asserted exactly, so any change to
+    // split/coalesce decisions, free-list discipline (LIFO), candidate
+    // choice or reservation order — however subtly it preserves the
+    // end state — fails here.
+    MemoryNode node(smallNode()); // 1024 frames, 16 order-6 regions
+    Tracker t(node);
+    Compactor compactor(node);
+    BuddyAllocator &b = node.buddy();
+
+    const std::uint64_t calls0 = b.allocCalls.value();
+    const std::uint64_t splits0 = b.splits.value();
+    ASSERT_EQ(b.merges.value(), 0u);
+
+    // Poison every region but 5 with one unmovable page at offset 1
+    // (each costs one order-6 -> order-0 split chain: 6 splits), then
+    // scatter two movable pages in region 5: frame 329 splits 6 times,
+    // frame 364 lands in the order-5 remainder and splits 5 times.
+    for (std::uint64_t r = 0; r < 16; ++r)
+        if (r != 5)
+            ASSERT_TRUE(b.allocateExact(r * 64 + 1, 0,
+                                        Migratetype::Unmovable, t.id));
+    t.place(320 + 9);
+    t.place(320 + 44);
+    EXPECT_EQ(b.allocCalls.value() - calls0, 17u);
+    EXPECT_EQ(b.splits.value() - splits0, 15u * 6 + 6 + 5);
+    EXPECT_EQ(b.merges.value(), 0u);
+    EXPECT_EQ(b.freeFrames(), 1024u - 15 - 2);
+
+    auto res = compactor.createHugeRegion();
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.regionHead, 5u * 64);
+    EXPECT_EQ(res.migratedPages, 2u);
+
+    // Region 5 held 10 free fragments around the two movable pages;
+    // reserving each is one exact allocation with no split (eager
+    // coalescing left each fragment maximal), and the two evacuees
+    // each claim the LIFO head of the order-0 free list — the low
+    // frames freed by the r=15 and r=14 poison splits.
+    EXPECT_EQ(b.allocCalls.value() - calls0, 17u + 10 + 2);
+    EXPECT_EQ(b.splits.value() - splits0, 101u);
+    ASSERT_EQ(t.log.size(), 2u);
+    EXPECT_EQ(t.log[0].first, 329u);
+    EXPECT_EQ(t.log[0].second, 960u);
+    EXPECT_EQ(t.log[1].first, 364u);
+    EXPECT_EQ(t.log[1].second, 896u);
+
+    // Rebuilding the region from its 12 blocks takes exactly 11
+    // pairwise merges (a full binary-tree rebuild), and compaction
+    // must not change the free-frame total.
+    EXPECT_EQ(b.merges.value(), 11u);
+    EXPECT_EQ(b.freeFrames(), 1024u - 15 - 2);
+    EXPECT_EQ(b.freeBlocksAt(6), 1u);
+    b.checkInvariants();
+}
+
 TEST(Compactor, EvacuatesMultiplePagesAndCoalesces)
 {
     MemoryNode node(smallNode());

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Trace record-and-replay tests: a replayed run must be byte-identical
+ * to a live one, the fingerprint guard must keep stream-perturbing
+ * configs apart, and overflow must pin a key to live execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/replay.hh"
+#include "util/units.hh"
+
+using namespace gpsm;
+using namespace gpsm::core;
+
+namespace
+{
+
+/** Small machine + dataset so each run takes ~100ms. */
+ExperimentConfig
+smallConfig(App app = App::Bfs, const std::string &dataset = "kron")
+{
+    ExperimentConfig cfg;
+    cfg.app = app;
+    cfg.dataset = dataset;
+    cfg.scaleDivisor = 512;
+    cfg.sys = SystemConfig::scaled();
+    cfg.sys.node.bytes = 96_MiB;
+    cfg.sys.node.hugeWatermarkBytes = 96_MiB / 26;
+    return cfg;
+}
+
+/** Every RunResult field, compared exactly (doubles bitwise). */
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.initSeconds, b.initSeconds);
+    EXPECT_EQ(a.kernelSeconds, b.kernelSeconds);
+    EXPECT_EQ(a.preprocessSeconds, b.preprocessSeconds);
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.dtlbMisses, b.dtlbMisses);
+    EXPECT_EQ(a.stlbHits, b.stlbHits);
+    EXPECT_EQ(a.walks, b.walks);
+    EXPECT_EQ(a.dtlbMissRate, b.dtlbMissRate);
+    EXPECT_EQ(a.stlbMissRate, b.stlbMissRate);
+    EXPECT_EQ(a.translationCycleShare, b.translationCycleShare);
+    EXPECT_EQ(a.hugeFaults, b.hugeFaults);
+    EXPECT_EQ(a.minorFaults, b.minorFaults);
+    EXPECT_EQ(a.majorFaults, b.majorFaults);
+    EXPECT_EQ(a.swapOuts, b.swapOuts);
+    EXPECT_EQ(a.compactionRuns, b.compactionRuns);
+    EXPECT_EQ(a.compactionPagesMigrated, b.compactionPagesMigrated);
+    EXPECT_EQ(a.promotions, b.promotions);
+    EXPECT_EQ(a.footprintBytes, b.footprintBytes);
+    EXPECT_EQ(a.hugeBackedBytes, b.hugeBackedBytes);
+    EXPECT_EQ(a.giantBackedBytes, b.giantBackedBytes);
+    EXPECT_EQ(a.hugeFractionOfFootprint, b.hugeFractionOfFootprint);
+    EXPECT_EQ(a.hugeFallbacks, b.hugeFallbacks);
+    EXPECT_EQ(a.hugeAllocRetries, b.hugeAllocRetries);
+    EXPECT_EQ(a.injectedHugeFailures, b.injectedHugeFailures);
+    EXPECT_EQ(a.swapStalls, b.swapStalls);
+    EXPECT_EQ(a.faultEventsApplied, b.faultEventsApplied);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.kernelOutput, b.kernelOutput);
+}
+
+/** RAII: enable replay for one test, restore the pristine default. */
+struct ReplayScope
+{
+    explicit ReplayScope(std::uint64_t max_bytes = 1ull << 30)
+    {
+        resetReplayCache();
+        ReplayOptions o;
+        o.enabled = true;
+        o.maxTraceBytes = max_bytes;
+        setReplay(o);
+    }
+
+    ~ReplayScope()
+    {
+        setReplay(ReplayOptions{});
+        resetReplayCache();
+    }
+};
+
+} // namespace
+
+TEST(Replay, ReplayedRunIsByteIdenticalAcrossTlbSweep)
+{
+    // A TLB-geometry sweep is the flagship use: the stream is
+    // invariant, so every config after the recorder replays. Compare
+    // against replay-disabled runs of the same configs.
+    ExperimentConfig small = smallConfig();
+    ExperimentConfig big = smallConfig();
+    big.sys.l1Huge.entries *= 4;
+    big.sys.stlbEntries *= 2;
+
+    const RunResult live_small = runExperiment(small);
+    const RunResult live_big = runExperiment(big);
+
+    ReplayScope scope;
+    const RunResult rec = runExperiment(small); // records
+    const RunResult rep = runExperiment(big);   // replays
+
+    expectIdentical(rec, live_small);
+    expectIdentical(rep, live_big);
+    const ReplayStats st = replayStats();
+    EXPECT_EQ(st.recorded, 1u);
+    EXPECT_EQ(st.replayed, 1u);
+    EXPECT_EQ(st.fallbacks, 0u);
+}
+
+TEST(Replay, ReplayCoversThpPolicyAndPressure)
+{
+    // THP mode, madvise selection and memory pressure all change what
+    // the *memory manager* does, not what the kernel touches — the
+    // recorded stream must reproduce their full event cascade (faults,
+    // compaction, promotions) exactly.
+    ExperimentConfig base = smallConfig();
+    base.thpMode = vm::ThpMode::Never;
+    ExperimentConfig thp = smallConfig();
+    thp.thpMode = vm::ThpMode::Always;
+    ExperimentConfig tight = smallConfig();
+    tight.thpMode = vm::ThpMode::Always;
+    tight.constrainMemory = true;
+    tight.slackBytes = 2_MiB;
+    tight.fragLevel = 0.5;
+
+    const RunResult live_base = runExperiment(base);
+    const RunResult live_thp = runExperiment(thp);
+    const RunResult live_tight = runExperiment(tight);
+
+    ReplayScope scope;
+    const RunResult rec = runExperiment(base);
+    const RunResult rep_thp = runExperiment(thp);
+    const RunResult rep_tight = runExperiment(tight);
+
+    expectIdentical(rec, live_base);
+    expectIdentical(rep_thp, live_thp);
+    expectIdentical(rep_tight, live_tight);
+    const ReplayStats st = replayStats();
+    EXPECT_EQ(st.recorded, 1u);
+    EXPECT_EQ(st.replayed, 2u);
+    // The tight run must actually have exercised the pressure
+    // machinery under replay, not just matched an idle baseline.
+    EXPECT_GT(live_tight.compactionRuns + live_tight.swapOuts, 0u);
+}
+
+TEST(Replay, FingerprintSeparatesStreamPerturbingConfigs)
+{
+    // App, dataset, reorder and allocation order all change the
+    // access stream; each must record its own trace, never replay
+    // another's.
+    ExperimentConfig a = smallConfig(App::Bfs, "kron");
+    ExperimentConfig b = smallConfig(App::Pr, "kron");
+    ExperimentConfig c = smallConfig(App::Bfs, "wiki");
+    ExperimentConfig d = smallConfig(App::Bfs, "kron");
+    d.reorder = graph::ReorderMethod::Dbg;
+    ExperimentConfig e = smallConfig(App::Bfs, "kron");
+    e.order = AllocOrder::PropertyFirst;
+
+    const std::string fa = streamFingerprint(a);
+    EXPECT_NE(fa, streamFingerprint(b));
+    EXPECT_NE(fa, streamFingerprint(c));
+    EXPECT_NE(fa, streamFingerprint(d));
+    EXPECT_NE(fa, streamFingerprint(e));
+
+    // Stream-invariant knobs must NOT change the key.
+    ExperimentConfig f = smallConfig(App::Bfs, "kron");
+    f.thpMode = vm::ThpMode::Always;
+    f.sys.l1Huge.entries *= 4;
+    f.constrainMemory = true;
+    f.slackBytes = 2_MiB;
+    EXPECT_EQ(fa, streamFingerprint(f));
+
+    ReplayScope scope;
+    const RunResult ra = runExperiment(a);
+    const RunResult rd = runExperiment(d);
+    expectIdentical(ra, runExperiment(a));
+    expectIdentical(rd, runExperiment(d));
+    EXPECT_EQ(replayStats().recorded, 2u);
+    EXPECT_EQ(replayStats().replayed, 2u);
+}
+
+TEST(Replay, OverflowPinsConfigLiveAndStaysCorrect)
+{
+    // A 1KiB budget cannot hold any kernel's stream: the recorder
+    // overflows, the key is pinned live, and subsequent runs neither
+    // record nor replay — but still produce correct results.
+    ExperimentConfig cfg = smallConfig();
+    const RunResult live = runExperiment(cfg);
+
+    ReplayScope scope(/*max_bytes=*/1024);
+    const RunResult first = runExperiment(cfg);
+    const RunResult second = runExperiment(cfg);
+
+    expectIdentical(first, live);
+    expectIdentical(second, live);
+    const ReplayStats st = replayStats();
+    EXPECT_EQ(st.recorded, 0u);
+    EXPECT_EQ(st.replayed, 0u);
+    // First run overflowed (pinned); the second saw the pin.
+    EXPECT_EQ(st.fallbacks, 2u);
+}

@@ -19,6 +19,7 @@
 
 #include "core/advisor.hh"
 #include "core/experiment.hh"
+#include "core/replay.hh"
 #include "core/runner.hh"
 #include "fault/fault_plan_io.hh"
 #include "graph/datasets.hh"
@@ -78,6 +79,9 @@ usage()
         "  --sample-interval N            sampler epoch length in\n"
         "                                 traced accesses (default 1M;\n"
         "                                 0 disables the sampler)\n"
+        "  --replay                       record each distinct kernel\n"
+        "                                 access stream once; replay it\n"
+        "                                 for stream-invariant configs\n"
         "  --quiet                        suppress progress notes\n";
 }
 
@@ -161,6 +165,7 @@ try {
     unsigned jobs = 0; // 0 = hardware concurrency
     std::string journal_path;
     obs::TelemetryOptions telemetry;
+    ReplayOptions replay;
     PoolOptions pool_opts;
     std::vector<App> apps = {App::Bfs};
     std::vector<std::string> datasets = {"kron"};
@@ -285,6 +290,8 @@ try {
         } else if (arg == "--sample-interval") {
             telemetry.sampleInterval =
                 parseU64(next(), "--sample-interval");
+        } else if (arg == "--replay") {
+            replay.enabled = true;
         } else if (arg == "--quiet") {
             setQuiet(true);
         } else if (arg == "--help" || arg == "-h") {
@@ -326,6 +333,7 @@ try {
     // Install the telemetry request before the first experiment; with
     // no --metrics-dir this is the documented off switch.
     obs::setTelemetry(telemetry);
+    setReplay(replay);
 
     if (!journal_path.empty()) {
         std::string err;
