@@ -1,0 +1,465 @@
+/**
+ * @file
+ * Load generator for the gpsm_serve daemon: drives thousands of
+ * concurrent run requests through the service and reports throughput
+ * (requests/sec) and client-observed latency percentiles
+ * (p50/p99/p999), then verifies the service invariant — every result
+ * that came back over the socket is byte-identical (fingerprint +
+ * serialized RunResult) to the same config executed offline through
+ * runExperiment().
+ *
+ * Two modes:
+ * - default: an in-process serve::Server on a private socket. Measures
+ *   the service stack itself (admission, dedupe, memoization, wire
+ *   codec) without process-management noise.
+ * - --chaos: fork+exec the real gpsm_serve binary on a shared journal,
+ *   SIGKILL it mid-batch every --kill-interval-ms (up to --kills
+ *   times) and restart it, while the clients also force-close their
+ *   own connections every few responses (dropEvery). The batch must
+ *   still finish with zero lost requests and byte-identical results:
+ *   completed work is replayed from the journal, interrupted work is
+ *   re-executed deterministically.
+ *
+ * Part of the config pool carries a correlated-burst fault plan
+ * (FaultPlan::correlatedBursts), so recovery is exercised on runs
+ * whose allocation path is itself failure-injected.
+ *
+ * Output goes through the standard TableWriter; --emit-bench writes
+ * the measurements as JSON for the perf-trajectory artifacts. Common
+ * bench-harness flags (--jobs, --journal, ...) are accepted and
+ * ignored so scripts/run_benches.sh can pass one flag set to every
+ * binary.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/journal.hh"
+#include "core/runner.hh"
+#include "fault/fault_plan.hh"
+#include "obs/json.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "util/table.hh"
+
+using namespace gpsm;
+
+namespace
+{
+
+/** The distinct experiments cycled through the request batch: small
+ *  enough to execute in seconds, diverse enough to cover the codec
+ *  (madvise selection, reorder, sys override, fault plan). */
+std::vector<core::ExperimentConfig>
+configPool()
+{
+    std::vector<core::ExperimentConfig> pool;
+
+    core::ExperimentConfig base;
+    base.scaleDivisor = 4096;
+
+    core::ExperimentConfig c = base;
+    pool.push_back(c); // bfs/kron, THP never
+
+    c = base;
+    c.app = core::App::Pr;
+    c.thpMode = vm::ThpMode::Always;
+    pool.push_back(c);
+
+    c = base;
+    c.app = core::App::Cc;
+    c.dataset = "wiki";
+    pool.push_back(c);
+
+    c = base;
+    c.app = core::App::Sssp;
+    c.thpMode = vm::ThpMode::Always;
+    c.reorder = graph::ReorderMethod::Dbg;
+    pool.push_back(c);
+
+    c = base;
+    c.dataset = "wiki";
+    c.thpMode = vm::ThpMode::Madvise;
+    c.madvise = core::MadviseSelection::propertyOnly(0.5);
+    c.sys.node.bytes = 96_MiB;
+    c.sys.node.hugeWatermarkBytes = c.sys.node.bytes / 40;
+    pool.push_back(c);
+
+    // Failure-injected run: the first two huge allocations of each of
+    // two kernel-anchored windows are vetoed back-to-back.
+    c = base;
+    c.app = core::App::Pr;
+    c.thpMode = vm::ThpMode::Always;
+    c.faultPlan = fault::FaultPlan::correlatedBursts(
+        /*windows=*/2, /*burst_len=*/2, /*spacing=*/1u << 20);
+    pool.push_back(c);
+
+    return pool;
+}
+
+double
+percentileUs(const std::vector<double> &sorted_seconds, double q)
+{
+    if (sorted_seconds.empty())
+        return 0.0;
+    const auto n = sorted_seconds.size();
+    std::size_t idx = static_cast<std::size_t>(
+        q * static_cast<double>(n));
+    if (idx >= n)
+        idx = n - 1;
+    return sorted_seconds[idx] * 1e6;
+}
+
+/** The gpsm_serve daemon as a child process (chaos mode). */
+struct Daemon
+{
+    std::string bin;
+    std::vector<std::string> args;
+    pid_t pid = -1;
+
+    void
+    spawn()
+    {
+        std::vector<char *> argv;
+        argv.push_back(const_cast<char *>(bin.c_str()));
+        for (const std::string &a : args)
+            argv.push_back(const_cast<char *>(a.c_str()));
+        argv.push_back(nullptr);
+        const pid_t child = fork();
+        if (child == 0) {
+            execv(bin.c_str(), argv.data());
+            std::perror("execv gpsm_serve");
+            _exit(127);
+        }
+        if (child < 0) {
+            std::perror("fork");
+            std::exit(1);
+        }
+        pid = child;
+    }
+
+    void
+    kill9()
+    {
+        if (pid <= 0)
+            return;
+        ::kill(pid, SIGKILL);
+        int status = 0;
+        waitpid(pid, &status, 0);
+        pid = -1;
+    }
+
+    void
+    reap()
+    {
+        if (pid <= 0)
+            return;
+        int status = 0;
+        waitpid(pid, &status, 0);
+        pid = -1;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    bool chaos = false;
+    std::string emit_bench;
+    std::string serve_bin;
+    std::uint64_t requests = 0; // 0 = mode default
+    unsigned connections = 16;
+    unsigned workers = 4;
+    unsigned kills = 3;
+    unsigned kill_interval_ms = 1500;
+    static const char *ignored_with_value[] = {
+        "--jobs",        "--divisor",         "--datasets",
+        "--apps",        "--journal",         "--timeout-seconds",
+        "--metrics-dir", "--sample-interval", "--shard",
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value after %s\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        bool skipped = false;
+        for (const char *flag : ignored_with_value) {
+            if (arg == flag) {
+                (void)next();
+                skipped = true;
+                break;
+            }
+        }
+        if (skipped)
+            continue;
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--chaos") {
+            chaos = true;
+        } else if (arg == "--emit-bench") {
+            emit_bench = next();
+        } else if (arg == "--serve-bin") {
+            serve_bin = next();
+        } else if (arg == "--requests") {
+            requests = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--connections") {
+            connections = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--workers") {
+            workers = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--kills") {
+            kills = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--kill-interval-ms") {
+            kill_interval_ms = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--paper" || arg == "--progress" ||
+                   arg == "--replay") {
+            // valueless harness flags: ignored
+        } else if (arg == "--help" || arg == "-h") {
+            std::fprintf(
+                stderr,
+                "usage: %s [--quick] [--chaos] [--requests N]\n"
+                "          [--connections N] [--workers N]\n"
+                "          [--kills N] [--kill-interval-ms N]\n"
+                "          [--serve-bin PATH] [--emit-bench PATH]\n"
+                "(common bench-harness flags are accepted and "
+                "ignored)\n",
+                argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+            return 1;
+        }
+    }
+    std::signal(SIGPIPE, SIG_IGN);
+
+    if (requests == 0)
+        requests = quick ? 300 : 2000;
+    if (quick) {
+        connections = std::min(connections, 8u);
+        kills = std::min(kills, 2u);
+    }
+
+    const std::string tag = std::to_string(getpid());
+    const std::string socket_path = "/tmp/bench_serve." + tag + ".sock";
+    const std::string journal_path = "/tmp/bench_serve." + tag + ".gpsmj";
+    std::remove(journal_path.c_str());
+
+    // The request batch: the pool cycled to length, so the daemon sees
+    // heavy duplication (its dedupe/memo path IS the serving hot path,
+    // exactly like a sweep resubmitted shard by shard).
+    const std::vector<core::ExperimentConfig> pool = configPool();
+    std::vector<core::ExperimentConfig> batch;
+    batch.reserve(requests);
+    for (std::uint64_t i = 0; i < requests; ++i)
+        batch.push_back(pool[i % pool.size()]);
+
+    serve::SubmitOptions sub;
+    sub.connections = connections;
+    sub.window = 32;
+    sub.recvTimeoutSeconds = 300.0;
+
+    std::unique_ptr<serve::Server> inproc;
+    Daemon daemon;
+    std::thread killer;
+    std::atomic<bool> stop_killer{false};
+    std::uint64_t kills_done = 0;
+
+    if (!chaos) {
+        serve::ServeOptions sopts;
+        sopts.socketPath = socket_path;
+        sopts.journalPath = journal_path;
+        sopts.workers = workers;
+        inproc = std::make_unique<serve::Server>(sopts);
+        std::string err;
+        if (!inproc->start(&err)) {
+            std::fprintf(stderr, "server start failed: %s\n",
+                         err.c_str());
+            return 1;
+        }
+    } else {
+        if (serve_bin.empty()) {
+            // Default: the gpsm_serve binary next to this bench in the
+            // build tree (build/bench/bench_serve -> build/tools/).
+            namespace fs = std::filesystem;
+            serve_bin = (fs::path(argv[0]).parent_path().parent_path() /
+                         "tools" / "gpsm_serve")
+                            .string();
+        }
+        daemon.bin = serve_bin;
+        daemon.args = {"--socket",  socket_path, "--journal",
+                       journal_path, "--workers",
+                       std::to_string(workers)};
+        daemon.spawn();
+        // Chaos clients: survive daemon restarts, and rip their own
+        // connections down every 7 responses.
+        sub.reconnect = true;
+        sub.reconnectLimit = 1000;
+        sub.connectTimeoutSeconds = 30.0;
+        sub.dropEvery = 7;
+        killer = std::thread([&]() {
+            for (unsigned k = 0; k < kills; ++k) {
+                for (unsigned waited = 0;
+                     waited < kill_interval_ms && !stop_killer.load();
+                     waited += 50)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(50));
+                if (stop_killer.load())
+                    return;
+                daemon.kill9();
+                ++kills_done;
+                daemon.spawn();
+            }
+        });
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<serve::SubmitOutcome> outcomes =
+        serve::submitBatch(socket_path, batch, sub);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall =
+        std::chrono::duration<double>(t1 - t0).count();
+
+    if (chaos) {
+        stop_killer.store(true);
+        killer.join();
+    }
+
+    // --- throughput + latency ---
+    std::uint64_t ok_count = 0;
+    std::uint64_t cached_count = 0;
+    std::vector<double> latencies;
+    latencies.reserve(outcomes.size());
+    std::vector<std::string> failures;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const serve::SubmitOutcome &o = outcomes[i];
+        if (o.ok) {
+            ++ok_count;
+            cached_count += o.cached ? 1 : 0;
+            latencies.push_back(o.latencySeconds);
+        } else if (failures.size() < 5) {
+            failures.push_back("request " + std::to_string(i) + ": " +
+                               o.kind + " (" + o.message + ")");
+        }
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const double rps =
+        wall > 0.0 ? static_cast<double>(ok_count) / wall : 0.0;
+
+    // --- the invariant: byte-identical to offline execution ---
+    // runExperiment() directly (not runMemoized) so the reference does
+    // not share the memo/journal the service used.
+    std::unordered_map<std::string, std::string> offline;
+    for (const core::ExperimentConfig &cfg : pool)
+        offline[cfg.fingerprint()] =
+            core::serializeRunResult(core::runExperiment(cfg));
+    std::uint64_t mismatched = 0;
+    for (const serve::SubmitOutcome &o : outcomes) {
+        if (!o.ok)
+            continue;
+        const auto it = offline.find(o.fingerprint);
+        if (it == offline.end() ||
+            core::serializeRunResult(o.result) != it->second)
+            ++mismatched;
+    }
+    const std::uint64_t lost = outcomes.size() - ok_count;
+
+    serve::ServeStats stats;
+    if (!chaos) {
+        inproc->drain();
+        stats = inproc->stats();
+    } else {
+        // Final daemon generation: drain it cleanly and reap.
+        serve::requestDrain(socket_path);
+        daemon.reap();
+    }
+    std::remove(journal_path.c_str());
+
+    TableWriter table(chaos ? "bench_serve (chaos mode)"
+                            : "bench_serve");
+    table.setHeader({"metric", "value"});
+    table.addRow({"requests", std::to_string(outcomes.size())});
+    table.addRow({"connections", std::to_string(connections)});
+    table.addRow({"distinct configs", std::to_string(pool.size())});
+    table.addRow({"ok", std::to_string(ok_count)});
+    table.addRow({"lost", std::to_string(lost)});
+    table.addRow({"served from cache", std::to_string(cached_count)});
+    table.addRow({"byte mismatches", std::to_string(mismatched)});
+    table.addRow({"wall seconds", TableWriter::num(wall, 2)});
+    table.addRow({"requests/sec", TableWriter::num(rps, 1)});
+    table.addRow(
+        {"p50 (us)", TableWriter::num(percentileUs(latencies, 0.50), 0)});
+    table.addRow(
+        {"p99 (us)", TableWriter::num(percentileUs(latencies, 0.99), 0)});
+    table.addRow({"p999 (us)",
+                  TableWriter::num(percentileUs(latencies, 0.999), 0)});
+    if (chaos) {
+        table.addRow({"daemon kills", std::to_string(kills_done)});
+    } else {
+        table.addRow({"dedupe hits", std::to_string(stats.dedupeHits)});
+        table.addRow({"cache hits", std::to_string(stats.cacheHits)});
+        table.addRow({"shed", std::to_string(stats.shed)});
+    }
+    table.print(std::cout);
+
+    for (const std::string &f : failures)
+        std::fprintf(stderr, "FAILED %s\n", f.c_str());
+
+    if (!emit_bench.empty()) {
+        obs::Json doc = obs::Json::object();
+        doc.set("schema", "gpsm-serve-bench-v1");
+        doc.set("bench", chaos ? "bench_serve_chaos" : "bench_serve");
+        doc.set("requests", static_cast<std::uint64_t>(outcomes.size()));
+        doc.set("connections", static_cast<std::uint64_t>(connections));
+        doc.set("ok", ok_count);
+        doc.set("lost", lost);
+        doc.set("mismatched", mismatched);
+        doc.set("wall_seconds", wall);
+        doc.set("requests_per_sec", rps);
+        doc.set("p50_us", percentileUs(latencies, 0.50));
+        doc.set("p99_us", percentileUs(latencies, 0.99));
+        doc.set("p999_us", percentileUs(latencies, 0.999));
+        if (chaos)
+            doc.set("kills", kills_done);
+        std::ofstream out(emit_bench);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         emit_bench.c_str());
+            return 1;
+        }
+        out << doc.dump(2) << "\n";
+    }
+
+    if (lost != 0 || mismatched != 0) {
+        std::fprintf(stderr,
+                     "FAILED: %llu lost, %llu mismatched vs offline\n",
+                     static_cast<unsigned long long>(lost),
+                     static_cast<unsigned long long>(mismatched));
+        return 1;
+    }
+    return 0;
+}

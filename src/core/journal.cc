@@ -13,6 +13,9 @@
 #include <sstream>
 #include <vector>
 
+#include <sys/file.h>
+#include <unistd.h>
+
 namespace gpsm::core
 {
 
@@ -319,12 +322,22 @@ ResultJournal::record(const std::string &fingerprint,
     index[fingerprint] = result;
     if (file == nullptr)
         return false;
-    // One fwrite per record: appends from concurrent processes in
-    // O_APPEND mode interleave at worst whole-line-wise for lines
-    // under the pipe buffer size, and a crash tears at most this line.
+    // One fwrite per record, under an advisory whole-file lock:
+    // O_APPEND already positions each write at EOF, but a record
+    // longer than the kernel's atomic-append granularity could still
+    // interleave with another *process* appending to the same journal
+    // (the serve deployment shares one journal between the daemon and
+    // offline runs). flock serializes the write+flush pair, so the
+    // only possible corruption is a torn final line from a crash —
+    // which reload already tolerates. Advisory and best-effort: a
+    // filesystem without flock support degrades to the old behaviour.
+    const int fd = fileno(file);
+    const bool locked = flock(fd, LOCK_EX) == 0;
     const bool ok =
         std::fwrite(line.data(), 1, line.size(), file) == line.size();
     std::fflush(file);
+    if (locked)
+        flock(fd, LOCK_UN);
     return ok;
 }
 

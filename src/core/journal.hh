@@ -10,6 +10,10 @@
  * Robustness properties:
  * - atomic append: each record is written with a single fwrite and
  *   flushed, so a torn final line is the only possible corruption;
+ * - multi-process safe: each append holds an advisory flock on the
+ *   journal, so two processes sharing one journal (the gpsm_serve
+ *   daemon plus offline runs, or two sharded submit clients) cannot
+ *   interleave bytes of one record with another's;
  * - corruption tolerance: a record with a bad tag, field count or
  *   checksum is skipped on reload (counted, not fatal), and appending
  *   after a torn line starts on a fresh line;

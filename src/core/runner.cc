@@ -7,17 +7,19 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
+#include <cstdlib>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
-#include <thread>
 #include <unordered_map>
 
 #include "core/journal.hh"
 #include "util/logging.hh"
+#include "util/parse.hh"
 #include "util/thread_pool.hh"
+#include "util/watchdog.hh"
 
 namespace gpsm::core
 {
@@ -27,23 +29,88 @@ namespace
 
 /**
  * Process-wide result cache. RunResults are a few hundred bytes, so
- * the cache is unbounded: even a full figure-suite process caches a
- * few thousand entries at most.
+ * even a full figure-suite process caches a few thousand entries —
+ * but a long-lived daemon serving endless distinct configs would not
+ * stop there, so the cache is LRU-bounded by an estimated byte cap
+ * (generous by default; GPSM_MEMO_CAP / setExperimentMemoCapBytes()
+ * override it, 0 = unbounded).
  *
  * An optional on-disk journal backs the cache: misses consult it
  * before executing and executed results are appended to it, which is
- * what makes a killed bench batch resumable.
+ * what makes a killed bench batch resumable — and what makes LRU
+ * eviction lossless when a journal is attached.
  */
 struct MemoCache
 {
+    /** Estimated resident cost of one entry: key bytes + result +
+     *  hash-map/list bookkeeping. An estimate is fine — the cap
+     *  bounds growth, it does not account memory precisely. */
+    static std::uint64_t
+    entryBytes(const std::string &key)
+    {
+        return key.size() + sizeof(RunResult) + 96;
+    }
+
+    struct Entry
+    {
+        RunResult result;
+        std::list<std::string>::iterator lru;
+    };
+
     std::mutex mtx;
-    std::unordered_map<std::string, RunResult> results;
+    std::unordered_map<std::string, Entry> results;
+    std::list<std::string> lruOrder; ///< front = most recently used
+    std::uint64_t bytes = 0;
+    std::uint64_t capBytes = 256ull << 20;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
 
     std::unique_ptr<ResultJournal> journal;
     std::uint64_t journalHits = 0;
     std::uint64_t journalAppends = 0;
+
+    MemoCache()
+    {
+        if (const char *cap = std::getenv("GPSM_MEMO_CAP"))
+            capBytes = parseU64(cap, "GPSM_MEMO_CAP");
+    }
+
+    /** Lookup + LRU touch. Caller holds mtx. */
+    const RunResult *
+    find(const std::string &key)
+    {
+        const auto it = results.find(key);
+        if (it == results.end())
+            return nullptr;
+        lruOrder.splice(lruOrder.begin(), lruOrder, it->second.lru);
+        return &it->second.result;
+    }
+
+    /** Insert (or refresh) + evict past the cap. Caller holds mtx. */
+    void
+    insert(const std::string &key, const RunResult &result)
+    {
+        auto it = results.find(key);
+        if (it != results.end()) {
+            it->second.result = result;
+            lruOrder.splice(lruOrder.begin(), lruOrder, it->second.lru);
+            return;
+        }
+        lruOrder.push_front(key);
+        results.emplace(key, Entry{result, lruOrder.begin()});
+        bytes += entryBytes(key);
+        // Never evict the entry just inserted: the cap bounds steady-
+        // state growth, it must not make a single result uncacheable.
+        while (capBytes != 0 && bytes > capBytes &&
+               results.size() > 1) {
+            const std::string &victim = lruOrder.back();
+            bytes -= entryBytes(victim);
+            results.erase(victim);
+            lruOrder.pop_back();
+            ++evictions;
+        }
+    }
 };
 
 MemoCache &
@@ -96,7 +163,8 @@ experimentMemoStats()
 {
     MemoCache &m = memo();
     std::lock_guard<std::mutex> lock(m.mtx);
-    return MemoStats{m.hits, m.misses, m.results.size()};
+    return MemoStats{m.hits,  m.misses,    m.results.size(),
+                     m.bytes, m.evictions, m.capBytes};
 }
 
 void
@@ -105,6 +173,26 @@ clearExperimentMemo()
     MemoCache &m = memo();
     std::lock_guard<std::mutex> lock(m.mtx);
     m.results.clear();
+    m.lruOrder.clear();
+    m.bytes = 0;
+}
+
+void
+setExperimentMemoCapBytes(std::uint64_t bytes)
+{
+    MemoCache &m = memo();
+    std::lock_guard<std::mutex> lock(m.mtx);
+    m.capBytes = bytes;
+    // Apply the new cap immediately (shrinking caps evict now, not at
+    // the next insert).
+    while (m.capBytes != 0 && m.bytes > m.capBytes &&
+           m.results.size() > 1) {
+        const std::string &victim = m.lruOrder.back();
+        m.bytes -= MemoCache::entryBytes(victim);
+        m.results.erase(victim);
+        m.lruOrder.pop_back();
+        ++m.evictions;
+    }
 }
 
 bool
@@ -158,12 +246,11 @@ runMemoized(const ExperimentConfig &config, bool *was_cached,
     const std::string key = config.fingerprint();
     {
         std::lock_guard<std::mutex> lock(m.mtx);
-        auto it = m.results.find(key);
-        if (it != m.results.end()) {
+        if (const RunResult *found = m.find(key)) {
             ++m.hits;
             if (was_cached != nullptr)
                 *was_cached = true;
-            return it->second;
+            return *found;
         }
         // Memory miss: a journaled result from an earlier (possibly
         // killed) process is just as authoritative — fingerprints pin
@@ -173,7 +260,7 @@ runMemoized(const ExperimentConfig &config, bool *was_cached,
             if (logged) {
                 ++m.hits;
                 ++m.journalHits;
-                m.results.emplace(key, *logged);
+                m.insert(key, *logged);
                 if (was_cached != nullptr)
                     *was_cached = true;
                 return *logged;
@@ -188,7 +275,7 @@ runMemoized(const ExperimentConfig &config, bool *was_cached,
     {
         std::lock_guard<std::mutex> lock(m.mtx);
         ++m.misses;
-        m.results.emplace(key, result);
+        m.insert(key, result);
         if (m.journal != nullptr) {
             if (m.journal->record(key, result))
                 ++m.journalAppends;
@@ -207,6 +294,8 @@ experimentErrorKindName(ExperimentError::Kind kind)
         return "exception";
       case ExperimentError::Kind::Timeout:
         return "timeout";
+      case ExperimentError::Kind::Interrupted:
+        return "interrupted";
     }
     return "?";
 }
@@ -284,81 +373,6 @@ ExperimentPool::run(const std::vector<ExperimentConfig> &configs,
     return results;
 }
 
-namespace
-{
-
-/**
- * Wall-clock watchdog shared by one runOutcomes() batch: workers
- * register their cancellation flag with a deadline, a scan thread
- * trips flags past their deadline. Scanning at a coarse period keeps
- * the cost negligible next to multi-second experiments while bounding
- * overshoot to ~one scan period plus cancellation latency.
- */
-class Watchdog
-{
-  public:
-    Watchdog() : scanner([this] { loop(); }) {}
-
-    ~Watchdog()
-    {
-        {
-            std::lock_guard<std::mutex> lock(mtx);
-            stopping = true;
-        }
-        cv.notify_all();
-        scanner.join();
-    }
-
-    void
-    watch(const std::shared_ptr<std::atomic<bool>> &flag,
-          std::chrono::steady_clock::time_point deadline)
-    {
-        std::lock_guard<std::mutex> lock(mtx);
-        active.push_back({flag, deadline});
-    }
-
-    void
-    unwatch(const std::shared_ptr<std::atomic<bool>> &flag)
-    {
-        std::lock_guard<std::mutex> lock(mtx);
-        for (auto it = active.begin(); it != active.end(); ++it) {
-            if (it->flag == flag) {
-                active.erase(it);
-                return;
-            }
-        }
-    }
-
-  private:
-    struct Entry
-    {
-        std::shared_ptr<std::atomic<bool>> flag;
-        std::chrono::steady_clock::time_point deadline;
-    };
-
-    void
-    loop()
-    {
-        std::unique_lock<std::mutex> lock(mtx);
-        while (!stopping) {
-            const auto now = std::chrono::steady_clock::now();
-            for (const Entry &e : active) {
-                if (now >= e.deadline)
-                    e.flag->store(true, std::memory_order_relaxed);
-            }
-            cv.wait_for(lock, std::chrono::milliseconds(25));
-        }
-    }
-
-    std::mutex mtx;
-    std::condition_variable cv;
-    std::vector<Entry> active;
-    bool stopping = false;
-    std::thread scanner;
-};
-
-} // namespace
-
 std::vector<RunOutcome>
 ExperimentPool::runOutcomes(const std::vector<ExperimentConfig> &configs,
                             const PoolOptions &options,
@@ -396,9 +410,18 @@ ExperimentPool::runOutcomes(const std::vector<ExperimentConfig> &configs,
     }
 
     const bool timed = options.timeoutSeconds > 0.0;
-    std::unique_ptr<Watchdog> watchdog;
-    if (timed)
-        watchdog = std::make_unique<Watchdog>();
+    // Cancellation flags are live when either a timeout watchdog or a
+    // batch interrupt switch is in play; the same scanner serves both.
+    const bool guarded = timed || options.interrupt != nullptr;
+    std::unique_ptr<util::DeadlineWatchdog> watchdog;
+    if (guarded)
+        watchdog =
+            std::make_unique<util::DeadlineWatchdog>(options.interrupt);
+
+    auto interrupted = [&] {
+        return options.interrupt != nullptr &&
+               options.interrupt->load(std::memory_order_relaxed);
+    };
 
     // ThreadPool jobs must not throw (they would terminate the
     // process), so every failure mode is converted to an
@@ -411,23 +434,47 @@ ExperimentPool::runOutcomes(const std::vector<ExperimentConfig> &configs,
         bool cached = false;
         unsigned attempts = 0;
 
+        // An interrupted batch stops launching work: a config that is
+        // not already served from memory or disk is reported, not run.
+        if (interrupted() && !memoHas(key)) {
+            ExperimentError err;
+            err.kind = ExperimentError::Kind::Interrupted;
+            err.message = "batch interrupted before execution";
+            err.fingerprint = key;
+            err.label = configs[rep].label();
+            err.attempts = 0;
+            outcome.error = std::move(err);
+            for (std::size_t idx : group.indices)
+                outcomes[idx] = outcome;
+            if (options.errorProgress) {
+                for (std::size_t idx : group.indices)
+                    options.errorProgress(idx, configs[idx],
+                                          *outcome.error);
+            }
+            return;
+        }
+
         for (;;) {
             ++attempts;
             auto flag = std::make_shared<std::atomic<bool>>(false);
             const auto start = std::chrono::steady_clock::now();
-            if (timed) {
+            if (guarded) {
                 watchdog->watch(
                     flag,
-                    start + std::chrono::duration_cast<
-                                std::chrono::steady_clock::duration>(
-                                std::chrono::duration<double>(
-                                    options.timeoutSeconds)));
+                    timed
+                        ? start +
+                              std::chrono::duration_cast<
+                                  std::chrono::steady_clock::duration>(
+                                  std::chrono::duration<double>(
+                                      options.timeoutSeconds))
+                        : std::chrono::steady_clock::time_point::max());
             }
             try {
                 cached = false;
                 const RunResult result = runMemoized(
-                    configs[rep], &cached, timed ? flag.get() : nullptr);
-                if (timed)
+                    configs[rep], &cached,
+                    guarded ? flag.get() : nullptr);
+                if (guarded)
                     watchdog->unwatch(flag);
                 wall = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - start)
@@ -435,8 +482,20 @@ ExperimentPool::runOutcomes(const std::vector<ExperimentConfig> &configs,
                 outcome.result = result;
                 break;
             } catch (const CancelledError &) {
-                if (timed)
+                if (guarded)
                     watchdog->unwatch(flag);
+                if (interrupted()) {
+                    ExperimentError err;
+                    err.kind = ExperimentError::Kind::Interrupted;
+                    err.message = "interrupted mid-run (result "
+                                  "discarded; journal already holds "
+                                  "every completed experiment)";
+                    err.fingerprint = key;
+                    err.label = configs[rep].label();
+                    err.attempts = attempts;
+                    outcome.error = std::move(err);
+                    break;
+                }
                 if (attempts <= options.timeoutRetries)
                     continue; // transient overrun: grant another try
                 ExperimentError err;
@@ -453,7 +512,7 @@ ExperimentPool::runOutcomes(const std::vector<ExperimentConfig> &configs,
                 outcome.error = std::move(err);
                 break;
             } catch (const std::exception &e) {
-                if (timed)
+                if (guarded)
                     watchdog->unwatch(flag);
                 ExperimentError err;
                 err.kind = ExperimentError::Kind::Exception;

@@ -33,6 +33,9 @@ struct MemoStats
     std::uint64_t hits = 0;     ///< results served from the cache
     std::uint64_t misses = 0;   ///< configs actually executed
     std::uint64_t entries = 0;  ///< results currently cached
+    std::uint64_t bytes = 0;    ///< estimated bytes currently cached
+    std::uint64_t evictions = 0; ///< entries dropped by the LRU cap
+    std::uint64_t capBytes = 0; ///< active byte cap (0 = unbounded)
 };
 
 /** Snapshot of the memo cache counters. */
@@ -41,6 +44,19 @@ MemoStats experimentMemoStats();
 /** Drop every cached result (and reset nothing else; counters keep
  *  accumulating so tests can difference them). */
 void clearExperimentMemo();
+
+/**
+ * Bound the memo cache: least-recently-used entries are evicted once
+ * the estimated resident size (keys + results) exceeds @p bytes. The
+ * default is generous (256 MiB — roughly 10^5 sweep results, far more
+ * than any figure suite caches) but finite, so a long-lived daemon
+ * serving endless distinct configs cannot grow without limit. 0 means
+ * unbounded. The GPSM_MEMO_CAP environment variable (bytes) overrides
+ * the default at process start; this setter overrides both. Evicted
+ * results are *not* lost when a result journal is attached — a later
+ * request reloads them from disk.
+ */
+void setExperimentMemoCapBytes(std::uint64_t bytes);
 
 /** Counters of the optional on-disk result journal. */
 struct JournalStats
@@ -101,8 +117,9 @@ struct ExperimentError
 {
     enum class Kind : std::uint8_t
     {
-        Exception, ///< runExperiment threw (bad config, OOM, bug)
-        Timeout,   ///< cancelled by the pool's wall-clock watchdog
+        Exception,   ///< runExperiment threw (bad config, OOM, bug)
+        Timeout,     ///< cancelled by the pool's wall-clock watchdog
+        Interrupted, ///< cancelled by the batch's interrupt flag
     };
 
     Kind kind = Kind::Exception;
@@ -161,6 +178,17 @@ struct PoolOptions
 
     /** Out-param: prefetch activity of this batch (when non-null). */
     PrefetchStats *prefetchStats = nullptr;
+
+    /**
+     * Optional batch-wide interrupt switch (typically set from a
+     * SIGINT/SIGTERM handler). Once it reads true, in-flight
+     * experiments are cooperatively cancelled, and configs that have
+     * not started (and are not already memoized or journaled) are
+     * reported as Interrupted errors instead of executing — so an
+     * interrupted batch still returns a complete outcome vector and
+     * every finished result has already been journaled.
+     */
+    const std::atomic<bool> *interrupt = nullptr;
 
     /**
      * Invoked once per input config whose outcome is an error, as it

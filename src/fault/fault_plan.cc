@@ -55,7 +55,8 @@ FaultPlan::fingerprint() const
            << faultAnchorName(ev.anchor) << ',' << ev.at << ','
            << faultAnchorName(ev.endAnchor) << ',' << ev.endAt << ','
            << ev.probability << ',' << ev.bytes << ','
-           << (ev.allButBytes ? 1 : 0) << ',' << ev.factor;
+           << (ev.allButBytes ? 1 : 0) << ',' << ev.factor << ','
+           << ev.burst;
     }
     return os.str();
 }
@@ -90,6 +91,27 @@ FaultPlan::transientPressure(std::uint64_t reserve_bytes)
     depart.at = 0;
     plan.events.push_back(depart);
 
+    return plan;
+}
+
+FaultPlan
+FaultPlan::correlatedBursts(unsigned windows, std::uint64_t burst_len,
+                            std::uint64_t spacing)
+{
+    FaultPlan plan;
+    plan.events.reserve(windows);
+    for (unsigned i = 0; i < windows; ++i) {
+        FaultEvent ev;
+        ev.kind = FaultKind::HugeAllocFail;
+        ev.anchor = FaultAnchor::KernelStart;
+        ev.at = spacing * i;
+        // The burst cap ends the event; leave the window nominally
+        // open until the next one starts so bursts never overlap.
+        ev.endAnchor = FaultAnchor::KernelStart;
+        ev.endAt = spacing * (i + 1);
+        ev.burst = burst_len;
+        plan.events.push_back(ev);
+    }
     return plan;
 }
 

@@ -86,6 +86,17 @@ struct FaultEvent
      */
     double probability = 1.0;
 
+    /**
+     * For HugeAllocFail windows: correlated burst length. 0 (default)
+     * vetoes every request inside the window; N > 0 vetoes exactly
+     * the first N huge-allocation requests that arrive while the
+     * window is open — back to back, deterministically — and then the
+     * window is spent. Models the bursty failure signature of a
+     * fragmented buddy list or a transient reclaim stall, where
+     * failures cluster instead of raining uniformly.
+     */
+    std::uint64_t burst = 0;
+
     /** Memhog / pool-shrink size. */
     std::uint64_t bytes = 0;
     /** Interpret `bytes` as "occupy all but this many" instead. */
@@ -123,6 +134,18 @@ struct FaultPlan
      * the promotion policy under test.
      */
     static FaultPlan transientPressure(std::uint64_t reserve_bytes);
+
+    /**
+     * Correlated-burst veto scenario (serve chaos suite): @p windows
+     * kernel-anchored HugeAllocFail windows, spaced @p spacing
+     * accesses apart, each vetoing exactly @p burst_len back-to-back
+     * huge-allocation requests. Between bursts huge allocation works
+     * normally, so a run under this plan exercises repeated
+     * degrade-and-recover cycles rather than one long outage.
+     */
+    static FaultPlan correlatedBursts(unsigned windows,
+                                      std::uint64_t burst_len,
+                                      std::uint64_t spacing);
 };
 
 } // namespace gpsm::fault

@@ -92,6 +92,8 @@ parseEvent(const obs::Json &j, std::size_t index)
             if (!value.isNumber() || value.asNumber() < 0.0)
                 fatal("fault plan: 'factor' must be non-negative");
             ev.factor = value.asNumber();
+        } else if (key == "burst") {
+            ev.burst = asCount(value, "burst");
         } else {
             fatal("fault plan: unknown event key '%s'", key.c_str());
         }
@@ -104,17 +106,13 @@ parseEvent(const obs::Json &j, std::size_t index)
 } // anonymous namespace
 
 FaultPlan
-parseFaultPlan(const std::string &text)
+faultPlanFromJson(const obs::Json &doc)
 {
-    std::size_t err_off = 0;
-    const std::optional<obs::Json> doc = obs::parseJson(text, &err_off);
-    if (!doc)
-        fatal("fault plan: JSON syntax error at byte %zu", err_off);
-    if (!doc->isObject())
+    if (!doc.isObject())
         fatal("fault plan: top level must be an object");
 
     FaultPlan plan;
-    for (const auto &[key, value] : doc->entries()) {
+    for (const auto &[key, value] : doc.entries()) {
         if (key == "seed") {
             plan.seed = asCount(value, "seed");
         } else if (key == "events") {
@@ -128,6 +126,51 @@ parseFaultPlan(const std::string &text)
         }
     }
     return plan;
+}
+
+obs::Json
+faultPlanToJson(const FaultPlan &plan)
+{
+    const FaultEvent defaults;
+    obs::Json doc = obs::Json::object();
+    if (plan.seed != FaultPlan().seed)
+        doc.set("seed", obs::Json(plan.seed));
+    obs::Json events = obs::Json::array();
+    for (const FaultEvent &ev : plan.events) {
+        obs::Json e = obs::Json::object();
+        e.set("kind", obs::Json(faultKindName(ev.kind)));
+        if (ev.anchor != defaults.anchor)
+            e.set("anchor", obs::Json(faultAnchorName(ev.anchor)));
+        if (ev.at != defaults.at)
+            e.set("at", obs::Json(ev.at));
+        if (ev.endAnchor != defaults.endAnchor)
+            e.set("endAnchor", obs::Json(faultAnchorName(ev.endAnchor)));
+        if (ev.endAt != defaults.endAt)
+            e.set("endAt", obs::Json(ev.endAt));
+        if (ev.probability != defaults.probability)
+            e.set("probability", obs::Json(ev.probability));
+        if (ev.burst != defaults.burst)
+            e.set("burst", obs::Json(ev.burst));
+        if (ev.bytes != defaults.bytes)
+            e.set("bytes", obs::Json(ev.bytes));
+        if (ev.allButBytes != defaults.allButBytes)
+            e.set("allButBytes", obs::Json(ev.allButBytes));
+        if (ev.factor != defaults.factor)
+            e.set("factor", obs::Json(ev.factor));
+        events.push(std::move(e));
+    }
+    doc.set("events", std::move(events));
+    return doc;
+}
+
+FaultPlan
+parseFaultPlan(const std::string &text)
+{
+    std::size_t err_off = 0;
+    const std::optional<obs::Json> doc = obs::parseJson(text, &err_off);
+    if (!doc)
+        fatal("fault plan: JSON syntax error at byte %zu", err_off);
+    return faultPlanFromJson(*doc);
 }
 
 FaultPlan

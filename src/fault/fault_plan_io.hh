@@ -25,6 +25,7 @@
 #include <string>
 
 #include "fault/fault_plan.hh"
+#include "obs/json.hh"
 
 namespace gpsm::fault
 {
@@ -38,6 +39,21 @@ FaultPlan parseFaultPlan(const std::string &text);
 
 /** parseFaultPlan over the contents of @p path (fatal if unreadable). */
 FaultPlan loadFaultPlan(const std::string &path);
+
+/**
+ * Parse a plan from an already-parsed JSON value (same strictness as
+ * parseFaultPlan). Used by the gpsm_serve protocol, which embeds the
+ * plan inside a request document.
+ */
+FaultPlan faultPlanFromJson(const obs::Json &doc);
+
+/**
+ * Inverse of faultPlanFromJson. Fields at their default value are
+ * omitted (notably the ~0 "end of run" endAt, which has no exact
+ * double representation), so faultPlanFromJson(faultPlanToJson(p))
+ * reproduces p fingerprint-exactly.
+ */
+obs::Json faultPlanToJson(const FaultPlan &plan);
 
 } // namespace gpsm::fault
 

@@ -38,6 +38,7 @@ FaultSession::FaultSession(const FaultPlan &plan,
     for (const FaultEvent &ev : plan.events) {
         Scheduled s;
         s.ev = ev;
+        s.burstLeft = ev.burst;
         schedule.push_back(s);
     }
     resolveAnchor(FaultAnchor::Start, now());
@@ -165,6 +166,17 @@ FaultSession::dropHugeAllocation()
         if (s.ev.kind != FaultKind::HugeAllocFail ||
             !windowActive(s, clock)) {
             continue;
+        }
+        if (s.ev.burst > 0) {
+            // Correlated burst: the first `burst` requests inside the
+            // window are vetoed back to back (deterministically,
+            // regardless of `probability`); after that the window is
+            // spent and allocation recovers.
+            if (s.burstLeft == 0)
+                continue;
+            --s.burstLeft;
+            record(s.ev.kind, 1);
+            return true;
         }
         if (s.ev.probability >= 1.0 || rng.chance(s.ev.probability)) {
             record(s.ev.kind, 1);

@@ -111,6 +111,8 @@ class FaultSession final : public mem::AllocationInterceptor,
         bool startResolved = false;
         bool endResolved = false;
         bool fired = false; ///< point events only
+        /** Remaining correlated-burst vetoes (HugeAllocFail only). */
+        std::uint64_t burstLeft = 0;
     };
 
     std::uint64_t now() const;

@@ -1,0 +1,373 @@
+/**
+ * @file
+ * gpsm_serve client implementation.
+ */
+
+#include "serve/client.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+#include <unordered_map>
+
+#include "core/journal.hh"
+
+namespace gpsm::serve
+{
+
+using Clock = std::chrono::steady_clock;
+
+namespace
+{
+
+Clock::duration
+fromSeconds(double seconds)
+{
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds));
+}
+
+} // namespace
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+    reader.reset();
+}
+
+bool
+Client::connect(const std::string &socket_path, double timeout_seconds)
+{
+    close();
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path))
+        return false;
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+
+    const auto give_up = Clock::now() + fromSeconds(timeout_seconds);
+    for (;;) {
+        const int s = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (s >= 0 &&
+            ::connect(s, reinterpret_cast<struct sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            fd = s;
+            reader = std::make_unique<LineReader>(fd);
+            return true;
+        }
+        if (s >= 0)
+            ::close(s);
+        if (Clock::now() >= give_up)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+}
+
+bool
+Client::send(const obs::Json &msg)
+{
+    if (fd < 0)
+        return false;
+    if (!sendLine(fd, msg)) {
+        close();
+        return false;
+    }
+    return true;
+}
+
+std::optional<obs::Json>
+Client::recv(double timeout_seconds)
+{
+    if (fd < 0)
+        return std::nullopt;
+    const int timeout_ms =
+        timeout_seconds < 0
+            ? -1
+            : static_cast<int>(timeout_seconds * 1000.0);
+    const std::optional<obs::Json> doc =
+        readMessage(*reader, timeout_ms);
+    if (!doc && reader->eof())
+        close();
+    return doc;
+}
+
+namespace
+{
+
+/**
+ * One connection's share of the batch: submit with a bounded window,
+ * reconnect-and-resubmit on failure, retry shed requests.
+ */
+void
+runConnection(const std::string &socket_path,
+              const std::vector<obs::Json> &encoded,
+              const std::vector<std::string> &fps,
+              const SubmitOptions &opt, std::deque<std::size_t> pending,
+              std::vector<SubmitOutcome> &out)
+{
+    Client client;
+    unsigned reconnects = 0;
+    unsigned received = 0;
+    // id -> (config index, submit time); ids are config indices,
+    // which are unique across the batch.
+    std::unordered_map<std::uint64_t,
+                       std::pair<std::size_t, Clock::time_point>>
+        unacked;
+    std::unordered_map<std::size_t, unsigned> shedRetries;
+
+    const auto fail_rest = [&](const std::string &message) {
+        for (const auto &[id, entry] : unacked) {
+            SubmitOutcome &o = out[entry.first];
+            o.ok = false;
+            o.kind = "disconnected";
+            o.message = message;
+            o.fingerprint = fps[entry.first];
+        }
+        for (const std::size_t idx : pending) {
+            SubmitOutcome &o = out[idx];
+            o.ok = false;
+            o.kind = "disconnected";
+            o.message = message;
+            o.fingerprint = fps[idx];
+        }
+        unacked.clear();
+        pending.clear();
+    };
+
+    // Move every unacknowledged request back to the front of the
+    // queue and reconnect. Resubmission is safe: the daemon
+    // single-flights by fingerprint and serves finished work from
+    // its memo/journal, so a request that completed before the
+    // disconnect is answered instantly (and identically) on retry.
+    const auto reconnect = [&]() -> bool {
+        client.close();
+        for (const auto &[id, entry] : unacked)
+            pending.push_front(entry.first);
+        unacked.clear();
+        if (!opt.reconnect || reconnects >= opt.reconnectLimit)
+            return false;
+        ++reconnects;
+        return client.connect(socket_path,
+                              opt.connectTimeoutSeconds);
+    };
+
+    if (!client.connect(socket_path, opt.connectTimeoutSeconds)) {
+        fail_rest("could not connect to " + socket_path);
+        return;
+    }
+
+    while (!pending.empty() || !unacked.empty()) {
+        while (client.connected() && !pending.empty() &&
+               unacked.size() < std::max(1u, opt.window)) {
+            const std::size_t idx = pending.front();
+            obs::Json req = obs::Json::object();
+            req.set("op", obs::Json("run"));
+            req.set("id", obs::Json(std::uint64_t(idx)));
+            req.set("config", encoded[idx]);
+            req.set("fingerprint", obs::Json(fps[idx]));
+            if (opt.deadlineSeconds >= 0.0)
+                req.set("deadlineSeconds",
+                        obs::Json(opt.deadlineSeconds));
+            if (opt.retries >= 0)
+                req.set("retries",
+                        obs::Json(std::uint64_t(opt.retries)));
+            if (!client.send(req))
+                break;
+            pending.pop_front();
+            unacked.emplace(idx,
+                            std::make_pair(idx, Clock::now()));
+        }
+
+        if (!client.connected() ||
+            (unacked.empty() && !pending.empty())) {
+            // Disconnected, or sends are failing with nothing in
+            // flight: reconnect or give up.
+            if (!reconnect()) {
+                fail_rest("connection lost (reconnect budget "
+                          "exhausted or disabled)");
+                return;
+            }
+            continue;
+        }
+        if (unacked.empty())
+            break;
+
+        const std::optional<obs::Json> msg =
+            client.recv(opt.recvTimeoutSeconds);
+        if (!msg) {
+            if (!reconnect()) {
+                fail_rest("no response (connection lost or response "
+                          "timeout)");
+                return;
+            }
+            continue;
+        }
+
+        const obs::Json *idField = msg->find("id");
+        if (idField == nullptr || !idField->isNumber())
+            continue;
+        const auto it = unacked.find(
+            static_cast<std::uint64_t>(idField->asNumber()));
+        if (it == unacked.end())
+            continue;
+        const std::size_t idx = it->second.first;
+        const Clock::time_point submitted = it->second.second;
+        unacked.erase(it);
+        ++received;
+
+        SubmitOutcome &o = out[idx];
+        o.fingerprint = fps[idx];
+        o.latencySeconds =
+            std::chrono::duration<double>(Clock::now() - submitted)
+                .count();
+        const obs::Json *status = msg->find("status");
+        const bool is_ok = status != nullptr && status->isString() &&
+                           status->asString() == "ok";
+        if (is_ok) {
+            const obs::Json *payload = msg->find("result");
+            const std::optional<core::RunResult> result =
+                payload != nullptr && payload->isString()
+                    ? core::deserializeRunResult(payload->asString())
+                    : std::nullopt;
+            if (!result) {
+                o.ok = false;
+                o.kind = "invalid";
+                o.message = "response carried an undeserializable "
+                            "result payload";
+            } else {
+                o.ok = true;
+                o.kind.clear();
+                o.result = *result;
+                if (const obs::Json *c = msg->find("cached"))
+                    o.cached = c->kind() == obs::Json::Kind::Bool &&
+                               c->asBool();
+                if (const obs::Json *a = msg->find("attempts");
+                    a != nullptr && a->isNumber())
+                    o.attempts =
+                        static_cast<unsigned>(a->asNumber());
+            }
+        } else {
+            const obs::Json *kind = msg->find("kind");
+            const obs::Json *message = msg->find("message");
+            o.ok = false;
+            o.kind = kind != nullptr && kind->isString()
+                         ? kind->asString()
+                         : "invalid";
+            o.message = message != nullptr && message->isString()
+                            ? message->asString()
+                            : "";
+            if (const obs::Json *a = msg->find("attempts");
+                a != nullptr && a->isNumber())
+                o.attempts = static_cast<unsigned>(a->asNumber());
+            if (o.kind == "overloaded" && opt.retryOverloaded &&
+                shedRetries[idx] < opt.overloadedRetryLimit) {
+                ++shedRetries[idx];
+                pending.push_back(idx);
+                std::this_thread::sleep_for(
+                    fromSeconds(opt.overloadedBackoffSeconds));
+            }
+        }
+
+        if (opt.dropEvery != 0 && received % opt.dropEvery == 0 &&
+            (!pending.empty() || !unacked.empty())) {
+            // Chaos: tear our own connection down mid-batch; the
+            // next loop iteration reconnects and resubmits.
+            client.close();
+        }
+    }
+}
+
+} // namespace
+
+std::vector<SubmitOutcome>
+submitBatch(const std::string &socket_path,
+            const std::vector<core::ExperimentConfig> &configs,
+            const SubmitOptions &options)
+{
+    std::vector<obs::Json> encoded;
+    std::vector<std::string> fps;
+    encoded.reserve(configs.size());
+    fps.reserve(configs.size());
+    for (const core::ExperimentConfig &c : configs) {
+        encoded.push_back(configToJson(c));
+        fps.push_back(c.fingerprint());
+    }
+
+    std::vector<SubmitOutcome> out(configs.size());
+    const unsigned conns =
+        std::max(1u, std::min<unsigned>(options.connections,
+                                        configs.size() == 0
+                                            ? 1
+                                            : configs.size()));
+    std::vector<std::deque<std::size_t>> slices(conns);
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        slices[i % conns].push_back(i);
+
+    std::vector<std::thread> threads;
+    threads.reserve(conns);
+    for (unsigned c = 0; c < conns; ++c) {
+        threads.emplace_back([&, c] {
+            runConnection(socket_path, encoded, fps, options,
+                          std::move(slices[c]), out);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    return out;
+}
+
+std::optional<obs::Json>
+requestStats(const std::string &socket_path, double timeout_seconds)
+{
+    Client client;
+    if (!client.connect(socket_path, timeout_seconds))
+        return std::nullopt;
+    obs::Json req = obs::Json::object();
+    req.set("op", obs::Json("stats"));
+    req.set("id", obs::Json(std::uint64_t(0)));
+    if (!client.send(req))
+        return std::nullopt;
+    const std::optional<obs::Json> resp =
+        client.recv(timeout_seconds);
+    if (!resp)
+        return std::nullopt;
+    const obs::Json *stats = resp->find("stats");
+    if (stats == nullptr)
+        return std::nullopt;
+    return *stats;
+}
+
+bool
+requestDrain(const std::string &socket_path, double timeout_seconds)
+{
+    Client client;
+    if (!client.connect(socket_path, timeout_seconds))
+        return false;
+    obs::Json req = obs::Json::object();
+    req.set("op", obs::Json("drain"));
+    req.set("id", obs::Json(std::uint64_t(0)));
+    if (!client.send(req))
+        return false;
+    const std::optional<obs::Json> resp =
+        client.recv(timeout_seconds);
+    return resp.has_value();
+}
+
+} // namespace gpsm::serve

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * gpsm_serve client: one pipelined connection plus a batch submitter.
+ *
+ * submitBatch() drives a config batch through the daemon over C
+ * connections with a bounded in-flight window per connection (both
+ * sides stream; an unbounded window could deadlock with both peers
+ * blocked on full socket buffers). It survives the failures the serve
+ * chaos suite injects: a dropped connection reconnects (with a retry
+ * budget) and resubmits every unacknowledged request — safe because
+ * the daemon single-flights by fingerprint and serves completed work
+ * from the memo/journal — and "overloaded" rejections optionally
+ * retry with backoff. A client-side chaos knob (dropEvery) force-
+ * closes its own connections mid-batch to exercise the daemon's
+ * disconnect handling.
+ */
+
+#ifndef GPSM_SERVE_CLIENT_HH
+#define GPSM_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "serve/protocol.hh"
+
+namespace gpsm::serve
+{
+
+/** One connection to the daemon. Not thread-safe. */
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Connect to @p socket_path, retrying every ~50ms until
+     * @p timeout_seconds (a restarting daemon needs a moment to
+     * re-bind). @return false on timeout.
+     */
+    bool connect(const std::string &socket_path,
+                 double timeout_seconds = 10.0);
+
+    void close();
+    bool connected() const { return fd >= 0; }
+
+    /** Send one request line. False when the connection is gone. */
+    bool send(const obs::Json &msg);
+
+    /** Next response, waiting up to @p timeout_seconds. nullopt on
+     *  timeout, disconnect or unparsable line. */
+    std::optional<obs::Json> recv(double timeout_seconds);
+
+  private:
+    int fd = -1;
+    std::unique_ptr<LineReader> reader;
+};
+
+/** Outcome of one submitted config. */
+struct SubmitOutcome
+{
+    bool ok = false;
+    /** Error kind when !ok: timeout|exception|interrupted|overloaded|
+     *  shutdown|invalid|disconnected. */
+    std::string kind;
+    std::string message;
+    std::string fingerprint;
+    core::RunResult result; ///< valid when ok
+    bool cached = false;    ///< served from the daemon's memo/journal
+    double latencySeconds = 0.0; ///< submit-to-response, this client
+    unsigned attempts = 0;       ///< daemon-side executions
+};
+
+struct SubmitOptions
+{
+    /** Parallel connections; configs are dealt round-robin. */
+    unsigned connections = 1;
+    /** Per-request deadline forwarded to the daemon; <0 = default. */
+    double deadlineSeconds = -1.0;
+    /** Daemon-side timeout retries; <0 = daemon default. */
+    int retries = -1;
+    /** Max requests in flight per connection. */
+    unsigned window = 32;
+    /** Reconnect-and-resubmit on disconnect (up to reconnectLimit
+     *  times per connection); off reports "disconnected" outcomes. */
+    bool reconnect = true;
+    unsigned reconnectLimit = 100;
+    double connectTimeoutSeconds = 10.0;
+    /** Patience per response; must exceed the slowest experiment. */
+    double recvTimeoutSeconds = 300.0;
+    /** Resubmit requests the daemon shed, after a short backoff. */
+    bool retryOverloaded = true;
+    double overloadedBackoffSeconds = 0.05;
+    unsigned overloadedRetryLimit = 1000;
+    /** Chaos: force-close the connection after every N responses. */
+    unsigned dropEvery = 0;
+};
+
+/**
+ * Run every config through the daemon at @p socket_path. Outcomes
+ * come back indexed like @p configs; duplicate configs each get an
+ * outcome (the daemon single-flights them). Never throws: transport
+ * failures become "disconnected" outcomes.
+ */
+std::vector<SubmitOutcome>
+submitBatch(const std::string &socket_path,
+            const std::vector<core::ExperimentConfig> &configs,
+            const SubmitOptions &options = SubmitOptions());
+
+/** Fetch the daemon's stats object; nullopt when unreachable. */
+std::optional<obs::Json>
+requestStats(const std::string &socket_path,
+             double timeout_seconds = 10.0);
+
+/** Ask the daemon to drain; true when acknowledged. */
+bool requestDrain(const std::string &socket_path,
+                  double timeout_seconds = 10.0);
+
+} // namespace gpsm::serve
+
+#endif // GPSM_SERVE_CLIENT_HH

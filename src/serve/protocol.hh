@@ -1,0 +1,101 @@
+/**
+ * @file
+ * gpsm_serve wire protocol: JSONL request/response framing over a
+ * local Unix-domain stream socket, plus the ExperimentConfig <-> JSON
+ * codec shared by the daemon, the client library and the tests.
+ *
+ * Framing: one obs::Json document per line (compact dump, '\n'
+ * terminated). Requests carry an "op" and a client-chosen "id"; every
+ * response echoes both, so clients may pipeline any number of
+ * requests per connection and match responses out of order.
+ *
+ * Ops:
+ *   run   {"op":"run","id":N,"config":{...},"fingerprint":"...",
+ *          "deadlineSeconds":X,"retries":N}      -> result / error
+ *   sleep {"op":"sleep","id":N,"seconds":X}      occupy one worker
+ *                                                (tests and load
+ *                                                generation only)
+ *   stats {"op":"stats","id":N}                  service counters
+ *   ping  {"op":"ping","id":N}                   liveness probe
+ *   drain {"op":"drain","id":N}                  begin graceful drain
+ *
+ * The "fingerprint" field of a run request is the client's locally
+ * computed ExperimentConfig::fingerprint(); the daemon recomputes it
+ * from the decoded config and rejects the request as invalid on any
+ * mismatch. That turns silent codec drift (a new config field one
+ * side does not serialize) into a loud per-request error instead of a
+ * wrong memo key.
+ *
+ * Error kinds in responses: "timeout", "exception", "interrupted"
+ * (the pool's vocabulary), plus service-level "overloaded" (queue
+ * full, request shed), "shutdown" (daemon draining), and "invalid"
+ * (malformed request or codec mismatch).
+ */
+
+#ifndef GPSM_SERVE_PROTOCOL_HH
+#define GPSM_SERVE_PROTOCOL_HH
+
+#include <optional>
+#include <string>
+
+#include "core/experiment.hh"
+#include "obs/json.hh"
+
+namespace gpsm::serve
+{
+
+/**
+ * Encode @p config as a JSON object. Fields at their default value
+ * are omitted; the result decodes (configFromJson) to a config with
+ * the identical fingerprint — asserted internally, so a config that
+ * uses a field the codec does not cover is a fatal() at encode time
+ * (never a silently wrong request on the wire).
+ */
+obs::Json configToJson(const core::ExperimentConfig &config);
+
+/**
+ * Inverse of configToJson: decode starting from a default-constructed
+ * config (or the named system preset). Unknown keys, unknown enum
+ * spellings and type mismatches are fatal() — the caller (daemon)
+ * catches FatalError and reports an "invalid" response.
+ */
+core::ExperimentConfig configFromJson(const obs::Json &doc);
+
+/**
+ * Send one line-framed document: compact dump + '\n', written fully
+ * (partial sends retried), SIGPIPE suppressed. @return false when
+ * the peer is gone or the write failed.
+ */
+bool sendLine(int fd, const obs::Json &doc);
+
+/**
+ * Buffered line reader over one socket. Not thread-safe; each
+ * connection has exactly one reader.
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : sock(fd) {}
+
+    /**
+     * Next complete line, blocking up to @p timeout_ms (-1 = forever).
+     * @return nullopt on EOF, error or timeout; eof() distinguishes a
+     * closed peer from a timeout.
+     */
+    std::optional<std::string> readLine(int timeout_ms = -1);
+
+    bool eof() const { return sawEof; }
+
+  private:
+    int sock;
+    std::string buffer;
+    bool sawEof = false;
+};
+
+/** readLine + parse; nullopt on EOF/timeout/unparsable line. */
+std::optional<obs::Json> readMessage(LineReader &reader,
+                                     int timeout_ms = -1);
+
+} // namespace gpsm::serve
+
+#endif // GPSM_SERVE_PROTOCOL_HH

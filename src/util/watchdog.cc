@@ -1,0 +1,67 @@
+/**
+ * @file
+ * DeadlineWatchdog implementation.
+ */
+
+#include "util/watchdog.hh"
+
+namespace gpsm::util
+{
+
+DeadlineWatchdog::DeadlineWatchdog(const std::atomic<bool> *interrupt)
+    : interruptFlag(interrupt), scanner([this] { loop(); })
+{
+}
+
+DeadlineWatchdog::~DeadlineWatchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cv.notify_all();
+    scanner.join();
+}
+
+void
+DeadlineWatchdog::watch(const Flag &flag, Clock::time_point deadline)
+{
+    if (interruptFlag != nullptr &&
+        interruptFlag->load(std::memory_order_relaxed)) {
+        flag->store(true, std::memory_order_relaxed);
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mtx);
+    active.push_back({flag, deadline});
+}
+
+void
+DeadlineWatchdog::unwatch(const Flag &flag)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    for (auto it = active.begin(); it != active.end(); ++it) {
+        if (it->flag == flag) {
+            active.erase(it);
+            return;
+        }
+    }
+}
+
+void
+DeadlineWatchdog::loop()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    while (!stopping) {
+        const bool interrupted =
+            interruptFlag != nullptr &&
+            interruptFlag->load(std::memory_order_relaxed);
+        const auto now = Clock::now();
+        for (const Entry &e : active) {
+            if (interrupted || now >= e.deadline)
+                e.flag->store(true, std::memory_order_relaxed);
+        }
+        cv.wait_for(lock, std::chrono::milliseconds(25));
+    }
+}
+
+} // namespace gpsm::util

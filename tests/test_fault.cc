@@ -395,3 +395,107 @@ TEST(FaultPlanIo, RejectsMalformedInput)
                                        "probability": 1.5}]})"),
         FatalError);
 }
+
+TEST(FaultSession, CorrelatedBurstVetoesExactlyN)
+{
+    // A burst window vetoes exactly its first N requests back to
+    // back — deterministically, even with probability 0 — and is then
+    // spent for the rest of the window.
+    FaultPlan plan;
+    FaultEvent ev; // default window: open at start, never closes
+    ev.kind = FaultKind::HugeAllocFail;
+    ev.burst = 3;
+    ev.probability = 0.0; // burst bypasses the probabilistic path
+    plan.events.push_back(ev);
+
+    World w;
+    FaultSession s(plan, 1, w.node, w.swap, w.mmu);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(s.dropHugeAllocation()) << "request " << i;
+    for (int i = 0; i < 32; ++i)
+        EXPECT_FALSE(s.dropHugeAllocation());
+    EXPECT_EQ(s.eventsApplied(), 3u);
+
+    // burst = 0 keeps the old semantics: every request in the window.
+    FaultPlan full;
+    FaultEvent every;
+    every.kind = FaultKind::HugeAllocFail;
+    full.events.push_back(every);
+    World w2;
+    FaultSession s2(full, 1, w2.node, w2.swap, w2.mmu);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_TRUE(s2.dropHugeAllocation());
+}
+
+TEST(FaultPlan, CorrelatedBurstsBuildsBackToBackWindows)
+{
+    const FaultPlan plan =
+        FaultPlan::correlatedBursts(/*windows=*/3, /*burst_len=*/2,
+                                    /*spacing=*/1000);
+    ASSERT_EQ(plan.events.size(), 3u);
+    for (std::size_t i = 0; i < plan.events.size(); ++i) {
+        const FaultEvent &ev = plan.events[i];
+        EXPECT_EQ(ev.kind, FaultKind::HugeAllocFail);
+        EXPECT_EQ(ev.anchor, FaultAnchor::KernelStart);
+        EXPECT_EQ(ev.at, 1000u * i);
+        EXPECT_EQ(ev.endAnchor, FaultAnchor::KernelStart);
+        EXPECT_EQ(ev.endAt, 1000u * (i + 1));
+        EXPECT_EQ(ev.burst, 2u);
+    }
+}
+
+TEST(FaultPlan, FingerprintDistinguishesBurst)
+{
+    FaultPlan window;
+    FaultEvent ev;
+    ev.kind = FaultKind::HugeAllocFail;
+    window.events.push_back(ev);
+
+    FaultPlan burst = window;
+    burst.events[0].burst = 2;
+    EXPECT_NE(window.fingerprint(), burst.fingerprint());
+
+    FaultPlan longer = burst;
+    longer.events[0].burst = 3;
+    EXPECT_NE(burst.fingerprint(), longer.fingerprint());
+    EXPECT_EQ(burst.fingerprint(), FaultPlan(burst).fingerprint());
+}
+
+TEST(FaultPlanIo, BurstRoundTripsThroughJson)
+{
+    const FaultPlan built =
+        FaultPlan::correlatedBursts(2, 3, 1u << 20);
+    const FaultPlan back = faultPlanFromJson(faultPlanToJson(built));
+    EXPECT_EQ(back.fingerprint(), built.fingerprint());
+
+    // And the explicit spelling parses to the same plan.
+    const FaultPlan parsed = parseFaultPlan(R"({
+        "events": [
+            {"kind": "hugeAllocFail", "anchor": "kernel", "at": 0,
+             "endAnchor": "kernel", "endAt": 1048576, "burst": 3},
+            {"kind": "hugeAllocFail", "anchor": "kernel",
+             "at": 1048576, "endAnchor": "kernel", "endAt": 2097152,
+             "burst": 3}
+        ]
+    })");
+    EXPECT_EQ(parsed.fingerprint(), built.fingerprint());
+}
+
+TEST(FaultExperiment, CorrelatedBurstRunIsDeterministicAndBounded)
+{
+    // A burst plan changes the experiment's identity, reproduces bit
+    // for bit, and injects at most windows * burst_len failures (the
+    // bound that distinguishes it from a full-window veto).
+    ExperimentConfig cfg = smallConfig();
+    cfg.thpMode = vm::ThpMode::Always;
+    cfg.faultPlan = FaultPlan::correlatedBursts(2, 2, 1u << 18);
+
+    ExperimentConfig clean = smallConfig();
+    clean.thpMode = vm::ThpMode::Always;
+    EXPECT_NE(cfg.fingerprint(), clean.fingerprint());
+
+    const RunResult a = runExperiment(cfg);
+    const RunResult b = runExperiment(cfg);
+    expectIdentical(a, b);
+    EXPECT_LE(a.injectedHugeFailures, 4u);
+}

@@ -157,3 +157,90 @@ TEST(Runner, FingerprintDistinguishesLabelOmittedFields)
     // And identical configs agree.
     EXPECT_EQ(a.fingerprint(), ExperimentConfig(a).fingerprint());
 }
+
+TEST(Runner, MemoCapEvictsLeastRecentlyUsed)
+{
+    // A byte cap bounds the memo: once full, the least-recently-used
+    // entry is evicted (never the one just inserted), so a re-request
+    // of an evicted config is a miss that re-executes.
+    clearExperimentMemo();
+    const MemoStats base = experimentMemoStats();
+    setExperimentMemoCapBytes(1); // room for exactly one entry
+
+    const ExperimentConfig bfs = smallConfig(App::Bfs, "kron");
+    const ExperimentConfig pr = smallConfig(App::Pr, "kron");
+
+    bool cached = true;
+    const RunResult first = runMemoized(bfs, &cached);
+    EXPECT_FALSE(cached);
+    MemoStats stats = experimentMemoStats();
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.capBytes, 1u);
+
+    // Inserting a second entry evicts the first (LRU).
+    runMemoized(pr, &cached);
+    EXPECT_FALSE(cached);
+    stats = experimentMemoStats();
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_GE(stats.evictions, base.evictions + 1);
+
+    // The evicted config misses and re-executes — bit-identically.
+    const RunResult again = runMemoized(bfs, &cached);
+    EXPECT_FALSE(cached);
+    expectIdentical(first, again);
+
+    // Unbounded again: both fit, the second request hits.
+    setExperimentMemoCapBytes(0);
+    clearExperimentMemo();
+    runMemoized(bfs, &cached);
+    EXPECT_FALSE(cached);
+    runMemoized(bfs, &cached);
+    EXPECT_TRUE(cached);
+    setExperimentMemoCapBytes(256ull << 20); // restore the default
+}
+
+TEST(Runner, InterruptFlagShortCircuitsBatch)
+{
+    // A raised interrupt switch cancels the batch: nothing executes,
+    // every config still gets an outcome, and the error vocabulary
+    // distinguishes Interrupted from Timeout/Exception.
+    clearExperimentMemo();
+    std::atomic<bool> stop{true};
+    PoolOptions opts;
+    opts.interrupt = &stop;
+
+    const std::vector<ExperimentConfig> configs = {
+        smallConfig(App::Bfs, "kron"), smallConfig(App::Pr, "kron"),
+        smallConfig(App::Cc, "kron")};
+    ExperimentPool pool(2);
+    const MemoStats before = experimentMemoStats();
+    const std::vector<RunOutcome> outcomes =
+        pool.runOutcomes(configs, opts);
+
+    ASSERT_EQ(outcomes.size(), configs.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        SCOPED_TRACE(configs[i].label());
+        ASSERT_FALSE(outcomes[i].ok());
+        EXPECT_EQ(outcomes[i].error->kind,
+                  ExperimentError::Kind::Interrupted);
+        EXPECT_EQ(outcomes[i].error->fingerprint,
+                  configs[i].fingerprint());
+    }
+    // Nothing was executed on behalf of the interrupted batch.
+    EXPECT_EQ(experimentMemoStats().misses, before.misses);
+
+    // An already-memoized config is still served under interrupt
+    // (finished work is never discarded).
+    stop.store(false);
+    bool cached = true;
+    const RunResult done = runMemoized(configs[0], &cached);
+    EXPECT_FALSE(cached);
+    stop.store(true);
+    const std::vector<RunOutcome> resumed =
+        pool.runOutcomes(configs, opts);
+    ASSERT_TRUE(resumed[0].ok());
+    expectIdentical(done, *resumed[0].result);
+    ASSERT_FALSE(resumed[1].ok());
+    EXPECT_EQ(resumed[1].error->kind,
+              ExperimentError::Kind::Interrupted);
+}

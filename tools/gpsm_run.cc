@@ -11,6 +11,8 @@
  *   gpsm_run --app sssp --dataset web --thp never --stats
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -33,6 +35,21 @@ using namespace gpsm::core;
 
 namespace
 {
+
+/**
+ * SIGINT/SIGTERM flip this batch-wide interrupt switch: in-flight
+ * experiments are cooperatively cancelled and unstarted ones are
+ * reported as interrupted — but every result finished before the
+ * signal has already been flushed to the journal (when one is
+ * attached), so the re-run resumes instead of redoing work.
+ */
+std::atomic<bool> g_interrupted{false};
+
+void
+onInterrupt(int)
+{
+    g_interrupted.store(true);
+}
 
 void
 usage()
@@ -345,6 +362,13 @@ try {
                        resultJournalStats().loaded));
     }
 
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onInterrupt;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+    pool_opts.interrupt = &g_interrupted;
+
     std::cout << cfg.sys.describe();
     ExperimentPool pool(jobs);
     const std::vector<RunOutcome> outcomes =
@@ -368,6 +392,19 @@ try {
                      experimentErrorKindName(err.kind),
                      err.label.c_str(), err.message.c_str(),
                      err.attempts, err.fingerprint.c_str());
+    }
+    if (g_interrupted.load()) {
+        const JournalStats js = resultJournalStats();
+        if (js.enabled)
+            std::fprintf(stderr,
+                         "interrupted: journal flushed (%llu results "
+                         "on disk); the re-run resumes from it\n",
+                         static_cast<unsigned long long>(js.loaded +
+                                                         js.appends));
+        else
+            std::fprintf(stderr,
+                         "interrupted (no journal attached; finished "
+                         "results are lost — use --journal)\n");
     }
     return failures == 0 ? 0 : 1;
 } catch (const FatalError &) {

@@ -1,0 +1,460 @@
+/**
+ * @file
+ * gpsm_serve: crash-tolerant experiment service.
+ *
+ * Modes:
+ * - daemon (default): serve experiment-batch requests over a local
+ *   Unix socket until SIGINT/SIGTERM or a client's "drain" op, then
+ *   drain gracefully and print the service counters. With --journal,
+ *   every completed experiment is durable before its response: a
+ *   SIGKILL'd daemon restarted on the same journal resumes, serving
+ *   finished work from disk.
+ * - --submit: act as a client. Accepts gpsm_run's config vocabulary,
+ *   expands the app x dataset cross product, submits the batch over
+ *   N connections and prints a summary (optionally recording results
+ *   to a client-side journal for gpsm_report diffs).
+ * - --stats: fetch and print the daemon's counters.
+ * - --drain: ask the daemon to drain and exit.
+ *
+ * Examples:
+ *   gpsm_serve --socket /tmp/gpsm.sock --journal /tmp/gpsm.gpsmj &
+ *   gpsm_serve --submit --socket /tmp/gpsm.sock \
+ *              --app bfs,pr --dataset kron,web --divisor 1024 \
+ *              --connections 8 --out-journal client.gpsmj
+ *   gpsm_serve --stats --socket /tmp/gpsm.sock
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/journal.hh"
+#include "core/runner.hh"
+#include "fault/fault_plan_io.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "util/logging.hh"
+#include "util/parse.hh"
+#include "util/table.hh"
+
+using namespace gpsm;
+using namespace gpsm::core;
+
+namespace
+{
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true);
+}
+
+void
+usage()
+{
+    std::cout <<
+        "gpsm_serve — crash-tolerant experiment service\n"
+        "\n"
+        "daemon mode (default):\n"
+        "  --socket PATH            Unix socket (/tmp/gpsm_serve.sock)\n"
+        "  --journal PATH           crash-safe result journal; restart\n"
+        "                           on the same path resumes\n"
+        "  --workers N              experiment workers (default cores)\n"
+        "  --queue-cap N            admission bound; beyond it requests\n"
+        "                           are shed as 'overloaded' (256)\n"
+        "  --max-connections N      concurrent client cap (256)\n"
+        "  --default-deadline X     per-request deadline, seconds,\n"
+        "                           for requests that carry none (0)\n"
+        "  --default-retries N      timeout retries default (0)\n"
+        "  --backoff-ms N           retry backoff base (50)\n"
+        "\n"
+        "client modes:\n"
+        "  --submit                 submit a batch (config flags as in\n"
+        "                           gpsm_run: --app --dataset --divisor\n"
+        "                           --thp --prop-fraction --order\n"
+        "                           --reorder --slack-mib --frag\n"
+        "                           --file-source --paper --seed\n"
+        "                           --fault-plan --numa-* \n"
+        "                           --pressure-node)\n"
+        "    --connections N        parallel connections (4)\n"
+        "    --deadline X           per-request deadline, seconds\n"
+        "    --retries N            daemon-side timeout retries\n"
+        "    --repeat N             submit the batch N times (dedupe/\n"
+        "                           memo exercise; default 1)\n"
+        "    --shard I/N            submit only shard I of N (same\n"
+        "                           split as the bench --shard)\n"
+        "    --out-journal PATH     record received results (journal\n"
+        "                           format, diffable via gpsm_report)\n"
+        "    --recv-timeout X       per-response patience (300)\n"
+        "  --stats                  print daemon counters as JSON\n"
+        "  --drain                  ask the daemon to drain and exit\n"
+        "  --quiet                  suppress progress notes\n";
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream in(s);
+    std::string item;
+    while (std::getline(in, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    if (out.empty())
+        fatal("empty list '%s'", s.c_str());
+    return out;
+}
+
+App
+parseApp(const std::string &v)
+{
+    if (v == "bfs")
+        return App::Bfs;
+    if (v == "sssp")
+        return App::Sssp;
+    if (v == "pr")
+        return App::Pr;
+    if (v == "cc")
+        return App::Cc;
+    fatal("unknown app '%s'", v.c_str());
+}
+
+void
+printServeStats(const serve::ServeStats &s)
+{
+    TableWriter table("serve stats");
+    table.setHeader({"counter", "value"});
+    table.addRow({"requests admitted", std::to_string(s.requests)});
+    table.addRow({"completed", std::to_string(s.completed)});
+    table.addRow({"failed", std::to_string(s.failed)});
+    table.addRow({"shed (overloaded)", std::to_string(s.shed)});
+    table.addRow({"rejected draining",
+                  std::to_string(s.rejectedDraining)});
+    table.addRow({"invalid", std::to_string(s.invalid)});
+    table.addRow({"dedupe hits", std::to_string(s.dedupeHits)});
+    table.addRow({"cache hits", std::to_string(s.cacheHits)});
+    table.addRow({"timeout retries", std::to_string(s.retries)});
+    table.addRow({"connections accepted",
+                  std::to_string(s.connectionsAccepted)});
+    table.addRow({"connections refused",
+                  std::to_string(s.connectionsRefused)});
+    table.addRow({"latency p50 (us)",
+                  std::to_string(
+                      s.latencyUs.percentileUpperBound(0.50))});
+    table.addRow({"latency p99 (us)",
+                  std::to_string(
+                      s.latencyUs.percentileUpperBound(0.99))});
+    table.addRow({"latency p999 (us)",
+                  std::to_string(
+                      s.latencyUs.percentileUpperBound(0.999))});
+    table.addRow({"journal loaded", std::to_string(s.journal.loaded)});
+    table.addRow({"journal appends",
+                  std::to_string(s.journal.appends)});
+    table.print(std::cout, /*with_csv=*/false);
+}
+
+int
+daemonMain(const serve::ServeOptions &opts)
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onSignal;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    serve::Server server(opts);
+    std::string err;
+    if (!server.start(&err))
+        fatal("cannot serve on '%s': %s", opts.socketPath.c_str(),
+              err.c_str());
+    inform("gpsm_serve: listening on %s (journal: %s)",
+           opts.socketPath.c_str(),
+           opts.journalPath.empty() ? "none"
+                                    : opts.journalPath.c_str());
+
+    while (!g_stop.load() && !server.drainRequested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    inform("gpsm_serve: draining...");
+    server.drain();
+    printServeStats(server.stats());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    serve::ServeOptions serve_opts;
+    serve::SubmitOptions submit_opts;
+    submit_opts.connections = 4;
+
+    enum class Mode
+    {
+        Daemon,
+        Submit,
+        Stats,
+        Drain,
+    } mode = Mode::Daemon;
+
+    ExperimentConfig cfg;
+    cfg.scaleDivisor = 256;
+    std::vector<App> apps = {App::Bfs};
+    std::vector<std::string> datasets = {"kron"};
+    unsigned repeat = 1;
+    unsigned shard = 1;
+    unsigned shards = 1;
+    std::string out_journal;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value after %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--submit") {
+            mode = Mode::Submit;
+        } else if (arg == "--stats") {
+            mode = Mode::Stats;
+        } else if (arg == "--drain") {
+            mode = Mode::Drain;
+        } else if (arg == "--socket") {
+            serve_opts.socketPath = next();
+        } else if (arg == "--journal") {
+            serve_opts.journalPath = next();
+        } else if (arg == "--workers") {
+            serve_opts.workers = parseUnsigned(next(), "--workers");
+        } else if (arg == "--queue-cap") {
+            serve_opts.queueCap = parseU64(next(), "--queue-cap");
+        } else if (arg == "--max-connections") {
+            serve_opts.maxConnections =
+                parseUnsigned(next(), "--max-connections");
+        } else if (arg == "--default-deadline") {
+            serve_opts.defaultDeadlineSeconds =
+                parseDouble(next(), "--default-deadline");
+        } else if (arg == "--default-retries") {
+            serve_opts.defaultRetries =
+                parseUnsigned(next(), "--default-retries");
+        } else if (arg == "--backoff-ms") {
+            serve_opts.backoffBaseSeconds =
+                parseDouble(next(), "--backoff-ms") / 1000.0;
+        } else if (arg == "--connections") {
+            submit_opts.connections =
+                parseUnsigned(next(), "--connections");
+        } else if (arg == "--deadline") {
+            submit_opts.deadlineSeconds =
+                parseDouble(next(), "--deadline");
+        } else if (arg == "--retries") {
+            submit_opts.retries =
+                static_cast<int>(parseUnsigned(next(), "--retries"));
+        } else if (arg == "--recv-timeout") {
+            submit_opts.recvTimeoutSeconds =
+                parseDouble(next(), "--recv-timeout");
+        } else if (arg == "--repeat") {
+            repeat = parseUnsigned(next(), "--repeat");
+        } else if (arg == "--shard") {
+            const std::string v = next();
+            const std::size_t slash = v.find('/');
+            if (slash == std::string::npos)
+                fatal("--shard wants I/N, got '%s'", v.c_str());
+            shard = parseUnsigned(v.substr(0, slash), "--shard");
+            shards = parseUnsigned(v.substr(slash + 1), "--shard");
+            if (shard < 1 || shards < 1 || shard > shards)
+                fatal("--shard %u/%u out of range", shard, shards);
+        } else if (arg == "--out-journal") {
+            out_journal = next();
+        } else if (arg == "--app") {
+            apps.clear();
+            for (const std::string &v : splitCommas(next()))
+                apps.push_back(parseApp(v));
+        } else if (arg == "--dataset") {
+            datasets = splitCommas(next());
+        } else if (arg == "--divisor") {
+            cfg.scaleDivisor = parseU64(next(), "--divisor");
+        } else if (arg == "--thp") {
+            const std::string v = next();
+            if (v == "never")
+                cfg.thpMode = vm::ThpMode::Never;
+            else if (v == "always")
+                cfg.thpMode = vm::ThpMode::Always;
+            else if (v == "madvise")
+                cfg.thpMode = vm::ThpMode::Madvise;
+            else
+                fatal("unknown THP mode '%s'", v.c_str());
+        } else if (arg == "--prop-fraction") {
+            cfg.madvise.propertyFraction =
+                parseDouble(next(), "--prop-fraction");
+        } else if (arg == "--madvise-vertex") {
+            cfg.madvise.vertex = true;
+        } else if (arg == "--madvise-edge") {
+            cfg.madvise.edge = true;
+        } else if (arg == "--madvise-values") {
+            cfg.madvise.values = true;
+        } else if (arg == "--order") {
+            const std::string v = next();
+            cfg.order = v == "prop-first" ? AllocOrder::PropertyFirst
+                                          : AllocOrder::Natural;
+        } else if (arg == "--reorder") {
+            const std::string v = next();
+            if (v == "none")
+                cfg.reorder = graph::ReorderMethod::None;
+            else if (v == "dbg")
+                cfg.reorder = graph::ReorderMethod::Dbg;
+            else if (v == "sort")
+                cfg.reorder = graph::ReorderMethod::SortByDegree;
+            else if (v == "hubsort")
+                cfg.reorder = graph::ReorderMethod::HubSort;
+            else if (v == "random")
+                cfg.reorder = graph::ReorderMethod::Random;
+            else
+                fatal("unknown reorder '%s'", v.c_str());
+        } else if (arg == "--slack-mib") {
+            cfg.constrainMemory = true;
+            cfg.slackBytes =
+                parseI64(next(), "--slack-mib") * 1024 * 1024;
+        } else if (arg == "--fault-plan") {
+            cfg.faultPlan = fault::loadFaultPlan(next());
+        } else if (arg == "--frag") {
+            cfg.fragLevel = parseDouble(next(), "--frag");
+        } else if (arg == "--file-source") {
+            const std::string v = next();
+            if (v == "tmpfs")
+                cfg.fileSource = FileSource::TmpfsRemote;
+            else if (v == "cache")
+                cfg.fileSource = FileSource::PageCacheLocal;
+            else if (v == "directio")
+                cfg.fileSource = FileSource::DirectIo;
+            else
+                fatal("unknown file source '%s'", v.c_str());
+        } else if (arg == "--paper") {
+            cfg.sys = SystemConfig::haswell();
+        } else if (arg == "--seed") {
+            cfg.seed = parseU64(next(), "--seed");
+        } else if (arg == "--numa-node1-mib") {
+            cfg.sys.enableSecondNode(
+                parseU64(next(), "--numa-node1-mib") * 1024 * 1024);
+        } else if (arg == "--numa-placement") {
+            const std::string v = next();
+            if (v == "first-touch")
+                cfg.sys.numaPlacement = NumaPlacement::FirstTouch;
+            else if (v == "interleave")
+                cfg.sys.numaPlacement = NumaPlacement::Interleave;
+            else if (v == "preferred-local")
+                cfg.sys.numaPlacement = NumaPlacement::PreferredLocal;
+            else if (v == "remote-only")
+                cfg.sys.numaPlacement = NumaPlacement::RemoteOnly;
+            else
+                fatal("unknown NUMA placement '%s'", v.c_str());
+        } else if (arg == "--numa-migrate-on-promote") {
+            cfg.sys.numaMigrateOnPromote = true;
+        } else if (arg == "--pressure-node") {
+            const std::string v = next();
+            if (v == "local")
+                cfg.pressureNode = PressureNode::Local;
+            else if (v == "remote")
+                cfg.pressureNode = PressureNode::Remote;
+            else if (v == "both")
+                cfg.pressureNode = PressureNode::Both;
+            else
+                fatal("unknown pressure node '%s'", v.c_str());
+        } else if (arg == "--quiet") {
+            setQuiet(true);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            fatal("unknown argument '%s' (try --help)", arg.c_str());
+        }
+    }
+
+    if (mode == Mode::Daemon)
+        return daemonMain(serve_opts);
+
+    if (mode == Mode::Stats) {
+        const std::optional<obs::Json> stats =
+            serve::requestStats(serve_opts.socketPath);
+        if (!stats)
+            fatal("no daemon reachable at '%s'",
+                  serve_opts.socketPath.c_str());
+        std::cout << stats->dump(2) << '\n';
+        return 0;
+    }
+
+    if (mode == Mode::Drain) {
+        if (!serve::requestDrain(serve_opts.socketPath))
+            fatal("no daemon reachable at '%s'",
+                  serve_opts.socketPath.c_str());
+        inform("drain acknowledged");
+        return 0;
+    }
+
+    // --submit: expand the cross product, shard, submit.
+    std::vector<ExperimentConfig> configs;
+    for (unsigned r = 0; r < repeat; ++r) {
+        for (App app : apps) {
+            for (const std::string &ds : datasets) {
+                ExperimentConfig c = cfg;
+                c.app = app;
+                c.dataset = ds;
+                configs.push_back(std::move(c));
+            }
+        }
+    }
+    if (shards > 1) {
+        const std::vector<bool> mine =
+            shardSelection(configs, shard, shards);
+        std::vector<ExperimentConfig> owned;
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            if (mine[i])
+                owned.push_back(configs[i]);
+        configs.swap(owned);
+        inform("shard %u/%u owns %zu of the batch", shard, shards,
+               configs.size());
+    }
+
+    const std::vector<serve::SubmitOutcome> outcomes =
+        serve::submitBatch(serve_opts.socketPath, configs,
+                           submit_opts);
+
+    std::size_t ok = 0;
+    std::size_t cached = 0;
+    int failures = 0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const serve::SubmitOutcome &o = outcomes[i];
+        if (o.ok) {
+            ++ok;
+            if (o.cached)
+                ++cached;
+            continue;
+        }
+        ++failures;
+        std::fprintf(stderr, "FAILED [%s] %s: %s\n  fingerprint: %s\n",
+                     o.kind.c_str(), configs[i].label().c_str(),
+                     o.message.c_str(), o.fingerprint.c_str());
+    }
+    if (!out_journal.empty()) {
+        ResultJournal journal(out_journal);
+        if (!journal.writable())
+            fatal("cannot write '%s'", out_journal.c_str());
+        for (const serve::SubmitOutcome &o : outcomes)
+            if (o.ok && !journal.record(o.fingerprint, o.result))
+                fatal("journal append failed on '%s'",
+                      out_journal.c_str());
+    }
+    inform("submitted %zu, ok %zu (%zu served from cache), failed %d",
+           outcomes.size(), ok, cached, failures);
+    return failures == 0 ? 0 : 1;
+} catch (const FatalError &) {
+    return 1;
+}
