@@ -8,10 +8,17 @@
  * serialized RunResult) to the same config executed offline through
  * runExperiment().
  *
- * Two modes:
+ * Three modes:
  * - default: an in-process serve::Server on a private socket. Measures
  *   the service stack itself (admission, dedupe, memoization, wire
  *   codec) without process-management noise.
+ * - --events: event-stream overhead report. One warmup pass memoizes
+ *   the pool, then the same batch is measured with 0, 1 and 8 live
+ *   event-stream subscribers so the rps/p50/p99/p999 deltas isolate
+ *   what streaming costs the service. --slow-subscriber adds a pass
+ *   with one tiny-buffer subscriber that never reads: the run must
+ *   stay fast (bounded p99) while the daemon reports nonzero drops —
+ *   backpressure lands on the viewer, never the engine.
  * - --chaos: fork+exec the real gpsm_serve binary on a shared journal,
  *   SIGKILL it mid-batch every --kill-interval-ms (up to --kills
  *   times) and restart it, while the clients also force-close their
@@ -40,6 +47,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -174,6 +182,228 @@ struct Daemon
     }
 };
 
+/** One measured batch under a fixed subscriber load (--events). */
+struct PassResult
+{
+    std::string name;
+    unsigned subscribers = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t lost = 0;
+    double wall = 0.0;
+    double rps = 0.0;
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+    double p999Us = 0.0;
+    std::uint64_t eventsReceived = 0; ///< read by drain threads
+    std::uint64_t delivered = 0;      ///< daemon-side, per close()
+    std::uint64_t dropped = 0;        ///< daemon-side, per close()
+};
+
+/**
+ * Submit @p batch once with @p subscribers live event streams
+ * attached (each drained by its own thread), or — when @p slow — one
+ * 4-event-buffer subscriber that never reads until the batch is done.
+ */
+PassResult
+measuredPass(const std::string &socket_path,
+             const std::vector<core::ExperimentConfig> &batch,
+             const serve::SubmitOptions &sub, unsigned subscribers,
+             bool slow)
+{
+    PassResult pr;
+    pr.subscribers = slow ? 1 : subscribers;
+    pr.name = slow ? "slow-sub" : std::to_string(subscribers) + " sub";
+
+    std::vector<std::unique_ptr<serve::EventStream>> streams;
+    std::vector<std::thread> drains;
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> received{0};
+
+    for (unsigned s = 0; s < pr.subscribers; ++s) {
+        auto es = std::make_unique<serve::EventStream>();
+        if (!es->open(socket_path, slow ? 4 : (1u << 16))) {
+            std::fprintf(stderr, "event subscribe failed\n");
+            std::exit(1);
+        }
+        streams.push_back(std::move(es));
+    }
+    if (!slow) {
+        for (auto &es : streams) {
+            drains.emplace_back([&stop, &received,
+                                 stream = es.get()]() {
+                while (!stop.load()) {
+                    if (stream->next(0.05))
+                        received.fetch_add(1,
+                                           std::memory_order_relaxed);
+                }
+            });
+        }
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<serve::SubmitOutcome> outcomes =
+        serve::submitBatch(socket_path, batch, sub);
+    const auto t1 = std::chrono::steady_clock::now();
+    pr.wall = std::chrono::duration<double>(t1 - t0).count();
+
+    stop.store(true);
+    for (std::thread &t : drains)
+        t.join();
+    for (auto &es : streams) {
+        es->close();
+        pr.delivered += es->delivered();
+        pr.dropped += es->dropped();
+    }
+    pr.eventsReceived = received.load();
+
+    std::vector<double> latencies;
+    latencies.reserve(outcomes.size());
+    for (const serve::SubmitOutcome &o : outcomes) {
+        if (o.ok) {
+            ++pr.ok;
+            latencies.push_back(o.latencySeconds);
+        }
+    }
+    pr.lost = outcomes.size() - pr.ok;
+    std::sort(latencies.begin(), latencies.end());
+    pr.rps = pr.wall > 0.0
+                 ? static_cast<double>(pr.ok) / pr.wall
+                 : 0.0;
+    pr.p50Us = percentileUs(latencies, 0.50);
+    pr.p99Us = percentileUs(latencies, 0.99);
+    pr.p999Us = percentileUs(latencies, 0.999);
+    return pr;
+}
+
+/** --events mode: the event-stream overhead report. */
+int
+eventsBenchMain(const std::string &socket_path,
+                const std::vector<core::ExperimentConfig> &batch,
+                const std::vector<core::ExperimentConfig> &pool,
+                const serve::SubmitOptions &sub, unsigned workers,
+                bool slow_subscriber, const std::string &emit_bench)
+{
+    serve::ServeOptions sopts;
+    sopts.socketPath = socket_path;
+    sopts.workers = workers;
+    serve::Server server(sopts);
+    std::string err;
+    if (!server.start(&err)) {
+        std::fprintf(stderr, "server start failed: %s\n", err.c_str());
+        return 1;
+    }
+
+    // Warmup: memoize the pool so every measured pass serves from the
+    // memo and the subscriber-count deltas isolate streaming cost.
+    std::uint64_t warm_lost = 0;
+    for (const serve::SubmitOutcome &o :
+         serve::submitBatch(socket_path, batch, sub))
+        warm_lost += o.ok ? 0 : 1;
+    if (warm_lost != 0) {
+        std::fprintf(stderr, "FAILED: warmup lost %llu request(s)\n",
+                     static_cast<unsigned long long>(warm_lost));
+        return 1;
+    }
+
+    std::vector<PassResult> passes;
+    for (unsigned subs : {0u, 1u, 8u})
+        passes.push_back(
+            measuredPass(socket_path, batch, sub, subs, false));
+    if (slow_subscriber)
+        passes.push_back(
+            measuredPass(socket_path, batch, sub, 1, true));
+
+    // The service invariant, checked dormant: every subscriber is
+    // closed by now, so these offline reference runs — and the memo
+    // hits answering the probe — must be byte-identical to streamed
+    // serving.
+    std::uint64_t mismatched = 0;
+    const std::vector<serve::SubmitOutcome> probe =
+        serve::submitBatch(socket_path, pool, sub);
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+        if (!probe[i].ok ||
+            core::serializeRunResult(probe[i].result) !=
+                core::serializeRunResult(core::runExperiment(pool[i])))
+            ++mismatched;
+    }
+
+    server.drain();
+    const serve::ServeStats stats = server.stats();
+
+    TableWriter table("bench_serve (event-stream overhead)");
+    table.setHeader({"pass", "ok", "rps", "p50_us", "p99_us",
+                     "p999_us", "events_rx", "delivered", "dropped"});
+    for (const PassResult &pr : passes) {
+        table.addRow({pr.name, std::to_string(pr.ok),
+                      TableWriter::num(pr.rps, 1),
+                      TableWriter::num(pr.p50Us, 0),
+                      TableWriter::num(pr.p99Us, 0),
+                      TableWriter::num(pr.p999Us, 0),
+                      std::to_string(pr.eventsReceived),
+                      std::to_string(pr.delivered),
+                      std::to_string(pr.dropped)});
+    }
+    table.print(std::cout);
+    std::printf("byte mismatches vs offline: %llu\n",
+                static_cast<unsigned long long>(mismatched));
+
+    if (!emit_bench.empty()) {
+        obs::Json doc = obs::Json::object();
+        doc.set("schema", "gpsm-serve-bench-v1");
+        doc.set("bench", "bench_serve_events");
+        doc.set("requests",
+                static_cast<std::uint64_t>(batch.size()));
+        doc.set("mismatched", mismatched);
+        obs::Json arr = obs::Json::array();
+        for (const PassResult &pr : passes) {
+            obs::Json p = obs::Json::object();
+            p.set("pass", pr.name);
+            p.set("subscribers",
+                  static_cast<std::uint64_t>(pr.subscribers));
+            p.set("ok", pr.ok);
+            p.set("lost", pr.lost);
+            p.set("wall_seconds", pr.wall);
+            p.set("requests_per_sec", pr.rps);
+            p.set("p50_us", pr.p50Us);
+            p.set("p99_us", pr.p99Us);
+            p.set("p999_us", pr.p999Us);
+            p.set("events_received", pr.eventsReceived);
+            p.set("delivered", pr.delivered);
+            p.set("dropped", pr.dropped);
+            arr.push(std::move(p));
+        }
+        doc.set("passes", std::move(arr));
+        std::ofstream out(emit_bench);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         emit_bench.c_str());
+            return 1;
+        }
+        out << doc.dump(2) << "\n";
+    }
+
+    bool failed = mismatched != 0;
+    for (const PassResult &pr : passes) {
+        if (pr.lost != 0) {
+            std::fprintf(stderr, "FAILED: pass '%s' lost %llu\n",
+                         pr.name.c_str(),
+                         static_cast<unsigned long long>(pr.lost));
+            failed = true;
+        }
+    }
+    if (slow_subscriber) {
+        const PassResult &slow = passes.back();
+        if (slow.dropped == 0) {
+            std::fprintf(stderr,
+                         "FAILED: slow subscriber saw 0 drops — the "
+                         "bounded buffer never engaged\n");
+            failed = true;
+        }
+    }
+    (void)stats;
+    return failed ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -181,6 +411,8 @@ main(int argc, char **argv)
 {
     bool quick = false;
     bool chaos = false;
+    bool events_mode = false;
+    bool slow_subscriber = false;
     std::string emit_bench;
     std::string serve_bin;
     std::uint64_t requests = 0; // 0 = mode default
@@ -218,6 +450,11 @@ main(int argc, char **argv)
             quick = true;
         } else if (arg == "--chaos") {
             chaos = true;
+        } else if (arg == "--events") {
+            events_mode = true;
+        } else if (arg == "--slow-subscriber") {
+            events_mode = true;
+            slow_subscriber = true;
         } else if (arg == "--emit-bench") {
             emit_bench = next();
         } else if (arg == "--serve-bin") {
@@ -243,6 +480,7 @@ main(int argc, char **argv)
             std::fprintf(
                 stderr,
                 "usage: %s [--quick] [--chaos] [--requests N]\n"
+                "          [--events] [--slow-subscriber]\n"
                 "          [--connections N] [--workers N]\n"
                 "          [--kills N] [--kill-interval-ms N]\n"
                 "          [--serve-bin PATH] [--emit-bench PATH]\n"
@@ -282,6 +520,14 @@ main(int argc, char **argv)
     sub.connections = connections;
     sub.window = 32;
     sub.recvTimeoutSeconds = 300.0;
+
+    if (events_mode) {
+        const int rc = eventsBenchMain(socket_path, batch, pool, sub,
+                                       workers, slow_subscriber,
+                                       emit_bench);
+        std::remove(journal_path.c_str());
+        return rc;
+    }
 
     std::unique_ptr<serve::Server> inproc;
     Daemon daemon;

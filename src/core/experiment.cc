@@ -23,6 +23,7 @@
 #include "graph/datasets.hh"
 #include "mem/fragmenter.hh"
 #include "mem/memhog.hh"
+#include "obs/events.hh"
 #include "obs/telemetry.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
@@ -410,8 +411,17 @@ runExperiment(const ExperimentConfig &cfg,
     // Hooks are installed only here and released on every exit path
     // (the guard covers cancellation unwind), so a run without
     // telemetry stays bit-identical to a build without this layer.
+    //
+    // The live event stream rides the same hook plumbing: when a
+    // subscriber is attached (gpsm_serve "subscribe"), a
+    // RunEventPublisher — alone or tee'd with the TraceSink — turns
+    // the identical trace events into gpsm-event-v1 records. Whether
+    // anyone listens is sampled once at run start so the event set a
+    // subscriber sees for one run is all-or-nothing.
     std::optional<obs::TraceSink> trace;
     std::optional<obs::TimeSeriesSampler> sampler;
+    std::optional<obs::RunEventPublisher> live;
+    std::optional<obs::TeeTraceHook> tee;
     struct HookGuard
     {
         SimMachine *machine = nullptr;
@@ -433,16 +443,34 @@ runExperiment(const ExperimentConfig &cfg,
 
         ~HookGuard() { release(); }
     } hooks;
-    if (obs::telemetryEnabled()) {
-        trace.emplace(mmu.accesses);
-        machine.space().setTraceHook(&*trace);
-        machine.node().setTraceHook(&*trace);
+    const bool telem = obs::telemetryEnabled();
+    const bool streaming = obs::eventStreamActive();
+    obs::TraceHook *hook = nullptr;
+    if (telem || streaming) {
+        if (telem)
+            trace.emplace(mmu.accesses);
+        if (streaming)
+            live.emplace(obs::runId(cfg.fingerprint()), cfg.label(),
+                         mmu.accesses);
+        if (trace && live) {
+            tee.emplace(&*trace, &*live);
+            hook = &*tee;
+        } else {
+            hook = trace ? static_cast<obs::TraceHook *>(&*trace)
+                         : static_cast<obs::TraceHook *>(&*live);
+        }
+        machine.space().setTraceHook(hook);
+        machine.node().setTraceHook(hook);
         if (faults)
-            faults->setTraceHook(&*trace);
+            faults->setTraceHook(hook);
         hooks.machine = &machine;
         hooks.session = faults ? &*faults : nullptr;
 
-        const std::uint64_t interval = obs::telemetry().sampleInterval;
+        // A stream-only session samples at the default interval so
+        // subscribers get epoch events without a metrics request.
+        const std::uint64_t interval =
+            telem ? obs::telemetry().sampleInterval
+                  : obs::TelemetryOptions{}.sampleInterval;
         if (interval != 0) {
             sampler.emplace(machine.stats(), mmu.accesses, interval);
             // Gauges: huge-backed bytes of every live array, so the
@@ -458,13 +486,19 @@ runExperiment(const ExperimentConfig &cfg,
                 }
                 return g;
             });
-            mmu.setSampleHook(interval, [&sampler] { sampler->tick(); });
+            mmu.setSampleHook(interval, [&sampler, &live] {
+                const auto *epoch = sampler->tick();
+                if (epoch != nullptr && live)
+                    live->publishEpoch(*epoch);
+            });
         }
+        if (live)
+            live->publishRunBegin(cfg.fingerprint());
     }
 
     const MmuSnap before_init = MmuSnap::take(mmu);
-    if (trace)
-        trace->traceEvent(obs::TraceKind::PhaseBegin, 0, "init");
+    if (hook != nullptr)
+        hook->traceEvent(obs::TraceKind::PhaseBegin, 0, "init");
 
     KernelOutcome outcome;
     MmuSnap before_kernel{};
@@ -514,9 +548,9 @@ runExperiment(const ExperimentConfig &cfg,
         if (faults)
             faults->enterKernelPhase();
 
-        if (trace) {
-            trace->traceEvent(obs::TraceKind::PhaseEnd, 0, "init");
-            trace->traceEvent(obs::TraceKind::PhaseBegin, 0, "kernel");
+        if (hook != nullptr) {
+            hook->traceEvent(obs::TraceKind::PhaseEnd, 0, "init");
+            hook->traceEvent(obs::TraceKind::PhaseBegin, 0, "kernel");
         }
         before_kernel = MmuSnap::take(mmu);
 
@@ -590,8 +624,8 @@ runExperiment(const ExperimentConfig &cfg,
                 }
             }
         }
-        if (trace)
-            trace->traceEvent(obs::TraceKind::PhaseEnd, 0, "kernel");
+        if (hook != nullptr)
+            hook->traceEvent(obs::TraceKind::PhaseEnd, 0, "kernel");
     };
 
     if (cfg.app == App::Pr)
@@ -656,24 +690,39 @@ runExperiment(const ExperimentConfig &cfg,
     res.checksum = outcome.checksum;
     res.kernelOutput = outcome.output;
 
-    if (trace) {
-        if (sampler)
-            sampler->finish();
-        // Uninstall before exporting: the export allocates and must
-        // never record into the sink it is reading.
-        hooks.release();
+    if (sampler) {
+        const auto *epoch = sampler->finish();
+        if (epoch != nullptr && live)
+            live->publishEpoch(*epoch);
+    }
+    if (live) {
+        // Final counters on the wire equal the RunResult the caller
+        // receives: run_end carries the same resultJson document.
+        live->publishRunEnd(resultJson(res));
+    }
+    // Uninstall before exporting: the export allocates and must
+    // never record into the sink it is reading.
+    hooks.release();
 
+    if (trace) {
         obs::Json stats_json = obs::Json::object();
         for (const auto &[name, value] : machine.stats().snapshot())
             stats_json.set(name, obs::Json(value));
         obs::Json extra = obs::Json::object();
         extra.set("app", appName(cfg.app));
         extra.set("dataset", cfg.dataset);
+        obs::Json events;
+        if (live) {
+            events = obs::Json::object();
+            events.set("published", obs::Json(live->published()));
+            events.set("subscriberDrops",
+                       obs::Json(live->subscriberDrops()));
+        }
         obs::writeRunTelemetry(obs::telemetry(), cfg.label(),
                                cfg.fingerprint(), *trace,
                                sampler ? &*sampler : nullptr,
                                resultJson(res), std::move(stats_json),
-                               std::move(extra));
+                               std::move(extra), std::move(events));
     }
     return res;
 }

@@ -162,6 +162,34 @@ struct FieldReader
     }
 };
 
+/**
+ * Parse one journal line: tag|fingerprint|payload|checksum.
+ * nullopt on any corruption (bad tag, checksum, field count).
+ */
+std::optional<std::pair<std::string, RunResult>>
+parseJournalLine(const std::string &line)
+{
+    const std::size_t p1 = line.find('|');
+    const std::size_t p2 =
+        p1 == std::string::npos ? p1 : line.find('|', p1 + 1);
+    const std::size_t p3 =
+        p2 == std::string::npos ? p2 : line.find('|', p2 + 1);
+    if (p3 == std::string::npos || line.compare(0, p1, recordTag) != 0)
+        return std::nullopt;
+    const std::string body = line.substr(0, p3);
+    const std::string sum_text = line.substr(p3 + 1);
+    char *end = nullptr;
+    const std::uint64_t sum = std::strtoull(sum_text.c_str(), &end, 16);
+    if (end == sum_text.c_str() || *end != '\0' || sum != fnv1a(body))
+        return std::nullopt;
+    const auto fp = unescapeField(line.substr(p1 + 1, p2 - p1 - 1));
+    const auto result =
+        deserializeRunResult(line.substr(p2 + 1, p3 - p2 - 1));
+    if (!fp || !result)
+        return std::nullopt;
+    return std::make_pair(*fp, *result);
+}
+
 } // namespace
 
 std::string
@@ -239,36 +267,12 @@ ResultJournal::ResultJournal(const std::string &path) : filePath(path)
     while (std::getline(in, line)) {
         if (line.empty())
             continue;
-        // tag|fingerprint|payload|checksum
-        const std::size_t p1 = line.find('|');
-        const std::size_t p2 =
-            p1 == std::string::npos ? p1 : line.find('|', p1 + 1);
-        const std::size_t p3 =
-            p2 == std::string::npos ? p2 : line.find('|', p2 + 1);
-        if (p3 == std::string::npos ||
-            line.compare(0, p1, recordTag) != 0) {
+        const auto record = parseJournalLine(line);
+        if (!record) {
             ++corrupted;
             continue;
         }
-        const std::string body = line.substr(0, p3);
-        const std::string sum_text = line.substr(p3 + 1);
-        char *end = nullptr;
-        const std::uint64_t sum =
-            std::strtoull(sum_text.c_str(), &end, 16);
-        if (end == sum_text.c_str() || *end != '\0' ||
-            sum != fnv1a(body)) {
-            ++corrupted;
-            continue;
-        }
-        const auto fp =
-            unescapeField(line.substr(p1 + 1, p2 - p1 - 1));
-        const auto result =
-            deserializeRunResult(line.substr(p2 + 1, p3 - p2 - 1));
-        if (!fp || !result) {
-            ++corrupted;
-            continue;
-        }
-        index[*fp] = *result; // last record wins
+        index[record->first] = record->second; // last record wins
     }
     in.close();
 
@@ -306,9 +310,8 @@ ResultJournal::lookup(const std::string &fingerprint) const
     return it->second;
 }
 
-bool
-ResultJournal::record(const std::string &fingerprint,
-                      const RunResult &result)
+std::string
+journalLine(const std::string &fingerprint, const RunResult &result)
 {
     std::ostringstream os;
     os << recordTag << '|' << escapeField(fingerprint) << '|'
@@ -316,7 +319,14 @@ ResultJournal::record(const std::string &fingerprint,
     const std::string body = os.str();
     char sum[32];
     std::snprintf(sum, sizeof(sum), "|%016" PRIx64 "\n", fnv1a(body));
-    const std::string line = body + sum;
+    return body + sum;
+}
+
+bool
+ResultJournal::record(const std::string &fingerprint,
+                      const RunResult &result)
+{
+    const std::string line = journalLine(fingerprint, result);
 
     std::lock_guard<std::mutex> lock(mtx);
     index[fingerprint] = result;
@@ -363,6 +373,88 @@ ResultJournal::snapshotAll() const
         return a.first < b.first;
     });
     return out;
+}
+
+CompactionStats
+compactJournal(const std::string &path)
+{
+    CompactionStats stats;
+
+    // A journal that was never written compacts to an empty success:
+    // nothing to rewrite, nothing lost.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        stats.ok = true;
+        return stats;
+    }
+    // Hold the exclusive lock the per-record appends contend for, so
+    // the snapshot below can't interleave with a half-written record.
+    const int fd = fileno(f);
+    const bool locked = flock(fd, LOCK_EX) == 0;
+
+    std::unordered_map<std::string, RunResult> index;
+    std::vector<std::string> order; // first-seen fingerprint order
+    {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line)) {
+            stats.bytesIn += line.size() + 1;
+            if (line.empty())
+                continue;
+            const auto record = parseJournalLine(line);
+            if (!record) {
+                ++stats.corrupted;
+                continue;
+            }
+            ++stats.recordsIn;
+            if (index.find(record->first) == index.end())
+                order.push_back(record->first);
+            index[record->first] = record->second; // last wins
+        }
+    }
+    // Sorted output: compacted journals of the same record set are
+    // byte-identical regardless of arrival order, so CI can diff them.
+    std::sort(order.begin(), order.end());
+
+    const std::string tmp = path + ".compact.tmp";
+    std::FILE *out = std::fopen(tmp.c_str(), "wb");
+    if (out == nullptr) {
+        stats.error = "cannot create " + tmp;
+        if (locked)
+            flock(fd, LOCK_UN);
+        std::fclose(f);
+        return stats;
+    }
+    bool wrote = true;
+    for (const std::string &fp : order) {
+        const std::string line = journalLine(fp, index[fp]);
+        if (std::fwrite(line.data(), 1, line.size(), out) !=
+            line.size()) {
+            wrote = false;
+            break;
+        }
+        stats.bytesOut += line.size();
+    }
+    wrote = std::fflush(out) == 0 && wrote;
+    wrote = fsync(fileno(out)) == 0 && wrote;
+    std::fclose(out);
+    if (!wrote || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        stats.error = wrote ? "cannot rename " + tmp + " over " + path
+                            : "short write to " + tmp;
+        stats.bytesOut = 0;
+        std::remove(tmp.c_str());
+        if (locked)
+            flock(fd, LOCK_UN);
+        std::fclose(f);
+        return stats;
+    }
+
+    stats.recordsOut = order.size();
+    stats.ok = true;
+    if (locked)
+        flock(fd, LOCK_UN);
+    std::fclose(f);
+    return stats;
 }
 
 } // namespace gpsm::core

@@ -46,6 +46,14 @@ std::string serializeRunResult(const RunResult &result);
 
 /** Inverse of serializeRunResult; nullopt on malformed input. */
 std::optional<RunResult> deserializeRunResult(const std::string &text);
+
+/**
+ * One complete journal line for @p fingerprint (tag, escaped
+ * fingerprint, payload, checksum, trailing newline) — exactly the
+ * bytes record() appends.
+ */
+std::string journalLine(const std::string &fingerprint,
+                        const RunResult &result);
 /** @} */
 
 /**
@@ -102,6 +110,37 @@ class ResultJournal
     std::FILE *file = nullptr;
     std::size_t corrupted = 0;
 };
+
+/** What compactJournal() did (or why it refused). */
+struct CompactionStats
+{
+    bool ok = false;
+    std::string error;        ///< meaningful when !ok
+    std::size_t recordsIn = 0;  ///< valid records read (incl. dups)
+    std::size_t recordsOut = 0; ///< unique fingerprints kept
+    std::size_t corrupted = 0;  ///< lines dropped (torn/bad checksum)
+    std::uint64_t bytesIn = 0;  ///< journal size before
+    std::uint64_t bytesOut = 0; ///< journal size after
+};
+
+/**
+ * Rewrite the journal at @p path with one record per fingerprint
+ * (last record wins), sorted by fingerprint, dropping corrupt lines —
+ * the offline answer to "append-only file grows forever".
+ *
+ * Concurrency: the rewrite holds an advisory flock(LOCK_EX) on the
+ * journal for its whole duration, so it serializes against the
+ * per-record flocks live appenders take. It is still an *offline*
+ * maintenance pass: the atomic rename replaces the inode, so a
+ * process that opened the journal earlier keeps appending to the
+ * orphaned file. Run it while no daemon holds the journal open (e.g.
+ * before start, after drain).
+ *
+ * A missing journal compacts to ok with zero records; a journal that
+ * cannot be rewritten (unwritable directory) reports !ok and leaves
+ * the original untouched.
+ */
+CompactionStats compactJournal(const std::string &path);
 
 } // namespace gpsm::core
 

@@ -70,6 +70,17 @@ fieldOr(const obs::Json &doc, const char *key, const char *fallback)
     return v != nullptr && v->isString() ? v->asString() : fallback;
 }
 
+std::uint64_t
+numberOrZero(const Json *section, const char *key)
+{
+    if (section == nullptr)
+        return 0;
+    const Json *v = section->find(key);
+    return v != nullptr && v->isNumber()
+               ? static_cast<std::uint64_t>(v->asNumber())
+               : 0;
+}
+
 void
 sortEntries(ReportStore &store)
 {
@@ -166,6 +177,20 @@ validateMetricsDoc(const obs::Json &doc, std::string &error)
             return false;
         }
     }
+    if (const Json *events = doc.find("events"); events != nullptr) {
+        if (!events->isObject()) {
+            error = "\"events\" is not an object";
+            return false;
+        }
+        for (const char *key : {"published", "subscriberDrops"}) {
+            const Json *v = events->find(key);
+            if (v == nullptr || !v->isNumber()) {
+                error = std::string("events summary lacks numeric \"") +
+                        key + "\"";
+                return false;
+            }
+        }
+    }
     return true;
 }
 
@@ -215,6 +240,12 @@ loadMetricsDir(const std::string &dir)
         e.app = fieldOr(*doc, "app", "");
         e.dataset = fieldOr(*doc, "dataset", "");
         e.metrics = metricMapFromJson(*doc->find("result"));
+        e.traceDropped = numberOrZero(findObject(*doc, "trace"),
+                                      "dropped");
+        e.seriesDropped = numberOrZero(findObject(*doc, "series"),
+                                       "dropped");
+        e.eventDrops = numberOrZero(findObject(*doc, "events"),
+                                    "subscriberDrops");
         // Two-node runs carry their NUMA counters only in the machine
         // stats snapshot (RunResult is frozen for journal
         // compatibility); fold them into the metric map so diffs watch
@@ -394,7 +425,7 @@ renderSummary(const ReportStore &store)
 
     TableWriter table("Run summary: " + store.source);
     table.setHeader({"run", "app", "dataset", "kernel_s", "dtlb_mr",
-                     "stlb_mr", "huge_frac", "checksum"});
+                     "stlb_mr", "huge_frac", "checksum", "drops"});
     for (const ReportEntry &e : store.entries) {
         auto metric = [&](const char *name) {
             const auto it = e.metrics.find(name);
@@ -410,9 +441,26 @@ renderSummary(const ReportStore &store)
             TableWriter::pct(metric("hugeFractionOfFootprint"), 1),
             std::to_string(
                 static_cast<std::uint64_t>(metric("checksum"))),
+            std::to_string(e.traceDropped + e.seriesDropped +
+                           e.eventDrops),
         });
     }
     table.print(os, /*with_csv=*/false);
+
+    // Call out silent truncation by source so a nonzero "drops"
+    // column is immediately attributable.
+    for (const ReportEntry &e : store.entries) {
+        if (e.traceDropped + e.seriesDropped + e.eventDrops == 0)
+            continue;
+        os << "  ! " << e.run << " dropped records:";
+        if (e.traceDropped > 0)
+            os << " trace=" << e.traceDropped;
+        if (e.seriesDropped > 0)
+            os << " series=" << e.seriesDropped;
+        if (e.eventDrops > 0)
+            os << " events=" << e.eventDrops;
+        os << "\n";
+    }
 
     os << store.entries.size() << " run(s)";
     if (!store.errors.empty()) {

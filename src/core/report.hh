@@ -36,6 +36,13 @@ struct ReportEntry
     std::string dataset;
     /** Flattened "result" metrics (core::resultMetrics names). */
     std::map<std::string, double> metrics;
+    /** @name Observability drop accounting (metrics documents only;
+     *  journals carry none). Nonzero means something was silently
+     *  truncated, so renderSummary() calls it out per run. @{ */
+    std::uint64_t traceDropped = 0;  ///< TraceSink capped-recorder
+    std::uint64_t seriesDropped = 0; ///< sampler epochs past the cap
+    std::uint64_t eventDrops = 0;    ///< live-stream subscriber drops
+    /** @} */
 };
 
 /** Every run loaded from one path, keyed and sorted by run id. */
@@ -52,7 +59,10 @@ struct ReportStore
 /**
  * Validate one gpsm-metrics-v1 document: schema tag, run id shape,
  * fingerprint/label presence, numeric "result" object, "stats"
- * object, and internally consistent series/trace summaries.
+ * object, and internally consistent series/trace summaries. The
+ * optional "events" section (present only when a live event stream
+ * was attached during the run) must carry numeric "published" and
+ * "subscriberDrops" when it appears.
  * @return true when valid; otherwise false with @p error set.
  */
 bool validateMetricsDoc(const obs::Json &doc, std::string &error);

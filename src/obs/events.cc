@@ -1,0 +1,223 @@
+/**
+ * @file
+ * EventBus implementation: bounded fan-out of serialized
+ * gpsm-event-v1 records.
+ */
+
+#include "obs/events.hh"
+
+#include <algorithm>
+#include <chrono>
+
+namespace gpsm::obs
+{
+
+std::optional<std::string>
+EventBus::Subscription::pop(double timeout_seconds)
+{
+    std::unique_lock<std::mutex> lk(mtx);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_seconds));
+    while (queue.empty()) {
+        if (closed)
+            return std::nullopt;
+        if (cv.wait_until(lk, deadline) == std::cv_status::timeout &&
+            queue.empty())
+            return std::nullopt;
+    }
+    std::shared_ptr<const std::string> line = queue.front();
+    queue.pop_front();
+    deliveredCount.fetch_add(1, std::memory_order_relaxed);
+    return *line;
+}
+
+void
+EventBus::Subscription::close()
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        closed = true;
+    }
+    cv.notify_all();
+}
+
+bool
+EventBus::Subscription::push(
+    const std::shared_ptr<const std::string> &line)
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        if (closed)
+            return true; // Not counted against the subscriber.
+        if (queue.size() >= cap) {
+            droppedCount.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        queue.push_back(line);
+    }
+    cv.notify_one();
+    return true;
+}
+
+EventBus &
+EventBus::instance()
+{
+    static EventBus bus;
+    return bus;
+}
+
+EventBus::SubPtr
+EventBus::subscribe(std::size_t capacity)
+{
+    auto sub = std::make_shared<Subscription>(capacity);
+    std::lock_guard<std::mutex> lk(mtx);
+    subs.push_back(sub);
+    ++subscribersEver;
+    subscriberCount.store(subs.size(), std::memory_order_relaxed);
+    return sub;
+}
+
+void
+EventBus::unsubscribe(const SubPtr &sub)
+{
+    if (sub == nullptr)
+        return;
+    sub->close();
+    std::lock_guard<std::mutex> lk(mtx);
+    subs.erase(std::remove(subs.begin(), subs.end(), sub),
+               subs.end());
+    subscriberCount.store(subs.size(), std::memory_order_relaxed);
+    droppedTotal += sub->dropped();
+    deliveredTotal += sub->delivered();
+}
+
+std::uint64_t
+EventBus::publish(Json event)
+{
+    std::lock_guard<std::mutex> lk(mtx);
+    if (subs.empty())
+        return 0;
+    event.set("seq", Json(seq++));
+    ++publishedCount;
+    auto line =
+        std::make_shared<const std::string>(event.dump() + "\n");
+    std::uint64_t drops = 0;
+    for (const SubPtr &sub : subs)
+        if (!sub->push(line))
+            ++drops;
+    return drops;
+}
+
+std::uint64_t
+EventBus::published() const
+{
+    std::lock_guard<std::mutex> lk(mtx);
+    return publishedCount;
+}
+
+std::uint64_t
+EventBus::delivered() const
+{
+    std::lock_guard<std::mutex> lk(mtx);
+    std::uint64_t n = deliveredTotal;
+    for (const SubPtr &sub : subs)
+        n += sub->delivered();
+    return n;
+}
+
+std::uint64_t
+EventBus::dropped() const
+{
+    std::lock_guard<std::mutex> lk(mtx);
+    std::uint64_t n = droppedTotal;
+    for (const SubPtr &sub : subs)
+        n += sub->dropped();
+    return n;
+}
+
+std::uint64_t
+EventBus::totalSubscribers() const
+{
+    std::lock_guard<std::mutex> lk(mtx);
+    return subscribersEver;
+}
+
+bool
+eventStreamActive()
+{
+    return EventBus::instance().active();
+}
+
+Json
+makeEvent(const char *type, const std::string &run)
+{
+    Json ev = Json::object();
+    ev.set("schema", Json(eventSchema));
+    ev.set("type", Json(type));
+    ev.set("run", Json(run));
+    return ev;
+}
+
+void
+RunEventPublisher::publish(Json event)
+{
+    ++publishedCount;
+    dropCount += EventBus::instance().publish(std::move(event));
+}
+
+void
+RunEventPublisher::publishRunBegin(const std::string &fingerprint)
+{
+    Json ev = makeEvent("run_begin", run);
+    ev.set("label", Json(label));
+    ev.set("fingerprint", Json(fingerprint));
+    ev.set("clock", Json(clock.value()));
+    publish(std::move(ev));
+}
+
+void
+RunEventPublisher::publishEpoch(const TimeSeriesSampler::Epoch &epoch)
+{
+    Json ev = makeEvent("epoch", run);
+    ev.set("clock", Json(epoch.clock));
+    ev.set("epoch", Json(epoch.index));
+    Json deltas = Json::object();
+    for (const auto &[stat, delta] : epoch.deltas)
+        deltas.set(stat, Json(delta));
+    ev.set("deltas", std::move(deltas));
+    Json gauges = Json::object();
+    for (const auto &[gauge, value] : epoch.gauges)
+        gauges.set(gauge, Json(value));
+    ev.set("gauges", std::move(gauges));
+    publish(std::move(ev));
+}
+
+void
+RunEventPublisher::publishRunEnd(const Json &result)
+{
+    Json ev = makeEvent("run_end", run);
+    ev.set("clock", Json(clock.value()));
+    ev.set("label", Json(label));
+    ev.set("result", result);
+    publish(std::move(ev));
+}
+
+void
+RunEventPublisher::traceEvent(TraceKind kind, std::uint64_t detail,
+                              const char *name)
+{
+    Json ev = makeEvent(traceKindName(kind), run);
+    if (kind == TraceKind::PhaseBegin || kind == TraceKind::PhaseEnd) {
+        ev.set("name", Json(name != nullptr ? name : ""));
+        ev.set("clock", Json(clock.value()));
+    } else {
+        ev.set("detail", Json(detail));
+        ev.set("site", Json(name != nullptr ? name : ""));
+        ev.set("clock", Json(clock.value()));
+    }
+    publish(std::move(ev));
+}
+
+} // namespace gpsm::obs

@@ -115,12 +115,12 @@ TimeSeriesSampler::TimeSeriesSampler(const StatSet &stats,
 {
 }
 
-void
+const TimeSeriesSampler::Epoch *
 TimeSeriesSampler::tick()
 {
     if (series.size() >= maxEpochs) {
         ++dropped;
-        return;
+        return nullptr;
     }
     Epoch e;
     e.index = series.size() + dropped;
@@ -136,9 +136,10 @@ TimeSeriesSampler::tick()
         e.gauges = gauges();
     prev = std::move(now);
     series.push_back(std::move(e));
+    return &series.back();
 }
 
-void
+const TimeSeriesSampler::Epoch *
 TimeSeriesSampler::finish()
 {
     // The trailing partial epoch only exists if anything moved since
@@ -146,11 +147,10 @@ TimeSeriesSampler::finish()
     const auto now = stats.snapshot();
     for (const auto &[name, value] : now) {
         auto it = prev.find(name);
-        if (it == prev.end() || it->second != value) {
-            tick();
-            return;
-        }
+        if (it == prev.end() || it->second != value)
+            return tick();
     }
+    return nullptr;
 }
 
 namespace
@@ -194,7 +194,7 @@ traceEventJson(const char *name, const char *ph, std::uint64_t ts)
 
 Json
 buildTraceJson(const TraceSink &sink, const TimeSeriesSampler *sampler,
-               const std::string &label)
+               const std::string &label, const std::string &run_id)
 {
     Json events = Json::array();
 
@@ -267,6 +267,7 @@ buildTraceJson(const TraceSink &sink, const TimeSeriesSampler *sampler,
     doc.set("displayTimeUnit", "ms");
     Json meta = Json::object();
     meta.set("label", label);
+    meta.set("run", run_id);
     meta.set("clock", "simulated accesses (1 tick = 1 traced access)");
     doc.set("otherData", std::move(meta));
     return doc;
@@ -312,7 +313,7 @@ writeRunTelemetry(const TelemetryOptions &options,
                   const std::string &fingerprint,
                   const TraceSink &sink,
                   const TimeSeriesSampler *sampler, Json result,
-                  Json stats, Json extra)
+                  Json stats, Json extra, Json events)
 {
     const std::string id = runId(fingerprint);
     const std::string base = options.metricsDir + "/";
@@ -341,6 +342,10 @@ writeRunTelemetry(const TelemetryOptions &options,
     if (sampler != nullptr || sink.totalEvents() > 0)
         tracing.set("file", "trace_" + id + ".json");
     doc.set("trace", std::move(tracing));
+    // Only runs a live stream observed get an "events" section, so
+    // dormant documents stay byte-identical to earlier builds.
+    if (events.isObject())
+        doc.set("events", std::move(events));
 
     const std::string doc_path = base + "run_" + id + ".json";
     if (!writeFileAtomic(doc_path, doc.dump(2) + "\n")) {
@@ -349,7 +354,7 @@ writeRunTelemetry(const TelemetryOptions &options,
     }
 
     if (sampler != nullptr || sink.totalEvents() > 0) {
-        const Json trace = buildTraceJson(sink, sampler, label);
+        const Json trace = buildTraceJson(sink, sampler, label, id);
         writeFileAtomic(base + "trace_" + id + ".json",
                         trace.dump(1) + "\n");
     }
@@ -403,30 +408,58 @@ ProgressMeter::onError()
 }
 
 void
-ProgressMeter::render()
+ProgressMeter::grow(std::size_t n)
 {
-    // Called with mtx held. stderr only: stdout carries bench tables.
-    const double elapsed =
-        std::chrono::duration<double>(
-            std::chrono::steady_clock::now() - start)
-            .count();
-    const std::size_t remaining = total - completed;
+    std::lock_guard<std::mutex> lock(mtx);
+    total += n;
+}
+
+double
+ProgressMeter::etaSeconds() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return etaLocked();
+}
+
+double
+ProgressMeter::etaLocked() const
+{
+    const std::size_t remaining =
+        total > completed ? total - completed : 0;
     const std::size_t executed = completed - cachedCount - failedCount;
     // ETA from the memo/journal hit rate: cached results are ~free,
     // so remaining cost ≈ remaining * (1 - hit rate) * mean wall of
     // an executed experiment.
-    double eta = -1.0;
-    if (completed > 0 && executed > 0) {
-        const double hit_rate =
-            static_cast<double>(cachedCount) /
-            static_cast<double>(completed);
-        const double mean_wall =
-            uncachedWall / static_cast<double>(executed);
-        eta = static_cast<double>(remaining) * (1.0 - hit_rate) *
-              mean_wall;
-    } else if (completed > 0) {
-        eta = 0.0; // everything so far was cached/failed instantly
-    }
+    if (completed == 0)
+        return -1.0;
+    if (executed == 0)
+        return 0.0; // everything so far was cached/failed instantly
+    const double hit_rate = static_cast<double>(cachedCount) /
+                            static_cast<double>(completed);
+    const double mean_wall =
+        uncachedWall / static_cast<double>(executed);
+    return static_cast<double>(remaining) * (1.0 - hit_rate) *
+           mean_wall;
+}
+
+void
+ProgressMeter::setSilent(bool on)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    silent = on;
+}
+
+void
+ProgressMeter::render()
+{
+    // Called with mtx held. stderr only: stdout carries bench tables.
+    if (silent)
+        return;
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    const double eta = etaLocked();
     char eta_buf[32];
     if (eta >= 0.0)
         std::snprintf(eta_buf, sizeof(eta_buf), "%.1fs", eta);
@@ -445,6 +478,8 @@ void
 ProgressMeter::finish()
 {
     std::lock_guard<std::mutex> lock(mtx);
+    if (silent)
+        return;
     const double elapsed =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - start)

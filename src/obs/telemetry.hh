@@ -115,11 +115,21 @@ class TimeSeriesSampler
         gauges = std::move(provider);
     }
 
-    /** Capture one epoch (called from the Mmu sample hook). */
-    void tick();
+    /**
+     * Capture one epoch (called from the Mmu sample hook).
+     * @return the captured epoch (owned by the sampler, stable until
+     *         the next capture may reallocate), or nullptr when the
+     *         tick fell past maxEpochs and was counted as dropped —
+     *         live consumers forward exactly the epochs that were
+     *         kept.
+     */
+    const Epoch *tick();
 
-    /** Capture the trailing partial epoch (if anything accumulated). */
-    void finish();
+    /**
+     * Capture the trailing partial epoch (if anything accumulated).
+     * @return the epoch as tick(), or nullptr when nothing moved.
+     */
+    const Epoch *finish();
 
     const std::vector<Epoch> &epochs() const { return series; }
     std::uint64_t interval() const { return epochInterval; }
@@ -189,11 +199,14 @@ class TraceSink final : public TraceHook
  * Build the Chrome trace_event document ("ts" is the simulated access
  * clock, in simulated-microsecond units for Perfetto's benefit):
  * phase Begin/End pairs, instant events for the discrete kinds, and
- * one counter track per sampled series group.
+ * one counter track per sampled series group. @p run_id lands in
+ * otherData so the trace joins the wire response, metrics document
+ * and journal record on one id.
  */
 Json buildTraceJson(const TraceSink &sink,
                     const TimeSeriesSampler *sampler,
-                    const std::string &label);
+                    const std::string &label,
+                    const std::string &run_id);
 
 /**
  * Compact JSONL series: a header line ({"run","label","interval"})
@@ -211,6 +224,10 @@ std::string buildSeriesJsonl(const TimeSeriesSampler &sampler,
  * @param result  The "result" object (RunResult fields, numeric).
  * @param stats   The "stats" object (final StatSet values).
  * @param extra   Optional extra top-level members (app, dataset, ...).
+ * @param events  Optional "events" section describing a live event
+ *                stream that observed this run ({"published",
+ *                "subscriberDrops"}); pass a null Json when no stream
+ *                was live so dormant documents stay byte-identical.
  * @return path of the metrics document ("" when the write failed).
  */
 std::string writeRunTelemetry(const TelemetryOptions &options,
@@ -218,7 +235,8 @@ std::string writeRunTelemetry(const TelemetryOptions &options,
                               const std::string &fingerprint,
                               const TraceSink &sink,
                               const TimeSeriesSampler *sampler,
-                              Json result, Json stats, Json extra);
+                              Json result, Json stats, Json extra,
+                              Json events = Json());
 
 /**
  * Live batch progress renderer for ExperimentPool runs, built on the
@@ -241,14 +259,35 @@ class ProgressMeter
     /** One config failed (error outcome). */
     void onError();
 
+    /**
+     * Raise the expected total by @p n. Live viewers (gpsm_top) learn
+     * the batch size incrementally as admission events stream in.
+     */
+    void grow(std::size_t n);
+
     /** Emit the closing summary line. */
     void finish();
+
+    /**
+     * Suppress the stderr progress lines. Consumers that render their
+     * own display (gpsm_top) keep the bookkeeping and ETA math but
+     * own the terminal.
+     */
+    void setSilent(bool on);
 
     std::size_t done() const;
     std::size_t failed() const;
 
+    /**
+     * Hit-rate-weighted remaining-work estimate in seconds, or -1
+     * before any completion has calibrated it. For consumers that
+     * render their own display instead of the stderr line.
+     */
+    double etaSeconds() const;
+
   private:
     void render();
+    double etaLocked() const;
 
     mutable std::mutex mtx;
     std::string label;
@@ -257,6 +296,7 @@ class ProgressMeter
     std::size_t cachedCount = 0;
     std::size_t failedCount = 0;
     double uncachedWall = 0.0;
+    bool silent = false;
     std::chrono::steady_clock::time_point start;
 };
 

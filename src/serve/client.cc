@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "core/journal.hh"
+#include "obs/events.hh"
 
 namespace gpsm::serve
 {
@@ -234,6 +235,9 @@ runConnection(const std::string &socket_path,
 
         SubmitOutcome &o = out[idx];
         o.fingerprint = fps[idx];
+        if (const obs::Json *run = msg->find("run");
+            run != nullptr && run->isString())
+            o.run = run->asString();
         o.latencySeconds =
             std::chrono::duration<double>(Clock::now() - submitted)
                 .count();
@@ -354,6 +358,55 @@ requestStats(const std::string &socket_path, double timeout_seconds)
     return *stats;
 }
 
+namespace
+{
+
+/** One-shot "metrics" request; the full response document. */
+std::optional<obs::Json>
+metricsRequest(const std::string &socket_path, const char *format,
+               double timeout_seconds)
+{
+    Client client;
+    if (!client.connect(socket_path, timeout_seconds))
+        return std::nullopt;
+    obs::Json req = obs::Json::object();
+    req.set("op", obs::Json("metrics"));
+    req.set("id", obs::Json(std::uint64_t(0)));
+    req.set("format", obs::Json(format));
+    if (!client.send(req))
+        return std::nullopt;
+    return client.recv(timeout_seconds);
+}
+
+} // namespace
+
+std::optional<obs::Json>
+requestMetrics(const std::string &socket_path, double timeout_seconds)
+{
+    const std::optional<obs::Json> resp =
+        metricsRequest(socket_path, "json", timeout_seconds);
+    if (!resp)
+        return std::nullopt;
+    const obs::Json *stats = resp->find("stats");
+    if (stats == nullptr)
+        return std::nullopt;
+    return *stats;
+}
+
+std::optional<std::string>
+requestPrometheus(const std::string &socket_path,
+                  double timeout_seconds)
+{
+    const std::optional<obs::Json> resp =
+        metricsRequest(socket_path, "prometheus", timeout_seconds);
+    if (!resp)
+        return std::nullopt;
+    const obs::Json *text = resp->find("text");
+    if (text == nullptr || !text->isString())
+        return std::nullopt;
+    return text->asString();
+}
+
 bool
 requestDrain(const std::string &socket_path, double timeout_seconds)
 {
@@ -368,6 +421,93 @@ requestDrain(const std::string &socket_path, double timeout_seconds)
     const std::optional<obs::Json> resp =
         client.recv(timeout_seconds);
     return resp.has_value();
+}
+
+bool
+EventStream::open(const std::string &socket_path,
+                  std::size_t capacity, double timeout_seconds)
+{
+    close();
+    if (!client.connect(socket_path, timeout_seconds))
+        return false;
+    obs::Json req = obs::Json::object();
+    req.set("op", obs::Json("subscribe"));
+    req.set("id", obs::Json(std::uint64_t(0)));
+    req.set("capacity", obs::Json(std::uint64_t(capacity)));
+    if (!client.send(req))
+        return false;
+    const std::optional<obs::Json> resp =
+        client.recv(timeout_seconds);
+    if (!resp) {
+        client.close();
+        return false;
+    }
+    const obs::Json *status = resp->find("status");
+    if (status == nullptr || !status->isString() ||
+        status->asString() != "ok") {
+        client.close();
+        return false;
+    }
+    subscribed = true;
+    return true;
+}
+
+std::optional<obs::Json>
+EventStream::next(double timeout_seconds)
+{
+    // One recv per call: interleaved responses (e.g. our own
+    // unsubscribe ack arriving late) are skipped, not returned.
+    const auto give_up = Clock::now() + fromSeconds(timeout_seconds);
+    while (client.connected()) {
+        const double left =
+            std::chrono::duration<double>(give_up - Clock::now())
+                .count();
+        if (left <= 0.0)
+            return std::nullopt;
+        const std::optional<obs::Json> doc = client.recv(left);
+        if (!doc)
+            return std::nullopt;
+        const obs::Json *schema = doc->find("schema");
+        if (schema != nullptr && schema->isString() &&
+            schema->asString() == obs::eventSchema)
+            return doc;
+    }
+    return std::nullopt;
+}
+
+void
+EventStream::close()
+{
+    if (subscribed && client.connected()) {
+        obs::Json req = obs::Json::object();
+        req.set("op", obs::Json("unsubscribe"));
+        req.set("id", obs::Json(std::uint64_t(1)));
+        if (client.send(req)) {
+            // Drain events still in flight until the ack shows up.
+            const auto give_up =
+                Clock::now() + fromSeconds(10.0);
+            while (client.connected() && Clock::now() < give_up) {
+                const std::optional<obs::Json> doc = client.recv(1.0);
+                if (!doc)
+                    break;
+                const obs::Json *op = doc->find("op");
+                if (op != nullptr && op->isString() &&
+                    op->asString() == "unsubscribe") {
+                    if (const obs::Json *d = doc->find("delivered");
+                        d != nullptr && d->isNumber())
+                        deliveredCount = static_cast<std::uint64_t>(
+                            d->asNumber());
+                    if (const obs::Json *d = doc->find("dropped");
+                        d != nullptr && d->isNumber())
+                        droppedCount = static_cast<std::uint64_t>(
+                            d->asNumber());
+                    break;
+                }
+            }
+        }
+    }
+    subscribed = false;
+    client.close();
 }
 
 } // namespace gpsm::serve

@@ -72,6 +72,10 @@ struct SubmitOutcome
     std::string kind;
     std::string message;
     std::string fingerprint;
+    /** Request-scoped trace id echoed by the daemon — the same
+     *  16-hex obs::runId that names the run's metrics document,
+     *  journal record, Chrome trace and streamed events. */
+    std::string run;
     core::RunResult result; ///< valid when ok
     bool cached = false;    ///< served from the daemon's memo/journal
     double latencySeconds = 0.0; ///< submit-to-response, this client
@@ -119,9 +123,66 @@ std::optional<obs::Json>
 requestStats(const std::string &socket_path,
              double timeout_seconds = 10.0);
 
+/**
+ * Fetch the "metrics" op's JSON stats snapshot; nullopt when
+ * unreachable. Same object the "stats" op carries — the op exists so
+ * scrapers need only one endpoint for both formats.
+ */
+std::optional<obs::Json>
+requestMetrics(const std::string &socket_path,
+               double timeout_seconds = 10.0);
+
+/** Fetch the Prometheus text exposition; nullopt when unreachable. */
+std::optional<std::string>
+requestPrometheus(const std::string &socket_path,
+                  double timeout_seconds = 10.0);
+
 /** Ask the daemon to drain; true when acknowledged. */
 bool requestDrain(const std::string &socket_path,
                   double timeout_seconds = 10.0);
+
+/**
+ * A live event-stream subscription: connect + "subscribe", then
+ * next() yields one gpsm-event-v1 record at a time (responses and
+ * other wire traffic are filtered out). close() unsubscribes
+ * gracefully first, capturing the daemon's delivered/dropped
+ * accounting for this subscription. Not thread-safe.
+ */
+class EventStream
+{
+  public:
+    /**
+     * Connect and subscribe with a bounded daemon-side buffer of
+     * @p capacity events. @return false when the daemon is
+     * unreachable or refused the subscription.
+     */
+    bool open(const std::string &socket_path,
+              std::size_t capacity = 1024,
+              double timeout_seconds = 10.0);
+
+    /**
+     * Next event record, waiting up to @p timeout_seconds. nullopt
+     * on timeout or disconnect (connected() distinguishes).
+     */
+    std::optional<obs::Json> next(double timeout_seconds);
+
+    /** Unsubscribe (when still connected) and disconnect. */
+    void close();
+
+    bool connected() const { return client.connected(); }
+
+    /** @name Daemon-side accounting, valid after a graceful close()
+     *  (events delivered to / dropped for this subscription). @{ */
+    std::uint64_t delivered() const { return deliveredCount; }
+    std::uint64_t dropped() const { return droppedCount; }
+    /** @} */
+
+  private:
+    Client client;
+    bool subscribed = false;
+    std::uint64_t deliveredCount = 0;
+    std::uint64_t droppedCount = 0;
+};
 
 } // namespace gpsm::serve
 

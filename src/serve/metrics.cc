@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Prometheus text exporter implementation.
+ */
+
+#include "serve/metrics.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace gpsm::serve
+{
+
+namespace
+{
+
+void
+counterLine(std::string &out, const char *name, const char *help,
+            std::uint64_t value)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "# HELP %s %s\n# TYPE %s counter\n%s %" PRIu64 "\n",
+                  name, help, name, name, value);
+    out += buf;
+}
+
+void
+gaugeLine(std::string &out, const char *name, const char *help,
+          std::uint64_t value)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "# HELP %s %s\n# TYPE %s gauge\n%s %" PRIu64 "\n",
+                  name, help, name, name, value);
+    out += buf;
+}
+
+void
+secondsCounterLine(std::string &out, const char *name,
+                   const char *help, double value)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "# HELP %s %s\n# TYPE %s counter\n%s %.9f\n", name,
+                  help, name, name, value);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+prometheusText(const ServeStats &s)
+{
+    std::string out;
+    out.reserve(4096);
+
+    counterLine(out, "gpsm_requests_total",
+                "Run/sleep requests admitted to the queue",
+                s.requests);
+    counterLine(out, "gpsm_completed_total",
+                "Executions that produced a result", s.completed);
+    counterLine(out, "gpsm_failed_total",
+                "Executions that produced an error", s.failed);
+    counterLine(out, "gpsm_shed_total",
+                "Requests shed with 'overloaded' (queue full)",
+                s.shed);
+    counterLine(out, "gpsm_rejected_draining_total",
+                "Requests rejected with 'shutdown' while draining",
+                s.rejectedDraining);
+    counterLine(out, "gpsm_invalid_total",
+                "Malformed or codec-mismatched requests", s.invalid);
+    counterLine(out, "gpsm_dedupe_hits_total",
+                "Requests attached to an in-flight execution",
+                s.dedupeHits);
+    counterLine(out, "gpsm_cache_hits_total",
+                "Requests served from the memo or journal",
+                s.cacheHits);
+    counterLine(out, "gpsm_retries_total",
+                "Timeout retries executed", s.retries);
+    counterLine(out, "gpsm_connections_accepted_total",
+                "Client connections accepted", s.connectionsAccepted);
+    counterLine(out, "gpsm_connections_refused_total",
+                "Client connections refused at the cap",
+                s.connectionsRefused);
+
+    gaugeLine(out, "gpsm_queue_depth",
+              "Requests queued awaiting a worker", s.queueDepth);
+    gaugeLine(out, "gpsm_in_flight",
+              "Requests currently executing", s.inFlight);
+
+    gaugeLine(out, "gpsm_request_latency_p50_us",
+              "Request latency p50 upper bound, microseconds",
+              s.latencyUs.percentileUpperBound(0.50));
+    gaugeLine(out, "gpsm_request_latency_p99_us",
+              "Request latency p99 upper bound, microseconds",
+              s.latencyUs.percentileUpperBound(0.99));
+    gaugeLine(out, "gpsm_request_latency_p999_us",
+              "Request latency p999 upper bound, microseconds",
+              s.latencyUs.percentileUpperBound(0.999));
+    gaugeLine(out, "gpsm_request_latency_max_us",
+              "Request latency maximum, microseconds",
+              s.latencyUs.max());
+    counterLine(out, "gpsm_request_latency_samples_total",
+                "Request latency samples recorded",
+                s.latencyUs.samples());
+
+    counterLine(out, "gpsm_memo_hits_total",
+                "Experiment memo cache hits", s.memo.hits);
+    counterLine(out, "gpsm_memo_misses_total",
+                "Experiment memo cache misses", s.memo.misses);
+    gaugeLine(out, "gpsm_memo_entries",
+              "Experiment memo cache entries", s.memo.entries);
+    gaugeLine(out, "gpsm_memo_bytes",
+              "Experiment memo cache bytes", s.memo.bytes);
+    counterLine(out, "gpsm_memo_evictions_total",
+                "Experiment memo cache evictions", s.memo.evictions);
+    gaugeLine(out, "gpsm_memo_cap_bytes",
+              "Experiment memo cache capacity, bytes",
+              s.memo.capBytes);
+
+    gaugeLine(out, "gpsm_journal_enabled",
+              "1 when a result journal is attached",
+              s.journal.enabled ? 1 : 0);
+    gaugeLine(out, "gpsm_journal_loaded",
+              "Journal records loaded at attach", s.journal.loaded);
+    gaugeLine(out, "gpsm_journal_corrupted",
+              "Journal lines skipped as corrupt at attach",
+              s.journal.corrupted);
+    counterLine(out, "gpsm_journal_hits_total",
+                "Results served from the journal", s.journal.hits);
+    counterLine(out, "gpsm_journal_appends_total",
+                "Results appended to the journal",
+                s.journal.appends);
+
+    secondsCounterLine(out, "gpsm_phase_init_seconds_total",
+                       "Simulated init-phase seconds across executed "
+                       "(uncached) runs",
+                       s.initSecondsTotal);
+    secondsCounterLine(out, "gpsm_phase_kernel_seconds_total",
+                       "Simulated kernel-phase seconds across "
+                       "executed (uncached) runs",
+                       s.kernelSecondsTotal);
+
+    gaugeLine(out, "gpsm_event_subscribers",
+              "Live event-stream subscriptions",
+              s.eventSubscribers);
+    counterLine(out, "gpsm_event_subscribers_total",
+                "Event-stream subscriptions ever opened",
+                s.eventSubscribersEver);
+    counterLine(out, "gpsm_events_published_total",
+                "gpsm-event-v1 records published to the bus",
+                s.eventsPublished);
+    counterLine(out, "gpsm_events_delivered_total",
+                "Event records delivered to subscribers",
+                s.eventsDelivered);
+    counterLine(out, "gpsm_events_dropped_total",
+                "Event records dropped at full subscriber buffers",
+                s.eventsDropped);
+
+    return out;
+}
+
+} // namespace gpsm::serve

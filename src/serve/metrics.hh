@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Pull-based stats export for the gpsm_serve daemon: the Prometheus
+ * text rendering behind the "metrics" op (the JSON form is
+ * statsToJson, shared with the "stats" op).
+ */
+
+#ifndef GPSM_SERVE_METRICS_HH
+#define GPSM_SERVE_METRICS_HH
+
+#include <string>
+
+#include "serve/server.hh"
+
+namespace gpsm::serve
+{
+
+/**
+ * Render @p stats in the Prometheus text exposition format
+ * (version 0.0.4: "# HELP"/"# TYPE" comments, one sample per line,
+ * counters suffixed _total). Quantiles come from the same
+ * Log2Histogram the "stats" op reports, exposed as explicit
+ * per-quantile gauges (upper bounds of log2 buckets, not exact
+ * ranks). Deterministic output order, so CI can lint and diff it.
+ */
+std::string prometheusText(const ServeStats &stats);
+
+} // namespace gpsm::serve
+
+#endif // GPSM_SERVE_METRICS_HH

@@ -375,6 +375,12 @@ sendLine(int fd, const obs::Json &doc)
 {
     std::string line = doc.dump();
     line += '\n';
+    return sendRawLine(fd, line);
+}
+
+bool
+sendRawLine(int fd, const std::string &line)
+{
     std::size_t off = 0;
     while (off < line.size()) {
         const ssize_t n = ::send(fd, line.data() + off,

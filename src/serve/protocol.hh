@@ -16,8 +16,28 @@
  *                                                (tests and load
  *                                                generation only)
  *   stats {"op":"stats","id":N}                  service counters
+ *   metrics {"op":"metrics","id":N,
+ *            "format":"json"|"prometheus"}       stats snapshot as a
+ *                                                JSON object and/or
+ *                                                Prometheus text
  *   ping  {"op":"ping","id":N}                   liveness probe
  *   drain {"op":"drain","id":N}                  begin graceful drain
+ *   subscribe   {"op":"subscribe","id":N,
+ *                "capacity":C}                   attach this
+ *                                                connection to the
+ *                                                live event stream
+ *   unsubscribe {"op":"unsubscribe","id":N}      detach; reports
+ *                                                delivered/dropped
+ *
+ * Event framing: a subscribed connection receives gpsm-event-v1
+ * records interleaved with its responses, one JSON object per line
+ * like everything else. Events are distinguished from responses by
+ * the presence of a "schema" key (responses never carry one) and the
+ * absence of an "id". A subscriber's buffer is bounded (the
+ * "capacity" it requested); when the subscriber reads too slowly the
+ * daemon drops events for that subscriber — counted, reported by
+ * unsubscribe and the stats/metrics ops — instead of ever blocking a
+ * running experiment.
  *
  * The "fingerprint" field of a run request is the client's locally
  * computed ExperimentConfig::fingerprint(); the daemon recomputes it
@@ -67,6 +87,13 @@ core::ExperimentConfig configFromJson(const obs::Json &doc);
  * the peer is gone or the write failed.
  */
 bool sendLine(int fd, const obs::Json &doc);
+
+/**
+ * Send pre-serialized line-framed bytes (@p line must already end in
+ * '\n' — the event pump forwards EventBus lines without re-encoding).
+ * Same write-fully/no-SIGPIPE contract as sendLine.
+ */
+bool sendRawLine(int fd, const std::string &line);
 
 /**
  * Buffered line reader over one socket. Not thread-safe; each

@@ -14,6 +14,8 @@
 #include <unistd.h>
 
 #include "core/journal.hh"
+#include "obs/telemetry.hh"
+#include "serve/metrics.hh"
 #include "util/logging.hh"
 
 namespace gpsm::serve
@@ -86,11 +88,29 @@ statsToJson(const ServeStats &s)
     journal.set("hits", obs::Json(s.journal.hits));
     journal.set("appends", obs::Json(s.journal.appends));
     doc.set("journal", std::move(journal));
+
+    obs::Json phase = obs::Json::object();
+    phase.set("initSecondsTotal", obs::Json(s.initSecondsTotal));
+    phase.set("kernelSecondsTotal", obs::Json(s.kernelSecondsTotal));
+    doc.set("phase", std::move(phase));
+
+    obs::Json events = obs::Json::object();
+    events.set("subscribers",
+               obs::Json(std::uint64_t(s.eventSubscribers)));
+    events.set("subscribersEver", obs::Json(s.eventSubscribersEver));
+    events.set("published", obs::Json(s.eventsPublished));
+    events.set("delivered", obs::Json(s.eventsDelivered));
+    events.set("dropped", obs::Json(s.eventsDropped));
+    doc.set("events", std::move(events));
     return doc;
 }
 
 Server::Connection::~Connection()
 {
+    // Normally the pump is joined by stopStream before the last
+    // reference drops; this is the backstop for teardown races.
+    if (pump.joinable())
+        pump.join();
     if (fd >= 0)
         ::close(fd);
 }
@@ -287,6 +307,21 @@ Server::readerLoop(const ConnPtr &conn)
         handleMessage(conn, *doc);
     }
     conn->alive.store(false, std::memory_order_release);
+    // A subscriber that disconnects without unsubscribing must still
+    // detach from the bus, or the engine would keep paying for (and
+    // dropping into) a buffer nobody reads.
+    stopStream(conn.get());
+}
+
+void
+Server::stopStream(Connection *conn)
+{
+    if (conn->sub == nullptr)
+        return;
+    obs::EventBus::instance().unsubscribe(conn->sub); // closes it
+    if (conn->pump.joinable())
+        conn->pump.join();
+    conn->sub.reset();
 }
 
 void
@@ -359,6 +394,40 @@ Server::handleMessage(const ConnPtr &conn, const obs::Json &msg)
         respond(conn, doc);
         return;
     }
+    if (op == "metrics") {
+        const obs::Json *fmt = msg.find("format");
+        const std::string format =
+            fmt != nullptr && fmt->isString() ? fmt->asString()
+                                              : "json";
+        if (format != "json" && format != "prometheus") {
+            {
+                std::lock_guard<std::mutex> lock(queueMtx);
+                ++invalidCount;
+            }
+            respondError(conn, id, "metrics", "invalid",
+                         "unknown format '" + format +
+                             "' (json|prometheus)");
+            return;
+        }
+        const ServeStats snapshot = stats();
+        obs::Json doc = obs::Json::object();
+        doc.set("id", obs::Json(id));
+        doc.set("op", obs::Json("metrics"));
+        doc.set("status", obs::Json("ok"));
+        doc.set("stats", statsToJson(snapshot));
+        if (format == "prometheus")
+            doc.set("text", obs::Json(prometheusText(snapshot)));
+        respond(conn, doc);
+        return;
+    }
+    if (op == "subscribe") {
+        handleSubscribe(conn, id, msg);
+        return;
+    }
+    if (op == "unsubscribe") {
+        handleUnsubscribe(conn, id);
+        return;
+    }
     if (op == "drain") {
         draining.store(true);
         drainRequestedFlag.store(true);
@@ -406,6 +475,7 @@ Server::handleMessage(const ConnPtr &conn, const obs::Json &msg)
             ++requestsAdmitted;
         }
         queueCv.notify_one();
+        publishRequestEvent("request_admitted", "", "sleep");
         return;
     }
     if (op == "run") {
@@ -418,6 +488,99 @@ Server::handleMessage(const ConnPtr &conn, const obs::Json &msg)
     }
     respondError(conn, id, op.c_str(), "invalid",
                  "unknown op '" + op + "'");
+}
+
+void
+Server::handleSubscribe(const ConnPtr &conn, std::uint64_t id,
+                        const obs::Json &msg)
+{
+    if (conn->sub != nullptr) {
+        {
+            std::lock_guard<std::mutex> lock(queueMtx);
+            ++invalidCount;
+        }
+        respondError(conn, id, "subscribe", "invalid",
+                     "connection already subscribed");
+        return;
+    }
+    std::size_t capacity = 1024;
+    if (const obs::Json *cap = msg.find("capacity");
+        cap != nullptr && cap->isNumber() && cap->asNumber() >= 1) {
+        capacity = std::min<std::size_t>(
+            static_cast<std::size_t>(cap->asNumber()), 1u << 16);
+    }
+
+    obs::Json doc = obs::Json::object();
+    doc.set("id", obs::Json(id));
+    doc.set("op", obs::Json("subscribe"));
+    doc.set("status", obs::Json("ok"));
+    doc.set("capacity", obs::Json(std::uint64_t(capacity)));
+    respond(conn, doc);
+
+    // Attach after the ack: the first line a subscriber reads is its
+    // response, then events begin. The pump owns the subscription's
+    // consumer side; a socket that stops draining blocks only the
+    // pump, filling the bounded buffer until the bus drops — the
+    // engine and every other subscriber proceed untouched.
+    conn->sub = obs::EventBus::instance().subscribe(capacity);
+    Connection *c = conn.get();
+    conn->pump = std::thread([c] {
+        while (c->alive.load(std::memory_order_acquire)) {
+            const std::optional<std::string> line = c->sub->pop(0.2);
+            if (line) {
+                std::lock_guard<std::mutex> lock(c->writeMtx);
+                if (!sendRawLine(c->fd, *line)) {
+                    c->alive.store(false,
+                                   std::memory_order_release);
+                    break;
+                }
+            } else if (c->sub->isClosed()) {
+                break;
+            }
+        }
+    });
+}
+
+void
+Server::handleUnsubscribe(const ConnPtr &conn, std::uint64_t id)
+{
+    if (conn->sub == nullptr) {
+        {
+            std::lock_guard<std::mutex> lock(queueMtx);
+            ++invalidCount;
+        }
+        respondError(conn, id, "unsubscribe", "invalid",
+                     "connection is not subscribed");
+        return;
+    }
+    const obs::EventBus::SubPtr sub = conn->sub;
+    stopStream(conn.get());
+    obs::Json doc = obs::Json::object();
+    doc.set("id", obs::Json(id));
+    doc.set("op", obs::Json("unsubscribe"));
+    doc.set("status", obs::Json("ok"));
+    doc.set("delivered", obs::Json(sub->delivered()));
+    doc.set("dropped", obs::Json(sub->dropped()));
+    respond(conn, doc);
+}
+
+void
+Server::publishRequestEvent(const char *type, const std::string &run,
+                            const char *op, const obs::Json *extra)
+{
+    if (!obs::eventStreamActive())
+        return;
+    obs::Json ev = obs::makeEvent(type, run);
+    ev.set("op", obs::Json(op));
+    {
+        std::lock_guard<std::mutex> lock(queueMtx);
+        ev.set("queueDepth", obs::Json(std::uint64_t(queue.size())));
+        ev.set("inFlight", obs::Json(std::uint64_t(inFlightCount)));
+    }
+    if (extra != nullptr)
+        for (const auto &[k, v] : extra->entries())
+            ev.set(k, v);
+    obs::EventBus::instance().publish(std::move(ev));
 }
 
 void
@@ -446,6 +609,7 @@ Server::handleRun(const ConnPtr &conn, std::uint64_t id,
         respondError(conn, id, "run", "invalid", e.what());
         return;
     }
+    task->run = obs::runId(task->fingerprint);
     task->deadlineSeconds = opts.defaultDeadlineSeconds;
     task->retries = opts.defaultRetries;
     if (const obs::Json *dl = msg.find("deadlineSeconds");
@@ -456,6 +620,9 @@ Server::handleRun(const ConnPtr &conn, std::uint64_t id,
         task->retries = static_cast<unsigned>(rt->asNumber());
     task->waiters.push_back({conn, id, Clock::now()});
 
+    const std::string run = task->run;
+    const char *event = nullptr;
+    bool admitted = false;
     {
         std::lock_guard<std::mutex> lock(queueMtx);
         if (draining.load()) {
@@ -470,20 +637,25 @@ Server::handleRun(const ConnPtr &conn, std::uint64_t id,
             it->second->waiters.push_back(
                 {conn, id, Clock::now()});
             ++dedupeHitCount;
-            return;
-        }
-        if (queue.size() >= opts.queueCap) {
+            event = "request_deduped";
+        } else if (queue.size() >= opts.queueCap) {
             ++shedCount;
             respondError(conn, id, "run", "overloaded",
                          "request queue full; retry later",
                          task->fingerprint);
-            return;
+            event = "request_shed";
+        } else {
+            pendingByFp.emplace(task->fingerprint, task);
+            queue.push_back(std::move(task));
+            ++requestsAdmitted;
+            event = "request_admitted";
+            admitted = true;
         }
-        pendingByFp.emplace(task->fingerprint, task);
-        queue.push_back(std::move(task));
-        ++requestsAdmitted;
     }
-    queueCv.notify_one();
+    if (admitted)
+        queueCv.notify_one();
+    if (event != nullptr)
+        publishRequestEvent(event, run, "run");
 }
 
 void
@@ -515,6 +687,10 @@ Server::executeTask(const TaskPtr &task)
     obs::Json resp = obs::Json::object();
     bool ok = false;
 
+    publishRequestEvent(
+        "request_start", task->run,
+        task->kind == Task::Kind::Sleep ? "sleep" : "run");
+
     if (task->kind == Task::Kind::Sleep) {
         const util::DeadlineWatchdog::Flag flag =
             std::make_shared<std::atomic<bool>>(false);
@@ -540,6 +716,12 @@ Server::executeTask(const TaskPtr &task)
             ok = true;
         }
         finishTask(task, resp, ok);
+        if (obs::eventStreamActive()) {
+            obs::Json extra = obs::Json::object();
+            extra.set("status", obs::Json(ok ? "ok" : "error"));
+            publishRequestEvent("request_done", task->run, "sleep",
+                                &extra);
+        }
         return;
     }
 
@@ -608,6 +790,7 @@ Server::executeTask(const TaskPtr &task)
     resp.set("op", obs::Json("run"));
     if (ok) {
         resp.set("status", obs::Json("ok"));
+        resp.set("run", obs::Json(task->run));
         resp.set("fingerprint", obs::Json(task->fingerprint));
         resp.set("label", obs::Json(task->config.label()));
         resp.set("cached", obs::Json(cached));
@@ -618,15 +801,35 @@ Server::executeTask(const TaskPtr &task)
         if (cached) {
             std::lock_guard<std::mutex> lock(queueMtx);
             ++cacheHitCount;
+        } else {
+            // Phase attribution for the metrics exporter: simulated
+            // seconds actually spent executing (cached replays cost
+            // nothing).
+            std::lock_guard<std::mutex> lock(queueMtx);
+            initSecondsTotal += result.initSeconds;
+            kernelSecondsTotal += result.kernelSeconds;
         }
     } else {
         resp.set("status", obs::Json("error"));
+        resp.set("run", obs::Json(task->run));
         resp.set("kind", obs::Json(err_kind));
         resp.set("message", obs::Json(err_msg));
         resp.set("fingerprint", obs::Json(task->fingerprint));
         resp.set("attempts", obs::Json(std::uint64_t(attempts)));
     }
     finishTask(task, resp, ok);
+    if (obs::eventStreamActive()) {
+        obs::Json extra = obs::Json::object();
+        extra.set("status", obs::Json(ok ? "ok" : "error"));
+        if (ok) {
+            extra.set("cached", obs::Json(cached));
+            extra.set("wallSeconds", obs::Json(wall));
+        } else {
+            extra.set("kind", obs::Json(err_kind));
+        }
+        publishRequestEvent("request_done", task->run, "run",
+                            &extra);
+    }
 }
 
 void
@@ -686,9 +889,17 @@ Server::stats() const
         s.queueDepth = queue.size();
         s.inFlight = inFlightCount;
         s.latencyUs = latencyUs;
+        s.initSecondsTotal = initSecondsTotal;
+        s.kernelSecondsTotal = kernelSecondsTotal;
     }
     s.memo = core::experimentMemoStats();
     s.journal = core::resultJournalStats();
+    const obs::EventBus &bus = obs::EventBus::instance();
+    s.eventSubscribers = bus.subscribers();
+    s.eventSubscribersEver = bus.totalSubscribers();
+    s.eventsPublished = bus.published();
+    s.eventsDelivered = bus.delivered();
+    s.eventsDropped = bus.dropped();
     return s;
 }
 

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "core/runner.hh"
+#include "obs/events.hh"
 #include "serve/protocol.hh"
 #include "util/histogram.hh"
 #include "util/watchdog.hh"
@@ -94,6 +95,18 @@ struct ServeStats
     Log2Histogram latencyUs;
     core::MemoStats memo;
     core::JournalStats journal;
+    /** Simulated per-phase seconds summed over executed (uncached)
+     *  runs — the exporter's "where do cycles go" counters. @{ */
+    double initSecondsTotal = 0.0;
+    double kernelSecondsTotal = 0.0;
+    /** @} */
+    /** @name Live event-stream accounting (EventBus) @{ */
+    std::size_t eventSubscribers = 0;
+    std::uint64_t eventSubscribersEver = 0;
+    std::uint64_t eventsPublished = 0;
+    std::uint64_t eventsDelivered = 0;
+    std::uint64_t eventsDropped = 0;
+    /** @} */
 };
 
 /** Stats as the JSON object embedded in "stats" responses. */
@@ -147,6 +160,15 @@ class Server
         std::thread reader;
         std::atomic<bool> alive{true};
 
+        /** Event-stream state ("subscribe"): the bounded bus
+         *  subscription plus the pump thread forwarding its lines to
+         *  this socket. Mutated only from this connection's reader
+         *  thread and the sweep/teardown paths, which never race (the
+         *  sweep joins the reader first). @{ */
+        obs::EventBus::SubPtr sub;
+        std::thread pump;
+        /** @} */
+
         ~Connection();
     };
     using ConnPtr = std::shared_ptr<Connection>;
@@ -168,6 +190,8 @@ class Server
         Kind kind = Kind::Run;
         core::ExperimentConfig config;
         std::string fingerprint; ///< dedupe key (Run only)
+        std::string run;         ///< obs::runId(fingerprint): the
+                                 ///< request-scoped trace id
         double sleepSeconds = 0.0;
         double deadlineSeconds = 0.0;
         unsigned retries = 0;
@@ -181,6 +205,19 @@ class Server
     void handleMessage(const ConnPtr &conn, const obs::Json &msg);
     void handleRun(const ConnPtr &conn, std::uint64_t id,
                    const obs::Json &msg);
+    void handleSubscribe(const ConnPtr &conn, std::uint64_t id,
+                         const obs::Json &msg);
+    void handleUnsubscribe(const ConnPtr &conn, std::uint64_t id);
+    /** Close + detach a connection's event stream (idempotent). */
+    void stopStream(Connection *conn);
+    /**
+     * Publish one queue/admission transition to the event bus (only
+     * when a subscriber is attached). @p run is the 16-hex runId of
+     * the affected request ("" for sleeps).
+     */
+    void publishRequestEvent(const char *type, const std::string &run,
+                             const char *op,
+                             const obs::Json *extra = nullptr);
     void executeTask(const TaskPtr &task);
     void respond(const ConnPtr &conn, const obs::Json &doc);
     void respondError(const ConnPtr &conn, std::uint64_t id,
@@ -234,6 +271,8 @@ class Server
     std::uint64_t cacheHitCount = 0;
     std::uint64_t retryCount = 0;
     Log2Histogram latencyUs;
+    double initSecondsTotal = 0.0;
+    double kernelSecondsTotal = 0.0;
     /** @} */
 
     /** Counters frozen at teardown (the journal detaches there, so a

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 
@@ -404,4 +405,103 @@ TEST(Journal, KillResumeRoundTrip)
     ResultJournal check(path);
     EXPECT_EQ(check.entries(), before + 1);
     expectIdentical(sampleResult(999), *check.lookup("resumed"));
+}
+
+TEST(Journal, JournalLineIsExactlyWhatRecordAppends)
+{
+    const std::string path = journalPath("line_format");
+    const RunResult r = sampleResult(7);
+    {
+        ResultJournal j(path);
+        ASSERT_TRUE(j.record("fp|with|pipes", r));
+    }
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(ss.str(), journalLine("fp|with|pipes", r));
+}
+
+TEST(Journal, CompactionKeepsLastRecordDropsCorruption)
+{
+    const std::string path = journalPath("compact");
+    {
+        ResultJournal j(path);
+        ASSERT_TRUE(j.record("fpA", sampleResult(1)));
+        ASSERT_TRUE(j.record("fpB", sampleResult(2)));
+        ASSERT_TRUE(j.record("fpA", sampleResult(3))); // supersedes
+    }
+    {
+        // A torn line and a foreign one: both must vanish.
+        std::ofstream out(path, std::ios::app | std::ios::binary);
+        out << "gpsmj1|torn-record-without-a-checks\n";
+        out << "not a journal record at all\n";
+    }
+
+    const CompactionStats cs = compactJournal(path);
+    ASSERT_TRUE(cs.ok) << cs.error;
+    EXPECT_EQ(cs.recordsIn, 3u);
+    EXPECT_EQ(cs.corrupted, 2u);
+    EXPECT_EQ(cs.recordsOut, 2u);
+    EXPECT_LT(cs.bytesOut, cs.bytesIn);
+
+    ResultJournal re(path);
+    EXPECT_EQ(re.corruptedLines(), 0u);
+    EXPECT_EQ(re.entries(), 2u);
+    ASSERT_TRUE(re.lookup("fpA").has_value());
+    ASSERT_TRUE(re.lookup("fpB").has_value());
+    expectIdentical(sampleResult(3), *re.lookup("fpA")); // last wins
+    expectIdentical(sampleResult(2), *re.lookup("fpB"));
+}
+
+TEST(Journal, CompactionIsIdempotentAndDeterministic)
+{
+    const std::string path = journalPath("compact_idem");
+    {
+        ResultJournal j(path);
+        ASSERT_TRUE(j.record("zeta", sampleResult(1)));
+        ASSERT_TRUE(j.record("alpha", sampleResult(2)));
+        ASSERT_TRUE(j.record("zeta", sampleResult(3)));
+    }
+    ASSERT_TRUE(compactJournal(path).ok);
+    std::ifstream in1(path, std::ios::binary);
+    std::stringstream first;
+    first << in1.rdbuf();
+
+    const CompactionStats again = compactJournal(path);
+    ASSERT_TRUE(again.ok);
+    EXPECT_EQ(again.recordsIn, again.recordsOut);
+    std::ifstream in2(path, std::ios::binary);
+    std::stringstream second;
+    second << in2.rdbuf();
+    // Same record set -> byte-identical compacted journal (sorted by
+    // fingerprint), so repeated maintenance is diff-clean.
+    EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Journal, CompactionOfMissingJournalIsEmptySuccess)
+{
+    const std::string path = journalPath("compact_missing");
+    const CompactionStats cs = compactJournal(path);
+    EXPECT_TRUE(cs.ok) << cs.error;
+    EXPECT_EQ(cs.recordsIn, 0u);
+    EXPECT_EQ(cs.recordsOut, 0u);
+    EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(Journal, CompactedJournalStillServesTheMemoPath)
+{
+    const std::string path = journalPath("compact_memo");
+    const ExperimentConfig cfg = smallConfig();
+    {
+        ResultJournal j(path);
+        // Two generations of the same experiment: pre-compaction the
+        // file holds both, post-compaction only the latest.
+        ASSERT_TRUE(j.record(cfg.fingerprint(), sampleResult(1)));
+        ASSERT_TRUE(j.record(cfg.fingerprint(), sampleResult(4)));
+    }
+    ASSERT_TRUE(compactJournal(path).ok);
+    ResultJournal re(path);
+    EXPECT_EQ(re.entries(), 1u);
+    ASSERT_TRUE(re.lookup(cfg.fingerprint()).has_value());
+    expectIdentical(sampleResult(4), *re.lookup(cfg.fingerprint()));
 }

@@ -14,6 +14,11 @@
  *   N connections and prints a summary (optionally recording results
  *   to a client-side journal for gpsm_report diffs).
  * - --stats: fetch and print the daemon's counters.
+ * - --metrics: fetch the daemon's metrics snapshot (JSON, or the
+ *   Prometheus text exposition with --prometheus) for scrapers.
+ * - --compact-journal: offline last-record-wins rewrite of a result
+ *   journal (dedupes superseded appends, drops corrupt lines). Run it
+ *   only while no daemon holds the journal open.
  * - --drain: ask the daemon to drain and exit.
  *
  * Examples:
@@ -95,7 +100,15 @@ usage()
         "                           format, diffable via gpsm_report)\n"
         "    --recv-timeout X       per-response patience (300)\n"
         "  --stats                  print daemon counters as JSON\n"
+        "  --metrics                print the metrics snapshot (JSON)\n"
+        "    --prometheus           Prometheus text format instead\n"
         "  --drain                  ask the daemon to drain and exit\n"
+        "\n"
+        "maintenance:\n"
+        "  --compact-journal PATH   rewrite PATH keeping only the last\n"
+        "                           record per fingerprint (offline:\n"
+        "                           stop any daemon on PATH first)\n"
+        "\n"
         "  --quiet                  suppress progress notes\n";
 }
 
@@ -204,8 +217,12 @@ try {
         Daemon,
         Submit,
         Stats,
+        Metrics,
         Drain,
+        CompactJournal,
     } mode = Mode::Daemon;
+    bool prometheus = false;
+    std::string compact_path;
 
     ExperimentConfig cfg;
     cfg.scaleDivisor = 256;
@@ -227,6 +244,13 @@ try {
             mode = Mode::Submit;
         } else if (arg == "--stats") {
             mode = Mode::Stats;
+        } else if (arg == "--metrics") {
+            mode = Mode::Metrics;
+        } else if (arg == "--prometheus") {
+            prometheus = true;
+        } else if (arg == "--compact-journal") {
+            mode = Mode::CompactJournal;
+            compact_path = next();
         } else if (arg == "--drain") {
             mode = Mode::Drain;
         } else if (arg == "--socket") {
@@ -388,6 +412,39 @@ try {
             fatal("no daemon reachable at '%s'",
                   serve_opts.socketPath.c_str());
         std::cout << stats->dump(2) << '\n';
+        return 0;
+    }
+
+    if (mode == Mode::Metrics) {
+        if (prometheus) {
+            const std::optional<std::string> text =
+                serve::requestPrometheus(serve_opts.socketPath);
+            if (!text)
+                fatal("no daemon reachable at '%s'",
+                      serve_opts.socketPath.c_str());
+            std::cout << *text;
+        } else {
+            const std::optional<obs::Json> stats =
+                serve::requestMetrics(serve_opts.socketPath);
+            if (!stats)
+                fatal("no daemon reachable at '%s'",
+                      serve_opts.socketPath.c_str());
+            std::cout << stats->dump(2) << '\n';
+        }
+        return 0;
+    }
+
+    if (mode == Mode::CompactJournal) {
+        const CompactionStats cs = compactJournal(compact_path);
+        if (!cs.ok)
+            fatal("compacting '%s' failed: %s", compact_path.c_str(),
+                  cs.error.c_str());
+        inform("compacted '%s': %zu record(s) (%zu corrupt) -> %zu, "
+               "%llu -> %llu bytes",
+               compact_path.c_str(), cs.recordsIn, cs.corrupted,
+               cs.recordsOut,
+               static_cast<unsigned long long>(cs.bytesIn),
+               static_cast<unsigned long long>(cs.bytesOut));
         return 0;
     }
 
