@@ -17,6 +17,7 @@
 
 #include "core/replay.hh"
 #include "core/runner.hh"
+#include "obs/profiler.hh"
 #include "obs/telemetry.hh"
 #include "util/logging.hh"
 #include "util/parse.hh"
@@ -45,6 +46,9 @@ std::string gMetricsDir;
 
 /** Replay switch selected by parseOptions. */
 bool gReplay = false;
+
+/** Phase-profiler switch selected by parseOptions. */
+bool gProfile = false;
 
 /** Keeps concurrent note() lines whole. */
 std::mutex &
@@ -125,6 +129,8 @@ parseOptions(int argc, char **argv)
         opts.progress = env[0] == '1';
     if (const char *env = std::getenv("GPSM_REPLAY"))
         opts.replay = env[0] == '1';
+    if (const char *env = std::getenv("GPSM_PROF"))
+        opts.profile = env[0] == '1';
     if (const char *env = std::getenv("GPSM_BENCH_SHARD"))
         parseShard(env, opts.shard, opts.shards);
 
@@ -158,6 +164,8 @@ parseOptions(int argc, char **argv)
             opts.progress = true;
         } else if (arg == "--replay") {
             opts.replay = true;
+        } else if (arg == "--profile") {
+            opts.profile = true;
         } else if (arg == "--shard") {
             parseShard(next(), opts.shard, opts.shards);
         } else if (arg == "--datasets") {
@@ -176,7 +184,8 @@ parseOptions(int argc, char **argv)
                 " [--apps bfs,sssp,pr] [--jobs N]\n"
                 "          [--journal PATH] [--timeout-seconds X]\n"
                 "          [--metrics-dir PATH] [--sample-interval N]\n"
-                "          [--progress] [--shard i/n] [--replay]\n",
+                "          [--progress] [--shard i/n] [--replay]"
+                " [--profile]\n",
                 argv[0]);
             std::exit(0);
         } else {
@@ -205,11 +214,15 @@ parseOptions(int argc, char **argv)
     gShards = opts.shards;
     gMetricsDir = opts.metricsDir;
     gReplay = opts.replay;
+    gProfile = opts.profile;
 
     // Replay switch (process-wide, before the first experiment).
     core::ReplayOptions replay;
     replay.enabled = opts.replay;
     core::setReplay(replay);
+
+    // Profiler switch (process-wide, before the first experiment).
+    obs::setProfiling(opts.profile);
 
     // Telemetry request (process-wide, before the first experiment).
     // setTelemetry() with an empty dir is the documented off switch,
@@ -338,7 +351,8 @@ void
 appendBatchRecord(std::size_t configs, std::size_t owned,
                   std::size_t failures,
                   const core::PrefetchStats &prefetch,
-                  double wall_seconds)
+                  double wall_seconds,
+                  const obs::ProfTotals &prof_before)
 {
     if (!obs::telemetryEnabled())
         return;
@@ -358,6 +372,20 @@ appendBatchRecord(std::size_t configs, std::size_t owned,
              static_cast<std::uint64_t>(prefetch.datasets));
     line.set("prefetch_seconds", prefetch.seconds);
     line.set("wall_seconds", wall_seconds);
+    // Phase breakdown for this batch (process totals delta), present
+    // only when the profiler is armed so dormant batches.jsonl lines
+    // keep their pre-profiler shape.
+    if (obs::profilingEnabled()) {
+        const obs::ProfTotals now = obs::profTotals();
+        obs::Json prof = obs::Json::object();
+        for (std::size_t i = 0; i < obs::profPhaseCount; ++i) {
+            prof.set(
+                obs::profPhaseName(static_cast<obs::ProfPhase>(i)),
+                now.phases.seconds[i] - prof_before.phases.seconds[i]);
+        }
+        prof.set("runs", now.runs - prof_before.runs);
+        line.set("profile", std::move(prof));
+    }
     const std::string text = line.dump() + "\n";
     std::fwrite(text.data(), 1, text.size(), f);
     std::fclose(f);
@@ -389,6 +417,10 @@ runAll(const std::vector<core::ExperimentConfig> &configs)
     std::optional<obs::ProgressMeter> meter;
     if (gProgress)
         meter.emplace(batch.size(), "");
+
+    // Process totals before the batch: appendBatchRecord charges this
+    // batch with the delta, so consecutive batches don't double-count.
+    const obs::ProfTotals prof_before = obs::profTotals();
 
     core::ExperimentPool pool(gJobs);
     core::PoolOptions popts;
@@ -437,14 +469,15 @@ runAll(const std::vector<core::ExperimentConfig> &configs)
         note("         fingerprint: %s", err.fingerprint.c_str());
     }
     appendBatchRecord(configs.size(), batch.size(), failures,
-                      prefetch, batch_wall);
+                      prefetch, batch_wall, prof_before);
     if (gReplay) {
         const core::ReplayStats rs = core::replayStats();
         note("  replay: %llu streams recorded, %llu kernels skipped, "
-             "%llu live fallbacks",
+             "%llu live fallbacks, %llu decoded-cache hits",
              static_cast<unsigned long long>(rs.recorded),
              static_cast<unsigned long long>(rs.replayed),
-             static_cast<unsigned long long>(rs.fallbacks));
+             static_cast<unsigned long long>(rs.fallbacks),
+             static_cast<unsigned long long>(rs.compiledHits));
     }
     if (failures > 0) {
         fatal("%zu of %zu experiments failed", failures,

@@ -69,6 +69,12 @@ struct Options
      *  the sweep, skipping kernel re-execution. Results, stdout and
      *  telemetry are byte-identical with or without it (CI-gated). */
     bool replay = false;
+    /** --profile / GPSM_PROF: record host wall-time per phase
+     *  (build/load/kernel/verify + replay decode/dispatch) into the
+     *  batches.jsonl summary and a per-run "profile" section of each
+     *  metrics document. Off (the default) writes neither: documents
+     *  and stdout are byte-identical to a profiler-free build. */
+    bool profile = false;
     /** --shard i/n / GPSM_BENCH_SHARD: run only the i-th of n
      *  deterministic partitions of each runAll() batch (1-based).
      *  Unowned rows render as zeros; union the result journals of all

@@ -23,9 +23,18 @@ main(int argc, char **argv)
     const Options opts = parseOptions(argc, argv);
     printHeader("Fig. 3: DTLB/STLB miss rates, 4KB vs THP", opts);
 
-    TableWriter table("fig03");
-    table.setHeader({"app", "dataset", "policy", "dtlb miss",
-                     "stlb hit (of accesses)", "walk rate"});
+    // Declare every config up front and batch them through the
+    // experiment pool (--jobs); rows are assembled afterwards so the
+    // stdout table is byte-identical at any parallelism level.
+    std::vector<ExperimentConfig> configs;
+    struct Row
+    {
+        App app;
+        std::string ds;
+        bool thp;
+        std::size_t at;
+    };
+    std::vector<Row> rows;
 
     for (App app : opts.apps) {
         for (const std::string &ds : opts.datasets) {
@@ -33,18 +42,28 @@ main(int argc, char **argv)
                 ExperimentConfig cfg = baseConfig(opts, app, ds);
                 cfg.thpMode = thp ? vm::ThpMode::Always
                                   : vm::ThpMode::Never;
-                const RunResult r = run(cfg);
-                const double stlb_hit_rate =
-                    r.accesses ? static_cast<double>(r.stlbHits) /
-                                     static_cast<double>(r.accesses)
-                               : 0.0;
-                table.addRow({appName(app), ds,
-                              thp ? "thp" : "4k",
-                              TableWriter::pct(r.dtlbMissRate),
-                              TableWriter::pct(stlb_hit_rate),
-                              TableWriter::pct(r.stlbMissRate)});
+                rows.push_back(Row{app, ds, thp, configs.size()});
+                configs.push_back(std::move(cfg));
             }
         }
+    }
+
+    const std::vector<RunResult> results = runAll(configs);
+
+    TableWriter table("fig03");
+    table.setHeader({"app", "dataset", "policy", "dtlb miss",
+                     "stlb hit (of accesses)", "walk rate"});
+    for (const Row &row : rows) {
+        const RunResult &r = results[row.at];
+        const double stlb_hit_rate =
+            r.accesses ? static_cast<double>(r.stlbHits) /
+                             static_cast<double>(r.accesses)
+                       : 0.0;
+        table.addRow({appName(row.app), row.ds,
+                      row.thp ? "thp" : "4k",
+                      TableWriter::pct(r.dtlbMissRate),
+                      TableWriter::pct(stlb_hit_rate),
+                      TableWriter::pct(r.stlbMissRate)});
     }
     table.print(std::cout);
     return 0;

@@ -22,43 +22,63 @@ main(int argc, char **argv)
     Options opts = parseOptions(argc, argv);
     printHeader("Fig. 5: per-data-structure THP speedups (BFS)", opts);
 
-    TableWriter table("fig05");
-    table.setHeader({"dataset", "vertex only", "edge only",
-                     "property only", "system-wide",
-                     "huge bytes (prop only)"});
+    // Declare every config up front and batch them through the
+    // experiment pool (--jobs); rows are assembled afterwards so the
+    // stdout table is byte-identical at any parallelism level.
+    std::vector<ExperimentConfig> configs;
+    struct Row
+    {
+        std::string ds;
+        std::size_t base, vtx, edge, prop, all;
+    };
+    std::vector<Row> rows;
 
     for (const std::string &ds : opts.datasets) {
         ExperimentConfig base = baseConfig(opts, App::Bfs, ds);
         base.thpMode = vm::ThpMode::Never;
-        const RunResult r4k = run(base);
 
         auto madvised = [&](MadviseSelection sel) {
             ExperimentConfig cfg = base;
             cfg.thpMode = vm::ThpMode::Madvise;
             cfg.madvise = sel;
-            return run(cfg);
+            return cfg;
         };
 
         MadviseSelection vtx;
         vtx.vertex = true;
-        const RunResult rvtx = madvised(vtx);
-
         MadviseSelection edge;
         edge.edge = true;
-        const RunResult redge = madvised(edge);
-
-        const RunResult rprop =
-            madvised(MadviseSelection::propertyOnly(1.0));
 
         ExperimentConfig all = base;
         all.thpMode = vm::ThpMode::Always;
-        const RunResult rall = run(all);
 
-        table.addRow({ds,
-                      TableWriter::speedup(speedupOver(r4k, rvtx)),
-                      TableWriter::speedup(speedupOver(r4k, redge)),
+        rows.push_back(Row{ds, configs.size(), configs.size() + 1,
+                           configs.size() + 2, configs.size() + 3,
+                           configs.size() + 4});
+        configs.push_back(base);
+        configs.push_back(madvised(vtx));
+        configs.push_back(madvised(edge));
+        configs.push_back(madvised(MadviseSelection::propertyOnly(1.0)));
+        configs.push_back(all);
+    }
+
+    const std::vector<RunResult> results = runAll(configs);
+
+    TableWriter table("fig05");
+    table.setHeader({"dataset", "vertex only", "edge only",
+                     "property only", "system-wide",
+                     "huge bytes (prop only)"});
+    for (const Row &row : rows) {
+        const RunResult &r4k = results[row.base];
+        const RunResult &rprop = results[row.prop];
+        table.addRow({row.ds,
+                      TableWriter::speedup(
+                          speedupOver(r4k, results[row.vtx])),
+                      TableWriter::speedup(
+                          speedupOver(r4k, results[row.edge])),
                       TableWriter::speedup(speedupOver(r4k, rprop)),
-                      TableWriter::speedup(speedupOver(r4k, rall)),
+                      TableWriter::speedup(
+                          speedupOver(r4k, results[row.all])),
                       formatBytes(rprop.hugeBackedBytes)});
     }
     table.print(std::cout);

@@ -17,6 +17,7 @@
  * binary.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +29,7 @@
 
 #include "core/kernels.hh"
 #include "core/machine.hh"
+#include "core/replay.hh"
 #include "core/views.hh"
 #include "graph/builder.hh"
 #include "graph/generators.hh"
@@ -138,7 +140,7 @@ main(int argc, char **argv)
         } else if (arg == "--emit-bench") {
             emit_bench = next();
         } else if (arg == "--paper" || arg == "--progress" ||
-                   arg == "--replay") {
+                   arg == "--replay" || arg == "--profile") {
             // valueless harness flags: ignored
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,
@@ -250,6 +252,97 @@ main(int argc, char **argv)
                 acc += arr.get(rng.below(1 << 16));
             sink(acc);
         }));
+    }
+
+    // --- MMU: random gathers over a translation-heavy footprint (the
+    //     irregular property-array pattern the VPN memo targets;
+    //     2^20 elements span far more pages than mmu_access_hot) ---
+    {
+        const std::uint64_t elems = 1 << 20;
+        const std::uint64_t samples = 1 << 16;
+        const std::uint64_t iters = quick ? 1'000'000 : 10'000'000;
+        core::SimMachine m(smallConfig(true), vm::ThpConfig::never());
+        core::SimArray<std::uint64_t> arr(m, elems, "a",
+                                          core::TagProperty);
+        arr.fill(1);
+
+        // Pre-drawn index tables: the timed loop measures the MMU
+        // access path, not the generator or the distribution math.
+        std::vector<std::uint32_t> uniform(samples);
+        Rng urng(7);
+        for (auto &v : uniform)
+            v = static_cast<std::uint32_t>(urng.below(elems));
+        results.push_back(
+            timeCase("mmu_rand_gather", iters, reps, [&]() {
+                std::uint64_t acc = 0;
+                for (std::uint64_t i = 0; i < iters; ++i)
+                    acc += arr.get(uniform[i & (samples - 1)]);
+                sink(acc);
+            }));
+
+        // Zipf (s=1) ranks via inverse-CDF over harmonic weights:
+        // hub-dominated, like real graph frontiers — the regime where
+        // the translation memo should shine.
+        std::vector<double> cdf(elems);
+        double total = 0.0;
+        for (std::uint64_t i = 0; i < elems; ++i) {
+            total += 1.0 / static_cast<double>(i + 1);
+            cdf[i] = total;
+        }
+        std::vector<std::uint32_t> zipf(samples);
+        Rng zrng(11);
+        for (auto &v : zipf) {
+            const double u = zrng.uniform() * total;
+            v = static_cast<std::uint32_t>(
+                std::lower_bound(cdf.begin(), cdf.end(), u) -
+                cdf.begin());
+        }
+        results.push_back(
+            timeCase("mmu_rand_gather_zipf", iters, reps, [&]() {
+                std::uint64_t acc = 0;
+                for (std::uint64_t i = 0; i < iters; ++i)
+                    acc += arr.get(zipf[i & (samples - 1)]);
+                sink(acc);
+            }));
+    }
+
+    // --- replay: compiled-trace dispatch (the sweep-replay inner
+    //     loop: fixed-width records straight into the MMU) ---
+    {
+        const std::uint64_t elems = 1 << 18;
+        const std::uint64_t records = quick ? 1 << 16 : 1 << 18;
+        core::SimMachine m(smallConfig(false), vm::ThpConfig::never());
+        core::SimArray<std::uint64_t> arr(m, elems, "a",
+                                          core::TagProperty);
+        arr.fill(1);
+
+        core::TraceRecorder recorder(1ull << 30);
+        Rng rng(5);
+        for (std::uint64_t i = 0; i < records; ++i) {
+            const std::uint64_t addr =
+                arr.vaddr() + rng.below(elems) * sizeof(std::uint64_t);
+            if ((i & 63) == 63) {
+                recorder.recordRun(addr, 64, sizeof(std::uint64_t),
+                                   /*write=*/false, core::TagProperty);
+            } else {
+                recorder.recordAccess(addr, /*write=*/false,
+                                      core::TagProperty);
+            }
+        }
+        const core::RecordedTrace trace = recorder.take(0, 0);
+        const core::CompiledTrace compiled = core::compileTrace(trace);
+        results.push_back(
+            timeCase("replay_dispatch", records, reps, [&]() {
+                core::replayCompiled(compiled, m.mmu());
+            }));
+
+        // Streaming decoder on the same stream and machine, so the
+        // decode-once saving is an in-process A/B (immune to the
+        // machine drift that plagues cross-run comparisons).
+        results.push_back(
+            timeCase("replay_stream", records, reps, [&]() {
+                core::replayTrace(trace, m.mmu());
+            }));
     }
 
     // --- MMU: sequential scans (the accessRange / translateRun path;

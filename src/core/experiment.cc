@@ -24,6 +24,7 @@
 #include "mem/fragmenter.hh"
 #include "mem/memhog.hh"
 #include "obs/events.hh"
+#include "obs/profiler.hh"
 #include "obs/telemetry.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
@@ -285,6 +286,13 @@ runExperiment(const ExperimentConfig &cfg,
     };
     check_cancel("before dataset generation");
 
+    // Host-side phase timing (opt-in, see obs/profiler.hh): scopes are
+    // no-ops while profiling is off, and the breakdown only ever lands
+    // in profiler-specific outputs, so a dormant profiler leaves every
+    // byte of the run unchanged.
+    obs::profBeginRun();
+    obs::ProfScope prof_build(obs::ProfPhase::Build);
+
     // 1. Build the dataset (this models reading the input files; the
     //    graph itself lives host-side until loaded into the view).
     const auto base_graph_ptr = cachedDataset(
@@ -306,6 +314,8 @@ runExperiment(const ExperimentConfig &cfg,
         gp = &reordered;
     }
     const graph::CsrGraph &g = *gp;
+    prof_build.stop();
+    obs::ProfScope prof_load(obs::ProfPhase::Load);
 
     // 3. Assemble the machine with the requested THP policy.
     vm::ThpConfig thp;
@@ -552,6 +562,7 @@ runExperiment(const ExperimentConfig &cfg,
             hook->traceEvent(obs::TraceKind::PhaseEnd, 0, "init");
             hook->traceEvent(obs::TraceKind::PhaseBegin, 0, "kernel");
         }
+        prof_load.stop();
         before_kernel = MmuSnap::take(mmu);
 
         // Trace record-and-replay (opt-in): when a prior run with the
@@ -575,7 +586,25 @@ runExperiment(const ExperimentConfig &cfg,
         }
 
         if (replayed) {
-            replayTrace(*replayed, mmu);
+            // Decode-once fast path: the first replay of a stream
+            // compiles the varint trace to fixed-width records; every
+            // later replay dispatches the compiled form directly. A
+            // stream the byte budget pins stays on the streaming
+            // decoder — identical counters either way.
+            std::shared_ptr<const CompiledTrace> compiled;
+            {
+                obs::ProfScope prof_decode(
+                    obs::ProfPhase::ReplayDecode);
+                compiled = compiledLookup(stream_key, *replayed);
+            }
+            {
+                obs::ProfScope prof_dispatch(
+                    obs::ProfPhase::ReplayDispatch);
+                if (compiled)
+                    replayCompiled(*compiled, mmu);
+                else
+                    replayTrace(*replayed, mmu);
+            }
             // The kernel's host-side outputs cannot be recomputed
             // without running it; they ride in the trace.
             outcome.output = replayed->kernelOutput;
@@ -588,6 +617,7 @@ runExperiment(const ExperimentConfig &cfg,
                 mmu.setAccessRecorder(recorder.get());
             }
             try {
+                obs::ProfScope prof_kernel(obs::ProfPhase::Kernel);
                 if constexpr (std::is_same_v<PropT, std::uint64_t>) {
                     const graph::NodeId root = defaultRoot(g);
                     if (cfg.app == App::Bfs)
@@ -611,7 +641,9 @@ runExperiment(const ExperimentConfig &cfg,
                 }
                 throw;
             }
+            obs::ProfScope prof_verify(obs::ProfPhase::Verify);
             outcome.checksum = propChecksum(view.propRaw());
+            prof_verify.stop();
             if (claimed) {
                 mmu.setAccessRecorder(nullptr);
                 if (recorder->overflowed()) {
@@ -704,6 +736,10 @@ runExperiment(const ExperimentConfig &cfg,
     // never record into the sink it is reading.
     hooks.release();
 
+    // Fold this run's phase wall-times into the process aggregate
+    // (zeroes while profiling is off).
+    const obs::PhaseBreakdown prof_run = obs::profEndRun();
+
     if (trace) {
         obs::Json stats_json = obs::Json::object();
         for (const auto &[name, value] : machine.stats().snapshot())
@@ -718,11 +754,21 @@ runExperiment(const ExperimentConfig &cfg,
             events.set("subscriberDrops",
                        obs::Json(live->subscriberDrops()));
         }
+        obs::Json profile;
+        if (obs::profilingEnabled()) {
+            profile = obs::Json::object();
+            for (std::size_t i = 0; i < obs::profPhaseCount; ++i) {
+                profile.set(
+                    obs::profPhaseName(static_cast<obs::ProfPhase>(i)),
+                    obs::Json(prof_run.seconds[i]));
+            }
+        }
         obs::writeRunTelemetry(obs::telemetry(), cfg.label(),
                                cfg.fingerprint(), *trace,
                                sampler ? &*sampler : nullptr,
                                resultJson(res), std::move(stats_json),
-                               std::move(extra), std::move(events));
+                               std::move(extra), std::move(events),
+                               std::move(profile));
     }
     return res;
 }

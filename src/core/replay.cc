@@ -31,6 +31,15 @@ struct ReplayState
     std::set<std::string> recording;
     /** Keys pinned to live execution (recording overflowed). */
     std::set<std::string> pinnedLive;
+    /**
+     * Decode-once cache: the compiled form of each replayed stream. A
+     * null mapped value pins the key to the streaming decoder (decoded
+     * size over budget, or a stride the fixed-width record cannot
+     * carry).
+     */
+    std::unordered_map<std::string,
+                       std::shared_ptr<const CompiledTrace>>
+        compiled;
     ReplayStats stats;
 };
 
@@ -75,6 +84,7 @@ resetReplayCache()
     s.traces.clear();
     s.recording.clear();
     s.pinnedLive.clear();
+    s.compiled.clear();
     s.stats = ReplayStats{};
 }
 
@@ -264,6 +274,138 @@ replayTrace(const RecordedTrace &trace, tlb::Mmu &mmu)
     }
     GPSM_ASSERT(seen == trace.records,
                 "replay trace record count mismatch");
+}
+
+namespace
+{
+
+/** Decode @p trace into @p out; false when a run stride does not fit
+ *  the fixed-width record (the caller pins the streaming decoder). */
+bool
+compileInto(CompiledTrace &out, const RecordedTrace &trace)
+{
+    out.records.clear();
+    out.records.reserve(trace.records);
+
+    const std::uint8_t *p = trace.bytes.data();
+    const std::uint8_t *const end = p + trace.bytes.size();
+    std::uint64_t prev = 0;
+
+    auto varint = [&p, end]() {
+        std::uint64_t v = 0;
+        unsigned shift = 0;
+        for (;;) {
+            GPSM_ASSERT(p < end, "truncated replay trace");
+            const std::uint8_t b = *p++;
+            v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+            if ((b & 0x80) == 0)
+                return v;
+            shift += 7;
+        }
+    };
+
+    while (p < end) {
+        const std::uint8_t h = *p++;
+        const std::uint64_t z = varint();
+        CompiledRecord rec;
+        rec.addr = prev + ((z >> 1) ^ (~(z & 1) + 1));
+        prev = rec.addr;
+        rec.tag = h & 0x07;
+        rec.flags = (h & 0x08) != 0 ? CompiledRecord::flagWrite : 0;
+        if ((h & 0x10) != 0) {
+            rec.flags |= CompiledRecord::flagRun;
+            rec.count = varint();
+            const std::uint64_t stride = varint();
+            if (stride > UINT32_MAX)
+                return false;
+            rec.stride = static_cast<std::uint32_t>(stride);
+        }
+        out.records.push_back(rec);
+    }
+    GPSM_ASSERT(out.records.size() == trace.records,
+                "compiled trace record count mismatch");
+    return true;
+}
+
+} // namespace
+
+CompiledTrace
+compileTrace(const RecordedTrace &trace)
+{
+    CompiledTrace out;
+    const bool ok = compileInto(out, trace);
+    GPSM_ASSERT(ok, "run stride exceeds the compiled record");
+    return out;
+}
+
+std::shared_ptr<const CompiledTrace>
+compiledLookup(const std::string &key, const RecordedTrace &trace)
+{
+    ReplayState &s = state();
+    std::uint64_t budget;
+    {
+        std::lock_guard<std::mutex> lock(s.mtx);
+        auto it = s.compiled.find(key);
+        if (it != s.compiled.end()) {
+            if (it->second != nullptr)
+                ++s.stats.compiledHits;
+            return it->second;
+        }
+        budget = s.opts.maxTraceBytes;
+    }
+
+    // The decoded size is known before decoding: records are fixed
+    // width. A stream over budget is pinned (null entry) so the size
+    // math runs once, not per replay.
+    const std::uint64_t decoded_bytes =
+        trace.records * sizeof(CompiledRecord);
+    std::shared_ptr<const CompiledTrace> compiled;
+    if (decoded_bytes <= budget) {
+        // Decode outside the lock: concurrent replays of one stream
+        // may both decode, and the first publish wins — harmless, the
+        // decoded form is a pure function of the trace.
+        auto fresh = std::make_shared<CompiledTrace>();
+        if (compileInto(*fresh, trace))
+            compiled = std::move(fresh);
+    }
+
+    std::lock_guard<std::mutex> lock(s.mtx);
+    auto it = s.compiled.find(key);
+    if (it != s.compiled.end()) {
+        if (it->second != nullptr)
+            ++s.stats.compiledHits;
+        return it->second;
+    }
+    s.compiled.emplace(key, compiled);
+    if (compiled != nullptr)
+        ++s.stats.compiled;
+    else
+        ++s.stats.compiledOverflows;
+    return compiled;
+}
+
+void
+replayCompiled(const CompiledTrace &trace, tlb::Mmu &mmu)
+{
+    const CompiledRecord *const recs = trace.records.data();
+    const std::size_t n = trace.records.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        // Stay ahead of the dispatch: pull the record line a few
+        // entries out and the Mmu memo line the nearer record will
+        // index, so the irregular-access fast path finds both hot.
+        if (i + 8 < n) {
+            __builtin_prefetch(&recs[i + 8]);
+            mmu.prefetchMemo(recs[i + 4].addr);
+        }
+        const CompiledRecord &rec = recs[i];
+        const bool write =
+            (rec.flags & CompiledRecord::flagWrite) != 0;
+        if ((rec.flags & CompiledRecord::flagRun) != 0)
+            mmu.translateRun(rec.addr, rec.count, rec.stride, write,
+                             rec.tag);
+        else
+            mmu.access(rec.addr, write, rec.tag);
+    }
 }
 
 } // namespace gpsm::core

@@ -69,6 +69,12 @@ struct ReplayStats
     std::uint64_t recorded = 0;  ///< traces captured and published
     std::uint64_t replayed = 0;  ///< kernel executions skipped
     std::uint64_t fallbacks = 0; ///< replay enabled but ran live
+    std::uint64_t compiled = 0;  ///< streams decoded once to records
+    /** Replays served from an already-decoded stream (no varint work). */
+    std::uint64_t compiledHits = 0;
+    /** Streams whose decoded form exceeded maxTraceBytes and were
+     *  pinned to the streaming decoder. */
+    std::uint64_t compiledOverflows = 0;
 };
 
 ReplayStats replayStats();
@@ -167,6 +173,70 @@ class TraceRecorder final : public tlb::AccessRecorder
  * kernel execution's counter evolution exactly.
  */
 void replayTrace(const RecordedTrace &trace, tlb::Mmu &mmu);
+
+/** @name Compiled replay traces
+ * replayTrace() re-decodes the varint byte stream for every config in
+ * a sweep. The compiled form decodes each stream ONCE per process into
+ * a flat array of fixed-width records that the sweep-replay inner loop
+ * dispatches with no per-config decode work, plus software prefetch of
+ * upcoming records and the Mmu memo lines they will index. The decoded
+ * cache lives next to the RecordedTrace cache under the same
+ * per-stream maxTraceBytes budget: a stream whose decoded form would
+ * exceed it is pinned to the streaming decoder (counted in
+ * ReplayStats::compiledOverflows) — correctness never depends on
+ * compilation, only the per-config decode cost does.
+ * @{ */
+
+/** One decoded record: 24 bytes, dispatch-ready. */
+struct CompiledRecord
+{
+    std::uint64_t addr = 0;
+    std::uint64_t count = 0;  ///< run records only
+    std::uint32_t stride = 0; ///< run records only
+    std::uint8_t tag = 0;
+    std::uint8_t flags = 0; ///< bit 0 write, bit 1 run
+    std::uint16_t pad = 0;
+
+    static constexpr std::uint8_t flagWrite = 0x01;
+    static constexpr std::uint8_t flagRun = 0x02;
+};
+
+/** A stream decoded to fixed-width records. */
+struct CompiledTrace
+{
+    std::vector<CompiledRecord> records;
+
+    std::uint64_t
+    byteSize() const
+    {
+        return records.size() * sizeof(CompiledRecord);
+    }
+};
+
+/**
+ * Decode @p trace into fixed-width records (unconditionally — the
+ * budget check lives in compiledLookup's caching layer; micro benches
+ * and tests use this directly).
+ */
+CompiledTrace compileTrace(const RecordedTrace &trace);
+
+/**
+ * The decoded form of the stream @p key, compiling @p trace on first
+ * use. Returns null — permanently, the key is pinned — when the
+ * decoded size exceeds ReplayOptions::maxTraceBytes or a run record's
+ * stride does not fit a CompiledRecord; callers then replay the
+ * streaming way. Counts compiledHits when served from the cache.
+ */
+std::shared_ptr<const CompiledTrace>
+compiledLookup(const std::string &key, const RecordedTrace &trace);
+
+/**
+ * Dispatch a compiled stream through @p mmu — identical entry-point
+ * sequence to replayTrace() on the same stream, so counters are
+ * byte-identical between the two decoders (and to the live run).
+ */
+void replayCompiled(const CompiledTrace &trace, tlb::Mmu &mmu);
+/** @} */
 
 } // namespace gpsm::core
 

@@ -191,6 +191,18 @@ validateMetricsDoc(const obs::Json &doc, std::string &error)
             }
         }
     }
+    if (const Json *profile = doc.find("profile"); profile != nullptr) {
+        if (!profile->isObject()) {
+            error = "\"profile\" is not an object";
+            return false;
+        }
+        for (const auto &[key, value] : profile->entries()) {
+            if (!value.isNumber()) {
+                error = "non-numeric profile phase \"" + key + "\"";
+                return false;
+            }
+        }
+    }
     return true;
 }
 
@@ -246,6 +258,12 @@ loadMetricsDir(const std::string &dir)
                                        "dropped");
         e.eventDrops = numberOrZero(findObject(*doc, "events"),
                                     "subscriberDrops");
+        if (const Json *profile = findObject(*doc, "profile")) {
+            for (const auto &[key, value] : profile->entries()) {
+                if (value.isNumber())
+                    e.profile.emplace(key, value.asNumber());
+            }
+        }
         // Two-node runs carry their NUMA counters only in the machine
         // stats snapshot (RunResult is frozen for journal
         // compatibility); fold them into the metric map so diffs watch
@@ -446,6 +464,42 @@ renderSummary(const ReportStore &store)
         });
     }
     table.print(os, /*with_csv=*/false);
+
+    // Host phase breakdown: printed only when at least one run was
+    // executed with the profiler armed, so dormant stores render
+    // exactly as before.
+    const bool any_profile =
+        std::any_of(store.entries.begin(), store.entries.end(),
+                    [](const ReportEntry &e) {
+            return !e.profile.empty();
+        });
+    if (any_profile) {
+        TableWriter prof("Host phase breakdown (wall seconds)");
+        prof.setHeader({"run", "build", "load", "kernel", "verify",
+                        "decode", "dispatch", "total"});
+        for (const ReportEntry &e : store.entries) {
+            if (e.profile.empty())
+                continue;
+            auto phase = [&](const char *name) {
+                const auto it = e.profile.find(name);
+                return it != e.profile.end() ? it->second : 0.0;
+            };
+            double total = 0.0;
+            for (const auto &[_, seconds] : e.profile)
+                total += seconds;
+            prof.addRow({
+                e.run,
+                TableWriter::num(phase("build"), 4),
+                TableWriter::num(phase("load"), 4),
+                TableWriter::num(phase("kernel"), 4),
+                TableWriter::num(phase("verify"), 4),
+                TableWriter::num(phase("replay_decode"), 4),
+                TableWriter::num(phase("replay_dispatch"), 4),
+                TableWriter::num(total, 4),
+            });
+        }
+        prof.print(os, /*with_csv=*/false);
+    }
 
     // Call out silent truncation by source so a nonzero "drops"
     // column is immediately attributable.

@@ -36,6 +36,10 @@ struct ReportEntry
     std::string dataset;
     /** Flattened "result" metrics (core::resultMetrics names). */
     std::map<std::string, double> metrics;
+    /** Host phase wall seconds (the optional "profile" section written
+     *  when the run executed with the profiler armed; empty when the
+     *  profiler was dormant). */
+    std::map<std::string, double> profile;
     /** @name Observability drop accounting (metrics documents only;
      *  journals carry none). Nonzero means something was silently
      *  truncated, so renderSummary() calls it out per run. @{ */
@@ -62,7 +66,9 @@ struct ReportStore
  * object, and internally consistent series/trace summaries. The
  * optional "events" section (present only when a live event stream
  * was attached during the run) must carry numeric "published" and
- * "subscriberDrops" when it appears.
+ * "subscriberDrops" when it appears; the optional "profile" section
+ * (present only when the run executed with the host phase profiler
+ * armed) must be an object of numeric phase seconds.
  * @return true when valid; otherwise false with @p error set.
  */
 bool validateMetricsDoc(const obs::Json &doc, std::string &error);

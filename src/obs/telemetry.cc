@@ -313,7 +313,7 @@ writeRunTelemetry(const TelemetryOptions &options,
                   const std::string &fingerprint,
                   const TraceSink &sink,
                   const TimeSeriesSampler *sampler, Json result,
-                  Json stats, Json extra, Json events)
+                  Json stats, Json extra, Json events, Json profile)
 {
     const std::string id = runId(fingerprint);
     const std::string base = options.metricsDir + "/";
@@ -346,6 +346,10 @@ writeRunTelemetry(const TelemetryOptions &options,
     // dormant documents stay byte-identical to earlier builds.
     if (events.isObject())
         doc.set("events", std::move(events));
+    // Likewise the host phase breakdown appears only when the profiler
+    // was armed for this run.
+    if (profile.isObject())
+        doc.set("profile", std::move(profile));
 
     const std::string doc_path = base + "run_" + id + ".json";
     if (!writeFileAtomic(doc_path, doc.dump(2) + "\n")) {

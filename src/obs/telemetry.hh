@@ -228,6 +228,9 @@ std::string buildSeriesJsonl(const TimeSeriesSampler &sampler,
  *                stream that observed this run ({"published",
  *                "subscriberDrops"}); pass a null Json when no stream
  *                was live so dormant documents stay byte-identical.
+ * @param profile Optional "profile" section (host wall seconds per
+ *                phase, obs/profiler.hh); pass a null Json when the
+ *                profiler is dormant, same discipline as @p events.
  * @return path of the metrics document ("" when the write failed).
  */
 std::string writeRunTelemetry(const TelemetryOptions &options,
@@ -236,7 +239,8 @@ std::string writeRunTelemetry(const TelemetryOptions &options,
                               const TraceSink &sink,
                               const TimeSeriesSampler *sampler,
                               Json result, Json stats, Json extra,
-                              Json events = Json());
+                              Json events = Json(),
+                              Json profile = Json());
 
 /**
  * Live batch progress renderer for ExperimentPool runs, built on the

@@ -58,23 +58,22 @@ CacheModel::access(Addr paddr, std::uint32_t miss_extra_cycles)
         const std::uint64_t block = paddr >> lvl.lineShift;
         Line *set = lvl.set(block);
         Line *victim = set;
-        bool have_invalid = false;
         bool hit = false;
         for (std::uint32_t w = 0; w < lvl.cfg.ways; ++w) {
             Line &line = set[w];
-            if (line.stamp != 0 && line.tag == block) {
+            if ((line.tag == block) & (line.stamp != 0)) {
                 line.stamp = ++stampCounter;
                 hit = true;
                 break;
             }
-            if (!have_invalid) {
-                if (line.stamp == 0) {
-                    victim = &line;
-                    have_invalid = true;
-                } else if (line.stamp < victim->stamp) {
-                    victim = &line;
-                }
-            }
+            // Min-stamp over every line doubles as invalid-first: an
+            // invalid line carries stamp 0, strictly below any valid
+            // stamp, and the strict compare keeps the *first* minimal
+            // line — exactly the first-invalid-else-LRU victim the
+            // explicit have_invalid branch used to select, minus the
+            // branch in the hottest loop of the simulator.
+            if (line.stamp < victim->stamp)
+                victim = &line;
         }
         if (hit) {
             hit_level = i;

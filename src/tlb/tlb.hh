@@ -187,13 +187,19 @@ Tlb::lookup(std::uint64_t vpn, vm::PageSizeClass cls)
         ++misses;
         return probe;
     }
-    Way *set = sub.set(vpn);
-    for (std::uint32_t w = 0; w < sub.ways; ++w) {
-        if (set[w].valid && set[w].vpn == vpn && set[w].cls == cls) {
-            set[w].stamp = ++stampCounter;
+    Way *const set = sub.set(vpn);
+    Way *const end = set + sub.ways;
+    for (Way *w = set; w != end; ++w) {
+        // Single fused predicate, vpn first: in a set-indexed array
+        // every resident way shares vpn's low bits, so the full-vpn
+        // compare is the discriminating test and valid/cls almost
+        // always agree once it passes. The &-combination lets the
+        // compiler evaluate all three without extra branches.
+        if ((w->vpn == vpn) & w->valid & (w->cls == cls)) {
+            w->stamp = ++stampCounter;
             probe.hit = true;
-            probe.frame = set[w].frame;
-            probe.way = &set[w];
+            probe.frame = w->frame;
+            probe.way = w;
             return probe;
         }
     }

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * VPN-indexed translation-memo contract tests: with the memo enabled
+ * every observable counter must evolve exactly as in a memo-free Mmu
+ * (the memo only short-circuits the host-side probe walk), and a memo
+ * entry must never survive an event that changed the translation it
+ * caches (eviction refill, invalidation, flush, demotion).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "mem/memory_node.hh"
+#include "mem/swap_device.hh"
+#include "tlb/mmu.hh"
+#include "util/rng.hh"
+#include "util/units.hh"
+#include "vm/address_space.hh"
+
+using namespace gpsm;
+using namespace gpsm::mem;
+using namespace gpsm::tlb;
+using namespace gpsm::vm;
+
+namespace
+{
+
+constexpr std::uint64_t pageB = 4_KiB;
+constexpr std::uint64_t hugeB = 256_KiB;
+
+/** RAII: force the process-wide memo switch, restore the default. */
+struct MemoSwitch
+{
+    explicit MemoSwitch(bool on) : saved(translationMemoEnabled())
+    {
+        setTranslationMemo(on);
+    }
+
+    ~MemoSwitch() { setTranslationMemo(saved); }
+
+    bool saved;
+};
+
+struct World
+{
+    explicit World(const ThpConfig &thp, bool memo_on,
+                   bool with_cache = false,
+                   std::uint64_t node_bytes = 16_MiB)
+        : node(params(node_bytes)), swap(16_MiB, pageB),
+          space(node, swap, thp),
+          mmu(space,
+              Tlb("dtlb", {TlbGeometry{16, 4}, TlbGeometry{8, 4}}),
+              Tlb::makeUnified("stlb", 64, 8), CostModel{},
+              with_cache
+                  ? std::make_unique<CacheModel>(
+                        std::vector<CacheLevelConfig>{
+                            CacheLevelConfig{"l1", 16_KiB, 8, 64, 4}},
+                        200u)
+                  : nullptr)
+    {
+        // The Mmu samples the switch at construction; the initializer
+        // list above runs inside the caller's MemoSwitch scope, but be
+        // explicit so the intent survives refactors.
+        (void)memo_on;
+    }
+
+    static MemoryNode::Params
+    params(std::uint64_t bytes)
+    {
+        MemoryNode::Params p;
+        p.bytes = bytes;
+        p.basePageBytes = pageB;
+        p.hugeOrder = 6;
+        return p;
+    }
+
+    MemoryNode node;
+    SwapDevice swap;
+    AddressSpace space;
+    Mmu mmu;
+};
+
+/** Every counter the memo could disturb. */
+struct Snap
+{
+    std::uint64_t vals[19];
+
+    explicit Snap(Mmu &m)
+        : vals{m.accesses.value(),
+               m.dtlbMisses.value(),
+               m.stlbHits.value(),
+               m.walks.value(),
+               m.walksBase.value(),
+               m.walksHuge.value(),
+               m.walksGiant.value(),
+               m.baseCycles.value(),
+               m.memoryCycles.value(),
+               m.translationCycles.value(),
+               m.faultCycles.value(),
+               m.osCycles.value(),
+               m.l1().accesses.value(),
+               m.l1().misses.value(),
+               m.l1().insertions.value(),
+               m.l1().evictions.value(),
+               m.l2().accesses.value(),
+               m.l2().misses.value(),
+               m.l2().insertions.value()}
+    {
+    }
+
+    bool
+    operator==(const Snap &other) const
+    {
+        for (int i = 0; i < 19; ++i)
+            if (vals[i] != other.vals[i])
+                return false;
+        return true;
+    }
+};
+
+/** Build a memo-enabled and a memo-free twin of the same machine. */
+struct Twins
+{
+    explicit Twins(const ThpConfig &thp, bool with_cache = false)
+        : on([&] {
+              MemoSwitch s(true);
+              return std::make_unique<World>(thp, true, with_cache);
+          }()),
+          off([&] {
+              MemoSwitch s(false);
+              return std::make_unique<World>(thp, false, with_cache);
+          }())
+    {
+    }
+
+    std::unique_ptr<World> on;
+    std::unique_ptr<World> off;
+};
+
+} // anonymous namespace
+
+TEST(MmuMemo, RandomMixedStreamMatchesMemoFreeReference)
+{
+    // Randomized irregular stream over a footprint far larger than the
+    // modeled TLBs, mixed tags, occasional flushes and demotions:
+    // after every access the full counter vector must match the
+    // memo-free reference exactly.
+    Twins t(ThpConfig::always());
+    const Addr a_on = t.on->space.mmap(4_MiB, "arr");
+    const Addr a_off = t.off->space.mmap(4_MiB, "arr");
+
+    Rng rng(42);
+    Rng rng_twin(42);
+    for (int i = 0; i < 40000; ++i) {
+        const std::uint64_t off = rng.below(4_MiB / 8) * 8;
+        const unsigned tag = static_cast<unsigned>(rng.below(4));
+        const bool write = rng.chance(0.3);
+        t.on->mmu.access(a_on + off, write, tag);
+
+        const std::uint64_t off2 = rng_twin.below(4_MiB / 8) * 8;
+        const unsigned tag2 = static_cast<unsigned>(rng_twin.below(4));
+        const bool write2 = rng_twin.chance(0.3);
+        ASSERT_EQ(off, off2);
+        t.off->mmu.access(a_off + off2, write2, tag2);
+
+        if ((i & 4095) == 4095) {
+            t.on->mmu.flushTlbs();
+            t.off->mmu.flushTlbs();
+        }
+        if ((i & 8191) == 8191) {
+            t.on->space.demote(a_on + off);
+            t.off->space.demote(a_off + off);
+        }
+        ASSERT_TRUE(Snap(t.on->mmu) == Snap(t.off->mmu))
+            << "counter divergence at access " << i;
+    }
+}
+
+TEST(MmuMemo, MixedPageSizeStreamMatchesReference)
+{
+    // Base pages and huge pages side by side (ThpConfig::never() array
+    // plus a second madvised/huge one is not expressible on one
+    // space; demote half the huge pages instead so both size classes
+    // are live in the same stream).
+    Twins t(ThpConfig::always());
+    const Addr a_on = t.on->space.mmap(2_MiB, "arr");
+    const Addr a_off = t.off->space.mmap(2_MiB, "arr");
+
+    // Fault everything huge, then demote every other huge page.
+    for (Addr off = 0; off < 2_MiB; off += hugeB) {
+        t.on->mmu.access(a_on + off, true);
+        t.off->mmu.access(a_off + off, true);
+        if ((off / hugeB) % 2 == 0) {
+            t.on->space.demote(a_on + off);
+            t.off->space.demote(a_off + off);
+        }
+    }
+    t.on->mmu.syncTlb();
+    t.off->mmu.syncTlb();
+    ASSERT_TRUE(Snap(t.on->mmu) == Snap(t.off->mmu));
+
+    Rng rng(7);
+    for (int i = 0; i < 40000; ++i) {
+        const std::uint64_t off = rng.below(2_MiB / 8) * 8;
+        const unsigned tag = static_cast<unsigned>(rng.below(3));
+        t.on->mmu.access(a_on + off, false, tag);
+        t.off->mmu.access(a_off + off, false, tag);
+        ASSERT_TRUE(Snap(t.on->mmu) == Snap(t.off->mmu))
+            << "counter divergence at access " << i;
+    }
+}
+
+TEST(MmuMemo, RandomStreamWithCacheModelMatchesReference)
+{
+    Twins t(ThpConfig::never(), /*with_cache=*/true);
+    const Addr a_on = t.on->space.mmap(1_MiB, "arr");
+    const Addr a_off = t.off->space.mmap(1_MiB, "arr");
+
+    Rng rng(3);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t off = rng.below(1_MiB / 8) * 8;
+        t.on->mmu.access(a_on + off, false, 1);
+        t.off->mmu.access(a_off + off, false, 1);
+    }
+    EXPECT_TRUE(Snap(t.on->mmu) == Snap(t.off->mmu));
+}
+
+TEST(MmuMemo, TranslateRunMatchesMemoFreeReference)
+{
+    Twins t(ThpConfig::always());
+    const Addr a_on = t.on->space.mmap(2_MiB, "arr");
+    const Addr a_off = t.off->space.mmap(2_MiB, "arr");
+
+    // Interleave bulk runs with scalar pokes that arm the memo.
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i) {
+        const std::uint64_t start = rng.below(1_MiB / 8) * 8;
+        t.on->mmu.translateRun(a_on + start, 2000, 24, false, 1);
+        t.off->mmu.translateRun(a_off + start, 2000, 24, false, 1);
+        const std::uint64_t poke = rng.below(2_MiB / 8) * 8;
+        t.on->mmu.access(a_on + poke, false, 2);
+        t.off->mmu.access(a_off + poke, false, 2);
+        ASSERT_TRUE(Snap(t.on->mmu) == Snap(t.off->mmu))
+            << "counter divergence at round " << i;
+    }
+}
+
+TEST(MmuMemo, EvictedWayRefillRejectsStaleMemoEntry)
+{
+    // Arm the memo for page 0 via tag 1, thrash the 16-entry base DTLB
+    // with tag-0 accesses so the armed way is refilled with other
+    // VPNs, then revisit page 0 under a THIRD tag: the per-tag entry
+    // of tag 2 is empty, so only the memo could fast-path — and it
+    // must reject the stale way (vpn changed) and take a fresh miss.
+    MemoSwitch s(true);
+    World w(ThpConfig::never(), true);
+    const Addr a = w.space.mmap(4_MiB, "arr");
+    w.mmu.access(a, true, 1);
+    for (int i = 1; i <= 64; ++i)
+        w.mmu.access(a + i * pageB, true, 0);
+    const auto misses = w.mmu.dtlbMisses.value();
+    w.mmu.access(a + 8, false, 2);
+    EXPECT_EQ(w.mmu.dtlbMisses.value(), misses + 1);
+}
+
+TEST(MmuMemo, FlushRejectsStaleMemoEntry)
+{
+    MemoSwitch s(true);
+    World w(ThpConfig::never(), true);
+    const Addr a = w.space.mmap(1_MiB, "arr");
+    w.mmu.access(a, true, 1);   // arms memo slot for this page
+    w.mmu.flushTlbs();
+    w.mmu.access(a + 8, false, 2); // cross-tag revisit: memo only
+    // The flushed way must not fast-path: a full rewalk happens.
+    EXPECT_EQ(w.mmu.walks.value(), 2u);
+}
+
+TEST(MmuMemo, DemotionRejectsStaleMemoEntry)
+{
+    MemoSwitch s(true);
+    World w(ThpConfig::always(), true);
+    const Addr a = w.space.mmap(hugeB, "arr");
+    w.mmu.access(a, true, 1); // huge translation armed in the memo
+    w.space.demote(a);
+    w.mmu.syncTlb();
+    const auto walks = w.mmu.walks.value();
+    w.mmu.access(a + 16, false, 2); // cross-tag revisit: memo only
+    EXPECT_EQ(w.mmu.walks.value(), walks + 1);
+    EXPECT_EQ(w.mmu.walksBase.value(), 1u);
+}
+
+TEST(MmuMemo, CrossTagMemoHitIsCounterExact)
+{
+    // The memo's one *positive* contract: a cross-tag revisit of a
+    // TLB-resident page accounts exactly the probe sequence the full
+    // chain would have charged (same l1 accesses, zero new misses).
+    MemoSwitch s(true);
+    World w(ThpConfig::never(), true);
+    const Addr a = w.space.mmap(1_MiB, "arr");
+    w.mmu.access(a, true, 1); // miss + walk, arms memo
+    const auto l1_accesses = w.mmu.l1().accesses.value();
+    const auto misses = w.mmu.dtlbMisses.value();
+    w.mmu.access(a + 8, false, 2); // memo hit (tag 2 never touched it)
+    // Base-class resident page: exactly one more L1 probe, no miss.
+    EXPECT_EQ(w.mmu.l1().accesses.value(), l1_accesses + 1);
+    EXPECT_EQ(w.mmu.dtlbMisses.value(), misses);
+}
+
+TEST(MmuMemo, DisabledMemoNeverPopulates)
+{
+    // With the switch off at construction, cross-tag revisits must
+    // take the full chain: the memo never hits because it is never
+    // written.
+    MemoSwitch s(false);
+    World w(ThpConfig::never(), false);
+    const Addr a = w.space.mmap(1_MiB, "arr");
+    w.mmu.access(a, true, 1);
+    const auto l1_accesses = w.mmu.l1().accesses.value();
+    w.mmu.access(a + 8, false, 2);
+    // Full chain, base L1 hit: one probe — identical accounting to a
+    // memo hit, which is the whole point; the *behavioural* difference
+    // is unobservable in counters, so assert via the chain itself:
+    EXPECT_EQ(w.mmu.l1().accesses.value(), l1_accesses + 1);
+}
+
+TEST(MmuMemo, ExperimentResultsIdenticalMemoOnAndOff)
+{
+    // End-to-end: a full experiment's RunResult must be bitwise
+    // identical with the memo on and off.
+    core::ExperimentConfig cfg;
+    cfg.app = core::App::Bfs;
+    cfg.dataset = "kron";
+    cfg.scaleDivisor = 1024;
+    cfg.sys = core::SystemConfig::scaled();
+    cfg.thpMode = ThpMode::Always;
+
+    core::RunResult on, off;
+    {
+        MemoSwitch s(true);
+        on = core::runExperiment(cfg);
+    }
+    {
+        MemoSwitch s(false);
+        off = core::runExperiment(cfg);
+    }
+    EXPECT_EQ(on.accesses, off.accesses);
+    EXPECT_EQ(on.dtlbMisses, off.dtlbMisses);
+    EXPECT_EQ(on.stlbHits, off.stlbHits);
+    EXPECT_EQ(on.walks, off.walks);
+    EXPECT_EQ(on.kernelSeconds, off.kernelSeconds);
+    EXPECT_EQ(on.initSeconds, off.initSeconds);
+    EXPECT_EQ(on.minorFaults, off.minorFaults);
+    EXPECT_EQ(on.hugeFaults, off.hugeFaults);
+    EXPECT_EQ(on.promotions, off.promotions);
+    EXPECT_EQ(on.hugeBackedBytes, off.hugeBackedBytes);
+    EXPECT_EQ(on.checksum, off.checksum);
+    EXPECT_EQ(on.kernelOutput, off.kernelOutput);
+}

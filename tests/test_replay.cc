@@ -9,7 +9,11 @@
 
 #include "core/experiment.hh"
 #include "core/replay.hh"
+#include "mem/memory_node.hh"
+#include "mem/swap_device.hh"
+#include "tlb/mmu.hh"
 #include "util/units.hh"
+#include "vm/address_space.hh"
 
 using namespace gpsm;
 using namespace gpsm::core;
@@ -83,6 +87,57 @@ struct ReplayScope
         resetReplayCache();
     }
 };
+
+/** Minimal simulated machine for driving traces by hand. */
+struct TraceWorld
+{
+    TraceWorld()
+        : node(params()), swap(16_MiB, 4_KiB),
+          space(node, swap, vm::ThpConfig::always()),
+          mmu(space,
+              tlb::Tlb("dtlb",
+                       {tlb::TlbGeometry{16, 4}, tlb::TlbGeometry{8, 4}}),
+              tlb::Tlb::makeUnified("stlb", 64, 8), tlb::CostModel{},
+              nullptr)
+    {
+    }
+
+    static mem::MemoryNode::Params
+    params()
+    {
+        mem::MemoryNode::Params p;
+        p.bytes = 16_MiB;
+        p.basePageBytes = 4_KiB;
+        p.hugeOrder = 6;
+        return p;
+    }
+
+    mem::MemoryNode node;
+    mem::SwapDevice swap;
+    vm::AddressSpace space;
+    tlb::Mmu mmu;
+};
+
+/** Record a mixed scalar/run stream against @p space's layout. */
+RecordedTrace
+recordMixedStream(vm::AddressSpace &space)
+{
+    const Addr a = space.mmap(2_MiB, "arr");
+    TraceRecorder rec(1ull << 30);
+    std::uint64_t x = 88172645463325252ull;
+    for (int i = 0; i < 20000; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const Addr addr = a + (x % (2_MiB / 8)) * 8;
+        if (i % 64 == 63)
+            rec.recordRun(addr, 64, 8, false, 3);
+        else
+            rec.recordAccess(addr, (x >> 20) & 1, i & 3);
+    }
+    EXPECT_FALSE(rec.overflowed());
+    return rec.take(0, 0);
+}
 
 } // namespace
 
@@ -202,4 +257,117 @@ TEST(Replay, OverflowPinsConfigLiveAndStaysCorrect)
     EXPECT_EQ(st.replayed, 0u);
     // First run overflowed (pinned); the second saw the pin.
     EXPECT_EQ(st.fallbacks, 2u);
+}
+
+TEST(Replay, CompiledDispatchMatchesStreamingDecoder)
+{
+    // The compiled fast path must drive the Mmu through the identical
+    // entry-point sequence as the varint streaming decoder: every
+    // counter matches on a randomized mixed scalar/run stream.
+    TraceWorld stream_w;
+    TraceWorld compiled_w;
+    const RecordedTrace trace = recordMixedStream(stream_w.space);
+    // Identical construction order gives the twin the same layout, so
+    // the recorded vaddrs resolve to the same mapping.
+    const Addr b = compiled_w.space.mmap(2_MiB, "arr");
+    (void)b;
+
+    replayTrace(trace, stream_w.mmu);
+    const CompiledTrace compiled = compileTrace(trace);
+    EXPECT_EQ(compiled.records.size(), trace.records);
+    replayCompiled(compiled, compiled_w.mmu);
+
+    EXPECT_EQ(stream_w.mmu.accesses.value(),
+              compiled_w.mmu.accesses.value());
+    EXPECT_EQ(stream_w.mmu.dtlbMisses.value(),
+              compiled_w.mmu.dtlbMisses.value());
+    EXPECT_EQ(stream_w.mmu.stlbHits.value(),
+              compiled_w.mmu.stlbHits.value());
+    EXPECT_EQ(stream_w.mmu.walks.value(),
+              compiled_w.mmu.walks.value());
+    EXPECT_EQ(stream_w.mmu.walksBase.value(),
+              compiled_w.mmu.walksBase.value());
+    EXPECT_EQ(stream_w.mmu.walksHuge.value(),
+              compiled_w.mmu.walksHuge.value());
+    EXPECT_EQ(stream_w.mmu.baseCycles.value(),
+              compiled_w.mmu.baseCycles.value());
+    EXPECT_EQ(stream_w.mmu.memoryCycles.value(),
+              compiled_w.mmu.memoryCycles.value());
+    EXPECT_EQ(stream_w.mmu.translationCycles.value(),
+              compiled_w.mmu.translationCycles.value());
+    EXPECT_EQ(stream_w.mmu.faultCycles.value(),
+              compiled_w.mmu.faultCycles.value());
+    EXPECT_EQ(stream_w.mmu.osCycles.value(),
+              compiled_w.mmu.osCycles.value());
+}
+
+TEST(Replay, CompiledCacheDecodesOncePerStream)
+{
+    // Live run, then a sweep of three configs sharing one stream: the
+    // first records, the second decodes (compiled=1), the third is
+    // served from the decoded cache (compiledHits=1) — all
+    // byte-identical to their live twins.
+    ExperimentConfig small = smallConfig();
+    ExperimentConfig big = smallConfig();
+    big.sys.l1Huge.entries *= 4;
+    ExperimentConfig wide = smallConfig();
+    wide.sys.stlbEntries *= 2;
+
+    const RunResult live_small = runExperiment(small);
+    const RunResult live_big = runExperiment(big);
+    const RunResult live_wide = runExperiment(wide);
+
+    ReplayScope scope;
+    const RunResult rec = runExperiment(small);
+    const RunResult rep_big = runExperiment(big);
+    const RunResult rep_wide = runExperiment(wide);
+
+    expectIdentical(rec, live_small);
+    expectIdentical(rep_big, live_big);
+    expectIdentical(rep_wide, live_wide);
+    const ReplayStats st = replayStats();
+    EXPECT_EQ(st.recorded, 1u);
+    EXPECT_EQ(st.replayed, 2u);
+    EXPECT_EQ(st.compiled, 1u);
+    EXPECT_EQ(st.compiledHits, 1u);
+    EXPECT_EQ(st.compiledOverflows, 0u);
+}
+
+TEST(Replay, CompiledBudgetOverflowPinsStreamingDecoder)
+{
+    // A budget below records*24 pins the key to the streaming decoder:
+    // compiledLookup returns null (once decided, cached as null), the
+    // overflow is counted, and the varint replay still reproduces the
+    // stream.
+    TraceWorld w;
+    const RecordedTrace trace = recordMixedStream(w.space);
+
+    ReplayScope scope(/*max_bytes=*/trace.records *
+                          sizeof(CompiledRecord) -
+                      1);
+    EXPECT_EQ(compiledLookup("k", trace), nullptr);
+    EXPECT_EQ(compiledLookup("k", trace), nullptr);
+    ReplayStats st = replayStats();
+    EXPECT_EQ(st.compiled, 0u);
+    EXPECT_EQ(st.compiledHits, 0u);
+    EXPECT_EQ(st.compiledOverflows, 1u);
+
+    replayTrace(trace, w.mmu);
+    EXPECT_EQ(w.mmu.accesses.value(),
+              trace.records + 63 * (trace.records / 64));
+}
+
+TEST(Replay, CompiledRejectsOversizedRunStride)
+{
+    // A run stride wider than the 32-bit compiled field cannot be
+    // represented: the key is pinned to the streaming decoder rather
+    // than silently truncated.
+    TraceRecorder rec(1ull << 20);
+    rec.recordAccess(4096, false, 0);
+    rec.recordRun(8192, 2, (1ull << 32) + 8, false, 1);
+    const RecordedTrace trace = rec.take(0, 0);
+
+    ReplayScope scope;
+    EXPECT_EQ(compiledLookup("wide", trace), nullptr);
+    EXPECT_EQ(replayStats().compiledOverflows, 1u);
 }

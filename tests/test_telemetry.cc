@@ -21,6 +21,7 @@
 #include "core/report.hh"
 #include "core/runner.hh"
 #include "obs/json.hh"
+#include "obs/profiler.hh"
 #include "obs/telemetry.hh"
 #include "util/stats.hh"
 #include "util/units.hh"
@@ -89,6 +90,22 @@ dirContents(const std::string &dir)
         out[entry.path().filename().string()] = slurp(entry.path());
     return out;
 }
+
+/** Scoped profiling request; restores "off" and drops the aggregate
+ *  so later tests see pristine state. */
+struct ScopedProfiling
+{
+    ScopedProfiling()
+    {
+        obs::profReset();
+        obs::setProfiling(true);
+    }
+    ~ScopedProfiling()
+    {
+        obs::setProfiling(false);
+        obs::profReset();
+    }
+};
 
 } // namespace
 
@@ -328,6 +345,114 @@ TEST(Telemetry, WrittenDocumentsValidateAndCarryResult)
     EXPECT_GE(parsed_lines, 1u); // header line at minimum
 
     fs::remove_all(dir);
+}
+
+TEST(Profiler, DormantProfilerIsBitIdenticalAndAddsNoBytes)
+{
+    // Same discipline as dormant telemetry: with profiling off the
+    // metrics document must not gain a "profile" key, and turning it
+    // on must not perturb a single simulated counter.
+    const ExperimentConfig cfg = smallConfig();
+
+    const std::string dir_off = freshDir("gpsm_test_prof_off");
+    RunResult off;
+    {
+        ScopedTelemetry scoped(dir_off);
+        off = runExperiment(cfg);
+    }
+    const std::string dir_on = freshDir("gpsm_test_prof_on");
+    RunResult on;
+    {
+        ScopedTelemetry scoped(dir_on);
+        ScopedProfiling prof;
+        on = runExperiment(cfg);
+    }
+
+    EXPECT_EQ(off.checksum, on.checksum);
+    EXPECT_EQ(off.accesses, on.accesses);
+    EXPECT_EQ(off.dtlbMisses, on.dtlbMisses);
+    EXPECT_EQ(off.walks, on.walks);
+    EXPECT_EQ(off.minorFaults, on.minorFaults);
+    EXPECT_EQ(off.kernelOutput, on.kernelOutput);
+
+    const std::string id = obs::runId(cfg.fingerprint());
+    const auto doc_off = obs::parseJson(
+        slurp(fs::path(dir_off) / ("run_" + id + ".json")));
+    const auto doc_on = obs::parseJson(
+        slurp(fs::path(dir_on) / ("run_" + id + ".json")));
+    ASSERT_TRUE(doc_off.has_value());
+    ASSERT_TRUE(doc_on.has_value());
+
+    // Off: no profile section, anywhere. On: a profile object with
+    // the full phase vocabulary, still schema-valid.
+    EXPECT_EQ(doc_off->find("profile"), nullptr);
+    const obs::Json *profile = doc_on->find("profile");
+    ASSERT_NE(profile, nullptr);
+    ASSERT_TRUE(profile->isObject());
+    for (std::size_t i = 0; i < obs::profPhaseCount; ++i) {
+        const char *name =
+            obs::profPhaseName(static_cast<obs::ProfPhase>(i));
+        EXPECT_NE(profile->find(name), nullptr) << name;
+    }
+    std::string error;
+    EXPECT_TRUE(validateMetricsDoc(*doc_on, error)) << error;
+    EXPECT_TRUE(validateMetricsDoc(*doc_off, error)) << error;
+
+    // A live run spends real time in the kernel (the build phase may
+    // be nearly free when the dataset cache already holds the graph).
+    EXPECT_GE(profile->find("build")->asNumber(), 0.0);
+    EXPECT_GT(profile->find("kernel")->asNumber(), 0.0);
+    // Apart from the profile section, the two documents agree on the
+    // result payload.
+    EXPECT_EQ(doc_off->find("result")->dump(),
+              doc_on->find("result")->dump());
+
+    fs::remove_all(dir_off);
+    fs::remove_all(dir_on);
+}
+
+TEST(Profiler, ScopesChargePhasesAndFoldIntoTotals)
+{
+    ScopedProfiling prof;
+    obs::profBeginRun();
+    {
+        obs::ProfScope scope(obs::ProfPhase::Verify);
+        // Enough work for a monotonic-clock delta even at coarse tick.
+        volatile std::uint64_t sink = 0;
+        for (int i = 0; i < 2000000; ++i)
+            sink += i;
+    }
+    const obs::PhaseBreakdown run = obs::profEndRun();
+    EXPECT_GT(run.seconds[static_cast<std::size_t>(
+                  obs::ProfPhase::Verify)],
+              0.0);
+    EXPECT_EQ(run.seconds[static_cast<std::size_t>(
+                  obs::ProfPhase::Kernel)],
+              0.0);
+    EXPECT_DOUBLE_EQ(run.total(),
+                     run.seconds[static_cast<std::size_t>(
+                         obs::ProfPhase::Verify)]);
+
+    const obs::ProfTotals totals = obs::profTotals();
+    EXPECT_EQ(totals.runs, 1u);
+    EXPECT_DOUBLE_EQ(totals.phases.total(), run.total());
+}
+
+TEST(Profiler, OffProfilerScopesAreInertAndFoldNothing)
+{
+    obs::profReset();
+    ASSERT_FALSE(obs::profilingEnabled());
+    obs::profBeginRun();
+    {
+        obs::ProfScope scope(obs::ProfPhase::Kernel);
+        volatile int sink = 0;
+        for (int i = 0; i < 100000; ++i)
+            sink += i;
+    }
+    const obs::PhaseBreakdown run = obs::profEndRun();
+    EXPECT_EQ(run.total(), 0.0);
+    EXPECT_EQ(obs::profTotals().runs, 0u);
+    EXPECT_EQ(obs::profTotals().phases.total(), 0.0);
 }
 
 TEST(Telemetry, ValidateMetricsDocRejectsMalformed)

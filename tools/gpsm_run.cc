@@ -25,6 +25,7 @@
 #include "core/runner.hh"
 #include "fault/fault_plan_io.hh"
 #include "graph/datasets.hh"
+#include "obs/profiler.hh"
 #include "obs/telemetry.hh"
 #include "util/logging.hh"
 #include "util/parse.hh"
@@ -99,6 +100,9 @@ usage()
         "  --replay                       record each distinct kernel\n"
         "                                 access stream once; replay it\n"
         "                                 for stream-invariant configs\n"
+        "  --profile                      record host wall-time per\n"
+        "                                 phase into each run's metrics\n"
+        "                                 document (needs --metrics-dir)\n"
         "  --quiet                        suppress progress notes\n";
 }
 
@@ -186,6 +190,9 @@ try {
     PoolOptions pool_opts;
     std::vector<App> apps = {App::Bfs};
     std::vector<std::string> datasets = {"kron"};
+
+    if (const char *env = std::getenv("GPSM_PROF"))
+        obs::setProfiling(env[0] == '1');
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -309,6 +316,8 @@ try {
                 parseU64(next(), "--sample-interval");
         } else if (arg == "--replay") {
             replay.enabled = true;
+        } else if (arg == "--profile") {
+            obs::setProfiling(true);
         } else if (arg == "--quiet") {
             setQuiet(true);
         } else if (arg == "--help" || arg == "-h") {
