@@ -101,6 +101,17 @@ appByName(const std::string &name)
 
 } // namespace
 
+mem::EvictionKind
+evictionByName(const std::string &name)
+{
+    if (name == "clock")
+        return mem::EvictionKind::Clock;
+    if (name == "lru")
+        return mem::EvictionKind::Lru;
+    fatal("--eviction/GPSM_EVICTION: unknown policy '%s' (clock|lru)",
+          name.c_str());
+}
+
 Options
 parseOptions(int argc, char **argv)
 {
@@ -133,6 +144,10 @@ parseOptions(int argc, char **argv)
         opts.profile = env[0] == '1';
     if (const char *env = std::getenv("GPSM_BENCH_SHARD"))
         parseShard(env, opts.shard, opts.shards);
+    if (const char *env = std::getenv("GPSM_OO_RATIO"))
+        opts.oocRatio = parseDouble(env, "GPSM_OO_RATIO");
+    if (const char *env = std::getenv("GPSM_EVICTION"))
+        opts.eviction = evictionByName(env);
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -168,6 +183,10 @@ parseOptions(int argc, char **argv)
             opts.profile = true;
         } else if (arg == "--shard") {
             parseShard(next(), opts.shard, opts.shards);
+        } else if (arg == "--oo-ratio") {
+            opts.oocRatio = parseDouble(next(), "--oo-ratio");
+        } else if (arg == "--eviction") {
+            opts.eviction = evictionByName(next());
         } else if (arg == "--datasets") {
             opts.datasets = splitCsv(next());
             set_datasets = true;
@@ -185,7 +204,8 @@ parseOptions(int argc, char **argv)
                 "          [--journal PATH] [--timeout-seconds X]\n"
                 "          [--metrics-dir PATH] [--sample-interval N]\n"
                 "          [--progress] [--shard i/n] [--replay]"
-                " [--profile]\n",
+                " [--profile]\n"
+                "          [--oo-ratio X] [--eviction clock|lru]\n",
                 argv[0]);
             std::exit(0);
         } else {
@@ -207,6 +227,8 @@ parseOptions(int argc, char **argv)
         fatal("--divisor must be positive");
     if (opts.timeoutSeconds < 0.0)
         fatal("--timeout-seconds must be non-negative");
+    if (opts.oocRatio < 0.0)
+        fatal("--oo-ratio must be non-negative");
     gJobs = opts.jobs;
     gTimeoutSeconds = opts.timeoutSeconds;
     gProgress = opts.progress;
@@ -283,6 +305,8 @@ baseConfig(const Options &opts, core::App app,
     cfg.app = app;
     cfg.dataset = dataset;
     cfg.scaleDivisor = opts.divisor;
+    cfg.oocRatio = opts.oocRatio;
+    cfg.oocEviction = opts.eviction;
     return cfg;
 }
 

@@ -82,7 +82,18 @@ struct Options
      *  figure. 1/1 (the default) disables sharding. */
     unsigned shard = 1;
     unsigned shards = 1;
+    /** --oo-ratio X / GPSM_OO_RATIO: footprint / modeled-DRAM ratio
+     *  for out-of-core runs (0 = in-core, the default; ratios > 1
+     *  force demand faulting, eviction and writeback of the
+     *  file-backed CSR arrays). */
+    double oocRatio = 0.0;
+    /** --eviction clock|lru / GPSM_EVICTION: file-cache replacement
+     *  policy (only meaningful with --oo-ratio). */
+    mem::EvictionKind eviction = mem::EvictionKind::Clock;
 };
+
+/** Parse an eviction-policy name; fatal on anything else. */
+mem::EvictionKind evictionByName(const std::string &name);
 
 /**
  * Parse common options; unknown arguments are fatal. Also honors the

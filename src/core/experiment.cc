@@ -79,6 +79,10 @@ ExperimentConfig::label() const
         os << " slack=" << slackBytes / (1024 * 1024) << "MiB";
     if (fragLevel > 0.0)
         os << " frag=" << static_cast<int>(fragLevel * 100) << '%';
+    if (oocRatio != 0.0) {
+        os << " ooc=" << oocRatio << 'x'
+           << mem::evictionKindName(oocEviction);
+    }
     if (sys.numaEnabled()) {
         os << ' ' << numaPlacementName(sys.numaPlacement);
         if (pressureNode != PressureNode::Local)
@@ -112,6 +116,10 @@ ExperimentConfig::fingerprint() const
     // preserved byte-for-byte.
     if (pressureNode != PressureNode::Local)
         os << "|hog" << static_cast<int>(pressureNode);
+    if (oocRatio != 0.0) {
+        os << "|ooc" << oocRatio << ','
+           << static_cast<int>(oocEviction);
+    }
     return os.str();
 }
 
@@ -350,6 +358,29 @@ runExperiment(const ExperimentConfig &cfg,
         sys.node.giantPoolPages =
             divCeil(prop_bytes, giant_bytes) *
             (cfg.app == App::Pr ? 2 : 1);
+    }
+
+    if (cfg.oocRatio != 0.0) {
+        // Out-of-core mode: back CSR storage with file mappings and
+        // shrink the node so footprint / DRAM equals oocRatio. The
+        // floor of 8 huge pages keeps the buddy allocator, watermark
+        // and khugepaged viable at extreme ratios; the watermark is
+        // clamped so huge reservations cannot starve base faults on
+        // the shrunken node.
+        if (cfg.oocRatio < 0.0)
+            fatal("oocRatio must be positive (got %g)", cfg.oocRatio);
+        sys.fileBackedCsr = true;
+        sys.fileCacheEviction = cfg.oocEviction;
+        const std::uint64_t huge = sys.hugePageBytes();
+        std::uint64_t bytes = alignUp(
+            static_cast<std::uint64_t>(
+                static_cast<double>(wssOf(g, cfg.app)) /
+                cfg.oocRatio),
+            huge);
+        bytes = std::max(bytes, 8 * huge);
+        sys.node.bytes = bytes;
+        sys.node.hugeWatermarkBytes =
+            std::min(sys.node.hugeWatermarkBytes, bytes / 8);
     }
 
     SimMachine machine(sys, thp);
@@ -710,6 +741,12 @@ runExperiment(const ExperimentConfig &cfg,
     res.injectedHugeFailures =
         machine.node().injectedHugeFailures.value();
     res.swapStalls = machine.swapDevice().stalledAllocs.value();
+    if (sys.fileBackedCsr) {
+        const mem::AddressSpaceCache &fc = machine.fileCache();
+        res.fileReads = fc.storageReads.value();
+        res.fileWritebacks = fc.writebacks.value();
+        res.fileEvictions = fc.evictions.value();
+    }
     if (faults)
         res.faultEventsApplied = faults->eventsApplied();
 

@@ -135,6 +135,19 @@ struct ExperimentConfig
     bool giantProperty = false;
 
     /**
+     * Out-of-core mode: footprint / modeled-DRAM ratio. 0.0 (the
+     * default) leaves the address-space cache dormant for graph data
+     * and the run byte-identical to the in-core build. A non-zero
+     * ratio backs the CSR arrays with file mappings and shrinks the
+     * node to WSS / oocRatio (huge-page aligned, ≥ 8 huge pages), so
+     * ratios > 1 force demand faulting, eviction and writeback.
+     */
+    double oocRatio = 0.0;
+
+    /** Replacement policy of the file cache (out-of-core mode). */
+    mem::EvictionKind oocEviction = mem::EvictionKind::Clock;
+
+    /**
      * Bounded fault-path retries of a failed huge allocation before
      * base-page fallback (graceful degradation under transient failure
      * windows; each retry charges backoff). 0 = Linux behaviour.
@@ -215,6 +228,12 @@ struct RunResult
     std::uint64_t injectedHugeFailures = 0; ///< vetoed by fault layer
     std::uint64_t swapStalls = 0; ///< swap slots refused by fault layer
     std::uint64_t faultEventsApplied = 0; ///< FaultSession activity
+    /** @} */
+
+    /** @name Out-of-core file traffic (zero on in-core runs) @{ */
+    std::uint64_t fileReads = 0;      ///< pages filled from storage
+    std::uint64_t fileWritebacks = 0; ///< dirty pages written back
+    std::uint64_t fileEvictions = 0;  ///< file pages evicted
     /** @} */
 
     /** Result checksum: must match across page-size policies. */

@@ -218,6 +218,14 @@ serializeRunResult(const RunResult &r)
        << r.injectedHugeFailures << ',' << r.swapStalls << ','
        << r.faultEventsApplied << ',' << r.checksum << ','
        << r.kernelOutput;
+    // Out-of-core fields ride as an optional tail: in-core records
+    // (all three zero) serialize exactly as before this field family
+    // existed, so existing journals replay and old lines stay valid.
+    if (r.fileReads != 0 || r.fileWritebacks != 0 ||
+        r.fileEvictions != 0) {
+        os << ',' << r.fileReads << ',' << r.fileWritebacks << ','
+           << r.fileEvictions;
+    }
     return os.str();
 }
 
@@ -254,6 +262,13 @@ deserializeRunResult(const std::string &text)
     r.faultEventsApplied = in.u64();
     r.checksum = in.u64();
     r.kernelOutput = in.u64();
+    if (in.next != in.fields.size()) {
+        // Optional out-of-core tail (records written by runs with
+        // file-backed CSR storage).
+        r.fileReads = in.u64();
+        r.fileWritebacks = in.u64();
+        r.fileEvictions = in.u64();
+    }
     if (!in.ok || in.next != in.fields.size())
         return std::nullopt;
     return r;

@@ -24,7 +24,8 @@ SimMachine::SimMachine(const SystemConfig &config,
     }
     swap = std::make_unique<mem::SwapDevice>(config.swapBytes,
                                              config.node.basePageBytes);
-    cache = std::make_unique<mem::PageCache>(*memNode);
+    cache = std::make_unique<mem::PageCache>(
+        *memNode, config.fileCacheEviction);
     vm::NumaPolicy numa;
     numa.remoteNode = memNode1.get();
     numa.placement = config.numaPlacement;
@@ -67,6 +68,18 @@ SimMachine::SimMachine(const SystemConfig &config,
     statSet.registerCounter("pagecache.pagesDropped",
                             &cache->pagesDropped,
                             "page-cache pages reclaimed or dropped");
+    if (config.fileBackedCsr) {
+        // Out-of-core keys exist only when CSR storage is
+        // file-backed, keeping in-core stat dumps byte-identical.
+        const mem::AddressSpaceCache &asc = cache->addressSpace();
+        statSet.registerCounter("pagecache.storageReads",
+                                &asc.storageReads,
+                                "file pages filled from storage");
+        statSet.registerCounter("pagecache.writebacks", &asc.writebacks,
+                                "dirty file pages written back");
+        statSet.registerCounter("pagecache.evictions", &asc.evictions,
+                                "file pages evicted under pressure");
+    }
     statSet.registerCounter("swapdev.pagesOut", &swap->pagesOut,
                             "swap slots written");
     statSet.registerCounter("swapdev.pagesIn", &swap->pagesIn,

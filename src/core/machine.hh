@@ -43,6 +43,11 @@ class SimMachine
     mem::MemoryNode *remoteNode() { return memNode1.get(); }
     mem::SwapDevice &swapDevice() { return *swap; }
     mem::PageCache &pageCache() { return *cache; }
+    /** The machine-wide address-space (file) cache. */
+    mem::AddressSpaceCache &fileCache()
+    {
+        return cache->addressSpace();
+    }
     vm::AddressSpace &space() { return *addressSpace; }
     tlb::Mmu &mmu() { return *mmuUnit; }
     vm::Khugepaged &khugepaged() { return *khuge; }

@@ -57,6 +57,17 @@ visitResult(const RunResult &r, F &&f)
     f("faultEventsApplied",
       static_cast<double>(r.faultEventsApplied), true);
 
+    // Out-of-core traffic appears only when nonzero, keeping in-core
+    // JSON documents and metric lists byte-identical to the
+    // pre-out-of-core build (the seed gate diffs them verbatim).
+    if (r.fileReads != 0 || r.fileWritebacks != 0 ||
+        r.fileEvictions != 0) {
+        f("fileReads", static_cast<double>(r.fileReads), true);
+        f("fileWritebacks", static_cast<double>(r.fileWritebacks),
+          true);
+        f("fileEvictions", static_cast<double>(r.fileEvictions), true);
+    }
+
     f("checksum", static_cast<double>(r.checksum), true);
     f("kernelOutput", static_cast<double>(r.kernelOutput), true);
 }

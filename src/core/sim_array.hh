@@ -34,6 +34,11 @@ enum ArrayTag : unsigned
 
 const char *arrayTagName(unsigned tag);
 
+/** Constructor tag selecting file-backed (out-of-core) storage. */
+struct FileBackedTag
+{
+};
+
 /**
  * Simulated-memory array of trivially copyable T.
  *
@@ -60,6 +65,23 @@ class SimArray
         base = giant
                    ? owner.space().mmapGiant(count * sizeof(T), name)
                    : owner.space().mmap(count * sizeof(T), name);
+    }
+
+    /**
+     * File-backed variant: the VMA maps a file object in the
+     * machine-wide AddressSpaceCache, so pages fault in on demand and
+     * evict (with writeback when dirty) under memory pressure instead
+     * of failing allocation. Element data still lives in @c host, so
+     * kernel results are bit-identical to the anonymous-backed run.
+     */
+    SimArray(SimMachine &owner, size_t count, const std::string &name,
+             unsigned array_tag, FileBackedTag)
+        : machine(&owner), host(count), tag(array_tag)
+    {
+        GPSM_ASSERT(count > 0);
+        mem::AddressSpaceCache &fc = owner.fileCache();
+        base = owner.space().mmapFile(count * sizeof(T), name, fc,
+                                      fc.createFile(name));
     }
 
     ~SimArray()

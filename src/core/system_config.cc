@@ -115,6 +115,16 @@ SystemConfig::describe() const
            << "  remote access    +" << costs.remoteMemoryCycles
            << " cycles\n";
     }
+    if (fileBackedCsr) {
+        // Out-of-core lines exist only when the file-backed mode is
+        // on; the default description stays byte-identical.
+        os << "  csr backing      file-backed ("
+           << mem::evictionKindName(fileCacheEviction) << " eviction)\n"
+           << "  file map read    " << costs.fileMapReadCycles
+           << " cycles/page\n"
+           << "  file writeback   " << costs.fileMapWritebackCycles
+           << " cycles/page\n";
+    }
     if (enableCache) {
         os << "  caches          ";
         for (const auto &lvl : cacheLevels)
@@ -164,6 +174,14 @@ SystemConfig::fingerprint() const
            << numaMigrateOnPromote << ';' << c.remoteMemoryCycles
            << ';' << c.remoteFaultMultiplier << ';'
            << c.remoteSwapMultiplier << "};";
+    }
+    if (fileBackedCsr) {
+        // Out-of-core block only when CSR storage is file-backed; a
+        // dormant config fingerprints exactly as before this field
+        // family existed (same preservation rule as the numa block).
+        os << "ooc{" << static_cast<unsigned>(fileCacheEviction) << ';'
+           << c.fileMapReadCycles << ';' << c.fileMapWritebackCycles
+           << "};";
     }
     return os.str();
 }

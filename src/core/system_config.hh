@@ -71,6 +71,19 @@ struct SystemConfig
     /** True when the second node exists. */
     bool numaEnabled() const { return node1.bytes != 0; }
 
+    /**
+     * Back CSR graph storage (vertex/edge/value arrays) with
+     * mmap-style file mappings through the machine-wide
+     * AddressSpaceCache instead of anonymous memory. Off by default:
+     * a false value keeps the cache dormant for graph data and every
+     * output byte-identical to the in-core build. Turned on by
+     * ExperimentConfig::oocRatio via runExperiment.
+     */
+    bool fileBackedCsr = false;
+
+    /** Replacement policy of the address-space cache. */
+    mem::EvictionKind fileCacheEviction = mem::EvictionKind::Clock;
+
     /** L1 DTLB geometry per page-size class. */
     tlb::TlbGeometry l1Base;
     tlb::TlbGeometry l1Huge;

@@ -69,15 +69,31 @@ class SimView
         : mach(&machine), g(&graph), opts(options)
     {
         // mmap order is fixed; only fault (load) order varies.
-        vertex.emplace(machine, graph.vertexArray().size(), "vertex",
-                       TagVertex);
-        edge.emplace(machine, graph.edgeArray().size(), "edge",
-                     TagEdge);
+        // Out-of-core mode backs the CSR arrays (vertex/edge/values)
+        // with file mappings; the property (+aux) arrays stay
+        // anonymous — they are the kernel's working set and the swap
+        // path already covers them.
+        const bool fb = machine.config().fileBackedCsr;
+        if (fb) {
+            vertex.emplace(machine, graph.vertexArray().size(),
+                           "vertex", TagVertex, FileBackedTag{});
+            edge.emplace(machine, graph.edgeArray().size(), "edge",
+                         TagEdge, FileBackedTag{});
+        } else {
+            vertex.emplace(machine, graph.vertexArray().size(),
+                           "vertex", TagVertex);
+            edge.emplace(machine, graph.edgeArray().size(), "edge",
+                         TagEdge);
+        }
         if (opts.needValues) {
             GPSM_ASSERT(graph.weighted(),
                         "values array requested for unweighted graph");
-            values.emplace(machine, graph.valuesArray().size(),
-                           "values", TagValues);
+            if (fb)
+                values.emplace(machine, graph.valuesArray().size(),
+                               "values", TagValues, FileBackedTag{});
+            else
+                values.emplace(machine, graph.valuesArray().size(),
+                               "values", TagValues);
         }
         prop.emplace(machine, graph.numNodes(), "property",
                      TagProperty, opts.giantProperty);

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * AddressSpaceCache implementation.
+ */
+
+#include "mem/addr_space_cache.hh"
+
+#include "util/logging.hh"
+
+namespace gpsm::mem
+{
+
+const char *
+evictionKindName(EvictionKind kind)
+{
+    switch (kind) {
+      case EvictionKind::Clock: return "clock";
+      case EvictionKind::Lru: return "lru";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------
+// ClockPolicy
+
+void
+ClockPolicy::inserted(std::uint64_t key)
+{
+    GPSM_ASSERT(pos.find(key) == pos.end());
+    ring.push_back({key, false});
+    pos.emplace(key, std::prev(ring.end()));
+    if (hand == ring.end())
+        hand = std::prev(ring.end());
+}
+
+void
+ClockPolicy::touched(std::uint64_t key)
+{
+    const auto it = pos.find(key);
+    GPSM_ASSERT(it != pos.end());
+    it->second->referenced = true;
+}
+
+void
+ClockPolicy::removed(std::uint64_t key)
+{
+    const auto it = pos.find(key);
+    GPSM_ASSERT(it != pos.end());
+    if (hand == it->second)
+        ++hand;
+    ring.erase(it->second);
+    pos.erase(it);
+}
+
+std::uint64_t
+ClockPolicy::pickVictim()
+{
+    if (ring.empty())
+        return noVictim;
+    for (;;) {
+        if (hand == ring.end())
+            hand = ring.begin();
+        if (hand->referenced) {
+            hand->referenced = false; // second chance
+            ++hand;
+            continue;
+        }
+        const std::uint64_t key = hand->key;
+        const auto victim = hand;
+        ++hand;
+        pos.erase(key);
+        ring.erase(victim);
+        return key;
+    }
+}
+
+// ---------------------------------------------------------------------
+// LruPolicy
+
+void
+LruPolicy::inserted(std::uint64_t key)
+{
+    GPSM_ASSERT(pos.find(key) == pos.end());
+    order.push_front(key);
+    pos.emplace(key, order.begin());
+}
+
+void
+LruPolicy::touched(std::uint64_t key)
+{
+    const auto it = pos.find(key);
+    GPSM_ASSERT(it != pos.end());
+    order.splice(order.begin(), order, it->second);
+}
+
+void
+LruPolicy::removed(std::uint64_t key)
+{
+    const auto it = pos.find(key);
+    GPSM_ASSERT(it != pos.end());
+    order.erase(it->second);
+    pos.erase(it);
+}
+
+std::uint64_t
+LruPolicy::pickVictim()
+{
+    if (order.empty())
+        return noVictim;
+    const std::uint64_t key = order.back();
+    order.pop_back();
+    pos.erase(key);
+    return key;
+}
+
+std::unique_ptr<EvictionPolicy>
+makeEvictionPolicy(EvictionKind kind)
+{
+    switch (kind) {
+      case EvictionKind::Clock:
+        return std::make_unique<ClockPolicy>();
+      case EvictionKind::Lru:
+        return std::make_unique<LruPolicy>();
+    }
+    fatal("unknown eviction kind %d", static_cast<int>(kind));
+}
+
+// ---------------------------------------------------------------------
+// AddressSpaceCache
+
+AddressSpaceCache::AddressSpaceCache(MemoryNode &node_, EvictionKind kind)
+    : node(node_), evictionKind(kind), policy_(makeEvictionPolicy(kind))
+{
+    clientId = node.registerClient(this);
+    node.addReclaimable(this);
+}
+
+AddressSpaceCache::~AddressSpaceCache()
+{
+    // The FileMappers (the address space owning the PTEs) may already
+    // be gone: SimMachine destroys the vm layer before the mem layer.
+    detachMappers();
+    for (FileId f = 0; f < files.size(); ++f)
+        dropFile(f, /*invalidateTlb=*/false);
+}
+
+void
+AddressSpaceCache::detachMappers()
+{
+    for (const auto &fo : files)
+        fo->pages.forEach([](std::uint64_t, CachedPage &pg) {
+            pg.mapper = nullptr;
+        });
+}
+
+FileId
+AddressSpaceCache::createFile(std::string name)
+{
+    auto fo = std::make_unique<FileObject>();
+    fo->name = std::move(name);
+    files.push_back(std::move(fo));
+    return static_cast<FileId>(files.size() - 1);
+}
+
+AddressSpaceCache::FileObject &
+AddressSpaceCache::fileOf(FileId file)
+{
+    GPSM_ASSERT(file < files.size(), "bad file id");
+    return *files[file];
+}
+
+const AddressSpaceCache::FileObject &
+AddressSpaceCache::fileOf(FileId file) const
+{
+    GPSM_ASSERT(file < files.size(), "bad file id");
+    return *files[file];
+}
+
+void
+AddressSpaceCache::insertPage(FileId file, std::uint64_t index,
+                              CachedPage page)
+{
+    FileObject &fo = fileOf(file);
+    const FrameNum frame = page.frame;
+    residentBytes_ += page.bytes;
+    fo.pages.insert(index, page);
+    frameMap.emplace(frame, keyOf(file, index));
+    policy_->inserted(keyOf(file, index));
+    ++pagesCached;
+}
+
+AddressSpaceCache::PopulateResult
+AddressSpaceCache::populate(FileId file, std::uint64_t startPage,
+                            std::uint64_t bytes)
+{
+    PopulateResult res;
+    if (bytes == 0)
+        return res;
+    const std::uint64_t page = node.basePageBytes();
+    const std::uint64_t want = (bytes + page - 1) / page;
+
+    // Best-effort, no escalation: a full node simply stops the staging
+    // loop, exactly like opportunistic readahead giving up.
+    for (std::uint64_t i = 0; i < want; ++i) {
+        const FrameNum f =
+            node.buddy().allocate(0, Migratetype::Movable, clientId);
+        if (f == invalidFrame)
+            break;
+        CachedPage pg;
+        pg.frame = f;
+        // Clamp the final page to the requested bytes so occupancy is
+        // exact (caching 100 bytes accounts 100, not 4096).
+        pg.bytes = static_cast<std::uint32_t>(
+            i + 1 == want ? bytes - i * page : page);
+        insertPage(file, startPage + i, pg);
+        ++res.pages;
+        res.bytes += pg.bytes;
+    }
+    return res;
+}
+
+FileFaultResult
+AddressSpaceCache::faultPage(FileId file, std::uint64_t index,
+                             bool write, std::uint64_t vpn,
+                             FileMapper *mapper)
+{
+    FileFaultResult res;
+    FileObject &fo = fileOf(file);
+    GPSM_ASSERT(fo.pages.find(index) == nullptr,
+                "faultPage on a resident page");
+
+    // Full escalation: reclaim may call straight back into this
+    // cache's reclaim() (we have not inserted the new page yet, so
+    // reentrancy is safe), and swap may push anonymous pages out.
+    const std::uint64_t wb0 = writebacks.value();
+    MemoryNode::Request req;
+    req.order = 0;
+    req.mt = Migratetype::Movable;
+    req.client = clientId;
+    req.mayReclaim = true;
+    req.mayCompact = false;
+    req.maySwap = true;
+    const AllocOutcome out = node.allocate(req);
+    res.writebackPages = writebacks.value() - wb0;
+    res.reclaimedPages = out.reclaimedPages;
+    res.swappedPages = out.swappedPages;
+    if (!out.success)
+        return res;
+
+    CachedPage pg;
+    pg.frame = out.frame;
+    pg.state = write ? FilePageState::Dirty : FilePageState::Clean;
+    pg.bytes = static_cast<std::uint32_t>(node.basePageBytes());
+    pg.vpn = vpn;
+    pg.mapper = mapper;
+    insertPage(file, index, pg);
+
+    // Sparse-file model: a page that was never written back zero-fills
+    // for free; one that was written back must be read from storage.
+    if (fo.onDisk.find(index) != nullptr) {
+        res.storageRead = true;
+        ++storageReads;
+    }
+    res.frame = out.frame;
+    res.success = true;
+    return res;
+}
+
+void
+AddressSpaceCache::notePageAccess(FileId file, std::uint64_t index,
+                                  bool write)
+{
+    FileObject &fo = fileOf(file);
+    CachedPage *pg = fo.pages.find(index);
+    GPSM_ASSERT(pg != nullptr, "access to a non-resident file page");
+    policy_->touched(keyOf(file, index));
+    if (write && pg->state == FilePageState::Clean)
+        pg->state = FilePageState::Dirty;
+}
+
+bool
+AddressSpaceCache::evictOne()
+{
+    const std::uint64_t key = policy_->pickVictim();
+    if (key == EvictionPolicy::noVictim)
+        return false;
+    const FileId file = fileOfKey(key);
+    const std::uint64_t index = indexOfKey(key);
+    FileObject &fo = fileOf(file);
+    CachedPage *pg = fo.pages.find(index);
+    GPSM_ASSERT(pg != nullptr, "policy victim not resident");
+
+    if (pg->state == FilePageState::Dirty) {
+        // Dirty -> Writeback -> on disk. The write-out itself is
+        // instantaneous here (time-free layer); the MMU charges
+        // fileMapWritebackCycles per counted page.
+        pg->state = FilePageState::Writeback;
+        if (fo.onDisk.find(index) == nullptr)
+            fo.onDisk.insert(index, 1);
+        ++writebacks;
+    }
+    if (pg->mapper != nullptr)
+        pg->mapper->unmapFilePage(pg->vpn, /*invalidateTlb=*/true);
+    frameMap.erase(pg->frame);
+    node.free(pg->frame);
+    residentBytes_ -= pg->bytes;
+    fo.pages.erase(index);
+    ++pagesDropped;
+    ++evictions;
+    return true;
+}
+
+std::uint64_t
+AddressSpaceCache::reclaim(std::uint64_t frames)
+{
+    std::uint64_t got = 0;
+    while (got < frames && evictOne())
+        ++got;
+    return got;
+}
+
+std::uint64_t
+AddressSpaceCache::dropFile(FileId file, bool invalidateTlb)
+{
+    FileObject &fo = fileOf(file);
+
+    struct Victim
+    {
+        std::uint64_t index;
+        FrameNum frame;
+        std::uint64_t vpn;
+        FileMapper *mapper;
+        std::uint32_t bytes;
+    };
+    std::vector<Victim> victims;
+    victims.reserve(fo.pages.size());
+    fo.pages.forEach([&](std::uint64_t index, CachedPage &pg) {
+        victims.push_back({index, pg.frame, pg.vpn, pg.mapper, pg.bytes});
+    });
+
+    for (const Victim &v : victims) {
+        policy_->removed(keyOf(file, v.index));
+        if (v.mapper != nullptr)
+            v.mapper->unmapFilePage(v.vpn, invalidateTlb);
+        frameMap.erase(v.frame);
+        node.free(v.frame);
+        residentBytes_ -= v.bytes;
+        fo.pages.erase(v.index);
+        ++pagesDropped;
+    }
+    // The file's contents are discarded with it (munmap without
+    // msync): forget the on-disk shadow too.
+    fo.onDisk.clear();
+    return victims.size();
+}
+
+void
+AddressSpaceCache::migratePage(FrameNum from, FrameNum to)
+{
+    const auto it = frameMap.find(from);
+    GPSM_ASSERT(it != frameMap.end(),
+                "migratePage for a frame the cache does not own");
+    const std::uint64_t key = it->second;
+    CachedPage *pg = fileOf(fileOfKey(key)).pages.find(indexOfKey(key));
+    GPSM_ASSERT(pg != nullptr && pg->frame == from);
+    // In-place fixup: the policy is keyed by (file, index), so the
+    // page keeps its ring/recency position and nothing goes stale.
+    pg->frame = to;
+    frameMap.erase(it);
+    frameMap.emplace(to, key);
+    if (pg->mapper != nullptr)
+        pg->mapper->retargetFilePage(pg->vpn, to);
+}
+
+std::uint64_t
+AddressSpaceCache::residentPagesOf(FileId file) const
+{
+    return fileOf(file).pages.size();
+}
+
+std::uint64_t
+AddressSpaceCache::residentBytesOf(FileId file) const
+{
+    std::uint64_t bytes = 0;
+    fileOf(file).pages.forEach(
+        [&](std::uint64_t, const CachedPage &pg) { bytes += pg.bytes; });
+    return bytes;
+}
+
+bool
+AddressSpaceCache::isResident(FileId file, std::uint64_t index) const
+{
+    return fileOf(file).pages.find(index) != nullptr;
+}
+
+FilePageState
+AddressSpaceCache::pageState(FileId file, std::uint64_t index) const
+{
+    const CachedPage *pg = fileOf(file).pages.find(index);
+    GPSM_ASSERT(pg != nullptr, "pageState of a non-resident page");
+    return pg->state;
+}
+
+bool
+AddressSpaceCache::isOnDisk(FileId file, std::uint64_t index) const
+{
+    return fileOf(file).onDisk.find(index) != nullptr;
+}
+
+void
+AddressSpaceCache::checkInvariants() const
+{
+    std::uint64_t pages = 0;
+    std::uint64_t bytes = 0;
+    for (const auto &fo : files) {
+        pages += fo->pages.size();
+        fo->pages.forEach([&](std::uint64_t, const CachedPage &pg) {
+            bytes += pg.bytes;
+            GPSM_ASSERT(pg.frame != invalidFrame);
+            const auto it = frameMap.find(pg.frame);
+            GPSM_ASSERT(it != frameMap.end(),
+                        "resident page missing from frame map");
+        });
+    }
+    GPSM_ASSERT(pages == frameMap.size(),
+                "frame map out of sync with resident pages");
+    GPSM_ASSERT(pages == policy_->size(),
+                "eviction policy out of sync with resident pages");
+    GPSM_ASSERT(bytes == residentBytes_, "resident byte account drift");
+}
+
+} // namespace gpsm::mem

@@ -1,93 +1,54 @@
 /**
  * @file
- * PageCache implementation.
+ * PageCache facade implementation.
  */
 
 #include "mem/page_cache.hh"
 
 #include "mem/memory_node.hh"
 #include "util/bitops.hh"
-#include "util/logging.hh"
 
 namespace gpsm::mem
 {
 
-PageCache::PageCache(MemoryNode &target) : node(target)
+PageCache::PageCache(MemoryNode &target, EvictionKind kind)
+    : cache_(target, kind), stagingFile(cache_.createFile("input-files")),
+      pagesCached(cache_.pagesCached), pagesDropped(cache_.pagesDropped)
 {
-    clientId = node.registerClient(this);
-    node.addReclaimable(this);
-}
-
-PageCache::~PageCache()
-{
-    dropAll();
 }
 
 std::uint64_t
 PageCache::cacheFileData(std::uint64_t bytes)
 {
-    const std::uint64_t page = node.basePageBytes();
-    const std::uint64_t want = divCeil(bytes, page);
-    std::uint64_t got = 0;
-
-    BuddyAllocator &buddy = node.buddy();
-    for (std::uint64_t i = 0; i < want; ++i) {
-        FrameNum f = buddy.allocate(0, Migratetype::Movable, clientId);
-        if (f == invalidFrame)
-            break;
-        lru.push_back(f);
-        frames.emplace(f, true);
-        ++pagesCached;
-        ++got;
-    }
-    return got * page;
+    const AddressSpaceCache::PopulateResult res =
+        cache_.populate(stagingFile, nextPage, bytes);
+    nextPage += res.pages;
+    return res.bytes;
 }
 
 void
 PageCache::dropAll()
 {
-    for (const auto &[frame, live] : frames) {
-        (void)live;
-        node.free(frame);
-        ++pagesDropped;
-    }
-    frames.clear();
-    lru.clear();
+    cache_.dropFile(stagingFile);
+    nextPage = 0;
 }
 
 std::uint64_t
 PageCache::cachedBytes() const
 {
-    return frames.size() * node.basePageBytes();
+    return cache_.residentBytesOf(stagingFile);
 }
 
 std::uint64_t
-PageCache::reclaim(std::uint64_t want)
+PageCache::cachedPages() const
 {
-    std::uint64_t got = 0;
-    while (got < want && !lru.empty()) {
-        FrameNum f = lru.front();
-        lru.pop_front();
-        auto it = frames.find(f);
-        if (it == frames.end())
-            continue; // stale entry left behind by migration
-        frames.erase(it);
-        node.free(f);
-        ++pagesDropped;
-        ++got;
-    }
-    return got;
+    return cache_.residentPagesOf(stagingFile);
 }
 
-void
-PageCache::migratePage(FrameNum from, FrameNum to)
+std::uint64_t
+PageCache::reclaim(std::uint64_t frames)
 {
-    auto it = frames.find(from);
-    GPSM_ASSERT(it != frames.end(),
-                "migration callback for a frame the cache does not own");
-    frames.erase(it);
-    frames.emplace(to, true);
-    lru.push_back(to); // the stale 'from' entry is skipped lazily
+    return cache_.reclaim(frames);
 }
 
 } // namespace gpsm::mem

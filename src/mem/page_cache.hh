@@ -7,9 +7,8 @@
 #define GPSM_MEM_PAGE_CACHE_HH
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 
+#include "mem/addr_space_cache.hh"
 #include "mem/types.hh"
 #include "util/stats.hh"
 
@@ -24,16 +23,24 @@ class MemoryNode;
  *
  * Each cached page takes one movable frame. Pages are clean by
  * definition (the application only reads the input files), so reclaim
- * simply drops the oldest pages. The paper's observation: unless the
- * cache is bypassed (direct I/O) or placed remotely (tmpfs on the other
- * node), these single-use pages consume exactly the free memory that
+ * simply drops them. The paper's observation: unless the cache is
+ * bypassed (direct I/O) or placed remotely (tmpfs on the other node),
+ * these single-use pages consume exactly the free memory that
  * huge-page allocation needed.
+ *
+ * This class is a thin facade over the machine-wide AddressSpaceCache:
+ * the staged input data lives in one file object of the shared cache,
+ * so load-time pages and out-of-core file mappings compete under the
+ * same eviction policy and the same reclaim path. Byte accounting is
+ * exact — the final page of a non-page-aligned load is clamped to the
+ * requested bytes (caching 100 bytes reports 100 cached bytes while
+ * still occupying one frame).
  */
-class PageCache : public PageClient, public Reclaimable
+class PageCache
 {
   public:
-    explicit PageCache(MemoryNode &node);
-    ~PageCache() override;
+    explicit PageCache(MemoryNode &node,
+                       EvictionKind kind = EvictionKind::Clock);
 
     PageCache(const PageCache &) = delete;
     PageCache &operator=(const PageCache &) = delete;
@@ -44,35 +51,36 @@ class PageCache : public PageClient, public Reclaimable
      * Caching is best-effort: it stops (without escalation) when no
      * free frame is available, like readahead under pressure.
      *
-     * @return Bytes actually cached.
+     * @return Bytes actually cached (exact, final page clamped).
      */
     std::uint64_t cacheFileData(std::uint64_t bytes);
 
     /** Drop every cached page (the /proc/sys/vm/drop_caches knob). */
     void dropAll();
 
+    /** Exact bytes of staged file data currently resident. */
     std::uint64_t cachedBytes() const;
-    std::uint64_t cachedPages() const { return frames.size(); }
+    std::uint64_t cachedPages() const;
 
-    /** @name Reclaimable @{ */
-    std::uint64_t reclaim(std::uint64_t frames) override;
-    /** @} */
+    /** Evict up to @p frames staged pages through the shared policy. */
+    std::uint64_t reclaim(std::uint64_t frames);
 
-    /** @name PageClient @{ */
-    void migratePage(FrameNum from, FrameNum to) override;
-    const char *clientName() const override { return "pagecache"; }
-    /** @} */
+    /** Structural self-check of the underlying cache. */
+    void checkInvariants() const { cache_.checkInvariants(); }
 
-    Counter pagesCached;
-    Counter pagesDropped;
+    /** The machine-wide cache this facade stages into. */
+    AddressSpaceCache &addressSpace() { return cache_; }
+    const AddressSpaceCache &addressSpace() const { return cache_; }
 
   private:
-    MemoryNode &node;
-    std::uint16_t clientId;
+    AddressSpaceCache cache_;
+    FileId stagingFile;
+    std::uint64_t nextPage = 0;
 
-    /** FIFO of cached frames plus an index for O(1) migration fixup. */
-    std::deque<FrameNum> lru;
-    std::unordered_map<FrameNum, bool> frames;
+  public:
+    /** Aliases of the shared cache's counters (stat registration). */
+    Counter &pagesCached;
+    Counter &pagesDropped;
 };
 
 } // namespace gpsm::mem

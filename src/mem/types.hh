@@ -76,6 +76,25 @@ enum class NumaPlacement : std::uint8_t
 const char *numaPlacementName(NumaPlacement p);
 
 /**
+ * Replacement policy for resident file pages in the address-space
+ * cache (AddressSpaceCache). Clock is the Linux-like default: a hand
+ * sweeps the resident ring, giving referenced pages a second chance.
+ * Lru evicts the least recently touched page exactly.
+ */
+enum class EvictionKind : std::uint8_t
+{
+    Clock,
+    Lru,
+};
+
+const char *evictionKindName(EvictionKind kind);
+
+/** Identifier of a file object inside an AddressSpaceCache. */
+using FileId = std::uint32_t;
+
+constexpr FileId invalidFile = ~0u;
+
+/**
  * Interface implemented by owners of physical frames (address spaces,
  * the page cache, pinned-memory holders).
  *

@@ -104,6 +104,8 @@ constexpr FileSource allFileSources[] = {FileSource::TmpfsRemote,
 constexpr NumaPlacement allPlacements[] = {
     NumaPlacement::FirstTouch, NumaPlacement::Interleave,
     NumaPlacement::PreferredLocal, NumaPlacement::RemoteOnly};
+constexpr mem::EvictionKind allEvictions[] = {
+    mem::EvictionKind::Clock, mem::EvictionKind::Lru};
 
 SystemConfig
 presetByName(const std::string &name)
@@ -236,6 +238,11 @@ configToJsonUnchecked(const ExperimentConfig &c)
                 obs::Json(core::fileSourceName(c.fileSource)));
     if (c.giantProperty != d.giantProperty)
         doc.set("giantProperty", obs::Json(c.giantProperty));
+    if (c.oocRatio != d.oocRatio)
+        doc.set("oocRatio", obs::Json(c.oocRatio));
+    if (c.oocEviction != d.oocEviction)
+        doc.set("oocEviction",
+                obs::Json(mem::evictionKindName(c.oocEviction)));
     if (c.hugeFaultRetries != d.hugeFaultRetries)
         doc.set("hugeFaultRetries",
                 obs::Json(std::uint64_t(c.hugeFaultRetries)));
@@ -331,6 +338,15 @@ configFromJson(const obs::Json &doc)
                            allFileSources, core::fileSourceName);
         } else if (key == "giantProperty") {
             c.giantProperty = asBool(value, key.c_str());
+        } else if (key == "oocRatio") {
+            c.oocRatio = asF64(value, key.c_str());
+            if (c.oocRatio < 0.0)
+                fatal("serve config: oocRatio must be non-negative");
+        } else if (key == "oocEviction") {
+            c.oocEviction =
+                parseNamed(asString(value, "oocEviction"),
+                           "oocEviction", allEvictions,
+                           mem::evictionKindName);
         } else if (key == "hugeFaultRetries") {
             c.hugeFaultRetries =
                 static_cast<unsigned>(asU64(value, key.c_str()));

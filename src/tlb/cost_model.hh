@@ -56,6 +56,16 @@ struct CostModel
     std::uint64_t fileReadDirectIoCycles = 40000;  ///< NVMe-class read
     /** @} */
 
+    /** @name Out-of-core file mappings (mmap-style CSR backing)
+     *
+     * Charged only by faults on file-backed VMAs, so in-core runs
+     * never pay them. A read fills the page from NVMe-class storage;
+     * a dirty eviction pays the write on the same device.
+     * @{ */
+    std::uint64_t fileMapReadCycles = 40000;       ///< storage fill
+    std::uint64_t fileMapWritebackCycles = 64000;  ///< dirty writeback
+    /** @} */
+
     std::uint64_t minorFaultCycles = 3200;
     std::uint64_t hugeFaultCyclesPerBasePage = 800;
     std::uint64_t majorFaultCycles = 320000;

@@ -99,7 +99,12 @@ Mmu::chargeTouch(const vm::TouchInfo &info)
                                  costs.remoteFaultMultiplier);
         faultCycles += minor_cycles;
     }
+    // Out-of-core file traffic: the storage fill extends the faulting
+    // access (fault bucket); dirty writebacks are kernel work done on
+    // the eviction path (OS bucket). Zero on every in-core run.
+    faultCycles += info.fileReadPages * costs.fileMapReadCycles;
     std::uint64_t os = 0;
+    os += info.writebackPages * costs.fileMapWritebackCycles;
     os += info.migratedPages * costs.migrateCyclesPerPage;
     os += info.reclaimedPages * costs.reclaimCyclesPerPage;
     std::uint64_t swap_out =

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * A Linux-style radix tree mapping sparse 64-bit indices to values —
+ * the page-index structure behind mem::AddressSpaceCache (one tree per
+ * file object, file-page offset -> cached page descriptor).
+ *
+ * Shape follows the kernel's lib/radix-tree: 64-way fanout, the tree
+ * height grows on demand to cover the largest inserted index, and
+ * erase prunes empty interior nodes so a drained tree releases all its
+ * memory. Values are heap-allocated once and never move, so pointers
+ * returned by find()/insert() stay valid until that index is erased.
+ *
+ * Iteration (forEach) visits entries in strictly increasing index
+ * order, which keeps every consumer deterministic.
+ */
+
+#ifndef GPSM_UTIL_RADIX_TREE_HH
+#define GPSM_UTIL_RADIX_TREE_HH
+
+#include <array>
+#include <cstdint>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace gpsm::util
+{
+
+template <typename T>
+class RadixTree
+{
+  public:
+    static constexpr unsigned kBits = 6;
+    static constexpr unsigned kFanout = 1u << kBits;
+
+    RadixTree() = default;
+    ~RadixTree() { clear(); }
+
+    RadixTree(const RadixTree &) = delete;
+    RadixTree &operator=(const RadixTree &) = delete;
+
+    RadixTree(RadixTree &&other) noexcept
+        : root(other.root), height(other.height), count_(other.count_)
+    {
+        other.root = nullptr;
+        other.height = 0;
+        other.count_ = 0;
+    }
+
+    /** Number of stored entries. */
+    std::uint64_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    /** Pointer to the value at @p index, or nullptr. */
+    T *
+    find(std::uint64_t index)
+    {
+        if (root == nullptr || index > maxIndex())
+            return nullptr;
+        Node *node = root;
+        for (unsigned level = height; level > 0; --level) {
+            node = static_cast<Node *>(node->slots[slotOf(index, level)]);
+            if (node == nullptr)
+                return nullptr;
+        }
+        return static_cast<T *>(node->slots[slotOf(index, 0)]);
+    }
+
+    const T *
+    find(std::uint64_t index) const
+    {
+        return const_cast<RadixTree *>(this)->find(index);
+    }
+
+    /**
+     * Insert a value at @p index (the index must be vacant) and return
+     * a reference to the stored copy.
+     */
+    T &
+    insert(std::uint64_t index, T value)
+    {
+        grow(index);
+        Node *node = root;
+        for (unsigned level = height; level > 0; --level) {
+            void *&slot = node->slots[slotOf(index, level)];
+            if (slot == nullptr) {
+                slot = new Node();
+                ++node->occupied;
+            }
+            node = static_cast<Node *>(slot);
+        }
+        void *&slot = node->slots[slotOf(index, 0)];
+        GPSM_ASSERT(slot == nullptr, "radix tree: index already present");
+        T *stored = new T(std::move(value));
+        slot = stored;
+        ++node->occupied;
+        ++count_;
+        return *stored;
+    }
+
+    /**
+     * Remove the entry at @p index, pruning interior nodes left empty.
+     * @return true when an entry was removed.
+     */
+    bool
+    erase(std::uint64_t index)
+    {
+        if (root == nullptr || index > maxIndex())
+            return false;
+        if (!eraseIn(root, height, index))
+            return false;
+        --count_;
+        if (count_ == 0) {
+            delete root;
+            root = nullptr;
+            height = 0;
+        }
+        return true;
+    }
+
+    /** Visit (index, value&) in increasing index order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        if (root != nullptr)
+            walk(root, height, 0, fn);
+    }
+
+    /** Drop every entry and release all nodes. */
+    void
+    clear()
+    {
+        if (root != nullptr) {
+            destroy(root, height);
+            root = nullptr;
+        }
+        height = 0;
+        count_ = 0;
+    }
+
+  private:
+    struct Node
+    {
+        std::array<void *, kFanout> slots{};
+        std::uint16_t occupied = 0;
+    };
+
+    static unsigned
+    slotOf(std::uint64_t index, unsigned level)
+    {
+        return static_cast<unsigned>((index >> (level * kBits)) &
+                                     (kFanout - 1));
+    }
+
+    /** Largest index the current height can address. */
+    std::uint64_t
+    maxIndex() const
+    {
+        const unsigned bits = (height + 1) * kBits;
+        if (bits >= 64)
+            return ~0ull;
+        return (1ull << bits) - 1;
+    }
+
+    void
+    grow(std::uint64_t index)
+    {
+        if (root == nullptr)
+            root = new Node();
+        while (index > maxIndex()) {
+            Node *top = new Node();
+            top->slots[0] = root;
+            top->occupied = root->occupied == 0 ? 0 : 1;
+            root = top;
+            ++height;
+        }
+    }
+
+    bool
+    eraseIn(Node *node, unsigned level, std::uint64_t index)
+    {
+        void *&slot = node->slots[slotOf(index, level)];
+        if (slot == nullptr)
+            return false;
+        if (level == 0) {
+            delete static_cast<T *>(slot);
+            slot = nullptr;
+            --node->occupied;
+            return true;
+        }
+        Node *child = static_cast<Node *>(slot);
+        if (!eraseIn(child, level - 1, index))
+            return false;
+        if (child->occupied == 0) {
+            delete child;
+            slot = nullptr;
+            --node->occupied;
+        }
+        return true;
+    }
+
+    template <typename Fn>
+    void
+    walk(const Node *node, unsigned level, std::uint64_t base,
+         Fn &&fn) const
+    {
+        const std::uint64_t stride = 1ull << (level * kBits);
+        for (unsigned s = 0; s < kFanout; ++s) {
+            void *slot = node->slots[s];
+            if (slot == nullptr)
+                continue;
+            const std::uint64_t index = base + s * stride;
+            if (level == 0)
+                fn(index, *static_cast<T *>(slot));
+            else
+                walk(static_cast<const Node *>(slot), level - 1, index,
+                     fn);
+        }
+    }
+
+    void
+    destroy(Node *node, unsigned level)
+    {
+        for (unsigned s = 0; s < kFanout; ++s) {
+            void *slot = node->slots[s];
+            if (slot == nullptr)
+                continue;
+            if (level == 0)
+                delete static_cast<T *>(slot);
+            else
+                destroy(static_cast<Node *>(slot), level - 1);
+        }
+        delete node;
+    }
+
+    Node *root = nullptr;
+    unsigned height = 0; ///< levels below the root
+    std::uint64_t count_ = 0;
+};
+
+} // namespace gpsm::util
+
+#endif // GPSM_UTIL_RADIX_TREE_HH

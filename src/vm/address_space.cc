@@ -87,6 +87,19 @@ AddressSpace::mmap(std::uint64_t length, const std::string &name)
 }
 
 Addr
+AddressSpace::mmapFile(std::uint64_t length, const std::string &name,
+                       mem::AddressSpaceCache &cache, mem::FileId file)
+{
+    const Addr start = mmap(length, name);
+    Vma *vma = findVmaMutable(start);
+    vma->fileCache = &cache;
+    vma->fileId = file;
+    fileLo = std::min(fileLo, vma->start);
+    fileHi = std::max(fileHi, vma->end);
+    return start;
+}
+
+Addr
 AddressSpace::mmapGiant(std::uint64_t length, const std::string &name)
 {
     const std::uint64_t giant = node.giantPageBytes();
@@ -124,6 +137,14 @@ AddressSpace::munmap(Addr start)
         fatal("munmap of unknown region 0x%llx",
               static_cast<unsigned long long>(start));
     Vma &vma = it->second;
+
+    // File-backed VMAs: the cache owns the frames. Drop the file
+    // (discarding dirty contents, munmap without msync); every PTE is
+    // cleared through unmapFilePage on the way, so the sweep below
+    // finds nothing left to free. The flushAll pushed at the end
+    // covers the TLB, so per-page invalidations are suppressed.
+    if (vma.fileCache != nullptr)
+        vma.fileCache->dropFile(vma.fileId, /*invalidateTlb=*/false);
 
     const std::uint64_t span = 1ull << hugeOrd;
     std::uint64_t v = vpnOf(vma.start);
@@ -257,6 +278,8 @@ AddressSpace::hugeEligible(Addr vaddr) const
     const std::uint64_t huge = hugePageBytes();
     const Addr hstart = alignDown(vaddr, huge);
     const Addr hend = hstart + huge;
+    if (vma->fileCache != nullptr)
+        return false; // file mappings are never THP-backed
     if (hstart < vma->start || hend > vma->end)
         return false;
     if (intersects(vma->hugeForbidden, hstart, hend))
@@ -294,7 +317,6 @@ AddressSpace::presentInRegion(std::uint64_t huge_vpn) const
 TouchInfo
 AddressSpace::touch(Addr vaddr, bool write)
 {
-    (void)write; // all graph arrays are read-write anonymous memory
     const std::uint64_t vpn = vpnOf(vaddr);
     PageTable::Translation t = pt.lookup(vpn);
 
@@ -302,9 +324,20 @@ AddressSpace::touch(Addr vaddr, bool write)
         TouchInfo info;
         info.frame = t.pte.frame;
         info.size = t.size;
+        // Resident file pages feed the replacement policy at TLB-walk
+        // granularity (and latch Dirty on writes). The hull check is
+        // one always-false compare on machines with no file mappings.
+        if (vaddr >= fileLo && vaddr < fileHi) {
+            const Vma *vma = findVma(vaddr);
+            if (vma != nullptr && vma->fileCache != nullptr) {
+                vma->fileCache->notePageAccess(
+                    vma->fileId, (vaddr - vma->start) / pageBytes,
+                    write);
+            }
+        }
         return info;
     }
-    return handleFault(vaddr, t);
+    return handleFault(vaddr, t, write);
 }
 
 mem::MemoryNode &
@@ -375,7 +408,8 @@ AddressSpace::allocBase(std::uint64_t vpn, bool &spilled)
 }
 
 TouchInfo
-AddressSpace::handleFault(Addr vaddr, const PageTable::Translation &cur)
+AddressSpace::handleFault(Addr vaddr, const PageTable::Translation &cur,
+                          bool write)
 {
     TouchInfo info;
     info.pageFault = true;
@@ -386,6 +420,32 @@ AddressSpace::handleFault(Addr vaddr, const PageTable::Translation &cur)
               static_cast<unsigned long long>(vaddr));
 
     const std::uint64_t vpn = vpnOf(vaddr);
+
+    // File-backed fault: the cache allocates (evicting under pressure,
+    // writing dirty pages back) and reports what the storage did. File
+    // pages never enter the swap path, so this precedes the swap
+    // branch; they are also never huge-backed.
+    if (vma->fileCache != nullptr) {
+        GPSM_ASSERT(!cur.valid || !cur.pte.swapped,
+                    "file page marked swapped");
+        const mem::FileFaultResult fr = vma->fileCache->faultPage(
+            vma->fileId, (vaddr - vma->start) / pageBytes, write, vpn,
+            this);
+        if (!fr.success)
+            fatal("out of memory faulting file page 0x%llx ('%s')",
+                  static_cast<unsigned long long>(vaddr),
+                  vma->name.c_str());
+        pt.mapBase(vpn, fr.frame);
+        ++vma->presentBasePages;
+        ++minorFaults;
+        info.frame = fr.frame;
+        info.size = PageSizeClass::Base;
+        info.reclaimedPages = fr.reclaimedPages;
+        info.swappedOutPages = fr.swappedPages;
+        info.fileReadPages = fr.storageRead ? 1 : 0;
+        info.writebackPages = fr.writebackPages;
+        return info;
+    }
 
     // Major fault: page lives in swap.
     if (cur.valid && cur.pte.swapped) {
@@ -688,6 +748,28 @@ AddressSpace::migratePage(mem::FrameNum from, mem::FrameNum to)
     pt.retargetBase(vpn, to);
     rmap.emplace(to, vpn);
     nodeOf(to).noteSwappable(to);
+    pendingInvalidations.push_back(
+        TlbInvalidation{false, vpn, PageSizeClass::Base});
+}
+
+void
+AddressSpace::unmapFilePage(std::uint64_t vpn, bool invalidateTlb)
+{
+    Vma *vma = findVmaMutable(vpn * pageBytes);
+    GPSM_ASSERT(vma != nullptr && vma->fileCache != nullptr,
+                "unmapFilePage outside a file-backed VMA");
+    pt.unmapBase(vpn);
+    --vma->presentBasePages;
+    if (invalidateTlb) {
+        pendingInvalidations.push_back(
+            TlbInvalidation{false, vpn, PageSizeClass::Base});
+    }
+}
+
+void
+AddressSpace::retargetFilePage(std::uint64_t vpn, mem::FrameNum to)
+{
+    pt.retargetBase(vpn, to);
     pendingInvalidations.push_back(
         TlbInvalidation{false, vpn, PageSizeClass::Base});
 }

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mem/addr_space_cache.hh"
 #include "mem/memory_node.hh"
 #include "mem/swap_device.hh"
 #include "mem/types.hh"
@@ -38,6 +39,15 @@ struct Vma
     std::vector<std::pair<Addr, Addr>> hugeAdvised;
     /** MADV_NOHUGEPAGE intervals. */
     std::vector<std::pair<Addr, Addr>> hugeForbidden;
+
+    /**
+     * File backing (mmapFile): pages demand-fault through the
+     * address-space cache and evict under pressure instead of
+     * swapping. Never THP-eligible, like Linux file mappings outside
+     * the niche file-THP configurations. nullptr = anonymous.
+     */
+    mem::AddressSpaceCache *fileCache = nullptr;
+    mem::FileId fileId = mem::invalidFile;
 
     /** @name Live mapping counters @{ */
     std::uint64_t presentBasePages = 0;
@@ -87,6 +97,13 @@ struct TouchInfo
     /** Bounded huge-allocation retries taken before fallback
      *  (ThpConfig::hugeFaultRetries); each is charged backoff. */
     std::uint64_t hugeAllocRetries = 0;
+
+    /** @name File-backed fault work (out-of-core mappings only) @{ */
+    /** Pages read from backing storage (previously written back). */
+    std::uint64_t fileReadPages = 0;
+    /** Dirty file pages written back by evictions on this path. */
+    std::uint64_t writebackPages = 0;
+    /** @} */
 };
 
 /**
@@ -124,7 +141,7 @@ struct NumaPolicy
  * that the Mmu drains to charge invalidation costs and flush stale
  * entries.
  */
-class AddressSpace : public mem::PageClient
+class AddressSpace : public mem::PageClient, public mem::FileMapper
 {
   public:
     AddressSpace(mem::MemoryNode &node, mem::SwapDevice &swap,
@@ -157,6 +174,16 @@ class AddressSpace : public mem::PageClient
      * reservations fail loudly, unlike THP.
      */
     Addr mmapGiant(std::uint64_t length, const std::string &name);
+
+    /**
+     * Reserve @p length bytes backed by file object @p file of the
+     * given address-space cache. Pages demand-fault through the cache
+     * with full escalation rights, so a mapping larger than DRAM runs
+     * out-of-core: the cache evicts (writing dirty pages back) instead
+     * of the allocator failing. File VMAs are never THP-eligible.
+     */
+    Addr mmapFile(std::uint64_t length, const std::string &name,
+                  mem::AddressSpaceCache &cache, mem::FileId file);
 
     /** Unmap the entire VMA starting at @p start; frees its frames. */
     void munmap(Addr start);
@@ -256,6 +283,11 @@ class AddressSpace : public mem::PageClient
     const char *clientName() const override { return "addrspace"; }
     /** @} */
 
+    /** @name FileMapper (cache-initiated PTE maintenance) @{ */
+    void unmapFilePage(std::uint64_t vpn, bool invalidateTlb) override;
+    void retargetFilePage(std::uint64_t vpn, mem::FrameNum to) override;
+    /** @} */
+
     void registerStats(StatSet &stats, const std::string &prefix) const;
 
     /**
@@ -287,7 +319,8 @@ class AddressSpace : public mem::PageClient
 
   private:
     /** Fault in the page backing @p vaddr (not currently covered). */
-    TouchInfo handleFault(Addr vaddr, const PageTable::Translation &cur);
+    TouchInfo handleFault(Addr vaddr, const PageTable::Translation &cur,
+                          bool write);
 
     /** True when [a,b) is fully inside one interval of @p set. */
     static bool coveredBy(const std::vector<std::pair<Addr, Addr>> &set,
@@ -352,6 +385,14 @@ class AddressSpace : public mem::PageClient
 
     /** Bump-pointer virtual address allocator. */
     Addr nextMmapBase;
+
+    /**
+     * Address hull of all file-backed VMAs, so the present-page hot
+     * path can skip the VMA lookup entirely when no file mappings
+     * exist (the in-core case: one always-false compare).
+     */
+    Addr fileLo = ~0ull;
+    Addr fileHi = 0;
 
     std::vector<TlbInvalidation> pendingInvalidations;
 };

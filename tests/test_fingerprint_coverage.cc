@@ -100,6 +100,12 @@ TEST(FingerprintCoverage, ExperimentFields)
         {"giantProperty", [](auto &c) { c.giantProperty = true; }},
         {"hugeFaultRetries",
          [](auto &c) { c.hugeFaultRetries = 2; }},
+        {"oocRatio", [](auto &c) { c.oocRatio = 2.0; }},
+        {"oocEviction",
+         [](auto &c) {
+             c.oocRatio = 2.0;
+             c.oocEviction = mem::EvictionKind::Lru;
+         }},
         {"prMaxIters", [](auto &c) { c.prMaxIters += 1; }},
         {"prDamping", [](auto &c) { c.prDamping = 0.9; }},
         {"prEpsilon", [](auto &c) { c.prEpsilon = 1e-5; }},
@@ -145,6 +151,26 @@ TEST(FingerprintCoverage, SystemFields)
         {"memoryCycles", [](auto &c) { c.sys.memoryCycles += 1; }},
         {"cacheLevels",
          [](auto &c) { c.sys.cacheLevels[0].hitCycles += 1; }},
+        // The ooc{} block (like numa{}) exists only when the mode is
+        // on, so the eviction/cost fields are perturbed on top of an
+        // enabled fileBackedCsr.
+        {"fileBackedCsr",
+         [](auto &c) { c.sys.fileBackedCsr = true; }},
+        {"fileCacheEviction",
+         [](auto &c) {
+             c.sys.fileBackedCsr = true;
+             c.sys.fileCacheEviction = mem::EvictionKind::Lru;
+         }},
+        {"costs.fileMapReadCycles",
+         [](auto &c) {
+             c.sys.fileBackedCsr = true;
+             c.sys.costs.fileMapReadCycles += 1;
+         }},
+        {"costs.fileMapWritebackCycles",
+         [](auto &c) {
+             c.sys.fileBackedCsr = true;
+             c.sys.costs.fileMapWritebackCycles += 1;
+         }},
     };
     expectAllDistinct(numaBase(), mutations);
 }

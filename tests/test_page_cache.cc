@@ -27,14 +27,25 @@ smallNode()
 
 } // namespace
 
-TEST(PageCache, CachesWholePagesRoundedUp)
+TEST(PageCache, ByteAccountingIsExact)
 {
     MemoryNode node(smallNode());
     PageCache cache(node);
-    EXPECT_EQ(cache.cacheFileData(5000), 8192u);
+    // 5000 bytes occupy two frames but cache exactly 5000 bytes: the
+    // final page is clamped to the requested size instead of being
+    // over-reported as a whole page.
+    EXPECT_EQ(cache.cacheFileData(5000), 5000u);
     EXPECT_EQ(cache.cachedPages(), 2u);
-    EXPECT_EQ(cache.cachedBytes(), 8192u);
+    EXPECT_EQ(cache.cachedBytes(), 5000u);
     EXPECT_EQ(cache.pagesCached.value(), 2u);
+    cache.checkInvariants();
+
+    // A follow-up load starts on a fresh page (no partial-page
+    // sharing), and page-aligned loads report exactly what they ask.
+    EXPECT_EQ(cache.cacheFileData(8192), 8192u);
+    EXPECT_EQ(cache.cachedPages(), 4u);
+    EXPECT_EQ(cache.cachedBytes(), 5000u + 8192u);
+    cache.checkInvariants();
 }
 
 TEST(PageCache, StopsAtExhaustionWithoutEscalating)
@@ -53,9 +64,11 @@ TEST(PageCache, ReclaimIsFifoAndBounded)
     cache.cacheFileData(16 * 4096);
     EXPECT_EQ(cache.reclaim(4), 4u);
     EXPECT_EQ(cache.cachedPages(), 12u);
+    cache.checkInvariants();
     EXPECT_EQ(cache.reclaim(100), 12u);
     EXPECT_EQ(cache.cachedPages(), 0u);
     EXPECT_EQ(cache.reclaim(1), 0u);
+    cache.checkInvariants();
 }
 
 TEST(PageCache, DropAllFreesEverything)
@@ -109,8 +122,14 @@ TEST(PageCache, SurvivesMigrationDuringCompaction)
     ASSERT_TRUE(out.success);
     EXPECT_EQ(out.migratedPages, 20u);
     EXPECT_EQ(cache.cachedPages(), pages_before);
+    // Migration fixup regression: the moved pages were retargeted
+    // in place (no stale entries, no unbounded policy growth), so
+    // the structural invariants — policy size == resident pages ==
+    // frame-map size — still hold after compaction.
+    cache.checkInvariants();
     // The cache can still reclaim everything it owns.
     EXPECT_EQ(cache.reclaim(~0ull), pages_before);
+    cache.checkInvariants();
     node.free(out.frame);
     node.buddy().checkInvariants();
 }

@@ -76,6 +76,10 @@ usage()
         "  --fault-plan FILE              JSON fault-injection plan\n"
         "                                 (see fault/fault_plan_io.hh)\n"
         "  --frag F                       fragment F (0-1) of free mem\n"
+        "  --oo-ratio X                   out-of-core: footprint/DRAM\n"
+        "                                 ratio (0 = in-core; > 1\n"
+        "                                 evicts under pressure)\n"
+        "  --eviction clock|lru           file-cache policy (clock)\n"
         "  --file-source tmpfs|cache|directio\n"
         "  --paper                        Haswell 4KB/2MB geometry\n"
         "  --seed N                       generator seed (1)\n"
@@ -169,6 +173,15 @@ printResult(const ExperimentConfig &cfg, const RunResult &r)
     table.addRow({"giant-backed", formatBytes(r.giantBackedBytes)});
     table.addRow({"huge fraction",
                   TableWriter::pct(r.hugeFractionOfFootprint, 2)});
+    if (cfg.oocRatio != 0.0) {
+        // Out-of-core rows only when the mode is on: default output
+        // stays byte-identical to the in-core build.
+        table.addRow({"file reads", std::to_string(r.fileReads)});
+        table.addRow({"file writebacks",
+                      std::to_string(r.fileWritebacks)});
+        table.addRow({"file evictions",
+                      std::to_string(r.fileEvictions)});
+    }
     table.addRow({"kernel output", std::to_string(r.kernelOutput)});
     table.addRow({"checksum", std::to_string(r.checksum)});
     table.print(std::cout, /*with_csv=*/false);
@@ -260,6 +273,19 @@ try {
             cfg.faultPlan = fault::loadFaultPlan(next());
         } else if (arg == "--frag") {
             cfg.fragLevel = parseDouble(next(), "--frag");
+        } else if (arg == "--oo-ratio") {
+            cfg.oocRatio = parseDouble(next(), "--oo-ratio");
+            if (cfg.oocRatio < 0.0)
+                fatal("--oo-ratio must be non-negative");
+        } else if (arg == "--eviction") {
+            const std::string v = next();
+            if (v == "clock")
+                cfg.oocEviction = mem::EvictionKind::Clock;
+            else if (v == "lru")
+                cfg.oocEviction = mem::EvictionKind::Lru;
+            else
+                fatal("--eviction: unknown policy '%s' (clock|lru)",
+                      v.c_str());
         } else if (arg == "--file-source") {
             const std::string v = next();
             if (v == "tmpfs")
