@@ -27,10 +27,14 @@ void
 ClockPolicy::inserted(std::uint64_t key)
 {
     GPSM_ASSERT(pos.find(key) == pos.end());
+    // The hand is left alone even when parked at end() (empty ring, or
+    // the tail was just evicted): pickVictim() wraps end() to begin(),
+    // so the sweep resumes at the oldest page. Re-pointing the hand at
+    // the new tail would make the just-inserted page (reference bit
+    // still clear) the immediate next victim — evict-most-recently-
+    // faulted, not CLOCK.
     ring.push_back({key, false});
     pos.emplace(key, std::prev(ring.end()));
-    if (hand == ring.end())
-        hand = std::prev(ring.end());
 }
 
 void
@@ -141,16 +145,20 @@ AddressSpaceCache::~AddressSpaceCache()
     // be gone: SimMachine destroys the vm layer before the mem layer.
     detachMappers();
     for (FileId f = 0; f < files.size(); ++f)
-        dropFile(f, /*invalidateTlb=*/false);
+        if (files[f] != nullptr)
+            dropFile(f, /*invalidateTlb=*/false);
 }
 
 void
 AddressSpaceCache::detachMappers()
 {
-    for (const auto &fo : files)
+    for (const auto &fo : files) {
+        if (fo == nullptr)
+            continue;
         fo->pages.forEach([](std::uint64_t, CachedPage &pg) {
             pg.mapper = nullptr;
         });
+    }
 }
 
 FileId
@@ -158,21 +166,39 @@ AddressSpaceCache::createFile(std::string name)
 {
     auto fo = std::make_unique<FileObject>();
     fo->name = std::move(name);
+    if (!freeFileIds.empty()) {
+        const FileId id = freeFileIds.back();
+        freeFileIds.pop_back();
+        GPSM_ASSERT(files[id] == nullptr);
+        files[id] = std::move(fo);
+        return id;
+    }
     files.push_back(std::move(fo));
     return static_cast<FileId>(files.size() - 1);
+}
+
+std::uint64_t
+AddressSpaceCache::destroyFile(FileId file, bool invalidateTlb)
+{
+    const std::uint64_t dropped = dropFile(file, invalidateTlb);
+    files[file].reset();
+    freeFileIds.push_back(file);
+    return dropped;
 }
 
 AddressSpaceCache::FileObject &
 AddressSpaceCache::fileOf(FileId file)
 {
-    GPSM_ASSERT(file < files.size(), "bad file id");
+    GPSM_ASSERT(file < files.size() && files[file] != nullptr,
+                "bad file id");
     return *files[file];
 }
 
 const AddressSpaceCache::FileObject &
 AddressSpaceCache::fileOf(FileId file) const
 {
-    GPSM_ASSERT(file < files.size(), "bad file id");
+    GPSM_ASSERT(file < files.size() && files[file] != nullptr,
+                "bad file id");
     return *files[file];
 }
 
@@ -413,6 +439,8 @@ AddressSpaceCache::checkInvariants() const
     std::uint64_t pages = 0;
     std::uint64_t bytes = 0;
     for (const auto &fo : files) {
+        if (fo == nullptr)
+            continue;
         pages += fo->pages.size();
         fo->pages.forEach([&](std::uint64_t, const CachedPage &pg) {
             bytes += pg.bytes;

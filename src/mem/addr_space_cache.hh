@@ -125,7 +125,9 @@ class EvictionPolicy
  * Second-chance CLOCK. Pages sit on a ring in insertion order; the
  * hand sweeps circularly, clearing reference bits until it finds an
  * unreferenced page. New pages enter at the tail with their reference
- * bit clear (they earn it on first touch).
+ * bit clear (they earn it on first touch); inserts never move the
+ * hand — a hand parked at end() (empty ring, or the tail was just
+ * evicted) wraps to the head on the next sweep.
  */
 class ClockPolicy : public EvictionPolicy
 {
@@ -177,8 +179,23 @@ class AddressSpaceCache : public PageClient, public Reclaimable
                                EvictionKind kind = EvictionKind::Clock);
     ~AddressSpaceCache() override;
 
-    /** Create a new (empty, sparse) file object. */
+    /**
+     * Create a new (empty, sparse) file object. Slots released by
+     * destroyFile() are reused (LIFO), so long-lived services that
+     * create one file per array per run do not accumulate dead
+     * FileObjects.
+     */
     FileId createFile(std::string name);
+
+    /**
+     * dropFile() plus release of the file object itself: the FileId
+     * becomes invalid (any later use asserts) and its slot is free for
+     * the next createFile(). Callers that keep using the id — the
+     * PageCache staging file — want dropFile() instead.
+     *
+     * @return pages dropped.
+     */
+    std::uint64_t destroyFile(FileId file, bool invalidateTlb = true);
 
     struct PopulateResult
     {
@@ -313,7 +330,10 @@ class AddressSpaceCache : public PageClient, public Reclaimable
     MemoryNode &node;
     EvictionKind evictionKind;
     std::unique_ptr<EvictionPolicy> policy_;
+    /** Slot per file id; null = destroyed, awaiting reuse. */
     std::vector<std::unique_ptr<FileObject>> files;
+    /** Ids freed by destroyFile, reused LIFO by createFile. */
+    std::vector<FileId> freeFileIds;
     /** frame -> policy key, for O(1) migration fixup. */
     std::unordered_map<FrameNum, std::uint64_t> frameMap;
     std::uint64_t residentBytes_ = 0;

@@ -170,8 +170,17 @@ class RadixTree
             root = new Node();
         while (index > maxIndex()) {
             Node *top = new Node();
-            top->slots[0] = root;
-            top->occupied = root->occupied == 0 ? 0 : 1;
+            // Never link an empty node under the new top: occupied
+            // would not count it, and a later eraseIn would see the
+            // child's occupied hit zero and free it while it still
+            // anchored a live subtree. Empty ⇒ all slots null (the
+            // invariant this branch preserves), so dropping it is safe.
+            if (root->occupied > 0) {
+                top->slots[0] = root;
+                top->occupied = 1;
+            } else {
+                delete root;
+            }
             root = top;
             ++height;
         }

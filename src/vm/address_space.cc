@@ -138,13 +138,17 @@ AddressSpace::munmap(Addr start)
               static_cast<unsigned long long>(start));
     Vma &vma = it->second;
 
-    // File-backed VMAs: the cache owns the frames. Drop the file
-    // (discarding dirty contents, munmap without msync); every PTE is
-    // cleared through unmapFilePage on the way, so the sweep below
-    // finds nothing left to free. The flushAll pushed at the end
-    // covers the TLB, so per-page invalidations are suppressed.
-    if (vma.fileCache != nullptr)
-        vma.fileCache->dropFile(vma.fileId, /*invalidateTlb=*/false);
+    // File-backed VMAs: the cache owns the frames. Destroy the file
+    // (discarding dirty contents, munmap without msync, and releasing
+    // the FileObject slot for reuse — each SimArray creates its own
+    // file, so long-lived services must not accumulate dead ones);
+    // every PTE is cleared through unmapFilePage on the way, so the
+    // sweep below finds nothing left to free. The flushAll pushed at
+    // the end covers the TLB, so per-page invalidations are
+    // suppressed.
+    const bool wasFileBacked = vma.fileCache != nullptr;
+    if (wasFileBacked)
+        vma.fileCache->destroyFile(vma.fileId, /*invalidateTlb=*/false);
 
     const std::uint64_t span = 1ull << hugeOrd;
     std::uint64_t v = vpnOf(vma.start);
@@ -178,6 +182,25 @@ AddressSpace::munmap(Addr start)
     pendingInvalidations.push_back(TlbInvalidation{true, 0,
                                                    PageSizeClass::Base});
     regions.erase(it);
+    // Shrink the file hull so present-path touches in the dead range
+    // stop paying the VMA lookup (and a machine whose last file
+    // mapping is gone returns to the one always-false compare).
+    if (wasFileBacked)
+        recomputeFileHull();
+}
+
+void
+AddressSpace::recomputeFileHull()
+{
+    fileLo = ~0ull;
+    fileHi = 0;
+    for (const auto &[start, vma] : regions) {
+        (void)start;
+        if (vma.fileCache == nullptr)
+            continue;
+        fileLo = std::min(fileLo, vma.start);
+        fileHi = std::max(fileHi, vma.end);
+    }
 }
 
 void

@@ -333,6 +333,9 @@ class AddressSpace : public mem::PageClient, public mem::FileMapper
 
     Vma *findVmaMutable(Addr vaddr);
 
+    /** Rebuild fileLo/fileHi from the surviving file-backed VMAs. */
+    void recomputeFileHull();
+
     std::uint64_t vpnOf(Addr vaddr) const { return vaddr / pageBytes; }
 
     /** The node that owns @p frame (by global frame number). */

@@ -69,16 +69,23 @@ struct StubMapper : FileMapper
  */
 struct NaiveClock
 {
+    /**
+     * The list's end() is a stable sentinel: appends happen before it,
+     * so a hand parked there stays there. A plain "index == size"
+     * encoding cannot model that (an append would slide the new tail
+     * under the hand), hence the explicit npos sentinel.
+     */
+    static constexpr std::size_t npos = ~std::size_t{0};
+
     std::vector<std::pair<std::uint64_t, bool>> ring;
-    std::size_t hand = 0; ///< >= ring.size() plays the list's end()
+    std::size_t hand = npos; ///< npos plays the list's end()
 
     void
     inserted(std::uint64_t key)
     {
-        const bool was_end = hand >= ring.size();
+        // Inserts never move the hand; a hand at end() wraps to the
+        // head inside pickVictim().
         ring.emplace_back(key, false);
-        if (was_end)
-            hand = ring.size() - 1;
     }
     void
     touched(std::uint64_t key)
@@ -97,27 +104,36 @@ struct NaiveClock
         const std::size_t idx =
             static_cast<std::size_t>(it - ring.begin());
         ring.erase(it);
+        if (hand == npos)
+            return;
         if (hand > idx)
             --hand;
         // idx == hand: erase shifts the next element under the hand,
         // matching the list's "advance, then erase" fixup.
+        if (hand >= ring.size())
+            hand = npos;
     }
     std::uint64_t
     pickVictim()
     {
-        if (ring.empty())
+        if (ring.empty()) {
+            hand = npos;
             return EvictionPolicy::noVictim;
+        }
         for (;;) {
-            if (hand >= ring.size())
+            if (hand == npos)
                 hand = 0;
             if (ring[hand].second) {
                 ring[hand].second = false;
-                ++hand;
+                if (++hand >= ring.size())
+                    hand = npos;
                 continue;
             }
             const std::uint64_t key = ring[hand].first;
             ring.erase(ring.begin() +
                        static_cast<std::ptrdiff_t>(hand));
+            if (hand >= ring.size())
+                hand = npos;
             return key;
         }
     }
@@ -143,6 +159,28 @@ TEST(EvictionPolicy, GoldenClockHandTrace)
     EXPECT_EQ(clock.pickVictim(), 3u);
     EXPECT_EQ(clock.pickVictim(), EvictionPolicy::noVictim);
     EXPECT_EQ(clock.size(), 0u);
+}
+
+TEST(EvictionPolicy, ClockHandWrapsAfterTailEviction)
+{
+    // Regression: evicting the tail parks the hand at end(); a
+    // subsequent insert must NOT re-point the hand at the new page.
+    // The next sweep wraps to the head and gives the older pages'
+    // spent bits their turn — canonical CLOCK, not
+    // evict-most-recently-faulted.
+    ClockPolicy clock;
+    for (std::uint64_t k = 1; k <= 3; ++k)
+        clock.inserted(k);
+    clock.touched(1);
+    clock.touched(2);
+    // Sweep clears 1 and 2, evicts 3 (the tail); hand is now at end().
+    EXPECT_EQ(clock.pickVictim(), 3u);
+    clock.inserted(4);
+    // Wrap to the head: 1 (bit spent above) goes, not the fresh 4.
+    EXPECT_EQ(clock.pickVictim(), 1u);
+    EXPECT_EQ(clock.pickVictim(), 2u);
+    EXPECT_EQ(clock.pickVictim(), 4u);
+    EXPECT_EQ(clock.pickVictim(), EvictionPolicy::noVictim);
 }
 
 TEST(EvictionPolicy, ClockMatchesNaiveReference)
@@ -357,6 +395,42 @@ TEST(AddressSpaceCache, PopulateClampsFinalPage)
     EXPECT_EQ(cache.dropFile(a), 2u);
     EXPECT_EQ(cache.residentBytes(), 4096u);
     EXPECT_EQ(cache.residentBytesOf(b), 4096u);
+    cache.checkInvariants();
+}
+
+TEST(AddressSpaceCache, DestroyFileReleasesSlotForReuse)
+{
+    MemoryNode node(smallNode());
+    AddressSpaceCache cache(node);
+    StubMapper mapper;
+
+    const FileId keep = cache.createFile("staging");
+    ASSERT_TRUE(
+        cache.faultPage(keep, 0, /*write=*/false, 0, &mapper).success);
+
+    // Create-destroy churn (one file per array per run in gpsm_serve)
+    // must recycle ids instead of growing the file table forever.
+    const FileId a = cache.createFile("run1-csr");
+    ASSERT_TRUE(
+        cache.faultPage(a, 3, /*write=*/true, 100, &mapper).success);
+    EXPECT_EQ(cache.destroyFile(a), 1u);
+
+    const FileId b = cache.createFile("run2-csr");
+    EXPECT_EQ(b, a); // LIFO slot reuse
+    // The reused slot starts empty: no residency or on-disk shadow
+    // leaks over from the destroyed file.
+    EXPECT_EQ(cache.residentPagesOf(b), 0u);
+    EXPECT_FALSE(cache.isOnDisk(b, 3));
+    ASSERT_TRUE(
+        cache.faultPage(b, 3, /*write=*/true, 100, &mapper).success);
+    EXPECT_EQ(cache.residentPagesOf(b), 1u);
+
+    // The untouched file is unaffected by its neighbour's lifecycle.
+    EXPECT_TRUE(cache.isResident(keep, 0));
+    cache.checkInvariants();
+
+    EXPECT_EQ(cache.destroyFile(b), 1u);
+    EXPECT_EQ(cache.createFile("run3-csr"), b);
     cache.checkInvariants();
 }
 

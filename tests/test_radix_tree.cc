@@ -47,6 +47,53 @@ TEST(RadixTree, InsertFindErase)
     EXPECT_EQ(*t.find(64), 30);
 }
 
+TEST(RadixTree, EraseAfterGrowthThroughEmptyRoot)
+{
+    // Regression: when the first insert lands past index 63, grow()
+    // used to link the freshly created (still empty) root under the
+    // new top with occupied == 0. Later inserts descending through
+    // that uncounted child never incremented the parent, so an erase
+    // elsewhere could prune a subtree that still held live entries.
+    RadixTree<int> t;
+    t.insert(64, 1);   // empty root linked under a new top (height 1)
+    t.insert(5, 2);    // descends through the formerly-empty child
+    t.insert(5000, 3); // grows again (height 2)
+    ASSERT_TRUE(t.erase(64));
+    EXPECT_EQ(t.size(), 2u);
+    ASSERT_NE(t.find(5), nullptr); // was lost (subtree wrongly pruned)
+    EXPECT_EQ(*t.find(5), 2);
+    ASSERT_NE(t.find(5000), nullptr);
+    EXPECT_EQ(*t.find(5000), 3);
+
+    std::vector<std::uint64_t> seen;
+    t.forEach([&](std::uint64_t idx, const int &) {
+        seen.push_back(idx);
+    });
+    EXPECT_EQ(seen, (std::vector<std::uint64_t>{5, 5000}));
+
+    // Drain fully: every entry must still be individually reachable.
+    EXPECT_TRUE(t.erase(5));
+    EXPECT_TRUE(t.erase(5000));
+    EXPECT_TRUE(t.empty());
+}
+
+TEST(RadixTree, FirstInsertBeyondOneLevel)
+{
+    // First-ever insert forces multiple growth steps at once: no
+    // intermediate empty node may survive linked into the tree.
+    RadixTree<int> t;
+    t.insert(1ull << 30, 9);
+    t.insert(0, 1);
+    t.insert(7, 2);
+    ASSERT_TRUE(t.erase(1ull << 30));
+    EXPECT_EQ(t.size(), 2u);
+    ASSERT_NE(t.find(0), nullptr);
+    ASSERT_NE(t.find(7), nullptr);
+    EXPECT_TRUE(t.erase(0));
+    EXPECT_TRUE(t.erase(7));
+    EXPECT_TRUE(t.empty());
+}
+
 TEST(RadixTree, SparseHighIndices)
 {
     // File offsets are sparse and can be large: height must grow on
